@@ -1,0 +1,57 @@
+// Command analyze runs the full reproduction pipeline and prints the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	analyze                          # every artifact, default scale
+//	analyze -artifact table5         # one artifact
+//	analyze -artifact figure10 -csv  # one artifact as CSV
+//	analyze -scale 0.5 -seed 7       # bigger dataset, different seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 0.15, "traffic scale (1.0 = paper scale)")
+		artifact = flag.String("artifact", "all", "table2..table10, figure2..figure11, figures5-8, or all")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		secret   = flag.String("secret", "analyze", "IP anonymizer secret")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *scale, *artifact, *asCSV, *secret); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, scale float64, artifact string, asCSV bool, secret string) error {
+	suite, err := experiment.NewSuite(synth.Config{
+		Seed: seed, Scale: scale, Secret: []byte(secret),
+	})
+	if err != nil {
+		return err
+	}
+	if artifact == "all" {
+		return suite.RunAll(os.Stdout)
+	}
+	for _, a := range suite.Artifacts() {
+		if a.ID == artifact {
+			t := a.Build()
+			if asCSV {
+				return t.WriteCSV(os.Stdout)
+			}
+			return t.Render(os.Stdout)
+		}
+	}
+	return fmt.Errorf("unknown artifact %q; known: table2..table10, figure2..figure11, figures5-8, all", artifact)
+}

@@ -1,0 +1,99 @@
+// Command loggen generates the study's synthetic web-log datasets: the
+// 40-day observational dataset or one two-week controlled-experiment
+// phase, in CSV or JSONL.
+//
+// Usage:
+//
+//	loggen -kind full -scale 0.1 -out logs.csv
+//	loggen -kind study -version v3 -format jsonl -out phase3.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/robots"
+	"repro/internal/synth"
+	"repro/internal/weblog"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "full", "full (40-day observational) or study (one experiment phase)")
+		version = flag.String("version", "base", "study phase: base, v1, v2 or v3")
+		seed    = flag.Int64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 0.1, "traffic scale (1.0 = paper scale)")
+		days    = flag.Int("days", 40, "observational window in days (full kind only)")
+		format  = flag.String("format", "csv", "csv or jsonl")
+		out     = flag.String("out", "-", "output file (- = stdout)")
+		secret  = flag.String("secret", "loggen", "IP anonymizer secret")
+	)
+	flag.Parse()
+
+	if err := run(*kind, *version, *seed, *scale, *days, *format, *out, *secret); err != nil {
+		fmt.Fprintln(os.Stderr, "loggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, version string, seed int64, scale float64, days int, format, out, secret string) error {
+	gen, err := synth.New(synth.Config{
+		Seed: seed, Scale: scale, Days: days, Secret: []byte(secret),
+	})
+	if err != nil {
+		return err
+	}
+
+	var d *weblog.Dataset
+	switch kind {
+	case "full":
+		d = gen.FullDataset()
+	case "study":
+		v, err := parseVersion(version)
+		if err != nil {
+			return err
+		}
+		d = gen.StudyDataset(v)
+	default:
+		return fmt.Errorf("unknown kind %q (want full or study)", kind)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "csv":
+		err = weblog.WriteCSV(w, d)
+	case "jsonl":
+		err = weblog.WriteJSONL(w, d)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loggen: wrote %d records\n", d.Len())
+	return nil
+}
+
+func parseVersion(s string) (robots.Version, error) {
+	switch s {
+	case "base":
+		return robots.VersionBase, nil
+	case "v1":
+		return robots.Version1, nil
+	case "v2":
+		return robots.Version2, nil
+	case "v3":
+		return robots.Version3, nil
+	}
+	return 0, fmt.Errorf("unknown version %q", s)
+}

@@ -1,0 +1,168 @@
+// Command robotsctl parses, validates, generates and tests robots.txt
+// files using the library's RFC 9309 engine — the workflow the paper used
+// Google's parser for (§4.1 "we validated that each robots.txt file was
+// formatted correctly").
+//
+// Usage:
+//
+//	robotsctl validate -f robots.txt
+//	robotsctl check -f robots.txt -ua "GPTBot/1.2" /path1 /path2 ...
+//	robotsctl gen -version v2 [-sitemap URL]
+//	robotsctl show -f robots.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/robots"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robotsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: robotsctl <validate|check|gen|show> [flags]
+
+  validate -f FILE                  parse and report syntax problems
+  check    -f FILE -ua UA PATH...   test paths for a user agent
+  gen      -version base|v1|v2|v3   emit one of the paper's four versions
+  show     -f FILE                  dump parsed groups and directives`)
+}
+
+func load(path string) (*robots.Data, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return robots.Parse(body), nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	file := fs.String("f", "", "robots.txt file")
+	_ = fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("-f required")
+	}
+	d, err := load(*file)
+	if err != nil {
+		return err
+	}
+	if len(d.Errors) == 0 {
+		fmt.Printf("%s: OK (%d groups, %d sitemaps)\n", *file, len(d.Groups), len(d.Sitemaps))
+		return nil
+	}
+	for _, e := range d.Errors {
+		fmt.Println(e.Error())
+	}
+	return fmt.Errorf("%d problems found", len(d.Errors))
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	file := fs.String("f", "", "robots.txt file")
+	ua := fs.String("ua", "*", "user agent to test as")
+	_ = fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("-f required")
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("at least one path required")
+	}
+	d, err := load(*file)
+	if err != nil {
+		return err
+	}
+	t := d.Tester(*ua)
+	if delay, ok := t.CrawlDelay(); ok {
+		fmt.Printf("crawl-delay for %s: %v\n", *ua, delay)
+	}
+	for _, p := range paths {
+		verdict := "ALLOWED"
+		if !t.Allowed(p) {
+			verdict = "DISALLOWED"
+		}
+		fmt.Printf("%-10s %s\n", verdict, p)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	version := fs.String("version", "base", "base, v1, v2 or v3")
+	sitemap := fs.String("sitemap", "", "optional sitemap URL")
+	_ = fs.Parse(args)
+	var v robots.Version
+	switch *version {
+	case "base":
+		v = robots.VersionBase
+	case "v1":
+		v = robots.Version1
+	case "v2":
+		v = robots.Version2
+	case "v3":
+		v = robots.Version3
+	default:
+		return fmt.Errorf("unknown version %q", *version)
+	}
+	os.Stdout.Write(robots.BuildVersion(v, *sitemap))
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	file := fs.String("f", "", "robots.txt file")
+	_ = fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("-f required")
+	}
+	d, err := load(*file)
+	if err != nil {
+		return err
+	}
+	for i, g := range d.Groups {
+		fmt.Printf("group %d: agents=%v rules=%d", i, g.Agents, len(g.Rules))
+		if g.HasCrawlDelay() {
+			fmt.Printf(" crawl-delay=%v", g.CrawlDelay)
+		}
+		fmt.Println()
+		for _, r := range g.Rules {
+			fmt.Printf("  %-8s %s\n", r.Type, r.Pattern)
+		}
+	}
+	for _, sm := range d.Sitemaps {
+		fmt.Println("sitemap:", sm)
+	}
+	for k, vs := range d.Unknown {
+		fmt.Printf("unknown directive %q: %v\n", k, vs)
+	}
+	if len(d.Errors) > 0 {
+		fmt.Printf("%d parse problems (run validate for details)\n", len(d.Errors))
+	}
+	return nil
+}

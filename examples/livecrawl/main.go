@@ -1,0 +1,65 @@
+// Live crawl: the full HTTP loop. Serves four simulated university sites
+// with the paper's strictest robots.txt (v3, disallow-all for non-exempt
+// bots), unleashes a mixed fleet — an obedient AI data scraper, a
+// never-checking headless browser, and an exempted search crawler — and
+// shows how their crawl policies translate directly into the access-log
+// patterns the paper measured.
+//
+// Run with: go run ./examples/livecrawl
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	scraperlab "repro"
+	"repro/internal/report"
+	"repro/internal/robots"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	bots := []string{"GPTBot", "ClaudeBot", "HeadlessChrome", "Bytespider", "Googlebot"}
+	logs, stats, err := scraperlab.LiveCrawl(ctx, scraperlab.LiveCrawlOptions{
+		Version:     robots.Version3,
+		Bots:        bots,
+		PagesPerBot: 8,
+		Sites:       4,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &report.Table{
+		Title:   "Fleet behaviour under disallow-all robots.txt (live HTTP)",
+		Headers: []string{"Bot", "Pages", "Blocked", "robots.txt fetches"},
+		Note:    "GPTBot/ClaudeBot obey; HeadlessChrome never checks; Googlebot is exempt",
+	}
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := stats[n]
+		t.AddRow(n, report.I(s.PagesFetched), report.I(s.Blocked), report.I(s.RobotsFetches))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The collected logs are ordinary study datasets: inspect who hit
+	// what, in virtual time with realistic pacing.
+	byAgent := map[string]int{}
+	for _, r := range logs.Records {
+		byAgent[r.ASN]++
+	}
+	fmt.Printf("access log: %d records from %d distinct origins\n", logs.Len(), len(byAgent))
+}

@@ -1,0 +1,38 @@
+package agent
+
+import "testing"
+
+var benchUAs = []string{
+	"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+	"Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko; compatible; GPTBot/1.2)",
+	"python-requests/2.31.0",
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/121.0 Safari/537.36",
+	"Scrapy/2.11.0 (+https://scrapy.org)",
+	"Mozilla/5.0 (compatible; SemrushBot/7~bl; +http://www.semrush.com/bot.html)",
+}
+
+func BenchmarkMatchKnown(b *testing.B) {
+	m := NewMatcher(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Match(benchUAs[i%len(benchUAs)])
+	}
+}
+
+func BenchmarkMatchAnonymousWorstCase(b *testing.B) {
+	// Anonymous browser UA falls through exact matching into the fuzzy
+	// stage — the slowest path.
+	m := NewMatcher(nil)
+	ua := "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/120.0 Safari/537.36"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Match(ua)
+	}
+}
+
+func BenchmarkDamerauLevenshtein(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		damerauLevenshtein("googlebot-image", "googelbot-image", 3)
+	}
+}

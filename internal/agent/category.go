@@ -1,0 +1,167 @@
+// Package agent identifies web bots from User-Agent strings and classifies
+// them into the Dark Visitors category taxonomy the paper uses (§3.1).
+//
+// It provides:
+//
+//   - Category, the 13-way bot taxonomy (AI Agents, AI Assistants, AI Data
+//     Scrapers, Archivers, Developer Helpers, Fetchers, Headless Browsers,
+//     Intelligence Gatherers, Scrapers, Search Engine Crawlers, SEO
+//     Crawlers, Uncategorized, Undocumented AI Agents),
+//   - Bot, the identity record for a known bot (canonical name, sponsor,
+//     category, public robots.txt promise),
+//   - Registry, an embedded database of well-known bots mirroring the
+//     crawler-user-agents dataset + Dark Visitors listing the paper uses,
+//   - Matcher, which standardizes raw User-Agent strings to canonical bot
+//     names via exact token lookup, substring patterns, and a
+//     Damerau-Levenshtein fuzzy fallback (the paper's "fuzzy string
+//     matching" step, §3.1).
+package agent
+
+// Category is a Dark Visitors bot category (§3.1 of the paper).
+type Category int
+
+const (
+	// CategoryUnknown marks user agents that match no known bot.
+	CategoryUnknown Category = iota
+	// CategoryAIAgent covers bots from AI companies with "agent" in their
+	// name, presumed to operate as part of an agent pipeline.
+	CategoryAIAgent
+	// CategoryAIAssistant covers bots that retrieve content to supplement
+	// AI queries (e.g. ChatGPT-User).
+	CategoryAIAssistant
+	// CategoryAIDataScraper covers bots that scrape AI training data
+	// (e.g. GPTBot, ClaudeBot, Bytespider).
+	CategoryAIDataScraper
+	// CategoryAISearchCrawler covers crawlers feeding AI-powered search
+	// (e.g. Applebot, Amazonbot, PerplexityBot).
+	CategoryAISearchCrawler
+	// CategoryArchiver covers archival crawlers (e.g. ia_archiver).
+	CategoryArchiver
+	// CategoryDeveloperHelper covers developer tooling fetchers.
+	CategoryDeveloperHelper
+	// CategoryFetcher covers preview/unfurl fetchers (e.g.
+	// facebookexternalhit, Slack-ImgProxy).
+	CategoryFetcher
+	// CategoryHeadlessBrowser covers GUI-less browsers, mostly scraper
+	// shells (e.g. HeadlessChrome).
+	CategoryHeadlessBrowser
+	// CategoryIntelligenceGatherer covers data collection for non-SEO,
+	// non-AI purposes.
+	CategoryIntelligenceGatherer
+	// CategoryScraper covers generic content scrapers (e.g. Scrapy).
+	CategoryScraper
+	// CategorySearchEngineCrawler covers traditional search indexers
+	// (e.g. Googlebot, bingbot, YisouSpider).
+	CategorySearchEngineCrawler
+	// CategorySEOCrawler covers search-engine-optimization auditors
+	// (e.g. AhrefsBot, SemrushBot).
+	CategorySEOCrawler
+	// CategoryUncategorized ("Other" in the paper's tables) covers known
+	// bots without a defined purpose, including HTTP client libraries.
+	CategoryUncategorized
+	// CategoryUndocumentedAIAgent covers AI-company bots without public
+	// documentation.
+	CategoryUndocumentedAIAgent
+
+	numCategories
+)
+
+// String returns the paper's display name for the category.
+func (c Category) String() string {
+	switch c {
+	case CategoryAIAgent:
+		return "AI Agents"
+	case CategoryAIAssistant:
+		return "AI Assistants"
+	case CategoryAIDataScraper:
+		return "AI Data Scrapers"
+	case CategoryAISearchCrawler:
+		return "AI Search Crawlers"
+	case CategoryArchiver:
+		return "Archivers"
+	case CategoryDeveloperHelper:
+		return "Developer Helpers"
+	case CategoryFetcher:
+		return "Fetchers"
+	case CategoryHeadlessBrowser:
+		return "Headless Browsers"
+	case CategoryIntelligenceGatherer:
+		return "Intelligence Gatherers"
+	case CategoryScraper:
+		return "Scrapers"
+	case CategorySearchEngineCrawler:
+		return "Search Engine Crawlers"
+	case CategorySEOCrawler:
+		return "SEO Crawlers"
+	case CategoryUncategorized:
+		return "Other"
+	case CategoryUndocumentedAIAgent:
+		return "Undocumented AI Agents"
+	default:
+		return "Unknown"
+	}
+}
+
+// Categories lists every defined category in display order (the order used
+// by the paper's Table 5 rows plus the extra Figure 10 categories).
+func Categories() []Category {
+	out := make([]Category, 0, int(numCategories)-1)
+	for c := Category(1); c < numCategories; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ParseCategory maps a display name back to a Category; it accepts both the
+// paper's plural display names and compact single-word aliases.
+func ParseCategory(s string) (Category, bool) {
+	for c := Category(1); c < numCategories; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	switch s {
+	case "Other", "Uncategorized":
+		return CategoryUncategorized, true
+	case "AI Search", "AI Search Crawler":
+		return CategoryAISearchCrawler, true
+	case "AI Data Scraper":
+		return CategoryAIDataScraper, true
+	case "AI Assistant":
+		return CategoryAIAssistant, true
+	case "Search Engine":
+		return CategorySearchEngineCrawler, true
+	case "SEO":
+		return CategorySEOCrawler, true
+	case "Headless Browser":
+		return CategoryHeadlessBrowser, true
+	case "Fetcher":
+		return CategoryFetcher, true
+	}
+	return CategoryUnknown, false
+}
+
+// Promise captures a bot operator's public stance on respecting robots.txt
+// (the "Promise to respect robots.txt" column of Table 6).
+type Promise int
+
+const (
+	// PromiseUnknown means no public statement was found.
+	PromiseUnknown Promise = iota
+	// PromiseYes means the operator publicly promises compliance.
+	PromiseYes
+	// PromiseNo means the operator declines to promise compliance.
+	PromiseNo
+)
+
+// String renders the promise as in Table 6.
+func (p Promise) String() string {
+	switch p {
+	case PromiseYes:
+		return "Yes"
+	case PromiseNo:
+		return "No"
+	default:
+		return "Unknown"
+	}
+}

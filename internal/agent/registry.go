@@ -1,0 +1,522 @@
+package agent
+
+// DefaultRegistry returns the embedded database of known bots. It covers
+// every bot named anywhere in the paper (Tables 3, 6, 7, 8 and Figures 9,
+// 11) plus a realistic wider population drawn from the crawler-user-agents
+// dataset and the Dark Visitors listing, so that registry-driven analyses
+// see the same long tail the paper's institution saw.
+func DefaultRegistry() *Registry {
+	return NewRegistry(defaultBots())
+}
+
+func defaultBots() []*Bot {
+	return []*Bot{
+		// --- Search engine crawlers ---
+		{
+			Name: "Googlebot", Sponsor: "Google", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"googlebot"},
+			UASample: "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+		},
+		{
+			Name: "Googlebot-Image", Sponsor: "Google", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"googlebot-image"},
+			UASample: "Googlebot-Image/1.0",
+		},
+		{
+			Name: "AdsBot-Google", Sponsor: "Google", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"adsbot-google"},
+			UASample: "AdsBot-Google (+http://www.google.com/adsbot.html)",
+		},
+		{
+			Name: "Google Web Preview", Sponsor: "Google", Category: CategoryFetcher, Promise: PromiseYes,
+			Tokens:   []string{"google web preview", "googleweblight"},
+			UASample: "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 Google Web Preview",
+		},
+		{
+			Name: "bingbot", Sponsor: "Microsoft", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"bingbot"},
+			UASample: "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
+		},
+		{
+			Name: "Slurp", Sponsor: "Yahoo", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"slurp"},
+			UASample: "Mozilla/5.0 (compatible; Yahoo! Slurp; http://help.yahoo.com/help/us/ysearch/slurp)",
+		},
+		{
+			Name: "Yandexbot", Sponsor: "Yandex", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"yandexbot", "yandex.com/bots"},
+			UASample: "Mozilla/5.0 (compatible; YandexBot/3.0; +http://yandex.com/bots)",
+		},
+		{
+			Name: "DuckDuckBot", Sponsor: "DuckDuckGo", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"duckduckbot"},
+			UASample: "DuckDuckBot/1.1; (+http://duckduckgo.com/duckduckbot.html)",
+		},
+		{
+			Name: "Baiduspider", Sponsor: "Baidu", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"baiduspider"},
+			UASample: "Mozilla/5.0 (compatible; Baiduspider/2.0; +http://www.baidu.com/search/spider.html)",
+		},
+		{
+			Name: "YisouSpider", Sponsor: "Yisou", Category: CategorySearchEngineCrawler, Promise: PromiseUnknown,
+			Tokens:   []string{"yisouspider"},
+			UASample: "Mozilla/5.0 (Windows NT 10.0; WOW64) AppleWebKit/537.36 YisouSpider/5.0",
+		},
+		{
+			Name: "Coccoc", Sponsor: "Coc Coc", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"coccoc", "coccocbot"},
+			UASample: "Mozilla/5.0 (compatible; coccocbot-web/1.0; +http://help.coccoc.com/searchengine)",
+		},
+		{
+			Name: "PetalBot", Sponsor: "Huawei", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"petalbot"},
+			UASample: "Mozilla/5.0 (compatible; PetalBot;+https://webmaster.petalsearch.com/site/petalbot)",
+		},
+		{
+			Name: "SemanticScholarBot", Sponsor: "Allen AI", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"semanticscholarbot"},
+			UASample: "Mozilla/5.0 (compatible) SemanticScholarBot (+https://www.semanticscholar.org/crawler)",
+		},
+		{
+			Name: "SeznamBot", Sponsor: "Seznam.cz", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"seznambot"},
+			UASample: "Mozilla/5.0 (compatible; SeznamBot/4.0; +http://napoveda.seznam.cz/seznambot-intro/)",
+		},
+		{
+			Name: "Sogou web spider", Sponsor: "Sogou", Category: CategorySearchEngineCrawler, Promise: PromiseUnknown,
+			Tokens:   []string{"sogou web spider", "sogou"},
+			UASample: "Sogou web spider/4.0(+http://www.sogou.com/docs/help/webmasters.htm#07)",
+		},
+		{
+			Name: "360Spider", Sponsor: "Qihoo 360", Category: CategorySearchEngineCrawler, Promise: PromiseUnknown,
+			Tokens:   []string{"360spider"},
+			UASample: "Mozilla/5.0 (compatible; 360Spider/1.0; +http://www.so.com/help/help_3_2.html)",
+		},
+		{
+			Name: "Yeti", Sponsor: "Naver", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"yeti"},
+			UASample: "Mozilla/5.0 (compatible; Yeti/1.1; +http://naver.me/spd)",
+		},
+		{
+			Name: "MojeekBot", Sponsor: "Mojeek", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"mojeekbot"},
+			UASample: "Mozilla/5.0 (compatible; MojeekBot/0.11; +https://www.mojeek.com/bot.html)",
+		},
+		{
+			Name: "Qwantify", Sponsor: "Qwant", Category: CategorySearchEngineCrawler, Promise: PromiseYes,
+			Tokens:   []string{"qwantify"},
+			UASample: "Mozilla/5.0 (compatible; Qwantify/2.4w; +https://www.qwant.com/)",
+		},
+
+		// --- AI search crawlers ---
+		{
+			Name: "Applebot", Sponsor: "Apple", Category: CategoryAISearchCrawler, Promise: PromiseYes,
+			Tokens:   []string{"applebot"},
+			UASample: "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 (KHTML, like Gecko; compatible; Applebot/0.1; +http://www.apple.com/go/applebot)",
+		},
+		{
+			Name: "Amazonbot", Sponsor: "Amazon", Category: CategoryAISearchCrawler, Promise: PromiseYes,
+			Tokens:   []string{"amazonbot"},
+			UASample: "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10_1) AppleWebKit/600.2.5 (KHTML, like Gecko; compatible; Amazonbot/0.1; +https://developer.amazon.com/support/amazonbot)",
+		},
+		{
+			Name: "PerplexityBot", Sponsor: "Perplexity", Category: CategoryAISearchCrawler, Promise: PromiseNo,
+			Tokens:   []string{"perplexitybot"},
+			UASample: "Mozilla/5.0 (compatible; PerplexityBot/1.0; +https://perplexity.ai/perplexitybot)",
+		},
+		{
+			Name: "OAI-SearchBot", Sponsor: "OpenAI", Category: CategoryAISearchCrawler, Promise: PromiseYes,
+			Tokens:   []string{"oai-searchbot"},
+			UASample: "Mozilla/5.0 (compatible; OAI-SearchBot/1.0; +https://openai.com/searchbot)",
+		},
+		{
+			Name: "DuckAssistBot", Sponsor: "DuckDuckGo", Category: CategoryAISearchCrawler, Promise: PromiseYes,
+			Tokens:   []string{"duckassistbot"},
+			UASample: "Mozilla/5.0 (compatible; DuckAssistBot/1.0; +http://duckduckgo.com/duckassistbot.html)",
+		},
+
+		// --- AI data scrapers ---
+		{
+			Name: "GPTBot", Sponsor: "OpenAI", Category: CategoryAIDataScraper, Promise: PromiseYes,
+			Tokens:   []string{"gptbot"},
+			UASample: "Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko; compatible; GPTBot/1.2; +https://openai.com/gptbot)",
+		},
+		{
+			Name: "ClaudeBot", Sponsor: "Anthropic", Category: CategoryAIDataScraper, Promise: PromiseYes,
+			Tokens:   []string{"claudebot"},
+			UASample: "Mozilla/5.0 (compatible; ClaudeBot/1.0; +claudebot@anthropic.com)",
+		},
+		{
+			Name: "Bytespider", Sponsor: "ByteDance", Category: CategoryAIDataScraper, Promise: PromiseNo,
+			Tokens:   []string{"bytespider"},
+			UASample: "Mozilla/5.0 (Linux; Android 5.0) AppleWebKit/537.36 (KHTML, like Gecko) Mobile Safari/537.36 (compatible; Bytespider; spider-feedback@bytedance.com)",
+		},
+		{
+			Name: "CCBot", Sponsor: "Common Crawl", Category: CategoryAIDataScraper, Promise: PromiseYes,
+			Tokens:   []string{"ccbot"},
+			UASample: "CCBot/2.0 (https://commoncrawl.org/faq/)",
+		},
+		{
+			Name: "meta-externalagent", Sponsor: "Meta", Category: CategoryAIDataScraper, Promise: PromiseYes,
+			Tokens:   []string{"meta-externalagent"},
+			UASample: "meta-externalagent/1.1 (+https://developers.facebook.com/docs/sharing/webmasters/crawler)",
+		},
+		{
+			Name: "Diffbot", Sponsor: "Diffbot", Category: CategoryAIDataScraper, Promise: PromiseNo,
+			Tokens:   []string{"diffbot"},
+			UASample: "Mozilla/5.0 (compatible; Diffbot/0.1; +http://www.diffbot.com)",
+		},
+		{
+			Name: "cohere-ai", Sponsor: "Cohere", Category: CategoryAIDataScraper, Promise: PromiseUnknown,
+			Tokens:   []string{"cohere-ai"},
+			UASample: "cohere-ai/1.0",
+		},
+		{
+			Name: "AI2Bot", Sponsor: "Allen AI", Category: CategoryAIDataScraper, Promise: PromiseYes,
+			Tokens:   []string{"ai2bot"},
+			UASample: "Mozilla/5.0 (compatible) AI2Bot (+https://www.allenai.org/crawler)",
+		},
+		{
+			Name: "omgili", Sponsor: "Webz.io", Category: CategoryAIDataScraper, Promise: PromiseYes,
+			Tokens:   []string{"omgili", "omgilibot"},
+			UASample: "omgili/0.5 +http://omgili.com",
+		},
+
+		// --- AI assistants ---
+		{
+			Name: "ChatGPT-User", Sponsor: "OpenAI", Category: CategoryAIAssistant, Promise: PromiseYes,
+			Tokens:   []string{"chatgpt-user"},
+			UASample: "Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko); compatible; ChatGPT-User/1.0; +https://openai.com/bot",
+		},
+		{
+			Name: "Claude-Web", Sponsor: "Anthropic", Category: CategoryAIAssistant, Promise: PromiseYes,
+			Tokens:   []string{"claude-web"},
+			UASample: "Mozilla/5.0 (compatible; Claude-Web/1.0; +claude-web@anthropic.com)",
+		},
+		{
+			Name: "Perplexity-User", Sponsor: "Perplexity", Category: CategoryAIAssistant, Promise: PromiseNo,
+			Tokens:   []string{"perplexity-user"},
+			UASample: "Mozilla/5.0 (compatible; Perplexity-User/1.0; +https://perplexity.ai/perplexity-user)",
+		},
+		{
+			Name: "Meta-ExternalFetcher", Sponsor: "Meta", Category: CategoryAIAssistant, Promise: PromiseNo,
+			Tokens:   []string{"meta-externalfetcher"},
+			UASample: "meta-externalfetcher/1.1 (+https://developers.facebook.com/docs/sharing/webmasters/crawler)",
+		},
+
+		// --- AI agents ---
+		{
+			Name: "OpenAI-Operator", Sponsor: "OpenAI", Category: CategoryAIAgent, Promise: PromiseUnknown,
+			Tokens:   []string{"operator"},
+			UASample: "Mozilla/5.0 (compatible; Operator/1.0; +https://openai.com/operator)",
+		},
+		{
+			Name: "Google-CloudVertexBot", Sponsor: "Google", Category: CategoryAIAgent, Promise: PromiseYes,
+			Tokens:   []string{"google-cloudvertexbot"},
+			UASample: "Google-CloudVertexBot/1.0",
+		},
+
+		// --- Undocumented AI agents ---
+		{
+			Name: "Kangaroo Bot", Sponsor: "Unknown", Category: CategoryUndocumentedAIAgent, Promise: PromiseUnknown,
+			Tokens:   []string{"kangaroo bot", "kangaroobot"},
+			UASample: "Mozilla/5.0 (compatible; Kangaroo Bot/1.0)",
+		},
+		{
+			Name: "Sidetrade indexer bot", Sponsor: "Sidetrade", Category: CategoryUndocumentedAIAgent, Promise: PromiseUnknown,
+			Tokens:   []string{"sidetrade indexer bot", "sidetrade"},
+			UASample: "Mozilla/5.0 (compatible; Sidetrade indexer bot)",
+		},
+
+		// --- SEO crawlers ---
+		{
+			Name: "AhrefsBot", Sponsor: "Ahrefs", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"ahrefsbot"},
+			UASample: "Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)",
+		},
+		{
+			Name: "SemrushBot", Sponsor: "Semrush", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"semrushbot"},
+			UASample: "Mozilla/5.0 (compatible; SemrushBot/7~bl; +http://www.semrush.com/bot.html)",
+		},
+		{
+			Name: "Dotbot", Sponsor: "Moz", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"dotbot"},
+			UASample: "Mozilla/5.0 (compatible; DotBot/1.2; +https://opensiteexplorer.org/dotbot; help@moz.com)",
+		},
+		{
+			Name: "BrightEdge Crawler", Sponsor: "BrightEdge", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"brightedge crawler", "brightedge"},
+			UASample: "Mozilla/5.0 (compatible; BrightEdge Crawler/1.0; crawler@brightedge.com)",
+		},
+		{
+			Name: "DataForSEOBot", Sponsor: "DataForSEO", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"dataforseobot"},
+			UASample: "Mozilla/5.0 (compatible; DataForSeoBot/1.0; +https://dataforseo.com/dataforseo-bot)",
+		},
+		{
+			Name: "MJ12bot", Sponsor: "Majestic", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"mj12bot"},
+			UASample: "Mozilla/5.0 (compatible; MJ12bot/v1.4.8; http://mj12bot.com/)",
+		},
+		{
+			Name: "serpstatbot", Sponsor: "Serpstat", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"serpstatbot"},
+			UASample: "serpstatbot/2.1 (advanced backlink tracking bot; https://serpstatbot.com/)",
+		},
+		{
+			Name: "Barkrowler", Sponsor: "Babbar", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"barkrowler"},
+			UASample: "Mozilla/5.0 (compatible; Barkrowler/0.9; +https://babbar.tech/crawler)",
+		},
+		{
+			Name: "SEOkicks", Sponsor: "SEOkicks", Category: CategorySEOCrawler, Promise: PromiseYes,
+			Tokens:   []string{"seokicks"},
+			UASample: "Mozilla/5.0 (compatible; SEOkicks; +https://www.seokicks.de/robot.html)",
+		},
+
+		// --- Archivers ---
+		{
+			Name: "ia_archiver", Sponsor: "Internet Archive", Category: CategoryArchiver, Promise: PromiseYes,
+			Tokens:   []string{"ia_archiver"},
+			UASample: "ia_archiver (+http://www.alexa.com/site/help/webmasters; crawler@alexa.com)",
+		},
+		{
+			Name: "archive.org_bot", Sponsor: "Internet Archive", Category: CategoryArchiver, Promise: PromiseYes,
+			Tokens:   []string{"archive.org_bot"},
+			UASample: "Mozilla/5.0 (compatible; archive.org_bot +http://archive.org/details/archive.org_bot)",
+		},
+		{
+			Name: "heritrix", Sponsor: "Internet Archive", Category: CategoryArchiver, Promise: PromiseYes,
+			Tokens:   []string{"heritrix"},
+			UASample: "Mozilla/5.0 (compatible; heritrix/3.4.0 +http://archive.org)",
+		},
+		{
+			Name: "Arquivo-web-crawler", Sponsor: "Arquivo.pt", Category: CategoryArchiver, Promise: PromiseYes,
+			Tokens:   []string{"arquivo-web-crawler"},
+			UASample: "Arquivo-web-crawler (compatible; heritrix/3.4.0; +http://arquivo.pt)",
+		},
+
+		// --- Fetchers (previews / unfurlers) ---
+		{
+			Name: "facebookexternalhit", Sponsor: "Meta", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"facebookexternalhit"},
+			UASample: "facebookexternalhit/1.1 (+http://www.facebook.com/externalhit_uatext.php)",
+		},
+		{
+			Name: "Twitterbot", Sponsor: "X", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"twitterbot"},
+			UASample: "Twitterbot/1.0",
+		},
+		{
+			Name: "Slack-ImgProxy", Sponsor: "Salesforce", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"slack-imgproxy"},
+			UASample: "Slack-ImgProxy (+https://api.slack.com/robots)",
+		},
+		{
+			Name: "Slackbot-LinkExpanding", Sponsor: "Salesforce", Category: CategoryFetcher, Promise: PromiseYes,
+			Tokens:   []string{"slackbot-linkexpanding", "slackbot"},
+			UASample: "Slackbot-LinkExpanding 1.0 (+https://api.slack.com/robots)",
+		},
+		{
+			Name: "SkypeUriPreview", Sponsor: "Microsoft", Category: CategoryFetcher, Promise: PromiseYes,
+			Tokens:   []string{"skypeuripreview"},
+			UASample: "Mozilla/5.0 (Windows NT 6.1; WOW64) SkypeUriPreview Preview/0.5",
+		},
+		{
+			Name: "Discordbot", Sponsor: "Discord", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"discordbot"},
+			UASample: "Mozilla/5.0 (compatible; Discordbot/2.0; +https://discordapp.com)",
+		},
+		{
+			Name: "TelegramBot", Sponsor: "Telegram", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"telegrambot"},
+			UASample: "TelegramBot (like TwitterBot)",
+		},
+		{
+			Name: "WhatsApp", Sponsor: "Meta", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"whatsapp"},
+			UASample: "WhatsApp/2.23.20.0",
+		},
+		{
+			Name: "LinkedInBot", Sponsor: "Microsoft", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"linkedinbot"},
+			UASample: "LinkedInBot/1.0 (compatible; Mozilla/5.0; +https://www.linkedin.com)",
+		},
+		{
+			Name: "Pinterestbot", Sponsor: "Pinterest", Category: CategoryFetcher, Promise: PromiseYes,
+			Tokens:   []string{"pinterestbot", "pinterest"},
+			UASample: "Mozilla/5.0 (compatible; Pinterestbot/1.0; +https://www.pinterest.com/bot.html)",
+		},
+		{
+			Name: "redditbot", Sponsor: "Reddit", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"redditbot"},
+			UASample: "Mozilla/5.0 (compatible; redditbot/1.0; +http://www.reddit.com/feedback)",
+		},
+		{
+			Name: "Embedly", Sponsor: "Embedly", Category: CategoryFetcher, Promise: PromiseYes,
+			Tokens:   []string{"embedly"},
+			UASample: "Mozilla/5.0 (compatible; Embedly/0.2; +http://support.embed.ly/)",
+		},
+		{
+			Name: "Snap URL Preview Service", Sponsor: "Snap", Category: CategoryFetcher, Promise: PromiseNo,
+			Tokens:   []string{"snap url preview service", "snapchat"},
+			UASample: "Mozilla/5.0 (compatible; Snap URL Preview Service; bot@snap.com)",
+		},
+		{
+			Name: "MicrosoftPreview", Sponsor: "Microsoft", Category: CategoryUncategorized, Promise: PromiseYes,
+			Tokens:   []string{"microsoftpreview", "microsoft-preview"},
+			UASample: "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 MicrosoftPreview/2.0",
+		},
+		{
+			Name: "Iframely", Sponsor: "Itteco", Category: CategoryUncategorized, Promise: PromiseYes,
+			Tokens:   []string{"iframely"},
+			UASample: "Iframely/1.3.1 (+https://iframely.com/docs/about)",
+		},
+
+		// --- Intelligence gatherers ---
+		{
+			Name: "turnitinbot", Sponsor: "Turnitin", Category: CategoryIntelligenceGatherer, Promise: PromiseYes,
+			Tokens:   []string{"turnitinbot"},
+			UASample: "TurnitinBot/3.0 (http://www.turnitin.com/robot/crawlerinfo.html)",
+		},
+		{
+			Name: "NetcraftSurveyAgent", Sponsor: "Netcraft", Category: CategoryIntelligenceGatherer, Promise: PromiseYes,
+			Tokens:   []string{"netcraftsurveyagent"},
+			UASample: "Mozilla/5.0 (compatible; NetcraftSurveyAgent/1.0; +info@netcraft.com)",
+		},
+		{
+			Name: "DomainStatsBot", Sponsor: "DomainStats", Category: CategoryIntelligenceGatherer, Promise: PromiseYes,
+			Tokens:   []string{"domainstatsbot"},
+			UASample: "DomainStatsBot/1.0 (https://domainstats.com/pages/our-bot)",
+		},
+		{
+			Name: "Expanse", Sponsor: "Palo Alto Networks", Category: CategoryIntelligenceGatherer, Promise: PromiseNo,
+			Tokens:   []string{"expanse"},
+			UASample: "Expanse, a Palo Alto Networks company, searches across the global IPv4 space",
+		},
+		{
+			Name: "InternetMeasurement", Sponsor: "driftnet.io", Category: CategoryIntelligenceGatherer, Promise: PromiseUnknown,
+			Tokens:   []string{"internetmeasurement"},
+			UASample: "Mozilla/5.0 (compatible; InternetMeasurement/1.0; +https://internet-measurement.com/)",
+		},
+		{
+			Name: "AcademicBotRTU", Sponsor: "Riga Technical", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"academicbotrtu"},
+			UASample: "AcademicBotRTU/1.0 (+https://academicbot.rtu.lv)",
+		},
+
+		// --- Scrapers ---
+		{
+			Name: "Scrapy", Sponsor: "Open Source", Category: CategoryScraper, Promise: PromiseYes,
+			Tokens:   []string{"scrapy"},
+			UASample: "Scrapy/2.11.0 (+https://scrapy.org)",
+		},
+		{
+			Name: "colly", Sponsor: "Open Source", Category: CategoryScraper, Promise: PromiseYes,
+			Tokens:   []string{"colly"},
+			UASample: "colly - https://github.com/gocolly/colly",
+		},
+		{
+			Name: "HTTrack", Sponsor: "Open Source", Category: CategoryScraper, Promise: PromiseYes,
+			Tokens:   []string{"httrack"},
+			UASample: "Mozilla/4.5 (compatible; HTTrack 3.0x; Windows 98)",
+		},
+		{
+			Name: "Wget", Sponsor: "Open Source", Category: CategoryScraper, Promise: PromiseYes,
+			Tokens:   []string{"wget"},
+			UASample: "Wget/1.21.3",
+		},
+		{
+			Name: "curl", Sponsor: "Open Source", Category: CategoryScraper, Promise: PromiseNo,
+			Tokens:   []string{"curl"},
+			UASample: "curl/8.4.0",
+		},
+
+		// --- Headless browsers ---
+		{
+			Name: "HeadlessChrome", Sponsor: "Open Source", Category: CategoryHeadlessBrowser, Promise: PromiseUnknown,
+			Tokens:   []string{"headlesschrome"},
+			UASample: "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) HeadlessChrome/120.0.0.0 Safari/537.36",
+		},
+		{
+			Name: "PhantomJS", Sponsor: "Open Source", Category: CategoryHeadlessBrowser, Promise: PromiseUnknown,
+			Tokens:   []string{"phantomjs"},
+			UASample: "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/534.34 (KHTML, like Gecko) PhantomJS/2.1.1 Safari/534.34",
+		},
+		{
+			Name: "Puppeteer", Sponsor: "Open Source", Category: CategoryHeadlessBrowser, Promise: PromiseUnknown,
+			Tokens:   []string{"puppeteer"},
+			UASample: "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 Puppeteer/21.0",
+		},
+		{
+			Name: "Playwright", Sponsor: "Microsoft", Category: CategoryHeadlessBrowser, Promise: PromiseUnknown,
+			Tokens:   []string{"playwright"},
+			UASample: "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 Playwright/1.40",
+		},
+
+		// --- Developer helpers ---
+		{
+			Name: "PostmanRuntime", Sponsor: "Postman", Category: CategoryDeveloperHelper, Promise: PromiseUnknown,
+			Tokens:   []string{"postmanruntime"},
+			UASample: "PostmanRuntime/7.36.0",
+		},
+		{
+			Name: "insomnia", Sponsor: "Kong", Category: CategoryDeveloperHelper, Promise: PromiseUnknown,
+			Tokens:   []string{"insomnia"},
+			UASample: "insomnia/8.4.5",
+		},
+		{
+			Name: "GitHub-Hookshot", Sponsor: "GitHub", Category: CategoryDeveloperHelper, Promise: PromiseUnknown,
+			Tokens:   []string{"github-hookshot"},
+			UASample: "GitHub-Hookshot/8d33975",
+		},
+
+		// --- HTTP client libraries ("Other" in the paper) ---
+		{
+			Name: "Python-requests", Sponsor: "Open Source", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"python-requests"},
+			UASample: "python-requests/2.31.0",
+		},
+		{
+			Name: "Go-http-client", Sponsor: "Open Source", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"go-http-client"},
+			UASample: "Go-http-client/2.0",
+		},
+		{
+			Name: "Apache-HttpClient", Sponsor: "Apache", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"apache-httpclient"},
+			UASample: "Apache-HttpClient/4.5.14 (Java/17.0.8)",
+		},
+		{
+			Name: "Axios", Sponsor: "Open Source", Category: CategoryUncategorized, Promise: PromiseNo,
+			Tokens:   []string{"axios"},
+			UASample: "axios/1.6.2",
+		},
+		{
+			Name: "okhttp", Sponsor: "Open Source", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"okhttp"},
+			UASample: "okhttp/4.12.0",
+		},
+		{
+			Name: "aiohttp", Sponsor: "Open Source", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"aiohttp"},
+			UASample: "Python/3.11 aiohttp/3.9.1",
+		},
+		{
+			Name: "libwww-perl", Sponsor: "Open Source", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"libwww-perl"},
+			UASample: "libwww-perl/6.72",
+		},
+		{
+			Name: "Java", Sponsor: "Open Source", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"java"},
+			UASample: "Java/17.0.8",
+		},
+		{
+			Name: "node-fetch", Sponsor: "Open Source", Category: CategoryUncategorized, Promise: PromiseUnknown,
+			Tokens:   []string{"node-fetch"},
+			UASample: "node-fetch/1.0 (+https://github.com/bitinn/node-fetch)",
+		},
+	}
+}

@@ -1,0 +1,128 @@
+package asn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultRegistryCoversPaperHandles(t *testing.T) {
+	// Every AS handle appearing in Table 8 of the paper must resolve.
+	handles := []string{
+		"GOOGLE", "GOOGLE-CLOUD-PLATFORM", "DMZHOST", "OVH", "AHREFS-AS-AP",
+		"AMAZON-AES", "AMAZON-02", "CONTABO", "DIGITALOCEAN-ASN",
+		"CHINA169-Backbone", "CHINAMOBILE-CN", "CHINANET-BACKBONE",
+		"CHINANET-IDC-BJ-AP", "CHINATELECOM-JIANGSU-NANJING-IDC",
+		"CHINATELECOM-ZHEJIANG-WENZHOU-IDC", "HINET",
+		"MICROSOFT-CORP-MSN-AS-BLOCK", "Clouvider", "HOL-GR",
+		"MICROSOFT-CORP-AS", "ORG-TNL2-AFRINIC", "ORG-VNL1-AFRINIC",
+		"DIGITALOCEAN-ASN31", "INTERQ31", "FACEBOOK", "KAKAO-AS-KR-KR51",
+		"BORUSANTELEKOM-AS", "52468", "ASN-SATELLITE", "ASN270353",
+		"CDNEXT", "DATACLUB", "HWCLOUDS-AS-AP", "IT7NET",
+		"LIMESTONENETWORKS", "M247", "ORG-RTL1-AFRINIC", "P4NET",
+		"PROSPERO-AS", "RELIABLESITE", "RELIANCEJIO-IN", "ROSTELECOM-AS",
+		"ROUTERHOSTING", "TENCENT-NET-AP", "Telefonica_de_Espana", "VCG-AS",
+		"TWITTER", "Telegram", "YANDEX",
+	}
+	r := Default()
+	for _, h := range handles {
+		if _, ok := r.ByHandle(h); !ok {
+			t.Errorf("handle %q missing from registry", h)
+		}
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	r := Default()
+	a, ok1 := r.ByHandle("google")
+	b, ok2 := r.ByHandle("GOOGLE")
+	if !ok1 || !ok2 || a != b {
+		t.Error("handle lookup must be case-insensitive")
+	}
+}
+
+func TestByNumber(t *testing.T) {
+	r := Default()
+	rec, ok := r.ByNumber(15169)
+	if !ok || rec.Handle != "GOOGLE" {
+		t.Errorf("AS15169 = %v,%v", rec, ok)
+	}
+	if _, ok := r.ByNumber(4294967295); ok {
+		t.Error("absurd AS number should not resolve")
+	}
+}
+
+func TestWhoisKnown(t *testing.T) {
+	rec := Default().Whois("FACEBOOK")
+	if rec.Org != "Meta Platforms, Inc." {
+		t.Errorf("whois FACEBOOK org = %q", rec.Org)
+	}
+}
+
+func TestWhoisUnknownSynthesizes(t *testing.T) {
+	r := Default()
+	rec := r.Whois("TOTALLY-NEW-NET")
+	if rec.Handle != "TOTALLY-NEW-NET" {
+		t.Errorf("synthetic handle = %q", rec.Handle)
+	}
+	if rec.Number < 4200000000 {
+		t.Errorf("synthetic number %d outside private-use range", rec.Number)
+	}
+	if !strings.Contains(rec.Org, "UNKNOWN-ORG") {
+		t.Errorf("synthetic org = %q", rec.Org)
+	}
+	// Determinism: same handle, same record.
+	if again := r.Whois("TOTALLY-NEW-NET"); again != rec {
+		t.Error("whois synthesis must be deterministic")
+	}
+}
+
+func TestHandlesSorted(t *testing.T) {
+	hs := Default().Handles()
+	if len(hs) < 60 {
+		t.Fatalf("registry too small: %d handles", len(hs))
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i-1] >= hs[i] {
+			t.Fatalf("handles not sorted at %d: %q >= %q", i, hs[i-1], hs[i])
+		}
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	rec, _ := Default().ByHandle("GOOGLE")
+	s := rec.String()
+	for _, want := range []string{"AS15169", "GOOGLE", "Google LLC", "ARIN"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("record string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestQuickSyntheticNumberStable(t *testing.T) {
+	f := func(h string) bool {
+		return syntheticNumber(h) == syntheticNumber(h) &&
+			syntheticNumber(h) >= 4200000000 &&
+			syntheticNumber(h) < 4294967294
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloudFlagPartition(t *testing.T) {
+	// Dominant crawler origins must be cloud; classic eyeballs must not.
+	r := Default()
+	cloud := []string{"GOOGLE", "AMAZON-02", "MICROSOFT-CORP-MSN-AS-BLOCK", "OVH"}
+	eyeball := []string{"COMCAST-7922", "HINET", "ROSTELECOM-AS", "DTAG"}
+	for _, h := range cloud {
+		if rec, _ := r.ByHandle(h); !rec.Cloud {
+			t.Errorf("%s should be marked cloud", h)
+		}
+	}
+	for _, h := range eyeball {
+		if rec, _ := r.ByHandle(h); rec.Cloud {
+			t.Errorf("%s should not be marked cloud", h)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package asn
+
+// builtinRecords returns the embedded AS database. It includes every handle
+// the paper's Table 8 names (both dominant and suspicious ASNs), the
+// networks bot operators actually crawl from, and a spread of eyeball and
+// hosting networks used by the traffic synthesizer for anonymous visitors.
+// AS numbers are the real-world ones where well known.
+func builtinRecords() []Record {
+	return []Record{
+		// Big-tech crawler origins.
+		{Number: 15169, Handle: "GOOGLE", Org: "Google LLC", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 396982, Handle: "GOOGLE-CLOUD-PLATFORM", Org: "Google LLC", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 8075, Handle: "MICROSOFT-CORP-MSN-AS-BLOCK", Org: "Microsoft Corporation", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 8068, Handle: "MICROSOFT-CORP-AS", Org: "Microsoft Corporation", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 16509, Handle: "AMAZON-02", Org: "Amazon.com, Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 14618, Handle: "AMAZON-AES", Org: "Amazon.com, Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 32934, Handle: "FACEBOOK", Org: "Meta Platforms, Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 13414, Handle: "TWITTER", Org: "X Corp.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 13238, Handle: "YANDEX", Org: "Yandex LLC", Country: "RU", RIR: "RIPE", Cloud: true},
+		{Number: 714, Handle: "APPLE-ENGINEERING", Org: "Apple Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 55967, Handle: "BAIDU", Org: "Beijing Baidu Netcom", Country: "CN", RIR: "APNIC", Cloud: true},
+		{Number: 137718, Handle: "BYTEDANCE", Org: "ByteDance Ltd.", Country: "CN", RIR: "APNIC", Cloud: true},
+		{Number: 62713, Handle: "AHREFS-AS-AP", Org: "Ahrefs Pte Ltd", Country: "SG", RIR: "APNIC", Cloud: true},
+		{Number: 209242, Handle: "CLOUDFLARE-LON", Org: "Cloudflare, Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 13335, Handle: "CLOUDFLARENET", Org: "Cloudflare, Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 36647, Handle: "YAHOO-GQ1", Org: "Yahoo Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 24429, Handle: "ALIBABA-CN-NET", Org: "Alibaba (US) Technology", Country: "CN", RIR: "APNIC", Cloud: true},
+		{Number: 45102, Handle: "ALIBABA-US", Org: "Alibaba Cloud", Country: "CN", RIR: "APNIC", Cloud: true},
+		{Number: 132203, Handle: "TENCENT-NET-AP", Org: "Tencent Building", Country: "CN", RIR: "APNIC", Cloud: true},
+		{Number: 136907, Handle: "HWCLOUDS-AS-AP", Org: "Huawei Clouds", Country: "CN", RIR: "APNIC", Cloud: true},
+		{Number: 14907, Handle: "WIKIMEDIA", Org: "Wikimedia Foundation", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 7224, Handle: "AMAZON-ASN", Org: "Amazon.com, Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 205100, Handle: "SEZNAM-CZ", Org: "Seznam.cz, a.s.", Country: "CZ", RIR: "RIPE", Cloud: true},
+		{Number: 23724, Handle: "CHINANET-IDC-BJ-AP", Org: "China Telecom (Beijing IDC)", Country: "CN", RIR: "APNIC", Cloud: true},
+
+		// Hosting providers (plausible scraper homes, also spoof origins).
+		{Number: 16276, Handle: "OVH", Org: "OVH SAS", Country: "FR", RIR: "RIPE", Cloud: true},
+		{Number: 14061, Handle: "DIGITALOCEAN-ASN", Org: "DigitalOcean, LLC", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 205301, Handle: "DIGITALOCEAN-ASN31", Org: "DigitalOcean, LLC", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 51167, Handle: "CONTABO", Org: "Contabo GmbH", Country: "DE", RIR: "RIPE", Cloud: true},
+		{Number: 24940, Handle: "HETZNER-AS", Org: "Hetzner Online GmbH", Country: "DE", RIR: "RIPE", Cloud: true},
+		{Number: 63949, Handle: "LINODE-AP", Org: "Akamai Connected Cloud", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 9009, Handle: "M247", Org: "M247 Europe SRL", Country: "RO", RIR: "RIPE", Cloud: true},
+		{Number: 62240, Handle: "CLOUVIDER", Org: "Clouvider Limited", Country: "GB", RIR: "RIPE", Cloud: true},
+		{Number: 46261, Handle: "QUICKPACKET", Org: "QuickPacket, LLC", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 25820, Handle: "IT7NET", Org: "IT7 Networks Inc", Country: "CA", RIR: "ARIN", Cloud: true},
+		{Number: 46475, Handle: "LIMESTONENETWORKS", Org: "Limestone Networks, Inc.", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 23470, Handle: "RELIABLESITE", Org: "ReliableSite.Net LLC", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 52423, Handle: "DATACLUB", Org: "Data Club SIA", Country: "LV", RIR: "RIPE", Cloud: true},
+		{Number: 64437, Handle: "ROUTERHOSTING", Org: "Cloudzy (RouterHosting)", Country: "US", RIR: "ARIN", Cloud: true},
+		{Number: 212238, Handle: "CDNEXT", Org: "Datacamp Limited", Country: "GB", RIR: "RIPE", Cloud: true},
+		{Number: 35916, Handle: "PROSPERO-AS", Org: "Prospero Ooo", Country: "RU", RIR: "RIPE", Cloud: true},
+		{Number: 44477, Handle: "DMZHOST", Org: "DMZHOST Limited", Country: "GB", RIR: "RIPE", Cloud: true},
+		{Number: 198610, Handle: "INTERQ31", Org: "GMO Internet Group", Country: "JP", RIR: "APNIC", Cloud: true},
+		{Number: 44066, Handle: "P4NET", Org: "P4net Ltd", Country: "PL", RIR: "RIPE", Cloud: true},
+		{Number: 39287, Handle: "ASN-SATELLITE", Org: "Satellite S.A.", Country: "GR", RIR: "RIPE", Cloud: true},
+		{Number: 270353, Handle: "ASN270353", Org: "Provedor Latam", Country: "BR", RIR: "LACNIC", Cloud: true},
+		{Number: 52468, Handle: "52468", Org: "UFINET PANAMA S.A.", Country: "PA", RIR: "LACNIC", Cloud: true},
+		{Number: 61138, Handle: "VCG-AS", Org: "Zenlayer Inc (VCG)", Country: "US", RIR: "ARIN", Cloud: true},
+
+		// Telecom / eyeball networks (suspicious spoof origins in Table 8).
+		{Number: 4837, Handle: "CHINA169-BACKBONE", Org: "China Unicom Backbone", Country: "CN", RIR: "APNIC"},
+		{Number: 9808, Handle: "CHINAMOBILE-CN", Org: "China Mobile Communications", Country: "CN", RIR: "APNIC"},
+		{Number: 4134, Handle: "CHINANET-BACKBONE", Org: "Chinanet", Country: "CN", RIR: "APNIC"},
+		{Number: 23650, Handle: "CHINATELECOM-JIANGSU-NANJING-IDC", Org: "China Telecom Jiangsu", Country: "CN", RIR: "APNIC", Cloud: true},
+		{Number: 58461, Handle: "CHINATELECOM-ZHEJIANG-WENZHOU-IDC", Org: "China Telecom Zhejiang", Country: "CN", RIR: "APNIC", Cloud: true},
+		{Number: 3462, Handle: "HINET", Org: "Chunghwa Telecom", Country: "TW", RIR: "APNIC"},
+		{Number: 12713, Handle: "OTEGLOBE", Org: "OTEGlobe", Country: "GR", RIR: "RIPE"},
+		{Number: 1241, Handle: "HOL-GR", Org: "Hellas Online", Country: "GR", RIR: "RIPE"},
+		{Number: 12389, Handle: "ROSTELECOM-AS", Org: "PJSC Rostelecom", Country: "RU", RIR: "RIPE"},
+		{Number: 55836, Handle: "RELIANCEJIO-IN", Org: "Reliance Jio Infocomm", Country: "IN", RIR: "APNIC"},
+		{Number: 3352, Handle: "TELEFONICA_DE_ESPANA", Org: "Telefonica de Espana", Country: "ES", RIR: "RIPE"},
+		{Number: 34984, Handle: "BORUSANTELEKOM-AS", Org: "Borusan Telekom", Country: "TR", RIR: "RIPE"},
+		{Number: 62041, Handle: "TELEGRAM", Org: "Telegram Messenger Inc", Country: "GB", RIR: "RIPE", Cloud: true},
+		{Number: 4766, Handle: "KAKAO-AS-KR-KR51", Org: "Kakao Corp", Country: "KR", RIR: "APNIC", Cloud: true},
+		{Number: 37963, Handle: "ORG-TNL2-AFRINIC", Org: "Tunisie Telecom (AFRINIC)", Country: "TN", RIR: "AFRINIC"},
+		{Number: 36924, Handle: "ORG-VNL1-AFRINIC", Org: "Vodacom (AFRINIC)", Country: "ZA", RIR: "AFRINIC"},
+		{Number: 36873, Handle: "ORG-RTL1-AFRINIC", Org: "Raya Telecom (AFRINIC)", Country: "EG", RIR: "AFRINIC"},
+
+		// US eyeball networks used for anonymous browser traffic.
+		{Number: 7922, Handle: "COMCAST-7922", Org: "Comcast Cable", Country: "US", RIR: "ARIN"},
+		{Number: 701, Handle: "UUNET", Org: "Verizon Business", Country: "US", RIR: "ARIN"},
+		{Number: 7018, Handle: "ATT-INTERNET4", Org: "AT&T Services", Country: "US", RIR: "ARIN"},
+		{Number: 20115, Handle: "CHARTER-20115", Org: "Charter Communications", Country: "US", RIR: "ARIN"},
+		{Number: 209, Handle: "CENTURYLINK-US-LEGACY-QWEST", Org: "Lumen (CenturyLink)", Country: "US", RIR: "ARIN"},
+		{Number: 3320, Handle: "DTAG", Org: "Deutsche Telekom AG", Country: "DE", RIR: "RIPE"},
+		{Number: 2856, Handle: "BT-UK-AS", Org: "British Telecom", Country: "GB", RIR: "RIPE"},
+		{Number: 4713, Handle: "OCN", Org: "NTT Communications", Country: "JP", RIR: "APNIC"},
+		{Number: 9299, Handle: "IPG-AS-AP", Org: "Philippine Long Distance", Country: "PH", RIR: "APNIC"},
+		{Number: 45609, Handle: "BHARTI-MOBILITY-AS-AP", Org: "Bharti Airtel", Country: "IN", RIR: "APNIC"},
+	}
+}

@@ -1,0 +1,176 @@
+// Package botnet models the behaviour of the bot population the paper
+// observed. Where package agent answers "who is this user agent?", botnet
+// answers "how does this bot behave?": how much it crawls, how it paces
+// itself, whether and when it fetches robots.txt, how it reacts to each of
+// the paper's three experimental directives, and whether its user agent is
+// spoofed by third parties.
+//
+// Profiles are calibrated to the paper's published measurements — Table 3
+// (traffic volumes), Table 6 (per-bot per-directive compliance ratios),
+// Table 7 (robots.txt check behaviour per experiment), Table 8 (dominant
+// and spoofed ASNs) and Figure 10 (re-check cadence) — so that the
+// synthetic traffic they generate lets the analysis pipeline recover the
+// paper's results. This substitution (profile-driven synthesis for real
+// third-party crawlers) is recorded in DESIGN.md.
+package botnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/robots"
+)
+
+// Profile is the behavioural model of one bot.
+type Profile struct {
+	// Bot is the identity record from the agent registry.
+	Bot *agent.Bot
+
+	// DailyHits is the average number of page accesses per day on the
+	// study site (Table 3 total hits / 40 days for the top-20; estimated
+	// for the rest).
+	DailyHits float64
+	// BytesPerHit is the average response size the bot downloads.
+	BytesPerHit int64
+	// NumIPs is how many distinct source IPs the bot crawls from.
+	NumIPs int
+
+	// MainASN is the dominant origin network (>= 90% of traffic, Table 8).
+	MainASN string
+	// SpoofASNs lists networks from which third parties spoof this bot's
+	// user agent (Table 8's "possible spoofing ASNs").
+	SpoofASNs []string
+	// SpoofRate is the fraction of this UA's traffic that is spoofed
+	// (derived from §5.2's counts, e.g. Baiduspider 381/15132).
+	SpoofRate float64
+
+	// BaselineDelayCompliance is the natural fraction of inter-access gaps
+	// >= 30 s under the permissive baseline robots.txt (the paper's
+	// C_default, left columns of Figure 9).
+	BaselineDelayCompliance float64
+	// PageDataAffinity is the natural fraction of accesses landing on
+	// /page-data/* (the endpoint-metric baseline).
+	PageDataAffinity float64
+	// RobotsFetchFraction is the natural fraction of accesses that fetch
+	// robots.txt (the disallow-metric baseline).
+	RobotsFetchFraction float64
+
+	// DelayCompliance, EndpointCompliance and DisallowCompliance are the
+	// bot's reaction to the v1/v2/v3 directives — the three compliance
+	// columns of Table 6.
+	DelayCompliance    float64
+	EndpointCompliance float64
+	DisallowCompliance float64
+
+	// ChecksRobots says whether the bot fetches robots.txt at all during
+	// each deployment phase, indexed by robots.Version (Table 7's
+	// "Checked robots.txt" columns; base phase assumed true unless noted).
+	ChecksRobots [4]bool
+	// RecheckInterval is how often the bot re-fetches robots.txt once
+	// active (Figure 10); zero means it never re-checks.
+	RecheckInterval time.Duration
+}
+
+// Validate checks internal consistency; profile tables are data and
+// deserve the same scrutiny as code.
+func (p *Profile) Validate() error {
+	if p.Bot == nil {
+		return fmt.Errorf("botnet: profile without bot identity")
+	}
+	name := p.Bot.Name
+	if p.DailyHits <= 0 {
+		return fmt.Errorf("botnet: %s: DailyHits must be positive", name)
+	}
+	if p.BytesPerHit <= 0 {
+		return fmt.Errorf("botnet: %s: BytesPerHit must be positive", name)
+	}
+	if p.NumIPs <= 0 {
+		return fmt.Errorf("botnet: %s: NumIPs must be positive", name)
+	}
+	if p.MainASN == "" {
+		return fmt.Errorf("botnet: %s: MainASN required", name)
+	}
+	for _, v := range []struct {
+		label string
+		v     float64
+	}{
+		{"SpoofRate", p.SpoofRate},
+		{"BaselineDelayCompliance", p.BaselineDelayCompliance},
+		{"PageDataAffinity", p.PageDataAffinity},
+		{"RobotsFetchFraction", p.RobotsFetchFraction},
+		{"DelayCompliance", p.DelayCompliance},
+		{"EndpointCompliance", p.EndpointCompliance},
+		{"DisallowCompliance", p.DisallowCompliance},
+	} {
+		if v.v < 0 || v.v > 1 {
+			return fmt.Errorf("botnet: %s: %s = %v out of [0,1]", name, v.label, v.v)
+		}
+	}
+	if p.SpoofRate > 0 && len(p.SpoofASNs) == 0 {
+		return fmt.Errorf("botnet: %s: SpoofRate > 0 but no SpoofASNs", name)
+	}
+	return nil
+}
+
+// ChecksDuring reports whether the bot fetches robots.txt during the given
+// deployment phase.
+func (p *Profile) ChecksDuring(v robots.Version) bool {
+	if int(v) < 0 || int(v) >= len(p.ChecksRobots) {
+		return false
+	}
+	return p.ChecksRobots[v]
+}
+
+// IsExempt reports whether the bot is one of the eight SEO/search bots the
+// institution exempted from v2/v3 restrictions.
+func (p *Profile) IsExempt() bool {
+	for _, tok := range p.Bot.Tokens {
+		if robots.IsExemptSEOBot(tok) {
+			return true
+		}
+	}
+	return robots.IsExemptSEOBot(p.Bot.Name)
+}
+
+// Population is a set of profiles with registry-backed lookups.
+type Population struct {
+	Profiles []*Profile
+	byName   map[string]*Profile
+}
+
+// NewPopulation assembles a population and validates every profile.
+func NewPopulation(profiles []*Profile) (*Population, error) {
+	pop := &Population{byName: make(map[string]*Profile, len(profiles))}
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := pop.byName[p.Bot.Name]; dup {
+			return nil, fmt.Errorf("botnet: duplicate profile for %s", p.Bot.Name)
+		}
+		pop.Profiles = append(pop.Profiles, p)
+		pop.byName[p.Bot.Name] = p
+	}
+	return pop, nil
+}
+
+// ByName returns the profile for a bot name.
+func (pop *Population) ByName(name string) (*Profile, bool) {
+	p, ok := pop.byName[name]
+	return p, ok
+}
+
+// Len returns the number of profiles.
+func (pop *Population) Len() int { return len(pop.Profiles) }
+
+// InCategory returns profiles whose bot is in the given category.
+func (pop *Population) InCategory(c agent.Category) []*Profile {
+	var out []*Profile
+	for _, p := range pop.Profiles {
+		if p.Bot.Category == c {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package botnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/asn"
+	"repro/internal/robots"
+)
+
+func mustPopulation(t *testing.T) *Population {
+	t.Helper()
+	pop, err := DefaultPopulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestDefaultPopulationBuilds(t *testing.T) {
+	pop := mustPopulation(t)
+	if pop.Len() < 80 {
+		t.Errorf("population has %d profiles, want >= 80", pop.Len())
+	}
+}
+
+func TestEveryProfileValid(t *testing.T) {
+	for _, p := range mustPopulation(t).Profiles {
+		if err := p.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestEveryASNKnown(t *testing.T) {
+	// Profiles must only reference AS handles the asn registry can
+	// enrich; otherwise Table 8 reproduction would emit UNKNOWN-ORG rows.
+	reg := asn.Default()
+	for _, p := range mustPopulation(t).Profiles {
+		if _, ok := reg.ByHandle(p.MainASN); !ok {
+			t.Errorf("%s: main ASN %q unknown", p.Bot.Name, p.MainASN)
+		}
+		for _, h := range p.SpoofASNs {
+			if _, ok := reg.ByHandle(h); !ok {
+				t.Errorf("%s: spoof ASN %q unknown", p.Bot.Name, h)
+			}
+		}
+	}
+}
+
+func TestEveryCategoryPopulated(t *testing.T) {
+	pop := mustPopulation(t)
+	for _, c := range agent.Categories() {
+		if len(pop.InCategory(c)) == 0 {
+			t.Errorf("category %v has no profiles; Figures 2 and 10 would have holes", c)
+		}
+	}
+}
+
+func TestTable6ComplianceValues(t *testing.T) {
+	// Spot-check that Table 6's exact compliance triples are carried.
+	pop := mustPopulation(t)
+	cases := []struct {
+		name                      string
+		delay, endpoint, disallow float64
+	}{
+		{"GPTBot", 0.634, 0.305, 1.0},
+		{"ClaudeBot", 0.480, 1.0, 1.0},
+		{"Bytespider", 0.398, 0.0, 0.02},
+		{"Applebot", 0.841, 0.444, 0.043},
+		{"PerplexityBot", 0.933, 0.897, 0.202},
+		{"SemrushBot", 0.521, 0.986, 0.993},
+		{"ChatGPT-User", 0.910, 0.131, 1.0},
+		{"Amazonbot", 0.973, 1.0, 1.0},
+		{"HeadlessChrome", 0.036, 0.278, 0.011},
+	}
+	for _, c := range cases {
+		p, ok := pop.ByName(c.name)
+		if !ok {
+			t.Errorf("profile %s missing", c.name)
+			continue
+		}
+		if p.DelayCompliance != c.delay || p.EndpointCompliance != c.endpoint || p.DisallowCompliance != c.disallow {
+			t.Errorf("%s compliance = (%v,%v,%v), want (%v,%v,%v)", c.name,
+				p.DelayCompliance, p.EndpointCompliance, p.DisallowCompliance,
+				c.delay, c.endpoint, c.disallow)
+		}
+	}
+}
+
+func TestTable7CheckVectors(t *testing.T) {
+	pop := mustPopulation(t)
+	cases := []struct {
+		name                    string
+		crawl, endpoint, disall bool
+	}{
+		{"Apache-HttpClient", false, true, false},
+		{"Axios", false, false, false},
+		{"Baiduspider", false, false, false},
+		{"BrightEdge Crawler", false, false, false},
+		{"Bytespider", true, false, true},
+		{"DuckDuckBot", true, false, true},
+		{"Googlebot-Image", false, false, false},
+		{"Iframely", false, false, false},
+		{"MicrosoftPreview", false, false, false},
+		{"SkypeUriPreview", false, false, false},
+		{"Slack-ImgProxy", false, false, false},
+	}
+	for _, c := range cases {
+		p, ok := pop.ByName(c.name)
+		if !ok {
+			t.Errorf("profile %s missing", c.name)
+			continue
+		}
+		if p.ChecksDuring(robots.Version1) != c.crawl ||
+			p.ChecksDuring(robots.Version2) != c.endpoint ||
+			p.ChecksDuring(robots.Version3) != c.disall {
+			t.Errorf("%s check vector = %v, want crawl=%v endpoint=%v disallow=%v",
+				c.name, p.ChecksRobots, c.crawl, c.endpoint, c.disall)
+		}
+	}
+}
+
+func TestSpoofedBotsMatchTable8(t *testing.T) {
+	pop := mustPopulation(t)
+	spoofed := map[string]string{ // bot -> dominant ASN per Table 8
+		"AdsBot-Google":            "GOOGLE",
+		"AhrefsBot":                "OVH",
+		"Amazonbot":                "AMAZON-AES",
+		"Baiduspider":              "CHINA169-BACKBONE",
+		"bingbot":                  "MICROSOFT-CORP-MSN-AS-BLOCK",
+		"ClaudeBot":                "AMAZON-02",
+		"DuckDuckBot":              "MICROSOFT-CORP-MSN-AS-BLOCK",
+		"facebookexternalhit":      "FACEBOOK",
+		"GPTBot":                   "MICROSOFT-CORP-MSN-AS-BLOCK",
+		"Google Web Preview":       "GOOGLE",
+		"Googlebot-Image":          "GOOGLE",
+		"Googlebot":                "GOOGLE",
+		"meta-externalagent":       "FACEBOOK",
+		"SkypeUriPreview":          "MICROSOFT-CORP-MSN-AS-BLOCK",
+		"Snap URL Preview Service": "AMAZON-AES",
+		"Twitterbot":               "TWITTER",
+		"Yandexbot":                "YANDEX",
+	}
+	for name, wantASN := range spoofed {
+		p, ok := pop.ByName(name)
+		if !ok {
+			t.Errorf("profile %s missing", name)
+			continue
+		}
+		if p.MainASN != wantASN {
+			t.Errorf("%s main ASN = %s, want %s", name, p.MainASN, wantASN)
+		}
+		if p.SpoofRate <= 0 || len(p.SpoofASNs) == 0 {
+			t.Errorf("%s should have spoofing configured", name)
+		}
+	}
+}
+
+func TestGooglebotHasManySpoofASNs(t *testing.T) {
+	p, _ := mustPopulation(t).ByName("Googlebot")
+	if len(p.SpoofASNs) < 20 {
+		t.Errorf("Googlebot spoof ASNs = %d, Table 8 lists 22+", len(p.SpoofASNs))
+	}
+}
+
+func TestExemptBots(t *testing.T) {
+	pop := mustPopulation(t)
+	for _, name := range []string{"Googlebot", "bingbot", "Baiduspider", "DuckDuckBot", "Slurp", "Yandexbot", "DuckAssistBot", "ia_archiver"} {
+		p, ok := pop.ByName(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		if !p.IsExempt() {
+			t.Errorf("%s should be exempt", name)
+		}
+	}
+	if p, _ := pop.ByName("GPTBot"); p.IsExempt() {
+		t.Error("GPTBot must not be exempt")
+	}
+}
+
+func TestAIRecheckSlowerThanScrapers(t *testing.T) {
+	// Figure 10's headline: AI assistants and AI search crawlers re-check
+	// robots.txt the least; scrapers/archivers/intelligence gatherers
+	// re-check within ~12h.
+	pop := mustPopulation(t)
+	avg := func(c agent.Category) time.Duration {
+		ps := pop.InCategory(c)
+		var sum time.Duration
+		var n int
+		for _, p := range ps {
+			if p.RecheckInterval > 0 {
+				sum += p.RecheckInterval
+				n++
+			}
+		}
+		if n == 0 {
+			return 1 << 62 // "never" dominates
+		}
+		return sum / time.Duration(n)
+	}
+	fast := []agent.Category{agent.CategoryScraper, agent.CategoryArchiver, agent.CategoryIntelligenceGatherer}
+	slow := []agent.Category{agent.CategoryAIAssistant, agent.CategoryAISearchCrawler}
+	for _, f := range fast {
+		for _, s := range slow {
+			if avg(f) >= avg(s) {
+				t.Errorf("%v (%v) should re-check faster than %v (%v)", f, avg(f), s, avg(s))
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bot := &agent.Bot{Name: "X", Sponsor: "s", Category: agent.CategoryScraper, Tokens: []string{"x"}, UASample: "x/1"}
+	bad := []*Profile{
+		{Bot: nil},
+		{Bot: bot, DailyHits: 0, BytesPerHit: 1, NumIPs: 1, MainASN: "A"},
+		{Bot: bot, DailyHits: 1, BytesPerHit: 0, NumIPs: 1, MainASN: "A"},
+		{Bot: bot, DailyHits: 1, BytesPerHit: 1, NumIPs: 0, MainASN: "A"},
+		{Bot: bot, DailyHits: 1, BytesPerHit: 1, NumIPs: 1, MainASN: ""},
+		{Bot: bot, DailyHits: 1, BytesPerHit: 1, NumIPs: 1, MainASN: "A", DelayCompliance: 1.5},
+		{Bot: bot, DailyHits: 1, BytesPerHit: 1, NumIPs: 1, MainASN: "A", SpoofRate: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d validated", i)
+		}
+	}
+}
+
+func TestNewPopulationRejectsDuplicates(t *testing.T) {
+	bot := &agent.Bot{Name: "Dup", Sponsor: "s", Category: agent.CategoryScraper, Tokens: []string{"dup"}, UASample: "dup/1"}
+	p := &Profile{Bot: bot, DailyHits: 1, BytesPerHit: 1, NumIPs: 1, MainASN: "A"}
+	if _, err := NewPopulation([]*Profile{p, p}); err == nil {
+		t.Error("duplicate profiles must be rejected")
+	}
+}
+
+func TestBuildPopulationUnknownBot(t *testing.T) {
+	_, err := BuildPopulation(agent.NewRegistry(nil), []profileSpec{{name: "Ghost"}})
+	if err == nil {
+		t.Error("unknown bot name must error")
+	}
+}
+
+func TestChecksDuringOutOfRange(t *testing.T) {
+	p := &Profile{ChecksRobots: yes}
+	if p.ChecksDuring(robots.Version(9)) {
+		t.Error("out-of-range version must report false")
+	}
+}

@@ -1,0 +1,360 @@
+package botnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+)
+
+// profileSpec is the compact calibration row expanded into a Profile.
+// Rates are probabilities in [0,1]; hits is average accesses/day on the
+// study site; bph is bytes per hit; recheck is the robots.txt re-check
+// cadence in hours (0 = never re-checks).
+type profileSpec struct {
+	name      string
+	hits      float64
+	bph       int64
+	ips       int
+	mainASN   string
+	spoofASNs []string
+	spoofRate float64
+	baseDelay float64 // natural fraction of gaps >= 30 s (baseline)
+	affinity  float64 // natural /page-data/* fraction (baseline)
+	robotsFr  float64 // natural robots.txt fetch fraction (baseline)
+	delay     float64 // Table 6 crawl-delay compliance (under v1)
+	endpoint  float64 // Table 6 endpoint compliance (under v2)
+	disallow  float64 // Table 6 disallow compliance (under v3)
+	checks    [4]bool // fetches robots.txt during base/v1/v2/v3 (Table 7)
+	recheckH  float64
+}
+
+// yes is the default check vector: the bot fetches robots.txt in every
+// phase.
+var yes = [4]bool{true, true, true, true}
+
+// never marks bots that never fetch robots.txt in any phase.
+var never = [4]bool{false, false, false, false}
+
+// defaultSpecs is the calibrated population. Compliance triples for the 28
+// named bots come verbatim from Table 6; traffic volumes from Table 3;
+// check vectors from Table 7; ASN structure from Table 8; baseline rates
+// are set so the two-proportion z-test reproduces the significance signs
+// of Table 10. Bots outside the paper's tables carry category-typical
+// values so every Dark Visitors category is populated (Figures 2 and 10).
+var defaultSpecs = []profileSpec{
+	// --- Table 3 heavyweights ---
+	{name: "YisouSpider", hits: 3037, bph: 72700, ips: 240, mainASN: "ALIBABA-CN-NET",
+		baseDelay: 0.35, affinity: 0.05, robotsFr: 0.02, delay: 0.38, endpoint: 0.10, disallow: 0.05, checks: yes, recheckH: 48},
+	{name: "Applebot", hits: 2956, bph: 1900, ips: 120, mainASN: "APPLE-ENGINEERING",
+		baseDelay: 0.85, affinity: 0.46, robotsFr: 0.045, delay: 0.841, endpoint: 0.444, disallow: 0.043, checks: yes, recheckH: 400},
+	{name: "Baiduspider", hits: 378, bph: 3500, ips: 60, mainASN: "CHINA169-BACKBONE",
+		spoofASNs: []string{"CHINAMOBILE-CN", "CHINANET-BACKBONE", "CHINANET-IDC-BJ-AP", "CHINATELECOM-JIANGSU-NANJING-IDC", "CHINATELECOM-ZHEJIANG-WENZHOU-IDC", "HINET"},
+		spoofRate: 0.025, baseDelay: 0.97, affinity: 0.40, robotsFr: 0.01, delay: 1.0, endpoint: 0.51, disallow: 0.0,
+		checks: never, recheckH: 72},
+	{name: "bingbot", hits: 322, bph: 65000, ips: 80, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		spoofASNs: []string{"CLOUVIDER", "HOL-GR", "MICROSOFT-CORP-AS", "ORG-TNL2-AFRINIC", "ORG-VNL1-AFRINIC"},
+		spoofRate: 0.004, baseDelay: 0.66, affinity: 0.30, robotsFr: 0.03, delay: 0.68, endpoint: 0.95, disallow: 0.92,
+		checks: yes, recheckH: 24},
+	{name: "meta-externalagent", hits: 321, bph: 72700, ips: 45, mainASN: "FACEBOOK",
+		spoofASNs: []string{"DIGITALOCEAN-ASN"}, spoofRate: 0.002,
+		baseDelay: 0.55, affinity: 0.12, robotsFr: 0.03, delay: 0.58, endpoint: 0.62, disallow: 0.70, checks: yes, recheckH: 36},
+	{name: "Googlebot", hits: 228, bph: 100000, ips: 90, mainASN: "GOOGLE",
+		spoofASNs: []string{"52468", "ASN-SATELLITE", "ASN270353", "CDNEXT", "CHINANET-BACKBONE", "CLOUVIDER", "DATACLUB", "HOL-GR", "HWCLOUDS-AS-AP", "IT7NET", "LIMESTONENETWORKS", "M247", "ORG-RTL1-AFRINIC", "ORG-TNL2-AFRINIC", "P4NET", "PROSPERO-AS", "RELIABLESITE", "RELIANCEJIO-IN", "ROSTELECOM-AS", "ROUTERHOSTING", "TENCENT-NET-AP", "TELEFONICA_DE_ESPANA", "VCG-AS"},
+		spoofRate: 0.0036, baseDelay: 0.63, affinity: 0.35, robotsFr: 0.04, delay: 0.65, endpoint: 0.97, disallow: 0.95,
+		checks: yes, recheckH: 24},
+	{name: "HeadlessChrome", hits: 209, bph: 156000, ips: 160, mainASN: "DIGITALOCEAN-ASN",
+		baseDelay: 0.09, affinity: 0.40, robotsFr: 0.012, delay: 0.036, endpoint: 0.278, disallow: 0.011,
+		checks: never, recheckH: 0},
+	{name: "ChatGPT-User", hits: 76, bph: 347000, ips: 35, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		baseDelay: 0.955, affinity: 0.14, robotsFr: 0.04, delay: 0.910, endpoint: 0.131, disallow: 1.0, checks: yes, recheckH: 400},
+	{name: "Yandexbot", hits: 54, bph: 137000, ips: 25, mainASN: "YANDEX",
+		spoofASNs: []string{"AMAZON-02", "AMAZON-AES", "PROSPERO-AS"}, spoofRate: 0.004,
+		baseDelay: 0.998, affinity: 0.33, robotsFr: 0.33, delay: 0.992, endpoint: 0.361, disallow: 0.363, checks: yes, recheckH: 30},
+	{name: "SemrushBot", hits: 53, bph: 30000, ips: 30, mainASN: "OVH",
+		baseDelay: 0.50, affinity: 0.10, robotsFr: 0.03, delay: 0.521, endpoint: 0.986, disallow: 0.993, checks: yes, recheckH: 24},
+	{name: "GPTBot", hits: 31, bph: 218000, ips: 28, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		spoofASNs: []string{"BORUSANTELEKOM-AS"}, spoofRate: 0.003,
+		baseDelay: 0.30, affinity: 0.08, robotsFr: 0.03, delay: 0.634, endpoint: 0.305, disallow: 1.0, checks: yes, recheckH: 30},
+	{name: "Dotbot", hits: 27, bph: 10000, ips: 12, mainASN: "DIGITALOCEAN-ASN",
+		baseDelay: 0.60, affinity: 0.12, robotsFr: 0.05, delay: 0.615, endpoint: 1.0, disallow: 0.988, checks: yes, recheckH: 20},
+	{name: "Amazonbot", hits: 25, bph: 74000, ips: 20, mainASN: "AMAZON-AES",
+		spoofASNs: []string{"CONTABO", "DIGITALOCEAN-ASN"}, spoofRate: 0.004,
+		baseDelay: 0.96, affinity: 0.10, robotsFr: 0.03, delay: 0.973, endpoint: 1.0, disallow: 1.0, checks: yes, recheckH: 170},
+	{name: "AhrefsBot", hits: 22, bph: 25000, ips: 15, mainASN: "OVH",
+		spoofASNs: []string{"AHREFS-AS-AP"}, spoofRate: 0.003,
+		baseDelay: 0.70, affinity: 0.12, robotsFr: 0.04, delay: 0.697, endpoint: 1.0, disallow: 1.0, checks: yes, recheckH: 18},
+	{name: "SkypeUriPreview", hits: 21, bph: 116000, ips: 10, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		spoofASNs: []string{"AMAZON-AES", "M247"}, spoofRate: 0.031,
+		baseDelay: 0.70, affinity: 0.02, robotsFr: 0.005, delay: 0.726, endpoint: 0.0, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "facebookexternalhit", hits: 20, bph: 68000, ips: 12, mainASN: "FACEBOOK",
+		spoofASNs: []string{"AMAZON-02", "AMAZON-AES", "KAKAO-AS-KR-KR51"}, spoofRate: 0.005,
+		baseDelay: 0.89, affinity: 0.15, robotsFr: 0.06, delay: 0.920, endpoint: 0.281, disallow: 0.375, checks: yes, recheckH: 200},
+	{name: "BrightEdge Crawler", hits: 18, bph: 87000, ips: 8, mainASN: "AMAZON-02",
+		baseDelay: 0.88, affinity: 0.20, robotsFr: 0.0, delay: 1.0, endpoint: 0.284, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "Scrapy", hits: 18, bph: 280000, ips: 22, mainASN: "HETZNER-AS",
+		baseDelay: 0.40, affinity: 0.15, robotsFr: 0.08, delay: 0.55, endpoint: 0.60, disallow: 0.45, checks: yes, recheckH: 10},
+	{name: "ClaudeBot", hits: 17, bph: 141000, ips: 14, mainASN: "AMAZON-02",
+		spoofASNs: []string{"GOOGLE-CLOUD-PLATFORM"}, spoofRate: 0.004,
+		baseDelay: 0.46, affinity: 0.12, robotsFr: 0.03, delay: 0.480, endpoint: 1.0, disallow: 1.0, checks: yes, recheckH: 28},
+	{name: "Bytespider", hits: 14, bph: 152000, ips: 18, mainASN: "BYTEDANCE",
+		baseDelay: 0.50, affinity: 0.18, robotsFr: 0.035, delay: 0.398, endpoint: 0.0, disallow: 0.02,
+		checks: [4]bool{true, true, false, true}, recheckH: 60},
+
+	// --- Remaining Table 6 / Table 7 bots ---
+	{name: "AcademicBotRTU", hits: 9, bph: 40000, ips: 4, mainASN: "HETZNER-AS",
+		baseDelay: 0.95, affinity: 0.03, robotsFr: 0.04, delay: 0.939, endpoint: 0.032, disallow: 0.045, checks: yes, recheckH: 100},
+	{name: "Apache-HttpClient", hits: 10, bph: 30000, ips: 9, mainASN: "COMCAST-7922",
+		baseDelay: 0.08, affinity: 0.025, robotsFr: 0.0, delay: 0.091, endpoint: 0.043, disallow: 0.0,
+		checks: [4]bool{false, false, true, false}, recheckH: 0},
+	{name: "Axios", hits: 11, bph: 25000, ips: 10, mainASN: "UUNET",
+		baseDelay: 0.08, affinity: 0.0, robotsFr: 0.0, delay: 0.060, endpoint: 0.0, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "Coccoc", hits: 7, bph: 35000, ips: 4, mainASN: "OVH",
+		baseDelay: 0.69, affinity: 0.70, robotsFr: 0.70, delay: 0.704, endpoint: 0.941, disallow: 0.929, checks: yes, recheckH: 40},
+	{name: "DataForSEOBot", hits: 12, bph: 20000, ips: 6, mainASN: "HETZNER-AS",
+		baseDelay: 0.40, affinity: 0.25, robotsFr: 0.05, delay: 0.573, endpoint: 0.667, disallow: 0.024, checks: yes, recheckH: 22},
+	{name: "Go-http-client", hits: 25, bph: 15000, ips: 20, mainASN: "DIGITALOCEAN-ASN",
+		baseDelay: 0.10, affinity: 0.02, robotsFr: 0.002, delay: 0.474, endpoint: 0.167, disallow: 0.012,
+		checks: never, recheckH: 0},
+	{name: "Iframely", hits: 8, bph: 60000, ips: 4, mainASN: "DIGITALOCEAN-ASN",
+		baseDelay: 0.22, affinity: 0.10, robotsFr: 0.0, delay: 0.254, endpoint: 0.0, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "MicrosoftPreview", hits: 9, bph: 45000, ips: 5, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		baseDelay: 0.33, affinity: 0.0, robotsFr: 0.0, delay: 0.294, endpoint: 0.0, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "PerplexityBot", hits: 13, bph: 95000, ips: 8, mainASN: "AMAZON-02",
+		baseDelay: 0.94, affinity: 0.45, robotsFr: 0.18, delay: 0.933, endpoint: 0.897, disallow: 0.202, checks: yes, recheckH: 450},
+	{name: "PetalBot", hits: 11, bph: 30000, ips: 7, mainASN: "HWCLOUDS-AS-AP",
+		baseDelay: 0.80, affinity: 0.55, robotsFr: 0.05, delay: 0.812, endpoint: 0.643, disallow: 1.0, checks: yes, recheckH: 48},
+	{name: "Python-requests", hits: 30, bph: 18000, ips: 26, mainASN: "DIGITALOCEAN-ASN",
+		baseDelay: 0.12, affinity: 0.015, robotsFr: 0.0, delay: 0.462, endpoint: 0.051, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "SemanticScholarBot", hits: 9, bph: 22000, ips: 4, mainASN: "AMAZON-02",
+		baseDelay: 0.25, affinity: 0.10, robotsFr: 0.03, delay: 0.663, endpoint: 1.0, disallow: 1.0, checks: yes, recheckH: 30},
+	{name: "SeznamBot", hits: 8, bph: 28000, ips: 4, mainASN: "SEZNAM-CZ",
+		baseDelay: 0.58, affinity: 0.60, robotsFr: 0.08, delay: 0.565, endpoint: 0.833, disallow: 1.0, checks: yes, recheckH: 36},
+	{name: "Slack-ImgProxy", hits: 7, bph: 50000, ips: 3, mainASN: "AMAZON-AES",
+		baseDelay: 0.90, affinity: 0.0, robotsFr: 0.0, delay: 0.917, endpoint: 0.0, disallow: 0.0,
+		checks: never, recheckH: 0},
+
+	// --- Exempted SEO/search bots not in Table 6 ---
+	{name: "Slurp", hits: 6, bph: 30000, ips: 4, mainASN: "YAHOO-GQ1",
+		baseDelay: 0.70, affinity: 0.30, robotsFr: 0.04, delay: 0.72, endpoint: 0.95, disallow: 0.95, checks: yes, recheckH: 26},
+	{name: "DuckDuckBot", hits: 9, bph: 25000, ips: 5, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		spoofASNs: []string{"DIGITALOCEAN-ASN31", "INTERQ31"}, spoofRate: 0.01,
+		baseDelay: 0.08, affinity: 0.05, robotsFr: 0.02, delay: 0.07, endpoint: 0.0, disallow: 0.02,
+		checks: [4]bool{true, true, false, true}, recheckH: 48},
+	{name: "DuckAssistBot", hits: 5, bph: 45000, ips: 3, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		baseDelay: 0.80, affinity: 0.20, robotsFr: 0.03, delay: 0.82, endpoint: 0.90, disallow: 0.88, checks: yes, recheckH: 190},
+	{name: "ia_archiver", hits: 7, bph: 55000, ips: 4, mainASN: "WIKIMEDIA",
+		baseDelay: 0.75, affinity: 0.10, robotsFr: 0.05, delay: 0.78, endpoint: 0.92, disallow: 0.90, checks: yes, recheckH: 10},
+	{name: "Googlebot-Image", hits: 12, bph: 60000, ips: 8, mainASN: "GOOGLE",
+		spoofASNs: []string{"AMAZON-02"}, spoofRate: 0.004,
+		baseDelay: 0.975, affinity: 0.30, robotsFr: 0.01, delay: 0.98, endpoint: 0.0, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "AdsBot-Google", hits: 6, bph: 40000, ips: 4, mainASN: "GOOGLE",
+		spoofASNs: []string{"DMZHOST"}, spoofRate: 0.006,
+		baseDelay: 0.85, affinity: 0.25, robotsFr: 0.03, delay: 0.88, endpoint: 0.90, disallow: 0.85, checks: yes, recheckH: 26},
+
+	// --- Scrapers / archivers / intelligence gatherers (Figure 10's
+	//     fast re-checkers) ---
+	{name: "colly", hits: 6, bph: 90000, ips: 6, mainASN: "HETZNER-AS",
+		baseDelay: 0.35, affinity: 0.12, robotsFr: 0.07, delay: 0.50, endpoint: 0.55, disallow: 0.40, checks: yes, recheckH: 8},
+	{name: "HTTrack", hits: 4, bph: 120000, ips: 3, mainASN: "DTAG",
+		baseDelay: 0.30, affinity: 0.08, robotsFr: 0.06, delay: 0.45, endpoint: 0.50, disallow: 0.35, checks: yes, recheckH: 11},
+	{name: "Wget", hits: 5, bph: 70000, ips: 5, mainASN: "COMCAST-7922",
+		baseDelay: 0.25, affinity: 0.05, robotsFr: 0.05, delay: 0.40, endpoint: 0.35, disallow: 0.30, checks: yes, recheckH: 9},
+	{name: "curl", hits: 12, bph: 20000, ips: 11, mainASN: "UUNET",
+		baseDelay: 0.15, affinity: 0.02, robotsFr: 0.0, delay: 0.18, endpoint: 0.05, disallow: 0.0,
+		checks: never, recheckH: 0},
+	// Archivers re-check robots.txt fast (Figure 10) but, like most
+	// non-SEO bots, complied only partially with the strict directives —
+	// calibrated below SEO crawlers so Table 5's RQ2 ordering holds.
+	{name: "archive.org_bot", hits: 8, bph: 80000, ips: 5, mainASN: "WIKIMEDIA",
+		baseDelay: 0.80, affinity: 0.10, robotsFr: 0.06, delay: 0.85, endpoint: 0.55, disallow: 0.35, checks: yes, recheckH: 9},
+	{name: "heritrix", hits: 5, bph: 95000, ips: 3, mainASN: "WIKIMEDIA",
+		baseDelay: 0.78, affinity: 0.08, robotsFr: 0.05, delay: 0.80, endpoint: 0.50, disallow: 0.30, checks: yes, recheckH: 12},
+	{name: "Arquivo-web-crawler", hits: 4, bph: 60000, ips: 2, mainASN: "OVH",
+		baseDelay: 0.72, affinity: 0.07, robotsFr: 0.05, delay: 0.75, endpoint: 0.48, disallow: 0.28, checks: yes, recheckH: 11},
+	{name: "turnitinbot", hits: 9, bph: 50000, ips: 5, mainASN: "AMAZON-02",
+		baseDelay: 0.78, affinity: 0.10, robotsFr: 0.05, delay: 0.80, endpoint: 0.45, disallow: 0.10, checks: yes, recheckH: 10},
+	{name: "NetcraftSurveyAgent", hits: 6, bph: 15000, ips: 4, mainASN: "BT-UK-AS",
+		baseDelay: 0.82, affinity: 0.08, robotsFr: 0.04, delay: 0.85, endpoint: 0.40, disallow: 0.08, checks: yes, recheckH: 12},
+	{name: "DomainStatsBot", hits: 5, bph: 12000, ips: 3, mainASN: "HETZNER-AS",
+		baseDelay: 0.80, affinity: 0.07, robotsFr: 0.04, delay: 0.82, endpoint: 0.35, disallow: 0.09, checks: yes, recheckH: 11},
+	{name: "Expanse", hits: 7, bph: 5000, ips: 6, mainASN: "AMAZON-02",
+		baseDelay: 0.75, affinity: 0.02, robotsFr: 0.01, delay: 0.76, endpoint: 0.25, disallow: 0.08,
+		checks: [4]bool{true, true, true, false}, recheckH: 60},
+	{name: "InternetMeasurement", hits: 5, bph: 4000, ips: 4, mainASN: "LINODE-AP",
+		baseDelay: 0.70, affinity: 0.02, robotsFr: 0.02, delay: 0.72, endpoint: 0.30, disallow: 0.10, checks: yes, recheckH: 12},
+
+	// --- Additional AI data scrapers ---
+	{name: "CCBot", hits: 10, bph: 110000, ips: 8, mainASN: "AMAZON-02",
+		baseDelay: 0.55, affinity: 0.10, robotsFr: 0.04, delay: 0.60, endpoint: 0.85, disallow: 0.80, checks: yes, recheckH: 30},
+	{name: "Diffbot", hits: 6, bph: 130000, ips: 5, mainASN: "GOOGLE-CLOUD-PLATFORM",
+		baseDelay: 0.45, affinity: 0.12, robotsFr: 0.02, delay: 0.48, endpoint: 0.10, disallow: 0.05, checks: [4]bool{true, false, true, false}, recheckH: 80},
+	{name: "cohere-ai", hits: 4, bph: 90000, ips: 3, mainASN: "GOOGLE-CLOUD-PLATFORM",
+		baseDelay: 0.50, affinity: 0.08, robotsFr: 0.03, delay: 0.55, endpoint: 0.45, disallow: 0.40, checks: yes, recheckH: 46},
+	{name: "AI2Bot", hits: 5, bph: 70000, ips: 3, mainASN: "AMAZON-02",
+		baseDelay: 0.60, affinity: 0.09, robotsFr: 0.04, delay: 0.65, endpoint: 0.90, disallow: 0.85, checks: yes, recheckH: 28},
+	{name: "omgili", hits: 4, bph: 50000, ips: 2, mainASN: "OVH",
+		baseDelay: 0.55, affinity: 0.07, robotsFr: 0.03, delay: 0.58, endpoint: 0.70, disallow: 0.60, checks: yes, recheckH: 44},
+
+	// --- Additional AI assistants / AI search ---
+	{name: "Claude-Web", hits: 8, bph: 200000, ips: 5, mainASN: "AMAZON-02",
+		baseDelay: 0.88, affinity: 0.12, robotsFr: 0.03, delay: 0.90, endpoint: 0.75, disallow: 0.85, checks: yes, recheckH: 420},
+	{name: "Perplexity-User", hits: 7, bph: 180000, ips: 5, mainASN: "AMAZON-02",
+		baseDelay: 0.90, affinity: 0.15, robotsFr: 0.02, delay: 0.91, endpoint: 0.10, disallow: 0.08,
+		checks: never, recheckH: 0},
+	{name: "Meta-ExternalFetcher", hits: 6, bph: 150000, ips: 4, mainASN: "FACEBOOK",
+		baseDelay: 0.85, affinity: 0.10, robotsFr: 0.01, delay: 0.86, endpoint: 0.12, disallow: 0.10,
+		checks: never, recheckH: 0},
+	{name: "OAI-SearchBot", hits: 9, bph: 120000, ips: 6, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		baseDelay: 0.88, affinity: 0.30, robotsFr: 0.04, delay: 0.90, endpoint: 0.80, disallow: 0.40, checks: yes, recheckH: 380},
+
+	// --- AI agents / undocumented ---
+	{name: "OpenAI-Operator", hits: 5, bph: 250000, ips: 4, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		baseDelay: 0.70, affinity: 0.10, robotsFr: 0.01, delay: 0.72, endpoint: 0.15, disallow: 0.10,
+		checks: never, recheckH: 0},
+	{name: "Google-CloudVertexBot", hits: 4, bph: 90000, ips: 3, mainASN: "GOOGLE-CLOUD-PLATFORM",
+		baseDelay: 0.75, affinity: 0.20, robotsFr: 0.03, delay: 0.78, endpoint: 0.70, disallow: 0.60, checks: yes, recheckH: 100},
+	{name: "Kangaroo Bot", hits: 3, bph: 60000, ips: 2, mainASN: "CONTABO",
+		baseDelay: 0.30, affinity: 0.05, robotsFr: 0.0, delay: 0.32, endpoint: 0.05, disallow: 0.02,
+		checks: never, recheckH: 0},
+	{name: "Sidetrade indexer bot", hits: 3, bph: 40000, ips: 2, mainASN: "OVH",
+		baseDelay: 0.35, affinity: 0.04, robotsFr: 0.0, delay: 0.36, endpoint: 0.04, disallow: 0.02,
+		checks: never, recheckH: 0},
+
+	// --- Additional SEO crawlers ---
+	{name: "MJ12bot", hits: 10, bph: 20000, ips: 9, mainASN: "OVH",
+		baseDelay: 0.60, affinity: 0.12, robotsFr: 0.05, delay: 0.62, endpoint: 0.95, disallow: 0.92, checks: yes, recheckH: 22},
+	{name: "serpstatbot", hits: 6, bph: 18000, ips: 4, mainASN: "HETZNER-AS",
+		baseDelay: 0.58, affinity: 0.10, robotsFr: 0.04, delay: 0.60, endpoint: 0.90, disallow: 0.85, checks: yes, recheckH: 24},
+	{name: "Barkrowler", hits: 5, bph: 15000, ips: 3, mainASN: "OVH",
+		baseDelay: 0.55, affinity: 0.09, robotsFr: 0.04, delay: 0.58, endpoint: 0.88, disallow: 0.82, checks: yes, recheckH: 26},
+	{name: "SEOkicks", hits: 4, bph: 14000, ips: 2, mainASN: "HETZNER-AS",
+		baseDelay: 0.52, affinity: 0.08, robotsFr: 0.04, delay: 0.55, endpoint: 0.85, disallow: 0.80, checks: yes, recheckH: 28},
+
+	// --- Additional search engines ---
+	{name: "Sogou web spider", hits: 12, bph: 25000, ips: 8, mainASN: "CHINANET-BACKBONE",
+		baseDelay: 0.45, affinity: 0.25, robotsFr: 0.02, delay: 0.48, endpoint: 0.40, disallow: 0.20, checks: yes, recheckH: 400},
+	{name: "360Spider", hits: 8, bph: 22000, ips: 5, mainASN: "CHINA169-BACKBONE",
+		baseDelay: 0.40, affinity: 0.20, robotsFr: 0.02, delay: 0.42, endpoint: 0.35, disallow: 0.15, checks: yes, recheckH: 500},
+	{name: "Yeti", hits: 7, bph: 28000, ips: 4, mainASN: "OVH",
+		baseDelay: 0.70, affinity: 0.30, robotsFr: 0.04, delay: 0.72, endpoint: 0.75, disallow: 0.70, checks: yes, recheckH: 30},
+	{name: "MojeekBot", hits: 5, bph: 20000, ips: 3, mainASN: "BT-UK-AS",
+		baseDelay: 0.75, affinity: 0.28, robotsFr: 0.05, delay: 0.78, endpoint: 0.85, disallow: 0.80, checks: yes, recheckH: 24},
+	{name: "Qwantify", hits: 5, bph: 21000, ips: 3, mainASN: "OVH",
+		baseDelay: 0.72, affinity: 0.26, robotsFr: 0.05, delay: 0.75, endpoint: 0.82, disallow: 0.78, checks: yes, recheckH: 26},
+
+	// --- Additional fetchers ---
+	{name: "Twitterbot", hits: 10, bph: 45000, ips: 6, mainASN: "TWITTER",
+		spoofASNs: []string{"PROSPERO-AS", "TELEGRAM"}, spoofRate: 0.006,
+		baseDelay: 0.90, affinity: 0.05, robotsFr: 0.01, delay: 0.91, endpoint: 0.10, disallow: 0.05,
+		checks: never, recheckH: 0},
+	{name: "Discordbot", hits: 6, bph: 40000, ips: 4, mainASN: "GOOGLE-CLOUD-PLATFORM",
+		baseDelay: 0.88, affinity: 0.04, robotsFr: 0.01, delay: 0.89, endpoint: 0.08, disallow: 0.04,
+		checks: never, recheckH: 0},
+	{name: "TelegramBot", hits: 5, bph: 35000, ips: 3, mainASN: "TELEGRAM",
+		baseDelay: 0.87, affinity: 0.03, robotsFr: 0.0, delay: 0.88, endpoint: 0.06, disallow: 0.03,
+		checks: never, recheckH: 0},
+	{name: "WhatsApp", hits: 7, bph: 30000, ips: 5, mainASN: "FACEBOOK",
+		baseDelay: 0.92, affinity: 0.02, robotsFr: 0.0, delay: 0.93, endpoint: 0.05, disallow: 0.02,
+		checks: never, recheckH: 0},
+	{name: "LinkedInBot", hits: 6, bph: 42000, ips: 4, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		baseDelay: 0.90, affinity: 0.04, robotsFr: 0.02, delay: 0.91, endpoint: 0.30, disallow: 0.25, checks: yes, recheckH: 350},
+	{name: "Pinterestbot", hits: 5, bph: 38000, ips: 3, mainASN: "AMAZON-02",
+		baseDelay: 0.85, affinity: 0.05, robotsFr: 0.03, delay: 0.87, endpoint: 0.55, disallow: 0.50, checks: yes, recheckH: 100},
+	{name: "redditbot", hits: 4, bph: 33000, ips: 3, mainASN: "AMAZON-02",
+		baseDelay: 0.86, affinity: 0.03, robotsFr: 0.01, delay: 0.87, endpoint: 0.12, disallow: 0.06,
+		checks: never, recheckH: 0},
+	{name: "Embedly", hits: 4, bph: 36000, ips: 2, mainASN: "AMAZON-AES",
+		baseDelay: 0.84, affinity: 0.04, robotsFr: 0.02, delay: 0.85, endpoint: 0.40, disallow: 0.35, checks: yes, recheckH: 380},
+	{name: "Snap URL Preview Service", hits: 5, bph: 30000, ips: 3, mainASN: "AMAZON-AES",
+		spoofASNs: []string{"AMAZON-02"}, spoofRate: 0.008,
+		baseDelay: 0.88, affinity: 0.03, robotsFr: 0.0, delay: 0.89, endpoint: 0.06, disallow: 0.03,
+		checks: never, recheckH: 0},
+	{name: "Slackbot-LinkExpanding", hits: 6, bph: 28000, ips: 3, mainASN: "AMAZON-AES",
+		baseDelay: 0.91, affinity: 0.03, robotsFr: 0.02, delay: 0.92, endpoint: 0.45, disallow: 0.40,
+		checks: [4]bool{false, false, true, true}, recheckH: 150},
+	{name: "Google Web Preview", hits: 5, bph: 26000, ips: 3, mainASN: "GOOGLE",
+		spoofASNs: []string{"AMAZON-02"}, spoofRate: 0.006,
+		baseDelay: 0.90, affinity: 0.06, robotsFr: 0.01, delay: 0.91, endpoint: 0.15, disallow: 0.08,
+		checks: never, recheckH: 0},
+
+	// --- Headless browsers ---
+	{name: "PhantomJS", hits: 7, bph: 140000, ips: 6, mainASN: "OVH",
+		baseDelay: 0.08, affinity: 0.35, robotsFr: 0.01, delay: 0.05, endpoint: 0.25, disallow: 0.01,
+		checks: never, recheckH: 0},
+	{name: "Puppeteer", hits: 9, bph: 150000, ips: 8, mainASN: "DIGITALOCEAN-ASN",
+		baseDelay: 0.07, affinity: 0.38, robotsFr: 0.01, delay: 0.04, endpoint: 0.30, disallow: 0.01,
+		checks: never, recheckH: 0},
+	{name: "Playwright", hits: 8, bph: 145000, ips: 7, mainASN: "HETZNER-AS",
+		baseDelay: 0.07, affinity: 0.36, robotsFr: 0.01, delay: 0.04, endpoint: 0.28, disallow: 0.01,
+		checks: never, recheckH: 0},
+
+	// --- Developer helpers ---
+	{name: "PostmanRuntime", hits: 6, bph: 8000, ips: 5, mainASN: "COMCAST-7922",
+		baseDelay: 0.55, affinity: 0.02, robotsFr: 0.01, delay: 0.58, endpoint: 0.10, disallow: 0.05, checks: yes, recheckH: 90},
+	{name: "insomnia", hits: 4, bph: 7000, ips: 3, mainASN: "ATT-INTERNET4",
+		baseDelay: 0.52, affinity: 0.02, robotsFr: 0.01, delay: 0.55, endpoint: 0.08, disallow: 0.04, checks: yes, recheckH: 110},
+	{name: "GitHub-Hookshot", hits: 5, bph: 5000, ips: 3, mainASN: "MICROSOFT-CORP-MSN-AS-BLOCK",
+		baseDelay: 0.60, affinity: 0.01, robotsFr: 0.0, delay: 0.62, endpoint: 0.05, disallow: 0.02,
+		checks: never, recheckH: 0},
+
+	// --- HTTP client libraries ("Other") ---
+	{name: "okhttp", hits: 14, bph: 16000, ips: 12, mainASN: "CHARTER-20115",
+		baseDelay: 0.14, affinity: 0.02, robotsFr: 0.0, delay: 0.16, endpoint: 0.04, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "aiohttp", hits: 13, bph: 17000, ips: 11, mainASN: "OVH",
+		baseDelay: 0.13, affinity: 0.02, robotsFr: 0.0, delay: 0.15, endpoint: 0.05, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "libwww-perl", hits: 5, bph: 12000, ips: 4, mainASN: "CENTURYLINK-US-LEGACY-QWEST",
+		baseDelay: 0.20, affinity: 0.01, robotsFr: 0.0, delay: 0.22, endpoint: 0.03, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "Java", hits: 8, bph: 14000, ips: 7, mainASN: "UUNET",
+		baseDelay: 0.18, affinity: 0.01, robotsFr: 0.0, delay: 0.20, endpoint: 0.03, disallow: 0.0,
+		checks: never, recheckH: 0},
+	{name: "node-fetch", hits: 9, bph: 15000, ips: 8, mainASN: "DIGITALOCEAN-ASN",
+		baseDelay: 0.15, affinity: 0.02, robotsFr: 0.0, delay: 0.17, endpoint: 0.04, disallow: 0.0,
+		checks: never, recheckH: 0},
+}
+
+// DefaultPopulation builds the calibrated population over the default
+// agent registry. It panics only on programmer error (a spec naming a bot
+// missing from the registry), which the tests pin down.
+func DefaultPopulation() (*Population, error) {
+	return BuildPopulation(agent.DefaultRegistry(), defaultSpecs)
+}
+
+// BuildPopulation expands specs against a registry.
+func BuildPopulation(reg *agent.Registry, specs []profileSpec) (*Population, error) {
+	profiles := make([]*Profile, 0, len(specs))
+	for _, s := range specs {
+		bot, ok := reg.ByName(s.name)
+		if !ok {
+			return nil, fmt.Errorf("botnet: spec references unknown bot %q", s.name)
+		}
+		profiles = append(profiles, &Profile{
+			Bot:                     bot,
+			DailyHits:               s.hits,
+			BytesPerHit:             s.bph,
+			NumIPs:                  s.ips,
+			MainASN:                 s.mainASN,
+			SpoofASNs:               s.spoofASNs,
+			SpoofRate:               s.spoofRate,
+			BaselineDelayCompliance: s.baseDelay,
+			PageDataAffinity:        s.affinity,
+			RobotsFetchFraction:     s.robotsFr,
+			DelayCompliance:         s.delay,
+			EndpointCompliance:      s.endpoint,
+			DisallowCompliance:      s.disallow,
+			ChecksRobots:            s.checks,
+			RecheckInterval:         time.Duration(s.recheckH * float64(time.Hour)),
+		})
+	}
+	return NewPopulation(profiles)
+}

@@ -1,0 +1,168 @@
+// Package checkfreq analyzes how frequently bots re-fetch robots.txt
+// (§5.1 of the paper). Following the paper's method, each bot's access log
+// on the passively-observed sites is segmented into fixed-length windows
+// starting at the bot's first robots.txt fetch; the bot "complies" with a
+// window length if every complete window contains at least one robots.txt
+// access. Aggregating per category yields Figure 10.
+package checkfreq
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+// DefaultWindows are the paper's five window lengths.
+var DefaultWindows = []time.Duration{
+	12 * time.Hour,
+	24 * time.Hour,
+	48 * time.Hour,
+	72 * time.Hour,
+	168 * time.Hour,
+}
+
+// BotStats describes one bot's robots.txt fetch cadence.
+type BotStats struct {
+	// Bot and Category identify the bot.
+	Bot      string
+	Category string
+	// FirstCheck is the bot's first robots.txt fetch in the dataset.
+	FirstCheck time.Time
+	// Checks is the total number of robots.txt fetches observed.
+	Checks int
+	// CompliesWithin maps window length -> whether every complete window
+	// of that length (from FirstCheck to the dataset end) contains a
+	// robots.txt fetch.
+	CompliesWithin map[time.Duration]bool
+}
+
+// Analyze computes per-bot check statistics over the given dataset,
+// restricted to the named sites (nil means all sites). Bots that never
+// fetch robots.txt are omitted, matching the paper's framing ("if they
+// check it at all").
+func Analyze(d *weblog.Dataset, sites []string, windows []time.Duration) []BotStats {
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
+	siteOK := func(string) bool { return true }
+	if len(sites) > 0 {
+		set := make(map[string]struct{}, len(sites))
+		for _, s := range sites {
+			set[s] = struct{}{}
+		}
+		siteOK = func(s string) bool {
+			_, ok := set[s]
+			return ok
+		}
+	}
+
+	checks := make(map[string][]time.Time)
+	categories := make(map[string]string)
+	var datasetEnd time.Time
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.Time.After(datasetEnd) {
+			datasetEnd = r.Time
+		}
+		if r.BotName == "" || !siteOK(r.Site) {
+			continue
+		}
+		if categories[r.BotName] == "" {
+			categories[r.BotName] = r.Category
+		}
+		if r.IsRobotsFetch() {
+			checks[r.BotName] = append(checks[r.BotName], r.Time)
+		}
+	}
+
+	var out []BotStats
+	for bot, ts := range checks {
+		sort.Slice(ts, func(a, b int) bool { return ts[a].Before(ts[b]) })
+		st := BotStats{
+			Bot:            bot,
+			Category:       categories[bot],
+			FirstCheck:     ts[0],
+			Checks:         len(ts),
+			CompliesWithin: make(map[time.Duration]bool, len(windows)),
+		}
+		for _, w := range windows {
+			st.CompliesWithin[w] = everyWindowCovered(ts, datasetEnd, w)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bot < out[j].Bot })
+	return out
+}
+
+// everyWindowCovered reports whether each complete window of length w,
+// tiled from the first check to end, contains at least one check. A bot
+// whose observation span is shorter than one window trivially complies
+// (there is no complete window to miss).
+func everyWindowCovered(ts []time.Time, end time.Time, w time.Duration) bool {
+	start := ts[0]
+	idx := 0
+	for winStart := start; !winStart.Add(w).After(end); winStart = winStart.Add(w) {
+		winEnd := winStart.Add(w)
+		// Advance to the first check >= winStart.
+		for idx < len(ts) && ts[idx].Before(winStart) {
+			idx++
+		}
+		if idx >= len(ts) || !ts[idx].Before(winEnd) {
+			return false
+		}
+	}
+	return true
+}
+
+// CategoryProportion is one Figure 10 bar: the fraction of a category's
+// checking bots that re-check within each window.
+type CategoryProportion struct {
+	Category string
+	// Bots is the number of bots in the category that checked robots.txt
+	// at least once.
+	Bots int
+	// Within maps window -> fraction of Bots complying.
+	Within map[time.Duration]float64
+}
+
+// ByCategory aggregates bot stats into Figure 10's per-category
+// proportions, sorted by category name.
+func ByCategory(statsList []BotStats, windows []time.Duration) []CategoryProportion {
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
+	type agg struct {
+		n      int
+		within map[time.Duration]int
+	}
+	cats := make(map[string]*agg)
+	for i := range statsList {
+		st := &statsList[i]
+		cat := st.Category
+		if cat == "" {
+			cat = "Unknown"
+		}
+		a := cats[cat]
+		if a == nil {
+			a = &agg{within: make(map[time.Duration]int, len(windows))}
+			cats[cat] = a
+		}
+		a.n++
+		for _, w := range windows {
+			if st.CompliesWithin[w] {
+				a.within[w]++
+			}
+		}
+	}
+	var out []CategoryProportion
+	for cat, a := range cats {
+		cp := CategoryProportion{Category: cat, Bots: a.n, Within: make(map[time.Duration]float64, len(windows))}
+		for _, w := range windows {
+			cp.Within[w] = float64(a.within[w]) / float64(a.n)
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Category < out[j].Category })
+	return out
+}

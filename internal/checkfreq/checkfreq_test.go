@@ -1,0 +1,156 @@
+package checkfreq
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+var t0 = time.Date(2025, 2, 12, 0, 0, 0, 0, time.UTC)
+
+func check(bot, cat, site string, at time.Time) weblog.Record {
+	return weblog.Record{
+		UserAgent: bot, BotName: bot, Category: cat, IPHash: "ip", ASN: "A",
+		Site: site, Path: "/robots.txt", Time: at, Status: 200, Bytes: 100,
+	}
+}
+
+func page(bot, cat, site string, at time.Time) weblog.Record {
+	r := check(bot, cat, site, at)
+	r.Path = "/page"
+	return r
+}
+
+func TestAnalyzeBasicCadence(t *testing.T) {
+	d := &weblog.Dataset{}
+	// Bot A checks every 10 hours across the whole 21-day observation
+	// period: complies with every window.
+	for h := 0; h < 21*24; h += 10 {
+		d.Records = append(d.Records, check("A", "Scrapers", "s1", t0.Add(time.Duration(h)*time.Hour)))
+	}
+	// Bot B checks once at the start then never again over 21 days (long
+	// enough that even the 168h window has a second, empty occurrence).
+	d.Records = append(d.Records, check("B", "AI Assistants", "s1", t0))
+	d.Records = append(d.Records, page("B", "AI Assistants", "s1", t0.Add(21*24*time.Hour)))
+
+	stats := Analyze(d, nil, nil)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	byBot := map[string]BotStats{}
+	for _, s := range stats {
+		byBot[s.Bot] = s
+	}
+	a := byBot["A"]
+	for _, w := range DefaultWindows {
+		if !a.CompliesWithin[w] {
+			t.Errorf("A should comply within %v", w)
+		}
+	}
+	b := byBot["B"]
+	if b.CompliesWithin[12*time.Hour] || b.CompliesWithin[168*time.Hour] {
+		t.Errorf("B checks once over 10 days; must fail 12h and 168h windows: %+v", b.CompliesWithin)
+	}
+}
+
+func TestAnalyzeSkipsNonCheckers(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		page("NoCheck", "Other", "s1", t0),
+		page("NoCheck", "Other", "s1", t0.Add(time.Hour)),
+	}}
+	if got := Analyze(d, nil, nil); len(got) != 0 {
+		t.Errorf("non-checking bot included: %+v", got)
+	}
+}
+
+func TestAnalyzeSiteFilter(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		check("A", "Scrapers", "passive-1", t0),
+		check("B", "Scrapers", "elsewhere", t0),
+	}}
+	stats := Analyze(d, []string{"passive-1"}, nil)
+	if len(stats) != 1 || stats[0].Bot != "A" {
+		t.Errorf("site filter failed: %+v", stats)
+	}
+}
+
+func TestShortSpanTriviallyComplies(t *testing.T) {
+	// Observation span shorter than the window: no complete window exists.
+	d := &weblog.Dataset{Records: []weblog.Record{
+		check("A", "Scrapers", "s", t0),
+		page("A", "Scrapers", "s", t0.Add(time.Hour)),
+	}}
+	stats := Analyze(d, nil, []time.Duration{24 * time.Hour})
+	if !stats[0].CompliesWithin[24*time.Hour] {
+		t.Error("span shorter than window must trivially comply")
+	}
+}
+
+func TestWindowBoundaryMiss(t *testing.T) {
+	// Checks at h=0 and h=30 with dataset ending at h=48: windows
+	// [0,24) contains the first check, [24,48) contains h=30 -> comply.
+	// With a check at h=50 instead, [24,48) is empty -> fail.
+	mk := func(second int) []BotStats {
+		d := &weblog.Dataset{Records: []weblog.Record{
+			check("A", "Scrapers", "s", t0),
+			check("A", "Scrapers", "s", t0.Add(time.Duration(second)*time.Hour)),
+			page("A", "Scrapers", "s", t0.Add(48*time.Hour)),
+		}}
+		return Analyze(d, nil, []time.Duration{24 * time.Hour})
+	}
+	if !mk(30)[0].CompliesWithin[24*time.Hour] {
+		t.Error("check at h=30 covers window [24,48)")
+	}
+	if mk(50)[0].CompliesWithin[24*time.Hour] {
+		t.Error("check at h=50 leaves window [24,48) empty")
+	}
+}
+
+func TestByCategoryProportions(t *testing.T) {
+	w := []time.Duration{12 * time.Hour}
+	statsList := []BotStats{
+		{Bot: "a", Category: "Scrapers", CompliesWithin: map[time.Duration]bool{w[0]: true}},
+		{Bot: "b", Category: "Scrapers", CompliesWithin: map[time.Duration]bool{w[0]: false}},
+		{Bot: "c", Category: "AI Assistants", CompliesWithin: map[time.Duration]bool{w[0]: false}},
+	}
+	props := ByCategory(statsList, w)
+	if len(props) != 2 {
+		t.Fatalf("categories = %d", len(props))
+	}
+	for _, p := range props {
+		switch p.Category {
+		case "Scrapers":
+			if p.Bots != 2 || p.Within[w[0]] != 0.5 {
+				t.Errorf("Scrapers = %+v", p)
+			}
+		case "AI Assistants":
+			if p.Bots != 1 || p.Within[w[0]] != 0 {
+				t.Errorf("AI Assistants = %+v", p)
+			}
+		}
+	}
+}
+
+func TestByCategoryEmptyCategory(t *testing.T) {
+	w := []time.Duration{12 * time.Hour}
+	props := ByCategory([]BotStats{{Bot: "x", Category: "", CompliesWithin: map[time.Duration]bool{}}}, w)
+	if len(props) != 1 || props[0].Category != "Unknown" {
+		t.Errorf("props = %+v", props)
+	}
+}
+
+func TestAnalyzeCountsChecks(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		check("A", "Scrapers", "s", t0),
+		check("A", "Scrapers", "s", t0.Add(time.Hour)),
+		check("A", "Scrapers", "s", t0.Add(2*time.Hour)),
+	}}
+	stats := Analyze(d, nil, nil)
+	if stats[0].Checks != 3 {
+		t.Errorf("checks = %d", stats[0].Checks)
+	}
+	if !stats[0].FirstCheck.Equal(t0) {
+		t.Errorf("first check = %v", stats[0].FirstCheck)
+	}
+}

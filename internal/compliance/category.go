@@ -1,0 +1,137 @@
+package compliance
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// CategoryCell is one cell of Table 5: the access-weighted average
+// compliance of a category's bots with one directive, and the total access
+// weight behind it (the parenthesized counts in the paper's table).
+type CategoryCell struct {
+	Compliance float64
+	Accesses   int
+}
+
+// CategoryTable is the paper's Table 5: rows are bot categories, columns
+// the three directives, plus row/column weighted averages.
+type CategoryTable struct {
+	// Categories lists row names in display order.
+	Categories []string
+	// Cells maps category -> directive -> cell.
+	Cells map[string]map[Directive]CategoryCell
+	// CategoryAvg is the per-row average across directives (rightmost
+	// column).
+	CategoryAvg map[string]float64
+	// DirectiveAvg is the per-column weighted average (bottom row).
+	DirectiveAvg map[Directive]float64
+}
+
+// BestDirective returns the directive with the highest compliance for a
+// category (the bolded cell of each Table 5 row).
+func (t *CategoryTable) BestDirective(category string) (Directive, bool) {
+	row, ok := t.Cells[category]
+	if !ok || len(row) == 0 {
+		return 0, false
+	}
+	best := Directive(-1)
+	bestV := -1.0
+	for _, d := range Directives {
+		if c, ok := row[d]; ok && c.Compliance > bestV {
+			best, bestV = d, c.Compliance
+		}
+	}
+	return best, best >= 0
+}
+
+// MostCompliantCategory returns the row with the highest category average
+// (the paper's RQ2 answer: SEO Crawlers).
+func (t *CategoryTable) MostCompliantCategory() (string, bool) {
+	var best string
+	bestV := -1.0
+	for _, c := range t.Categories {
+		if v := t.CategoryAvg[c]; v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best, best != ""
+}
+
+// BuildCategoryTable aggregates per-bot comparison results into Table 5.
+// Each bot contributes its experimental compliance ratio weighted by its
+// experimental access count, per §4.3 ("weighted averages of compliance
+// ratios, weighted by number of bot accesses").
+func BuildCategoryTable(results map[Directive][]Result) CategoryTable {
+	t := CategoryTable{
+		Cells:        make(map[string]map[Directive]CategoryCell),
+		CategoryAvg:  make(map[string]float64),
+		DirectiveAvg: make(map[Directive]float64),
+	}
+	type acc struct {
+		values  []float64
+		weights []float64
+		access  int
+	}
+	cells := make(map[string]map[Directive]*acc)
+	for dir, rs := range results {
+		for i := range rs {
+			r := &rs[i]
+			cat := r.Category
+			if cat == "" {
+				cat = "Other"
+			}
+			if cells[cat] == nil {
+				cells[cat] = make(map[Directive]*acc)
+			}
+			a := cells[cat][dir]
+			if a == nil {
+				a = &acc{}
+				cells[cat][dir] = a
+			}
+			a.values = append(a.values, r.Experiment.Ratio())
+			a.weights = append(a.weights, float64(r.Experiment.Trials))
+			a.access += r.Experiment.Trials
+		}
+	}
+
+	for cat, row := range cells {
+		t.Cells[cat] = make(map[Directive]CategoryCell, len(row))
+		for dir, a := range row {
+			v, err := stats.WeightedMean(a.values, a.weights)
+			if err != nil {
+				continue
+			}
+			t.Cells[cat][dir] = CategoryCell{Compliance: v, Accesses: a.access}
+		}
+		t.Categories = append(t.Categories, cat)
+	}
+	sort.Strings(t.Categories)
+
+	// Row averages: plain mean of the row's directive cells (the paper's
+	// rightmost "Category average" column).
+	for cat, row := range t.Cells {
+		var vals []float64
+		for _, d := range Directives {
+			if c, ok := row[d]; ok {
+				vals = append(vals, c.Compliance)
+			}
+		}
+		t.CategoryAvg[cat] = stats.Mean(vals)
+	}
+	// Column averages: access-weighted across categories (the paper's
+	// bottom "Directive average" row).
+	for _, d := range Directives {
+		var vals, weights []float64
+		for _, row := range t.Cells {
+			if c, ok := row[d]; ok {
+				vals = append(vals, c.Compliance)
+				weights = append(weights, float64(c.Accesses))
+			}
+		}
+		if v, err := stats.WeightedMean(vals, weights); err == nil {
+			t.DirectiveAvg[d] = v
+		}
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+package compliance
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeResults builds a result set with known weighted averages.
+func fakeResults() map[Directive][]Result {
+	return map[Directive][]Result{
+		CrawlDelay: {
+			{Bot: "seo1", Category: "SEO Crawlers", Experiment: Measurement{Successes: 90, Trials: 100}},
+			{Bot: "seo2", Category: "SEO Crawlers", Experiment: Measurement{Successes: 10, Trials: 100}},
+			{Bot: "head1", Category: "Headless Browsers", Experiment: Measurement{Successes: 5, Trials: 100}},
+		},
+		Endpoint: {
+			{Bot: "seo1", Category: "SEO Crawlers", Experiment: Measurement{Successes: 80, Trials: 100}},
+			{Bot: "head1", Category: "Headless Browsers", Experiment: Measurement{Successes: 20, Trials: 100}},
+		},
+		DisallowAll: {
+			{Bot: "seo1", Category: "SEO Crawlers", Experiment: Measurement{Successes: 70, Trials: 100}},
+			{Bot: "head1", Category: "Headless Browsers", Experiment: Measurement{Successes: 1, Trials: 100}},
+		},
+	}
+}
+
+func TestBuildCategoryTableWeighting(t *testing.T) {
+	tab := BuildCategoryTable(fakeResults())
+	cell := tab.Cells["SEO Crawlers"][CrawlDelay]
+	// Equal weights of 100 accesses: (0.9+0.1)/2 = 0.5.
+	if math.Abs(cell.Compliance-0.5) > 1e-9 {
+		t.Errorf("SEO crawl-delay cell = %v, want 0.5", cell.Compliance)
+	}
+	if cell.Accesses != 200 {
+		t.Errorf("SEO crawl-delay accesses = %d, want 200", cell.Accesses)
+	}
+}
+
+func TestCategoryAveragesAndOrder(t *testing.T) {
+	tab := BuildCategoryTable(fakeResults())
+	if len(tab.Categories) != 2 {
+		t.Fatalf("categories = %v", tab.Categories)
+	}
+	// SEO row average: mean(0.5, 0.8, 0.7) = 0.6667.
+	if got := tab.CategoryAvg["SEO Crawlers"]; math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("SEO category avg = %v", got)
+	}
+	best, ok := tab.MostCompliantCategory()
+	if !ok || best != "SEO Crawlers" {
+		t.Errorf("most compliant = %q", best)
+	}
+}
+
+func TestBestDirective(t *testing.T) {
+	tab := BuildCategoryTable(fakeResults())
+	d, ok := tab.BestDirective("SEO Crawlers")
+	if !ok || d != Endpoint {
+		t.Errorf("SEO best directive = %v", d)
+	}
+	if _, ok := tab.BestDirective("Martians"); ok {
+		t.Error("unknown category must report no best directive")
+	}
+}
+
+func TestDirectiveAvgWeighted(t *testing.T) {
+	tab := BuildCategoryTable(fakeResults())
+	// CrawlDelay column: SEO cell 0.5 (weight 200) + Headless 0.05
+	// (weight 100) -> (0.5*200+0.05*100)/300 = 0.35.
+	if got := tab.DirectiveAvg[CrawlDelay]; math.Abs(got-0.35) > 1e-9 {
+		t.Errorf("crawl-delay directive avg = %v, want 0.35", got)
+	}
+}
+
+func TestEmptyCategoryFallsBackToOther(t *testing.T) {
+	results := map[Directive][]Result{
+		CrawlDelay: {{Bot: "x", Category: "", Experiment: Measurement{Successes: 1, Trials: 2}}},
+	}
+	tab := BuildCategoryTable(results)
+	if _, ok := tab.Cells["Other"]; !ok {
+		t.Error("empty category must land in Other")
+	}
+}
+
+func TestEmptyResults(t *testing.T) {
+	tab := BuildCategoryTable(nil)
+	if len(tab.Categories) != 0 {
+		t.Error("empty input must produce empty table")
+	}
+	if _, ok := tab.MostCompliantCategory(); ok {
+		t.Error("no categories, no winner")
+	}
+}

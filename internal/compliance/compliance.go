@@ -1,0 +1,326 @@
+// Package compliance implements the paper's robots.txt compliance metrics
+// (§4.2) and their aggregation into the headline results:
+//
+//   - crawl-delay compliance: per τ-tuple, the fraction of inter-access
+//     time deltas >= the directive's delay (single-access tuples count as
+//     compliant), pooled per bot;
+//   - endpoint-access compliance: the fraction of a bot's accesses landing
+//     on robots.txt or the allowed /page-data/* endpoint;
+//   - disallow compliance: the fraction of a bot's accesses that fetch
+//     robots.txt (the only allowed resource under v3);
+//   - baseline-vs-experiment comparison with the two-proportion z-test
+//     (Table 10, Figure 9);
+//   - access-weighted category averages (Table 5).
+package compliance
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/stats"
+	"repro/internal/weblog"
+)
+
+// Directive identifies one of the three experimental robots.txt directives.
+type Directive int
+
+const (
+	// CrawlDelay is the v1 30-second crawl-delay directive.
+	CrawlDelay Directive = iota
+	// Endpoint is the v2 "only /page-data/*" directive.
+	Endpoint
+	// DisallowAll is the v3 full-denial directive.
+	DisallowAll
+)
+
+// String returns the column label used in the paper's tables.
+func (d Directive) String() string {
+	switch d {
+	case CrawlDelay:
+		return "Crawl delay"
+	case Endpoint:
+		return "Endpoint access"
+	case DisallowAll:
+		return "Disallow all"
+	default:
+		return "unknown"
+	}
+}
+
+// Directives lists all three in table order.
+var Directives = []Directive{CrawlDelay, Endpoint, DisallowAll}
+
+// Version returns the robots.txt version that deploys this directive.
+func (d Directive) Version() robots.Version {
+	switch d {
+	case CrawlDelay:
+		return robots.Version1
+	case Endpoint:
+		return robots.Version2
+	default:
+		return robots.Version3
+	}
+}
+
+// Measurement is a compliance count: Successes compliant events out of
+// Trials total.
+type Measurement struct {
+	Successes int
+	Trials    int
+}
+
+// Ratio returns Successes/Trials (0 when empty).
+func (m Measurement) Ratio() float64 {
+	if m.Trials == 0 {
+		return 0
+	}
+	return float64(m.Successes) / float64(m.Trials)
+}
+
+// add merges another measurement.
+func (m *Measurement) add(o Measurement) {
+	m.Successes += o.Successes
+	m.Trials += o.Trials
+}
+
+// Config tunes the analysis to the paper's defaults.
+type Config struct {
+	// DelayThreshold is the crawl delay to test against (30 s in v1).
+	DelayThreshold time.Duration
+	// MinAccesses drops bots with fewer accesses in either dataset
+	// (the paper uses 5).
+	MinAccesses int
+	// AllowedPrefix is the endpoint allowed by v2.
+	AllowedPrefix string
+	// ExcludeExempt removes the eight exempted SEO bots from Endpoint and
+	// DisallowAll comparisons (they were allowed everything, so the
+	// metrics are meaningless for them).
+	ExcludeExempt bool
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		DelayThreshold: 30 * time.Second,
+		MinAccesses:    5,
+		AllowedPrefix:  "/page-data/",
+		ExcludeExempt:  true,
+	}
+}
+
+// CrawlDelayMeasurements computes per-bot crawl-delay compliance: for each
+// τ tuple, sort accesses by time, count deltas >= threshold; tuples with a
+// single access count as one compliant trial (§4.2). Tuples are then pooled
+// by bot name.
+func CrawlDelayMeasurements(d *weblog.Dataset, threshold time.Duration) map[string]Measurement {
+	type key struct {
+		bot   string
+		tuple weblog.Tuple
+	}
+	times := make(map[key][]time.Time)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName == "" {
+			continue
+		}
+		k := key{r.BotName, weblog.TupleOf(r)}
+		times[k] = append(times[k], r.Time)
+	}
+	out := make(map[string]Measurement)
+	for k, ts := range times {
+		sort.Slice(ts, func(a, b int) bool { return ts[a].Before(ts[b]) })
+		var m Measurement
+		if len(ts) == 1 {
+			m = Measurement{Successes: 1, Trials: 1}
+		} else {
+			for i := 1; i < len(ts); i++ {
+				m.Trials++
+				if ts[i].Sub(ts[i-1]) >= threshold {
+					m.Successes++
+				}
+			}
+		}
+		agg := out[k.bot]
+		agg.add(m)
+		out[k.bot] = agg
+	}
+	return out
+}
+
+// EndpointMeasurements computes per-bot endpoint compliance: accesses to
+// robots.txt or allowedPrefix over total accesses.
+func EndpointMeasurements(d *weblog.Dataset, allowedPrefix string) map[string]Measurement {
+	out := make(map[string]Measurement)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName == "" {
+			continue
+		}
+		m := out[r.BotName]
+		m.Trials++
+		if r.IsRobotsFetch() || strings.HasPrefix(r.Path, allowedPrefix) {
+			m.Successes++
+		}
+		out[r.BotName] = m
+	}
+	return out
+}
+
+// DisallowMeasurements computes per-bot disallow compliance: robots.txt
+// fetches over total accesses.
+func DisallowMeasurements(d *weblog.Dataset) map[string]Measurement {
+	out := make(map[string]Measurement)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName == "" {
+			continue
+		}
+		m := out[r.BotName]
+		m.Trials++
+		if r.IsRobotsFetch() {
+			m.Successes++
+		}
+		out[r.BotName] = m
+	}
+	return out
+}
+
+// Measure dispatches to the metric for the directive, applied to one
+// dataset (baseline or experimental).
+func Measure(dir Directive, d *weblog.Dataset, cfg Config) map[string]Measurement {
+	switch dir {
+	case CrawlDelay:
+		return CrawlDelayMeasurements(d, cfg.DelayThreshold)
+	case Endpoint:
+		return EndpointMeasurements(d, cfg.AllowedPrefix)
+	default:
+		return DisallowMeasurements(d)
+	}
+}
+
+// CheckedRobots reports, per bot, whether it fetched robots.txt at least
+// once in the dataset (Table 7's "Checked robots.txt" columns).
+func CheckedRobots(d *weblog.Dataset) map[string]bool {
+	out := make(map[string]bool)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName == "" {
+			continue
+		}
+		if _, seen := out[r.BotName]; !seen {
+			out[r.BotName] = false
+		}
+		if r.IsRobotsFetch() {
+			out[r.BotName] = true
+		}
+	}
+	return out
+}
+
+// AccessCounts tallies total accesses per bot.
+func AccessCounts(d *weblog.Dataset) map[string]int {
+	out := make(map[string]int)
+	for i := range d.Records {
+		if n := d.Records[i].BotName; n != "" {
+			out[n]++
+		}
+	}
+	return out
+}
+
+// CategoryOf extracts the category display names present per bot.
+func CategoryOf(d *weblog.Dataset) map[string]string {
+	out := make(map[string]string)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName != "" && out[r.BotName] == "" {
+			out[r.BotName] = r.Category
+		}
+	}
+	return out
+}
+
+// Result is one bot's baseline-vs-experiment comparison for one directive
+// (a row of Figure 9 / Table 10).
+type Result struct {
+	// Bot is the standardized bot name.
+	Bot string
+	// Category is the Dark Visitors category display name.
+	Category string
+	// Directive identifies the experiment.
+	Directive Directive
+	// Baseline and Experiment are the compliance measurements.
+	Baseline, Experiment Measurement
+	// Test is the two-proportion z-test of Experiment against Baseline;
+	// valid only when HasTest.
+	Test    stats.ZTestResult
+	HasTest bool
+	// Checked reports whether the bot fetched robots.txt during the
+	// experimental phase.
+	Checked bool
+}
+
+// Significant reports whether the compliance shift is significant at the
+// paper's alpha of 0.05.
+func (r *Result) Significant() bool {
+	return r.HasTest && r.Test.Significant(0.05)
+}
+
+// Compare analyzes one directive: it measures compliance in the baseline
+// and experimental datasets, filters per the config, and runs the z-test
+// per bot. Results are sorted by bot name.
+func Compare(baseline, experiment *weblog.Dataset, dir Directive, cfg Config) []Result {
+	base := Measure(dir, baseline, cfg)
+	exp := Measure(dir, experiment, cfg)
+	baseAccess := AccessCounts(baseline)
+	expAccess := AccessCounts(experiment)
+	checked := CheckedRobots(experiment)
+	categories := CategoryOf(experiment)
+	for bot, c := range CategoryOf(baseline) {
+		if categories[bot] == "" {
+			categories[bot] = c
+		}
+	}
+
+	var out []Result
+	for bot, em := range exp {
+		bm, inBase := base[bot]
+		if !inBase {
+			continue // no baseline to compare against
+		}
+		if baseAccess[bot] < cfg.MinAccesses || expAccess[bot] < cfg.MinAccesses {
+			continue
+		}
+		if cfg.ExcludeExempt && dir != CrawlDelay && robots.IsExemptSEOBot(bot) {
+			continue
+		}
+		res := Result{
+			Bot:        bot,
+			Category:   categories[bot],
+			Directive:  dir,
+			Baseline:   bm,
+			Experiment: em,
+			Checked:    checked[bot],
+		}
+		if t, err := stats.TwoProportionZTest(em.Successes, em.Trials, bm.Successes, bm.Trials); err == nil {
+			res.Test = t
+			res.HasTest = true
+		}
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bot < out[j].Bot })
+	return out
+}
+
+// CompareAll runs Compare for all three directives against their phases.
+func CompareAll(baseline *weblog.Dataset, phases map[robots.Version]*weblog.Dataset, cfg Config) map[Directive][]Result {
+	out := make(map[Directive][]Result, len(Directives))
+	for _, dir := range Directives {
+		if phase, ok := phases[dir.Version()]; ok {
+			out[dir] = Compare(baseline, phase, dir, cfg)
+		}
+	}
+	return out
+}

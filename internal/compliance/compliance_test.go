@@ -1,0 +1,259 @@
+package compliance
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/weblog"
+)
+
+var t0 = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(bot, cat, ip string, at time.Time, path string) weblog.Record {
+	return weblog.Record{
+		UserAgent: bot + "/1.0", BotName: bot, Category: cat,
+		IPHash: ip, ASN: "NET-" + bot, Time: at,
+		Site: "www", Path: path, Status: 200, Bytes: 100,
+	}
+}
+
+func TestCrawlDelayMeasurements(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("A", "X", "ip1", t0, "/p1"),
+		rec("A", "X", "ip1", t0.Add(40*time.Second), "/p2"), // compliant gap
+		rec("A", "X", "ip1", t0.Add(50*time.Second), "/p3"), // violation
+		rec("A", "X", "ip2", t0, "/p1"),                     // single access: compliant
+	}}
+	ms := CrawlDelayMeasurements(d, 30*time.Second)
+	m := ms["A"]
+	if m.Trials != 3 || m.Successes != 2 {
+		t.Errorf("A = %+v, want 2/3", m)
+	}
+}
+
+func TestCrawlDelayThresholdBoundary(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("A", "X", "ip1", t0, "/p1"),
+		rec("A", "X", "ip1", t0.Add(30*time.Second), "/p2"), // exactly 30 s: compliant
+	}}
+	m := CrawlDelayMeasurements(d, 30*time.Second)["A"]
+	if m.Successes != 1 || m.Trials != 1 {
+		t.Errorf("boundary gap = %+v", m)
+	}
+}
+
+func TestCrawlDelaySeparatesTuples(t *testing.T) {
+	// Two IPs interleaved in time must not create cross-tuple deltas.
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("A", "X", "ip1", t0, "/p"),
+		rec("A", "X", "ip2", t0.Add(time.Second), "/p"),
+		rec("A", "X", "ip1", t0.Add(60*time.Second), "/p"),
+		rec("A", "X", "ip2", t0.Add(61*time.Second), "/p"),
+	}}
+	m := CrawlDelayMeasurements(d, 30*time.Second)["A"]
+	if m.Trials != 2 || m.Successes != 2 {
+		t.Errorf("per-tuple deltas = %+v, want 2/2", m)
+	}
+}
+
+func TestEndpointMeasurements(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("A", "X", "ip1", t0, "/page-data/x/page-data.json"),
+		rec("A", "X", "ip1", t0, "/robots.txt"),
+		rec("A", "X", "ip1", t0, "/people/p1"),
+		rec("A", "X", "ip1", t0, "/page-data/y/page-data.json"),
+	}}
+	m := EndpointMeasurements(d, "/page-data/")["A"]
+	if m.Trials != 4 || m.Successes != 3 {
+		t.Errorf("endpoint = %+v, want 3/4", m)
+	}
+}
+
+func TestDisallowMeasurements(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("A", "X", "ip1", t0, "/robots.txt"),
+		rec("A", "X", "ip1", t0, "/robots.txt"),
+		rec("A", "X", "ip1", t0, "/people/p1"),
+	}}
+	m := DisallowMeasurements(d)["A"]
+	if m.Trials != 3 || m.Successes != 2 {
+		t.Errorf("disallow = %+v, want 2/3", m)
+	}
+}
+
+func TestAnonymousRecordsIgnored(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		{UserAgent: "Mozilla/5.0", IPHash: "x", ASN: "A", Time: t0, Site: "www", Path: "/p"},
+	}}
+	if len(CrawlDelayMeasurements(d, time.Second)) != 0 ||
+		len(EndpointMeasurements(d, "/page-data/")) != 0 ||
+		len(DisallowMeasurements(d)) != 0 {
+		t.Error("anonymous records must not produce measurements")
+	}
+}
+
+func TestCheckedRobots(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("A", "X", "ip1", t0, "/robots.txt"),
+		rec("B", "X", "ip2", t0, "/people/p1"),
+	}}
+	checked := CheckedRobots(d)
+	if !checked["A"] || checked["B"] {
+		t.Errorf("checked = %v", checked)
+	}
+}
+
+func TestMeasurementRatio(t *testing.T) {
+	if (Measurement{}).Ratio() != 0 {
+		t.Error("empty measurement ratio should be 0")
+	}
+	if (Measurement{Successes: 3, Trials: 4}).Ratio() != 0.75 {
+		t.Error("ratio arithmetic")
+	}
+}
+
+// buildStudy builds a baseline/experiment pair where bot A improves
+// disallow compliance and bot B does not change.
+func buildStudy() (*weblog.Dataset, *weblog.Dataset) {
+	var base, exp weblog.Dataset
+	at := t0
+	for i := 0; i < 100; i++ {
+		// Baseline: A and B fetch pages only.
+		base.Records = append(base.Records, rec("A", "AI Data Scrapers", "ip1", at, "/people/p"))
+		base.Records = append(base.Records, rec("B", "Other", "ip2", at, "/people/p"))
+		// Experiment: A fetches only robots.txt; B keeps fetching pages.
+		exp.Records = append(exp.Records, rec("A", "AI Data Scrapers", "ip1", at, "/robots.txt"))
+		exp.Records = append(exp.Records, rec("B", "Other", "ip2", at, "/people/p"))
+		at = at.Add(time.Minute)
+	}
+	return &base, &exp
+}
+
+func TestCompareDisallow(t *testing.T) {
+	base, exp := buildStudy()
+	results := Compare(base, exp, DisallowAll, DefaultConfig())
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	byBot := map[string]Result{}
+	for _, r := range results {
+		byBot[r.Bot] = r
+	}
+	a := byBot["A"]
+	if a.Experiment.Ratio() != 1 || a.Baseline.Ratio() != 0 {
+		t.Errorf("A ratios = %v/%v", a.Baseline.Ratio(), a.Experiment.Ratio())
+	}
+	if !a.Significant() || a.Test.Z <= 0 {
+		t.Errorf("A shift should be significant positive: %+v", a.Test)
+	}
+	if !a.Checked {
+		t.Error("A fetched robots.txt, Checked must be true")
+	}
+	b := byBot["B"]
+	if b.Significant() {
+		t.Errorf("B should not shift: %+v", b.Test)
+	}
+	if b.Checked {
+		t.Error("B never fetched robots.txt")
+	}
+}
+
+func TestCompareMinAccessesFilter(t *testing.T) {
+	base, exp := buildStudy()
+	// Bot C appears only 3 times in experiment: filtered at MinAccesses=5.
+	for i := 0; i < 3; i++ {
+		exp.Records = append(exp.Records, rec("C", "Other", "ip3", t0, "/p"))
+		base.Records = append(base.Records, rec("C", "Other", "ip3", t0, "/p"))
+	}
+	results := Compare(base, exp, DisallowAll, DefaultConfig())
+	for _, r := range results {
+		if r.Bot == "C" {
+			t.Error("C must be filtered by MinAccesses")
+		}
+	}
+}
+
+func TestCompareExcludesExemptForEndpointAndDisallow(t *testing.T) {
+	base, exp := buildStudy()
+	for i := 0; i < 10; i++ {
+		base.Records = append(base.Records, rec("Googlebot", "Search Engine Crawlers", "ip9", t0.Add(time.Duration(i)*time.Minute), "/p"))
+		exp.Records = append(exp.Records, rec("Googlebot", "Search Engine Crawlers", "ip9", t0.Add(time.Duration(i)*time.Minute), "/p"))
+	}
+	cfg := DefaultConfig()
+	for _, dir := range []Directive{Endpoint, DisallowAll} {
+		for _, r := range Compare(base, exp, dir, cfg) {
+			if r.Bot == "Googlebot" {
+				t.Errorf("exempt Googlebot leaked into %v results", dir)
+			}
+		}
+	}
+	// But crawl-delay results include exempt bots (Figure 9 includes them
+	// only for bots not exempted; the paper's crawl-delay experiment
+	// applies to all bots since v1 restricts everyone).
+	found := false
+	for _, r := range Compare(base, exp, CrawlDelay, cfg) {
+		if r.Bot == "Googlebot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Googlebot missing from crawl-delay comparison")
+	}
+}
+
+func TestCompareRequiresBaselinePresence(t *testing.T) {
+	base, exp := buildStudy()
+	for i := 0; i < 10; i++ {
+		exp.Records = append(exp.Records, rec("OnlyExp", "Other", "ip7", t0.Add(time.Duration(i)*time.Minute), "/p"))
+	}
+	for _, r := range Compare(base, exp, DisallowAll, DefaultConfig()) {
+		if r.Bot == "OnlyExp" {
+			t.Error("bot absent from baseline must be skipped")
+		}
+	}
+}
+
+func TestCompareAll(t *testing.T) {
+	base, exp := buildStudy()
+	phases := map[robots.Version]*weblog.Dataset{
+		robots.Version1: exp,
+		robots.Version2: exp,
+		robots.Version3: exp,
+	}
+	all := CompareAll(base, phases, DefaultConfig())
+	if len(all) != 3 {
+		t.Fatalf("directives analyzed = %d", len(all))
+	}
+	// A missing phase simply drops that directive.
+	delete(phases, robots.Version2)
+	all = CompareAll(base, phases, DefaultConfig())
+	if len(all) != 2 {
+		t.Fatalf("directives with one phase missing = %d, want 2", len(all))
+	}
+}
+
+func TestDirectiveStringsAndVersions(t *testing.T) {
+	if CrawlDelay.String() != "Crawl delay" || Endpoint.String() != "Endpoint access" || DisallowAll.String() != "Disallow all" {
+		t.Error("directive labels drifted from the paper's vocabulary")
+	}
+	if CrawlDelay.Version() != robots.Version1 || Endpoint.Version() != robots.Version2 || DisallowAll.Version() != robots.Version3 {
+		t.Error("directive-version mapping broken")
+	}
+	if Directive(99).String() != "unknown" {
+		t.Error("out-of-range directive label")
+	}
+}
+
+func TestQuickRatioBounded(t *testing.T) {
+	f := func(s, n uint16) bool {
+		trials := int(n%1000) + 1
+		succ := int(s) % (trials + 1)
+		r := Measurement{Successes: succ, Trials: trials}.Ratio()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package core is the high-level entry point to the study: it wires the
+// traffic source (synthetic generator or live crawler fleet), the
+// preprocessing pipeline, and the analysis suite into one Study value —
+// the paper's primary contribution (a reproducible robots.txt compliance
+// measurement methodology) as a library.
+//
+// Typical use:
+//
+//	study, err := core.NewStudy(core.Options{Seed: 1, Scale: 0.2})
+//	...
+//	fmt.Print(study.Table5().String())   // category compliance matrix
+//	study.WriteAll(os.Stdout)            // every table and figure
+//
+// The root scraperlab package re-exports this API for external callers.
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/checkfreq"
+	"repro/internal/compliance"
+	"repro/internal/crawler"
+	"repro/internal/experiment"
+	"repro/internal/report"
+	"repro/internal/robots"
+	"repro/internal/sitegen"
+	"repro/internal/spoof"
+	"repro/internal/synth"
+	"repro/internal/weblog"
+	"repro/internal/webserver"
+)
+
+// Options configures a Study.
+type Options struct {
+	// Seed drives all randomness; equal options produce identical studies.
+	Seed int64
+	// Scale multiplies traffic volumes (1.0 = paper scale, ~750k accesses;
+	// 0.1 is plenty for exploration). Zero defaults to 0.2.
+	Scale float64
+	// Days is the observational window (default 40, as in the paper).
+	Days int
+	// Secret keys the IP anonymizer.
+	Secret []byte
+}
+
+// Study owns one full reproduction run.
+type Study struct {
+	suite *experiment.Suite
+}
+
+// NewStudy builds a study over the synthetic substrate.
+func NewStudy(opts Options) (*Study, error) {
+	if opts.Scale == 0 {
+		opts.Scale = 0.2
+	}
+	suite, err := experiment.NewSuite(synth.Config{
+		Seed:   opts.Seed,
+		Scale:  opts.Scale,
+		Days:   opts.Days,
+		Secret: opts.Secret,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Study{suite: suite}, nil
+}
+
+// Suite exposes the underlying experiment suite for advanced use.
+func (s *Study) Suite() *experiment.Suite { return s.suite }
+
+// Table2 through Figure11 return the reproduced artifacts; see DESIGN.md's
+// per-experiment index for the paper mapping.
+func (s *Study) Table2() *report.Table      { return s.suite.Table2() }
+func (s *Study) Table3() *report.Table      { return s.suite.Table3() }
+func (s *Study) Table4() *report.Table      { return s.suite.Table4() }
+func (s *Study) Table5() *report.Table      { return s.suite.Table5() }
+func (s *Study) Table6() *report.Table      { return s.suite.Table6() }
+func (s *Study) Table7() *report.Table      { return s.suite.Table7() }
+func (s *Study) Table8() *report.Table      { return s.suite.Table8() }
+func (s *Study) Table9() *report.Table      { return s.suite.Table9() }
+func (s *Study) Table10() *report.Table     { return s.suite.Table10() }
+func (s *Study) Figure2() *report.Table     { return s.suite.Figure2() }
+func (s *Study) Figure3() *report.Table     { return s.suite.Figure3() }
+func (s *Study) Figure4() *report.Table     { return s.suite.Figure4() }
+func (s *Study) Figures5to8() *report.Table { return s.suite.Figures5to8() }
+func (s *Study) Figure9() *report.Table     { return s.suite.Figure9() }
+func (s *Study) Figure10() *report.Table    { return s.suite.Figure10() }
+func (s *Study) Figure11() *report.Table    { return s.suite.Figure11() }
+
+// WriteAll renders every table and figure to w.
+func (s *Study) WriteAll(w io.Writer) error { return s.suite.RunAll(w) }
+
+// Dataset returns the enriched 40-day observational dataset, e.g. for
+// export with weblog.WriteCSV.
+func (s *Study) Dataset() *weblog.Dataset { return s.suite.Full() }
+
+// ComplianceResults returns the per-bot per-directive comparison results.
+func (s *Study) ComplianceResults() map[compliance.Directive][]compliance.Result {
+	return s.suite.Results()
+}
+
+// ---- One-shot helpers for library consumers ----
+
+// CheckRobots parses a robots.txt body and reports whether userAgent may
+// fetch path, plus any requested crawl delay. This is the library's
+// quickstart primitive.
+func CheckRobots(body []byte, userAgent, path string) (allowed bool, delay time.Duration, err error) {
+	d := robots.Parse(body)
+	t := d.Tester(userAgent)
+	delay, _ = t.CrawlDelay()
+	return t.Allowed(path), delay, nil
+}
+
+// AuditDataset runs the three compliance metrics over an externally
+// supplied baseline/experiment dataset pair — the path for users with
+// their own web logs (the paper's true setting).
+func AuditDataset(baseline, experiment *weblog.Dataset) map[compliance.Directive][]compliance.Result {
+	cfg := compliance.DefaultConfig()
+	phases := map[robots.Version]*weblog.Dataset{
+		robots.Version1: experiment,
+		robots.Version2: experiment,
+		robots.Version3: experiment,
+	}
+	return compliance.CompareAll(baseline, phases, cfg)
+}
+
+// DetectSpoofing runs the §5.2 dominant-ASN heuristic over a dataset.
+func DetectSpoofing(d *weblog.Dataset) []spoof.Finding {
+	var det spoof.Detector
+	return det.Detect(d)
+}
+
+// CheckCadence runs the §5.1 robots.txt re-check analysis over a dataset.
+func CheckCadence(d *weblog.Dataset) []checkfreq.CategoryProportion {
+	stats := checkfreq.Analyze(d, nil, checkfreq.DefaultWindows)
+	return checkfreq.ByCategory(stats, checkfreq.DefaultWindows)
+}
+
+// LiveCrawlOptions configures a live HTTP fleet run.
+type LiveCrawlOptions struct {
+	// Version is the robots.txt version the estate serves.
+	Version robots.Version
+	// Bots restricts the fleet (nil = whole population).
+	Bots []string
+	// PagesPerBot caps each bot's fetches (default 25).
+	PagesPerBot int
+	// Sites is how many sites to serve (default 4; 36 = full estate).
+	Sites int
+	// Seed drives determinism.
+	Seed int64
+}
+
+// LiveCrawl starts a real HTTP estate, drives the calibrated bot fleet
+// against it, and returns the collected (virtual-time) access log plus
+// per-bot crawl stats. It exercises the entire network path: robots.txt
+// fetch and caching, sitemap discovery, politeness pacing, and logging.
+func LiveCrawl(ctx context.Context, opts LiveCrawlOptions) (*weblog.Dataset, crawler.FleetResult, error) {
+	pop, err := botnet.DefaultPopulation()
+	if err != nil {
+		return nil, nil, err
+	}
+	nSites := opts.Sites
+	if nSites <= 0 {
+		nSites = 4
+	}
+	gen, err := synth.New(synth.Config{Seed: opts.Seed, Scale: 0.01})
+	if err != nil {
+		return nil, nil, err
+	}
+	sites := gen.Sites()
+	if nSites > len(sites) {
+		nSites = len(sites)
+	}
+	col := &webserver.MemoryCollector{
+		TimeBase:  synth.DefaultStart,
+		TimeScale: 1000,
+	}
+	estate, err := webserver.StartEstate(sites[:nSites], col, func(*sitegen.Site) []byte {
+		return robots.BuildVersion(opts.Version, "")
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer estate.Close()
+
+	stats, err := crawler.RunFleet(ctx, crawler.FleetConfig{
+		Population:  pop,
+		Estate:      estate,
+		Version:     opts.Version,
+		PagesPerBot: opts.PagesPerBot,
+		TimeScale:   1000,
+		Seed:        opts.Seed,
+		Bots:        opts.Bots,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return col.Dataset(), stats, nil
+}

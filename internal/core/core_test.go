@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/weblog"
+)
+
+func TestCheckRobots(t *testing.T) {
+	body := robots.BuildVersion(robots.Version1, "")
+	allowed, delay, err := CheckRobots(body, "AnyBot/1.0", "/people/profile-0001")
+	if err != nil || !allowed || delay != 30*time.Second {
+		t.Errorf("CheckRobots = %v,%v,%v", allowed, delay, err)
+	}
+	allowed, _, _ = CheckRobots(body, "AnyBot/1.0", "/secure/internal-01")
+	if allowed {
+		t.Error("secure path must be blocked")
+	}
+}
+
+func TestNewStudyAndHeadlineResults(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 1, Scale: 0.08, Secret: []byte("core")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t5 := study.Table5()
+	if len(t5.Rows) < 5 {
+		t.Errorf("Table 5 rows = %d", len(t5.Rows))
+	}
+	if study.Dataset().Len() == 0 {
+		t.Error("empty dataset")
+	}
+	if len(study.ComplianceResults()) != 3 {
+		t.Error("missing directive results")
+	}
+	var sb strings.Builder
+	if err := study.WriteAll(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 10.") {
+		t.Error("WriteAll output incomplete")
+	}
+}
+
+func TestAuditDataset(t *testing.T) {
+	t0 := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(path string) *weblog.Dataset {
+		d := &weblog.Dataset{}
+		for i := 0; i < 20; i++ {
+			d.Records = append(d.Records, weblog.Record{
+				UserAgent: "X/1", BotName: "X", Category: "Other",
+				IPHash: "ip", ASN: "A", Time: t0.Add(time.Duration(i) * time.Minute),
+				Site: "s", Path: path, Status: 200, Bytes: 1,
+			})
+		}
+		return d
+	}
+	res := AuditDataset(mk("/page"), mk("/robots.txt"))
+	if len(res) != 3 {
+		t.Fatalf("directives = %d", len(res))
+	}
+}
+
+func TestDetectSpoofingHelper(t *testing.T) {
+	d := &weblog.Dataset{}
+	t0 := time.Now()
+	for i := 0; i < 95; i++ {
+		d.Records = append(d.Records, weblog.Record{BotName: "B", UserAgent: "B/1", ASN: "MAIN", IPHash: "a", Time: t0, Site: "s", Path: "/"})
+	}
+	for i := 0; i < 5; i++ {
+		d.Records = append(d.Records, weblog.Record{BotName: "B", UserAgent: "B/1", ASN: "ODD", IPHash: "b", Time: t0, Site: "s", Path: "/"})
+	}
+	if got := DetectSpoofing(d); len(got) != 1 || got[0].MainASN != "MAIN" {
+		t.Errorf("findings = %+v", got)
+	}
+}
+
+func TestLiveCrawlEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	logs, stats, err := LiveCrawl(ctx, LiveCrawlOptions{
+		Version:     robots.Version3,
+		Bots:        []string{"GPTBot", "HeadlessChrome"},
+		PagesPerBot: 4,
+		Sites:       2,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logs.Len() == 0 {
+		t.Fatal("no live logs collected")
+	}
+	if stats["GPTBot"].PagesFetched != 0 {
+		t.Errorf("GPTBot fetched pages under disallow-all: %+v", stats["GPTBot"])
+	}
+	if stats["HeadlessChrome"].PagesFetched == 0 {
+		t.Errorf("HeadlessChrome should ignore disallow-all: %+v", stats["HeadlessChrome"])
+	}
+}

@@ -1,0 +1,42 @@
+package crawler
+
+import "time"
+
+// Clock abstracts time so crawls can run time-compressed: a simulated
+// 30-second crawl delay need not cost 30 wall-clock seconds in tests or
+// fleet simulations.
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+	// Sleep pauses the caller for a (possibly scaled) duration.
+	Sleep(d time.Duration)
+}
+
+// RealClock is the production clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// ScaledClock compresses sleeps by Factor: Sleep(30s) with Factor 1000
+// sleeps 30 ms of wall time. Combined with a log collector that remaps
+// timestamps by the same factor, crawl pacing survives the compression.
+type ScaledClock struct {
+	// Factor is the compression ratio (>= 1). Zero behaves like 1.
+	Factor float64
+}
+
+// Now implements Clock.
+func (c ScaledClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (c ScaledClock) Sleep(d time.Duration) {
+	f := c.Factor
+	if f <= 1 {
+		f = 1
+	}
+	time.Sleep(time.Duration(float64(d) / f))
+}

@@ -1,0 +1,379 @@
+// Package crawler implements a concurrent, polite web crawler with a
+// pluggable Robots Exclusion Protocol policy — the scraper side of the
+// paper's ecosystem. One Crawler models one bot: it discovers URLs from
+// sitemaps, maintains a per-host robots.txt cache with a configurable
+// re-check TTL (§5.1's check cadence), enforces per-host politeness, and
+// fans work across hosts with a worker pool.
+//
+// Together with webserver (the site side) and botnet (behavioural
+// calibration), this closes the loop: a fleet of crawlers with
+// paper-calibrated policies crawling simulated sites over real HTTP
+// produces logs the analysis pipeline can consume, exactly as the paper's
+// institution observed real bots.
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/webserver"
+)
+
+// Config parameterizes one crawler (one bot).
+type Config struct {
+	// UserAgent is sent verbatim; it is also what robots.txt group
+	// matching keys on.
+	UserAgent string
+	// SimIP and SimASN declare the simulated origin to the webserver's
+	// logging middleware. Optional outside simulations.
+	SimIP, SimASN string
+	// BaseURLs are the site roots to crawl ("http://127.0.0.1:41234").
+	BaseURLs []string
+	// Seeds are URI paths to start from; when empty the crawler reads
+	// each site's /sitemap.xml.
+	Seeds []string
+	// Policy governs REP behaviour (required).
+	Policy Policy
+	// RobotsTTL is how long a cached robots.txt stays fresh; zero means
+	// Google's 24-hour default.
+	RobotsTTL time.Duration
+	// MaxPages caps total page fetches across all hosts (0 = unlimited,
+	// bounded by the frontier).
+	MaxPages int
+	// Workers is the number of concurrent fetch workers (default 4).
+	Workers int
+	// Client is the HTTP client (default http.DefaultClient with a 10 s
+	// timeout).
+	Client *http.Client
+	// Clock abstracts time (default RealClock).
+	Clock Clock
+	// Rand shuffles the frontier for realistic access patterns
+	// (default deterministic seed 1).
+	Rand *rand.Rand
+}
+
+// Stats summarizes one crawl run.
+type Stats struct {
+	// PagesFetched counts successful page fetches.
+	PagesFetched int
+	// Blocked counts frontier entries skipped because the policy honoured
+	// a disallow rule.
+	Blocked int
+	// RobotsFetches counts robots.txt requests.
+	RobotsFetches int
+	// Errors counts transport-level failures.
+	Errors int
+}
+
+// Crawler is a single bot instance. Create with New; Run may be called
+// once.
+type Crawler struct {
+	cfg   Config
+	hosts []*hostState
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// hostState serializes access to one host and caches its robots.txt.
+type hostState struct {
+	base *url.URL
+
+	mu        sync.Mutex // held for the politeness-gap + fetch critical section
+	tester    *robots.Tester
+	robotsAt  time.Time
+	hasRobots bool
+	nextFetch time.Time
+}
+
+// New validates the config and builds a crawler.
+func New(cfg Config) (*Crawler, error) {
+	if cfg.UserAgent == "" {
+		return nil, errors.New("crawler: UserAgent required")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("crawler: Policy required")
+	}
+	if len(cfg.BaseURLs) == 0 {
+		return nil, errors.New("crawler: at least one BaseURL required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	if cfg.RobotsTTL <= 0 {
+		cfg.RobotsTTL = 24 * time.Hour
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.New(rand.NewSource(1))
+	}
+	c := &Crawler{cfg: cfg}
+	for _, raw := range cfg.BaseURLs {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: bad base URL %q: %w", raw, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("crawler: base URL %q missing scheme or host", raw)
+		}
+		c.hosts = append(c.hosts, &hostState{base: u})
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the run counters.
+func (c *Crawler) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// task is one frontier entry.
+type task struct {
+	host *hostState
+	path string
+}
+
+// Run executes the crawl until the frontier is exhausted, MaxPages is
+// reached, or the context is cancelled. It returns the final stats.
+func (c *Crawler) Run(ctx context.Context) (Stats, error) {
+	frontier, err := c.buildFrontier(ctx)
+	if err != nil {
+		return c.Stats(), err
+	}
+	c.cfg.Rand.Shuffle(len(frontier), func(i, j int) {
+		frontier[i], frontier[j] = frontier[j], frontier[i]
+	})
+
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	budget := newBudget(c.cfg.MaxPages)
+
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if ctx.Err() != nil {
+					continue // drain
+				}
+				c.crawlOne(ctx, t, budget)
+			}
+		}()
+	}
+feed:
+	for _, t := range frontier {
+		if budget.spent() || ctx.Err() != nil {
+			break feed
+		}
+		select {
+		case tasks <- t:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		return c.Stats(), err
+	}
+	return c.Stats(), nil
+}
+
+// buildFrontier seeds tasks from explicit seeds or each host's sitemap.
+func (c *Crawler) buildFrontier(ctx context.Context) ([]task, error) {
+	var frontier []task
+	seen := make(map[string]struct{})
+	add := func(h *hostState, path string) {
+		key := h.base.Host + path
+		if _, dup := seen[key]; dup || path == "" {
+			return
+		}
+		seen[key] = struct{}{}
+		frontier = append(frontier, task{host: h, path: path})
+	}
+	for _, h := range c.hosts {
+		if len(c.cfg.Seeds) > 0 {
+			for _, s := range c.cfg.Seeds {
+				add(h, s)
+			}
+			continue
+		}
+		paths, err := c.fetchSitemap(ctx, h)
+		if err != nil {
+			c.addErr()
+			continue // a dead host shouldn't kill the whole crawl
+		}
+		for _, p := range paths {
+			add(h, p)
+		}
+	}
+	if len(frontier) == 0 {
+		return nil, errors.New("crawler: empty frontier (no seeds and no sitemaps)")
+	}
+	return frontier, nil
+}
+
+var locRe = regexp.MustCompile(`<loc>([^<]+)</loc>`)
+
+// fetchSitemap retrieves /sitemap.xml and extracts same-host paths.
+func (c *Crawler) fetchSitemap(ctx context.Context, h *hostState) ([]string, error) {
+	body, _, err := c.get(ctx, h, "/sitemap.xml")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, m := range locRe.FindAllStringSubmatch(string(body), -1) {
+		u, err := url.Parse(strings.TrimSpace(m[1]))
+		if err != nil {
+			continue
+		}
+		if u.Path != "" {
+			out = append(out, u.Path)
+		}
+	}
+	return out, nil
+}
+
+// crawlOne processes one frontier entry with per-host serialization.
+func (c *Crawler) crawlOne(ctx context.Context, t task, budget *pageBudget) {
+	h := t.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if budget.spent() {
+		return
+	}
+
+	// Refresh robots.txt when the policy wants it and the cache is stale.
+	if c.cfg.Policy.FetchesRobots() {
+		if !h.hasRobots || c.cfg.Clock.Now().Sub(h.robotsAt) >= c.cfg.RobotsTTL {
+			c.refreshRobots(ctx, h)
+		}
+	}
+
+	if !c.cfg.Policy.Allowed(h.tester, t.path) {
+		c.addBlocked()
+		return
+	}
+
+	// Politeness: wait until the host's next allowed fetch time.
+	now := c.cfg.Clock.Now()
+	if wait := h.nextFetch.Sub(now); wait > 0 {
+		c.cfg.Clock.Sleep(wait)
+	}
+
+	_, status, err := c.get(ctx, h, t.path)
+	if err != nil {
+		c.addErr()
+		return
+	}
+	_ = status
+	if !budget.take() {
+		return
+	}
+	c.addPage()
+	h.nextFetch = c.cfg.Clock.Now().Add(c.cfg.Policy.Delay(h.tester))
+}
+
+// refreshRobots fetches and parses robots.txt for a host. A fetch failure
+// leaves the previous tester in place (per RFC 9309, unreachable robots.txt
+// handling is crawler-defined; we keep last-known rules).
+func (c *Crawler) refreshRobots(ctx context.Context, h *hostState) {
+	body, status, err := c.get(ctx, h, "/robots.txt")
+	if err != nil {
+		c.addErr()
+		return
+	}
+	c.addRobots()
+	h.robotsAt = c.cfg.Clock.Now()
+	h.hasRobots = true
+	if status == http.StatusOK {
+		h.tester = robots.Parse(body).Tester(c.cfg.UserAgent)
+	} else {
+		// 4xx robots.txt means "no restrictions" per RFC 9309 §2.3.1.2.
+		h.tester = robots.Parse(nil).Tester(c.cfg.UserAgent)
+	}
+}
+
+// get performs one HTTP GET relative to the host base.
+func (c *Crawler) get(ctx context.Context, h *hostState, path string) ([]byte, int, error) {
+	u := *h.base
+	u.Path = path
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("User-Agent", c.cfg.UserAgent)
+	if c.cfg.SimIP != "" {
+		req.Header.Set(webserver.HeaderSimIP, c.cfg.SimIP)
+	}
+	if c.cfg.SimASN != "" {
+		req.Header.Set(webserver.HeaderSimASN, c.cfg.SimASN)
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+func (c *Crawler) addPage()    { c.mu.Lock(); c.stats.PagesFetched++; c.mu.Unlock() }
+func (c *Crawler) addBlocked() { c.mu.Lock(); c.stats.Blocked++; c.mu.Unlock() }
+func (c *Crawler) addRobots()  { c.mu.Lock(); c.stats.RobotsFetches++; c.mu.Unlock() }
+func (c *Crawler) addErr()     { c.mu.Lock(); c.stats.Errors++; c.mu.Unlock() }
+
+// pageBudget is a concurrency-safe page cap.
+type pageBudget struct {
+	mu     sync.Mutex
+	left   int
+	capped bool
+}
+
+func newBudget(max int) *pageBudget {
+	return &pageBudget{left: max, capped: max > 0}
+}
+
+// take consumes one unit; it returns false when the budget was already
+// exhausted.
+func (b *pageBudget) take() bool {
+	if !b.capped {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.left <= 0 {
+		return false
+	}
+	b.left--
+	return true
+}
+
+func (b *pageBudget) spent() bool {
+	if !b.capped {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.left <= 0
+}

@@ -1,0 +1,341 @@
+package crawler
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/robots"
+	"repro/internal/sitegen"
+	"repro/internal/webserver"
+)
+
+// testEstate starts a small estate with the given robots.txt version and
+// returns it plus its collector.
+func testEstate(t *testing.T, v robots.Version, n int) (*webserver.Estate, *webserver.MemoryCollector) {
+	t.Helper()
+	sites := sitegen.Generate(2)[:n]
+	col := &webserver.MemoryCollector{
+		TimeBase:  time.Date(2025, 2, 12, 0, 0, 0, 0, time.UTC),
+		TimeScale: 2000,
+	}
+	estate, err := webserver.StartEstate(sites, col, func(s *sitegen.Site) []byte {
+		return robots.BuildVersion(v, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(estate.Close)
+	return estate, col
+}
+
+func fastClock() Clock { return ScaledClock{Factor: 2000} }
+
+func TestNewValidation(t *testing.T) {
+	_, err := New(Config{})
+	if err == nil {
+		t.Error("empty config must fail")
+	}
+	_, err = New(Config{UserAgent: "x", Policy: Obedient{}})
+	if err == nil {
+		t.Error("missing base URLs must fail")
+	}
+	_, err = New(Config{UserAgent: "x", Policy: Obedient{}, BaseURLs: []string{"::bad::"}})
+	if err == nil {
+		t.Error("bad URL must fail")
+	}
+	_, err = New(Config{UserAgent: "x", Policy: Obedient{}, BaseURLs: []string{"relative/path"}})
+	if err == nil {
+		t.Error("URL without scheme must fail")
+	}
+}
+
+func TestObedientCrawlRespectsBaseRestrictions(t *testing.T) {
+	estate, col := testEstate(t, robots.VersionBase, 1)
+	c, err := New(Config{
+		UserAgent: "TestBot/1.0",
+		SimIP:     "bot-1", SimASN: "TESTNET",
+		BaseURLs: estate.URLs,
+		Policy:   Obedient{MinDelay: time.Second},
+		Clock:    fastClock(),
+		MaxPages: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesFetched == 0 {
+		t.Fatal("no pages fetched")
+	}
+	if stats.RobotsFetches == 0 {
+		t.Error("obedient crawler must fetch robots.txt")
+	}
+	for _, r := range col.Dataset().Records {
+		if strings.HasPrefix(r.Path, "/secure/") {
+			t.Errorf("obedient crawler fetched restricted path %s", r.Path)
+		}
+	}
+}
+
+func TestObedientCrawlUnderDisallowAllFetchesOnlyRobots(t *testing.T) {
+	estate, col := testEstate(t, robots.Version3, 1)
+	c, _ := New(Config{
+		UserAgent: "RandomBot/1.0", // not an exempt SEO bot
+		BaseURLs:  estate.URLs,
+		Policy:    Obedient{},
+		Clock:     fastClock(),
+		MaxPages:  10,
+	})
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesFetched != 0 {
+		t.Errorf("fetched %d pages under disallow-all", stats.PagesFetched)
+	}
+	if stats.Blocked == 0 {
+		t.Error("expected blocked frontier entries")
+	}
+	for _, r := range col.Dataset().Records {
+		if !r.IsRobotsFetch() && r.Path != "/sitemap.xml" {
+			t.Errorf("unexpected fetch: %s", r.Path)
+		}
+	}
+}
+
+func TestExemptBotCrawlsUnderDisallowAll(t *testing.T) {
+	estate, _ := testEstate(t, robots.Version3, 1)
+	c, _ := New(Config{
+		UserAgent: "Mozilla/5.0 (compatible; Googlebot/2.1)",
+		BaseURLs:  estate.URLs,
+		Policy:    Obedient{},
+		Clock:     fastClock(),
+		MaxPages:  5,
+	})
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesFetched == 0 {
+		t.Error("exempt Googlebot should still crawl under v3")
+	}
+}
+
+func TestIgnorantCrawlerSkipsRobots(t *testing.T) {
+	estate, col := testEstate(t, robots.Version3, 1)
+	c, _ := New(Config{
+		UserAgent: "RudeBot/1.0",
+		BaseURLs:  estate.URLs,
+		Policy:    Ignorant{Pace: time.Second},
+		Clock:     fastClock(),
+		MaxPages:  8,
+	})
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RobotsFetches != 0 {
+		t.Error("ignorant crawler must never fetch robots.txt")
+	}
+	if stats.PagesFetched == 0 {
+		t.Error("ignorant crawler should fetch pages despite disallow-all")
+	}
+	for _, r := range col.Dataset().Records {
+		if r.IsRobotsFetch() {
+			t.Error("robots.txt appeared in logs for ignorant crawler")
+		}
+	}
+}
+
+func TestCrawlDelayPacing(t *testing.T) {
+	estate, col := testEstate(t, robots.Version1, 1) // 30 s crawl delay
+	c, _ := New(Config{
+		UserAgent: "PoliteBot/1.0",
+		BaseURLs:  estate.URLs,
+		Policy:    Obedient{},
+		Clock:     fastClock(),
+		MaxPages:  4,
+		Workers:   2,
+	})
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// With the collector's matching time scale, successive fetches from
+	// the single host should be >= ~30 virtual seconds apart.
+	d := col.Dataset()
+	d.SortByTime()
+	var pageTimes []time.Time
+	for _, r := range d.Records {
+		if !r.IsRobotsFetch() && r.Path != "/sitemap.xml" {
+			pageTimes = append(pageTimes, r.Time)
+		}
+	}
+	if len(pageTimes) < 2 {
+		t.Fatalf("only %d page fetches", len(pageTimes))
+	}
+	for i := 1; i < len(pageTimes); i++ {
+		if gap := pageTimes[i].Sub(pageTimes[i-1]); gap < 25*time.Second {
+			t.Errorf("gap %d = %v, want >= ~30 virtual seconds", i, gap)
+		}
+	}
+}
+
+func TestMaxPagesCap(t *testing.T) {
+	estate, _ := testEstate(t, robots.VersionBase, 1)
+	c, _ := New(Config{
+		UserAgent: "CapBot/1.0",
+		BaseURLs:  estate.URLs,
+		Policy:    Ignorant{Pace: time.Millisecond},
+		Clock:     fastClock(),
+		MaxPages:  3,
+	})
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesFetched != 3 {
+		t.Errorf("fetched %d pages, cap is 3", stats.PagesFetched)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	estate, _ := testEstate(t, robots.VersionBase, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, _ := New(Config{
+		UserAgent: "CtxBot/1.0",
+		BaseURLs:  estate.URLs,
+		Policy:    Ignorant{Pace: time.Millisecond},
+		Clock:     fastClock(),
+	})
+	stats, _ := c.Run(ctx)
+	if stats.PagesFetched > 2 {
+		t.Errorf("cancelled crawl still fetched %d pages", stats.PagesFetched)
+	}
+}
+
+func TestSeedsOverrideSitemap(t *testing.T) {
+	estate, col := testEstate(t, robots.VersionBase, 1)
+	c, _ := New(Config{
+		UserAgent: "SeedBot/1.0",
+		BaseURLs:  estate.URLs,
+		Seeds:     []string{"/", "/404-not-in-sitemap"},
+		Policy:    Ignorant{Pace: time.Millisecond},
+		Clock:     fastClock(),
+	})
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range col.Dataset().Records {
+		if r.Path == "/sitemap.xml" {
+			t.Error("seeded crawl must not read the sitemap")
+		}
+	}
+}
+
+func TestMultiHostCrawl(t *testing.T) {
+	estate, col := testEstate(t, robots.VersionBase, 3)
+	c, _ := New(Config{
+		UserAgent: "MultiBot/1.0",
+		BaseURLs:  estate.URLs,
+		Policy:    Ignorant{Pace: time.Millisecond},
+		Clock:     fastClock(),
+		MaxPages:  30,
+		Workers:   4,
+	})
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sites := map[string]bool{}
+	for _, r := range col.Dataset().Records {
+		sites[r.Site] = true
+	}
+	if len(sites) < 2 {
+		t.Errorf("crawl touched %d sites, want >= 2", len(sites))
+	}
+}
+
+func TestFleetSmall(t *testing.T) {
+	estate, col := testEstate(t, robots.Version3, 1)
+	pop, err := botnet.DefaultPopulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunFleet(context.Background(), FleetConfig{
+		Population:  pop,
+		Estate:      estate,
+		Version:     robots.Version3,
+		PagesPerBot: 5,
+		Concurrency: 4,
+		TimeScale:   3000,
+		Seed:        1,
+		Bots:        []string{"GPTBot", "HeadlessChrome", "Googlebot"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %v", results)
+	}
+	// GPTBot obeys disallow-all: no page fetches, robots fetched.
+	if g := results["GPTBot"]; g.PagesFetched != 0 || g.RobotsFetches == 0 {
+		t.Errorf("GPTBot stats = %+v", g)
+	}
+	// HeadlessChrome never checks robots and fetches pages anyway.
+	if h := results["HeadlessChrome"]; h.RobotsFetches != 0 || h.PagesFetched == 0 {
+		t.Errorf("HeadlessChrome stats = %+v", h)
+	}
+	// Googlebot is exempt and crawls normally.
+	if gb := results["Googlebot"]; gb.PagesFetched == 0 {
+		t.Errorf("Googlebot stats = %+v", gb)
+	}
+	if col.Len() == 0 {
+		t.Error("fleet produced no log records")
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	pop, _ := botnet.DefaultPopulation()
+	rng := rand.New(rand.NewSource(1))
+	hc, _ := pop.ByName("HeadlessChrome")
+	if _, ok := PolicyFor(hc, robots.Version1, rng).(Ignorant); !ok {
+		t.Error("never-checking bot should get Ignorant policy")
+	}
+	gpt, _ := pop.ByName("GPTBot")
+	if _, ok := PolicyFor(gpt, robots.Version1, rng).(*Selective); !ok {
+		t.Error("checking bot should get Selective policy")
+	}
+}
+
+func TestSelectivePolicyProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := &Selective{Rand: rng, CheckRobots: true, ObeyDisallow: 1.0, ObeyDelay: 1.0}
+	tester := robots.Parse([]byte("User-agent: *\nDisallow: /\nCrawl-delay: 30\n")).Tester("x")
+	if s.Allowed(tester, "/blocked") {
+		t.Error("ObeyDisallow=1 must always honour disallow")
+	}
+	if d := s.Delay(tester); d != 30*time.Second {
+		t.Errorf("ObeyDelay=1 delay = %v", d)
+	}
+	s.ObeyDisallow = 0
+	if !s.Allowed(tester, "/blocked") {
+		t.Error("ObeyDisallow=0 must never honour disallow")
+	}
+}
+
+func TestObedientDelayFloor(t *testing.T) {
+	o := Obedient{}
+	if d := o.Delay(nil); d != time.Second {
+		t.Errorf("nil tester delay = %v", d)
+	}
+	tester := robots.Parse([]byte("User-agent: *\nCrawl-delay: 15\n")).Tester("x")
+	if d := o.Delay(tester); d != 15*time.Second {
+		t.Errorf("crawl-delay not honoured: %v", d)
+	}
+}

@@ -1,0 +1,125 @@
+package crawler
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deterrence"
+	"repro/internal/robots"
+	"repro/internal/sitegen"
+	"repro/internal/webserver"
+)
+
+// startDefended serves one site behind a deterrence middleware stack.
+func startDefended(t *testing.T, wrap func(http.Handler) http.Handler) (string, *webserver.Server) {
+	t.Helper()
+	sites := sitegen.Generate(4)[:1]
+	srv := webserver.NewServer(&sites[0], robots.BuildVersion(robots.VersionBase, ""), nil)
+	mux := wrap(srv)
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := listen(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = hs.Serve(ln) }()
+	t.Cleanup(func() { _ = hs.Close() })
+	return "http://" + ln.Addr().String(), srv
+}
+
+// TestBlocklistStopsIgnorantCrawler demonstrates the paper's §6 point: a
+// blocklist is enforceable where robots.txt is advisory. The same bot that
+// ignores disallow-all cannot get past a 403.
+func TestBlocklistStopsIgnorantCrawler(t *testing.T) {
+	bl := deterrence.NewBlocklist()
+	bl.BlockASN("BYTEDANCE")
+	base, _ := startDefended(t, bl.Middleware)
+
+	c, err := New(Config{
+		UserAgent: "RudeBot/1.0",
+		SimASN:    "BYTEDANCE",
+		BaseURLs:  []string{base},
+		Seeds:     []string{"/", "/about"},
+		Policy:    Ignorant{Pace: time.Millisecond},
+		Clock:     ScaledClock{Factor: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := c.Run(context.Background())
+	// Fetches "succeed" at the HTTP layer (403 bodies) but the blocklist
+	// denied every request.
+	if bl.Blocked() == 0 {
+		t.Error("blocklist never fired")
+	}
+	_ = stats
+}
+
+// TestTarpitCapturesNonCompliantCrawler routes a robots.txt-ignoring bot
+// into the maze: every page it "scrapes" is synthetic.
+func TestTarpitCapturesNonCompliantCrawler(t *testing.T) {
+	tp := &deterrence.Tarpit{
+		Trigger: func(r *http.Request) bool {
+			return strings.Contains(r.UserAgent(), "RudeBot")
+		},
+		PageBytes: 512,
+	}
+	base, _ := startDefended(t, tp.Middleware)
+
+	c, _ := New(Config{
+		UserAgent: "RudeBot/1.0",
+		BaseURLs:  []string{base},
+		Seeds:     []string{"/", "/news", "/events"},
+		Policy:    Ignorant{Pace: time.Millisecond},
+		Clock:     ScaledClock{Factor: 5000},
+		MaxPages:  3,
+	})
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesFetched == 0 {
+		t.Fatal("crawler fetched nothing")
+	}
+	if tp.Served() < stats.PagesFetched {
+		t.Errorf("tarpit served %d pages but crawler fetched %d real ones",
+			tp.Served(), stats.PagesFetched)
+	}
+}
+
+// TestPoWBlocksCrawlerButNotRobots verifies robots.txt stays reachable
+// through a proof-of-work gate (the REP must keep functioning), while page
+// fetches are challenged.
+func TestPoWBlocksCrawlerButNotRobots(t *testing.T) {
+	pow := &deterrence.ProofOfWork{Difficulty: 1, Exempt: deterrence.ExemptRobotsTxt}
+	base, _ := startDefended(t, pow.Middleware)
+
+	c, _ := New(Config{
+		UserAgent: "HonestBot/1.0",
+		BaseURLs:  []string{base},
+		Seeds:     []string{"/", "/about"},
+		Policy:    Obedient{},
+		Clock:     ScaledClock{Factor: 5000},
+		MaxPages:  3,
+	})
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RobotsFetches == 0 {
+		t.Error("robots.txt should pass the PoW exemption")
+	}
+	_, rejected := pow.Stats()
+	if rejected == 0 {
+		t.Error("page fetches should have been challenged")
+	}
+}
+
+// listen opens a loopback listener for the defended-server helpers.
+func listen(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}

@@ -1,0 +1,134 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/robots"
+	"repro/internal/webserver"
+)
+
+// FleetConfig drives a population of bots against a running estate over
+// real HTTP — the live counterpart of the synth package's log synthesis.
+type FleetConfig struct {
+	// Population is the calibrated bot population (required).
+	Population *botnet.Population
+	// Estate is the running site estate (required).
+	Estate *webserver.Estate
+	// Version is the robots.txt deployment phase the estate is serving;
+	// it selects each profile's check behaviour and compliance
+	// probabilities.
+	Version robots.Version
+	// PagesPerBot caps each bot's page fetches (default 25).
+	PagesPerBot int
+	// Concurrency bounds how many bots crawl simultaneously (default 8).
+	Concurrency int
+	// TimeScale compresses crawl pacing (default 600: a 30 s delay costs
+	// 50 ms of wall time).
+	TimeScale float64
+	// Seed derives each bot's deterministic randomness.
+	Seed int64
+	// Bots optionally restricts the fleet to the named bots (nil = all).
+	Bots []string
+}
+
+// FleetResult maps bot name to its crawl stats.
+type FleetResult map[string]Stats
+
+// PolicyFor translates a behavioural profile into a crawl policy for a
+// deployment phase. Bots that skip robots.txt during the phase (Table 7)
+// get an Ignorant policy; the rest obey each directive with their
+// calibrated probability.
+func PolicyFor(p *botnet.Profile, v robots.Version, rng *rand.Rand) Policy {
+	if !p.ChecksDuring(v) {
+		return Ignorant{Pace: 2 * time.Second}
+	}
+	return &Selective{
+		Rand:         rng,
+		CheckRobots:  true,
+		ObeyDelay:    p.DelayCompliance,
+		ObeyDisallow: p.DisallowCompliance,
+		FastPace:     2 * time.Second,
+		MinDelay:     time.Second,
+	}
+}
+
+// RunFleet crawls the estate with every selected bot concurrently and
+// returns per-bot stats. Crawls share nothing but the estate, so bot
+// failures are independent; the first configuration error aborts.
+func RunFleet(ctx context.Context, cfg FleetConfig) (FleetResult, error) {
+	if cfg.Population == nil || cfg.Estate == nil {
+		return nil, fmt.Errorf("crawler: fleet requires Population and Estate")
+	}
+	if cfg.PagesPerBot <= 0 {
+		cfg.PagesPerBot = 25
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 600
+	}
+
+	selected := cfg.Population.Profiles
+	if len(cfg.Bots) > 0 {
+		selected = nil
+		for _, name := range cfg.Bots {
+			if p, ok := cfg.Population.ByName(name); ok {
+				selected = append(selected, p)
+			}
+		}
+	}
+
+	clock := ScaledClock{Factor: cfg.TimeScale}
+	results := make(FleetResult, len(selected))
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, cfg.Concurrency)
+		errs []error
+	)
+	for i, p := range selected {
+		wg.Add(1)
+		go func(idx int, p *botnet.Profile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(idx)<<16 ^ 0x9e3779b9))
+			c, err := New(Config{
+				UserAgent: p.Bot.UASample,
+				SimIP:     fmt.Sprintf("fleet-%s", p.Bot.Name),
+				SimASN:    p.MainASN,
+				BaseURLs:  cfg.Estate.URLs,
+				Policy:    PolicyFor(p, cfg.Version, rng),
+				MaxPages:  cfg.PagesPerBot,
+				Workers:   2,
+				Clock:     clock,
+				Rand:      rng,
+			})
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("%s: %w", p.Bot.Name, err))
+				mu.Unlock()
+				return
+			}
+			stats, err := c.Run(ctx)
+			mu.Lock()
+			results[p.Bot.Name] = stats
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", p.Bot.Name, err))
+			}
+			mu.Unlock()
+		}(i, p)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return results, errs[0]
+	}
+	return results, nil
+}

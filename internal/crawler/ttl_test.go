@@ -1,0 +1,110 @@
+package crawler
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/sitegen"
+	"repro/internal/webserver"
+)
+
+// TestRobotsTTLRefetch verifies the §5.1 cadence mechanics end to end: a
+// crawler re-fetches robots.txt once its cache is older than RobotsTTL and
+// picks up rule changes mid-crawl.
+func TestRobotsTTLRefetch(t *testing.T) {
+	sites := sitegen.Generate(4)[:1]
+	col := &webserver.MemoryCollector{}
+	estate, err := webserver.StartEstate(sites, col, func(*sitegen.Site) []byte {
+		return robots.BuildVersion(robots.VersionBase, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer estate.Close()
+
+	clock := ScaledClock{Factor: 2000}
+	c, err := New(Config{
+		UserAgent: "TTLBot/1.0",
+		BaseURLs:  estate.URLs,
+		Policy:    Obedient{MinDelay: 30 * time.Second}, // virtual: 15ms real
+		Clock:     clock,
+		RobotsTTL: time.Millisecond, // real-time TTL: expires between fetches
+		MaxPages:  6,
+		Workers:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RobotsFetches < 3 {
+		t.Errorf("robots fetches = %d, want several (TTL-driven re-checks)", stats.RobotsFetches)
+	}
+}
+
+// TestRobotsSwapMidCrawlChangesBehaviour swaps the served robots.txt to
+// disallow-all and verifies an obedient crawler with a tiny TTL stops
+// fetching pages — the mechanism behind the paper's whole experiment.
+func TestRobotsSwapMidCrawlChangesBehaviour(t *testing.T) {
+	sites := sitegen.Generate(4)[:1]
+	col := &webserver.MemoryCollector{}
+	estate, err := webserver.StartEstate(sites, col, func(*sitegen.Site) []byte {
+		return robots.BuildVersion(robots.VersionBase, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer estate.Close()
+
+	// Swap to disallow-all immediately; the crawler's first robots fetch
+	// already sees the strict version.
+	estate.Servers[0].SetRobots(robots.BuildVersion(robots.Version3, ""))
+
+	c, _ := New(Config{
+		UserAgent: "SwapBot/1.0",
+		BaseURLs:  estate.URLs,
+		Policy:    Obedient{},
+		Clock:     ScaledClock{Factor: 2000},
+		RobotsTTL: time.Millisecond,
+		MaxPages:  5,
+	})
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesFetched != 0 {
+		t.Errorf("obedient crawler fetched %d pages after swap to disallow-all", stats.PagesFetched)
+	}
+	if stats.Blocked == 0 {
+		t.Error("expected blocked fetches after swap")
+	}
+}
+
+// TestRobots404MeansUnrestricted verifies RFC 9309 §2.3.1.2: a 4xx
+// robots.txt is treated as "no restrictions".
+func TestRobots404MeansUnrestricted(t *testing.T) {
+	sites := sitegen.Generate(4)[:1]
+	estate, err := webserver.StartEstate(sites, nil, nil) // nil robots body still serves 200 with empty body
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer estate.Close()
+	c, _ := New(Config{
+		UserAgent: "NoRulesBot/1.0",
+		BaseURLs:  estate.URLs,
+		Policy:    Obedient{},
+		Clock:     ScaledClock{Factor: 5000},
+		MaxPages:  3,
+	})
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesFetched == 0 {
+		t.Error("empty robots.txt must allow crawling")
+	}
+}

@@ -1,0 +1,269 @@
+// Package deterrence implements the bot-blocking alternatives the paper
+// surveys (§2.2) and calls for (§6, "more strongly-enforceable methods to
+// prevent unwanted scraping"): IP/ASN blocklists, a tarpit that feeds
+// misbehaving scrapers unending synthetic content, and a proof-of-work
+// challenge. Each is an http.Handler middleware that composes with the
+// webserver package, so the crawler fleet can be run against a defended
+// estate and the deterrents' effects measured with the same log pipeline.
+//
+// These are enforcement mechanisms, unlike robots.txt, which the paper
+// shows to be advisory in practice.
+package deterrence
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// ---- IP / ASN blocklist (the "outright block the IP addresses" option) ----
+
+// Blocklist denies requests by client IP or declared ASN. It is safe for
+// concurrent use; entries may be added while serving.
+type Blocklist struct {
+	mu   sync.RWMutex
+	ips  map[string]struct{}
+	asns map[string]struct{}
+
+	// Blocked counts denied requests.
+	blocked int
+}
+
+// NewBlocklist returns an empty blocklist.
+func NewBlocklist() *Blocklist {
+	return &Blocklist{
+		ips:  make(map[string]struct{}),
+		asns: make(map[string]struct{}),
+	}
+}
+
+// BlockIP adds an IP (or IP-hash) to the list.
+func (b *Blocklist) BlockIP(ip string) {
+	b.mu.Lock()
+	b.ips[ip] = struct{}{}
+	b.mu.Unlock()
+}
+
+// BlockASN adds an AS handle to the list (case-insensitive).
+func (b *Blocklist) BlockASN(handle string) {
+	b.mu.Lock()
+	b.asns[strings.ToUpper(handle)] = struct{}{}
+	b.mu.Unlock()
+}
+
+// Blocked returns the number of requests denied so far.
+func (b *Blocklist) Blocked() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.blocked
+}
+
+// isBlocked checks a request's simulated or socket identity.
+func (b *Blocklist) isBlocked(r *http.Request) bool {
+	ip := r.Header.Get("X-Sim-IP")
+	if ip == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			ip = host
+		} else {
+			ip = r.RemoteAddr
+		}
+	}
+	asnName := strings.ToUpper(r.Header.Get("X-Sim-ASN"))
+	b.mu.RLock()
+	_, ipHit := b.ips[ip]
+	_, asnHit := b.asns[asnName]
+	b.mu.RUnlock()
+	return ipHit || asnHit
+}
+
+// Middleware denies blocked clients with 403 before reaching next.
+func (b *Blocklist) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if b.isBlocked(r) {
+			b.mu.Lock()
+			b.blocked++
+			b.mu.Unlock()
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ---- Tarpit (the "unending fake content for scrapers" option, [10]) ----
+
+// Tarpit serves misbehaving user agents an endless maze of generated pages
+// that link only deeper into the maze, wasting crawler budget without
+// exposing real content.
+type Tarpit struct {
+	// Trigger decides whether a request falls into the tarpit.
+	Trigger func(*http.Request) bool
+	// PageBytes is the approximate size of each maze page (default 4096).
+	PageBytes int
+	// LinksPerPage is how many onward maze links each page carries
+	// (default 8).
+	LinksPerPage int
+
+	mu     sync.Mutex
+	served int
+}
+
+// Served returns the number of maze pages served.
+func (t *Tarpit) Served() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.served
+}
+
+// PathPrefix is the URL prefix of the maze.
+const PathPrefix = "/tarpit/"
+
+// Middleware routes trapped requests into the maze; others pass through.
+// Once a client is in the maze (requests under PathPrefix) it stays there
+// regardless of the trigger, so a scraper following maze links never
+// escapes back to real content.
+func (t *Tarpit) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inMaze := strings.HasPrefix(r.URL.Path, PathPrefix)
+		if !inMaze && (t.Trigger == nil || !t.Trigger(r)) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t.mu.Lock()
+		t.served++
+		t.mu.Unlock()
+		t.servePage(w, r)
+	})
+}
+
+// servePage renders one deterministic maze page for the request path.
+func (t *Tarpit) servePage(w http.ResponseWriter, r *http.Request) {
+	size := t.PageBytes
+	if size <= 0 {
+		size = 4096
+	}
+	links := t.LinksPerPage
+	if links <= 0 {
+		links = 8
+	}
+	// Deterministic per-path generation: a crawler revisiting a maze URL
+	// sees stable content, as a real site would.
+	seed := int64(0)
+	for _, c := range r.URL.Path {
+		seed = seed*131 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var sb strings.Builder
+	sb.WriteString("<!doctype html><html><head><title>archive index</title></head><body>\n")
+	for i := 0; i < links; i++ {
+		sb.WriteString(fmt.Sprintf(`<a href="%snode-%08x/">record %d</a><br>`+"\n",
+			PathPrefix, rng.Uint32(), i))
+	}
+	words := []string{"annual", "report", "holdings", "catalog", "digest", "volume", "series", "index"}
+	for sb.Len() < size {
+		sb.WriteString(words[rng.Intn(len(words))])
+		sb.WriteString(" ")
+	}
+	sb.WriteString("\n</body></html>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(sb.String()))
+}
+
+// ---- Proof of work (the "proof of work" option, [27]) ----
+
+// ProofOfWork gates requests behind a hash-inversion challenge: the client
+// must present a nonce such that SHA-256(challenge || nonce) has
+// Difficulty leading zero hex digits. Browsers solve it in JavaScript;
+// naive scrapers are rate-limited by compute.
+type ProofOfWork struct {
+	// Difficulty is the number of leading zero hex digits required
+	// (default 4 ≈ 65k hashes per request on average).
+	Difficulty int
+	// Challenge is the server-side challenge string (default fixed; rotate
+	// per deployment).
+	Challenge string
+	// Exempt marks requests that bypass the gate (e.g. robots.txt itself,
+	// which must stay fetchable for the REP to function at all).
+	Exempt func(*http.Request) bool
+
+	mu       sync.Mutex
+	passed   int
+	rejected int
+}
+
+// HeaderNonce carries the client's solution.
+const HeaderNonce = "X-PoW-Nonce"
+
+// Stats returns (passed, rejected) counts.
+func (p *ProofOfWork) Stats() (passed, rejected int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.passed, p.rejected
+}
+
+func (p *ProofOfWork) difficulty() int {
+	if p.Difficulty <= 0 {
+		return 4
+	}
+	return p.Difficulty
+}
+
+func (p *ProofOfWork) challenge() string {
+	if p.Challenge == "" {
+		return "scraperlab-pow-v1"
+	}
+	return p.Challenge
+}
+
+// Verify reports whether nonce solves the challenge.
+func (p *ProofOfWork) Verify(nonce string) bool {
+	sum := sha256.Sum256([]byte(p.challenge() + nonce))
+	hexed := hex.EncodeToString(sum[:])
+	return strings.HasPrefix(hexed, strings.Repeat("0", p.difficulty()))
+}
+
+// Solve brute-forces a valid nonce (what a cooperating client runs).
+func (p *ProofOfWork) Solve() string {
+	for i := 0; ; i++ {
+		nonce := fmt.Sprintf("%d", i)
+		if p.Verify(nonce) {
+			return nonce
+		}
+	}
+}
+
+// Middleware rejects requests without a valid nonce with 429 and the
+// challenge parameters in headers, so clients can solve and retry.
+func (p *ProofOfWork) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p.Exempt != nil && p.Exempt(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if nonce := r.Header.Get(HeaderNonce); nonce != "" && p.Verify(nonce) {
+			p.mu.Lock()
+			p.passed++
+			p.mu.Unlock()
+			next.ServeHTTP(w, r)
+			return
+		}
+		p.mu.Lock()
+		p.rejected++
+		p.mu.Unlock()
+		w.Header().Set("X-PoW-Challenge", p.challenge())
+		w.Header().Set("X-PoW-Difficulty", fmt.Sprintf("%d", p.difficulty()))
+		http.Error(w, "proof of work required", http.StatusTooManyRequests)
+	})
+}
+
+// ExemptRobotsTxt is a ready-made exemption for robots.txt and sitemaps.
+func ExemptRobotsTxt(r *http.Request) bool {
+	return r.URL.Path == "/robots.txt" || r.URL.Path == "/sitemap.xml"
+}

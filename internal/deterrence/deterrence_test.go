@@ -1,0 +1,215 @@
+package deterrence
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		_, _ = io.WriteString(w, "real content")
+	})
+}
+
+func doReq(t *testing.T, h http.Handler, path string, headers map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestBlocklistByIP(t *testing.T) {
+	b := NewBlocklist()
+	b.BlockIP("198.51.100.7")
+	h := b.Middleware(okHandler())
+
+	if rec := doReq(t, h, "/", map[string]string{"X-Sim-IP": "198.51.100.7"}); rec.Code != 403 {
+		t.Errorf("blocked IP got %d", rec.Code)
+	}
+	if rec := doReq(t, h, "/", map[string]string{"X-Sim-IP": "198.51.100.8"}); rec.Code != 200 {
+		t.Errorf("clean IP got %d", rec.Code)
+	}
+	if b.Blocked() != 1 {
+		t.Errorf("blocked count = %d", b.Blocked())
+	}
+}
+
+func TestBlocklistByASN(t *testing.T) {
+	b := NewBlocklist()
+	b.BlockASN("bytedance")
+	h := b.Middleware(okHandler())
+	if rec := doReq(t, h, "/", map[string]string{"X-Sim-ASN": "BYTEDANCE"}); rec.Code != 403 {
+		t.Errorf("blocked ASN got %d", rec.Code)
+	}
+	if rec := doReq(t, h, "/", map[string]string{"X-Sim-ASN": "GOOGLE"}); rec.Code != 200 {
+		t.Errorf("clean ASN got %d", rec.Code)
+	}
+}
+
+func TestBlocklistSocketFallback(t *testing.T) {
+	b := NewBlocklist()
+	b.BlockIP("192.0.2.1")
+	h := b.Middleware(okHandler())
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	req.RemoteAddr = "192.0.2.1:54321"
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 403 {
+		t.Errorf("socket-identified block got %d", rec.Code)
+	}
+}
+
+func TestTarpitTriggersAndTraps(t *testing.T) {
+	tp := &Tarpit{
+		Trigger: func(r *http.Request) bool {
+			return strings.Contains(r.UserAgent(), "BadBot")
+		},
+	}
+	h := tp.Middleware(okHandler())
+
+	// Clean client passes through.
+	if rec := doReq(t, h, "/page", map[string]string{"User-Agent": "Mozilla/5.0"}); rec.Body.String() != "real content" {
+		t.Error("clean client should reach real content")
+	}
+	// Trapped client gets maze content with onward maze links.
+	rec := doReq(t, h, "/page", map[string]string{"User-Agent": "BadBot/1.0"})
+	body := rec.Body.String()
+	if !strings.Contains(body, PathPrefix) {
+		t.Error("maze page carries no maze links")
+	}
+	// Following a maze link stays in the maze even without the trigger.
+	link := regexp.MustCompile(`href="(/tarpit/[^"]+)"`).FindStringSubmatch(body)
+	if link == nil {
+		t.Fatal("no maze link found")
+	}
+	rec2 := doReq(t, h, link[1], map[string]string{"User-Agent": "Mozilla/5.0"})
+	if !strings.Contains(rec2.Body.String(), PathPrefix) {
+		t.Error("maze must be inescapable once entered")
+	}
+	if tp.Served() != 2 {
+		t.Errorf("served = %d", tp.Served())
+	}
+}
+
+func TestTarpitDeterministic(t *testing.T) {
+	tp := &Tarpit{Trigger: func(*http.Request) bool { return true }}
+	h := tp.Middleware(okHandler())
+	a := doReq(t, h, "/tarpit/node-1/", nil).Body.String()
+	b := doReq(t, h, "/tarpit/node-1/", nil).Body.String()
+	c := doReq(t, h, "/tarpit/node-2/", nil).Body.String()
+	if a != b {
+		t.Error("same maze path must render identically")
+	}
+	if a == c {
+		t.Error("different maze paths should differ")
+	}
+}
+
+func TestTarpitPageSize(t *testing.T) {
+	tp := &Tarpit{Trigger: func(*http.Request) bool { return true }, PageBytes: 1024}
+	h := tp.Middleware(okHandler())
+	body := doReq(t, h, "/x", nil).Body.String()
+	if len(body) < 1024 {
+		t.Errorf("maze page %d bytes, want >= 1024", len(body))
+	}
+}
+
+func TestProofOfWorkGate(t *testing.T) {
+	pow := &ProofOfWork{Difficulty: 2, Exempt: ExemptRobotsTxt}
+	h := pow.Middleware(okHandler())
+
+	// No nonce: challenged.
+	rec := doReq(t, h, "/page", nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("unchallenged access got %d", rec.Code)
+	}
+	if rec.Header().Get("X-PoW-Challenge") == "" || rec.Header().Get("X-PoW-Difficulty") != "2" {
+		t.Error("challenge headers missing")
+	}
+
+	// robots.txt exempt, as required for the REP to function.
+	if rec := doReq(t, h, "/robots.txt", nil); rec.Code != 200 {
+		t.Errorf("robots.txt got %d", rec.Code)
+	}
+
+	// Solving the challenge grants access.
+	nonce := pow.Solve()
+	if rec := doReq(t, h, "/page", map[string]string{HeaderNonce: nonce}); rec.Code != 200 {
+		t.Errorf("valid nonce got %d", rec.Code)
+	}
+	// Wrong nonce rejected.
+	if rec := doReq(t, h, "/page", map[string]string{HeaderNonce: "not-a-solution"}); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("bad nonce got %d", rec.Code)
+	}
+	passed, rejected := pow.Stats()
+	if passed != 1 || rejected != 2 {
+		t.Errorf("stats = %d/%d", passed, rejected)
+	}
+}
+
+func TestProofOfWorkVerifyMatchesSolve(t *testing.T) {
+	pow := &ProofOfWork{Difficulty: 3, Challenge: "test-challenge"}
+	nonce := pow.Solve()
+	if !pow.Verify(nonce) {
+		t.Error("solved nonce must verify")
+	}
+	other := &ProofOfWork{Difficulty: 3, Challenge: "different"}
+	if other.Verify(nonce) {
+		t.Error("nonce must not transfer between challenges")
+	}
+}
+
+func TestQuickPoWRejectsRandomNonces(t *testing.T) {
+	pow := &ProofOfWork{Difficulty: 6}
+	hits := 0
+	f := func(nonce string) bool {
+		if pow.Verify(nonce) {
+			hits++
+		}
+		return hits < 2 // difficulty 6 ≈ 1 in 16M; two hits would be absurd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMiddlewareComposition(t *testing.T) {
+	// Blocklist -> PoW -> tarpit -> real handler, the full defended stack.
+	bl := NewBlocklist()
+	bl.BlockASN("BYTEDANCE")
+	pow := &ProofOfWork{Difficulty: 1, Exempt: ExemptRobotsTxt}
+	tp := &Tarpit{Trigger: func(r *http.Request) bool {
+		return strings.Contains(r.UserAgent(), "Evil")
+	}}
+	h := bl.Middleware(pow.Middleware(tp.Middleware(okHandler())))
+	nonce := pow.Solve()
+
+	// Blocked ASN dies first.
+	if rec := doReq(t, h, "/", map[string]string{"X-Sim-ASN": "BYTEDANCE", HeaderNonce: nonce}); rec.Code != 403 {
+		t.Errorf("stacked blocklist got %d", rec.Code)
+	}
+	// Unblocked but no PoW: challenged.
+	if rec := doReq(t, h, "/", nil); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("stacked PoW got %d", rec.Code)
+	}
+	// PoW solved + evil UA: tarpitted.
+	rec := doReq(t, h, "/", map[string]string{HeaderNonce: nonce, "User-Agent": "EvilBot/1.0"})
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), PathPrefix) {
+		t.Errorf("stacked tarpit: %d %q", rec.Code, rec.Body.String()[:40])
+	}
+	// PoW solved + clean UA: real content.
+	rec = doReq(t, h, "/", map[string]string{HeaderNonce: nonce, "User-Agent": "Mozilla/5.0"})
+	if rec.Body.String() != "real content" {
+		t.Error("clean request should reach real content")
+	}
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/robots"
+)
+
+func TestFigure3Structure(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Figure3()
+	if len(tab.Headers) != 6 { // Date + top-5 categories
+		t.Fatalf("headers = %v", tab.Headers)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Every series column is a CDF: nondecreasing, ending at ~1.
+	for col := 1; col < len(tab.Headers); col++ {
+		prev := -1.0
+		for ri, row := range tab.Rows {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("row %d col %d not a float: %v", ri, col, err)
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("column %s not monotone at row %d (%v < %v)", tab.Headers[col], ri, v, prev)
+			}
+			prev = v
+		}
+		if prev < 0.99 || prev > 1.001 {
+			t.Errorf("column %s CDF ends at %v, want ~1", tab.Headers[col], prev)
+		}
+	}
+}
+
+func TestFigure4Structure(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Figure4()
+	if len(tab.Headers) != 6 {
+		t.Fatalf("headers = %v", tab.Headers)
+	}
+	// Roughly the full 40-day window should appear.
+	if len(tab.Rows) < 30 {
+		t.Errorf("only %d days in daily-sessions figure", len(tab.Rows))
+	}
+	var total float64
+	for _, row := range tab.Rows {
+		for col := 1; col < len(row); col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v < 0 {
+				t.Fatalf("bad cell %q: %v", row[col], err)
+			}
+			total += v
+		}
+	}
+	if total == 0 {
+		t.Error("daily sessions all zero")
+	}
+}
+
+func TestFigures5to8Bodies(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Figures5to8()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		d := robots.Parse([]byte(row[1]))
+		if len(d.Errors) != 0 {
+			t.Errorf("version %s body has parse errors: %v", row[0], d.Errors)
+		}
+	}
+}
+
+func TestSpoofedPhasesOnlySuspectASNs(t *testing.T) {
+	s := testSuite(t)
+	findings := s.SpoofFindings()
+	_ = findings
+	for v, d := range s.SpoofedPhases() {
+		for i := range d.Records {
+			r := &d.Records[i]
+			if r.BotName == "" {
+				t.Fatalf("phase %v: anonymous record in spoofed split", v)
+			}
+		}
+	}
+}
+
+func TestPhasesAndSpoofedPartition(t *testing.T) {
+	// clean + spoofed must exactly partition each enriched phase.
+	s := testSuite(t)
+	phases := s.Phases()
+	spoofed := s.SpoofedPhases()
+	for _, v := range robots.Versions {
+		cleanN := phases[v].Len()
+		spoofN := spoofed[v].Len()
+		if cleanN == 0 {
+			t.Errorf("phase %v: empty clean split", v)
+		}
+		if spoofN == 0 {
+			continue // small scales may have no spoofed traffic in a phase
+		}
+		total := cleanN + spoofN
+		if total != s.phasesRaw[v].Len() {
+			t.Errorf("phase %v: %d + %d != %d", v, cleanN, spoofN, s.phasesRaw[v].Len())
+		}
+	}
+}

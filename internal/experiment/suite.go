@@ -1,0 +1,779 @@
+// Package experiment orchestrates the paper's two studies end to end and
+// regenerates every table and figure of the evaluation section. A Suite
+// owns the synthetic datasets (or externally supplied ones), runs the
+// preprocessing pipeline — UA standardization via the fuzzy matcher, spoof
+// splitting, sessionization — and exposes one method per table/figure,
+// each returning a report.Table whose rows mirror the paper's layout.
+//
+// DESIGN.md's per-experiment index maps each method to the paper artifact
+// it reproduces; EXPERIMENTS.md records paper-vs-measured values.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/checkfreq"
+	"repro/internal/compliance"
+	"repro/internal/report"
+	"repro/internal/robots"
+	"repro/internal/session"
+	"repro/internal/sitegen"
+	"repro/internal/spoof"
+	"repro/internal/synth"
+	"repro/internal/weblog"
+)
+
+// Suite runs the full analysis. Construct with NewSuite, then call table
+// and figure methods in any order; intermediate products (datasets,
+// sessions, spoof splits) are computed once and cached.
+type Suite struct {
+	gen     *synth.Generator
+	matcher *agent.Matcher
+	det     spoof.Detector
+	cfg     compliance.Config
+
+	full      *weblog.Dataset
+	sessions  []session.Session
+	phases    map[robots.Version]*weblog.Dataset // spoof-cleaned, enriched
+	phasesRaw map[robots.Version]*weblog.Dataset // enriched, with spoofed traffic
+	spoofed   map[robots.Version]*weblog.Dataset // spoofed-only split
+	results   map[compliance.Directive][]compliance.Result
+}
+
+// NewSuite builds a suite over a synthetic generator configured by cfg.
+func NewSuite(cfg synth.Config) (*Suite, error) {
+	gen, err := synth.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return &Suite{
+		gen:     gen,
+		matcher: agent.NewMatcher(nil),
+		cfg:     compliance.DefaultConfig(),
+	}, nil
+}
+
+// Generator exposes the underlying synthesizer.
+func (s *Suite) Generator() *synth.Generator { return s.gen }
+
+// enrich recomputes bot identification from the raw user-agent string via
+// the fuzzy matcher, exactly as the paper standardized bot names — the
+// synthesizer's own labels are deliberately discarded so the
+// identification pipeline is exercised end to end.
+func (s *Suite) enrich(d *weblog.Dataset) *weblog.Dataset {
+	pre := weblog.NewPreprocessor()
+	pre.Enrich = func(r *weblog.Record) {
+		if b, ok := s.matcher.Match(r.UserAgent); ok {
+			r.BotName = b.Name
+			r.Category = b.Category.String()
+		} else {
+			r.BotName = ""
+			r.Category = ""
+		}
+	}
+	return pre.Run(d)
+}
+
+// Full returns the enriched 40-day observational dataset.
+func (s *Suite) Full() *weblog.Dataset {
+	if s.full == nil {
+		s.full = s.enrich(s.gen.FullDataset())
+	}
+	return s.full
+}
+
+// Sessions returns the sessionized full dataset (5-minute gap).
+func (s *Suite) Sessions() []session.Session {
+	if s.sessions == nil {
+		s.sessions = session.Sessionize(s.Full(), session.DefaultGap)
+	}
+	return s.sessions
+}
+
+// Phases returns the four spoof-cleaned experimental phase datasets.
+func (s *Suite) Phases() map[robots.Version]*weblog.Dataset {
+	s.ensurePhases()
+	return s.phases
+}
+
+// SpoofedPhases returns the spoofed-only record split per phase.
+func (s *Suite) SpoofedPhases() map[robots.Version]*weblog.Dataset {
+	s.ensurePhases()
+	return s.spoofed
+}
+
+func (s *Suite) ensurePhases() {
+	if s.phases != nil {
+		return
+	}
+	s.phases = make(map[robots.Version]*weblog.Dataset, 4)
+	s.phasesRaw = make(map[robots.Version]*weblog.Dataset, 4)
+	s.spoofed = make(map[robots.Version]*weblog.Dataset, 4)
+	for _, v := range robots.Versions {
+		enriched := s.enrich(s.gen.StudyDataset(v))
+		s.phasesRaw[v] = enriched
+		clean, spoofedOnly := s.det.Split(enriched)
+		s.phases[v] = clean
+		s.spoofed[v] = spoofedOnly
+	}
+}
+
+// Results returns the per-bot directive comparison results on the
+// spoof-cleaned phases (the substrate of Tables 5, 6, 10 and Figure 9).
+func (s *Suite) Results() map[compliance.Directive][]compliance.Result {
+	if s.results == nil {
+		s.ensurePhases()
+		baseline := s.phases[robots.VersionBase]
+		exps := map[robots.Version]*weblog.Dataset{
+			robots.Version1: s.phases[robots.Version1],
+			robots.Version2: s.phases[robots.Version2],
+			robots.Version3: s.phases[robots.Version3],
+		}
+		s.results = compliance.CompareAll(baseline, exps, s.cfg)
+	}
+	return s.results
+}
+
+// ---- Table 2 ----
+
+// Table2 reproduces the dataset overview: unique IPs, user agents, ASNs,
+// bytes, page visits for the whole dataset vs known bots.
+func (s *Suite) Table2() *report.Table {
+	d := s.Full()
+	all := d.Summarize(nil)
+	known := d.Summarize(func(r *weblog.Record) bool { return r.BotName != "" })
+	t := &report.Table{
+		Title: "Table 2. Overview of the dataset",
+		Headers: []string{"Data subset", "Unique IPs", "Unique UAs", "Unique ASNs",
+			"Total bytes", "Total page visits", "Unique pages"},
+		Note: "synthetic dataset; scale-dependent counts, shape comparable to paper Table 2",
+	}
+	row := func(label string, o weblog.Overview) {
+		t.AddRow(label, report.I(o.UniqueIPs), report.I(o.UniqueUserAgents), report.I(o.UniqueASNs),
+			report.I64(o.TotalBytes), report.I(o.TotalVisits), report.I(o.UniquePages))
+	}
+	row("All data", all)
+	row("Known bots", known)
+	return t
+}
+
+// ---- Table 3 ----
+
+// BotActivity is one Table 3 row.
+type BotActivity struct {
+	Bot     string
+	Hits    int
+	Percent float64
+	Bytes   int64
+}
+
+// TopBots computes the n most active known bots by accesses.
+func (s *Suite) TopBots(n int) []BotActivity {
+	d := s.Full()
+	hits := make(map[string]int)
+	bytes := make(map[string]int64)
+	total := 0
+	for i := range d.Records {
+		r := &d.Records[i]
+		total++
+		if r.BotName == "" {
+			continue
+		}
+		hits[r.BotName]++
+		bytes[r.BotName] += r.Bytes
+	}
+	out := make([]BotActivity, 0, len(hits))
+	for b, h := range hits {
+		out = append(out, BotActivity{Bot: b, Hits: h, Percent: 100 * float64(h) / float64(total), Bytes: bytes[b]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Bot < out[j].Bot
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Table3 reproduces the top-20 bot activity table.
+func (s *Suite) Table3() *report.Table {
+	t := &report.Table{
+		Title:   "Table 3. Most active bots (top 20 by web accesses)",
+		Headers: []string{"Bot name", "Total hits", "% of all traffic", "GB scraped"},
+		Note:    "paper: YisouSpider and Applebot dominate with ~30% of traffic",
+	}
+	for _, a := range s.TopBots(20) {
+		t.AddRow(a.Bot, report.I(a.Hits), report.F(a.Percent, 2), report.GB(a.Bytes))
+	}
+	return t
+}
+
+// ---- Table 4 ----
+
+// Table4 reproduces the per-version traffic summary of the §4 experiment.
+func (s *Suite) Table4() *report.Table {
+	s.ensurePhases()
+	t := &report.Table{
+		Title:   "Table 4. Web traffic captured under each robots.txt version",
+		Headers: []string{"robots.txt version", "site visits", "unique bot visitors"},
+		Note:    "site traffic and bot-visitor counts remain consistent across versions",
+	}
+	for _, v := range robots.Versions {
+		d := s.phasesRaw[v]
+		bots := make(map[string]struct{})
+		for i := range d.Records {
+			if n := d.Records[i].BotName; n != "" {
+				bots[n] = struct{}{}
+			}
+		}
+		t.AddRow(v.Short(), report.I(d.Len()), report.I(len(bots)))
+	}
+	return t
+}
+
+// ---- Table 5 ----
+
+// CategoryTable computes the category × directive compliance matrix.
+func (s *Suite) CategoryTable() compliance.CategoryTable {
+	return compliance.BuildCategoryTable(s.Results())
+}
+
+// Table5 renders the category compliance matrix.
+func (s *Suite) Table5() *report.Table {
+	ct := s.CategoryTable()
+	t := &report.Table{
+		Title: "Table 5. Weighted compliance by bot category and directive",
+		Headers: []string{"Bot category", "Crawl delay", "Endpoint access",
+			"Disallow all", "Category average"},
+		Note: "paper: crawl delay most complied-with; SEO Crawlers most compliant category",
+	}
+	for _, cat := range ct.Categories {
+		row := []string{cat}
+		for _, dir := range compliance.Directives {
+			if cell, ok := ct.Cells[cat][dir]; ok {
+				row = append(row, fmt.Sprintf("%s (%d)", report.Ratio3(cell.Compliance), cell.Accesses))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, report.Ratio3(ct.CategoryAvg[cat]))
+		t.Rows = append(t.Rows, row)
+	}
+	avgRow := []string{"Directive average"}
+	for _, dir := range compliance.Directives {
+		avgRow = append(avgRow, report.Ratio3(ct.DirectiveAvg[dir]))
+	}
+	t.Rows = append(t.Rows, avgRow)
+	return t
+}
+
+// ---- Table 6 ----
+
+// Table6 renders the individual-bot compliance table with sponsor,
+// category and public promise columns from the registry.
+func (s *Suite) Table6() *report.Table {
+	results := s.Results()
+	t := &report.Table{
+		Title: "Table 6. Individual bot responses to the robots.txt directives",
+		Headers: []string{"Bot", "Sponsor", "Category", "Promise",
+			"Crawl delay", "Endpoint", "Disallow"},
+		Note: "bots with >= 5 accesses under each directive; spoofed traffic excluded",
+	}
+	type row struct {
+		vals [3]string
+		has  [3]bool
+	}
+	rows := make(map[string]*row)
+	for di, dir := range compliance.Directives {
+		for _, r := range results[dir] {
+			rw := rows[r.Bot]
+			if rw == nil {
+				rw = &row{}
+				rows[r.Bot] = rw
+			}
+			rw.vals[di] = report.Ratio3(r.Experiment.Ratio())
+			rw.has[di] = true
+		}
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	reg := s.matcher.Registry()
+	for _, name := range names {
+		rw := rows[name]
+		sponsor, category, promise := "?", "?", "Unknown"
+		if b, ok := reg.ByName(name); ok {
+			sponsor, category, promise = b.Sponsor, b.Category.String(), b.Promise.String()
+		}
+		cells := []string{name, sponsor, category, promise}
+		for i := 0; i < 3; i++ {
+			if rw.has[i] {
+				cells = append(cells, rw.vals[i])
+			} else {
+				cells = append(cells, "N/A")
+			}
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// ---- Table 7 ----
+
+// SkippedCheck is a Table 7 row: a bot that skipped the robots.txt check
+// during at least one experiment.
+type SkippedCheck struct {
+	Bot        string
+	Checked    [3]bool    // per directive
+	Compliance [3]float64 // per directive
+	Present    [3]bool
+}
+
+// SkippedChecks finds bots that did not fetch robots.txt during one or
+// more experimental phases.
+func (s *Suite) SkippedChecks() []SkippedCheck {
+	results := s.Results()
+	rows := make(map[string]*SkippedCheck)
+	for di, dir := range compliance.Directives {
+		for _, r := range results[dir] {
+			sc := rows[r.Bot]
+			if sc == nil {
+				sc = &SkippedCheck{Bot: r.Bot}
+				rows[r.Bot] = sc
+			}
+			sc.Checked[di] = r.Checked
+			sc.Compliance[di] = r.Experiment.Ratio()
+			sc.Present[di] = true
+		}
+	}
+	var out []SkippedCheck
+	for _, sc := range rows {
+		skipped := false
+		for i := 0; i < 3; i++ {
+			if sc.Present[i] && !sc.Checked[i] {
+				skipped = true
+			}
+		}
+		if skipped {
+			out = append(out, *sc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bot < out[j].Bot })
+	return out
+}
+
+// Table7 renders the skipped-check table.
+func (s *Suite) Table7() *report.Table {
+	t := &report.Table{
+		Title: "Table 7. Bots that skipped the robots.txt check during one or more experiments",
+		Headers: []string{"Bot", "Checked (crawl delay)", "Compliance",
+			"Checked (endpoint)", "Compliance", "Checked (disallow)", "Compliance"},
+	}
+	yn := func(present, v bool) string {
+		if !present {
+			return "-"
+		}
+		if v {
+			return "Yes"
+		}
+		return "No"
+	}
+	val := func(present bool, v float64) string {
+		if !present {
+			return "-"
+		}
+		return report.F(v, 2)
+	}
+	for _, sc := range s.SkippedChecks() {
+		t.AddRow(sc.Bot,
+			yn(sc.Present[0], sc.Checked[0]), val(sc.Present[0], sc.Compliance[0]),
+			yn(sc.Present[1], sc.Checked[1]), val(sc.Present[1], sc.Compliance[1]),
+			yn(sc.Present[2], sc.Checked[2]), val(sc.Present[2], sc.Compliance[2]))
+	}
+	return t
+}
+
+// ---- Table 8 / Table 9 ----
+
+// SpoofFindings runs the §5.2 heuristic over the full dataset.
+func (s *Suite) SpoofFindings() []spoof.Finding {
+	return s.det.Detect(s.Full())
+}
+
+// Table8 renders dominant vs suspicious ASNs per flagged bot.
+func (s *Suite) Table8() *report.Table {
+	t := &report.Table{
+		Title:   "Table 8. Bots with one dominant ASN and infrequently-appearing extra ASNs",
+		Headers: []string{"Bot", "Main ASN (>=90%)", "Possible spoofing ASNs"},
+		Note:    "heuristic: >=90% of traffic from one ASN flags the rest as suspect",
+	}
+	for _, f := range s.SpoofFindings() {
+		var suspects string
+		for i, sh := range f.Suspects {
+			if i > 0 {
+				suspects += ", "
+			}
+			suspects += sh.ASN
+		}
+		t.AddRow(f.Bot, f.MainASN, suspects)
+	}
+	return t
+}
+
+// Table9 renders legitimate vs potentially-spoofed request counts per
+// experimental directive.
+func (s *Suite) Table9() *report.Table {
+	s.ensurePhases()
+	t := &report.Table{
+		Title:   "Table 9. Legitimate vs potentially spoofed requests per directive",
+		Headers: []string{"Directive", "Legitimate requests", "Potentially spoofed requests"},
+		Note:    "paper: spoofed requests are <~1-2% of bot traffic in every phase",
+	}
+	for _, dir := range compliance.Directives {
+		v := dir.Version()
+		c := s.det.CountSplit(s.phasesRaw[v])
+		t.AddRow(dir.String(), report.I(c.Legitimate), report.I(c.Spoofed))
+	}
+	return t
+}
+
+// ---- Table 10 ----
+
+// Table10 renders z-scores and p-values per bot per directive.
+func (s *Suite) Table10() *report.Table {
+	results := s.Results()
+	t := &report.Table{
+		Title: "Table 10. Statistical significance of compliance changes",
+		Headers: []string{"Bot", "z (crawl delay)", "p", "z (endpoint)", "p",
+			"z (disallow)", "p"},
+		Note: "two-proportion pooled z-test, experiment vs baseline; N/A where a side is empty",
+	}
+	type cell struct {
+		z, p string
+	}
+	rows := make(map[string][3]cell)
+	for di, dir := range compliance.Directives {
+		for _, r := range results[dir] {
+			c := rows[r.Bot]
+			if r.HasTest {
+				c[di] = cell{report.F(r.Test.Z, 2), report.Sci(r.Test.P)}
+			} else {
+				c[di] = cell{"N/A", "N/A"}
+			}
+			rows[r.Bot] = c
+		}
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := rows[name]
+		row := []string{name}
+		for i := 0; i < 3; i++ {
+			z, p := c[i].z, c[i].p
+			if z == "" {
+				z, p = "N/A", "N/A"
+			}
+			row = append(row, z, p)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ---- Figures ----
+
+// pageSessions filters out robots.txt-only sessions (scheduled re-check
+// polls with no page activity): Figures 2-4 describe scraping activity,
+// and a bare robots.txt poll scrapes nothing.
+func (s *Suite) pageSessions() []session.Session {
+	all := s.Sessions()
+	out := make([]session.Session, 0, len(all))
+	for i := range all {
+		if all[i].RobotsFetches < all[i].Accesses {
+			out = append(out, all[i])
+		}
+	}
+	return out
+}
+
+// Figure2 renders sessions per bot category (log-scale bar data).
+func (s *Suite) Figure2() *report.Table {
+	counts := session.CountByCategory(s.pageSessions())
+	type kv struct {
+		k string
+		v int
+	}
+	var all []kv
+	for k, v := range counts {
+		if k == "Unknown" {
+			continue
+		}
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	t := &report.Table{
+		Title:   "Figure 2. Scraper sessions per bot category",
+		Headers: []string{"Category", "Sessions"},
+		Note:    "paper: search-related crawlers most active, then AI data scrapers, headless browsers fourth",
+	}
+	for _, e := range all {
+		t.AddRow(e.k, report.I(e.v))
+	}
+	return t
+}
+
+// Figure3 renders the CDF of bytes downloaded over time for the top-5
+// byte-scraping categories.
+func (s *Suite) Figure3() *report.Table {
+	ss := s.pageSessions()
+	bytesBy := session.BytesByCategory(ss)
+	type kv struct {
+		k string
+		v int64
+	}
+	var all []kv
+	for k, v := range bytesBy {
+		if k == "Unknown" {
+			continue
+		}
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if len(all) > 5 {
+		all = all[:5]
+	}
+	t := &report.Table{
+		Title:   "Figure 3. CDF of bytes downloaded over time (top 5 categories by bytes)",
+		Headers: []string{"Date"},
+	}
+	var series []session.DailySeries
+	for _, e := range all {
+		t.Headers = append(t.Headers, e.k)
+		series = append(series, session.BytesCDFOverTime(ss, e.k))
+	}
+	// Union of days across series.
+	daySet := make(map[time.Time]struct{})
+	for _, sr := range series {
+		for _, d := range sr.Days {
+			daySet[d] = struct{}{}
+		}
+	}
+	var days []time.Time
+	for d := range daySet {
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i].Before(days[j]) })
+	for _, day := range days {
+		row := []string{day.Format("2006-01-02")}
+		for _, sr := range series {
+			row = append(row, report.F(valueAt(sr, day), 3))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// valueAt returns the series value at the latest day <= target (step CDF).
+func valueAt(s session.DailySeries, target time.Time) float64 {
+	v := 0.0
+	for i, d := range s.Days {
+		if d.After(target) {
+			break
+		}
+		v = s.Values[i]
+	}
+	return v
+}
+
+// Figure4 renders sessions per day for the top-5 categories by sessions.
+func (s *Suite) Figure4() *report.Table {
+	ss := s.pageSessions()
+	top := session.TopCategories(ss, 5)
+	t := &report.Table{
+		Title:   "Figure 4. Scraper sessions per day (top 5 categories by session count)",
+		Headers: []string{"Date"},
+	}
+	var series []session.DailySeries
+	for _, cat := range top {
+		t.Headers = append(t.Headers, cat)
+		series = append(series, session.SessionsPerDay(ss, cat))
+	}
+	daySet := make(map[time.Time]struct{})
+	for _, sr := range series {
+		for _, d := range sr.Days {
+			daySet[d] = struct{}{}
+		}
+	}
+	var days []time.Time
+	for d := range daySet {
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i].Before(days[j]) })
+	for _, day := range days {
+		row := []string{day.Format("2006-01-02")}
+		for _, sr := range series {
+			row = append(row, report.F(exactAt(sr, day), 0))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func exactAt(s session.DailySeries, target time.Time) float64 {
+	for i, d := range s.Days {
+		if d.Equal(target) {
+			return s.Values[i]
+		}
+	}
+	return 0
+}
+
+// Figures5to8 renders the four deployed robots.txt versions.
+func (s *Suite) Figures5to8() *report.Table {
+	t := &report.Table{
+		Title:   "Figures 5-8. The four deployed robots.txt versions",
+		Headers: []string{"Version", "Body"},
+	}
+	for _, v := range robots.Versions {
+		t.AddRow(v.String(), string(robots.BuildVersion(v, "")))
+	}
+	return t
+}
+
+// Figure9 renders per-bot baseline-vs-experiment compliance with
+// significance markers, one block per directive.
+func (s *Suite) Figure9() *report.Table {
+	results := s.Results()
+	t := &report.Table{
+		Title: "Figure 9. Compliance ratio shifts, baseline vs experiment",
+		Headers: []string{"Directive", "Bot", "Baseline", "Experiment",
+			"Shift", "Significant (p<=0.05)"},
+		Note: "spoofed traffic and exempted SEO bots excluded, as in the paper",
+	}
+	for _, dir := range compliance.Directives {
+		for _, r := range results[dir] {
+			sig := "no"
+			if r.Significant() {
+				sig = "YES"
+			}
+			t.AddRow(dir.String(), r.Bot,
+				report.Ratio3(r.Baseline.Ratio()), report.Ratio3(r.Experiment.Ratio()),
+				report.F(r.Experiment.Ratio()-r.Baseline.Ratio(), 3), sig)
+		}
+	}
+	return t
+}
+
+// CheckFrequency runs the §5.1 analysis over the passive-restricted sites.
+func (s *Suite) CheckFrequency() []checkfreq.CategoryProportion {
+	var passive []string
+	sites := s.gen.Sites()
+	for _, site := range sitegen.PassiveRestrictedSites(sites) {
+		passive = append(passive, site.Name)
+	}
+	stats := checkfreq.Analyze(s.Full(), passive, checkfreq.DefaultWindows)
+	return checkfreq.ByCategory(stats, checkfreq.DefaultWindows)
+}
+
+// Figure10 renders the robots.txt re-check proportions per category.
+func (s *Suite) Figure10() *report.Table {
+	t := &report.Table{
+		Title:   "Figure 10. Frequency of robots.txt checks across bot types",
+		Headers: []string{"Category", "Bots", "Within 12h", "Within 24h", "Within 48h", "Within 72h", "Within 168h"},
+		Note:    "paper: AI assistants and AI search crawlers re-check least",
+	}
+	for _, cp := range s.CheckFrequency() {
+		row := []string{cp.Category, report.I(cp.Bots)}
+		for _, w := range checkfreq.DefaultWindows {
+			row = append(row, report.F(cp.Within[w], 2))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure11 renders compliance shifts for the putatively spoofed traffic.
+func (s *Suite) Figure11() *report.Table {
+	s.ensurePhases()
+	baseline := s.spoofed[robots.VersionBase]
+	cfg := s.cfg
+	cfg.MinAccesses = 3 // spoofed populations are small, as in the paper's appendix
+	t := &report.Table{
+		Title: "Figure 11. Compliance shifts for putatively spoofed bot traffic",
+		Headers: []string{"Directive", "Bot", "Baseline", "Experiment",
+			"Significant (p<=0.05)"},
+		Note: "paper: spoofed instances respond less, except PerplexityBot (endpoint) and Bytespider (disallow)",
+	}
+	for _, dir := range compliance.Directives {
+		exp := s.spoofed[dir.Version()]
+		for _, r := range compliance.Compare(baseline, exp, dir, cfg) {
+			sig := "no"
+			if r.Significant() {
+				sig = "YES"
+			}
+			t.AddRow(dir.String(), r.Bot,
+				report.Ratio3(r.Baseline.Ratio()), report.Ratio3(r.Experiment.Ratio()), sig)
+		}
+	}
+	return t
+}
+
+// Artifact pairs an identifier with its generator, for enumeration.
+type Artifact struct {
+	ID    string
+	Build func() *report.Table
+}
+
+// Artifacts lists every reproduced table and figure in paper order.
+func (s *Suite) Artifacts() []Artifact {
+	return []Artifact{
+		{"table2", s.Table2},
+		{"table3", s.Table3},
+		{"table4", s.Table4},
+		{"table5", s.Table5},
+		{"table6", s.Table6},
+		{"table7", s.Table7},
+		{"table8", s.Table8},
+		{"table9", s.Table9},
+		{"table10", s.Table10},
+		{"figure2", s.Figure2},
+		{"figure3", s.Figure3},
+		{"figure4", s.Figure4},
+		{"figures5-8", s.Figures5to8},
+		{"figure9", s.Figure9},
+		{"figure10", s.Figure10},
+		{"figure11", s.Figure11},
+	}
+}
+
+// RunAll renders every artifact to w.
+func (s *Suite) RunAll(w io.Writer) error {
+	for _, a := range s.Artifacts() {
+		if err := a.Build().Render(w); err != nil {
+			return fmt.Errorf("experiment: rendering %s: %w", a.ID, err)
+		}
+	}
+	return nil
+}

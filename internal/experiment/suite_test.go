@@ -1,0 +1,274 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/synth"
+)
+
+func checkfreq168() time.Duration { return 168 * time.Hour }
+
+var (
+	sharedSuite    *Suite
+	sharedSuiteErr error
+	sharedOnce     sync.Once
+)
+
+// testSuite returns a package-shared suite (the Suite caches its derived
+// datasets, so sharing keeps the test binary fast while every test still
+// exercises real pipeline output).
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedSuite, sharedSuiteErr = NewSuite(synth.Config{Seed: 1, Scale: 0.15, Secret: []byte("exp")})
+	})
+	if sharedSuiteErr != nil {
+		t.Fatal(sharedSuiteErr)
+	}
+	return sharedSuite
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table2()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "All data" || tab.Rows[1][0] != "Known bots" {
+		t.Errorf("row labels = %v", tab.Rows)
+	}
+	// Known bots are a strict subset of all data: every count column of
+	// the known-bot row must be <= the all-data row.
+	for col := 1; col < len(tab.Rows[0]); col++ {
+		all, err1 := strconv.ParseInt(tab.Rows[0][col], 10, 64)
+		known, err2 := strconv.ParseInt(tab.Rows[1][col], 10, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("non-numeric cells: %v / %v", err1, err2)
+		}
+		if known > all {
+			t.Errorf("column %d: known bots %d > all data %d", col, known, all)
+		}
+	}
+}
+
+func TestTable3TopBotsOrdering(t *testing.T) {
+	s := testSuite(t)
+	top := s.TopBots(20)
+	if len(top) != 20 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Hits > top[i-1].Hits {
+			t.Fatal("top bots not sorted by hits")
+		}
+	}
+	// The paper's two dominant bots must dominate here too.
+	if top[0].Bot != "YisouSpider" && top[0].Bot != "Applebot" {
+		t.Errorf("top bot = %s, want YisouSpider or Applebot", top[0].Bot)
+	}
+	if top[1].Bot != "YisouSpider" && top[1].Bot != "Applebot" {
+		t.Errorf("second bot = %s", top[1].Bot)
+	}
+}
+
+func TestTable4ConsistentTraffic(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table4()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable5DirectiveGradient(t *testing.T) {
+	// The paper's RQ1 answer: average compliance decreases as directives
+	// get stricter (crawl delay > endpoint ~ disallow).
+	s := testSuite(t)
+	ct := s.CategoryTable()
+	cd := ct.DirectiveAvg[compliance.CrawlDelay]
+	da := ct.DirectiveAvg[compliance.DisallowAll]
+	if cd <= da {
+		t.Errorf("crawl-delay avg %.3f should exceed disallow-all avg %.3f", cd, da)
+	}
+}
+
+func TestTable5SEOCrawlersMostCompliant(t *testing.T) {
+	// RQ2: SEO Crawlers have the highest category average.
+	s := testSuite(t)
+	ct := s.CategoryTable()
+	best, ok := ct.MostCompliantCategory()
+	if !ok {
+		t.Fatal("no categories")
+	}
+	if best != "SEO Crawlers" {
+		t.Errorf("most compliant category = %s, want SEO Crawlers (avgs: %v)", best, ct.CategoryAvg)
+	}
+	// And headless browsers near the bottom.
+	if ct.CategoryAvg["Headless Browsers"] >= ct.CategoryAvg["SEO Crawlers"] {
+		t.Error("headless browsers should be far less compliant than SEO crawlers")
+	}
+}
+
+func TestTable6KnownBotValues(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table6()
+	find := func(bot string) []string {
+		for _, r := range tab.Rows {
+			if r[0] == bot {
+				return r
+			}
+		}
+		return nil
+	}
+	gpt := find("GPTBot")
+	if gpt == nil {
+		t.Fatal("GPTBot missing from Table 6")
+	}
+	if gpt[1] != "OpenAI" || gpt[2] != "AI Data Scrapers" || gpt[3] != "Yes" {
+		t.Errorf("GPTBot metadata = %v", gpt)
+	}
+	// Disallow compliance calibrated to 1.0 (Table 6).
+	if !strings.HasPrefix(gpt[6], "1.000") && !strings.HasPrefix(gpt[6], "0.9") {
+		t.Errorf("GPTBot disallow compliance = %s, want ~1.0", gpt[6])
+	}
+}
+
+func TestTable7ListsKnownSkippers(t *testing.T) {
+	s := testSuite(t)
+	skipped := s.SkippedChecks()
+	names := make(map[string]SkippedCheck, len(skipped))
+	for _, sc := range skipped {
+		names[sc.Bot] = sc
+	}
+	// Axios never checks robots.txt in any phase (Table 7).
+	ax, ok := names["Axios"]
+	if !ok {
+		t.Fatal("Axios missing from skipped-check table")
+	}
+	for i := 0; i < 3; i++ {
+		if ax.Present[i] && ax.Checked[i] {
+			t.Errorf("Axios checked[%d] = true", i)
+		}
+	}
+	// GPTBot checks in every phase: must not appear.
+	if _, ok := names["GPTBot"]; ok {
+		t.Error("GPTBot wrongly listed as a check-skipper")
+	}
+}
+
+func TestTable8FlagsCalibratedSpoofedBots(t *testing.T) {
+	s := testSuite(t)
+	findings := s.SpoofFindings()
+	byBot := map[string]bool{}
+	for _, f := range findings {
+		byBot[f.Bot] = true
+	}
+	for _, want := range []string{"Baiduspider", "Googlebot"} {
+		if !byBot[want] {
+			t.Errorf("%s missing from spoof findings", want)
+		}
+	}
+	// HeadlessChrome has a single ASN: must not be flagged.
+	if byBot["HeadlessChrome"] {
+		t.Error("HeadlessChrome wrongly flagged as spoofed")
+	}
+}
+
+func TestTable9SpoofedMinority(t *testing.T) {
+	s := testSuite(t)
+	tab := s.Table9()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		legit, spoofed := r[1], r[2]
+		if legit == "0" {
+			t.Errorf("no legitimate traffic in %s", r[0])
+		}
+		_ = spoofed
+	}
+}
+
+func TestFigure9SignificantShifts(t *testing.T) {
+	s := testSuite(t)
+	results := s.Results()
+	// GPTBot's disallow shift is one of the paper's most significant
+	// (z=24.2): must be significant positive here.
+	var found bool
+	for _, r := range results[compliance.DisallowAll] {
+		if r.Bot == "GPTBot" {
+			found = true
+			if !r.Significant() || r.Test.Z <= 0 {
+				t.Errorf("GPTBot disallow shift = %+v, want significant positive", r.Test)
+			}
+		}
+	}
+	if !found {
+		t.Error("GPTBot missing from disallow results")
+	}
+	// HeadlessChrome's crawl-delay shift is significantly negative.
+	for _, r := range results[compliance.CrawlDelay] {
+		if r.Bot == "HeadlessChrome" {
+			if r.Test.Z >= 0 {
+				t.Errorf("HeadlessChrome crawl-delay z = %v, want negative", r.Test.Z)
+			}
+		}
+	}
+}
+
+func TestFigure10AIChecksLeast(t *testing.T) {
+	s := testSuite(t)
+	props := s.CheckFrequency()
+	within168 := map[string]float64{}
+	for _, cp := range props {
+		within168[cp.Category] = cp.Within[checkfreq168()]
+	}
+	scr, scrOK := within168["Scrapers"]
+	ai, aiOK := within168["AI Assistants"]
+	if scrOK && aiOK && scr < ai {
+		t.Errorf("scrapers (%.2f) should re-check at least as often as AI assistants (%.2f)", scr, ai)
+	}
+}
+
+func TestAllArtifactsRender(t *testing.T) {
+	s := testSuite(t)
+	var sb strings.Builder
+	if err := s.RunAll(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 2.", "Table 3.", "Table 4.", "Table 5.", "Table 6.",
+		"Table 7.", "Table 8.", "Table 9.", "Table 10.",
+		"Figure 2.", "Figure 3.", "Figure 4.", "Figures 5-8.",
+		"Figure 9.", "Figure 10.", "Figure 11.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestEnrichmentMatchesSynthLabels(t *testing.T) {
+	// The matcher-driven re-identification must agree with the
+	// synthesizer's ground-truth labels for known bots.
+	s := testSuite(t)
+	raw := s.Generator().FullDataset()
+	truth := make(map[string]string) // UA -> bot name
+	for i := range raw.Records {
+		if n := raw.Records[i].BotName; n != "" {
+			truth[raw.Records[i].UserAgent] = n
+		}
+	}
+	enriched := s.Full()
+	for i := range enriched.Records {
+		r := &enriched.Records[i]
+		if want, isBot := truth[r.UserAgent]; isBot && r.BotName != want {
+			t.Fatalf("UA %q enriched to %q, synth ground truth %q", r.UserAgent, r.BotName, want)
+		}
+	}
+}

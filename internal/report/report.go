@@ -1,0 +1,157 @@
+// Package report renders analysis results as aligned text tables and CSV
+// series, the output layer behind every reproduced table and figure. It is
+// deliberately dependency-free: upstream packages compute, report formats.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Headers label the columns.
+	Headers []string
+	// Rows hold the cells; ragged rows are padded with empty cells.
+	Rows [][]string
+	// Note is printed beneath the table (provenance, caveats).
+	Note string
+}
+
+// AddRow appends a row built from stringable values.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteString("\n")
+		sb.WriteString(strings.Repeat("=", min(len(t.Title), 100)))
+		sb.WriteString("\n")
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			sb.WriteString(pad(cell, widths[i]))
+			if i < cols-1 {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	if t.Note != "" {
+		sb.WriteString("  note: ")
+		sb.WriteString(t.Note)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// WriteCSV writes headers+rows as CSV (for figure data series).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Headers) > 0 {
+		if err := cw.Write(t.Headers); err != nil {
+			return fmt.Errorf("report: writing CSV header: %w", err)
+		}
+	}
+	for i, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("report: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }
+
+// I64 formats an int64.
+func I64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// Pct formats a ratio as a percentage with two decimals.
+func Pct(v float64) string { return F(v*100, 2) }
+
+// GB formats a byte count in gibibytes with two decimals, matching the
+// paper's "GB of data scraped" columns.
+func GB(bytes int64) string { return F(float64(bytes)/(1<<30), 2) }
+
+// Ratio3 formats a compliance ratio with three decimals, matching the
+// paper's tables.
+func Ratio3(v float64) string { return F(v, 3) }
+
+// Sci formats a p-value in the paper's scientific notation style
+// ("4.59e-01"), with exact zero rendered as "0.00e+00".
+func Sci(v float64) string {
+	return strconv.FormatFloat(v, 'e', 2, 64)
+}

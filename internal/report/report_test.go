@@ -1,0 +1,97 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Table X. Sample",
+		Headers: []string{"Bot", "Hits", "Ratio"},
+		Note:    "synthetic data",
+	}
+	t.AddRow("Googlebot", "9103", "0.650")
+	t.AddRow("GPTBot", "1225", "0.634")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "Table X.") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Bot") {
+			header = l
+		}
+		if strings.HasPrefix(l, "Googlebot") {
+			row = l
+		}
+	}
+	if header == "" || row == "" {
+		t.Fatalf("output malformed:\n%s", out)
+	}
+	if strings.Index(header, "Hits") != strings.Index(row, "9103") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "note: synthetic data") {
+		t.Error("note missing")
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"A", "B"}}
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "z-extra")
+	out := tb.String()
+	if !strings.Contains(out, "z-extra") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "Bot,Hits,Ratio\n") {
+		t.Errorf("CSV header: %q", got)
+	}
+	if !strings.Contains(got, "Googlebot,9103,0.650") {
+		t.Errorf("CSV row: %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{F(0.5, 3), "0.500"},
+		{I(42), "42"},
+		{I64(1 << 40), "1099511627776"},
+		{Pct(0.1595), "15.95"},
+		{GB(8836753000), "8.23"},
+		{Ratio3(0.0361), "0.036"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+	if s := Sci(0.0459); !strings.Contains(s, "e-02") {
+		t.Errorf("Sci = %q", s)
+	}
+	if s := Sci(0); s != "0.00e+00" {
+		t.Errorf("Sci(0) = %q", s)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := &Table{}
+	if out := tb.String(); out != "\n" {
+		t.Errorf("empty table output = %q", out)
+	}
+}

@@ -1,0 +1,72 @@
+package robots
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkParseSmall(b *testing.B) {
+	body := BuildVersion(VersionBase, "")
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	for i := 0; i < b.N; i++ {
+		Parse(body)
+	}
+}
+
+func BenchmarkParseLarge(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("User-agent: *\n")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("Disallow: /deep/path/segment-")
+		sb.WriteString(strings.Repeat("a", i%13))
+		sb.WriteString("\n")
+	}
+	body := []byte(sb.String())
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	for i := 0; i < b.N; i++ {
+		Parse(body)
+	}
+}
+
+func BenchmarkTesterAllowed(b *testing.B) {
+	d := Parse(BuildVersion(Version2, ""))
+	t := d.Tester("randombot/1.0")
+	paths := []string{"/", "/page-data/item-001/page-data.json", "/people/profile-0001", "/secure/x"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range paths {
+			t.Allowed(p)
+		}
+	}
+}
+
+func BenchmarkGroupFor(b *testing.B) {
+	d := Parse(BuildVersion(Version3, ""))
+	agents := []string{"Googlebot/2.1", "GPTBot/1.2", "unknown-bot/9"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, a := range agents {
+			d.GroupFor(a)
+		}
+	}
+}
+
+func BenchmarkProductToken(b *testing.B) {
+	ua := "Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko; compatible; GPTBot/1.2; +https://openai.com/gptbot)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ProductToken(ua)
+	}
+}
+
+func BenchmarkPatternBacktracking(b *testing.B) {
+	// Worst-case-ish backtracking pattern.
+	pattern := "/a*a*a*a*b$"
+	path := "/" + strings.Repeat("a", 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PatternMatches(pattern, path)
+	}
+}

@@ -1,0 +1,268 @@
+package robots
+
+import (
+	"strings"
+	"time"
+)
+
+// Builder constructs robots.txt files programmatically. It is used by the
+// experiment harness to emit the four robots.txt versions the paper deploys
+// (Figures 5-8) and by tests to generate arbitrary valid files.
+//
+// The zero value is ready to use:
+//
+//	var b robots.Builder
+//	b.Group("*").Allow("/").Disallow("/secure/*").CrawlDelay(30 * time.Second)
+//	txt := b.String()
+type Builder struct {
+	groups   []*GroupBuilder
+	sitemaps []string
+	comments []string
+}
+
+// GroupBuilder accumulates directives for one user-agent group.
+type GroupBuilder struct {
+	agents []string
+	lines  []string
+}
+
+// Comment adds a leading '#' comment emitted before all groups.
+func (b *Builder) Comment(text string) *Builder {
+	b.comments = append(b.comments, text)
+	return b
+}
+
+// Group starts a new group for the given user agents and returns its
+// builder. Call the returned builder's methods to add rules.
+func (b *Builder) Group(agents ...string) *GroupBuilder {
+	g := &GroupBuilder{agents: agents}
+	b.groups = append(b.groups, g)
+	return g
+}
+
+// Sitemap appends a Sitemap line (emitted after all groups).
+func (b *Builder) Sitemap(url string) *Builder {
+	b.sitemaps = append(b.sitemaps, url)
+	return b
+}
+
+// Allow appends an Allow rule.
+func (g *GroupBuilder) Allow(pattern string) *GroupBuilder {
+	g.lines = append(g.lines, "Allow: "+pattern)
+	return g
+}
+
+// Disallow appends a Disallow rule.
+func (g *GroupBuilder) Disallow(pattern string) *GroupBuilder {
+	g.lines = append(g.lines, "Disallow: "+pattern)
+	return g
+}
+
+// CrawlDelay appends a Crawl-delay directive, rendered in whole seconds when
+// possible and fractional seconds otherwise.
+func (g *GroupBuilder) CrawlDelay(d time.Duration) *GroupBuilder {
+	secs := d.Seconds()
+	if secs == float64(int64(secs)) {
+		g.lines = append(g.lines, "Crawl-delay: "+itoa(int64(secs)))
+	} else {
+		g.lines = append(g.lines, "Crawl-delay: "+trimFloat(secs))
+	}
+	return g
+}
+
+// String renders the file.
+func (b *Builder) String() string {
+	var sb strings.Builder
+	for _, c := range b.comments {
+		sb.WriteString("# ")
+		sb.WriteString(c)
+		sb.WriteString("\n")
+	}
+	if len(b.comments) > 0 {
+		sb.WriteString("\n")
+	}
+	for i, g := range b.groups {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		for _, a := range g.agents {
+			sb.WriteString("User-agent: ")
+			sb.WriteString(a)
+			sb.WriteString("\n")
+		}
+		for _, l := range g.lines {
+			sb.WriteString(l)
+			sb.WriteString("\n")
+		}
+	}
+	for _, s := range b.sitemaps {
+		sb.WriteString("\nSitemap: ")
+		sb.WriteString(s)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Bytes renders the file as a byte slice.
+func (b *Builder) Bytes() []byte { return []byte(b.String()) }
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func trimFloat(f float64) string {
+	s := strings.TrimRight(strings.TrimRight(formatFloat(f), "0"), ".")
+	if s == "" {
+		return "0"
+	}
+	return s
+}
+
+func formatFloat(f float64) string {
+	// Three decimal places are plenty for crawl delays.
+	scaled := int64(f*1000 + 0.5)
+	whole := scaled / 1000
+	frac := scaled % 1000
+	return itoa(whole) + "." + pad3(frac)
+}
+
+func pad3(v int64) string {
+	s := itoa(v)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}
+
+// ExemptSEOBots lists the eight search/SEO bots the institution exempted
+// from the v2 and v3 restrictions (§4.1 of the paper).
+var ExemptSEOBots = []string{
+	"Googlebot", "Slurp", "bingbot", "Yandexbot",
+	"DuckDuckBot", "BaiduSpider", "DuckAssistBot", "ia_archiver",
+}
+
+// Version identifies one of the four robots.txt files deployed in the
+// paper's controlled experiment.
+type Version int
+
+const (
+	// VersionBase is the institution's standard permissive file (Figure 5).
+	VersionBase Version = iota
+	// Version1 adds a 30-second crawl delay for all bots (Figure 6).
+	Version1
+	// Version2 restricts most bots to /page-data/* (Figure 7).
+	Version2
+	// Version3 disallows everything for most bots (Figure 8).
+	Version3
+)
+
+// String returns the paper's name for the version.
+func (v Version) String() string {
+	switch v {
+	case VersionBase:
+		return "base"
+	case Version1:
+		return "v1-crawl-delay"
+	case Version2:
+		return "v2-endpoint"
+	case Version3:
+		return "v3-disallow-all"
+	default:
+		return "unknown"
+	}
+}
+
+// Short returns the compact label used in tables ("Base", "v1", ...).
+func (v Version) Short() string {
+	switch v {
+	case VersionBase:
+		return "Base"
+	case Version1:
+		return "v1"
+	case Version2:
+		return "v2"
+	case Version3:
+		return "v3"
+	default:
+		return "?"
+	}
+}
+
+// Versions lists all four deployment phases in order.
+var Versions = []Version{VersionBase, Version1, Version2, Version3}
+
+// BuildVersion constructs the robots.txt body for one of the paper's four
+// experiment versions, reproducing Figures 5-8. The sitemap URL is included
+// when non-empty, mirroring the (redacted) sitemap lines in the originals.
+func BuildVersion(v Version, sitemapURL string) []byte {
+	var b Builder
+	switch v {
+	case VersionBase:
+		b.Group("*").
+			Allow("/").
+			Disallow("/404").
+			Disallow("/dev-404-page").
+			Disallow("/secure/*")
+	case Version1:
+		b.Group("*").
+			Allow("/").
+			Disallow("/404").
+			Disallow("/dev-404-page").
+			Disallow("/secure/*").
+			CrawlDelay(30 * time.Second)
+	case Version2:
+		for _, bot := range ExemptSEOBots {
+			b.Group(bot).
+				Allow("/").
+				Disallow("/404").
+				Disallow("/dev-404-page").
+				Disallow("/secure/*")
+		}
+		b.Group("*").
+			Allow("/page-data/*").
+			Disallow("/")
+	case Version3:
+		for _, bot := range ExemptSEOBots {
+			b.Group(bot).
+				Allow("/").
+				Disallow("/404").
+				Disallow("/dev-404-page").
+				Disallow("/secure/*")
+		}
+		b.Group("*").
+			Disallow("/")
+	}
+	if sitemapURL != "" {
+		b.Sitemap(sitemapURL)
+	}
+	return b.Bytes()
+}
+
+// IsExemptSEOBot reports whether the given bot name is one of the eight
+// exempted SEO/search bots, compared case-insensitively.
+func IsExemptSEOBot(name string) bool {
+	for _, b := range ExemptSEOBots {
+		if strings.EqualFold(b, name) {
+			return true
+		}
+	}
+	return false
+}

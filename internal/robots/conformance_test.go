@@ -1,0 +1,257 @@
+package robots
+
+import (
+	"strings"
+	"testing"
+)
+
+// Conformance cases adapted from RFC 9309's examples and Google's
+// robots.txt specification documentation. Each case parses a file and
+// checks an (agent, path) -> allowed expectation.
+func TestConformanceSuite(t *testing.T) {
+	type check struct {
+		agent string
+		path  string
+		allow bool
+	}
+	cases := []struct {
+		name   string
+		body   string
+		checks []check
+	}{
+		{
+			name: "rfc9309-example-groups",
+			body: `
+User-agent: ExampleBot
+Disallow: /foo
+Disallow: /bar
+
+User-agent: *
+Disallow: /baz
+`,
+			checks: []check{
+				{"ExampleBot/1.0", "/foo/page", false},
+				{"ExampleBot/1.0", "/bar", false},
+				{"ExampleBot/1.0", "/baz", true}, // specific group wins; * does not stack
+				{"OtherBot/1.0", "/baz/q", false},
+				{"OtherBot/1.0", "/foo", true},
+			},
+		},
+		{
+			name: "google-path-matching-fish",
+			body: "User-agent: *\nDisallow: /fish\n",
+			checks: []check{
+				{"b", "/fish", false},
+				{"b", "/fish.html", false},
+				{"b", "/fish/salmon.html", false},
+				{"b", "/fishheads", false},
+				{"b", "/Fish.asp", true}, // case sensitive paths
+				{"b", "/catfish", true},  // prefix anchored at start
+			},
+		},
+		{
+			name: "google-path-matching-fish-star",
+			body: "User-agent: *\nDisallow: /fish*\n",
+			checks: []check{
+				{"b", "/fish", false},
+				{"b", "/fishheads/yummy.html", false},
+				{"b", "/desert/fish", true},
+			},
+		},
+		{
+			name: "google-trailing-slash",
+			body: "User-agent: *\nDisallow: /fish/\n",
+			checks: []check{
+				{"b", "/fish", true}, // folder rule does not match the bare name
+				{"b", "/fish/", false},
+				{"b", "/fish/salmon.htm", false},
+				{"b", "/fish.html", true},
+			},
+		},
+		{
+			name: "google-php-dollar",
+			body: "User-agent: *\nDisallow: /*.php$\n",
+			checks: []check{
+				{"b", "/filename.php", false},
+				{"b", "/folder/filename.php", false},
+				{"b", "/filename.php?parameters", true},
+				{"b", "/filename.php/", true},
+				{"b", "/windows.PHP", true},
+			},
+		},
+		{
+			name: "google-allow-overrides-shorter-disallow",
+			body: "User-agent: *\nAllow: /p\nDisallow: /\n",
+			checks: []check{
+				{"b", "/page", true},
+				{"b", "/other", false},
+			},
+		},
+		{
+			name: "google-folder-page-tie",
+			body: "User-agent: *\nAllow: /folder\nDisallow: /folder\n",
+			checks: []check{
+				{"b", "/folder/page", true}, // allow wins equal specificity
+			},
+		},
+		{
+			name: "google-page-vs-pagedata",
+			body: "User-agent: *\nAllow: /page\nDisallow: /*.htm\n",
+			checks: []check{
+				{"b", "/page", true},
+				{"b", "/page.htm", false}, // /*.htm is longer than /page
+			},
+		},
+		{
+			name: "google-dollar-allow",
+			body: "User-agent: *\nAllow: /$\nDisallow: /\n",
+			checks: []check{
+				{"b", "/", true},
+				{"b", "/page.htm", false},
+			},
+		},
+		{
+			name: "agent-token-case",
+			body: "User-agent: FooBot\nDisallow: /x\n",
+			checks: []check{
+				{"FOOBOT/2.1", "/x", false},
+				{"foobot", "/x", false},
+				{"Mozilla/5.0 (compatible; FooBot/2.1)", "/x", false},
+			},
+		},
+		{
+			// RFC 9309: consecutive user-agent lines form ONE group, and a
+			// blank line does not close the agent list (unlike the 1994
+			// draft). LonelyBot therefore shares the * group's rules.
+			name: "consecutive-ua-lines-merge-across-blank",
+			body: "User-agent: LonelyBot\n\nUser-agent: *\nDisallow: /\n",
+			checks: []check{
+				{"LonelyBot/1.0", "/anything", false},
+				{"OtherBot/1.0", "/anything", false},
+			},
+		},
+		{
+			// A group genuinely left without rules allows everything.
+			name: "empty-group-allows-everything",
+			body: "User-agent: LonelyBot\nAllow: /\n\nUser-agent: *\nDisallow: /\n",
+			checks: []check{
+				{"LonelyBot/1.0", "/anything", true},
+				{"OtherBot/1.0", "/anything", false},
+			},
+		},
+		{
+			name: "crlf-line-endings",
+			body: "User-agent: *\r\nDisallow: /x\r\n",
+			checks: []check{
+				{"b", "/x/1", false},
+				{"b", "/y", true},
+			},
+		},
+		{
+			name: "query-string-matching",
+			body: "User-agent: *\nDisallow: /*?session=\n",
+			checks: []check{
+				{"b", "/page?session=abc", false},
+				{"b", "/page?other=1", true},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Parse([]byte(tc.body))
+			for _, c := range tc.checks {
+				got := d.Tester(c.agent).Allowed(c.path)
+				if got != c.allow {
+					t.Errorf("agent %q path %q: allowed=%v, want %v", c.agent, c.path, got, c.allow)
+				}
+			}
+		})
+	}
+}
+
+// TestGroupForSpecificity pins the agent-group selection rules the
+// conformance suite depends on.
+func TestGroupForSpecificity(t *testing.T) {
+	d := Parse([]byte(`
+User-agent: a
+Disallow: /a-only
+
+User-agent: ab
+Disallow: /ab-only
+`))
+	g := d.GroupFor("abc-bot/1.0") // token "abc-bot": prefix-matches both "a" and "ab"
+	if g == nil || g.Agents[0] != "ab" {
+		t.Fatalf("GroupFor picked %+v, want the longer 'ab' group", g)
+	}
+	if d.GroupFor("zeta/1.0") != nil {
+		t.Error("no group should apply to an unmatched agent without *")
+	}
+}
+
+// TestTesterReusableAcrossPaths guards the Tester's precomputation: one
+// tester must answer many paths consistently with fresh testers.
+func TestTesterReusableAcrossPaths(t *testing.T) {
+	d := Parse(BuildVersion(Version2, ""))
+	shared := d.Tester("randombot")
+	paths := []string{"/", "/page-data/item-001/page-data.json", "/people/x", "/robots.txt", "/secure/a"}
+	for _, p := range paths {
+		if shared.Allowed(p) != d.Tester("randombot").Allowed(p) {
+			t.Errorf("tester reuse diverged on %s", p)
+		}
+	}
+}
+
+// TestParseIdempotent ensures Parse(serialize(Parse(x))) is stable for the
+// builder-generated corpus.
+func TestParseIdempotent(t *testing.T) {
+	for _, v := range Versions {
+		body := BuildVersion(v, "https://x.example/s.xml")
+		d1 := Parse(body)
+		// Re-serialize through the builder and re-parse.
+		var b Builder
+		for _, g := range d1.Groups {
+			gb := b.Group(g.Agents...)
+			for _, r := range g.Rules {
+				if r.Type == Allow {
+					gb.Allow(r.Pattern)
+				} else {
+					gb.Disallow(r.Pattern)
+				}
+			}
+			if g.HasCrawlDelay() {
+				gb.CrawlDelay(g.CrawlDelay)
+			}
+		}
+		for _, s := range d1.Sitemaps {
+			b.Sitemap(s)
+		}
+		d2 := Parse(b.Bytes())
+		if len(d2.Groups) != len(d1.Groups) || len(d2.Sitemaps) != len(d1.Sitemaps) {
+			t.Fatalf("version %v: structure changed on round trip", v)
+		}
+		for _, ua := range []string{"googlebot", "gptbot", "anybot"} {
+			for _, p := range []string{"/", "/404", "/secure/x", "/page-data/a", "/people/b"} {
+				if d1.Tester(ua).Allowed(p) != d2.Tester(ua).Allowed(p) {
+					t.Errorf("version %v: verdict changed for %s %s", v, ua, p)
+				}
+			}
+		}
+	}
+}
+
+// TestHugeGroupPerformanceSmoke guards against quadratic blowups: a
+// 10k-rule group must still answer quickly.
+func TestHugeGroupPerformanceSmoke(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("User-agent: *\n")
+	for i := 0; i < 10000; i++ {
+		sb.WriteString("Disallow: /dir-")
+		sb.WriteString(strings.Repeat("x", i%17))
+		sb.WriteString("/\n")
+	}
+	d := Parse([]byte(sb.String()))
+	tester := d.Tester("smoke")
+	for i := 0; i < 100; i++ {
+		tester.Allowed("/dir-xxxx/page")
+	}
+}

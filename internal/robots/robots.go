@@ -1,0 +1,583 @@
+// Package robots implements the Robots Exclusion Protocol (RFC 9309) with
+// the extensions commonly honoured by large crawlers: the Crawl-delay
+// directive, Sitemap lines, '*' wildcards and '$' end-of-match anchors in
+// path patterns, and the longest-match rule-precedence algorithm used by
+// Google's open-source parser.
+//
+// The package provides three things:
+//
+//   - a parser (Parse) that turns a robots.txt body into a Data value,
+//   - a matcher (Data.Tester / Tester.Allowed) that answers "may agent A
+//     fetch path P, and how long must it wait between fetches?",
+//   - a builder (Builder) for programmatically constructing and serializing
+//     robots.txt files, used by the experiment harness to emit the four
+//     versions deployed in the paper (Figures 5-8).
+//
+// Parsing is tolerant in the way real crawlers are: unknown directives are
+// retained but ignored, common misspellings of "disallow" and "user-agent"
+// are accepted, keys are case-insensitive, and both ':' separators and
+// surrounding whitespace are handled liberally. Bodies larger than MaxSize
+// are truncated before parsing, matching RFC 9309 §2.5's 500 KiB guidance.
+package robots
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MaxSize is the maximum number of robots.txt bytes a parser will consider,
+// per RFC 9309 §2.5 ("parsers SHOULD parse at least 500 kibibytes").
+// Content beyond this limit is ignored.
+const MaxSize = 500 * 1024
+
+// DefaultAgent is the wildcard product token that matches every crawler
+// that has no more specific group.
+const DefaultAgent = "*"
+
+// RuleType distinguishes allow from disallow rules.
+type RuleType int
+
+const (
+	// Disallow forbids access to paths matching the rule's pattern.
+	Disallow RuleType = iota
+	// Allow permits access to paths matching the rule's pattern.
+	Allow
+)
+
+// String returns the canonical directive name.
+func (t RuleType) String() string {
+	if t == Allow {
+		return "Allow"
+	}
+	return "Disallow"
+}
+
+// Rule is a single allow or disallow line within a group.
+type Rule struct {
+	// Type says whether the rule allows or disallows.
+	Type RuleType
+	// Pattern is the path pattern, possibly containing '*' wildcards and a
+	// trailing '$' anchor. An empty Disallow pattern allows everything, per
+	// the RFC.
+	Pattern string
+}
+
+// Group is a set of rules that applies to one or more user agents.
+type Group struct {
+	// Agents holds the lower-cased product tokens of the user-agent lines
+	// that introduced this group. "*" denotes the default group.
+	Agents []string
+	// Rules holds the allow/disallow rules in file order.
+	Rules []Rule
+	// CrawlDelay is the requested minimum delay between successive fetches,
+	// or zero if the group carries no crawl-delay line. Fractional seconds
+	// are supported ("Crawl-delay: 1.5").
+	CrawlDelay time.Duration
+	// hasDelay records whether a crawl-delay line appeared at all, so a
+	// "Crawl-delay: 0" can be distinguished from no directive.
+	hasDelay bool
+}
+
+// HasCrawlDelay reports whether the group explicitly carries a crawl-delay
+// directive (even one of zero seconds).
+func (g *Group) HasCrawlDelay() bool { return g.hasDelay }
+
+// Data is a parsed robots.txt file.
+type Data struct {
+	// Groups holds the rule groups in file order.
+	Groups []Group
+	// Sitemaps lists the URLs of Sitemap lines, in file order.
+	Sitemaps []string
+	// Unknown holds directives the parser did not recognize, as key->values,
+	// preserved for diagnostics.
+	Unknown map[string][]string
+	// Errors holds non-fatal syntax problems encountered while parsing;
+	// parsing never fails outright, matching crawler behaviour.
+	Errors []ParseError
+}
+
+// ParseError describes one malformed or suspicious line.
+type ParseError struct {
+	// Line is the 1-based line number.
+	Line int
+	// Text is the offending raw line.
+	Text string
+	// Msg explains the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e ParseError) Error() string {
+	return fmt.Sprintf("robots.txt line %d: %s: %q", e.Line, e.Msg, e.Text)
+}
+
+// directiveKey normalizes a directive name: lower case, spaces and
+// underscores removed, common misspellings folded to their canonical form.
+// The misspelling list mirrors Google's parser, which accepts variants such
+// as "disalow" and "user agent" because they occur at scale in the wild.
+func directiveKey(raw string) string {
+	k := strings.ToLower(strings.TrimSpace(raw))
+	k = strings.ReplaceAll(k, " ", "")
+	k = strings.ReplaceAll(k, "_", "")
+	switch k {
+	case "useragent", "user-agent", "useraget", "useragnet", "usragent":
+		return "user-agent"
+	case "disallow", "dissallow", "dissalow", "disalow", "diasllow", "disallaw":
+		return "disallow"
+	case "allow":
+		return "allow"
+	case "crawldelay", "crawl-delay", "crauldelay":
+		return "crawl-delay"
+	case "sitemap", "site-map":
+		return "sitemap"
+	case "host":
+		return "host"
+	default:
+		return k
+	}
+}
+
+// Parse parses a robots.txt body. It never returns a nil Data; syntax
+// problems are accumulated in Data.Errors rather than aborting, because a
+// crawler must extract whatever meaning it can from malformed files.
+func Parse(body []byte) *Data {
+	if len(body) > MaxSize {
+		body = body[:MaxSize]
+	}
+	text := string(body)
+	// Strip a UTF-8 byte-order mark, which appears in real robots.txt files
+	// exported from Windows tooling.
+	text = strings.TrimPrefix(text, "\ufeff")
+
+	d := &Data{Unknown: make(map[string][]string)}
+
+	// Group-assembly state machine: user-agent lines accumulate onto the
+	// pending group until a rule line "closes" the agent list; a subsequent
+	// user-agent line then starts a fresh group. This matches RFC 9309 §2.2.1.
+	var cur *Group
+	agentsOpen := false // true while consecutive user-agent lines may still join cur
+
+	startGroup := func() {
+		d.Groups = append(d.Groups, Group{})
+		cur = &d.Groups[len(d.Groups)-1]
+	}
+
+	lines := strings.Split(text, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := strings.TrimSuffix(raw, "\r")
+		// Comments run from '#' to end of line.
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		key, value, ok := splitDirective(line)
+		if !ok {
+			d.Errors = append(d.Errors, ParseError{lineNo, raw, "missing ':' separator"})
+			continue
+		}
+
+		switch directiveKey(key) {
+		case "user-agent":
+			agent := strings.ToLower(value)
+			if agent == "" {
+				d.Errors = append(d.Errors, ParseError{lineNo, raw, "empty user-agent"})
+				continue
+			}
+			if cur == nil || !agentsOpen {
+				startGroup()
+				agentsOpen = true
+			}
+			cur.Agents = append(cur.Agents, agent)
+
+		case "allow", "disallow":
+			if cur == nil {
+				// Rules before any user-agent line: RFC says they belong to
+				// no group; Google's parser drops them. We keep them in an
+				// implicit "*" group so nothing silently vanishes, but note
+				// the anomaly.
+				startGroup()
+				cur.Agents = append(cur.Agents, DefaultAgent)
+				d.Errors = append(d.Errors, ParseError{lineNo, raw, "rule before any user-agent line; assuming *"})
+			}
+			agentsOpen = false
+			rt := Disallow
+			if directiveKey(key) == "allow" {
+				rt = Allow
+			}
+			cur.Rules = append(cur.Rules, Rule{Type: rt, Pattern: normalizePattern(value)})
+
+		case "crawl-delay":
+			if cur == nil {
+				startGroup()
+				cur.Agents = append(cur.Agents, DefaultAgent)
+				d.Errors = append(d.Errors, ParseError{lineNo, raw, "crawl-delay before any user-agent line; assuming *"})
+			}
+			agentsOpen = false
+			delay, err := parseDelay(value)
+			if err != nil {
+				d.Errors = append(d.Errors, ParseError{lineNo, raw, "invalid crawl-delay: " + err.Error()})
+				continue
+			}
+			cur.CrawlDelay = delay
+			cur.hasDelay = true
+
+		case "sitemap":
+			// Sitemap is a non-group directive: valid anywhere, global scope.
+			if value == "" {
+				d.Errors = append(d.Errors, ParseError{lineNo, raw, "empty sitemap URL"})
+				continue
+			}
+			d.Sitemaps = append(d.Sitemaps, value)
+
+		default:
+			d.Unknown[directiveKey(key)] = append(d.Unknown[directiveKey(key)], value)
+		}
+	}
+	return d
+}
+
+// splitDirective splits "Key: value" liberally: the first ':' separates key
+// from value, and both sides are trimmed.
+func splitDirective(line string) (key, value string, ok bool) {
+	idx := strings.IndexByte(line, ':')
+	if idx < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:idx]), strings.TrimSpace(line[idx+1:]), true
+}
+
+// parseDelay parses a crawl-delay value in (possibly fractional) seconds.
+func parseDelay(s string) (time.Duration, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("negative delay %v", f)
+	}
+	// Clamp absurd delays to a day so arithmetic downstream stays sane.
+	const maxDelay = 24 * float64(time.Hour)
+	dur := f * float64(time.Second)
+	if dur > maxDelay {
+		dur = maxDelay
+	}
+	return time.Duration(dur), nil
+}
+
+// normalizePattern canonicalizes a rule path pattern: ensures a leading '/'
+// (unless the pattern is empty or starts with a wildcard) and collapses
+// percent-encoding case, so matching is byte-wise consistent.
+func normalizePattern(p string) string {
+	if p == "" {
+		return ""
+	}
+	if !strings.HasPrefix(p, "/") && !strings.HasPrefix(p, "*") {
+		p = "/" + p
+	}
+	return normalizePercent(p)
+}
+
+// normalizePercent upper-cases the hex digits of %-escapes without decoding
+// them, per RFC 9309 §2.2.2's octet-wise comparison rules.
+func normalizePercent(s string) string {
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '%' && i+2 < len(s) && isHex(s[i+1]) && isHex(s[i+2]) {
+			b.WriteByte('%')
+			b.WriteByte(upperHex(s[i+1]))
+			b.WriteByte(upperHex(s[i+2]))
+			i += 2
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func upperHex(c byte) byte {
+	if c >= 'a' && c <= 'f' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+// GroupFor returns the group applying to the given user-agent product token,
+// following RFC 9309 §2.2.1: the group whose agent token is the longest
+// prefix match of the crawler's product token wins; the "*" group is the
+// fallback; nil means no group applies (everything is allowed).
+//
+// If several groups name the same agent, their rules are merged, matching
+// the RFC's instruction to combine groups with identical user-agents.
+func (d *Data) GroupFor(userAgent string) *Group {
+	token := ProductToken(userAgent)
+	var (
+		bestLen   = -1
+		bestAgent string
+	)
+	for gi := range d.Groups {
+		for _, a := range d.Groups[gi].Agents {
+			if a == DefaultAgent {
+				continue
+			}
+			if agentMatches(token, a) && len(a) > bestLen {
+				bestLen = len(a)
+				bestAgent = a
+			}
+		}
+	}
+	if bestLen >= 0 {
+		return d.mergedGroup(bestAgent)
+	}
+	// Fall back to the wildcard group, merged across occurrences.
+	for gi := range d.Groups {
+		for _, a := range d.Groups[gi].Agents {
+			if a == DefaultAgent {
+				return d.mergedGroup(DefaultAgent)
+			}
+		}
+	}
+	return nil
+}
+
+// mergedGroup combines every group that names agent into one synthetic
+// group. Rule order is preserved; the largest crawl-delay wins, which is the
+// conservative interpretation.
+func (d *Data) mergedGroup(agent string) *Group {
+	var out Group
+	out.Agents = []string{agent}
+	for gi := range d.Groups {
+		g := &d.Groups[gi]
+		for _, a := range g.Agents {
+			if a != agent {
+				continue
+			}
+			out.Rules = append(out.Rules, g.Rules...)
+			if g.hasDelay && g.CrawlDelay >= out.CrawlDelay {
+				out.CrawlDelay = g.CrawlDelay
+				out.hasDelay = true
+			}
+			break
+		}
+	}
+	return &out
+}
+
+// agentMatches reports whether group agent token a applies to the crawler's
+// product token. Matching is a case-insensitive prefix match on the product
+// token, per the RFC ("crawlers MUST use case-insensitive matching" and
+// should match on the product token).
+func agentMatches(token, a string) bool {
+	return strings.HasPrefix(token, a)
+}
+
+// ProductToken extracts the lower-cased product token from a full
+// User-Agent header value. "Mozilla/5.0 (compatible; Googlebot/2.1;
+// +http://www.google.com/bot.html)" yields "googlebot" when the well-known
+// token appears; otherwise the first token before '/' or space is used.
+func ProductToken(userAgent string) string {
+	ua := strings.ToLower(strings.TrimSpace(userAgent))
+	if ua == "" {
+		return ""
+	}
+	// Prefer a parenthesized or embedded well-known token: scan for the
+	// longest run of token characters that is followed by '/' + digits,
+	// which is how crawler products conventionally identify themselves.
+	if tok := embeddedProduct(ua); tok != "" {
+		return tok
+	}
+	// Fallback: first whitespace-delimited word, stripped of a version.
+	end := len(ua)
+	for i := 0; i < len(ua); i++ {
+		c := ua[i]
+		if c == '/' || c == ' ' || c == ';' || c == '(' || c == ')' {
+			end = i
+			break
+		}
+	}
+	return ua[:end]
+}
+
+// embeddedProduct finds tokens like "googlebot/2.1" inside a composite UA
+// string. It returns the first such token that is not a generic browser
+// shell ("mozilla", "applewebkit", "chrome", "safari", "gecko").
+func embeddedProduct(ua string) string {
+	generic := map[string]bool{
+		"mozilla": true, "applewebkit": true, "chrome": true,
+		"safari": true, "gecko": true, "khtml": true, "like": true,
+		"version": true, "compatible": true,
+	}
+	i := 0
+	for i < len(ua) {
+		// Scan a token.
+		start := i
+		for i < len(ua) && isTokenChar(ua[i]) {
+			i++
+		}
+		tok := ua[start:i]
+		if tok != "" && i < len(ua) && ua[i] == '/' && !generic[tok] {
+			return tok
+		}
+		// Skip to next token boundary.
+		for i < len(ua) && !isTokenChar(ua[i]) {
+			i++
+		}
+	}
+	return ""
+}
+
+func isTokenChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.'
+}
+
+// Tester answers allow/deny questions for one crawler against one parsed
+// robots.txt. It precomputes the applicable merged group so repeated path
+// checks are cheap; build one per (robots.txt, user-agent) pair.
+type Tester struct {
+	group *Group // nil => no applicable group => allow all
+}
+
+// Tester returns a Tester for the given user agent.
+func (d *Data) Tester(userAgent string) *Tester {
+	return &Tester{group: d.GroupFor(userAgent)}
+}
+
+// Allowed reports whether the crawler may fetch path. The path should be
+// the URI path plus optional query ("/a/b?q=1"). Fetching "/robots.txt"
+// itself is always allowed, per RFC 9309 §2.4.
+func (t *Tester) Allowed(path string) bool {
+	if path == "" {
+		path = "/"
+	}
+	if isRobotsPath(path) {
+		return true
+	}
+	if t.group == nil {
+		return true
+	}
+	path = normalizePercent(path)
+
+	// Longest-match precedence (RFC 9309 §2.2.2): the rule with the longest
+	// matching pattern wins; on a tie, the least-restrictive (allow) rule
+	// wins. Pattern "length" is the literal pattern length, the convention
+	// Google's parser uses (wildcards count as one).
+	var (
+		bestLen  = -1
+		bestType RuleType
+	)
+	for _, r := range t.group.Rules {
+		if r.Pattern == "" {
+			// Empty Disallow allows everything; it matches nothing.
+			continue
+		}
+		if !PatternMatches(r.Pattern, path) {
+			continue
+		}
+		l := precedenceLength(r.Pattern)
+		if l > bestLen || (l == bestLen && r.Type == Allow && bestType == Disallow) {
+			bestLen = l
+			bestType = r.Type
+		}
+	}
+	if bestLen < 0 {
+		return true // no rule matched
+	}
+	return bestType == Allow
+}
+
+// CrawlDelay returns the crawl delay requested of this crawler and whether
+// one was specified at all.
+func (t *Tester) CrawlDelay() (time.Duration, bool) {
+	if t.group == nil {
+		return 0, false
+	}
+	return t.group.CrawlDelay, t.group.hasDelay
+}
+
+// isRobotsPath reports whether the request path addresses robots.txt itself.
+func isRobotsPath(path string) bool {
+	p := path
+	if i := strings.IndexAny(p, "?#"); i >= 0 {
+		p = p[:i]
+	}
+	return p == "/robots.txt"
+}
+
+// precedenceLength is the pattern length used for longest-match precedence.
+// Following Google's implementation, the raw byte length of the pattern is
+// used, except that a trailing "$" anchor does not count.
+func precedenceLength(pattern string) int {
+	n := len(pattern)
+	if strings.HasSuffix(pattern, "$") {
+		n--
+	}
+	return n
+}
+
+// PatternMatches reports whether a robots.txt path pattern matches the
+// request path. Patterns are anchored at the start of the path, may contain
+// '*' (any run of characters, including none) and may end with '$' (anchor
+// to end of path).
+func PatternMatches(pattern, path string) bool {
+	anchored := strings.HasSuffix(pattern, "$")
+	if anchored {
+		pattern = pattern[:len(pattern)-1]
+	}
+	return matchHere(pattern, path, anchored)
+}
+
+// matchHere is an iterative wildcard matcher with backtracking, the classic
+// two-pointer algorithm; it runs in O(len(pattern)*len(path)) worst case but
+// is linear on real-world patterns.
+func matchHere(pattern, path string, anchored bool) bool {
+	var (
+		p, s  int  // indexes into pattern, path
+		starP = -1 // position of last '*' in pattern
+		starS = -1 // path index at the time of last '*'
+	)
+	for {
+		// A fully consumed pattern is a successful prefix match unless an
+		// end anchor demands the path be consumed too.
+		if p == len(pattern) && (!anchored || s == len(path)) {
+			return true
+		}
+		if s >= len(path) {
+			break
+		}
+		switch {
+		case p < len(pattern) && pattern[p] == '*':
+			starP, starS = p, s
+			p++
+		case p < len(pattern) && pattern[p] == path[s]:
+			p++
+			s++
+		case starP >= 0:
+			// Backtrack: let the last '*' absorb one more byte.
+			starS++
+			s = starS
+			p = starP + 1
+		default:
+			return false
+		}
+	}
+	// Path exhausted: remaining pattern must be all '*' to match.
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}

@@ -1,0 +1,578 @@
+package robots
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseEmpty(t *testing.T) {
+	d := Parse(nil)
+	if len(d.Groups) != 0 || len(d.Sitemaps) != 0 {
+		t.Fatalf("empty body parsed to %+v", d)
+	}
+	if !d.Tester("anybot").Allowed("/anything") {
+		t.Error("empty robots.txt must allow everything")
+	}
+}
+
+func TestParseBasicGroup(t *testing.T) {
+	d := Parse([]byte(`
+User-agent: Googlebot
+Allow: /
+Crawl-delay: 15
+
+User-agent: *
+Allow: /allowed-data/
+Disallow: /restricted-data/
+Crawl-delay: 30
+
+Sitemap: https://x.example/sitemap/sitemap-0.xml
+`))
+	if len(d.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(d.Groups))
+	}
+	if got := d.Groups[0].Agents; len(got) != 1 || got[0] != "googlebot" {
+		t.Errorf("group 0 agents = %v", got)
+	}
+	if d.Groups[0].CrawlDelay != 15*time.Second {
+		t.Errorf("googlebot delay = %v, want 15s", d.Groups[0].CrawlDelay)
+	}
+	if len(d.Sitemaps) != 1 || d.Sitemaps[0] != "https://x.example/sitemap/sitemap-0.xml" {
+		t.Errorf("sitemaps = %v", d.Sitemaps)
+	}
+
+	g := d.Tester("Googlebot/2.1")
+	if !g.Allowed("/restricted-data/secret") {
+		t.Error("googlebot should be allowed everywhere")
+	}
+	if delay, ok := g.CrawlDelay(); !ok || delay != 15*time.Second {
+		t.Errorf("googlebot crawl delay = %v,%v", delay, ok)
+	}
+
+	other := d.Tester("RandomBot/1.0")
+	if other.Allowed("/restricted-data/secret") {
+		t.Error("other bots must not access /restricted-data/")
+	}
+	if !other.Allowed("/allowed-data/file.json") {
+		t.Error("other bots may access /allowed-data/")
+	}
+	if delay, ok := other.CrawlDelay(); !ok || delay != 30*time.Second {
+		t.Errorf("other crawl delay = %v,%v", delay, ok)
+	}
+}
+
+func TestMultipleAgentsPerGroup(t *testing.T) {
+	d := Parse([]byte("User-agent: a\nUser-agent: b\nDisallow: /x\n"))
+	if len(d.Groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(d.Groups))
+	}
+	for _, ua := range []string{"a", "b"} {
+		if d.Tester(ua).Allowed("/x/1") {
+			t.Errorf("agent %q should be disallowed on /x/1", ua)
+		}
+	}
+	if !d.Tester("c").Allowed("/x/1") {
+		t.Error("agent c has no group and should be allowed")
+	}
+}
+
+func TestRuleClosesAgentList(t *testing.T) {
+	// A user-agent line after a rule starts a NEW group per RFC 9309.
+	d := Parse([]byte("User-agent: a\nDisallow: /x\nUser-agent: b\nDisallow: /y\n"))
+	if len(d.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(d.Groups))
+	}
+	if d.Tester("a").Allowed("/x") {
+		t.Error("a blocked from /x")
+	}
+	if !d.Tester("a").Allowed("/y") {
+		t.Error("a should be allowed on /y")
+	}
+	if d.Tester("b").Allowed("/y") {
+		t.Error("b blocked from /y")
+	}
+	if !d.Tester("b").Allowed("/x") {
+		t.Error("b should be allowed on /x")
+	}
+}
+
+func TestMergeDuplicateGroups(t *testing.T) {
+	// RFC: groups with the same user-agent are combined.
+	d := Parse([]byte(`
+User-agent: bot
+Disallow: /a
+
+User-agent: other
+Disallow: /
+
+User-agent: bot
+Disallow: /b
+Crawl-delay: 7
+`))
+	tst := d.Tester("bot")
+	if tst.Allowed("/a/1") || tst.Allowed("/b/1") {
+		t.Error("merged group must block both /a and /b")
+	}
+	if !tst.Allowed("/c") {
+		t.Error("merged group must still allow /c")
+	}
+	if delay, ok := tst.CrawlDelay(); !ok || delay != 7*time.Second {
+		t.Errorf("merged delay = %v,%v, want 7s", delay, ok)
+	}
+}
+
+func TestLongestAgentMatchWins(t *testing.T) {
+	d := Parse([]byte(`
+User-agent: google
+Disallow: /only-google
+
+User-agent: googlebot
+Disallow: /only-googlebot
+
+User-agent: *
+Disallow: /
+`))
+	tst := d.Tester("Googlebot/2.1")
+	if tst.Allowed("/only-googlebot") {
+		t.Error("googlebot group should apply (longest match)")
+	}
+	if !tst.Allowed("/only-google") {
+		t.Error("googlebot group should win over google group")
+	}
+	if !tst.Allowed("/other") {
+		t.Error("matched group allows /other; wildcard must not apply")
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	d := Parse([]byte("USER-AGENT: FooBot\nDISALLOW: /private\n"))
+	if d.Tester("foobot").Allowed("/private/x") {
+		t.Error("case-insensitive directive and agent matching failed")
+	}
+}
+
+func TestMisspellings(t *testing.T) {
+	d := Parse([]byte("user agent: foobot\ndisalow: /x\n"))
+	if d.Tester("foobot").Allowed("/x/1") {
+		t.Error("misspelled directives should still parse")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	d := Parse([]byte("# header\nUser-agent: * # inline\n\nDisallow: /a # trailing\n"))
+	if d.Tester("any").Allowed("/a") {
+		t.Error("comments must be stripped before parsing")
+	}
+}
+
+func TestEmptyDisallowAllowsAll(t *testing.T) {
+	d := Parse([]byte("User-agent: *\nDisallow:\n"))
+	if !d.Tester("bot").Allowed("/anything") {
+		t.Error("empty Disallow allows everything")
+	}
+}
+
+func TestRobotsTxtAlwaysAllowed(t *testing.T) {
+	d := Parse([]byte("User-agent: *\nDisallow: /\n"))
+	tst := d.Tester("bot")
+	if !tst.Allowed("/robots.txt") {
+		t.Error("/robots.txt must always be allowed")
+	}
+	if tst.Allowed("/index.html") {
+		t.Error("everything else disallowed")
+	}
+}
+
+func TestWildcardPatterns(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"/", "/", true},
+		{"/", "/a", true},
+		{"/a", "/a", true},
+		{"/a", "/a/b", true},
+		{"/a", "/b", false},
+		{"/*.php", "/index.php", true},
+		{"/*.php", "/a/b/c.php?x=1", true},
+		{"/*.php", "/index.html", false},
+		{"/*.php$", "/index.php", true},
+		{"/*.php$", "/index.php?x=1", false},
+		{"/a*b", "/axxb", true},
+		{"/a*b", "/ab", true},
+		{"/a*b", "/axx", false},
+		{"/a/*/c", "/a/b/c", true},
+		{"/a/*/c", "/a/c", false},
+		{"/secure/*", "/secure/x", true},
+		{"/secure/*", "/secure/", true},
+		{"/secure/*", "/securex", false},
+		{"/fish*", "/fish.html", true},
+		{"/fish*", "/fishheads/yummy.html", true},
+		{"/fish*", "/Fish.asp", false},
+		{"/*?", "/x?y", true},
+		{"/*?", "/x", false},
+		{"/$", "/", true},
+		{"/$", "/a", false},
+		{"*", "/anything", true},
+		{"/**", "/a", true},
+		{"/a$", "/a", true},
+		{"/a$", "/ab", false},
+	}
+	for _, c := range cases {
+		if got := PatternMatches(c.pattern, c.path); got != c.want {
+			t.Errorf("PatternMatches(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+func TestLongestMatchPrecedence(t *testing.T) {
+	d := Parse([]byte(`
+User-agent: *
+Disallow: /folder
+Allow: /folder/page
+`))
+	tst := d.Tester("bot")
+	if !tst.Allowed("/folder/page") {
+		t.Error("longer Allow pattern must win")
+	}
+	if tst.Allowed("/folder/other") {
+		t.Error("shorter Disallow applies elsewhere")
+	}
+}
+
+func TestAllowWinsTies(t *testing.T) {
+	d := Parse([]byte("User-agent: *\nDisallow: /page\nAllow: /page\n"))
+	if !d.Tester("bot").Allowed("/page") {
+		t.Error("allow wins equal-length tie")
+	}
+}
+
+func TestPageDataVersion2Semantics(t *testing.T) {
+	// The paper's v2 file: Allow /page-data/*, Disallow /.
+	body := BuildVersion(Version2, "")
+	d := Parse(body)
+
+	anon := d.Tester("SomeRandomBot/3.0")
+	if !anon.Allowed("/page-data/index/page-data.json") {
+		t.Error("v2 must allow /page-data/* for all bots")
+	}
+	if anon.Allowed("/people/directory") {
+		t.Error("v2 must disallow other endpoints for unlisted bots")
+	}
+	if !anon.Allowed("/robots.txt") {
+		t.Error("robots.txt itself always allowed")
+	}
+
+	for _, seo := range ExemptSEOBots {
+		tst := d.Tester(seo)
+		if !tst.Allowed("/people/directory") {
+			t.Errorf("v2 must exempt %s", seo)
+		}
+		if tst.Allowed("/secure/admin") {
+			t.Errorf("v2 exempt bot %s still blocked from /secure/*", seo)
+		}
+	}
+}
+
+func TestDisallowAllVersion3Semantics(t *testing.T) {
+	d := Parse(BuildVersion(Version3, ""))
+	anon := d.Tester("SomeRandomBot/3.0")
+	if anon.Allowed("/") || anon.Allowed("/page-data/x") {
+		t.Error("v3 blocks everything for unlisted bots")
+	}
+	if !anon.Allowed("/robots.txt") {
+		t.Error("robots.txt always allowed")
+	}
+	if !d.Tester("Googlebot").Allowed("/people") {
+		t.Error("v3 exempts Googlebot")
+	}
+}
+
+func TestVersion1CrawlDelay(t *testing.T) {
+	d := Parse(BuildVersion(Version1, "https://site.example/sitemap.xml"))
+	delay, ok := d.Tester("anybot").CrawlDelay()
+	if !ok || delay != 30*time.Second {
+		t.Errorf("v1 crawl delay = %v,%v, want 30s", delay, ok)
+	}
+	if len(d.Sitemaps) != 1 {
+		t.Errorf("sitemap line missing: %v", d.Sitemaps)
+	}
+	if d.Tester("anybot").Allowed("/secure/x") {
+		t.Error("v1 keeps /secure/* blocked")
+	}
+	if !d.Tester("anybot").Allowed("/people") {
+		t.Error("v1 allows normal pages")
+	}
+}
+
+func TestBaseVersionSemantics(t *testing.T) {
+	d := Parse(BuildVersion(VersionBase, ""))
+	tst := d.Tester("anybot")
+	for _, blocked := range []string{"/404", "/dev-404-page", "/secure/", "/secure/deep/file"} {
+		if tst.Allowed(blocked) {
+			t.Errorf("base version must block %s", blocked)
+		}
+	}
+	if !tst.Allowed("/any/other/page") {
+		t.Error("base version allows normal pages")
+	}
+	if _, ok := tst.CrawlDelay(); ok {
+		t.Error("base version has no crawl delay")
+	}
+}
+
+func TestFractionalCrawlDelay(t *testing.T) {
+	d := Parse([]byte("User-agent: *\nCrawl-delay: 1.5\n"))
+	delay, ok := d.Tester("x").CrawlDelay()
+	if !ok || delay != 1500*time.Millisecond {
+		t.Errorf("delay = %v,%v, want 1.5s", delay, ok)
+	}
+}
+
+func TestInvalidCrawlDelayRecorded(t *testing.T) {
+	d := Parse([]byte("User-agent: *\nCrawl-delay: soon\n"))
+	if len(d.Errors) == 0 {
+		t.Error("invalid crawl-delay should be recorded as a parse error")
+	}
+	if _, ok := d.Tester("x").CrawlDelay(); ok {
+		t.Error("invalid delay must not set a crawl delay")
+	}
+}
+
+func TestNegativeCrawlDelayRejected(t *testing.T) {
+	d := Parse([]byte("User-agent: *\nCrawl-delay: -5\n"))
+	if _, ok := d.Tester("x").CrawlDelay(); ok {
+		t.Error("negative delay must be rejected")
+	}
+}
+
+func TestRulesBeforeAgentAssumed(t *testing.T) {
+	d := Parse([]byte("Disallow: /x\n"))
+	if len(d.Errors) == 0 {
+		t.Error("headless rule should be flagged")
+	}
+	if d.Tester("bot").Allowed("/x") {
+		t.Error("headless rule applies to * by our lenient policy")
+	}
+}
+
+func TestMissingColonFlagged(t *testing.T) {
+	d := Parse([]byte("User-agent *\n"))
+	if len(d.Errors) != 1 {
+		t.Errorf("want 1 parse error, got %v", d.Errors)
+	}
+	if !strings.Contains(d.Errors[0].Error(), "missing ':'") {
+		t.Errorf("unexpected error text: %v", d.Errors[0])
+	}
+}
+
+func TestOversizedBodyTruncated(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("User-agent: *\nDisallow: /blocked\n")
+	filler := strings.Repeat("# padding comment line\n", MaxSize/16)
+	sb.WriteString(filler)
+	sb.WriteString("Disallow: /tail-rule\n") // beyond 500 KiB: must be ignored
+	d := Parse([]byte(sb.String()))
+	tst := d.Tester("bot")
+	if tst.Allowed("/blocked") {
+		t.Error("rule inside size cap must apply")
+	}
+	if !tst.Allowed("/tail-rule") {
+		t.Error("rule beyond the 500 KiB cap must be ignored")
+	}
+}
+
+func TestProductToken(t *testing.T) {
+	cases := []struct{ ua, want string }{
+		{"Googlebot/2.1", "googlebot"},
+		{"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)", "googlebot"},
+		{"Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko; compatible; GPTBot/1.0)", "gptbot"},
+		{"curl/8.0.1", "curl"},
+		{"python-requests/2.31.0", "python-requests"},
+		{"", ""},
+		{"SingleWord", "singleword"},
+		{"Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)", "bingbot"},
+	}
+	for _, c := range cases {
+		if got := ProductToken(c.ua); got != c.want {
+			t.Errorf("ProductToken(%q) = %q, want %q", c.ua, got, c.want)
+		}
+	}
+}
+
+func TestPercentEncodingNormalized(t *testing.T) {
+	d := Parse([]byte("User-agent: *\nDisallow: /a%3cd\n"))
+	if d.Tester("x").Allowed("/a%3Cd") {
+		t.Error("percent-escape case must be normalized for matching")
+	}
+}
+
+func TestUnknownDirectivesRetained(t *testing.T) {
+	d := Parse([]byte("Noindex: /x\nRequest-rate: 1/5\n"))
+	if len(d.Unknown) != 2 {
+		t.Errorf("unknown directives = %v", d.Unknown)
+	}
+}
+
+func TestBuilderRoundTrip(t *testing.T) {
+	var b Builder
+	b.Comment("experiment v1")
+	b.Group("*").Allow("/").Disallow("/404").CrawlDelay(30 * time.Second)
+	b.Sitemap("https://example.edu/sitemap.xml")
+	d := Parse(b.Bytes())
+	if len(d.Errors) != 0 {
+		t.Fatalf("builder output must parse cleanly: %v", d.Errors)
+	}
+	tst := d.Tester("bot")
+	if tst.Allowed("/404") {
+		t.Error("round-tripped disallow lost")
+	}
+	if delay, ok := tst.CrawlDelay(); !ok || delay != 30*time.Second {
+		t.Errorf("round-tripped delay = %v,%v", delay, ok)
+	}
+	if len(d.Sitemaps) != 1 {
+		t.Error("round-tripped sitemap lost")
+	}
+}
+
+func TestBuilderFractionalDelay(t *testing.T) {
+	var b Builder
+	b.Group("*").CrawlDelay(2500 * time.Millisecond)
+	if !strings.Contains(b.String(), "Crawl-delay: 2.5") {
+		t.Errorf("fractional delay rendering: %q", b.String())
+	}
+}
+
+func TestAllVersionsParseCleanly(t *testing.T) {
+	for _, v := range Versions {
+		d := Parse(BuildVersion(v, "https://site.example/sitemap.xml"))
+		if len(d.Errors) != 0 {
+			t.Errorf("version %v has parse errors: %v", v, d.Errors)
+		}
+	}
+}
+
+func TestVersionStrings(t *testing.T) {
+	if VersionBase.String() != "base" || Version3.Short() != "v3" {
+		t.Error("version naming drifted")
+	}
+	if Version(99).String() != "unknown" || Version(99).Short() != "?" {
+		t.Error("out-of-range version naming")
+	}
+}
+
+func TestIsExemptSEOBot(t *testing.T) {
+	if !IsExemptSEOBot("googlebot") || !IsExemptSEOBot("BINGBOT") {
+		t.Error("exempt matching must be case-insensitive")
+	}
+	if IsExemptSEOBot("GPTBot") {
+		t.Error("GPTBot is not exempt")
+	}
+}
+
+// --- property-based tests ---
+
+// propPattern constrains quick-generated strings into plausible path/pattern
+// characters so the space explored is meaningful.
+func propPath(s string) string {
+	var b strings.Builder
+	b.WriteByte('/')
+	for _, r := range s {
+		c := byte(r % 26)
+		b.WriteByte('a' + c)
+		if r%7 == 0 {
+			b.WriteByte('/')
+		}
+	}
+	return b.String()
+}
+
+func TestQuickPrefixPatternAlwaysMatchesItself(t *testing.T) {
+	f := func(s string) bool {
+		p := propPath(s)
+		return PatternMatches(p, p) && PatternMatches(p, p+"/child")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAnchoredMatchesExactlyOnce(t *testing.T) {
+	f := func(s string) bool {
+		p := propPath(s)
+		return PatternMatches(p+"$", p) && !PatternMatches(p+"$", p+"x")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStarAbsorbsAnything(t *testing.T) {
+	f := func(a, b string) bool {
+		pa, pb := propPath(a), propPath(b)
+		return PatternMatches(pa+"*", pa+pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDisallowAllBlocksEverything(t *testing.T) {
+	d := Parse([]byte("User-agent: *\nDisallow: /\n"))
+	tst := d.Tester("quickbot")
+	f := func(s string) bool {
+		p := propPath(s)
+		if p == "/robots.txt" {
+			return true
+		}
+		return !tst.Allowed(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(body []byte) bool {
+		d := Parse(body)
+		return d != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBuilderOutputAlwaysParses(t *testing.T) {
+	f := func(agent, pattern string, delaySecs uint8) bool {
+		if agent == "" {
+			agent = "bot"
+		}
+		agent = strings.Map(func(r rune) rune {
+			if r < 'a' || r > 'z' {
+				return 'a' + (r % 26)
+			}
+			return r
+		}, strings.ToLower(agent))
+		var b Builder
+		b.Group(agent).Disallow(propPath(pattern)).CrawlDelay(time.Duration(delaySecs) * time.Second)
+		d := Parse(b.Bytes())
+		return len(d.Errors) == 0 && len(d.Groups) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAllowedDeterministic(t *testing.T) {
+	d := Parse(BuildVersion(Version2, ""))
+	tst := d.Tester("randombot")
+	f := func(s string) bool {
+		p := propPath(s)
+		return tst.Allowed(p) == tst.Allowed(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+// benchDataset builds a dataset with many interleaved entities.
+func benchDataset(entities, accessesPer int) *weblog.Dataset {
+	d := &weblog.Dataset{}
+	base := time.Date(2025, 2, 12, 0, 0, 0, 0, time.UTC)
+	for e := 0; e < entities; e++ {
+		at := base.Add(time.Duration(e) * time.Second)
+		for a := 0; a < accessesPer; a++ {
+			d.Records = append(d.Records, weblog.Record{
+				UserAgent: fmt.Sprintf("bot-%d/1.0", e),
+				IPHash:    fmt.Sprintf("ip-%d", e),
+				ASN:       "NET",
+				Time:      at,
+				Site:      "www", Path: "/p", Status: 200, Bytes: 100,
+				BotName: fmt.Sprintf("bot-%d", e), Category: "Scrapers",
+			})
+			at = at.Add(time.Duration(30+a%600) * time.Second)
+		}
+	}
+	return d
+}
+
+func BenchmarkSessionize(b *testing.B) {
+	d := benchDataset(200, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sessionize(d, DefaultGap)
+	}
+}
+
+func BenchmarkCountByCategory(b *testing.B) {
+	ss := Sessionize(benchDataset(200, 50), DefaultGap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountByCategory(ss)
+	}
+}
+
+func BenchmarkBytesCDF(b *testing.B) {
+	ss := Sessionize(benchDataset(100, 100), DefaultGap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BytesCDFOverTime(ss, "Scrapers")
+	}
+}

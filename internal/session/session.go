@@ -1,0 +1,230 @@
+// Package session aggregates page-level web accesses into time-based
+// "sessions" the way §3.2 of the paper does: accesses by the same entity
+// (τ = ASN, IP hash, user agent) to related pages at contiguous time steps
+// collapse into one session, and a session ends after a configurable
+// period of inactivity (5 minutes in the paper). The paper's sessionization
+// reduced 3,914,096 rows to 761,956 sessions.
+package session
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+// DefaultGap is the paper's inactivity threshold: a session "ends" after 5
+// minutes without a request from the entity.
+const DefaultGap = 5 * time.Minute
+
+// Session is one collapsed run of activity by a single entity.
+type Session struct {
+	// Tuple identifies the requesting entity.
+	Tuple weblog.Tuple
+	// Start and End bound the session (End is the last access time).
+	Start, End time.Time
+	// Accesses is the number of page accesses collapsed into the session.
+	Accesses int
+	// Bytes is the total bytes transferred during the session.
+	Bytes int64
+	// Paths holds the distinct URI paths visited, in first-visit order
+	// (the paper retains "information about individual subdomains visited
+	// in a session").
+	Paths []string
+	// Sites holds the distinct base sites visited, in first-visit order.
+	Sites []string
+	// BotName and Category carry the enrichment of the first record.
+	BotName  string
+	Category string
+	// RobotsFetches counts accesses to robots.txt within the session.
+	RobotsFetches int
+}
+
+// Duration returns End-Start (zero for single-access sessions).
+func (s *Session) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Sessionize collapses a dataset into sessions using the given inactivity
+// gap (use DefaultGap for the paper's 5 minutes). Records need not be
+// pre-sorted. The input dataset is not modified.
+func Sessionize(d *weblog.Dataset, gap time.Duration) []Session {
+	if gap <= 0 {
+		gap = DefaultGap
+	}
+	groups := d.ByTuple()
+
+	var out []Session
+	for tuple, idxs := range groups {
+		// Order this entity's accesses chronologically.
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return d.Records[idxs[a]].Time.Before(d.Records[idxs[b]].Time)
+		})
+		var cur *Session
+		var seenPaths map[string]struct{}
+		var seenSites map[string]struct{}
+		for _, i := range idxs {
+			r := &d.Records[i]
+			if cur == nil || r.Time.Sub(cur.End) > gap {
+				// Start a new session.
+				out = append(out, Session{
+					Tuple:    tuple,
+					Start:    r.Time,
+					End:      r.Time,
+					BotName:  r.BotName,
+					Category: r.Category,
+				})
+				cur = &out[len(out)-1]
+				seenPaths = make(map[string]struct{})
+				seenSites = make(map[string]struct{})
+			}
+			cur.End = r.Time
+			cur.Accesses++
+			cur.Bytes += r.Bytes
+			if r.IsRobotsFetch() {
+				cur.RobotsFetches++
+			}
+			if _, ok := seenPaths[r.Path]; !ok {
+				seenPaths[r.Path] = struct{}{}
+				cur.Paths = append(cur.Paths, r.Path)
+			}
+			if _, ok := seenSites[r.Site]; !ok {
+				seenSites[r.Site] = struct{}{}
+				cur.Sites = append(cur.Sites, r.Site)
+			}
+		}
+	}
+	// Deterministic output order: by start time, then tuple.
+	sort.SliceStable(out, func(a, b int) bool {
+		if !out[a].Start.Equal(out[b].Start) {
+			return out[a].Start.Before(out[b].Start)
+		}
+		ta, tb := out[a].Tuple, out[b].Tuple
+		if ta.ASN != tb.ASN {
+			return ta.ASN < tb.ASN
+		}
+		if ta.IPHash != tb.IPHash {
+			return ta.IPHash < tb.IPHash
+		}
+		return ta.UserAgent < tb.UserAgent
+	})
+	return out
+}
+
+// CountByCategory tallies sessions per bot category display name; sessions
+// without a category count under "Unknown". This backs Figure 2.
+func CountByCategory(sessions []Session) map[string]int {
+	out := make(map[string]int)
+	for i := range sessions {
+		c := sessions[i].Category
+		if c == "" {
+			c = "Unknown"
+		}
+		out[c]++
+	}
+	return out
+}
+
+// BytesByCategory tallies bytes scraped per category. This backs the
+// Figure 3 ranking ("top 5 categories in terms of bytes scraped").
+func BytesByCategory(sessions []Session) map[string]int64 {
+	out := make(map[string]int64)
+	for i := range sessions {
+		c := sessions[i].Category
+		if c == "" {
+			c = "Unknown"
+		}
+		out[c] += sessions[i].Bytes
+	}
+	return out
+}
+
+// DailySeries is a per-day count or sum, keyed by UTC day.
+type DailySeries struct {
+	// Days holds the day keys in ascending order.
+	Days []time.Time
+	// Values holds the value for each day (same index).
+	Values []float64
+}
+
+// SessionsPerDay computes the number of sessions starting on each UTC day
+// for one category (empty category means all sessions). Backs Figure 4.
+func SessionsPerDay(sessions []Session, category string) DailySeries {
+	counts := make(map[time.Time]float64)
+	for i := range sessions {
+		if category != "" && sessions[i].Category != category {
+			continue
+		}
+		day := sessions[i].Start.UTC().Truncate(24 * time.Hour)
+		counts[day]++
+	}
+	return toSeries(counts)
+}
+
+// BytesCDFOverTime computes, for one category, the cumulative fraction of
+// that category's total bytes downloaded by the end of each UTC day. Backs
+// Figure 3. An all-zero category yields an empty series.
+func BytesCDFOverTime(sessions []Session, category string) DailySeries {
+	perDay := make(map[time.Time]float64)
+	var total float64
+	for i := range sessions {
+		if category != "" && sessions[i].Category != category {
+			continue
+		}
+		day := sessions[i].Start.UTC().Truncate(24 * time.Hour)
+		perDay[day] += float64(sessions[i].Bytes)
+		total += float64(sessions[i].Bytes)
+	}
+	if total == 0 {
+		return DailySeries{}
+	}
+	s := toSeries(perDay)
+	var cum float64
+	for i := range s.Values {
+		cum += s.Values[i]
+		s.Values[i] = cum / total
+	}
+	return s
+}
+
+func toSeries(m map[time.Time]float64) DailySeries {
+	var s DailySeries
+	for d := range m {
+		s.Days = append(s.Days, d)
+	}
+	sort.Slice(s.Days, func(i, j int) bool { return s.Days[i].Before(s.Days[j]) })
+	s.Values = make([]float64, len(s.Days))
+	for i, d := range s.Days {
+		s.Values[i] = m[d]
+	}
+	return s
+}
+
+// TopCategories returns the n categories with the most sessions (for the
+// "top 5 categories" framing of Figures 3 and 4), in descending order.
+func TopCategories(sessions []Session, n int) []string {
+	counts := CountByCategory(sessions)
+	type kv struct {
+		k string
+		v int
+	}
+	var all []kv
+	for k, v := range counts {
+		if k == "Unknown" || k == "" {
+			continue
+		}
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, 0, n)
+	for _, e := range all[:n] {
+		out = append(out, e.k)
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package session
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+var t0 = time.Date(2025, 2, 12, 8, 0, 0, 0, time.UTC)
+
+func rec(ua, ip, asn string, at time.Time, path string, b int64) weblog.Record {
+	return weblog.Record{
+		UserAgent: ua, IPHash: ip, ASN: asn, Time: at,
+		Site: "www", Path: path, Status: 200, Bytes: b,
+	}
+}
+
+func TestSessionizeCollapsesContiguous(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("bot", "ip1", "A", t0, "/a", 10),
+		rec("bot", "ip1", "A", t0.Add(time.Minute), "/b", 20),
+		rec("bot", "ip1", "A", t0.Add(2*time.Minute), "/a", 30),
+	}}
+	ss := Sessionize(d, DefaultGap)
+	if len(ss) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(ss))
+	}
+	s := ss[0]
+	if s.Accesses != 3 || s.Bytes != 60 {
+		t.Errorf("session = %+v", s)
+	}
+	if len(s.Paths) != 2 {
+		t.Errorf("distinct paths = %v, want [/a /b]", s.Paths)
+	}
+	if s.Duration() != 2*time.Minute {
+		t.Errorf("duration = %v", s.Duration())
+	}
+}
+
+func TestSessionizeSplitsOnGap(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("bot", "ip1", "A", t0, "/a", 1),
+		rec("bot", "ip1", "A", t0.Add(5*time.Minute+time.Second), "/b", 1),
+	}}
+	ss := Sessionize(d, DefaultGap)
+	if len(ss) != 2 {
+		t.Fatalf("got %d sessions, want 2 (gap exceeded)", len(ss))
+	}
+}
+
+func TestSessionizeBoundaryGapInclusive(t *testing.T) {
+	// Exactly 5 minutes of silence does NOT end the session ("ends after
+	// 5 minutes of inactivity" = strictly more than the gap).
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("bot", "ip1", "A", t0, "/a", 1),
+		rec("bot", "ip1", "A", t0.Add(5*time.Minute), "/b", 1),
+	}}
+	if ss := Sessionize(d, DefaultGap); len(ss) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(ss))
+	}
+}
+
+func TestSessionizeSeparatesEntities(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("bot", "ip1", "A", t0, "/a", 1),
+		rec("bot", "ip2", "A", t0.Add(time.Second), "/a", 1),
+		rec("bot", "ip1", "B", t0.Add(2*time.Second), "/a", 1),
+		rec("bot2", "ip1", "A", t0.Add(3*time.Second), "/a", 1),
+	}}
+	if ss := Sessionize(d, DefaultGap); len(ss) != 4 {
+		t.Fatalf("got %d sessions, want 4 distinct tuples", len(ss))
+	}
+}
+
+func TestSessionizeUnsortedInput(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("bot", "ip1", "A", t0.Add(2*time.Minute), "/c", 1),
+		rec("bot", "ip1", "A", t0, "/a", 1),
+		rec("bot", "ip1", "A", t0.Add(time.Minute), "/b", 1),
+	}}
+	ss := Sessionize(d, DefaultGap)
+	if len(ss) != 1 || ss[0].Accesses != 3 {
+		t.Fatalf("unsorted input mishandled: %+v", ss)
+	}
+	if !ss[0].Start.Equal(t0) || !ss[0].End.Equal(t0.Add(2*time.Minute)) {
+		t.Errorf("bounds = %v..%v", ss[0].Start, ss[0].End)
+	}
+}
+
+func TestSessionizeCountsRobotsFetches(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("bot", "ip1", "A", t0, "/robots.txt", 1),
+		rec("bot", "ip1", "A", t0.Add(time.Second), "/a", 1),
+	}}
+	ss := Sessionize(d, DefaultGap)
+	if ss[0].RobotsFetches != 1 {
+		t.Errorf("robots fetches = %d", ss[0].RobotsFetches)
+	}
+}
+
+func TestSessionizeDeterministicOrder(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("b2", "ip2", "B", t0, "/a", 1),
+		rec("b1", "ip1", "A", t0, "/a", 1),
+	}}
+	for trial := 0; trial < 10; trial++ {
+		ss := Sessionize(d, DefaultGap)
+		if ss[0].Tuple.ASN != "A" || ss[1].Tuple.ASN != "B" {
+			t.Fatalf("trial %d: nondeterministic order %v", trial, ss)
+		}
+	}
+}
+
+func TestCountAndBytesByCategory(t *testing.T) {
+	ss := []Session{
+		{Category: "AI Assistants", Bytes: 100},
+		{Category: "AI Assistants", Bytes: 50},
+		{Category: "", Bytes: 7},
+	}
+	counts := CountByCategory(ss)
+	if counts["AI Assistants"] != 2 || counts["Unknown"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	bytes := BytesByCategory(ss)
+	if bytes["AI Assistants"] != 150 || bytes["Unknown"] != 7 {
+		t.Errorf("bytes = %v", bytes)
+	}
+}
+
+func TestSessionsPerDay(t *testing.T) {
+	ss := []Session{
+		{Start: t0, Category: "X"},
+		{Start: t0.Add(time.Hour), Category: "X"},
+		{Start: t0.Add(25 * time.Hour), Category: "X"},
+		{Start: t0, Category: "Y"},
+	}
+	s := SessionsPerDay(ss, "X")
+	if len(s.Days) != 2 || s.Values[0] != 2 || s.Values[1] != 1 {
+		t.Errorf("series = %+v", s)
+	}
+	all := SessionsPerDay(ss, "")
+	if all.Values[0] != 3 {
+		t.Errorf("all-category day0 = %v", all.Values[0])
+	}
+}
+
+func TestBytesCDFMonotoneEndsAtOne(t *testing.T) {
+	ss := []Session{
+		{Start: t0, Bytes: 100, Category: "X"},
+		{Start: t0.Add(24 * time.Hour), Bytes: 300, Category: "X"},
+		{Start: t0.Add(48 * time.Hour), Bytes: 600, Category: "X"},
+	}
+	s := BytesCDFOverTime(ss, "X")
+	if len(s.Values) != 3 {
+		t.Fatalf("series = %+v", s)
+	}
+	for i := 1; i < len(s.Values); i++ {
+		if s.Values[i] < s.Values[i-1] {
+			t.Error("CDF must be nondecreasing")
+		}
+	}
+	if got := s.Values[len(s.Values)-1]; got < 0.9999 || got > 1.0001 {
+		t.Errorf("CDF must end at 1, got %v", got)
+	}
+}
+
+func TestBytesCDFEmptyCategory(t *testing.T) {
+	if s := BytesCDFOverTime(nil, "Nope"); len(s.Days) != 0 {
+		t.Error("empty category must yield empty series")
+	}
+}
+
+func TestTopCategories(t *testing.T) {
+	ss := []Session{
+		{Category: "A"}, {Category: "A"}, {Category: "A"},
+		{Category: "B"}, {Category: "B"},
+		{Category: "C"},
+		{Category: ""},
+	}
+	top := TopCategories(ss, 2)
+	if len(top) != 2 || top[0] != "A" || top[1] != "B" {
+		t.Errorf("top = %v", top)
+	}
+	if got := TopCategories(ss, 99); len(got) != 3 {
+		t.Errorf("unbounded top = %v", got)
+	}
+}
+
+func TestQuickSessionInvariants(t *testing.T) {
+	// For any single-entity access series: total accesses and bytes are
+	// conserved, sessions are disjoint and ordered, and every session
+	// duration is bounded by its access span.
+	f := func(deltas []uint16) bool {
+		if len(deltas) > 200 {
+			deltas = deltas[:200]
+		}
+		d := &weblog.Dataset{}
+		at := t0
+		var totalBytes int64
+		for i, dt := range deltas {
+			at = at.Add(time.Duration(dt%1200) * time.Second)
+			d.Records = append(d.Records, rec("bot", "ip", "A", at, "/p", int64(i)))
+			totalBytes += int64(i)
+		}
+		ss := Sessionize(d, DefaultGap)
+		var acc int
+		var bytes int64
+		for i := range ss {
+			acc += ss[i].Accesses
+			bytes += ss[i].Bytes
+			if ss[i].End.Before(ss[i].Start) {
+				return false
+			}
+			if i > 0 && ss[i].Start.Before(ss[i-1].End) {
+				return false // sessions of one entity must not overlap
+			}
+		}
+		return acc == len(d.Records) && bytes == totalBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGapZeroUsesDefault(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec("bot", "ip1", "A", t0, "/a", 1),
+		rec("bot", "ip1", "A", t0.Add(time.Minute), "/b", 1),
+	}}
+	if got := Sessionize(d, 0); len(got) != 1 {
+		t.Errorf("zero gap should fall back to DefaultGap, got %d sessions", len(got))
+	}
+}

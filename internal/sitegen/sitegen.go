@@ -1,0 +1,221 @@
+// Package sitegen deterministically generates the simulated web estate the
+// study runs against: 36 institution sites (IT, dining, personnel
+// directory, ...) with realistic page trees, page sizes, sitemaps, and the
+// special endpoints the paper's robots.txt files reference (/404,
+// /dev-404-page, /secure/*, /page-data/*).
+//
+// The generator substitutes for the paper's real university websites; the
+// analysis pipeline only ever sees access logs, so any page tree with the
+// same path vocabulary exercises the same code paths.
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// NumSites is the number of websites in the paper's dataset (§3.1).
+const NumSites = 36
+
+// Page is one servable resource on a site.
+type Page struct {
+	// Path is the URI path ("/people/astaff-0421").
+	Path string
+	// Size is the response body size in bytes.
+	Size int64
+	// Restricted marks pages under paths the base robots.txt disallows
+	// (/404, /dev-404-page, /secure/*).
+	Restricted bool
+}
+
+// Site is one simulated website.
+type Site struct {
+	// Name is the base site name ("www", "dining", "people", "site-07").
+	Name string
+	// Pages is the full page inventory, sorted by path.
+	Pages []Page
+	// StudySite marks the high-traffic site used for the §4 controlled
+	// robots.txt experiment.
+	StudySite bool
+	// PassiveRestricted marks the three §5.1 sites whose static
+	// robots.txt carries meaningful restrictions (on /404 and /secure).
+	PassiveRestricted bool
+
+	pathIndex map[string]int
+}
+
+// Lookup returns the page at path and whether it exists.
+func (s *Site) Lookup(path string) (Page, bool) {
+	i, ok := s.pathIndex[path]
+	if !ok {
+		return Page{}, false
+	}
+	return s.Pages[i], true
+}
+
+// PageDataPaths returns the site's /page-data/* paths (the endpoint the
+// paper observed to be "a common target for scrapers" and allowed in v2).
+func (s *Site) PageDataPaths() []string {
+	var out []string
+	for _, p := range s.Pages {
+		if strings.HasPrefix(p.Path, "/page-data/") {
+			out = append(out, p.Path)
+		}
+	}
+	return out
+}
+
+// CrawlablePaths returns all non-restricted page paths.
+func (s *Site) CrawlablePaths() []string {
+	var out []string
+	for _, p := range s.Pages {
+		if !p.Restricted {
+			out = append(out, p.Path)
+		}
+	}
+	return out
+}
+
+// SitemapXML renders a minimal sitemap listing the crawlable pages.
+func (s *Site) SitemapXML(baseURL string) string {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	sb.WriteString(`<urlset xmlns="http://www.sitemaps.org/schemas/sitemap/0.9">` + "\n")
+	for _, p := range s.Pages {
+		if p.Restricted {
+			continue
+		}
+		sb.WriteString("  <url><loc>")
+		sb.WriteString(baseURL)
+		sb.WriteString(p.Path)
+		sb.WriteString("</loc></url>\n")
+	}
+	sb.WriteString("</urlset>\n")
+	return sb.String()
+}
+
+// sections available to every site; the study site additionally gets a
+// large /people directory, matching the paper's observation that
+// YisouSpider hammered the institution's people directory.
+var sections = []string{"about", "news", "events", "research", "admissions", "resources"}
+
+// siteNames gives human base names to the first few sites; the rest are
+// numbered.
+var siteNames = []string{
+	"www", "people", "dining", "it", "library", "athletics", "admissions",
+	"research", "alumni", "giving", "calendar", "news",
+}
+
+// Generate builds the deterministic NumSites-site estate from a seed.
+// Site[0] ("www") is the study site; sites 1-3 are the passive-restricted
+// sites of §5.1.
+func Generate(seed int64) []Site {
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([]Site, NumSites)
+	for i := range sites {
+		name := fmt.Sprintf("site-%02d", i)
+		if i < len(siteNames) {
+			name = siteNames[i]
+		}
+		s := Site{Name: name}
+		s.StudySite = i == 0
+		s.PassiveRestricted = i >= 1 && i <= 3
+
+		// Every site: home page + per-section trees.
+		add := func(path string, size int64, restricted bool) {
+			s.Pages = append(s.Pages, Page{Path: path, Size: size, Restricted: restricted})
+		}
+		add("/", 4096+rng.Int63n(8192), false)
+		nSections := 3 + rng.Intn(len(sections)-2)
+		for si := 0; si < nSections; si++ {
+			sec := sections[si]
+			add("/"+sec, 2048+rng.Int63n(4096), false)
+			nPages := 5 + rng.Intn(20)
+			for p := 0; p < nPages; p++ {
+				add(fmt.Sprintf("/%s/item-%03d", sec, p), 1024+rng.Int63n(16384), false)
+			}
+		}
+		// /page-data mirror: JSON blobs for a subset of pages (Gatsby-style,
+		// matching the paper's v2 allowed endpoint).
+		nData := 10 + rng.Intn(30)
+		for p := 0; p < nData; p++ {
+			add(fmt.Sprintf("/page-data/item-%03d/page-data.json", p), 256+rng.Int63n(2048), false)
+		}
+		// Restricted endpoints referenced by the robots.txt versions.
+		add("/404", 512, true)
+		add("/dev-404-page", 512, true)
+		nSecure := 3 + rng.Intn(5)
+		for p := 0; p < nSecure; p++ {
+			add(fmt.Sprintf("/secure/internal-%02d", p), 1024+rng.Int63n(4096), true)
+		}
+
+		// The study site gets the large personnel directory.
+		if s.StudySite {
+			nPeople := 800 + rng.Intn(400)
+			for p := 0; p < nPeople; p++ {
+				add(fmt.Sprintf("/people/profile-%04d", p), 2048+rng.Int63n(6144), false)
+			}
+		}
+
+		sort.Slice(s.Pages, func(a, b int) bool { return s.Pages[a].Path < s.Pages[b].Path })
+		s.pathIndex = make(map[string]int, len(s.Pages))
+		for pi := range s.Pages {
+			s.pathIndex[s.Pages[pi].Path] = pi
+		}
+		sites[i] = s
+	}
+	return sites
+}
+
+// StudySite returns the site marked as the §4 experiment site.
+func StudySite(sites []Site) *Site {
+	for i := range sites {
+		if sites[i].StudySite {
+			return &sites[i]
+		}
+	}
+	return nil
+}
+
+// PassiveRestrictedSites returns the §5.1 passive-observation sites.
+func PassiveRestrictedSites(sites []Site) []*Site {
+	var out []*Site
+	for i := range sites {
+		if sites[i].PassiveRestricted {
+			out = append(out, &sites[i])
+		}
+	}
+	return out
+}
+
+// PassiveRobotsTxt is the static robots.txt body the three §5.1 sites
+// deploy: "simple restrictions on /404 and /secure endpoints".
+const PassiveRobotsTxt = "User-agent: *\nDisallow: /404\nDisallow: /secure/\n"
+
+// PageBody deterministically renders a page body of exactly page.Size
+// bytes: an HTML shell padded with generated filler, so HTTP servers and
+// the synthesizer agree on byte counts.
+func PageBody(site *Site, page Page) []byte {
+	head := fmt.Sprintf("<!doctype html><html><head><title>%s%s</title></head><body>", site.Name, page.Path)
+	tail := "</body></html>"
+	need := int(page.Size) - len(head) - len(tail)
+	if need < 0 {
+		need = 0
+	}
+	var sb strings.Builder
+	sb.Grow(len(head) + need + len(tail))
+	sb.WriteString(head)
+	const filler = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do "
+	for sb.Len() < len(head)+need {
+		remain := len(head) + need - sb.Len()
+		if remain >= len(filler) {
+			sb.WriteString(filler)
+		} else {
+			sb.WriteString(filler[:remain])
+		}
+	}
+	sb.WriteString(tail)
+	return []byte(sb.String())
+}

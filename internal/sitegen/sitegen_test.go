@@ -1,0 +1,170 @@
+package sitegen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShape(t *testing.T) {
+	sites := Generate(1)
+	if len(sites) != NumSites {
+		t.Fatalf("got %d sites, want %d", len(sites), NumSites)
+	}
+	if !sites[0].StudySite || sites[0].Name != "www" {
+		t.Errorf("site 0 should be the www study site: %+v", sites[0].Name)
+	}
+	if got := len(PassiveRestrictedSites(sites)); got != 3 {
+		t.Errorf("passive-restricted sites = %d, want 3", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42)
+	b := Generate(42)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if len(a[i].Pages) != len(b[i].Pages) {
+			t.Fatalf("site %d page count differs", i)
+		}
+		for j := range a[i].Pages {
+			if a[i].Pages[j] != b[i].Pages[j] {
+				t.Fatalf("site %d page %d differs", i, j)
+			}
+		}
+	}
+	c := Generate(43)
+	same := true
+	for i := range a {
+		if len(a[i].Pages) != len(c[i].Pages) {
+			same = false
+			break
+		}
+	}
+	if same {
+		// Sizes should differ even when counts coincide.
+		diff := false
+		for j := range a[0].Pages {
+			if a[0].Pages[j].Size != c[0].Pages[j].Size {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical estates")
+		}
+	}
+}
+
+func TestEverySiteHasRequiredEndpoints(t *testing.T) {
+	for _, s := range Generate(7) {
+		for _, path := range []string{"/", "/404", "/dev-404-page"} {
+			if _, ok := s.Lookup(path); !ok {
+				t.Errorf("site %s missing %s", s.Name, path)
+			}
+		}
+		if len(s.PageDataPaths()) == 0 {
+			t.Errorf("site %s has no /page-data/* endpoints", s.Name)
+		}
+		secure := 0
+		for _, p := range s.Pages {
+			if strings.HasPrefix(p.Path, "/secure/") {
+				secure++
+				if !p.Restricted {
+					t.Errorf("site %s page %s should be restricted", s.Name, p.Path)
+				}
+			}
+		}
+		if secure == 0 {
+			t.Errorf("site %s has no /secure/* pages", s.Name)
+		}
+	}
+}
+
+func TestStudySiteHasPeopleDirectory(t *testing.T) {
+	s := StudySite(Generate(1))
+	if s == nil {
+		t.Fatal("no study site")
+	}
+	people := 0
+	for _, p := range s.Pages {
+		if strings.HasPrefix(p.Path, "/people/") {
+			people++
+		}
+	}
+	if people < 800 {
+		t.Errorf("study site has %d people pages, want >= 800", people)
+	}
+}
+
+func TestCrawlableExcludesRestricted(t *testing.T) {
+	s := Generate(1)[0]
+	for _, path := range s.CrawlablePaths() {
+		if strings.HasPrefix(path, "/secure/") || path == "/404" || path == "/dev-404-page" {
+			t.Errorf("restricted path %s leaked into crawlable set", path)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := Generate(1)[0]
+	if _, ok := s.Lookup("/"); !ok {
+		t.Error("home page must exist")
+	}
+	if _, ok := s.Lookup("/definitely-not-there"); ok {
+		t.Error("phantom page resolved")
+	}
+}
+
+func TestSitemapXML(t *testing.T) {
+	s := Generate(1)[0]
+	xml := s.SitemapXML("https://www.example.edu")
+	if !strings.Contains(xml, "<urlset") || !strings.Contains(xml, "https://www.example.edu/") {
+		t.Error("sitemap missing scaffolding")
+	}
+	if strings.Contains(xml, "/secure/") {
+		t.Error("sitemap must not list restricted pages")
+	}
+}
+
+func TestPagesSorted(t *testing.T) {
+	for _, s := range Generate(3)[:5] {
+		for i := 1; i < len(s.Pages); i++ {
+			if s.Pages[i-1].Path >= s.Pages[i].Path {
+				t.Fatalf("site %s pages unsorted at %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestPageBodyExactSize(t *testing.T) {
+	s := Generate(1)[0]
+	for _, p := range s.Pages[:10] {
+		body := PageBody(&s, p)
+		if int64(len(body)) != p.Size && p.Size > 64 {
+			t.Errorf("page %s body %d bytes, want %d", p.Path, len(body), p.Size)
+		}
+	}
+}
+
+func TestQuickPageBodyNeverPanicsAndBounded(t *testing.T) {
+	s := Generate(1)[0]
+	f := func(size uint16) bool {
+		p := Page{Path: "/x", Size: int64(size)}
+		body := PageBody(&s, p)
+		// Body is at least the shell, at most max(shell, size).
+		return len(body) >= len("<!doctype html>")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPassiveRobotsTxtParses(t *testing.T) {
+	if !strings.Contains(PassiveRobotsTxt, "Disallow: /404") ||
+		!strings.Contains(PassiveRobotsTxt, "Disallow: /secure/") {
+		t.Error("passive robots.txt must restrict /404 and /secure per §5.1")
+	}
+}

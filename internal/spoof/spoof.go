@@ -1,0 +1,158 @@
+// Package spoof implements the paper's user-agent spoofing heuristic
+// (§5.2): if more than Threshold (90%) of a bot's traffic originates from
+// a single autonomous system, requests carrying the same user agent from
+// any other AS are flagged as potentially spoofed. The package produces
+// Table 8 (dominant vs suspicious ASNs per bot), Table 9 (legitimate vs
+// potentially-spoofed request counts), and the clean/spoofed dataset split
+// the §4.3 compliance analysis depends on.
+package spoof
+
+import (
+	"sort"
+
+	"repro/internal/weblog"
+)
+
+// DefaultThreshold is the paper's dominant-ASN fraction.
+const DefaultThreshold = 0.90
+
+// ASNShare is one AS's share of a bot's traffic.
+type ASNShare struct {
+	ASN      string
+	Accesses int
+}
+
+// Finding is the spoofing verdict for one bot (a row of Table 8).
+type Finding struct {
+	// Bot is the standardized bot name.
+	Bot string
+	// MainASN is the dominant origin network.
+	MainASN string
+	// MainFraction is the dominant network's share of the bot's traffic.
+	MainFraction float64
+	// Suspects lists the non-dominant networks, descending by count —
+	// the "possible spoofing ASNs" column.
+	Suspects []ASNShare
+	// Total is the bot's total access count.
+	Total int
+	// SpoofedAccesses counts accesses from suspect networks.
+	SpoofedAccesses int
+}
+
+// Detector runs the heuristic. The zero value uses DefaultThreshold.
+type Detector struct {
+	// Threshold is the dominant-ASN fraction above which other ASNs are
+	// suspect (0 means DefaultThreshold).
+	Threshold float64
+}
+
+func (det *Detector) threshold() float64 {
+	if det.Threshold <= 0 || det.Threshold > 1 {
+		return DefaultThreshold
+	}
+	return det.Threshold
+}
+
+// Detect analyzes a dataset and returns one finding per bot whose traffic
+// is dominated (>= threshold) by a single ASN while at least one other ASN
+// also carries its user agent. Findings are sorted by bot name.
+func (det *Detector) Detect(d *weblog.Dataset) []Finding {
+	counts := make(map[string]map[string]int) // bot -> asn -> count
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName == "" {
+			continue
+		}
+		m := counts[r.BotName]
+		if m == nil {
+			m = make(map[string]int)
+			counts[r.BotName] = m
+		}
+		m[r.ASN]++
+	}
+
+	var out []Finding
+	for bot, asns := range counts {
+		if len(asns) < 2 {
+			continue
+		}
+		var total, best int
+		var bestASN string
+		for a, n := range asns {
+			total += n
+			if n > best || (n == best && a < bestASN) {
+				best, bestASN = n, a
+			}
+		}
+		frac := float64(best) / float64(total)
+		if frac < det.threshold() {
+			continue
+		}
+		f := Finding{Bot: bot, MainASN: bestASN, MainFraction: frac, Total: total}
+		for a, n := range asns {
+			if a == bestASN {
+				continue
+			}
+			f.Suspects = append(f.Suspects, ASNShare{ASN: a, Accesses: n})
+			f.SpoofedAccesses += n
+		}
+		sort.Slice(f.Suspects, func(i, j int) bool {
+			if f.Suspects[i].Accesses != f.Suspects[j].Accesses {
+				return f.Suspects[i].Accesses > f.Suspects[j].Accesses
+			}
+			return f.Suspects[i].ASN < f.Suspects[j].ASN
+		})
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bot < out[j].Bot })
+	return out
+}
+
+// Split divides a dataset into records from legitimate origins and records
+// flagged as potentially spoofed, using the detector's findings. Records
+// from bots with no finding pass through as legitimate. This is the
+// preprocessing step §4.1 describes ("we also eliminated any bots that
+// appeared to have spoofed their user-agent").
+func (det *Detector) Split(d *weblog.Dataset) (clean, spoofed *weblog.Dataset) {
+	findings := det.Detect(d)
+	suspect := make(map[string]map[string]bool, len(findings))
+	for _, f := range findings {
+		m := make(map[string]bool, len(f.Suspects))
+		for _, s := range f.Suspects {
+			m[s.ASN] = true
+		}
+		suspect[f.Bot] = m
+	}
+	clean = &weblog.Dataset{}
+	spoofed = &weblog.Dataset{}
+	for i := range d.Records {
+		r := d.Records[i]
+		if m, ok := suspect[r.BotName]; ok && m[r.ASN] {
+			spoofed.Records = append(spoofed.Records, r)
+		} else {
+			clean.Records = append(clean.Records, r)
+		}
+	}
+	return clean, spoofed
+}
+
+// Counts is a Table 9 row: request counts under one experimental phase.
+type Counts struct {
+	Legitimate int
+	Spoofed    int
+}
+
+// CountSplit tallies legitimate vs potentially-spoofed bot requests in a
+// dataset (anonymous traffic is excluded from both sides, matching the
+// paper's bot-only framing).
+func (det *Detector) CountSplit(d *weblog.Dataset) Counts {
+	clean, spoofed := det.Split(d)
+	var c Counts
+	for i := range clean.Records {
+		if clean.Records[i].BotName != "" {
+			c.Legitimate++
+		}
+	}
+	c.Spoofed = spoofed.Len()
+	return c
+}

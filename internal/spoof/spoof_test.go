@@ -1,0 +1,150 @@
+package spoof
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+var t0 = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func botRecords(bot, asnName string, n int) []weblog.Record {
+	out := make([]weblog.Record, n)
+	for i := range out {
+		out[i] = weblog.Record{
+			UserAgent: bot + "/1.0", BotName: bot, Category: "X",
+			IPHash: fmt.Sprintf("%s-%s", bot, asnName), ASN: asnName,
+			Time: t0.Add(time.Duration(i) * time.Minute),
+			Site: "www", Path: "/p", Status: 200, Bytes: 10,
+		}
+	}
+	return out
+}
+
+func TestDetectFlagsDominatedBot(t *testing.T) {
+	d := &weblog.Dataset{}
+	d.Records = append(d.Records, botRecords("GB", "GOOGLE", 95)...)
+	d.Records = append(d.Records, botRecords("GB", "SHADY-NET", 3)...)
+	d.Records = append(d.Records, botRecords("GB", "OTHER-NET", 2)...)
+
+	var det Detector
+	findings := det.Detect(d)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1", len(findings))
+	}
+	f := findings[0]
+	if f.Bot != "GB" || f.MainASN != "GOOGLE" {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.MainFraction < 0.94 || f.MainFraction > 0.96 {
+		t.Errorf("main fraction = %v", f.MainFraction)
+	}
+	if len(f.Suspects) != 2 || f.Suspects[0].ASN != "SHADY-NET" {
+		t.Errorf("suspects = %+v (must sort by count desc)", f.Suspects)
+	}
+	if f.SpoofedAccesses != 5 || f.Total != 100 {
+		t.Errorf("counts = %d/%d", f.SpoofedAccesses, f.Total)
+	}
+}
+
+func TestDetectIgnoresBalancedBot(t *testing.T) {
+	// 60/40 split: no ASN reaches 90%, so no spoofing verdict.
+	d := &weblog.Dataset{}
+	d.Records = append(d.Records, botRecords("BAL", "NET-A", 60)...)
+	d.Records = append(d.Records, botRecords("BAL", "NET-B", 40)...)
+	var det Detector
+	if got := det.Detect(d); len(got) != 0 {
+		t.Errorf("balanced bot flagged: %+v", got)
+	}
+}
+
+func TestDetectIgnoresSingleASNBot(t *testing.T) {
+	d := &weblog.Dataset{Records: botRecords("MONO", "ONLY-NET", 50)}
+	var det Detector
+	if got := det.Detect(d); len(got) != 0 {
+		t.Errorf("single-ASN bot flagged: %+v", got)
+	}
+}
+
+func TestDetectIgnoresAnonymous(t *testing.T) {
+	d := &weblog.Dataset{Records: []weblog.Record{
+		{UserAgent: "Mozilla", ASN: "A", Time: t0, Site: "s", Path: "/"},
+		{UserAgent: "Mozilla", ASN: "B", Time: t0, Site: "s", Path: "/"},
+	}}
+	var det Detector
+	if got := det.Detect(d); len(got) != 0 {
+		t.Error("anonymous traffic must not be analyzed")
+	}
+}
+
+func TestThresholdAdjustable(t *testing.T) {
+	d := &weblog.Dataset{}
+	d.Records = append(d.Records, botRecords("B", "NET-A", 85)...)
+	d.Records = append(d.Records, botRecords("B", "NET-B", 15)...)
+	strict := Detector{Threshold: 0.80}
+	if got := strict.Detect(d); len(got) != 1 {
+		t.Errorf("threshold 0.80 should flag 85%% dominance: %+v", got)
+	}
+	loose := Detector{Threshold: 0.95}
+	if got := loose.Detect(d); len(got) != 0 {
+		t.Errorf("threshold 0.95 should not flag 85%% dominance: %+v", got)
+	}
+}
+
+func TestThresholdFallback(t *testing.T) {
+	var det Detector
+	if det.threshold() != DefaultThreshold {
+		t.Error("zero threshold must fall back to default")
+	}
+	bad := Detector{Threshold: 7}
+	if bad.threshold() != DefaultThreshold {
+		t.Error("out-of-range threshold must fall back to default")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := &weblog.Dataset{}
+	d.Records = append(d.Records, botRecords("GB", "GOOGLE", 95)...)
+	d.Records = append(d.Records, botRecords("GB", "SHADY-NET", 5)...)
+	d.Records = append(d.Records, botRecords("OK", "SOME-NET", 10)...)
+
+	var det Detector
+	clean, spoofed := det.Split(d)
+	if clean.Len() != 105 || spoofed.Len() != 5 {
+		t.Fatalf("split = %d clean / %d spoofed", clean.Len(), spoofed.Len())
+	}
+	for i := range spoofed.Records {
+		if spoofed.Records[i].ASN != "SHADY-NET" {
+			t.Error("spoofed split contains non-suspect records")
+		}
+	}
+}
+
+func TestCountSplitExcludesAnonymous(t *testing.T) {
+	d := &weblog.Dataset{}
+	d.Records = append(d.Records, botRecords("GB", "GOOGLE", 95)...)
+	d.Records = append(d.Records, botRecords("GB", "SHADY-NET", 5)...)
+	d.Records = append(d.Records, weblog.Record{UserAgent: "Mozilla", ASN: "X", Time: t0, Site: "s", Path: "/"})
+
+	var det Detector
+	c := det.CountSplit(d)
+	if c.Legitimate != 95 || c.Spoofed != 5 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two ASNs with equal counts and 50% share: below threshold, no
+	// finding — but ensure no panic and stable behaviour.
+	d := &weblog.Dataset{}
+	d.Records = append(d.Records, botRecords("T", "NET-A", 5)...)
+	d.Records = append(d.Records, botRecords("T", "NET-B", 5)...)
+	var det Detector
+	for i := 0; i < 5; i++ {
+		if got := det.Detect(d); len(got) != 0 {
+			t.Fatal("tie should be below threshold")
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package stats implements the statistical methods the paper's analysis
+// uses: the two-proportion pooled z-test (§4.2's "paired z-test for
+// difference in proportions" behind Table 10 and the significance markers
+// of Figures 9 and 11), the standard normal distribution, weighted means
+// (Table 5's access-weighted category averages), and empirical CDFs.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a test cannot be computed (zero
+// trials on either side). The paper reports such cells as "N/A".
+var ErrInsufficientData = errors.New("stats: insufficient data for test")
+
+// NormalCDF returns P(Z <= z) for a standard normal Z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the z value with NormalCDF(z) = p, using the
+// Acklam rational approximation (|relative error| < 1.15e-9), sufficient
+// for constructing confidence intervals.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail regions.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	dd := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// ZTestResult is the outcome of a two-proportion z-test.
+type ZTestResult struct {
+	// Z is the test statistic; positive means the experiment proportion
+	// exceeds the baseline proportion.
+	Z float64
+	// P is the two-sided p-value.
+	P float64
+	// P1, P2 are the experiment and baseline sample proportions.
+	P1, P2 float64
+	// N1, N2 are the sample sizes.
+	N1, N2 int
+}
+
+// Significant reports whether the shift is significant at the given alpha
+// (the paper uses 0.05).
+func (r ZTestResult) Significant(alpha float64) bool { return r.P <= alpha }
+
+// TwoProportionZTest runs the pooled two-proportion z-test comparing
+// success1/n1 (experiment) against success2/n2 (baseline):
+//
+//	z = (p1 - p2) / sqrt(pool*(1-pool)*(1/n1 + 1/n2))
+//
+// It errors when either sample is empty, and returns Z=0, P=1 when the
+// pooled proportion is degenerate (all successes or all failures), where
+// the statistic is undefined but no evidence of difference exists.
+func TwoProportionZTest(success1, n1, success2, n2 int) (ZTestResult, error) {
+	if n1 <= 0 || n2 <= 0 {
+		return ZTestResult{}, ErrInsufficientData
+	}
+	if success1 < 0 || success2 < 0 || success1 > n1 || success2 > n2 {
+		return ZTestResult{}, errors.New("stats: successes out of range")
+	}
+	p1 := float64(success1) / float64(n1)
+	p2 := float64(success2) / float64(n2)
+	pool := float64(success1+success2) / float64(n1+n2)
+	res := ZTestResult{P1: p1, P2: p2, N1: n1, N2: n2}
+	se := math.Sqrt(pool * (1 - pool) * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		res.Z = 0
+		res.P = 1
+		return res, nil
+	}
+	res.Z = (p1 - p2) / se
+	res.P = 2 * (1 - NormalCDF(math.Abs(res.Z)))
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res, nil
+}
+
+// WeightedMean returns sum(w_i * x_i) / sum(w_i). It errors when the
+// weights sum to zero or the slices disagree in length. This is the
+// weighting rule of Table 5: category compliance averaged with bot access
+// counts as weights.
+func WeightedMean(values, weights []float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, errors.New("stats: values and weights length mismatch")
+	}
+	var sum, wsum float64
+	for i := range values {
+		if weights[i] < 0 {
+			return 0, errors.New("stats: negative weight")
+		}
+		sum += values[i] * weights[i]
+		wsum += weights[i]
+	}
+	if wsum == 0 {
+		return 0, ErrInsufficientData
+	}
+	return sum / wsum, nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from a sample (copied and sorted).
+func NewECDF(sample []float64) *ECDF {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns the fraction of the sample <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th sample quantile (nearest-rank), clamping q to
+// [0,1]. Zero for an empty sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// ProportionCI returns the Wilson score interval for a binomial proportion
+// at the given confidence level (e.g. 0.95). Useful for reporting
+// compliance-rate uncertainty alongside point estimates.
+func ProportionCI(successes, n int, confidence float64) (lo, hi float64, err error) {
+	if n <= 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	if successes < 0 || successes > n {
+		return 0, 0, errors.New("stats: successes out of range")
+	}
+	z := NormalQuantile(1 - (1-confidence)/2)
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.96, 0.9750021},
+		{-1.96, 0.0249979},
+		{1, 0.8413447},
+		{-3, 0.0013499},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); !almostEqual(got, p, 1e-7) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile boundary behaviour")
+	}
+}
+
+func TestTwoProportionZTestAgainstSciPy(t *testing.T) {
+	// Reference values for the pooled two-proportion z-test with
+	// counts=[45,30], nobs=[100,100]: pool=0.375,
+	// se=sqrt(0.375*0.625*0.02)=0.0684653, z=0.15/se=2.19089,
+	// p=2*(1-Phi(z))=0.028460 (matches statsmodels proportions_ztest).
+	res, err := TwoProportionZTest(45, 100, 30, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Z, 2.19089, 1e-4) {
+		t.Errorf("z = %v, want 2.19089", res.Z)
+	}
+	if !almostEqual(res.P, 0.028460, 1e-4) {
+		t.Errorf("p = %v, want 0.028460", res.P)
+	}
+	if !res.Significant(0.05) {
+		t.Error("should be significant at 0.05")
+	}
+}
+
+func TestTwoProportionZTestSymmetry(t *testing.T) {
+	a, _ := TwoProportionZTest(45, 100, 30, 100)
+	b, _ := TwoProportionZTest(30, 100, 45, 100)
+	if !almostEqual(a.Z, -b.Z, 1e-12) || !almostEqual(a.P, b.P, 1e-12) {
+		t.Errorf("swap asymmetry: %v vs %v", a, b)
+	}
+}
+
+func TestTwoProportionZTestNoDifference(t *testing.T) {
+	res, err := TwoProportionZTest(50, 100, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Z != 0 || !almostEqual(res.P, 1, 1e-12) {
+		t.Errorf("identical proportions: z=%v p=%v", res.Z, res.P)
+	}
+}
+
+func TestTwoProportionZTestDegenerate(t *testing.T) {
+	// All successes on both sides: pooled SE is zero; no evidence of
+	// difference.
+	res, err := TwoProportionZTest(10, 10, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Z != 0 || res.P != 1 {
+		t.Errorf("degenerate case: %+v", res)
+	}
+}
+
+func TestTwoProportionZTestErrors(t *testing.T) {
+	if _, err := TwoProportionZTest(1, 0, 1, 10); err == nil {
+		t.Error("zero n1 must error")
+	}
+	if _, err := TwoProportionZTest(1, 10, 1, 0); err == nil {
+		t.Error("zero n2 must error")
+	}
+	if _, err := TwoProportionZTest(11, 10, 1, 10); err == nil {
+		t.Error("successes > n must error")
+	}
+	if _, err := TwoProportionZTest(-1, 10, 1, 10); err == nil {
+		t.Error("negative successes must error")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 0}, []float64{3, 1})
+	if err != nil || !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("weighted mean = %v, %v", got, err)
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero weights must error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight must error")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Errorf("median = %v, want 2", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := e.Quantile(1); q != 3 {
+		t.Errorf("q1 = %v", q)
+	}
+	var empty ECDF
+	if empty.At(1) != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty ECDF behaviour")
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	lo, hi, err := ProportionCI(50, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wilson 95% CI for 50/100 is approximately (0.4038, 0.5962).
+	if !almostEqual(lo, 0.4038, 5e-4) || !almostEqual(hi, 0.5962, 5e-4) {
+		t.Errorf("CI = (%v, %v)", lo, hi)
+	}
+	if _, _, err := ProportionCI(1, 0, 0.95); err == nil {
+		t.Error("zero n must error")
+	}
+	if _, _, err := ProportionCI(5, 3, 0.95); err == nil {
+		t.Error("successes > n must error")
+	}
+	lo, hi, _ = ProportionCI(0, 10, 0.95)
+	if lo != 0 || hi <= 0 {
+		t.Errorf("boundary CI = (%v, %v)", lo, hi)
+	}
+}
+
+func TestQuickZTestPValueRange(t *testing.T) {
+	f := func(s1, n1, s2, n2 uint16) bool {
+		N1 := int(n1%500) + 1
+		N2 := int(n2%500) + 1
+		S1 := int(s1) % (N1 + 1)
+		S2 := int(s2) % (N2 + 1)
+		res, err := TwoProportionZTest(S1, N1, S2, N2)
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1 && !math.IsNaN(res.Z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(sample []float64, a, b float64) bool {
+		for _, v := range sample {
+			if math.IsNaN(v) {
+				return true // skip NaN-poisoned samples
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		e := NewECDF(sample)
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWeightedMeanBounded(t *testing.T) {
+	// A weighted mean of values in [0,1] stays in [0,1].
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		weights := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v%101) / 100
+			weights[i] = float64(v%7) + 1
+		}
+		m, err := WeightedMean(values, weights)
+		return err == nil && m >= 0 && m <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

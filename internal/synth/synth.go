@@ -1,0 +1,604 @@
+// Package synth generates the study's web-log dataset from the calibrated
+// bot population. It substitutes for the paper's access to 3.9 million real
+// web requests against 36 university sites (the "log-access hurdle"): each
+// bot profile emits a renewal process of page accesses whose pacing, path
+// selection, robots.txt fetches, ASN mix, and reaction to the deployed
+// robots.txt version follow the behavioural parameters published in the
+// paper's tables. The analysis pipeline is a pure function of the log
+// fields, so recovering the paper's results from this synthetic dataset
+// exercises exactly the code paths the real dataset would.
+//
+// Two products are generated:
+//
+//   - FullDataset: the 40-day, all-sites observational dataset behind
+//     Tables 2-3 and Figures 2-4, 10 and the spoofing analysis.
+//   - StudyDataset(v): one two-week deployment phase of the §4 controlled
+//     experiment on the high-traffic study site, for v in {base,v1,v2,v3}.
+//
+// All randomness flows from Config.Seed; generation is deterministic.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/robots"
+	"repro/internal/sitegen"
+	"repro/internal/weblog"
+)
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Seed drives all randomness. Two generators with equal configs
+	// produce byte-identical datasets.
+	Seed int64
+	// Days is the observational window length (the paper's is 40).
+	Days int
+	// Start is the first instant of the window (paper: 2025-02-12).
+	Start time.Time
+	// Scale multiplies all traffic volumes; 1.0 reproduces paper-scale
+	// traffic, smaller values produce proportionally smaller datasets with
+	// the same statistical shape. Zero defaults to 1.0.
+	Scale float64
+	// Sites is the simulated estate; nil generates the default 36 sites
+	// from Seed.
+	Sites []sitegen.Site
+	// Population is the bot population; nil uses botnet.DefaultPopulation.
+	Population *botnet.Population
+	// AnonymousVisitors is the number of generic (non-bot) browser
+	// visitors in the full dataset, before scaling.
+	AnonymousVisitors int
+	// Secret keys the IP anonymizer.
+	Secret []byte
+}
+
+// DefaultStart mirrors the paper's collection start date.
+var DefaultStart = time.Date(2025, 2, 12, 0, 0, 0, 0, time.UTC)
+
+// PhaseDays is the length of one robots.txt deployment phase (two weeks).
+const PhaseDays = 14
+
+// Generator produces synthetic datasets. Construct with New.
+type Generator struct {
+	cfg   Config
+	sites []sitegen.Site
+	pop   *botnet.Population
+	anon  *weblog.Anonymizer
+}
+
+// New validates the config and builds a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Days <= 0 {
+		cfg.Days = 40
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = DefaultStart
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("synth: negative scale %v", cfg.Scale)
+	}
+	if cfg.AnonymousVisitors == 0 {
+		// Sized so anonymous browser traffic is comparable to known-bot
+		// traffic, mirroring the paper's dataset where known bots are
+		// ~42% of page visits and ~5% of unique IPs (Table 2).
+		cfg.AnonymousVisitors = 100000
+	}
+	g := &Generator{cfg: cfg}
+	if cfg.Sites == nil {
+		g.sites = sitegen.Generate(cfg.Seed)
+	} else {
+		g.sites = cfg.Sites
+	}
+	if cfg.Population == nil {
+		pop, err := botnet.DefaultPopulation()
+		if err != nil {
+			return nil, err
+		}
+		g.pop = pop
+	} else {
+		g.pop = cfg.Population
+	}
+	g.anon = weblog.NewAnonymizer(cfg.Secret)
+	return g, nil
+}
+
+// Sites exposes the generated estate.
+func (g *Generator) Sites() []sitegen.Site { return g.sites }
+
+// Population exposes the bot population.
+func (g *Generator) Population() *botnet.Population { return g.pop }
+
+// botSeed derives a stable per-bot seed independent of iteration order.
+func (g *Generator) botSeed(name string, salt int64) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return h ^ g.cfg.Seed ^ salt
+}
+
+// FullDataset synthesizes the 40-day all-sites observational dataset.
+func (g *Generator) FullDataset() *weblog.Dataset {
+	d := &weblog.Dataset{}
+	for _, p := range g.pop.Profiles {
+		g.emitBotFull(d, p)
+	}
+	g.emitAnonymous(d)
+	d.SortByTime()
+	return d
+}
+
+// StudyDataset synthesizes one two-week phase of the §4 controlled
+// experiment on the study site under the given robots.txt version. The
+// phase clock starts at Config.Start regardless of version so phases are
+// comparable; the paper's baseline phase was likewise collected separately
+// (January) and compared against later phases.
+func (g *Generator) StudyDataset(v robots.Version) *weblog.Dataset {
+	d := &weblog.Dataset{}
+	study := sitegen.StudySite(g.sites)
+	for _, p := range g.pop.Profiles {
+		g.emitBotPhase(d, p, study, v)
+	}
+	g.emitAnonymousOnSite(d, study, PhaseDays, int64(1000+int(v)))
+	d.SortByTime()
+	return d
+}
+
+// AllStudyPhases generates all four phases keyed by version.
+func (g *Generator) AllStudyPhases() map[robots.Version]*weblog.Dataset {
+	out := make(map[robots.Version]*weblog.Dataset, len(robots.Versions))
+	for _, v := range robots.Versions {
+		out[v] = g.StudyDataset(v)
+	}
+	return out
+}
+
+// tupleIdentity is one (IP, ASN) identity of a bot, possibly spoofed.
+type tupleIdentity struct {
+	ipHash  string
+	asnName string
+	spoofed bool
+}
+
+// effIPs scales a bot's IP-identity count with the traffic scale so the
+// per-tuple access volume — which the crawl-delay metric's gap statistics
+// depend on — stays constant across scales. (At a small scale with the
+// full IP count, most tuples would see a single access, which the paper's
+// metric counts as trivially compliant, washing out the calibration.)
+func (g *Generator) effIPs(p *botnet.Profile) int {
+	n := int(float64(p.NumIPs)*g.cfg.Scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// identities materializes a bot's source identities: the scale-adjusted
+// legitimate IPs on the main ASN plus one spoofed IP per spoof ASN.
+func (g *Generator) identities(p *botnet.Profile) []tupleIdentity {
+	n := g.effIPs(p)
+	out := make([]tupleIdentity, 0, n+len(p.SpoofASNs))
+	for i := 0; i < n; i++ {
+		ip := fmt.Sprintf("legit-%s-%d", p.Bot.Name, i)
+		out = append(out, tupleIdentity{ipHash: g.anon.HashIP(ip), asnName: p.MainASN})
+	}
+	for i, asnName := range p.SpoofASNs {
+		ip := fmt.Sprintf("spoof-%s-%d", p.Bot.Name, i)
+		out = append(out, tupleIdentity{ipHash: g.anon.HashIP(ip), asnName: asnName, spoofed: true})
+	}
+	return out
+}
+
+// accessKind classifies one generated access.
+type accessKind int
+
+const (
+	kindPage accessKind = iota
+	kindPageData
+	kindRobots
+)
+
+// behaviour captures the per-phase generation parameters resolved from a
+// profile: the probability an inter-access gap honours the 30-s delay, the
+// probability an access is "compliant" path-wise, and the probability an
+// access fetches robots.txt.
+type behaviour struct {
+	gapCompliance   float64
+	pageDataProb    float64
+	robotsProb      float64
+	checksRobots    bool
+	peoplePreferred bool
+	// scheduledRecheck enables the RecheckInterval-driven robots.txt poll
+	// at burst starts. The observational dataset replaces it with
+	// emitRobotsPolls; the controlled study phases disable it so the
+	// disallow/endpoint ratios stay pinned to the calibrated per-access
+	// probabilities.
+	scheduledRecheck bool
+}
+
+// resolve computes the behaviour of a (possibly spoofed) bot instance
+// under a robots.txt version.
+func resolve(p *botnet.Profile, v robots.Version, spoofed bool) behaviour {
+	b := behaviour{
+		gapCompliance: p.BaselineDelayCompliance,
+		pageDataProb:  p.PageDataAffinity,
+		robotsProb:    p.RobotsFetchFraction,
+		checksRobots:  p.ChecksDuring(v),
+	}
+	b.peoplePreferred = strings.Contains(strings.ToLower(p.Bot.Name), "yisou")
+	if spoofed && !spoofReactsLikeReal(p.Bot.Name, v) {
+		// Spoofed instances ignore directives (Figure 11): keep baseline
+		// pacing, never fetch robots.txt, never adapt paths.
+		b.robotsProb = 0
+		b.checksRobots = false
+		return b
+	}
+	exempt := p.IsExempt()
+	switch v {
+	case robots.VersionBase:
+		// Baseline behaviour as initialized.
+	case robots.Version1:
+		b.gapCompliance = p.DelayCompliance
+	case robots.Version2:
+		if !exempt {
+			b.pageDataProb = p.EndpointCompliance
+		}
+	case robots.Version3:
+		if !exempt {
+			b.robotsProb = p.DisallowCompliance
+		}
+	}
+	if !b.checksRobots && v == robots.Version3 && !exempt {
+		// A bot that does not fetch robots.txt cannot register disallow
+		// compliance: the metric is robots fetches / total accesses.
+		b.robotsProb = 0
+	}
+	return b
+}
+
+// spoofReactsLikeReal marks the two Figure 11 exceptions: spoofed
+// PerplexityBot (endpoint experiment) and Bytespider (disallow experiment)
+// shifted like the true bots, suggesting misidentification by the
+// heuristic.
+func spoofReactsLikeReal(name string, v robots.Version) bool {
+	switch {
+	case name == "PerplexityBot" && v == robots.Version2:
+		return true
+	case name == "Bytespider" && v == robots.Version3:
+		return true
+	}
+	return false
+}
+
+// emitBotPhase generates one bot's traffic for a 14-day study phase.
+func (g *Generator) emitBotPhase(d *weblog.Dataset, p *botnet.Profile, study *sitegen.Site, v robots.Version) {
+	rng := rand.New(rand.NewSource(g.botSeed(p.Bot.Name, int64(100+int(v)))))
+	ids := g.identities(p)
+	hitsPerTuplePerDay := p.DailyHits * g.cfg.Scale / float64(g.effIPs(p))
+	for _, id := range ids {
+		perDay := hitsPerTuplePerDay
+		if id.spoofed {
+			// Spoofed traffic volume: SpoofRate of the bot's total, split
+			// across spoof identities.
+			perDay = p.DailyHits * g.cfg.Scale * p.SpoofRate / float64(len(p.SpoofASNs))
+		}
+		g.emitTuplePhase(d, p, study, resolve(p, v, id.spoofed), rng, id, perDay, PhaseDays, g.cfg.Start)
+	}
+}
+
+// emitTuplePhase generates one identity's accesses over a phase.
+//
+// A tuple's traffic is emitted as chronological bursts rather than a thin
+// daily trickle: real crawler instances work in crawl bursts, and the
+// paper's crawl-delay metric is dominated by within-burst gaps. (A purely
+// daily schedule would make every gap day-scale and thus trivially
+// "compliant", destroying the calibration for fast bots like
+// HeadlessChrome.) Cross-burst gaps are large and count as compliant,
+// diluting the within-burst rate by ~(#bursts-1)/(#gaps); burst sizes of
+// 15-45 keep that dilution in the noise.
+func (g *Generator) emitTuplePhase(d *weblog.Dataset, p *botnet.Profile, site *sitegen.Site,
+	b behaviour, rng *rand.Rand, id tupleIdentity, perDay float64, days int, start time.Time) {
+
+	total := poissonish(rng, perDay*float64(days))
+	if total == 0 {
+		return
+	}
+
+	// Pre-draw burst start days (sorted) so the tuple's clock is monotone
+	// and the robots.txt re-check schedule (Figure 10) stays meaningful.
+	var bursts []int
+	remaining := total
+	for remaining > 0 {
+		size := 15 + rng.Intn(31)
+		if size > remaining {
+			size = remaining
+		}
+		bursts = append(bursts, size)
+		remaining -= size
+	}
+	burstDays := make([]int, len(bursts))
+	for i := range burstDays {
+		burstDays[i] = rng.Intn(days)
+	}
+	sort.Ints(burstDays)
+
+	var lastRobots time.Time
+	var prevEnd time.Time
+	// A bot that consults robots.txt during this phase but has no ongoing
+	// robots-fetch behaviour (zero per-access probability, no scheduled
+	// polls) still fetches the file once when it first arrives — this is
+	// what makes a Table 7 "Checked: Yes" observable for such bots.
+	oneTimeCheck := b.checksRobots && b.robotsProb == 0 && !b.scheduledRecheck
+	for bi, size := range bursts {
+		dayStart := start.Add(time.Duration(burstDays[bi]) * 24 * time.Hour)
+		at := dayStart.Add(time.Duration(rng.Float64() * 12 * float64(time.Hour)))
+		if at.Before(prevEnd) {
+			// Keep the tuple's timeline monotone when two bursts land on
+			// the same day.
+			at = prevEnd.Add(time.Duration(60+rng.Intn(600)) * time.Second)
+		}
+
+		// Scheduled robots.txt re-check at burst start (Figure 10
+		// cadence), independent of per-access robots fetch probability.
+		if b.scheduledRecheck && b.checksRobots && p.RecheckInterval > 0 &&
+			(lastRobots.IsZero() || at.Sub(lastRobots) >= p.RecheckInterval) {
+			d.Records = append(d.Records, g.record(p, site, id, at, kindRobots, rng))
+			lastRobots = at
+			at = at.Add(time.Duration(1+rng.Intn(5)) * time.Second)
+		}
+		if oneTimeCheck && bi == 0 {
+			d.Records = append(d.Records, g.record(p, site, id, at, kindRobots, rng))
+			lastRobots = at
+			at = at.Add(time.Duration(1+rng.Intn(5)) * time.Second)
+		}
+
+		for i := 0; i < size; i++ {
+			kind := kindPage
+			switch {
+			case b.checksRobots && rng.Float64() < b.robotsProb:
+				kind = kindRobots
+				lastRobots = at
+			case rng.Float64() < b.pageDataProb:
+				kind = kindPageData
+			}
+			d.Records = append(d.Records, g.record(p, site, id, at, kind, rng))
+			at = at.Add(g.gap(rng, b.gapCompliance))
+		}
+		prevEnd = at
+	}
+}
+
+// gap draws one inter-access delay honouring the 30-s threshold with the
+// given probability: compliant gaps are 30-150 s, violations 1-29 s.
+func (g *Generator) gap(rng *rand.Rand, compliance float64) time.Duration {
+	if rng.Float64() < compliance {
+		return time.Duration(30+rng.ExpFloat64()*40) * time.Second
+	}
+	return time.Duration(1+rng.Intn(29)) * time.Second
+}
+
+// record materializes one access record.
+func (g *Generator) record(p *botnet.Profile, site *sitegen.Site, id tupleIdentity,
+	at time.Time, kind accessKind, rng *rand.Rand) weblog.Record {
+
+	rec := weblog.Record{
+		UserAgent: p.Bot.UASample,
+		Time:      at,
+		IPHash:    id.ipHash,
+		ASN:       id.asnName,
+		Site:      site.Name,
+		Status:    200,
+		BotName:   p.Bot.Name,
+		Category:  p.Bot.Category.String(),
+	}
+	switch kind {
+	case kindRobots:
+		rec.Path = "/robots.txt"
+		rec.Bytes = 120 + rng.Int63n(80)
+	case kindPageData:
+		paths := site.PageDataPaths()
+		pg := paths[rng.Intn(len(paths))]
+		rec.Path = pg
+		if page, ok := site.Lookup(pg); ok {
+			rec.Bytes = page.Size
+		} else {
+			rec.Bytes = 512
+		}
+	default:
+		rec.Path = g.pickPagePath(site, rng, strings.Contains(strings.ToLower(p.Bot.Name), "yisou"))
+		rec.Bytes = jitterBytes(rng, p.BytesPerHit)
+		if rng.Float64() < 0.015 {
+			rec.Status = 404
+			rec.Bytes = 512
+		}
+	}
+	return rec
+}
+
+// pickPagePath selects a crawlable page; YisouSpider-style bots prefer the
+// people directory (the paper found "the vast majority of YisouSpider's
+// accesses were to our institution's people directory").
+func (g *Generator) pickPagePath(site *sitegen.Site, rng *rand.Rand, preferPeople bool) string {
+	paths := site.CrawlablePaths()
+	if preferPeople && rng.Float64() < 0.8 {
+		// Binary-search the sorted path list for the /people/ span.
+		lo := sort.SearchStrings(paths, "/people/")
+		hi := sort.SearchStrings(paths, "/people/\xff")
+		if hi > lo {
+			return paths[lo+rng.Intn(hi-lo)]
+		}
+	}
+	return paths[rng.Intn(len(paths))]
+}
+
+// jitterBytes spreads response sizes around the profile mean.
+func jitterBytes(rng *rand.Rand, mean int64) int64 {
+	if mean <= 1 {
+		return 1
+	}
+	f := 0.5 + rng.Float64() // 0.5x .. 1.5x
+	v := int64(float64(mean) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// poissonish draws an integer with the given mean: the integer part plus a
+// Bernoulli fractional remainder, with mild day-to-day variation. It avoids
+// a full Poisson sampler while keeping long-run totals calibrated.
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	varied := mean * (0.7 + 0.6*rng.Float64())
+	n := int(varied)
+	if rng.Float64() < varied-float64(n) {
+		n++
+	}
+	return n
+}
+
+// emitBotFull generates a bot's 40-day traffic across the estate: most on
+// the study site, the remainder spread over the other sites (including the
+// three passive-restricted ones §5.1 analyzes).
+//
+// In the observational dataset, robots.txt fetches are driven purely by
+// each bot's re-check schedule (emitRobotsPolls) rather than the per-access
+// probability used in the controlled study phases — the §5.1 analysis
+// measures cadence, and random per-access fetches would drown it.
+func (g *Generator) emitBotFull(d *weblog.Dataset, p *botnet.Profile) {
+	rng := rand.New(rand.NewSource(g.botSeed(p.Bot.Name, 7)))
+	ids := g.identities(p)
+	study := sitegen.StudySite(g.sites)
+	hitsPerTuplePerDay := p.DailyHits * g.cfg.Scale / float64(g.effIPs(p))
+
+	for _, id := range ids {
+		perDay := hitsPerTuplePerDay
+		if id.spoofed {
+			perDay = p.DailyHits * g.cfg.Scale * p.SpoofRate / float64(len(p.SpoofASNs))
+		}
+		b := resolve(p, robots.VersionBase, id.spoofed)
+		b.robotsProb = 0
+		b.checksRobots = false // scheduled polls replace burst-start checks
+		// 60% of volume on the study site, 40% across three secondary
+		// sites chosen per identity (bots do not crawl all 36 sites).
+		g.emitTuplePhase(d, p, study, b, rng, id, perDay*0.6, g.cfg.Days, g.cfg.Start)
+		for k := 0; k < 3; k++ {
+			site := &g.sites[1+rng.Intn(len(g.sites)-1)]
+			g.emitTuplePhase(d, p, site, b, rng, id, perDay*0.4/3, g.cfg.Days, g.cfg.Start)
+		}
+	}
+	g.emitRobotsPolls(d, p, rng)
+}
+
+// emitRobotsPolls emits a bot's scheduled robots.txt re-checks over the
+// observational window: one fetch per RecheckInterval (with ±10% jitter)
+// on the study site and on each passive-restricted site, from the bot's
+// first legitimate identity. Bots that never check robots.txt emit
+// nothing, and bots whose interval exceeds the window check only once —
+// both behaviours the paper observes (§5.1, Table 7).
+func (g *Generator) emitRobotsPolls(d *weblog.Dataset, p *botnet.Profile, rng *rand.Rand) {
+	if !p.ChecksDuring(robots.VersionBase) || p.RecheckInterval <= 0 {
+		return
+	}
+	id := tupleIdentity{
+		ipHash:  g.anon.HashIP(fmt.Sprintf("legit-%s-0", p.Bot.Name)),
+		asnName: p.MainASN,
+	}
+	end := g.cfg.Start.Add(time.Duration(g.cfg.Days) * 24 * time.Hour)
+	targets := []*sitegen.Site{sitegen.StudySite(g.sites)}
+	for _, s := range sitegen.PassiveRestrictedSites(g.sites) {
+		targets = append(targets, s)
+	}
+	for _, site := range targets {
+		at := g.cfg.Start.Add(time.Duration(rng.Float64() * float64(time.Hour)))
+		for at.Before(end) {
+			d.Records = append(d.Records, g.record(p, site, id, at, kindRobots, rng))
+			jitter := 0.9 + 0.2*rng.Float64()
+			at = at.Add(time.Duration(float64(p.RecheckInterval) * jitter))
+		}
+	}
+}
+
+// browserUAs is the anonymous-visitor UA pool.
+var browserUAs = []string{
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/121.0 Safari/537.36",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 14_2) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/17.2 Safari/605.1.15",
+	"Mozilla/5.0 (X11; Linux x86_64; rv:122.0) Gecko/20100101 Firefox/122.0",
+	"Mozilla/5.0 (iPhone; CPU iPhone OS 17_2 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Mobile/15E148",
+	"Mozilla/5.0 (Linux; Android 14; Pixel 8) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/121.0 Mobile Safari/537.36",
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:121.0) Gecko/20100101 Firefox/121.0",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 13_6) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/120.0 Safari/537.36",
+	"Mozilla/5.0 (Windows NT 11.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Edge/120.0 Safari/537.36",
+}
+
+// anonASNs spreads anonymous visitors over eyeball networks.
+var anonASNs = []string{
+	"COMCAST-7922", "UUNET", "ATT-INTERNET4", "CHARTER-20115",
+	"CENTURYLINK-US-LEGACY-QWEST", "DTAG", "BT-UK-AS", "OCN",
+	"IPG-AS-AP", "BHARTI-MOBILITY-AS-AP",
+}
+
+// emitAnonymous generates the non-bot browser background for the full
+// window across all sites.
+func (g *Generator) emitAnonymous(d *weblog.Dataset) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ 0x5eed))
+	n := int(float64(g.cfg.AnonymousVisitors) * g.cfg.Scale)
+	for i := 0; i < n; i++ {
+		site := &g.sites[rng.Intn(len(g.sites))]
+		g.emitOneVisitor(d, site, rng, i, g.cfg.Days, g.cfg.Start)
+	}
+}
+
+// emitAnonymousOnSite adds browser background to one site for a phase.
+func (g *Generator) emitAnonymousOnSite(d *weblog.Dataset, site *sitegen.Site, days int, salt int64) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ salt))
+	n := int(float64(g.cfg.AnonymousVisitors) * g.cfg.Scale / 4)
+	for i := 0; i < n; i++ {
+		g.emitOneVisitor(d, site, rng, i, days, g.cfg.Start)
+	}
+}
+
+// emitOneVisitor generates one human-like visit: a handful of pages in one
+// short session on one day.
+func (g *Generator) emitOneVisitor(d *weblog.Dataset, site *sitegen.Site, rng *rand.Rand, idx, days int, start time.Time) {
+	ua := browserUAs[rng.Intn(len(browserUAs))]
+	// Real browser populations carry thousands of distinct UA builds; vary
+	// a minor build token so unique-UA counts (Table 2) scale with traffic.
+	if rng.Float64() < 0.6 {
+		ua = fmt.Sprintf("%s Build/%d.%d.%d", ua, 1+rng.Intn(9), rng.Intn(20), rng.Intn(400))
+	}
+	asnName := anonASNs[rng.Intn(len(anonASNs))]
+	ip := g.anon.HashIP(fmt.Sprintf("anon-%d-%d", idx, rng.Intn(1<<30)))
+	day := rng.Intn(days)
+	at := start.Add(time.Duration(day)*24*time.Hour + time.Duration(rng.Float64()*20*float64(time.Hour)))
+	paths := site.CrawlablePaths()
+	visits := 1 + rng.Intn(6)
+	referer := ""
+	for v := 0; v < visits; v++ {
+		path := paths[rng.Intn(len(paths))]
+		page, _ := site.Lookup(path)
+		rec := weblog.Record{
+			UserAgent: ua, Time: at, IPHash: ip, ASN: asnName,
+			Site: site.Name, Path: path, Status: 200, Bytes: page.Size,
+			Referer: referer,
+		}
+		if rng.Float64() < 0.02 {
+			rec.Status = 404
+			rec.Path = "/404"
+			rec.Bytes = 512
+		}
+		d.Records = append(d.Records, rec)
+		referer = site.Name + path
+		at = at.Add(time.Duration(5+rng.Intn(120)) * time.Second)
+	}
+}

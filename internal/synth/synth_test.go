@@ -1,0 +1,315 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/weblog"
+)
+
+func gen(t *testing.T, scale float64) *Generator {
+	t.Helper()
+	g, err := New(Config{Seed: 1, Scale: scale, Secret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewDefaults(t *testing.T) {
+	g := gen(t, 0.05)
+	if len(g.Sites()) != 36 {
+		t.Errorf("sites = %d", len(g.Sites()))
+	}
+	if g.Population().Len() < 80 {
+		t.Errorf("population = %d", g.Population().Len())
+	}
+}
+
+func TestNewRejectsNegativeScale(t *testing.T) {
+	if _, err := New(Config{Scale: -1}); err == nil {
+		t.Error("negative scale must error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := gen(t, 0.02)
+	g2 := gen(t, 0.02)
+	d1 := g1.StudyDataset(robots.Version1)
+	d2 := g2.StudyDataset(robots.Version1)
+	if d1.Len() != d2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", d1.Len(), d2.Len())
+	}
+	for i := range d1.Records {
+		if d1.Records[i] != d2.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	g1, _ := New(Config{Seed: 1, Scale: 0.02, Secret: []byte("t")})
+	g2, _ := New(Config{Seed: 2, Scale: 0.02, Secret: []byte("t")})
+	d1 := g1.StudyDataset(robots.VersionBase)
+	d2 := g2.StudyDataset(robots.VersionBase)
+	if d1.Len() == d2.Len() {
+		same := true
+		for i := range d1.Records {
+			if d1.Records[i] != d2.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestScaleProportionality(t *testing.T) {
+	small := gen(t, 0.02).StudyDataset(robots.VersionBase)
+	big := gen(t, 0.08).StudyDataset(robots.VersionBase)
+	ratio := float64(big.Len()) / float64(small.Len())
+	if ratio < 2.0 || ratio > 8.0 {
+		t.Errorf("4x scale produced %.1fx records (small=%d big=%d)", ratio, small.Len(), big.Len())
+	}
+}
+
+func TestRecordsSortedAndWellFormed(t *testing.T) {
+	d := gen(t, 0.03).StudyDataset(robots.Version2)
+	if d.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	for i := range d.Records {
+		r := &d.Records[i]
+		if i > 0 && r.Time.Before(d.Records[i-1].Time) {
+			t.Fatal("records not time-sorted")
+		}
+		if r.UserAgent == "" || r.IPHash == "" || r.ASN == "" || r.Site == "" || r.Path == "" {
+			t.Fatalf("record %d incomplete: %+v", i, r)
+		}
+		if r.Bytes <= 0 {
+			t.Fatalf("record %d has no bytes: %+v", i, r)
+		}
+		if r.Status != 200 && r.Status != 404 {
+			t.Fatalf("record %d unexpected status %d", i, r.Status)
+		}
+	}
+}
+
+// complianceOf computes the fraction of a bot's inter-access gaps >= 30 s
+// on its legitimate tuples, the paper's crawl-delay metric.
+func complianceOf(d *weblog.Dataset, bot string) (ratio float64, gaps int) {
+	byTuple := make(map[weblog.Tuple][]time.Time)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName != bot {
+			continue
+		}
+		tu := weblog.TupleOf(r)
+		byTuple[tu] = append(byTuple[tu], r.Time)
+	}
+	var ok, total int
+	for _, times := range byTuple {
+		for i := 1; i < len(times); i++ {
+			delta := times[i].Sub(times[i-1])
+			if delta >= 30*time.Second {
+				ok++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(ok) / float64(total), total
+}
+
+func TestCrawlDelayComplianceCalibrated(t *testing.T) {
+	// Under v1, high-volume bots' measured gap compliance should land
+	// near their Table 6 calibration (within sampling noise).
+	g := gen(t, 0.5)
+	d := g.StudyDataset(robots.Version1)
+	cases := []struct {
+		bot  string
+		want float64
+	}{
+		{"YisouSpider", 0.38},
+		{"Applebot", 0.841},
+		{"Googlebot", 0.65},
+		{"HeadlessChrome", 0.036},
+	}
+	for _, c := range cases {
+		got, n := complianceOf(d, c.bot)
+		if n < 50 {
+			t.Errorf("%s has only %d gaps; volume calibration off", c.bot, n)
+			continue
+		}
+		if math.Abs(got-c.want) > 0.08 {
+			t.Errorf("%s v1 gap compliance = %.3f (n=%d), want ~%.3f", c.bot, got, n, c.want)
+		}
+	}
+}
+
+func TestDisallowPhaseRobotsOnlyForCompliant(t *testing.T) {
+	g := gen(t, 0.5)
+	d := g.StudyDataset(robots.Version3)
+	// GPTBot has disallow compliance 1.0: essentially all accesses from
+	// legitimate tuples should be robots.txt fetches.
+	var robotsN, total int
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName != "GPTBot" || r.ASN != "MICROSOFT-CORP-MSN-AS-BLOCK" {
+			continue
+		}
+		total++
+		if r.IsRobotsFetch() {
+			robotsN++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no GPTBot records in v3 phase")
+	}
+	if frac := float64(robotsN) / float64(total); frac < 0.95 {
+		t.Errorf("GPTBot v3 robots fraction = %.3f, want ~1.0", frac)
+	}
+}
+
+func TestExemptBotUnaffectedByV3(t *testing.T) {
+	g := gen(t, 0.4)
+	d := g.StudyDataset(robots.Version3)
+	// Googlebot is exempt: it should still fetch regular pages under v3.
+	var pages int
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName == "Googlebot" && !r.IsRobotsFetch() {
+			pages++
+		}
+	}
+	if pages < 50 {
+		t.Errorf("exempt Googlebot fetched only %d pages under v3", pages)
+	}
+}
+
+func TestTable7NonCheckersFetchNoRobots(t *testing.T) {
+	g := gen(t, 0.4)
+	for _, v := range []robots.Version{robots.Version1, robots.Version2, robots.Version3} {
+		d := g.StudyDataset(v)
+		for i := range d.Records {
+			r := &d.Records[i]
+			if r.BotName == "Axios" && r.IsRobotsFetch() {
+				t.Errorf("Axios fetched robots.txt under %v; Table 7 says it never checks", v)
+			}
+		}
+	}
+}
+
+func TestBytespiderChecksOnlyPerTable7(t *testing.T) {
+	g := gen(t, 0.6)
+	checks := func(v robots.Version) bool {
+		d := g.StudyDataset(v)
+		for i := range d.Records {
+			r := &d.Records[i]
+			if r.BotName == "Bytespider" && r.ASN == "BYTEDANCE" && r.IsRobotsFetch() {
+				return true
+			}
+		}
+		return false
+	}
+	if checks(robots.Version2) {
+		t.Error("Bytespider must not check robots.txt during the endpoint phase")
+	}
+	if !checks(robots.Version1) {
+		t.Error("Bytespider should check robots.txt during the crawl-delay phase")
+	}
+}
+
+func TestSpoofedIdentitiesPresent(t *testing.T) {
+	g := gen(t, 1.0)
+	d := g.StudyDataset(robots.VersionBase)
+	// Baiduspider has a 2.5% spoof rate across 6 ASNs; its UA should
+	// appear from at least one non-dominant ASN.
+	asns := make(map[string]int)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName == "Baiduspider" {
+			asns[r.ASN]++
+		}
+	}
+	if len(asns) < 2 {
+		t.Errorf("Baiduspider appears from %d ASNs, want spoofed extras: %v", len(asns), asns)
+	}
+	dominant := asns["CHINA169-BACKBONE"]
+	var rest int
+	for a, n := range asns {
+		if a != "CHINA169-BACKBONE" {
+			rest += n
+		}
+	}
+	if dominant == 0 || rest == 0 {
+		t.Fatalf("asns = %v", asns)
+	}
+	if frac := float64(dominant) / float64(dominant+rest); frac < 0.90 {
+		t.Errorf("dominant ASN fraction = %.3f, want >= 0.90 per the spoof heuristic", frac)
+	}
+}
+
+func TestFullDatasetCoversSitesAndAnonymous(t *testing.T) {
+	g := gen(t, 0.02)
+	d := g.FullDataset()
+	sites := make(map[string]struct{})
+	var anon int
+	for i := range d.Records {
+		sites[d.Records[i].Site] = struct{}{}
+		if d.Records[i].BotName == "" {
+			anon++
+		}
+	}
+	if len(sites) < 10 {
+		t.Errorf("full dataset touches only %d sites", len(sites))
+	}
+	if anon == 0 {
+		t.Error("full dataset has no anonymous browser traffic")
+	}
+	first, last, _ := d.TimeRange()
+	if last.Sub(first) < 30*24*time.Hour {
+		t.Errorf("window %v too short for a 40-day dataset", last.Sub(first))
+	}
+}
+
+func TestYisouPrefersPeopleDirectory(t *testing.T) {
+	g := gen(t, 0.1)
+	d := g.FullDataset()
+	var people, total int
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.BotName != "YisouSpider" || r.Site != "www" || r.IsRobotsFetch() {
+			continue
+		}
+		total++
+		if len(r.Path) > 8 && r.Path[:8] == "/people/" {
+			people++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no YisouSpider study-site records")
+	}
+	if frac := float64(people) / float64(total); frac < 0.5 {
+		t.Errorf("YisouSpider people-directory fraction = %.3f, want > 0.5", frac)
+	}
+}
+
+func TestAllStudyPhases(t *testing.T) {
+	g := gen(t, 0.02)
+	phases := g.AllStudyPhases()
+	if len(phases) != 4 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	for v, d := range phases {
+		if d.Len() == 0 {
+			t.Errorf("phase %v empty", v)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package weblog
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"net"
+	"strings"
+)
+
+// Anonymizer one-way hashes visitor IP addresses for IRB-style privacy
+// compliance (§3.1: "a one-way cryptographic hash of the web visitor's IP
+// address"). It uses HMAC-SHA-256 with a per-deployment secret so hashes
+// cannot be reversed by brute-forcing the small IPv4 space, then truncates
+// to 16 hex characters, which keeps collision probability negligible at
+// dataset scale while keeping logs compact.
+type Anonymizer struct {
+	mac []byte // HMAC key
+}
+
+// NewAnonymizer builds an anonymizer with the given secret key. An empty
+// secret is permitted (useful for reproducible test fixtures) but defeats
+// the brute-force protection, so production callers should supply one.
+func NewAnonymizer(secret []byte) *Anonymizer {
+	k := make([]byte, len(secret))
+	copy(k, secret)
+	return &Anonymizer{mac: k}
+}
+
+// HashIP returns the anonymized form of an IP address. Invalid addresses
+// are hashed as raw strings so malformed log lines still anonymize
+// deterministically rather than leaking.
+func (a *Anonymizer) HashIP(ip string) string {
+	canonical := ip
+	if parsed := net.ParseIP(strings.TrimSpace(ip)); parsed != nil {
+		canonical = parsed.String()
+	}
+	h := hmac.New(sha256.New, a.mac)
+	h.Write([]byte(canonical))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// AnonymizeRecord replaces a raw IP in IPHash with its hash. Records whose
+// IPHash already looks hashed (16 lower-case hex chars) pass through
+// untouched, making the pipeline idempotent.
+func (a *Anonymizer) AnonymizeRecord(r *Record) {
+	if looksHashed(r.IPHash) {
+		return
+	}
+	r.IPHash = a.HashIP(r.IPHash)
+}
+
+// AnonymizeDataset anonymizes every record in place.
+func (a *Anonymizer) AnonymizeDataset(d *Dataset) {
+	for i := range d.Records {
+		a.AnonymizeRecord(&d.Records[i])
+	}
+}
+
+func looksHashed(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,233 @@
+package weblog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements ingestion of NCSA Common/Combined Log Format lines —
+// the export format of Apache httpd and nginx — so operators can run the
+// study's analysis pipeline over their own server logs, which is exactly
+// the position the paper's institution was in.
+//
+// Combined Log Format:
+//
+//	host ident authuser [dd/Mon/yyyy:HH:MM:SS zone] "METHOD path HTTP/v" status bytes "referer" "user-agent"
+//
+// The Common format is the same without the trailing referer/user-agent
+// pair. Fields the study schema needs but CLF lacks (site name, ASN) are
+// supplied by the caller via CLFOptions.
+
+// CLFOptions configures CLF ingestion.
+type CLFOptions struct {
+	// Site is the sitename recorded on every parsed record (CLF carries
+	// no virtual-host field; use one reader per vhost log).
+	Site string
+	// ASNFor maps the raw client host/IP to an AS handle; nil leaves ASN
+	// empty (the asn package's Whois can enrich later).
+	ASNFor func(host string) string
+	// Anonymizer, if non-nil, hashes the client host immediately so raw
+	// IPs never reach the dataset (the paper's IRB posture).
+	Anonymizer *Anonymizer
+	// Strict makes malformed lines an error; the default skips them and
+	// counts them in the returned Skipped value.
+	Strict bool
+}
+
+// clfTimeLayout is the CLF timestamp layout.
+const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
+
+// ReadCLF parses Common/Combined Log Format lines into a dataset. It
+// returns the dataset, the number of skipped (malformed) lines, and the
+// first error in Strict mode.
+func ReadCLF(r io.Reader, opts CLFOptions) (*Dataset, int, error) {
+	d := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	skipped := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rec, err := parseCLFLine(line)
+		if err != nil {
+			if opts.Strict {
+				return nil, skipped, fmt.Errorf("weblog: CLF line %d: %w", lineNo, err)
+			}
+			skipped++
+			continue
+		}
+		rec.Site = opts.Site
+		if opts.ASNFor != nil {
+			rec.ASN = opts.ASNFor(rec.IPHash)
+		}
+		if opts.Anonymizer != nil {
+			opts.Anonymizer.AnonymizeRecord(&rec)
+		}
+		d.Records = append(d.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("weblog: scanning CLF: %w", err)
+	}
+	return d, skipped, nil
+}
+
+// parseCLFLine parses one line. The client host lands in IPHash (raw;
+// anonymize afterwards).
+func parseCLFLine(line string) (Record, error) {
+	var rec Record
+
+	// host ident authuser
+	host, rest, ok := cutSpace(line)
+	if !ok {
+		return rec, fmt.Errorf("missing host field")
+	}
+	rec.IPHash = host
+	if _, rest, ok = cutSpace(rest); !ok { // ident
+		return rec, fmt.Errorf("missing ident field")
+	}
+	if _, rest, ok = cutSpace(rest); !ok { // authuser
+		return rec, fmt.Errorf("missing authuser field")
+	}
+
+	// [timestamp]
+	if len(rest) == 0 || rest[0] != '[' {
+		return rec, fmt.Errorf("missing '[' before timestamp")
+	}
+	end := strings.IndexByte(rest, ']')
+	if end < 0 {
+		return rec, fmt.Errorf("unterminated timestamp")
+	}
+	ts, err := time.Parse(clfTimeLayout, rest[1:end])
+	if err != nil {
+		return rec, fmt.Errorf("bad timestamp: %w", err)
+	}
+	rec.Time = ts.UTC()
+	rest = strings.TrimLeft(rest[end+1:], " ")
+
+	// "METHOD path HTTP/v"
+	reqLine, rest, err := quoted(rest)
+	if err != nil {
+		return rec, fmt.Errorf("request line: %w", err)
+	}
+	parts := strings.Split(reqLine, " ")
+	if len(parts) >= 2 {
+		rec.Path = parts[1]
+	} else {
+		rec.Path = reqLine
+	}
+
+	// status bytes — cutSpace returns the whole remainder as head when no
+	// space follows, covering tokens at end of line.
+	statusStr, rest, _ := cutSpace(strings.TrimLeft(rest, " "))
+	if statusStr == "" {
+		return rec, fmt.Errorf("missing status")
+	}
+	status, err := strconv.Atoi(statusStr)
+	if err != nil {
+		return rec, fmt.Errorf("bad status %q", statusStr)
+	}
+	rec.Status = status
+
+	bytesStr, rest, _ := cutSpace(strings.TrimLeft(rest, " "))
+	bytesStr = strings.TrimSpace(bytesStr)
+	if bytesStr != "" && bytesStr != "-" {
+		n, err := strconv.ParseInt(bytesStr, 10, 64)
+		if err != nil {
+			return rec, fmt.Errorf("bad bytes %q", bytesStr)
+		}
+		rec.Bytes = n
+	}
+
+	// Optional Combined extras: "referer" "user-agent".
+	rest = strings.TrimLeft(rest, " ")
+	if rest != "" {
+		ref, rest2, err := quoted(rest)
+		if err != nil {
+			return rec, fmt.Errorf("referer: %w", err)
+		}
+		if ref != "-" {
+			rec.Referer = ref
+		}
+		rest2 = strings.TrimLeft(rest2, " ")
+		if rest2 != "" {
+			ua, _, err := quoted(rest2)
+			if err != nil {
+				return rec, fmt.Errorf("user agent: %w", err)
+			}
+			if ua != "-" {
+				rec.UserAgent = ua
+			}
+		}
+	}
+	return rec, nil
+}
+
+// cutSpace splits at the first space.
+func cutSpace(s string) (head, rest string, ok bool) {
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// quoted parses a leading double-quoted field, handling backslash escapes
+// the way httpd writes them (\" and \\).
+func quoted(s string) (value, rest string, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("missing opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '\\':
+			if i+1 < len(s) {
+				b.WriteByte(s[i+1])
+				i += 2
+				continue
+			}
+			return "", "", fmt.Errorf("dangling escape")
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote")
+}
+
+// WriteCLF exports a dataset as Combined Log Format, the inverse of
+// ReadCLF (site and ASN columns are dropped; hashes stand in for hosts).
+func WriteCLF(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := range d.Records {
+		r := &d.Records[i]
+		ref := r.Referer
+		if ref == "" {
+			ref = "-"
+		}
+		ua := r.UserAgent
+		if ua == "" {
+			ua = "-"
+		}
+		_, err := fmt.Fprintf(bw, "%s - - [%s] \"GET %s HTTP/1.1\" %d %d %q %q\n",
+			r.IPHash,
+			r.Time.UTC().Format(clfTimeLayout),
+			r.Path, r.Status, r.Bytes, ref, ua)
+		if err != nil {
+			return fmt.Errorf("weblog: writing CLF record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

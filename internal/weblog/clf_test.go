@@ -1,0 +1,183 @@
+package weblog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const sampleCombined = `203.0.113.7 - - [12/Feb/2025:08:30:00 +0000] "GET /people/profile-0001 HTTP/1.1" 200 2048 "https://www.example.edu/" "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)"
+203.0.113.9 - - [12/Feb/2025:08:30:15 +0000] "GET /robots.txt HTTP/1.1" 200 120 "-" "GPTBot/1.2"
+`
+
+func TestReadCLFCombined(t *testing.T) {
+	d, skipped, err := ReadCLF(strings.NewReader(sampleCombined), CLFOptions{Site: "www"})
+	if err != nil || skipped != 0 {
+		t.Fatalf("err=%v skipped=%d", err, skipped)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("records = %d", d.Len())
+	}
+	r := d.Records[0]
+	if r.IPHash != "203.0.113.7" || r.Path != "/people/profile-0001" ||
+		r.Status != 200 || r.Bytes != 2048 || r.Site != "www" {
+		t.Errorf("record = %+v", r)
+	}
+	if !strings.Contains(r.UserAgent, "Googlebot") || r.Referer != "https://www.example.edu/" {
+		t.Errorf("ua/referer = %q / %q", r.UserAgent, r.Referer)
+	}
+	want := time.Date(2025, 2, 12, 8, 30, 0, 0, time.UTC)
+	if !r.Time.Equal(want) {
+		t.Errorf("time = %v, want %v", r.Time, want)
+	}
+	if !d.Records[1].IsRobotsFetch() {
+		t.Error("second line is a robots fetch")
+	}
+}
+
+func TestReadCLFCommonFormat(t *testing.T) {
+	// No referer/UA pair: the original Common Log Format.
+	line := `192.0.2.1 - frank [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326` + "\n"
+	d, skipped, err := ReadCLF(strings.NewReader(line), CLFOptions{Site: "s"})
+	if err != nil || skipped != 0 || d.Len() != 1 {
+		t.Fatalf("err=%v skipped=%d len=%d", err, skipped, d.Len())
+	}
+	r := d.Records[0]
+	if r.Path != "/apache_pb.gif" || r.Status != 200 || r.Bytes != 2326 || r.UserAgent != "" {
+		t.Errorf("record = %+v", r)
+	}
+	// The CLF timestamp keeps its zone offset but normalizes to UTC.
+	if r.Time.Hour() != 20 {
+		t.Errorf("UTC conversion: %v", r.Time)
+	}
+}
+
+func TestReadCLFDashBytes(t *testing.T) {
+	line := `192.0.2.1 - - [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 304 -` + "\n"
+	d, _, err := ReadCLF(strings.NewReader(line), CLFOptions{})
+	if err != nil || d.Records[0].Bytes != 0 || d.Records[0].Status != 304 {
+		t.Fatalf("dash bytes mishandled: %v %+v", err, d.Records)
+	}
+}
+
+func TestReadCLFEscapedQuotes(t *testing.T) {
+	line := `192.0.2.1 - - [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 200 1 "-" "agent with \"quotes\" inside"` + "\n"
+	d, _, err := ReadCLF(strings.NewReader(line), CLFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records[0].UserAgent != `agent with "quotes" inside` {
+		t.Errorf("ua = %q", d.Records[0].UserAgent)
+	}
+}
+
+func TestReadCLFSkipsMalformed(t *testing.T) {
+	input := "garbage line without fields\n" + sampleCombined
+	d, skipped, err := ReadCLF(strings.NewReader(input), CLFOptions{})
+	if err != nil || skipped != 1 || d.Len() != 2 {
+		t.Fatalf("err=%v skipped=%d len=%d", err, skipped, d.Len())
+	}
+}
+
+func TestReadCLFStrict(t *testing.T) {
+	if _, _, err := ReadCLF(strings.NewReader("nope\n"), CLFOptions{Strict: true}); err == nil {
+		t.Error("strict mode must error on malformed line")
+	}
+}
+
+func TestReadCLFMalformedVariants(t *testing.T) {
+	bad := []string{
+		`h i a [bad-timestamp] "GET / HTTP/1.0" 200 1`,
+		`h i a [10/Oct/2000:13:55:36 -0700 "GET / HTTP/1.0" 200 1`, // unterminated [
+		`h i a [10/Oct/2000:13:55:36 -0700] GET / HTTP/1.0 200 1`,  // unquoted request
+		`h i a [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" abc 1`,
+		`h i a [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 200 xyz`,
+		`h i a [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 200 1 "unterminated`,
+	}
+	for _, line := range bad {
+		if _, _, err := ReadCLF(strings.NewReader(line+"\n"), CLFOptions{Strict: true}); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+}
+
+func TestReadCLFAnonymizesAndEnriches(t *testing.T) {
+	opts := CLFOptions{
+		Site:       "www",
+		Anonymizer: NewAnonymizer([]byte("k")),
+		ASNFor: func(host string) string {
+			if host == "203.0.113.7" {
+				return "GOOGLE"
+			}
+			return "UNKNOWN"
+		},
+	}
+	d, _, err := ReadCLF(strings.NewReader(sampleCombined), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records[0].ASN != "GOOGLE" {
+		t.Errorf("ASN = %q", d.Records[0].ASN)
+	}
+	if d.Records[0].IPHash == "203.0.113.7" || len(d.Records[0].IPHash) != 16 {
+		t.Errorf("IP not anonymized: %q", d.Records[0].IPHash)
+	}
+}
+
+func TestCLFRoundTrip(t *testing.T) {
+	src := &Dataset{Records: []Record{
+		{
+			UserAgent: "GPTBot/1.2", Time: time.Date(2025, 2, 12, 8, 0, 0, 0, time.UTC),
+			IPHash: "0123456789abcdef", Path: "/a/b?q=1", Status: 200, Bytes: 512,
+			Referer: "https://ref.example/",
+		},
+		{
+			UserAgent: "", Time: time.Date(2025, 2, 12, 9, 0, 0, 0, time.UTC),
+			IPHash: "fedcba9876543210", Path: "/robots.txt", Status: 404, Bytes: 0,
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCLF(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadCLF(&buf, CLFOptions{})
+	if err != nil || skipped != 0 {
+		t.Fatalf("err=%v skipped=%d", err, skipped)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for i := range src.Records {
+		w, g := src.Records[i], got.Records[i]
+		if g.Path != w.Path || g.Status != w.Status || g.Bytes != w.Bytes ||
+			g.UserAgent != w.UserAgent || g.Referer != w.Referer || !g.Time.Equal(w.Time) {
+			t.Errorf("record %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+func TestQuickCLFRoundTripPaths(t *testing.T) {
+	f := func(raw string) bool {
+		path := "/" + strings.Map(func(r rune) rune {
+			if r <= ' ' || r == '"' || r == '\\' || r > 126 {
+				return 'x'
+			}
+			return r
+		}, raw)
+		src := &Dataset{Records: []Record{{
+			UserAgent: "QB/1", Time: time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+			IPHash: "h", Path: path, Status: 200, Bytes: 1,
+		}}}
+		var buf bytes.Buffer
+		if err := WriteCLF(&buf, src); err != nil {
+			return false
+		}
+		got, _, err := ReadCLF(&buf, CLFOptions{})
+		return err == nil && got.Len() == 1 && got.Records[0].Path == path
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

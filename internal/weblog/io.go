@@ -1,0 +1,194 @@
+package weblog
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the canonical column order for CSV encoding. It mirrors the
+// field list in §3.1 of the paper plus the two enrichment columns.
+var csvHeader = []string{
+	"useragent", "timestamp", "ip_hash", "asn", "sitename", "uri_path",
+	"status", "bytes", "referer", "bot_name", "bot_category",
+}
+
+// WriteCSV writes the dataset as CSV with a header row. Timestamps are
+// ISO-8601 (RFC 3339) as in the paper's dataset.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("weblog: writing CSV header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for i := range d.Records {
+		r := &d.Records[i]
+		row[0] = r.UserAgent
+		row[1] = r.Time.UTC().Format(time.RFC3339)
+		row[2] = r.IPHash
+		row[3] = r.ASN
+		row[4] = r.Site
+		row[5] = r.Path
+		row[6] = strconv.Itoa(r.Status)
+		row[7] = strconv.FormatInt(r.Bytes, 10)
+		row[8] = r.Referer
+		row[9] = r.BotName
+		row[10] = r.Category
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("weblog: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV. Unknown extra columns are
+// ignored; missing optional columns default to zero values.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("weblog: reading CSV header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
+	}
+	get := func(row []string, name string) string {
+		if i, ok := col[name]; ok && i < len(row) {
+			return row[i]
+		}
+		return ""
+	}
+	d := &Dataset{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("weblog: reading CSV line %d: %w", line, err)
+		}
+		var rec Record
+		rec.UserAgent = get(row, "useragent")
+		ts := get(row, "timestamp")
+		if ts != "" {
+			t, err := time.Parse(time.RFC3339, ts)
+			if err != nil {
+				return nil, fmt.Errorf("weblog: CSV line %d: bad timestamp %q: %w", line, ts, err)
+			}
+			rec.Time = t
+		}
+		rec.IPHash = get(row, "ip_hash")
+		rec.ASN = get(row, "asn")
+		rec.Site = get(row, "sitename")
+		rec.Path = get(row, "uri_path")
+		if s := get(row, "status"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("weblog: CSV line %d: bad status %q: %w", line, s, err)
+			}
+			rec.Status = v
+		}
+		if s := get(row, "bytes"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("weblog: CSV line %d: bad bytes %q: %w", line, s, err)
+			}
+			rec.Bytes = v
+		}
+		rec.Referer = get(row, "referer")
+		rec.BotName = get(row, "bot_name")
+		rec.Category = get(row, "bot_category")
+		d.Records = append(d.Records, rec)
+	}
+	return d, nil
+}
+
+// jsonRecord is the JSONL wire form with stable snake_case keys.
+type jsonRecord struct {
+	UserAgent string `json:"useragent"`
+	Timestamp string `json:"timestamp"`
+	IPHash    string `json:"ip_hash"`
+	ASN       string `json:"asn"`
+	Site      string `json:"sitename"`
+	Path      string `json:"uri_path"`
+	Status    int    `json:"status"`
+	Bytes     int64  `json:"bytes"`
+	Referer   string `json:"referer,omitempty"`
+	BotName   string `json:"bot_name,omitempty"`
+	Category  string `json:"bot_category,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per line.
+func WriteJSONL(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range d.Records {
+		r := &d.Records[i]
+		jr := jsonRecord{
+			UserAgent: r.UserAgent,
+			Timestamp: r.Time.UTC().Format(time.RFC3339),
+			IPHash:    r.IPHash,
+			ASN:       r.ASN,
+			Site:      r.Site,
+			Path:      r.Path,
+			Status:    r.Status,
+			Bytes:     r.Bytes,
+			Referer:   r.Referer,
+			BotName:   r.BotName,
+			Category:  r.Category,
+		}
+		if err := enc.Encode(&jr); err != nil {
+			return fmt.Errorf("weblog: encoding JSONL record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a dataset written by WriteJSONL; blank lines are skipped.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal(b, &jr); err != nil {
+			return nil, fmt.Errorf("weblog: JSONL line %d: %w", line, err)
+		}
+		var rec Record
+		rec.UserAgent = jr.UserAgent
+		if jr.Timestamp != "" {
+			t, err := time.Parse(time.RFC3339, jr.Timestamp)
+			if err != nil {
+				return nil, fmt.Errorf("weblog: JSONL line %d: bad timestamp: %w", line, err)
+			}
+			rec.Time = t
+		}
+		rec.IPHash = jr.IPHash
+		rec.ASN = jr.ASN
+		rec.Site = jr.Site
+		rec.Path = jr.Path
+		rec.Status = jr.Status
+		rec.Bytes = jr.Bytes
+		rec.Referer = jr.Referer
+		rec.BotName = jr.BotName
+		rec.Category = jr.Category
+		d.Records = append(d.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("weblog: scanning JSONL: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,177 @@
+// Package weblog defines the anonymized web-access record format the study
+// is built on (§3.1 of the paper) and the preprocessing pipeline that turns
+// raw server logs into the analysis dataset: IP anonymization, scanner
+// filtering, and ASN/bot-name enrichment.
+//
+// Each Record corresponds to one page access by one web visitor at one
+// time, carrying exactly the fields the paper's dataset carries: user
+// agent, ISO-8601 timestamp, one-way IP hash, ASN, sitename, URI path,
+// status code, bytes transferred, and referer.
+package weblog
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Record is one web access. The zero value is not useful; populate every
+// field (Referer may be empty).
+type Record struct {
+	// UserAgent is the self-reported User-Agent header value.
+	UserAgent string
+	// Time is the moment of the request.
+	Time time.Time
+	// IPHash is the one-way cryptographic hash of the visitor IP
+	// (hex-encoded, produced by Anonymizer).
+	IPHash string
+	// ASN is the handle of the autonomous system announcing the visitor IP
+	// ("GOOGLE", "AMAZON-02", ...).
+	ASN string
+	// Site is the base website accessed ("www", "dining", "people", ...).
+	Site string
+	// Path is the requested resource; Site+Path form the whole URL.
+	Path string
+	// Status is the HTTP status code returned.
+	Status int
+	// Bytes is the number of response bytes transmitted by the server.
+	Bytes int64
+	// Referer is the redirecting site, if any.
+	Referer string
+	// BotName is the standardized bot name added by enrichment
+	// (empty for anonymous agents).
+	BotName string
+	// Category is the Dark Visitors category display name added by
+	// enrichment ("" or "Unknown" for anonymous agents).
+	Category string
+}
+
+// IsRobotsFetch reports whether this access fetched robots.txt.
+func (r *Record) IsRobotsFetch() bool {
+	p := r.Path
+	if i := strings.IndexAny(p, "?#"); i >= 0 {
+		p = p[:i]
+	}
+	return p == "/robots.txt"
+}
+
+// Tuple identifies one requesting entity the way the paper's §4.2 does:
+// the τ = (ASN, IP hash, user agent) triple.
+type Tuple struct {
+	ASN       string
+	IPHash    string
+	UserAgent string
+}
+
+// TupleOf returns the τ triple for a record.
+func TupleOf(r *Record) Tuple {
+	return Tuple{ASN: r.ASN, IPHash: r.IPHash, UserAgent: r.UserAgent}
+}
+
+// Dataset is an ordered collection of records with the aggregate helpers
+// the analysis pipeline needs. The slice is the primary representation;
+// helpers never mutate unless documented.
+type Dataset struct {
+	Records []Record
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// SortByTime orders records chronologically (stable, so equal timestamps
+// keep ingest order).
+func (d *Dataset) SortByTime() {
+	sort.SliceStable(d.Records, func(i, j int) bool {
+		return d.Records[i].Time.Before(d.Records[j].Time)
+	})
+}
+
+// Filter returns a new dataset with only the records keep returns true for.
+func (d *Dataset) Filter(keep func(*Record) bool) *Dataset {
+	out := &Dataset{}
+	for i := range d.Records {
+		if keep(&d.Records[i]) {
+			out.Records = append(out.Records, d.Records[i])
+		}
+	}
+	return out
+}
+
+// ByTuple groups record indexes by τ triple, preserving record order
+// within each group.
+func (d *Dataset) ByTuple() map[Tuple][]int {
+	out := make(map[Tuple][]int)
+	for i := range d.Records {
+		t := TupleOf(&d.Records[i])
+		out[t] = append(out[t], i)
+	}
+	return out
+}
+
+// ByBot groups record indexes by standardized bot name, skipping records
+// with no bot identification.
+func (d *Dataset) ByBot() map[string][]int {
+	out := make(map[string][]int)
+	for i := range d.Records {
+		if n := d.Records[i].BotName; n != "" {
+			out[n] = append(out[n], i)
+		}
+	}
+	return out
+}
+
+// TimeRange returns the earliest and latest record times. ok is false for
+// an empty dataset.
+func (d *Dataset) TimeRange() (first, last time.Time, ok bool) {
+	if len(d.Records) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	first, last = d.Records[0].Time, d.Records[0].Time
+	for i := range d.Records {
+		t := d.Records[i].Time
+		if t.Before(first) {
+			first = t
+		}
+		if t.After(last) {
+			last = t
+		}
+	}
+	return first, last, true
+}
+
+// Overview holds the headline statistics of Table 2.
+type Overview struct {
+	UniqueIPs        int
+	UniqueUserAgents int
+	UniqueASNs       int
+	TotalBytes       int64
+	TotalVisits      int
+	UniquePages      int
+}
+
+// Summarize computes a Table-2-style overview of the dataset (optionally
+// restricted with keep; nil means all records).
+func (d *Dataset) Summarize(keep func(*Record) bool) Overview {
+	ips := make(map[string]struct{})
+	uas := make(map[string]struct{})
+	asns := make(map[string]struct{})
+	pages := make(map[string]struct{})
+	var o Overview
+	for i := range d.Records {
+		r := &d.Records[i]
+		if keep != nil && !keep(r) {
+			continue
+		}
+		ips[r.IPHash] = struct{}{}
+		uas[r.UserAgent] = struct{}{}
+		asns[r.ASN] = struct{}{}
+		pages[r.Site+r.Path] = struct{}{}
+		o.TotalBytes += r.Bytes
+		o.TotalVisits++
+	}
+	o.UniqueIPs = len(ips)
+	o.UniqueUserAgents = len(uas)
+	o.UniqueASNs = len(asns)
+	o.UniquePages = len(pages)
+	return o
+}

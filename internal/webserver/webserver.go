@@ -1,0 +1,244 @@
+// Package webserver serves the simulated site estate over real HTTP,
+// reproducing the instrumented infrastructure side of the paper's study:
+// every site serves its generated page tree, a sitemap, and a swappable
+// robots.txt (support staff swapped the study site's file every two weeks;
+// SetRobots is the programmatic equivalent), and every request is logged
+// with the fields the paper's dataset carries.
+//
+// Client attribution: a real deployment derives the visitor IP from the
+// TCP connection and the ASN from a routing table. In simulation both
+// terminate on loopback, so crawlers declare their simulated origin via
+// the X-Sim-IP and X-Sim-ASN request headers; the logging middleware
+// prefers those and falls back to the socket address. This substitution is
+// confined to log attribution and does not touch the crawl semantics.
+package webserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sitegen"
+	"repro/internal/weblog"
+)
+
+// HeaderSimIP and HeaderSimASN carry simulated client attribution.
+const (
+	HeaderSimIP  = "X-Sim-IP"
+	HeaderSimASN = "X-Sim-ASN"
+)
+
+// Collector receives one record per served request. Implementations must
+// be safe for concurrent use.
+type Collector interface {
+	Collect(weblog.Record)
+}
+
+// MemoryCollector accumulates records in memory.
+type MemoryCollector struct {
+	mu      sync.Mutex
+	records []weblog.Record
+
+	// Anonymizer, if set, hashes the IP of every collected record.
+	Anonymizer *weblog.Anonymizer
+	// TimeBase/TimeScale, if TimeScale > 0, remap wall-clock timestamps
+	// into virtual time: t' = TimeBase + (t - realBase) * TimeScale. This
+	// lets a time-compressed crawl (sleeping milliseconds for simulated
+	// seconds) produce logs with realistic second-scale pacing.
+	TimeBase  time.Time
+	TimeScale float64
+
+	realBase time.Time
+	baseOnce sync.Once
+}
+
+// Collect implements Collector.
+func (c *MemoryCollector) Collect(r weblog.Record) {
+	c.baseOnce.Do(func() { c.realBase = r.Time })
+	if c.TimeScale > 0 {
+		r.Time = c.TimeBase.Add(time.Duration(float64(r.Time.Sub(c.realBase)) * c.TimeScale))
+	}
+	if c.Anonymizer != nil {
+		c.Anonymizer.AnonymizeRecord(&r)
+	}
+	c.mu.Lock()
+	c.records = append(c.records, r)
+	c.mu.Unlock()
+}
+
+// Dataset snapshots the collected records as a dataset.
+func (c *MemoryCollector) Dataset() *weblog.Dataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &weblog.Dataset{Records: make([]weblog.Record, len(c.records))}
+	copy(out.Records, c.records)
+	return out
+}
+
+// Len returns the number of collected records.
+func (c *MemoryCollector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Server serves one site.
+type Server struct {
+	site      *sitegen.Site
+	collector Collector
+
+	mu     sync.RWMutex
+	robots []byte
+
+	httpServer *http.Server
+	listener   net.Listener
+}
+
+// NewServer wraps a site with the given initial robots.txt body and log
+// collector (nil collector disables logging).
+func NewServer(site *sitegen.Site, robotsBody []byte, collector Collector) *Server {
+	return &Server{site: site, robots: robotsBody, collector: collector}
+}
+
+// Site returns the served site.
+func (s *Server) Site() *sitegen.Site { return s.site }
+
+// SetRobots atomically swaps the robots.txt body — the programmatic
+// equivalent of the paper's biweekly file swap.
+func (s *Server) SetRobots(body []byte) {
+	s.mu.Lock()
+	s.robots = body
+	s.mu.Unlock()
+}
+
+// RobotsBody returns the current robots.txt body.
+func (s *Server) RobotsBody() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.robots
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var (
+		status int
+		body   []byte
+	)
+	switch {
+	case r.URL.Path == "/robots.txt":
+		status, body = http.StatusOK, s.RobotsBody()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	case r.URL.Path == "/sitemap.xml":
+		status = http.StatusOK
+		body = []byte(s.site.SitemapXML("http://" + r.Host))
+		w.Header().Set("Content-Type", "application/xml")
+	default:
+		if page, ok := s.site.Lookup(r.URL.Path); ok {
+			status = http.StatusOK
+			body = sitegen.PageBody(s.site, page)
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		} else {
+			status = http.StatusNotFound
+			body = []byte("<!doctype html><html><body>not found</body></html>")
+		}
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+
+	if s.collector != nil {
+		s.collector.Collect(weblog.Record{
+			UserAgent: r.UserAgent(),
+			Time:      time.Now(),
+			IPHash:    clientIP(r),
+			ASN:       r.Header.Get(HeaderSimASN),
+			Site:      s.site.Name,
+			Path:      r.URL.RequestURI(),
+			Status:    status,
+			Bytes:     int64(len(body)),
+			Referer:   r.Referer(),
+		})
+	}
+}
+
+// clientIP prefers the simulated identity header, falling back to the
+// socket peer address.
+func clientIP(r *http.Request) string {
+	if ip := r.Header.Get(HeaderSimIP); ip != "" {
+		return ip
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Start begins serving on a loopback listener and returns the base URL
+// ("http://127.0.0.1:PORT"). Call Close to stop.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("webserver: listening: %w", err)
+	}
+	s.listener = ln
+	s.httpServer = &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpServer.Serve(ln) }()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close stops the server (no-op if never started).
+func (s *Server) Close() error {
+	if s.httpServer == nil {
+		return nil
+	}
+	return s.httpServer.Close()
+}
+
+// Estate runs servers for many sites and tracks their base URLs.
+type Estate struct {
+	Servers []*Server
+	URLs    []string
+}
+
+// StartEstate launches one server per site, all sharing a collector and an
+// initial robots.txt body chosen per site by robotsFor (nil means the
+// permissive base version for every site).
+func StartEstate(sites []sitegen.Site, collector Collector, robotsFor func(*sitegen.Site) []byte) (*Estate, error) {
+	e := &Estate{}
+	for i := range sites {
+		site := &sites[i]
+		var body []byte
+		if robotsFor != nil {
+			body = robotsFor(site)
+		}
+		srv := NewServer(site, body, collector)
+		url, err := srv.Start()
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.Servers = append(e.Servers, srv)
+		e.URLs = append(e.URLs, url)
+	}
+	return e, nil
+}
+
+// ServerFor returns the server and URL for a site name.
+func (e *Estate) ServerFor(name string) (*Server, string, bool) {
+	for i, srv := range e.Servers {
+		if strings.EqualFold(srv.site.Name, name) {
+			return srv, e.URLs[i], true
+		}
+	}
+	return nil, "", false
+}
+
+// Close stops every server.
+func (e *Estate) Close() {
+	for _, srv := range e.Servers {
+		_ = srv.Close()
+	}
+}

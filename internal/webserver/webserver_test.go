@@ -1,0 +1,169 @@
+package webserver
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/sitegen"
+	"repro/internal/weblog"
+)
+
+func startOne(t *testing.T, collector Collector) (*Server, string) {
+	t.Helper()
+	sites := sitegen.Generate(1)
+	srv := NewServer(&sites[0], robots.BuildVersion(robots.VersionBase, ""), collector)
+	url, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, url
+}
+
+func get(t *testing.T, url string, headers map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("User-Agent", "TestBot/1.0")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func TestServesPagesAndRobotsAndSitemap(t *testing.T) {
+	col := &MemoryCollector{}
+	_, base := startOne(t, col)
+
+	resp, body := get(t, base+"/robots.txt", nil)
+	if resp.StatusCode != 200 || !strings.Contains(body, "User-agent: *") {
+		t.Errorf("robots.txt: %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, base+"/sitemap.xml", nil)
+	if resp.StatusCode != 200 || !strings.Contains(body, "<urlset") {
+		t.Errorf("sitemap: %d", resp.StatusCode)
+	}
+	resp, body = get(t, base+"/", nil)
+	if resp.StatusCode != 200 || !strings.Contains(body, "<!doctype html>") {
+		t.Errorf("home page: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, base+"/definitely-missing", nil)
+	if resp.StatusCode != 404 {
+		t.Errorf("missing page status = %d", resp.StatusCode)
+	}
+	if col.Len() != 4 {
+		t.Errorf("collected %d records, want 4", col.Len())
+	}
+}
+
+func TestSetRobotsSwapsAtomically(t *testing.T) {
+	srv, base := startOne(t, nil)
+	srv.SetRobots(robots.BuildVersion(robots.Version3, ""))
+	_, body := get(t, base+"/robots.txt", nil)
+	if !strings.Contains(body, "Disallow: /") {
+		t.Errorf("swapped robots.txt not served: %q", body)
+	}
+}
+
+func TestLoggingAttribution(t *testing.T) {
+	col := &MemoryCollector{}
+	_, base := startOne(t, col)
+	get(t, base+"/", map[string]string{
+		HeaderSimIP:  "198.51.100.7",
+		HeaderSimASN: "GOOGLE",
+	})
+	d := col.Dataset()
+	if d.Len() != 1 {
+		t.Fatalf("records = %d", d.Len())
+	}
+	r := d.Records[0]
+	if r.IPHash != "198.51.100.7" || r.ASN != "GOOGLE" || r.UserAgent != "TestBot/1.0" {
+		t.Errorf("record = %+v", r)
+	}
+	if r.Site == "" || r.Path != "/" || r.Bytes <= 0 {
+		t.Errorf("record fields = %+v", r)
+	}
+}
+
+func TestSocketFallbackAttribution(t *testing.T) {
+	col := &MemoryCollector{}
+	_, base := startOne(t, col)
+	get(t, base+"/", nil)
+	r := col.Dataset().Records[0]
+	if r.IPHash != "127.0.0.1" {
+		t.Errorf("fallback IP = %q", r.IPHash)
+	}
+}
+
+func TestCollectorAnonymizes(t *testing.T) {
+	col := &MemoryCollector{Anonymizer: weblog.NewAnonymizer([]byte("k"))}
+	_, base := startOne(t, col)
+	get(t, base+"/", map[string]string{HeaderSimIP: "198.51.100.7"})
+	r := col.Dataset().Records[0]
+	if r.IPHash == "198.51.100.7" || len(r.IPHash) != 16 {
+		t.Errorf("IP not anonymized: %q", r.IPHash)
+	}
+}
+
+func TestCollectorTimeRemap(t *testing.T) {
+	base := time.Date(2025, 2, 12, 0, 0, 0, 0, time.UTC)
+	col := &MemoryCollector{TimeBase: base, TimeScale: 1000}
+	now := time.Now()
+	col.Collect(weblog.Record{Time: now})
+	col.Collect(weblog.Record{Time: now.Add(30 * time.Millisecond)})
+	d := col.Dataset()
+	if !d.Records[0].Time.Equal(base) {
+		t.Errorf("first record time = %v, want %v", d.Records[0].Time, base)
+	}
+	gap := d.Records[1].Time.Sub(d.Records[0].Time)
+	if gap < 25*time.Second || gap > 35*time.Second {
+		t.Errorf("virtual gap = %v, want ~30s", gap)
+	}
+}
+
+func TestEstate(t *testing.T) {
+	sites := sitegen.Generate(3)[:4]
+	col := &MemoryCollector{}
+	estate, err := StartEstate(sites, col, func(s *sitegen.Site) []byte {
+		return robots.BuildVersion(robots.VersionBase, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer estate.Close()
+	if len(estate.Servers) != 4 || len(estate.URLs) != 4 {
+		t.Fatalf("estate size = %d/%d", len(estate.Servers), len(estate.URLs))
+	}
+	srv, url, ok := estate.ServerFor(sites[1].Name)
+	if !ok || srv == nil || url == "" {
+		t.Fatalf("ServerFor(%s) failed", sites[1].Name)
+	}
+	if _, _, ok := estate.ServerFor("no-such-site"); ok {
+		t.Error("phantom site resolved")
+	}
+	resp, _ := get(t, url+"/robots.txt", nil)
+	if resp.StatusCode != 200 {
+		t.Errorf("estate robots status = %d", resp.StatusCode)
+	}
+}
+
+func TestQueryStringLogged(t *testing.T) {
+	col := &MemoryCollector{}
+	_, base := startOne(t, col)
+	get(t, base+"/?q=1", nil)
+	if p := col.Dataset().Records[0].Path; p != "/?q=1" {
+		t.Errorf("logged path = %q", p)
+	}
+}

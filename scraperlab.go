@@ -1,0 +1,83 @@
+// Package scraperlab reproduces "Scrapers Selectively Respect robots.txt
+// Directives: Evidence From a Large-Scale Empirical Study" (IMC 2025) as a
+// Go library: an RFC 9309 robots.txt engine, a calibrated bot-population
+// simulator, a concurrent crawler framework, an instrumented web-serving
+// estate, and the full compliance-analysis pipeline that regenerates every
+// table and figure of the paper's evaluation.
+//
+// This root package is the stable public facade; it re-exports the
+// high-level Study API from internal/core. Start with NewStudy for the
+// full reproduction, or CheckRobots for the one-call robots.txt primitive:
+//
+//	study, _ := scraperlab.NewStudy(scraperlab.Options{Seed: 1})
+//	study.WriteAll(os.Stdout) // every table and figure
+//
+//	ok, delay, _ := scraperlab.CheckRobots(body, "GPTBot/1.2", "/private")
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package scraperlab
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/weblog"
+)
+
+// Options configures a Study; see core.Options.
+type Options = core.Options
+
+// Study is one full reproduction run; see core.Study.
+type Study = core.Study
+
+// LiveCrawlOptions configures a live HTTP fleet run.
+type LiveCrawlOptions = core.LiveCrawlOptions
+
+// NewStudy builds a study over the synthetic substrate.
+func NewStudy(opts Options) (*Study, error) { return core.NewStudy(opts) }
+
+// CheckRobots parses a robots.txt body and reports whether userAgent may
+// fetch path, plus any requested crawl delay.
+func CheckRobots(body []byte, userAgent, path string) (bool, time.Duration, error) {
+	return core.CheckRobots(body, userAgent, path)
+}
+
+// LiveCrawl starts a real HTTP estate, drives the calibrated bot fleet
+// against it, and returns the collected access log and per-bot stats.
+func LiveCrawl(ctx context.Context, opts LiveCrawlOptions) (*weblog.Dataset, map[string]CrawlStats, error) {
+	logs, stats, err := core.LiveCrawl(ctx, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]CrawlStats, len(stats))
+	for k, v := range stats {
+		out[k] = CrawlStats{
+			PagesFetched:  v.PagesFetched,
+			Blocked:       v.Blocked,
+			RobotsFetches: v.RobotsFetches,
+			Errors:        v.Errors,
+		}
+	}
+	return logs, out, nil
+}
+
+// CrawlStats summarizes one bot's live crawl.
+type CrawlStats struct {
+	// PagesFetched counts successful page fetches.
+	PagesFetched int
+	// Blocked counts fetches skipped in deference to robots.txt.
+	Blocked int
+	// RobotsFetches counts robots.txt requests.
+	RobotsFetches int
+	// Errors counts transport failures.
+	Errors int
+}
+
+// WriteDatasetCSV exports a dataset in the study's CSV schema.
+func WriteDatasetCSV(w io.Writer, d *weblog.Dataset) error { return weblog.WriteCSV(w, d) }
+
+// ReadDatasetCSV imports a dataset written by WriteDatasetCSV.
+func ReadDatasetCSV(r io.Reader) (*weblog.Dataset, error) { return weblog.ReadCSV(r) }

@@ -1,0 +1,134 @@
+package scraperlab
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/robots"
+)
+
+func TestCheckRobotsFacade(t *testing.T) {
+	body := []byte("User-agent: *\nDisallow: /private\nCrawl-delay: 12\n")
+	ok, delay, err := CheckRobots(body, "AnyBot/1.0", "/public")
+	if err != nil || !ok || delay != 12*time.Second {
+		t.Errorf("CheckRobots = %v,%v,%v", ok, delay, err)
+	}
+	ok, _, _ = CheckRobots(body, "AnyBot/1.0", "/private/x")
+	if ok {
+		t.Error("private path must be disallowed")
+	}
+}
+
+// TestEndToEndStudy runs the complete reproduction at small scale and
+// verifies the paper's three headline findings emerge from the pipeline.
+func TestEndToEndStudy(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 5, Scale: 0.1, Secret: []byte("integration")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Finding 1 (RQ1): compliance decreases as directives get stricter.
+	results := study.ComplianceResults()
+	ct := compliance.BuildCategoryTable(results)
+	if ct.DirectiveAvg[compliance.CrawlDelay] <= ct.DirectiveAvg[compliance.DisallowAll] {
+		t.Errorf("RQ1 violated: crawl-delay %.3f <= disallow %.3f",
+			ct.DirectiveAvg[compliance.CrawlDelay], ct.DirectiveAvg[compliance.DisallowAll])
+	}
+
+	// Finding 2 (RQ2): SEO crawlers most respectful, headless browsers
+	// among the least.
+	best, _ := ct.MostCompliantCategory()
+	if best != "SEO Crawlers" {
+		t.Errorf("RQ2: most compliant = %s", best)
+	}
+	if ct.CategoryAvg["Headless Browsers"] > 0.3 {
+		t.Errorf("headless browsers suspiciously compliant: %.3f", ct.CategoryAvg["Headless Browsers"])
+	}
+
+	// Finding 3: spoofing exists and is a small minority of traffic.
+	findings := study.Suite().SpoofFindings()
+	if len(findings) == 0 {
+		t.Error("no spoofing findings")
+	}
+	for _, f := range findings {
+		if float64(f.SpoofedAccesses)/float64(f.Total) > 0.1 {
+			t.Errorf("%s: spoofed fraction %.3f implausibly high", f.Bot,
+				float64(f.SpoofedAccesses)/float64(f.Total))
+		}
+	}
+}
+
+func TestStudyDeterministicAcrossRuns(t *testing.T) {
+	render := func() string {
+		study, err := NewStudy(Options{Seed: 11, Scale: 0.04, Secret: []byte("det")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return study.Table3().String()
+	}
+	if render() != render() {
+		t.Error("identical options must produce identical artifacts")
+	}
+}
+
+func TestDatasetCSVRoundTripFacade(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 2, Scale: 0.02, Secret: []byte("csv")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := study.Dataset()
+	var buf bytes.Buffer
+	if err := WriteDatasetCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDatasetCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Errorf("round trip %d != %d records", back.Len(), d.Len())
+	}
+}
+
+func TestLiveCrawlFacade(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	logs, stats, err := LiveCrawl(ctx, LiveCrawlOptions{
+		Version:     robots.Version1,
+		Bots:        []string{"AhrefsBot"},
+		PagesPerBot: 3,
+		Sites:       1,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logs.Len() == 0 {
+		t.Fatal("no logs")
+	}
+	s := stats["AhrefsBot"]
+	if s.PagesFetched == 0 || s.RobotsFetches == 0 {
+		t.Errorf("AhrefsBot stats = %+v", s)
+	}
+}
+
+func TestWriteAllMentionsEveryArtifact(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 4, Scale: 0.02, Secret: []byte("all")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := study.WriteAll(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, artifact := range []string{"Table 2", "Table 5", "Table 10", "Figure 9", "Figure 10", "Figure 11"} {
+		if !strings.Contains(out, artifact) {
+			t.Errorf("WriteAll missing %s", artifact)
+		}
+	}
+}
