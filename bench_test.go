@@ -9,8 +9,11 @@
 package scraperlab
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/spoof"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/synth"
 	"repro/internal/weblog"
 )
@@ -380,6 +384,144 @@ func unweightedCategoryAverages(results map[compliance.Directive][]compliance.Re
 		out[c] = s / float64(counts[c])
 	}
 	return out
+}
+
+// ---- Streaming pipeline benches ----
+
+// benchStreamCSV builds the CSV bytes of an n-record synthetic access log
+// once per process, shared by the stream-vs-batch benches.
+func benchStreamCSV(b *testing.B, n int) []byte {
+	b.Helper()
+	uas := []string{
+		"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+		"Mozilla/5.0 AppleWebKit/537.36 (compatible; bingbot/2.0)",
+		"Mozilla/5.0 (compatible; GPTBot/1.2; +https://openai.com/gptbot)",
+		"Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)",
+		"python-requests/2.31.0",
+	}
+	asns := []string{"GOOGLE", "MICROSOFT-CORP", "OPENAI", "OVH"}
+	paths := []string{"/robots.txt", "/page-data/app.json", "/people/a", "/", "/news/x"}
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
+	for i := 0; i < n; i++ {
+		ua := uas[i%len(uas)]
+		d.Records = append(d.Records, weblog.Record{
+			UserAgent: ua,
+			Time:      base.Add(time.Duration(i) * time.Second),
+			IPHash:    fmt.Sprintf("h%03d", i%251),
+			ASN:       asns[i%len(asns)],
+			Site:      "www",
+			Path:      paths[i%len(paths)],
+			Status:    200,
+			Bytes:     int64(1000 + i%9000),
+		})
+	}
+	var buf strings.Builder
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		b.Fatal(err)
+	}
+	return []byte(buf.String())
+}
+
+// benchEnrich returns the matcher-backed enrichment both paths share.
+func benchEnrich() func(*weblog.Record) {
+	m := agent.NewMatcher(nil)
+	return func(r *weblog.Record) {
+		if bot, ok := m.Match(r.UserAgent); ok {
+			r.BotName = bot.Name
+			r.Category = bot.Category.String()
+		} else {
+			r.BotName = ""
+			r.Category = ""
+		}
+	}
+}
+
+// heapLive forces a GC and returns the live heap, for the retained-memory
+// comparison below.
+func heapLive() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// BenchmarkStreamVsBatch compares the batch path (materialize the whole
+// Dataset, then measure) against the streaming pipeline (decode
+// incrementally, shard, aggregate online) on identical CSV bytes. Both
+// report throughput over the same input; the retained-bytes metric is the
+// live heap held by each path's result — O(records) for the batch dataset,
+// O(shards + tuples) for the streaming aggregates — which is the
+// subsystem's reason to exist.
+func BenchmarkStreamVsBatch(b *testing.B) {
+	const records = 30_000
+	csvBytes := benchStreamCSV(b, records)
+	cfg := compliance.DefaultConfig()
+
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(int64(len(csvBytes)))
+		b.ReportAllocs()
+		enrich := benchEnrich()
+		var ds *weblog.Dataset
+		var sums [3]compliance.Summary
+		for i := 0; i < b.N; i++ {
+			d, err := weblog.ReadCSV(bytes.NewReader(csvBytes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pre := weblog.NewPreprocessor()
+			pre.Enrich = enrich
+			ds = pre.Run(d)
+			for j, dir := range compliance.Directives {
+				sums[j] = compliance.Summarize(ds, dir, cfg)
+			}
+		}
+		b.StopTimer()
+		holding := heapLive() // dataset + summaries live
+		runtime.KeepAlive(ds)
+		runtime.KeepAlive(sums)
+		released := heapLive() // result now collectable
+		b.ReportMetric(retained(holding, released), "retained-bytes")
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(int64(len(csvBytes)))
+		b.ReportAllocs()
+		enrich := benchEnrich()
+		var agg *stream.Aggregates
+		var sums [3]compliance.Summary
+		for i := 0; i < b.N; i++ {
+			pre := weblog.NewPreprocessor()
+			p := stream.NewPipeline(stream.Options{
+				Keep:       pre.Keep,
+				Enrich:     enrich,
+				Compliance: cfg,
+			})
+			a, err := p.Run(context.Background(), stream.NewCSVDecoder(bytes.NewReader(csvBytes)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg = a
+			for j, dir := range compliance.Directives {
+				sums[j] = agg.Summary(dir)
+			}
+		}
+		b.StopTimer()
+		holding := heapLive() // aggregates + summaries live
+		runtime.KeepAlive(agg)
+		runtime.KeepAlive(sums)
+		released := heapLive() // result now collectable
+		b.ReportMetric(retained(holding, released), "retained-bytes")
+	})
+}
+
+// retained is the live-heap delta attributable to a path's result, clamped
+// at zero against GC noise.
+func retained(holding, released uint64) float64 {
+	if holding <= released {
+		return 0
+	}
+	return float64(holding - released)
 }
 
 // ---- Core primitive benches ----

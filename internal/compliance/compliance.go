@@ -268,17 +268,58 @@ func (r *Result) Significant() bool {
 	return r.HasTest && r.Test.Significant(0.05)
 }
 
+// Summary is everything Compare needs from one dataset for one directive:
+// the per-bot compliance measurements plus the per-bot access counts,
+// robots.txt-check flags, and category labels. It can be produced either
+// by the batch Summarize below or incrementally by internal/stream's
+// online aggregators — both paths feed the identical CompareSummaries.
+type Summary struct {
+	// Measurements holds the per-bot compliance measurement for the
+	// directive the summary was built for.
+	Measurements map[string]Measurement
+	// Access tallies total accesses per bot (MinAccesses filtering).
+	Access map[string]int
+	// Checked reports per bot whether it fetched robots.txt at least once.
+	Checked map[string]bool
+	// Categories maps bot name to its Dark Visitors category display name.
+	Categories map[string]string
+}
+
+// Summarize computes the batch Summary of one dataset for one directive.
+func Summarize(d *weblog.Dataset, dir Directive, cfg Config) Summary {
+	return Summary{
+		Measurements: Measure(dir, d, cfg),
+		Access:       AccessCounts(d),
+		Checked:      CheckedRobots(d),
+		Categories:   CategoryOf(d),
+	}
+}
+
 // Compare analyzes one directive: it measures compliance in the baseline
 // and experimental datasets, filters per the config, and runs the z-test
 // per bot. Results are sorted by bot name.
 func Compare(baseline, experiment *weblog.Dataset, dir Directive, cfg Config) []Result {
-	base := Measure(dir, baseline, cfg)
-	exp := Measure(dir, experiment, cfg)
-	baseAccess := AccessCounts(baseline)
-	expAccess := AccessCounts(experiment)
-	checked := CheckedRobots(experiment)
-	categories := CategoryOf(experiment)
-	for bot, c := range CategoryOf(baseline) {
+	return CompareSummaries(
+		Summarize(baseline, dir, cfg),
+		Summarize(experiment, dir, cfg),
+		dir, cfg)
+}
+
+// CompareSummaries runs the per-bot baseline-vs-experiment comparison over
+// pre-computed summaries. This is the common back half of Compare, shared
+// with the streaming pipeline so that a shard-merged online Summary yields
+// results identical to the batch path by construction.
+func CompareSummaries(baseSum, expSum Summary, dir Directive, cfg Config) []Result {
+	base := baseSum.Measurements
+	exp := expSum.Measurements
+	baseAccess := baseSum.Access
+	expAccess := expSum.Access
+	checked := expSum.Checked
+	categories := make(map[string]string, len(expSum.Categories))
+	for bot, c := range expSum.Categories {
+		categories[bot] = c
+	}
+	for bot, c := range baseSum.Categories {
 		if categories[bot] == "" {
 			categories[bot] = c
 		}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/agent"
 	"repro/internal/botnet"
 	"repro/internal/checkfreq"
 	"repro/internal/compliance"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/robots"
 	"repro/internal/sitegen"
 	"repro/internal/spoof"
+	"repro/internal/stream"
 	"repro/internal/synth"
 	"repro/internal/weblog"
 	"repro/internal/webserver"
@@ -126,6 +128,80 @@ func AuditDataset(baseline, experiment *weblog.Dataset) map[compliance.Directive
 		robots.Version3: experiment,
 	}
 	return compliance.CompareAll(baseline, phases, cfg)
+}
+
+// StreamOptions configures StreamAnalyze.
+type StreamOptions struct {
+	// Format is the wire format: "csv", "jsonl", or "clf" (default "csv").
+	Format string
+	// Shards is the worker-pool width (0 = GOMAXPROCS).
+	Shards int
+	// MaxSkew bounds tolerated timestamp disorder (0 = the 2-minute
+	// stream.DefaultMaxSkew, negative = trust input order); see
+	// stream.Options.
+	MaxSkew time.Duration
+	// CLF supplies per-record options for the "clf" format (sitename, ASN
+	// lookup, anonymization).
+	CLF weblog.CLFOptions
+	// Compliance tunes the metrics; zero value = paper defaults.
+	Compliance compliance.Config
+	// Raw skips the default preprocessing (scanner-UA filtering and
+	// matcher-based bot enrichment) and aggregates records exactly as
+	// decoded — for inputs that are already enriched.
+	Raw bool
+}
+
+// StreamAnalyze ingests an access-log stream through the sharded online
+// pipeline and returns the merged compliance aggregates — identical to
+// the batch metrics whenever timestamp disorder stays within MaxSkew.
+// Unless opts.Raw is set it applies the same preprocessing the batch
+// Suite does: scanner user agents are dropped and bot names/categories
+// are recomputed from the raw UA with the fuzzy matcher. Memory stays
+// O(shards + tuples + skew window) no matter how long the stream runs,
+// so it can follow a live log indefinitely (wrap the file in a
+// stream.TailReader). On context cancellation the aggregates so far are
+// returned alongside ctx.Err().
+func StreamAnalyze(ctx context.Context, r io.Reader, opts StreamOptions) (*stream.Aggregates, error) {
+	dec, err := stream.NewDecoder(streamFormat(opts), r, opts.CLF)
+	if err != nil {
+		return nil, err
+	}
+	return StreamPipeline(opts).Run(ctx, dec)
+}
+
+// StreamPipeline builds the sharded pipeline StreamAnalyze runs, with the
+// default preprocessing wired in — for callers that need mid-run access
+// (live snapshots while tailing). Pair it with stream.NewDecoder using
+// the same options.
+func StreamPipeline(opts StreamOptions) *stream.Pipeline {
+	sOpts := stream.Options{
+		Shards:     opts.Shards,
+		MaxSkew:    opts.MaxSkew,
+		Compliance: opts.Compliance,
+	}
+	if !opts.Raw {
+		pre := weblog.NewPreprocessor()
+		matcher := agent.NewMatcher(nil)
+		sOpts.Keep = pre.Keep
+		sOpts.Enrich = func(rec *weblog.Record) {
+			if b, ok := matcher.Match(rec.UserAgent); ok {
+				rec.BotName = b.Name
+				rec.Category = b.Category.String()
+			} else {
+				rec.BotName = ""
+				rec.Category = ""
+			}
+		}
+	}
+	return stream.NewPipeline(sOpts)
+}
+
+// streamFormat resolves the configured wire format, defaulting to CSV.
+func streamFormat(opts StreamOptions) string {
+	if opts.Format == "" {
+		return "csv"
+	}
+	return opts.Format
 }
 
 // DetectSpoofing runs the §5.2 dominant-ASN heuristic over a dataset.

@@ -1,0 +1,330 @@
+package stream
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/weblog"
+)
+
+// delayKey identifies one crawl-delay accumulator: the paper pools
+// inter-access deltas per τ tuple, then aggregates tuples per bot.
+type delayKey struct {
+	bot   string
+	tuple weblog.Tuple
+}
+
+// delayState is the O(1) per-tuple crawl-delay state: instead of the batch
+// path's full timestamp list, only the running count, the latest timestamp,
+// and the delta tally survive. This is what turns O(records) memory into
+// O(tuples) — and it is also why out-of-order input must be repaired by
+// the pipeline's reorder buffer before reaching the aggregator.
+type delayState struct {
+	count     int
+	last      time.Time
+	successes int
+	trials    int
+}
+
+// catSeen tracks the first non-empty category label observed for a bot,
+// with the global ingest sequence number of the record that carried it so
+// the cross-shard merge can reproduce batch first-in-dataset-order
+// semantics deterministically.
+type catSeen struct {
+	seq uint64
+	val string
+}
+
+// shardAgg is the single-goroutine online state of one shard. Every map is
+// keyed by bot name except delays, which is keyed per (bot, τ tuple); a
+// tuple lives wholly inside one shard because the dispatcher partitions by
+// τ hash.
+type shardAgg struct {
+	threshold     time.Duration
+	allowedPrefix string
+
+	delays   map[delayKey]*delayState
+	endpoint map[string]compliance.Measurement
+	disallow map[string]compliance.Measurement
+	access   map[string]int
+	checked  map[string]bool
+	category map[string]catSeen
+
+	records uint64
+}
+
+func newShardAgg(cfg compliance.Config) *shardAgg {
+	return &shardAgg{
+		threshold:     cfg.DelayThreshold,
+		allowedPrefix: cfg.AllowedPrefix,
+		delays:        make(map[delayKey]*delayState),
+		endpoint:      make(map[string]compliance.Measurement),
+		disallow:      make(map[string]compliance.Measurement),
+		access:        make(map[string]int),
+		checked:       make(map[string]bool),
+		category:      make(map[string]catSeen),
+	}
+}
+
+// apply folds one record into the shard state. seq is the record's global
+// ingest sequence number. Records must arrive in per-tuple timestamp order
+// (the reorder buffer's job); anonymous records (no BotName) only count
+// toward the record total, mirroring every batch metric's skip rule.
+func (a *shardAgg) apply(r *weblog.Record, seq uint64) {
+	a.records++
+	if r.BotName == "" {
+		return
+	}
+
+	// Crawl delay: one delta per consecutive same-tuple access pair.
+	dk := delayKey{r.BotName, weblog.TupleOf(r)}
+	ds := a.delays[dk]
+	if ds == nil {
+		ds = &delayState{}
+		a.delays[dk] = ds
+	}
+	if ds.count > 0 {
+		ds.trials++
+		if r.Time.Sub(ds.last) >= a.threshold {
+			ds.successes++
+		}
+	}
+	ds.count++
+	ds.last = r.Time
+
+	// Order-independent per-bot counters.
+	robotsFetch := r.IsRobotsFetch()
+
+	em := a.endpoint[r.BotName]
+	em.Trials++
+	if robotsFetch || strings.HasPrefix(r.Path, a.allowedPrefix) {
+		em.Successes++
+	}
+	a.endpoint[r.BotName] = em
+
+	dm := a.disallow[r.BotName]
+	dm.Trials++
+	if robotsFetch {
+		dm.Successes++
+	}
+	a.disallow[r.BotName] = dm
+
+	a.access[r.BotName]++
+
+	if _, seen := a.checked[r.BotName]; !seen {
+		a.checked[r.BotName] = false
+	}
+	if robotsFetch {
+		a.checked[r.BotName] = true
+	}
+
+	// First non-empty category in global ingest order wins; ties cannot
+	// happen because seq is unique.
+	if r.Category != "" {
+		if cur, ok := a.category[r.BotName]; !ok || seq < cur.seq {
+			a.category[r.BotName] = catSeen{seq: seq, val: r.Category}
+		}
+	} else if _, ok := a.category[r.BotName]; !ok {
+		// Remember the bot exists so the merged Categories map has an
+		// entry (possibly empty), matching batch CategoryOf.
+		a.category[r.BotName] = catSeen{seq: ^uint64(0), val: ""}
+	}
+}
+
+// Aggregates is the merged, immutable snapshot of every shard: the online
+// equivalents of the batch compliance measurement maps, plus stream
+// counters. Produce one with Pipeline.Snapshot or Pipeline.Run.
+type Aggregates struct {
+	// CrawlDelay, Endpoint, and Disallow are the per-bot measurements for
+	// the three §4.2 metrics, identical to compliance.Measure output on
+	// the same records.
+	CrawlDelay map[string]compliance.Measurement
+	Endpoint   map[string]compliance.Measurement
+	Disallow   map[string]compliance.Measurement
+	// Access tallies total accesses per bot.
+	Access map[string]int
+	// Checked reports per bot whether it ever fetched robots.txt.
+	Checked map[string]bool
+	// Categories maps bot name to the first non-empty category label seen
+	// in ingest order (batch CategoryOf semantics).
+	Categories map[string]string
+
+	// Records counts all records aggregated, anonymous ones included.
+	Records uint64
+	// Tuples counts distinct (bot, τ tuple) crawl-delay states — the
+	// dominant term of the pipeline's live memory.
+	Tuples int
+	// Shards is the worker-pool width that produced this snapshot.
+	Shards int
+}
+
+// mergeShards folds per-shard state into one Aggregates. The merge is
+// deterministic regardless of shard count or goroutine scheduling: every
+// per-bot operation is commutative (sums, OR) and the category label is
+// chosen by minimal global sequence number, not arrival order.
+func mergeShards(shards []*shardAgg) *Aggregates {
+	out := &Aggregates{
+		CrawlDelay: make(map[string]compliance.Measurement),
+		Endpoint:   make(map[string]compliance.Measurement),
+		Disallow:   make(map[string]compliance.Measurement),
+		Access:     make(map[string]int),
+		Checked:    make(map[string]bool),
+		Categories: make(map[string]string),
+		Shards:     len(shards),
+	}
+	cats := make(map[string]catSeen)
+	for _, s := range shards {
+		out.Records += s.records
+		out.Tuples += len(s.delays)
+		for k, ds := range s.delays {
+			m := out.CrawlDelay[k.bot]
+			if ds.count == 1 {
+				// Single-access tuples count as one compliant trial (§4.2).
+				m.Successes++
+				m.Trials++
+			} else {
+				m.Successes += ds.successes
+				m.Trials += ds.trials
+			}
+			out.CrawlDelay[k.bot] = m
+		}
+		for bot, m := range s.endpoint {
+			agg := out.Endpoint[bot]
+			agg.Successes += m.Successes
+			agg.Trials += m.Trials
+			out.Endpoint[bot] = agg
+		}
+		for bot, m := range s.disallow {
+			agg := out.Disallow[bot]
+			agg.Successes += m.Successes
+			agg.Trials += m.Trials
+			out.Disallow[bot] = agg
+		}
+		for bot, n := range s.access {
+			out.Access[bot] += n
+		}
+		for bot, c := range s.checked {
+			out.Checked[bot] = out.Checked[bot] || c
+		}
+		for bot, c := range s.category {
+			if cur, ok := cats[bot]; !ok || c.seq < cur.seq {
+				cats[bot] = c
+			}
+		}
+	}
+	for bot, c := range cats {
+		out.Categories[bot] = c.val
+	}
+	return out
+}
+
+// Measurements returns the per-bot measurement map for one directive,
+// matching compliance.Measure on the same records.
+func (a *Aggregates) Measurements(dir compliance.Directive) map[string]compliance.Measurement {
+	switch dir {
+	case compliance.CrawlDelay:
+		return a.CrawlDelay
+	case compliance.Endpoint:
+		return a.Endpoint
+	default:
+		return a.Disallow
+	}
+}
+
+// Summary adapts the snapshot to the compliance package's Summary form for
+// one directive, ready for compliance.CompareSummaries against a baseline.
+func (a *Aggregates) Summary(dir compliance.Directive) compliance.Summary {
+	return compliance.Summary{
+		Measurements: a.Measurements(dir),
+		Access:       a.Access,
+		Checked:      a.Checked,
+		Categories:   a.Categories,
+	}
+}
+
+// BotSnapshot is one bot's row of a live compliance report.
+type BotSnapshot struct {
+	Bot      string
+	Category string
+	Access   int
+	Checked  bool
+	// CrawlDelay, Endpoint, Disallow are the three §4.2 measurements.
+	CrawlDelay compliance.Measurement
+	Endpoint   compliance.Measurement
+	Disallow   compliance.Measurement
+}
+
+// Bots flattens the snapshot into per-bot rows sorted by bot name.
+func (a *Aggregates) Bots() []BotSnapshot {
+	out := make([]BotSnapshot, 0, len(a.Access))
+	for bot, n := range a.Access {
+		out = append(out, BotSnapshot{
+			Bot:        bot,
+			Category:   a.Categories[bot],
+			Access:     n,
+			Checked:    a.Checked[bot],
+			CrawlDelay: a.CrawlDelay[bot],
+			Endpoint:   a.Endpoint[bot],
+			Disallow:   a.Disallow[bot],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bot < out[j].Bot })
+	return out
+}
+
+// CategorySnapshot is the access-weighted rollup of one bot category, the
+// streaming analogue of a Table 5 row over a single (un-phased) stream.
+type CategorySnapshot struct {
+	Category string
+	Bots     int
+	Access   int
+	// CrawlDelay, Endpoint, Disallow are access-weighted mean compliance
+	// ratios across the category's bots.
+	CrawlDelay float64
+	Endpoint   float64
+	Disallow   float64
+}
+
+// CategoryRollup rolls bots up by category label (empty labels group under
+// "Other", as Table 5 does), sorted by category name.
+func (a *Aggregates) CategoryRollup() []CategorySnapshot {
+	type acc struct {
+		bots                     int
+		access                   int
+		weight                   float64
+		delaySum, endSum, disSum float64
+	}
+	accs := make(map[string]*acc)
+	for _, b := range a.Bots() {
+		cat := b.Category
+		if cat == "" {
+			cat = "Other"
+		}
+		c := accs[cat]
+		if c == nil {
+			c = &acc{}
+			accs[cat] = c
+		}
+		c.bots++
+		c.access += b.Access
+		w := float64(b.Access)
+		c.weight += w
+		c.delaySum += w * b.CrawlDelay.Ratio()
+		c.endSum += w * b.Endpoint.Ratio()
+		c.disSum += w * b.Disallow.Ratio()
+	}
+	out := make([]CategorySnapshot, 0, len(accs))
+	for cat, c := range accs {
+		cs := CategorySnapshot{Category: cat, Bots: c.bots, Access: c.access}
+		if c.weight > 0 {
+			cs.CrawlDelay = c.delaySum / c.weight
+			cs.Endpoint = c.endSum / c.weight
+			cs.Disallow = c.disSum / c.weight
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Category < out[j].Category })
+	return out
+}

@@ -1,0 +1,226 @@
+// Package stream is the streaming front-end of the compliance pipeline:
+// it ingests access logs as an unbounded record stream instead of a fully
+// materialized weblog.Dataset, shards the stream by the paper's τ =
+// (ASN, IP hash, user agent) tuple across a worker pool, runs enrichment
+// in parallel with backpressure, and folds every record into online
+// aggregators whose deterministic shard merge reproduces the batch
+// compliance metrics exactly while holding O(shards + tuples) state
+// instead of O(records).
+//
+// The subsystem has four parts, one per file:
+//
+//   - decode.go: incremental decoders for the three wire formats (CSV,
+//     JSONL, CLF) built on the same exported row primitives the batch
+//     readers in internal/weblog use, so parse semantics are shared;
+//   - pipeline.go: the sharded worker pool with τ-hash partitioning, a
+//     per-shard watermark reorder buffer for bounded timestamp skew, and
+//     bounded channels for backpressure;
+//   - aggregate.go: the per-shard online metric state and the
+//     deterministic merge into compliance.Summary values;
+//   - tail.go: a polling reader that follows a growing log file.
+//
+// See DESIGN.md ("internal/stream") for the shard-merge invariant.
+package stream
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/weblog"
+)
+
+// Decoder yields records one at a time. Next returns io.EOF after the last
+// record; any other error is a malformed input the caller may treat as
+// fatal. Decoders are not safe for concurrent use.
+type Decoder interface {
+	Next() (weblog.Record, error)
+}
+
+// Formats lists the wire formats NewDecoder accepts.
+var Formats = []string{"csv", "jsonl", "clf"}
+
+// NewDecoder builds a decoder for the named format ("csv", "jsonl",
+// "clf"). The CLF options are consulted only for the CLF format.
+func NewDecoder(format string, r io.Reader, clf weblog.CLFOptions) (Decoder, error) {
+	switch format {
+	case "csv":
+		return NewCSVDecoder(r), nil
+	case "jsonl":
+		return NewJSONLDecoder(r), nil
+	case "clf":
+		return NewCLFDecoder(r, clf), nil
+	default:
+		return nil, fmt.Errorf("stream: unknown format %q (want csv, jsonl, or clf)", format)
+	}
+}
+
+// CSVDecoder incrementally decodes the study's CSV schema (the format
+// weblog.WriteCSV emits). The header row is read lazily on the first Next.
+type CSVDecoder struct {
+	cr     *csv.Reader
+	schema weblog.CSVSchema
+	line   int
+	err    error
+}
+
+// NewCSVDecoder returns a decoder over r.
+func NewCSVDecoder(r io.Reader) *CSVDecoder {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows, as ReadCSV does
+	cr.ReuseRecord = true   // rows are decoded immediately, never retained
+	return &CSVDecoder{cr: cr}
+}
+
+// Next returns the next record, or io.EOF at end of input. A decode error
+// is sticky: every subsequent call returns it again.
+func (d *CSVDecoder) Next() (weblog.Record, error) {
+	if d.err != nil {
+		return weblog.Record{}, d.err
+	}
+	if d.line == 0 { // read header lazily
+		header, err := d.cr.Read()
+		if err != nil {
+			if err == io.EOF {
+				d.err = io.EOF
+			} else {
+				d.err = fmt.Errorf("stream: reading CSV header: %w", err)
+			}
+			return weblog.Record{}, d.err
+		}
+		d.schema = weblog.ParseCSVHeader(header)
+		d.line = 1
+	}
+	d.line++
+	row, err := d.cr.Read()
+	if err != nil {
+		if err == io.EOF {
+			d.err = io.EOF
+		} else {
+			d.err = fmt.Errorf("stream: reading CSV line %d: %w", d.line, err)
+		}
+		return weblog.Record{}, d.err
+	}
+	rec, err := d.schema.DecodeRow(row)
+	if err != nil {
+		d.err = fmt.Errorf("stream: CSV line %d: %w", d.line, err)
+		return weblog.Record{}, d.err
+	}
+	return rec, nil
+}
+
+// JSONLDecoder incrementally decodes one JSON object per line (the format
+// weblog.WriteJSONL emits). Blank lines are skipped.
+type JSONLDecoder struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewJSONLDecoder returns a decoder over r.
+func NewJSONLDecoder(r io.Reader) *JSONLDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	return &JSONLDecoder{sc: sc}
+}
+
+// Next returns the next record, or io.EOF at end of input.
+func (d *JSONLDecoder) Next() (weblog.Record, error) {
+	if d.err != nil {
+		return weblog.Record{}, d.err
+	}
+	for d.sc.Scan() {
+		d.line++
+		b := d.sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		rec, err := weblog.ParseJSONLLine(b)
+		if err != nil {
+			d.err = fmt.Errorf("stream: JSONL line %d: %w", d.line, err)
+			return weblog.Record{}, d.err
+		}
+		return rec, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		d.err = fmt.Errorf("stream: scanning JSONL: %w", err)
+	} else {
+		d.err = io.EOF
+	}
+	return weblog.Record{}, d.err
+}
+
+// CLFDecoder incrementally decodes Common/Combined Log Format lines. Like
+// weblog.ReadCLF, malformed lines are skipped and counted unless
+// opts.Strict is set, in which case they are fatal.
+type CLFDecoder struct {
+	sc   *bufio.Scanner
+	opts weblog.CLFOptions
+	line int
+	err  error
+
+	// Skipped counts malformed lines dropped so far (non-strict mode).
+	Skipped int
+}
+
+// NewCLFDecoder returns a decoder over r with the given per-record options.
+func NewCLFDecoder(r io.Reader, opts weblog.CLFOptions) *CLFDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &CLFDecoder{sc: sc, opts: opts}
+}
+
+// Next returns the next well-formed record, or io.EOF at end of input.
+func (d *CLFDecoder) Next() (weblog.Record, error) {
+	if d.err != nil {
+		return weblog.Record{}, d.err
+	}
+	for d.sc.Scan() {
+		d.line++
+		line := strings.TrimSpace(d.sc.Text())
+		if line == "" {
+			continue
+		}
+		rec, err := weblog.ParseCLFLine(line)
+		if err != nil {
+			if d.opts.Strict {
+				d.err = fmt.Errorf("stream: CLF line %d: %w", d.line, err)
+				return weblog.Record{}, d.err
+			}
+			d.Skipped++
+			continue
+		}
+		d.opts.Decorate(&rec)
+		return rec, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		d.err = fmt.Errorf("stream: scanning CLF: %w", err)
+	} else {
+		d.err = io.EOF
+	}
+	return weblog.Record{}, d.err
+}
+
+// DatasetDecoder replays an in-memory dataset as a stream, mainly for
+// tests and for feeding live-crawl output through the online aggregators.
+type DatasetDecoder struct {
+	d *weblog.Dataset
+	i int
+}
+
+// NewDatasetDecoder returns a decoder replaying d in slice order.
+func NewDatasetDecoder(d *weblog.Dataset) *DatasetDecoder {
+	return &DatasetDecoder{d: d}
+}
+
+// Next returns the next record, or io.EOF past the end.
+func (d *DatasetDecoder) Next() (weblog.Record, error) {
+	if d.i >= len(d.d.Records) {
+		return weblog.Record{}, io.EOF
+	}
+	rec := d.d.Records[d.i]
+	d.i++
+	return rec, nil
+}

@@ -1,0 +1,317 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/weblog"
+)
+
+// botPool is the fixed cast of the synthetic stream: raw UA strings with
+// the standardized name/category enrichment would assign them. Anonymous
+// and scanner agents have empty names; the scanner is dropped by the
+// preprocessor in both paths.
+var botPool = []struct {
+	ua, name, cat string
+}{
+	{"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)", "Googlebot", "Search Engine Crawlers"},
+	{"Mozilla/5.0 AppleWebKit/537.36 (compatible; bingbot/2.0)", "Bingbot", "Search Engine Crawlers"},
+	{"Mozilla/5.0 (compatible; GPTBot/1.2; +https://openai.com/gptbot)", "GPTBot", "AI Data Scrapers"},
+	{"Mozilla/5.0 (compatible; ClaudeBot/1.0)", "ClaudeBot", "AI Data Scrapers"},
+	{"Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)", "AhrefsBot", "SEO Crawlers"},
+	{"Mozilla/5.0 (compatible; SemrushBot/7~bl)", "SemrushBot", "SEO Crawlers"},
+	{"facebookexternalhit/1.1", "FacebookBot", "Social Media Crawlers"},
+	{"python-requests/2.31.0", "", ""},
+	{"Mozilla/5.0 (Windows NT 10.0) Chrome/120.0 Safari/537.36", "", ""},
+	{"Mozilla/5.0 nuclei/3.0 scanner", "", ""}, // dropped by scanner filter
+}
+
+var asnPool = []string{"GOOGLE", "MICROSOFT-CORP", "AMAZON-02", "OPENAI", "COMCAST", "OVH", "HETZNER"}
+
+var pathPool = []string{
+	"/robots.txt", "/page-data/app.json", "/page-data/page/index.json",
+	"/people/alice", "/dining/menu", "/", "/news/2025/03", "/robots.txt?x=1",
+}
+
+// poolEnrich returns an enrichment func implementing the botPool mapping
+// via O(1) lookup; it is deterministic, concurrency-safe, and — because
+// BOTH the batch and streaming paths use it — keeps parity tests about the
+// pipelines rather than matcher performance.
+func poolEnrich() func(*weblog.Record) {
+	byUA := make(map[string]struct{ name, cat string }, len(botPool))
+	for _, b := range botPool {
+		byUA[b.ua] = struct{ name, cat string }{b.name, b.cat}
+	}
+	return func(r *weblog.Record) {
+		e := byUA[r.UserAgent]
+		r.BotName = e.name
+		r.Category = e.cat
+	}
+}
+
+// makeSynthetic builds n records across a few thousand τ tuples with
+// whole-second timestamps (so CSV's RFC 3339 round-trip is lossless).
+// jitter > 0 displaces each record's timestamp by up to ±jitter while
+// keeping slice order, producing bounded out-of-order input.
+func makeSynthetic(n int, seed int64, jitter time.Duration) *weblog.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	enrich := poolEnrich()
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	nTuples := n / 50
+	if nTuples < 8 {
+		nTuples = 8
+	}
+	type tupleID struct {
+		ua, ip, asn string
+	}
+	tuples := make([]tupleID, nTuples)
+	for i := range tuples {
+		b := botPool[rng.Intn(len(botPool))]
+		tuples[i] = tupleID{
+			ua:  b.ua,
+			ip:  fmt.Sprintf("h%05x", rng.Intn(1<<20)),
+			asn: asnPool[rng.Intn(len(asnPool))],
+		}
+	}
+	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
+	jitterSec := int(jitter / time.Second)
+	for i := 0; i < n; i++ {
+		tp := tuples[rng.Intn(nTuples)]
+		ts := base.Add(time.Duration(i) * time.Second)
+		if jitterSec > 0 {
+			ts = ts.Add(time.Duration(rng.Intn(2*jitterSec+1)-jitterSec) * time.Second)
+		}
+		rec := weblog.Record{
+			UserAgent: tp.ua,
+			Time:      ts,
+			IPHash:    tp.ip,
+			ASN:       tp.asn,
+			Site:      "www",
+			Path:      pathPool[rng.Intn(len(pathPool))],
+			Status:    200,
+			Bytes:     int64(rng.Intn(50_000)),
+		}
+		// Pre-enrich so fixtures also serve pipelines with no Enrich hook.
+		enrich(&rec)
+		d.Records = append(d.Records, rec)
+	}
+	return d
+}
+
+// batchSummaries runs the full batch path: preprocess + enrich, then the
+// compliance package's per-directive summaries.
+func batchSummaries(d *weblog.Dataset, cfg compliance.Config) map[compliance.Directive]compliance.Summary {
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	pre.Enrich = func(r *weblog.Record) { enrich(r) }
+	enriched := pre.Run(d)
+	out := make(map[compliance.Directive]compliance.Summary)
+	for _, dir := range compliance.Directives {
+		out[dir] = compliance.Summarize(enriched, dir, cfg)
+	}
+	return out
+}
+
+// streamSummaries runs the streaming path over encoded bytes with the same
+// preprocessing, returning per-directive summaries from the merged shards.
+func streamSummaries(t *testing.T, encoded []byte, format string, shards int, skew time.Duration, cfg compliance.Config) map[compliance.Directive]compliance.Summary {
+	t.Helper()
+	dec, err := NewDecoder(format, bytes.NewReader(encoded), weblog.CLFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	p := NewPipeline(Options{
+		Shards:     shards,
+		MaxSkew:    skew,
+		Keep:       pre.Keep,
+		Enrich:     func(r *weblog.Record) { enrich(r) },
+		Compliance: cfg,
+	})
+	agg, err := p.Run(context.Background(), dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[compliance.Directive]compliance.Summary)
+	for _, dir := range compliance.Directives {
+		out[dir] = agg.Summary(dir)
+	}
+	return out
+}
+
+// assertSummariesEqual requires map-identical summaries per directive.
+func assertSummariesEqual(t *testing.T, want, got map[compliance.Directive]compliance.Summary, label string) {
+	t.Helper()
+	for _, dir := range compliance.Directives {
+		w, g := want[dir], got[dir]
+		if !reflect.DeepEqual(w.Measurements, g.Measurements) {
+			t.Fatalf("%s: %v measurements diverged\nbatch:  %v\nstream: %v", label, dir, w.Measurements, g.Measurements)
+		}
+		if !reflect.DeepEqual(w.Access, g.Access) {
+			t.Fatalf("%s: %v access counts diverged", label, dir)
+		}
+		if !reflect.DeepEqual(w.Checked, g.Checked) {
+			t.Fatalf("%s: %v checked flags diverged", label, dir)
+		}
+		if !reflect.DeepEqual(w.Categories, g.Categories) {
+			t.Fatalf("%s: %v categories diverged\nbatch:  %v\nstream: %v", label, dir, w.Categories, g.Categories)
+		}
+	}
+}
+
+// parityN is the acceptance-scale record count; short mode trims it for
+// fast local iteration.
+func parityN(t *testing.T) int {
+	if testing.Short() {
+		return 10_000
+	}
+	return 100_000
+}
+
+// TestStreamBatchParityCSV is the headline acceptance test: a ≥100k-record
+// synthetic dataset round-tripped through WriteCSV, ingested by the
+// streaming pipeline across several shard counts, must produce summaries
+// identical to the batch compliance package on the same bytes.
+func TestStreamBatchParityCSV(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	d := makeSynthetic(parityN(t), 11, 0)
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := weblog.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchSummaries(decoded, cfg)
+	for _, shards := range []int{1, 4, 7} {
+		got := streamSummaries(t, buf.Bytes(), "csv", shards, 0, cfg)
+		assertSummariesEqual(t, want, got, fmt.Sprintf("csv shards=%d", shards))
+	}
+}
+
+// TestStreamBatchParityJSONL repeats the parity check over the JSONL wire
+// format.
+func TestStreamBatchParityJSONL(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	d := makeSynthetic(parityN(t)/4, 12, 0)
+	var buf bytes.Buffer
+	if err := weblog.WriteJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := weblog.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchSummaries(decoded, cfg)
+	got := streamSummaries(t, buf.Bytes(), "jsonl", 5, 0, cfg)
+	assertSummariesEqual(t, want, got, "jsonl")
+}
+
+// TestStreamBatchParityOutOfOrder jitters timestamps by up to ±45s while
+// keeping write order, then streams with a 2-minute skew window. The batch
+// path is insensitive to order (it sorts per tuple), so equality proves
+// the watermark reorder buffer fully repairs bounded disorder.
+func TestStreamBatchParityOutOfOrder(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	d := makeSynthetic(parityN(t)/4, 13, 45*time.Second)
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := weblog.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchSummaries(decoded, cfg)
+	got := streamSummaries(t, buf.Bytes(), "csv", 6, 2*time.Minute, cfg)
+	assertSummariesEqual(t, want, got, "out-of-order csv")
+}
+
+// TestStreamBatchParityRaggedRows streams a CSV whose rows are ragged
+// (trailing columns missing) and compares against the batch reader path.
+func TestStreamBatchParityRaggedRows(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	d := makeSynthetic(2000, 14, 0)
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the enrichment columns from every other data row: the
+	// schema treats missing cells as zero values in both paths.
+	lines := bytes.Split(buf.Bytes(), []byte("\n"))
+	for i := 1; i < len(lines); i += 2 {
+		cells := bytes.Split(lines[i], []byte(","))
+		if len(cells) > 9 {
+			lines[i] = bytes.Join(cells[:9], []byte(","))
+		}
+	}
+	ragged := bytes.Join(lines, []byte("\n"))
+
+	decoded, err := weblog.ReadCSV(bytes.NewReader(ragged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchSummaries(decoded, cfg)
+	got := streamSummaries(t, ragged, "csv", 4, 0, cfg)
+	assertSummariesEqual(t, want, got, "ragged csv")
+}
+
+// TestStreamCompareParity proves end-to-end result identity: feeding a
+// baseline and an experimental stream through online aggregators and
+// CompareSummaries yields the exact []Result the batch Compare produces,
+// z-tests and all.
+func TestStreamCompareParity(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	baseline := makeSynthetic(parityN(t)/4, 15, 0)
+	experiment := makeSynthetic(parityN(t)/4, 16, 0)
+
+	enrichedBase := enrichBatch(baseline)
+	enrichedExp := enrichBatch(experiment)
+
+	for _, dir := range compliance.Directives {
+		want := compliance.Compare(enrichedBase, enrichedExp, dir, cfg)
+
+		baseAgg := runPipeline(t, baseline, 5, cfg)
+		expAgg := runPipeline(t, experiment, 3, cfg)
+		got := compliance.CompareSummaries(baseAgg.Summary(dir), expAgg.Summary(dir), dir, cfg)
+
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%v: streaming Compare diverged from batch\nbatch:  %+v\nstream: %+v", dir, want, got)
+		}
+	}
+}
+
+// enrichBatch applies the default preprocessing + pool enrichment.
+func enrichBatch(d *weblog.Dataset) *weblog.Dataset {
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	pre.Enrich = func(r *weblog.Record) { enrich(r) }
+	return pre.Run(d)
+}
+
+// runPipeline streams a dataset through a fresh pipeline with the default
+// preprocessing and returns the merged aggregates.
+func runPipeline(t *testing.T, d *weblog.Dataset, shards int, cfg compliance.Config) *Aggregates {
+	t.Helper()
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	p := NewPipeline(Options{
+		Shards:     shards,
+		Keep:       pre.Keep,
+		Enrich:     func(r *weblog.Record) { enrich(r) },
+		Compliance: cfg,
+	})
+	agg, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}

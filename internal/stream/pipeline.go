@@ -1,0 +1,273 @@
+package stream
+
+import (
+	"container/heap"
+	"context"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/weblog"
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	// Shards is the worker-pool width. Zero means GOMAXPROCS. The shard
+	// count never changes results: the merge is deterministic (see
+	// DESIGN.md, "shard-merge invariant").
+	Shards int
+	// Buffer is the per-shard channel depth; the dispatcher blocks when a
+	// shard's channel is full, which is the pipeline's backpressure. Zero
+	// means 256.
+	Buffer int
+	// MaxSkew bounds tolerated timestamp disorder. Each shard holds back
+	// records in a reorder buffer until the shard's high-water timestamp
+	// passes record time + MaxSkew, then releases them in time order, so
+	// any input whose records are at most MaxSkew out of order aggregates
+	// exactly like fully sorted input. Zero means DefaultMaxSkew; a
+	// negative value disables reordering entirely (the input is trusted
+	// to be per-tuple time-ordered and records apply immediately).
+	MaxSkew time.Duration
+	// Keep, if non-nil, filters records before sharding (dropped records
+	// count in DroppedRecords). It runs on the dispatcher goroutine, so an
+	// unsynchronized weblog.Preprocessor.Keep is safe here.
+	Keep func(*weblog.Record) bool
+	// Enrich, if non-nil, runs on the shard workers in parallel, filling
+	// BotName/Category the way the batch Preprocessor does. It must be
+	// safe for concurrent use (agent.Matcher is).
+	Enrich func(*weblog.Record)
+	// Compliance tunes the online metrics; the zero value means
+	// compliance.DefaultConfig().
+	Compliance compliance.Config
+}
+
+// DefaultMaxSkew is the reorder window used when Options.MaxSkew is zero:
+// wide enough for the seconds-level interleaving of merged multi-frontend
+// logs, narrow enough to hold back only minutes of traffic.
+const DefaultMaxSkew = 2 * time.Minute
+
+// seqRec is a record stamped with its global ingest sequence number.
+type seqRec struct {
+	rec weblog.Record
+	seq uint64
+}
+
+// recHeap orders buffered records by (time, sequence): a min-heap used as
+// each shard's reorder buffer.
+type recHeap []seqRec
+
+func (h recHeap) Len() int { return len(h) }
+func (h recHeap) Less(i, j int) bool {
+	if !h[i].rec.Time.Equal(h[j].rec.Time) {
+		return h[i].rec.Time.Before(h[j].rec.Time)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h recHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *recHeap) Push(x any)        { *h = append(*h, x.(seqRec)) }
+func (h *recHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// shardWorker owns one shard: a channel feeding a single goroutine that
+// enriches, reorders within the skew window, and folds into the shard's
+// online aggregator. mu guards buf/agg so live snapshots can read them
+// mid-run.
+type shardWorker struct {
+	ch      chan seqRec
+	mu      sync.Mutex
+	buf     recHeap
+	maxSeen time.Time
+	agg     *shardAgg
+}
+
+// Pipeline is the sharded streaming analyzer. Build with NewPipeline, then
+// either call Run with a Decoder, or Ingest records by hand and Close.
+// Snapshot may be called at any time; after Close it is final and
+// deterministic.
+type Pipeline struct {
+	opts    Options
+	cfg     compliance.Config
+	shards  []*shardWorker
+	wg      sync.WaitGroup
+	seq     uint64
+	dropped atomic.Uint64
+	closed  bool
+}
+
+// NewPipeline builds and starts a pipeline; its workers idle until records
+// arrive.
+func NewPipeline(opts Options) *Pipeline {
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 256
+	}
+	if opts.MaxSkew == 0 {
+		opts.MaxSkew = DefaultMaxSkew
+	}
+	cfg := opts.Compliance
+	if cfg == (compliance.Config{}) {
+		cfg = compliance.DefaultConfig()
+	}
+	p := &Pipeline{opts: opts, cfg: cfg}
+	p.shards = make([]*shardWorker, opts.Shards)
+	for i := range p.shards {
+		s := &shardWorker{
+			ch:  make(chan seqRec, opts.Buffer),
+			agg: newShardAgg(cfg),
+		}
+		p.shards[i] = s
+		p.wg.Add(1)
+		go p.work(s)
+	}
+	return p
+}
+
+// work is one shard's goroutine: enrich in parallel, then buffer/apply
+// under the shard lock.
+func (p *Pipeline) work(s *shardWorker) {
+	defer p.wg.Done()
+	skew := p.opts.MaxSkew
+	for sr := range s.ch {
+		if p.opts.Enrich != nil {
+			p.opts.Enrich(&sr.rec)
+		}
+		s.mu.Lock()
+		if sr.rec.Time.After(s.maxSeen) {
+			s.maxSeen = sr.rec.Time
+		}
+		if skew <= 0 {
+			s.agg.apply(&sr.rec, sr.seq)
+		} else {
+			heap.Push(&s.buf, sr)
+			watermark := s.maxSeen.Add(-skew)
+			for len(s.buf) > 0 && !s.buf[0].rec.Time.After(watermark) {
+				rel := heap.Pop(&s.buf).(seqRec)
+				s.agg.apply(&rel.rec, rel.seq)
+			}
+		}
+		s.mu.Unlock()
+	}
+	// Channel closed: flush the reorder buffer in time order.
+	s.mu.Lock()
+	for len(s.buf) > 0 {
+		rel := heap.Pop(&s.buf).(seqRec)
+		s.agg.apply(&rel.rec, rel.seq)
+	}
+	s.mu.Unlock()
+}
+
+// shardOf partitions by τ = (ASN, IP hash, user agent) hash, so one
+// requesting entity's records always meet the same single-goroutine
+// aggregator in order.
+func (p *Pipeline) shardOf(r *weblog.Record) int {
+	h := fnv.New64a()
+	io.WriteString(h, r.ASN)
+	h.Write([]byte{0})
+	io.WriteString(h, r.IPHash)
+	h.Write([]byte{0})
+	io.WriteString(h, r.UserAgent)
+	return int(h.Sum64() % uint64(len(p.shards)))
+}
+
+// Ingest routes one record to its shard, blocking for backpressure when
+// the shard is behind. It must be called from a single goroutine (the
+// dispatcher), and not after Close.
+func (p *Pipeline) Ingest(ctx context.Context, rec weblog.Record) error {
+	if p.opts.Keep != nil && !p.opts.Keep(&rec) {
+		p.dropped.Add(1)
+		return nil
+	}
+	p.seq++
+	sr := seqRec{rec: rec, seq: p.seq}
+	s := p.shards[p.shardOf(&rec)]
+	if ctx == nil {
+		s.ch <- sr
+		return nil
+	}
+	select {
+	case s.ch <- sr:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops ingestion, waits for every shard to drain its channel and
+// reorder buffer, and makes subsequent Snapshots final. Close is
+// idempotent.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, s := range p.shards {
+		close(s.ch)
+	}
+	p.wg.Wait()
+}
+
+// DroppedRecords reports how many records the Keep filter rejected.
+func (p *Pipeline) DroppedRecords() uint64 { return p.dropped.Load() }
+
+// Snapshot merges all shard states into one Aggregates. After Close the
+// snapshot is complete and deterministic — independent of shard count and
+// scheduling. Mid-run it is a live monotone approximation: all shard locks
+// are held during the merge, but records still in flight (channels,
+// reorder buffers) are not yet included.
+func (p *Pipeline) Snapshot() *Aggregates {
+	aggs := make([]*shardAgg, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		aggs[i] = s.agg
+	}
+	out := mergeShards(aggs)
+	for _, s := range p.shards {
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Run ingests every record dec yields, closes the pipeline, and returns
+// the final snapshot. On a decode error or context cancellation it still
+// drains and returns the snapshot of everything ingested so far alongside
+// the error, so a tailing run interrupted by ctx keeps its results.
+func (p *Pipeline) Run(ctx context.Context, dec Decoder) (*Aggregates, error) {
+	var runErr error
+	for {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
+		}
+		rec, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			runErr = err // decoders already carry the "stream:" prefix
+			break
+		}
+		if err := p.Ingest(ctx, rec); err != nil {
+			runErr = err
+			break
+		}
+	}
+	p.Close()
+	return p.Snapshot(), runErr
+}

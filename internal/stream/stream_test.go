@@ -1,0 +1,317 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+// drain collects every record a decoder yields.
+func drain(t *testing.T, dec Decoder) []weblog.Record {
+	t.Helper()
+	var out []weblog.Record
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// sampleDataset builds a small hand-written dataset covering enriched and
+// anonymous records, robots fetches, and empty optional fields.
+func sampleDataset() *weblog.Dataset {
+	t0 := time.Date(2025, 3, 1, 12, 0, 0, 0, time.UTC)
+	return &weblog.Dataset{Records: []weblog.Record{
+		{UserAgent: "Mozilla/5.0 (compatible; Googlebot/2.1)", Time: t0,
+			IPHash: "h1", ASN: "GOOGLE", Site: "www", Path: "/robots.txt",
+			Status: 200, Bytes: 120, BotName: "Googlebot", Category: "Search Engine Crawlers"},
+		{UserAgent: "Mozilla/5.0 (compatible; Googlebot/2.1)", Time: t0.Add(45 * time.Second),
+			IPHash: "h1", ASN: "GOOGLE", Site: "www", Path: "/page-data/a.json",
+			Status: 200, Bytes: 900, Referer: "https://x/", BotName: "Googlebot", Category: "Search Engine Crawlers"},
+		{UserAgent: "curl/8.0", Time: t0.Add(50 * time.Second),
+			IPHash: "h2", ASN: "COMCAST", Site: "people", Path: "/people/alice",
+			Status: 404, Bytes: 0},
+	}}
+}
+
+func TestCSVDecoderMatchesBatchReader(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := weblog.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := drain(t, NewCSVDecoder(bytes.NewReader(buf.Bytes())))
+	if !reflect.DeepEqual(batch.Records, streamed) {
+		t.Fatalf("stream CSV decode diverged from batch:\nbatch: %+v\nstream: %+v", batch.Records, streamed)
+	}
+}
+
+func TestCSVDecoderRaggedRows(t *testing.T) {
+	// Rows missing trailing columns must decode like the batch reader:
+	// absent cells become zero values.
+	raw := "useragent,timestamp,ip_hash,asn,sitename,uri_path,status,bytes,referer,bot_name,bot_category\n" +
+		"ua1,2025-03-01T00:00:00Z,h1,AS1,www,/robots.txt,200,10,,BotA,CatA\n" +
+		"ua2,2025-03-01T00:00:30Z,h2,AS2,www,/x\n" + // ragged: no status onwards
+		"ua3,2025-03-01T00:01:00Z,h3,AS3\n" // ragged: no site/path either
+	batch, err := weblog.ReadCSV(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := drain(t, NewCSVDecoder(strings.NewReader(raw)))
+	if !reflect.DeepEqual(batch.Records, streamed) {
+		t.Fatalf("ragged-row decode diverged:\nbatch: %+v\nstream: %+v", batch.Records, streamed)
+	}
+	if len(streamed) != 3 {
+		t.Fatalf("want 3 records, got %d", len(streamed))
+	}
+	if streamed[1].Status != 0 || streamed[1].Path != "/x" {
+		t.Fatalf("ragged row decoded wrong: %+v", streamed[1])
+	}
+}
+
+func TestJSONLDecoderMatchesBatchReader(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := weblog.WriteJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := weblog.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := drain(t, NewJSONLDecoder(bytes.NewReader(buf.Bytes())))
+	if !reflect.DeepEqual(batch.Records, streamed) {
+		t.Fatalf("stream JSONL decode diverged from batch")
+	}
+}
+
+func TestCLFDecoderMatchesBatchReader(t *testing.T) {
+	clf := `1.2.3.4 - - [01/Mar/2025:12:00:00 +0000] "GET /robots.txt HTTP/1.1" 200 123 "-" "Googlebot/2.1"
+not a log line
+5.6.7.8 - - [01/Mar/2025:12:00:31 +0000] "GET /page HTTP/1.1" 200 456 "https://r/" "curl/8.0"
+`
+	opts := weblog.CLFOptions{Site: "www", ASNFor: func(h string) string { return "AS-" + h }}
+	batch, skipped, err := weblog.ReadCLF(strings.NewReader(clf), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewCLFDecoder(strings.NewReader(clf), opts)
+	streamed := drain(t, dec)
+	if !reflect.DeepEqual(batch.Records, streamed) {
+		t.Fatalf("stream CLF decode diverged from batch:\nbatch: %+v\nstream: %+v", batch.Records, streamed)
+	}
+	if dec.Skipped != skipped || dec.Skipped != 1 {
+		t.Fatalf("skipped: batch %d, stream %d, want 1", skipped, dec.Skipped)
+	}
+}
+
+func TestCLFDecoderStrict(t *testing.T) {
+	dec := NewCLFDecoder(strings.NewReader("garbage\n"), weblog.CLFOptions{Strict: true})
+	if _, err := dec.Next(); err == nil || err == io.EOF {
+		t.Fatalf("want decode error, got %v", err)
+	}
+}
+
+func TestNewDecoderUnknownFormat(t *testing.T) {
+	if _, err := NewDecoder("xml", strings.NewReader(""), weblog.CLFOptions{}); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+}
+
+func TestDatasetDecoder(t *testing.T) {
+	d := sampleDataset()
+	streamed := drain(t, NewDatasetDecoder(d))
+	if !reflect.DeepEqual(d.Records, streamed) {
+		t.Fatal("dataset replay diverged")
+	}
+}
+
+func TestPipelineShardCountInvariance(t *testing.T) {
+	d := makeSynthetic(5000, 1, 0)
+	var want *Aggregates
+	for _, shards := range []int{1, 2, 4, 7} {
+		p := NewPipeline(Options{Shards: shards})
+		got, err := p.Run(context.Background(), NewDatasetDecoder(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Shards != shards {
+			t.Fatalf("snapshot reports %d shards, want %d", got.Shards, shards)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		assertSameAggregates(t, want, got, fmt.Sprintf("shards=%d", shards))
+	}
+}
+
+func TestPipelineOutOfOrderWithinSkew(t *testing.T) {
+	ordered := makeSynthetic(5000, 2, 0)
+	shuffled := makeSynthetic(5000, 2, 30*time.Second) // same records, jittered times
+
+	// Sort the jittered dataset to produce the "what a batch sort would
+	// see" ground truth, then stream the UNSORTED version with a skew
+	// window covering the jitter.
+	sorted := &weblog.Dataset{Records: append([]weblog.Record(nil), shuffled.Records...)}
+	sorted.SortByTime()
+
+	want, err := NewPipeline(Options{Shards: 3}).Run(context.Background(), NewDatasetDecoder(sorted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewPipeline(Options{Shards: 3, MaxSkew: 2 * time.Minute}).Run(context.Background(), NewDatasetDecoder(shuffled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAggregates(t, want, got, "out-of-order vs sorted")
+
+	// Sanity: the ordered and jittered datasets genuinely differ in order.
+	if reflect.DeepEqual(ordered.Records, shuffled.Records) {
+		t.Fatal("test fixture produced no disorder")
+	}
+}
+
+func TestPipelineKeepAndDroppedCount(t *testing.T) {
+	d := sampleDataset()
+	p := NewPipeline(Options{Shards: 2, Keep: func(r *weblog.Record) bool {
+		return r.BotName != "" // drop the anonymous curl record
+	}})
+	agg, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DroppedRecords() != 1 {
+		t.Fatalf("dropped = %d, want 1", p.DroppedRecords())
+	}
+	if agg.Records != 2 {
+		t.Fatalf("records = %d, want 2", agg.Records)
+	}
+}
+
+func TestPipelineContextCancelKeepsPartialAggregates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPipeline(Options{Shards: 2})
+	agg, err := p.Run(ctx, NewDatasetDecoder(makeSynthetic(100, 3, 0)))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if agg == nil {
+		t.Fatal("want non-nil aggregates on cancellation")
+	}
+}
+
+func TestLiveSnapshotMidRun(t *testing.T) {
+	p := NewPipeline(Options{Shards: 2})
+	d := makeSynthetic(2000, 4, 0)
+	for i := range d.Records {
+		if err := p.Ingest(nil, d.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(d.Records)/2 {
+			if snap := p.Snapshot(); snap.Records > uint64(i+1) {
+				t.Fatalf("live snapshot saw %d records, only %d ingested", snap.Records, i+1)
+			}
+		}
+	}
+	p.Close()
+	if snap := p.Snapshot(); snap.Records != uint64(len(d.Records)) {
+		t.Fatalf("final snapshot records = %d, want %d", snap.Records, len(d.Records))
+	}
+}
+
+func TestTailReaderFollowsGrowth(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu chunkedReader
+	mu.chunks = [][]byte{[]byte("hello\nwor"), nil, []byte("ld\npartial")}
+	tr := NewTailReader(ctx, &mu, time.Millisecond)
+
+	buf := make([]byte, 32)
+	var got []byte
+	for len(got) < len("hello\nworld\n") {
+		n, err := tr.Read(buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != "hello\nworld\n" {
+		t.Fatalf("got %q", got)
+	}
+
+	// After cancellation the held-back partial line ("partial", no
+	// newline) is dropped and the reader reports a clean EOF: a decoder
+	// never sees a truncated record.
+	cancel()
+	if n, err := tr.Read(buf); err != io.EOF || n != 0 {
+		t.Fatalf("want clean io.EOF after cancel, got n=%d err=%v", n, err)
+	}
+}
+
+// chunkedReader yields its chunks one Read at a time, reporting EOF
+// between them (simulating a file that grows between polls).
+type chunkedReader struct {
+	chunks [][]byte
+	i      int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if c.i >= len(c.chunks) {
+		return 0, io.EOF
+	}
+	chunk := c.chunks[c.i]
+	c.i++
+	if chunk == nil {
+		return 0, io.EOF
+	}
+	n := copy(p, chunk)
+	return n, nil
+}
+
+// assertSameAggregates compares every exported aggregate map.
+func assertSameAggregates(t *testing.T, want, got *Aggregates, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.CrawlDelay, got.CrawlDelay) {
+		t.Fatalf("%s: CrawlDelay diverged\nwant %v\ngot  %v", label, want.CrawlDelay, got.CrawlDelay)
+	}
+	if !reflect.DeepEqual(want.Endpoint, got.Endpoint) {
+		t.Fatalf("%s: Endpoint diverged", label)
+	}
+	if !reflect.DeepEqual(want.Disallow, got.Disallow) {
+		t.Fatalf("%s: Disallow diverged", label)
+	}
+	if !reflect.DeepEqual(want.Access, got.Access) {
+		t.Fatalf("%s: Access diverged", label)
+	}
+	if !reflect.DeepEqual(want.Checked, got.Checked) {
+		t.Fatalf("%s: Checked diverged", label)
+	}
+	if !reflect.DeepEqual(want.Categories, got.Categories) {
+		t.Fatalf("%s: Categories diverged\nwant %v\ngot  %v", label, want.Categories, got.Categories)
+	}
+	if want.Records != got.Records {
+		t.Fatalf("%s: Records %d != %d", label, want.Records, got.Records)
+	}
+	if want.Tuples != got.Tuples {
+		t.Fatalf("%s: Tuples %d != %d", label, want.Tuples, got.Tuples)
+	}
+}

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"time"
+)
+
+// TailReader adapts a growing log file (or any reader that can temporarily
+// run out of data) into a blocking stream: where the underlying reader
+// reports io.EOF, TailReader polls until new bytes appear or the context
+// is done, at which point it reports a clean io.EOF of its own. Wrapping a
+// log file in a TailReader turns any Decoder into a follower, `tail -f`
+// style:
+//
+//	f, _ := os.Open(path)
+//	dec := stream.NewCSVDecoder(stream.NewTailReader(ctx, f, time.Second))
+//
+// TailReader is line-framed: it only releases bytes up to the last
+// newline it has seen, holding any trailing partial line back until its
+// newline arrives. That way a record the writer was mid-way through
+// appending when the context was cancelled is dropped — never handed to a
+// decoder as a truncated row — so a follow session always ends cleanly
+// with exactly the records that were fully written. (Consequently a final
+// line with no trailing newline is never emitted; log appenders
+// universally newline-terminate.)
+type TailReader struct {
+	ctx     context.Context
+	r       io.Reader
+	poll    time.Duration
+	scratch []byte
+	ready   []byte // complete-line bytes not yet returned
+	partial []byte // bytes after the last newline, held back
+	done    bool
+}
+
+// NewTailReader wraps r. poll is the sleep between EOF probes; zero means
+// 500ms.
+func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) *TailReader {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &TailReader{ctx: ctx, r: r, poll: poll, scratch: make([]byte, 32*1024)}
+}
+
+// Read returns buffered complete-line bytes, refilling from the
+// underlying reader as needed; at its io.EOF it sleeps and retries until
+// data arrives or the context is done. Context cancellation surfaces as
+// io.EOF, discarding any held-back partial line.
+func (t *TailReader) Read(p []byte) (int, error) {
+	for {
+		if len(t.ready) > 0 {
+			n := copy(p, t.ready)
+			t.ready = t.ready[n:]
+			return n, nil
+		}
+		if t.done {
+			return 0, io.EOF
+		}
+		n, err := t.r.Read(t.scratch)
+		if n > 0 {
+			t.partial = append(t.partial, t.scratch[:n]...)
+			if i := bytes.LastIndexByte(t.partial, '\n'); i >= 0 {
+				t.ready = t.partial[:i+1]
+				// Fresh backing array: appends to partial must not
+				// clobber the ready bytes they used to share.
+				t.partial = append([]byte(nil), t.partial[i+1:]...)
+			}
+			continue
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		// EOF (or empty read): wait for growth or cancellation.
+		select {
+		case <-t.ctx.Done():
+			t.done = true // drop any partial line
+			return 0, io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}

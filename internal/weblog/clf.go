@@ -41,6 +41,20 @@ type CLFOptions struct {
 // clfTimeLayout is the CLF timestamp layout.
 const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
 
+// Decorate applies the per-record options (sitename, ASN lookup,
+// anonymization) to a freshly parsed CLF record, in the order ReadCLF
+// applies them. The streaming decoder in internal/stream uses the same
+// method so both ingestion paths agree byte for byte.
+func (o *CLFOptions) Decorate(rec *Record) {
+	rec.Site = o.Site
+	if o.ASNFor != nil {
+		rec.ASN = o.ASNFor(rec.IPHash)
+	}
+	if o.Anonymizer != nil {
+		o.Anonymizer.AnonymizeRecord(rec)
+	}
+}
+
 // ReadCLF parses Common/Combined Log Format lines into a dataset. It
 // returns the dataset, the number of skipped (malformed) lines, and the
 // first error in Strict mode.
@@ -56,7 +70,7 @@ func ReadCLF(r io.Reader, opts CLFOptions) (*Dataset, int, error) {
 		if line == "" {
 			continue
 		}
-		rec, err := parseCLFLine(line)
+		rec, err := ParseCLFLine(line)
 		if err != nil {
 			if opts.Strict {
 				return nil, skipped, fmt.Errorf("weblog: CLF line %d: %w", lineNo, err)
@@ -64,13 +78,7 @@ func ReadCLF(r io.Reader, opts CLFOptions) (*Dataset, int, error) {
 			skipped++
 			continue
 		}
-		rec.Site = opts.Site
-		if opts.ASNFor != nil {
-			rec.ASN = opts.ASNFor(rec.IPHash)
-		}
-		if opts.Anonymizer != nil {
-			opts.Anonymizer.AnonymizeRecord(&rec)
-		}
+		opts.Decorate(&rec)
 		d.Records = append(d.Records, rec)
 	}
 	if err := sc.Err(); err != nil {
@@ -79,9 +87,9 @@ func ReadCLF(r io.Reader, opts CLFOptions) (*Dataset, int, error) {
 	return d, skipped, nil
 }
 
-// parseCLFLine parses one line. The client host lands in IPHash (raw;
-// anonymize afterwards).
-func parseCLFLine(line string) (Record, error) {
+// ParseCLFLine parses one Common/Combined Log Format line. The client host
+// lands in IPHash (raw; anonymize afterwards, e.g. via CLFOptions.Decorate).
+func ParseCLFLine(line string) (Record, error) {
 	var rec Record
 
 	// host ident authuser

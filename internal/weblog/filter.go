@@ -54,6 +54,13 @@ func (p *Preprocessor) BlockInternalASN(handle string) {
 	p.InternalASNs[strings.ToUpper(handle)] = struct{}{}
 }
 
+// Keep applies the drop rules to one record, incrementing the audit
+// counters for dropped ones. It is the single-record form of Run, exposed
+// so streaming ingestion (internal/stream) can filter with the exact batch
+// semantics; call it from one goroutine at a time (the counters are not
+// synchronized).
+func (p *Preprocessor) Keep(r *Record) bool { return p.keep(r) }
+
 // keep applies the drop rules to one record.
 func (p *Preprocessor) keep(r *Record) bool {
 	if _, blocked := p.BlockedIPHashes[r.IPHash]; blocked {

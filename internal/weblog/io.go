@@ -46,6 +46,70 @@ func WriteCSV(w io.Writer, d *Dataset) error {
 	return cw.Error()
 }
 
+// CSVSchema maps the columns of one CSV file to Record fields. It is built
+// once from the header row and then decodes any number of rows, which is
+// what lets the batch reader below and the streaming decoder in
+// internal/stream share byte-identical parse semantics.
+type CSVSchema struct {
+	col map[string]int
+}
+
+// ParseCSVHeader builds a schema from a header row. Unknown extra columns
+// are ignored; missing optional columns default to zero values at decode
+// time.
+func ParseCSVHeader(header []string) CSVSchema {
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
+	}
+	return CSVSchema{col: col}
+}
+
+// get returns the named column of row, or "" when the column is absent or
+// the row is ragged.
+func (s CSVSchema) get(row []string, name string) string {
+	if i, ok := s.col[name]; ok && i < len(row) {
+		return row[i]
+	}
+	return ""
+}
+
+// DecodeRow decodes one data row under this schema. Ragged rows are
+// tolerated: missing cells decode as zero values.
+func (s CSVSchema) DecodeRow(row []string) (Record, error) {
+	var rec Record
+	rec.UserAgent = s.get(row, "useragent")
+	if ts := s.get(row, "timestamp"); ts != "" {
+		t, err := time.Parse(time.RFC3339, ts)
+		if err != nil {
+			return rec, fmt.Errorf("bad timestamp %q: %w", ts, err)
+		}
+		rec.Time = t
+	}
+	rec.IPHash = s.get(row, "ip_hash")
+	rec.ASN = s.get(row, "asn")
+	rec.Site = s.get(row, "sitename")
+	rec.Path = s.get(row, "uri_path")
+	if v := s.get(row, "status"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return rec, fmt.Errorf("bad status %q: %w", v, err)
+		}
+		rec.Status = n
+	}
+	if v := s.get(row, "bytes"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return rec, fmt.Errorf("bad bytes %q: %w", v, err)
+		}
+		rec.Bytes = n
+	}
+	rec.Referer = s.get(row, "referer")
+	rec.BotName = s.get(row, "bot_name")
+	rec.Category = s.get(row, "bot_category")
+	return rec, nil
+}
+
 // ReadCSV reads a dataset written by WriteCSV. Unknown extra columns are
 // ignored; missing optional columns default to zero values.
 func ReadCSV(r io.Reader) (*Dataset, error) {
@@ -55,16 +119,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("weblog: reading CSV header: %w", err)
 	}
-	col := make(map[string]int, len(header))
-	for i, h := range header {
-		col[h] = i
-	}
-	get := func(row []string, name string) string {
-		if i, ok := col[name]; ok && i < len(row) {
-			return row[i]
-		}
-		return ""
-	}
+	schema := ParseCSVHeader(header)
 	d := &Dataset{}
 	for line := 2; ; line++ {
 		row, err := cr.Read()
@@ -74,37 +129,10 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("weblog: reading CSV line %d: %w", line, err)
 		}
-		var rec Record
-		rec.UserAgent = get(row, "useragent")
-		ts := get(row, "timestamp")
-		if ts != "" {
-			t, err := time.Parse(time.RFC3339, ts)
-			if err != nil {
-				return nil, fmt.Errorf("weblog: CSV line %d: bad timestamp %q: %w", line, ts, err)
-			}
-			rec.Time = t
+		rec, err := schema.DecodeRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("weblog: CSV line %d: %w", line, err)
 		}
-		rec.IPHash = get(row, "ip_hash")
-		rec.ASN = get(row, "asn")
-		rec.Site = get(row, "sitename")
-		rec.Path = get(row, "uri_path")
-		if s := get(row, "status"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil {
-				return nil, fmt.Errorf("weblog: CSV line %d: bad status %q: %w", line, s, err)
-			}
-			rec.Status = v
-		}
-		if s := get(row, "bytes"); s != "" {
-			v, err := strconv.ParseInt(s, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("weblog: CSV line %d: bad bytes %q: %w", line, s, err)
-			}
-			rec.Bytes = v
-		}
-		rec.Referer = get(row, "referer")
-		rec.BotName = get(row, "bot_name")
-		rec.Category = get(row, "bot_category")
 		d.Records = append(d.Records, rec)
 	}
 	return d, nil
@@ -151,6 +179,34 @@ func WriteJSONL(w io.Writer, d *Dataset) error {
 	return bw.Flush()
 }
 
+// ParseJSONLLine decodes one JSONL line (as written by WriteJSONL) into a
+// Record. The batch reader and the streaming decoder both go through here.
+func ParseJSONLLine(b []byte) (Record, error) {
+	var jr jsonRecord
+	var rec Record
+	if err := json.Unmarshal(b, &jr); err != nil {
+		return rec, err
+	}
+	rec.UserAgent = jr.UserAgent
+	if jr.Timestamp != "" {
+		t, err := time.Parse(time.RFC3339, jr.Timestamp)
+		if err != nil {
+			return rec, fmt.Errorf("bad timestamp: %w", err)
+		}
+		rec.Time = t
+	}
+	rec.IPHash = jr.IPHash
+	rec.ASN = jr.ASN
+	rec.Site = jr.Site
+	rec.Path = jr.Path
+	rec.Status = jr.Status
+	rec.Bytes = jr.Bytes
+	rec.Referer = jr.Referer
+	rec.BotName = jr.BotName
+	rec.Category = jr.Category
+	return rec, nil
+}
+
 // ReadJSONL reads a dataset written by WriteJSONL; blank lines are skipped.
 func ReadJSONL(r io.Reader) (*Dataset, error) {
 	d := &Dataset{}
@@ -163,28 +219,10 @@ func ReadJSONL(r io.Reader) (*Dataset, error) {
 		if len(b) == 0 {
 			continue
 		}
-		var jr jsonRecord
-		if err := json.Unmarshal(b, &jr); err != nil {
+		rec, err := ParseJSONLLine(b)
+		if err != nil {
 			return nil, fmt.Errorf("weblog: JSONL line %d: %w", line, err)
 		}
-		var rec Record
-		rec.UserAgent = jr.UserAgent
-		if jr.Timestamp != "" {
-			t, err := time.Parse(time.RFC3339, jr.Timestamp)
-			if err != nil {
-				return nil, fmt.Errorf("weblog: JSONL line %d: bad timestamp: %w", line, err)
-			}
-			rec.Time = t
-		}
-		rec.IPHash = jr.IPHash
-		rec.ASN = jr.ASN
-		rec.Site = jr.Site
-		rec.Path = jr.Path
-		rec.Status = jr.Status
-		rec.Bytes = jr.Bytes
-		rec.Referer = jr.Referer
-		rec.BotName = jr.BotName
-		rec.Category = jr.Category
 		d.Records = append(d.Records, rec)
 	}
 	if err := sc.Err(); err != nil {

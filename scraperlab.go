@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stream"
 	"repro/internal/weblog"
 )
 
@@ -74,6 +75,29 @@ type CrawlStats struct {
 	RobotsFetches int
 	// Errors counts transport failures.
 	Errors int
+}
+
+// StreamOptions configures StreamAnalyze; see core.StreamOptions.
+type StreamOptions = core.StreamOptions
+
+// StreamAggregates is the merged online-compliance snapshot a streaming
+// run produces; see stream.Aggregates.
+type StreamAggregates = stream.Aggregates
+
+// StreamAnalyze ingests an access-log stream ("csv", "jsonl", or "clf")
+// through the sharded online pipeline and returns compliance aggregates
+// identical to the batch metrics (for input whose timestamp disorder
+// stays within StreamOptions.MaxSkew, default 2 minutes), in
+// O(shards + tuples) memory. Wrap a growing file with NewTailReader to
+// follow it live; cancel ctx to stop and keep the aggregates so far.
+func StreamAnalyze(ctx context.Context, r io.Reader, opts StreamOptions) (*StreamAggregates, error) {
+	return core.StreamAnalyze(ctx, r, opts)
+}
+
+// NewTailReader wraps a growing file so StreamAnalyze follows it,
+// `tail -f` style, polling every poll interval until ctx is done.
+func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) io.Reader {
+	return stream.NewTailReader(ctx, r, poll)
 }
 
 // WriteDatasetCSV exports a dataset in the study's CSV schema.

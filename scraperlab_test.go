@@ -7,8 +7,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/agent"
 	"repro/internal/compliance"
 	"repro/internal/robots"
+	"repro/internal/weblog"
 )
 
 func TestCheckRobotsFacade(t *testing.T) {
@@ -114,6 +116,67 @@ func TestLiveCrawlFacade(t *testing.T) {
 	if s.PagesFetched == 0 || s.RobotsFetches == 0 {
 		t.Errorf("AhrefsBot stats = %+v", s)
 	}
+}
+
+// TestStreamAnalyzeFacade round-trips a study-schema dataset through the
+// streaming facade and checks the online metrics against the batch
+// compliance package on the identical records.
+func TestStreamAnalyzeFacade(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 6, Scale: 0.02, Secret: []byte("stream")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := study.Dataset()
+	var buf bytes.Buffer
+	if err := WriteDatasetCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, err := StreamAnalyze(context.Background(), bytes.NewReader(buf.Bytes()), StreamOptions{
+		Format: "csv",
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Records == 0 || agg.Tuples == 0 {
+		t.Fatalf("empty aggregates: %+v", agg)
+	}
+
+	// The batch ground truth: re-read the same bytes, preprocess + enrich
+	// the way StreamAnalyze does internally, and measure.
+	batch, err := ReadDatasetCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := compliance.DefaultConfig()
+	want := compliance.Summarize(enrichLikeSuite(batch), compliance.DisallowAll, cfg)
+	got := agg.Summary(compliance.DisallowAll)
+	for bot, m := range want.Measurements {
+		if got.Measurements[bot] != m {
+			t.Errorf("bot %s: stream %+v != batch %+v", bot, got.Measurements[bot], m)
+		}
+	}
+	if len(got.Measurements) != len(want.Measurements) {
+		t.Errorf("bot set sizes differ: stream %d, batch %d", len(got.Measurements), len(want.Measurements))
+	}
+}
+
+// enrichLikeSuite applies the default preprocessing the streaming facade
+// and the experiment suite share.
+func enrichLikeSuite(d *weblog.Dataset) *weblog.Dataset {
+	pre := weblog.NewPreprocessor()
+	m := agent.NewMatcher(nil)
+	pre.Enrich = func(r *weblog.Record) {
+		if b, ok := m.Match(r.UserAgent); ok {
+			r.BotName = b.Name
+			r.Category = b.Category.String()
+		} else {
+			r.BotName = ""
+			r.Category = ""
+		}
+	}
+	return pre.Run(d)
 }
 
 func TestWriteAllMentionsEveryArtifact(t *testing.T) {
