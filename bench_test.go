@@ -497,11 +497,11 @@ func BenchmarkStreamVsBatch(b *testing.B) {
 				Enrich:     enrich,
 				Compliance: cfg,
 			})
-			a, err := p.Run(context.Background(), stream.NewCSVDecoder(bytes.NewReader(csvBytes)))
+			res, err := p.Run(context.Background(), stream.NewCSVDecoder(bytes.NewReader(csvBytes)))
 			if err != nil {
 				b.Fatal(err)
 			}
-			agg = a
+			agg = res.Compliance()
 			for j, dir := range compliance.Directives {
 				sums[j] = agg.Summary(dir)
 			}

@@ -13,6 +13,8 @@
 //	analyze -stream access.csv                     # one-shot streaming audit
 //	analyze -stream access.log -format clf -site www
 //	analyze -stream access.jsonl -format jsonl -follow -interval 10s
+//	analyze -stream access.csv -analyzers all      # compliance+cadence+spoof+session
+//	analyze -stream access.csv -analyzers spoof,session
 package main
 
 import (
@@ -21,11 +23,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/report"
+	"repro/internal/session"
 	"repro/internal/stream"
 	"repro/internal/synth"
 	"repro/internal/weblog"
@@ -44,6 +49,7 @@ func main() {
 		site       = flag.String("site", "", "sitename stamped on CLF records (clf format only)")
 		shards     = flag.Int("shards", 0, "stream worker shards (0 = GOMAXPROCS)")
 		skew       = flag.Duration("skew", stream.DefaultMaxSkew, "max tolerated timestamp disorder (0 = default, negative = trust input order)")
+		analyzers  = flag.String("analyzers", "compliance", "comma-separated online analyzers (compliance, cadence, spoof, session) or \"all\"")
 		follow     = flag.Bool("follow", false, "keep tailing the file as it grows (stop with Ctrl-C)")
 		interval   = flag.Duration("interval", 15*time.Second, "snapshot print interval while following")
 	)
@@ -51,7 +57,7 @@ func main() {
 
 	var err error
 	if *streamPath != "" {
-		err = runStream(*streamPath, *format, *site, *shards, *skew, *follow, *interval)
+		err = runStream(*streamPath, *format, *site, *shards, *skew, *analyzers, *follow, *interval)
 	} else {
 		err = run(*seed, *scale, *artifact, *asCSV, *secret)
 	}
@@ -59,6 +65,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
+}
+
+// parseAnalyzers resolves the -analyzers flag into registry names:
+// "all" selects every analyzer, an empty spec falls back to the flag's
+// documented default (compliance only). The result is always non-empty,
+// so one-shot and follow mode build identical analyzer sets.
+func parseAnalyzers(spec string) []string {
+	if spec == "all" {
+		return stream.AnalyzerNames
+	}
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return []string{stream.AnalyzerCompliance}
+	}
+	return names
 }
 
 func run(seed int64, scale float64, artifact string, asCSV bool, secret string) error {
@@ -83,49 +109,60 @@ func run(seed int64, scale float64, artifact string, asCSV bool, secret string) 
 	return fmt.Errorf("unknown artifact %q; known: table2..table10, figure2..figure11, figures5-8, all", artifact)
 }
 
-// runStream ingests one log file through the online pipeline and prints
-// per-bot and per-category compliance snapshots. With follow, it tails the
-// file, reprinting the live snapshot every interval until interrupted.
-func runStream(path, format, site string, shards int, skew time.Duration, follow bool, interval time.Duration) error {
+// runStream ingests one log file through the online analyzer pipeline and
+// prints each selected analyzer's snapshot. With follow, it tails the
+// file, reprinting the live snapshots every interval until interrupted.
+func runStream(path, format, site string, shards int, skew time.Duration, analyzers string, follow bool, interval time.Duration) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
+	if format == "" {
+		format = "csv" // match core.StreamAnalyzeAll's default
+	}
 	ctx := context.Background()
 	opts := core.StreamOptions{
-		Format:  format,
-		Shards:  shards,
-		MaxSkew: skew,
-		CLF:     weblog.CLFOptions{Site: site},
+		Format:    format,
+		Shards:    shards,
+		MaxSkew:   skew,
+		CLF:       weblog.CLFOptions{Site: site},
+		Analyzers: parseAnalyzers(analyzers),
 	}
 
 	if !follow {
-		agg, err := core.StreamAnalyze(ctx, f, opts)
+		res, err := core.StreamAnalyzeAll(ctx, f, opts)
 		if err != nil {
 			return err
 		}
-		return printSnapshot(agg)
+		return printResults(res)
 	}
 
 	// Follow mode: cancel on interrupt, print a live snapshot per tick.
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 	defer stop()
 
-	dec, err := stream.NewDecoder(format, stream.NewTailReader(ctx, f, time.Second), weblog.CLFOptions{Site: site})
+	dec, err := stream.NewDecoder(opts.Format, stream.NewTailReader(ctx, f, time.Second), opts.CLF)
 	if err != nil {
 		return err
 	}
-	p := core.StreamPipeline(opts)
+	p, err := core.StreamPipeline(opts)
+	if err != nil {
+		return err
+	}
 	type result struct {
-		agg *stream.Aggregates
+		res *stream.Results
 		err error
 	}
 	done := make(chan result, 1)
 	go func() {
-		agg, err := p.Run(ctx, dec)
-		done <- result{agg, err}
+		// Run off the decoder alone: the TailReader turns cancellation
+		// into a clean EOF after flushing any final unterminated line,
+		// so the last record survives the Ctrl-C that would otherwise
+		// abort Run before the flush is consumed.
+		res, err := p.Run(nil, dec)
+		done <- result{res, err}
 	}()
 
 	tick := time.NewTicker(interval)
@@ -134,21 +171,53 @@ func runStream(path, format, site string, shards int, skew time.Duration, follow
 		select {
 		case <-tick.C:
 			fmt.Printf("-- live snapshot %s --\n", time.Now().Format(time.RFC3339))
-			if err := printSnapshot(p.Snapshot()); err != nil {
+			if err := printResults(p.Snapshot()); err != nil {
 				return err
 			}
 		case res := <-done:
+			// Run returns valid partial results alongside any error, so a
+			// torn row at shutdown never costs the session's snapshot.
+			if res.res != nil {
+				fmt.Println("-- final snapshot --")
+				if err := printResults(res.res); err != nil {
+					return err
+				}
+			}
 			if res.err != nil && res.err != context.Canceled {
 				return res.err
 			}
-			fmt.Println("-- final snapshot --")
-			return printSnapshot(res.agg)
+			return nil
 		}
 	}
 }
 
-// printSnapshot renders the per-bot and per-category compliance tables.
-func printSnapshot(a *stream.Aggregates) error {
+// printResults renders every analyzer snapshot present in the results.
+func printResults(res *stream.Results) error {
+	if a := res.Compliance(); a != nil {
+		if err := printCompliance(a); err != nil {
+			return err
+		}
+	}
+	if c := res.Cadence(); c != nil {
+		if err := printCadence(c); err != nil {
+			return err
+		}
+	}
+	if s := res.Spoof(); s != nil {
+		if err := printSpoof(s); err != nil {
+			return err
+		}
+	}
+	if s := res.Sessions(); s != nil {
+		if err := printSessions(res, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printCompliance renders the per-bot and per-category compliance tables.
+func printCompliance(a *stream.Aggregates) error {
 	bots := &report.Table{
 		Title: fmt.Sprintf("Streaming compliance snapshot (%d records, %d τ-tuples, %d shards)",
 			a.Records, a.Tuples, a.Shards),
@@ -181,4 +250,86 @@ func printSnapshot(a *stream.Aggregates) error {
 			report.Ratio3(c.Disallow))
 	}
 	return cats.Render(os.Stdout)
+}
+
+// fmtWindow renders a re-check window compactly ("12h", not "12h0m0s"),
+// dropping only zero-valued trailing units ("1h30m" stays "1h30m").
+func fmtWindow(w time.Duration) string {
+	s := w.String()
+	if strings.HasSuffix(s, "m0s") {
+		s = strings.TrimSuffix(s, "0s")
+	}
+	if strings.HasSuffix(s, "h0m") {
+		s = strings.TrimSuffix(s, "0m")
+	}
+	return s
+}
+
+// printCadence renders the §5.1 Figure-10-style re-check proportions.
+func printCadence(c *stream.CadenceSnapshot) error {
+	headers := []string{"Category", "Checking bots"}
+	for _, w := range c.Windows {
+		headers = append(headers, "≤"+fmtWindow(w))
+	}
+	t := &report.Table{
+		Title:   "Streaming robots.txt re-check cadence (§5.1, Figure 10)",
+		Headers: headers,
+		Note:    "Fraction of each category's checking bots that re-fetch robots.txt within every window.",
+	}
+	for _, cp := range c.ByCategory() {
+		row := []string{cp.Category, report.I(cp.Bots)}
+		for _, w := range c.Windows {
+			row = append(row, report.Ratio3(cp.Within[w]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(os.Stdout)
+}
+
+// printSpoof renders the §5.2 Table-8-style findings and Table-9 counts.
+func printSpoof(s *stream.SpoofSnapshot) error {
+	t := &report.Table{
+		Title:   "Streaming spoof detection (§5.2, Table 8)",
+		Headers: []string{"Bot", "Main ASN", "Share", "Suspect ASNs", "Spoofed accesses"},
+		Note: fmt.Sprintf("Legitimate bot requests: %d; potentially spoofed: %d (Table 9).",
+			s.Counts.Legitimate, s.Counts.Spoofed),
+	}
+	for _, f := range s.Findings {
+		suspects := make([]string, 0, len(f.Suspects))
+		for _, su := range f.Suspects {
+			suspects = append(suspects, fmt.Sprintf("%s(%d)", su.ASN, su.Accesses))
+		}
+		t.AddRow(f.Bot, f.MainASN, report.Ratio3(f.MainFraction),
+			strings.Join(suspects, " "), report.I(f.SpoofedAccesses))
+	}
+	return t.Render(os.Stdout)
+}
+
+// printSessions renders the sessionization rollup.
+func printSessions(res *stream.Results, s *session.Summary) error {
+	t := &report.Table{
+		Title: fmt.Sprintf("Streaming sessionization (%d records → %d sessions)",
+			res.Records, s.Sessions),
+		Headers: []string{"Category", "Sessions", "Sessions share", "GB"},
+		Note:    "Inactivity-gap sessions per category (Figure 2); bytes per category backs Figure 3.",
+	}
+	for _, cat := range sortedKeys(s.ByCategory) {
+		share := 0.0
+		if s.Sessions > 0 {
+			share = float64(s.ByCategory[cat]) / float64(s.Sessions)
+		}
+		t.AddRow(cat, report.I(s.ByCategory[cat]), report.Ratio3(share),
+			report.GB(s.BytesByCategory[cat]))
+	}
+	return t.Render(os.Stdout)
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -37,62 +37,99 @@ type BotStats struct {
 	CompliesWithin map[time.Duration]bool
 }
 
-// Analyze computes per-bot check statistics over the given dataset,
-// restricted to the named sites (nil means all sites). Bots that never
-// fetch robots.txt are omitted, matching the paper's framing ("if they
-// check it at all").
-func Analyze(d *weblog.Dataset, sites []string, windows []time.Duration) []BotStats {
-	if len(windows) == 0 {
-		windows = DefaultWindows
+// SiteFilter builds the site predicate Collect applies: nil or empty
+// sites means every site is included.
+func SiteFilter(sites []string) func(string) bool {
+	if len(sites) == 0 {
+		return func(string) bool { return true }
 	}
-	siteOK := func(string) bool { return true }
-	if len(sites) > 0 {
-		set := make(map[string]struct{}, len(sites))
-		for _, s := range sites {
-			set[s] = struct{}{}
-		}
-		siteOK = func(s string) bool {
-			_, ok := set[s]
-			return ok
-		}
+	set := make(map[string]struct{}, len(sites))
+	for _, s := range sites {
+		set[s] = struct{}{}
 	}
+	return func(s string) bool {
+		_, ok := set[s]
+		return ok
+	}
+}
 
-	checks := make(map[string][]time.Time)
-	categories := make(map[string]string)
-	var datasetEnd time.Time
+// Log is the intermediate robots.txt check log the cadence analysis
+// derives its statistics from: the per-bot check timestamps, the bots'
+// category labels, and the dataset end time. It is the cadence analogue
+// of compliance.Summary — produced either by the batch Collect below or
+// incrementally by internal/stream's cadence analyzer, with both paths
+// feeding the identical Stats back half.
+type Log struct {
+	// Checks maps bot name to its robots.txt fetch timestamps. Stats
+	// sorts the slices in place; callers need not pre-sort.
+	Checks map[string][]time.Time
+	// Categories maps bot name to the first non-empty category label
+	// observed in dataset order.
+	Categories map[string]string
+	// End is the timestamp of the last record observed (robots.txt fetch
+	// or not); windows are tiled up to it.
+	End time.Time
+}
+
+// Collect builds the check Log of one dataset, restricted to the named
+// sites (nil means all sites). This is the per-record front half of
+// Analyze.
+func Collect(d *weblog.Dataset, sites []string) *Log {
+	siteOK := SiteFilter(sites)
+	l := &Log{
+		Checks:     make(map[string][]time.Time),
+		Categories: make(map[string]string),
+	}
 	for i := range d.Records {
 		r := &d.Records[i]
-		if r.Time.After(datasetEnd) {
-			datasetEnd = r.Time
+		if r.Time.After(l.End) {
+			l.End = r.Time
 		}
 		if r.BotName == "" || !siteOK(r.Site) {
 			continue
 		}
-		if categories[r.BotName] == "" {
-			categories[r.BotName] = r.Category
+		if l.Categories[r.BotName] == "" {
+			l.Categories[r.BotName] = r.Category
 		}
 		if r.IsRobotsFetch() {
-			checks[r.BotName] = append(checks[r.BotName], r.Time)
+			l.Checks[r.BotName] = append(l.Checks[r.BotName], r.Time)
 		}
 	}
+	return l
+}
 
+// Stats computes the per-bot window-coverage statistics from the log —
+// the shared back half of Analyze. Bots that never fetch robots.txt are
+// omitted, matching the paper's framing ("if they check it at all").
+// Check slices are sorted in place.
+func (l *Log) Stats(windows []time.Duration) []BotStats {
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
 	var out []BotStats
-	for bot, ts := range checks {
+	for bot, ts := range l.Checks {
 		sort.Slice(ts, func(a, b int) bool { return ts[a].Before(ts[b]) })
 		st := BotStats{
 			Bot:            bot,
-			Category:       categories[bot],
+			Category:       l.Categories[bot],
 			FirstCheck:     ts[0],
 			Checks:         len(ts),
 			CompliesWithin: make(map[time.Duration]bool, len(windows)),
 		}
 		for _, w := range windows {
-			st.CompliesWithin[w] = everyWindowCovered(ts, datasetEnd, w)
+			st.CompliesWithin[w] = everyWindowCovered(ts, l.End, w)
 		}
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Bot < out[j].Bot })
 	return out
+}
+
+// Analyze computes per-bot check statistics over the given dataset,
+// restricted to the named sites (nil means all sites). It is
+// Collect followed by Stats.
+func Analyze(d *weblog.Dataset, sites []string, windows []time.Duration) []BotStats {
+	return Collect(d, sites).Stats(windows)
 }
 
 // everyWindowCovered reports whether each complete window of length w,

@@ -130,7 +130,7 @@ func AuditDataset(baseline, experiment *weblog.Dataset) map[compliance.Directive
 	return compliance.CompareAll(baseline, phases, cfg)
 }
 
-// StreamOptions configures StreamAnalyze.
+// StreamOptions configures StreamAnalyze / StreamAnalyzeAll.
 type StreamOptions struct {
 	// Format is the wire format: "csv", "jsonl", or "clf" (default "csv").
 	Format string
@@ -143,12 +143,39 @@ type StreamOptions struct {
 	// CLF supplies per-record options for the "clf" format (sitename, ASN
 	// lookup, anonymization).
 	CLF weblog.CLFOptions
-	// Compliance tunes the metrics; zero value = paper defaults.
+	// Analyzers selects the online analyses by registry name
+	// ("compliance", "cadence", "spoof", "session"). Nil means all four
+	// for StreamAnalyzeAll; StreamAnalyze always runs exactly the
+	// compliance analyzer and ignores this field.
+	Analyzers []string
+	// Compliance tunes the §4.2 metrics; zero value = paper defaults.
 	Compliance compliance.Config
+	// CadenceWindows are the §5.1 re-check windows (nil = paper
+	// defaults) and CadenceSites restricts the cadence analysis to the
+	// named sites (nil = all).
+	CadenceWindows []time.Duration
+	CadenceSites   []string
+	// SpoofThreshold is the §5.2 dominant-ASN fraction (0 = the paper's
+	// 0.90).
+	SpoofThreshold float64
+	// SessionGap is the sessionization inactivity threshold (0 = the
+	// paper's 5 minutes).
+	SessionGap time.Duration
 	// Raw skips the default preprocessing (scanner-UA filtering and
 	// matcher-based bot enrichment) and aggregates records exactly as
 	// decoded — for inputs that are already enriched.
 	Raw bool
+}
+
+// analyzerOptions maps the facade knobs onto the stream registry's.
+func analyzerOptions(opts StreamOptions) stream.AnalyzerOptions {
+	return stream.AnalyzerOptions{
+		Compliance:     opts.Compliance,
+		CadenceWindows: opts.CadenceWindows,
+		CadenceSites:   opts.CadenceSites,
+		SpoofThreshold: opts.SpoofThreshold,
+		SessionGap:     opts.SessionGap,
+	}
 }
 
 // StreamAnalyze ingests an access-log stream through the sharded online
@@ -160,24 +187,57 @@ type StreamOptions struct {
 // O(shards + tuples + skew window) no matter how long the stream runs,
 // so it can follow a live log indefinitely (wrap the file in a
 // stream.TailReader). On context cancellation the aggregates so far are
-// returned alongside ctx.Err().
+// returned alongside ctx.Err(). For the full analyzer suite (cadence,
+// spoofing, sessionization alongside compliance) use StreamAnalyzeAll.
 func StreamAnalyze(ctx context.Context, r io.Reader, opts StreamOptions) (*stream.Aggregates, error) {
+	opts.Analyzers = []string{stream.AnalyzerCompliance}
+	res, err := StreamAnalyzeAll(ctx, r, opts)
+	if res == nil {
+		return nil, err
+	}
+	return res.Compliance(), err
+}
+
+// StreamAnalyzeAll ingests an access-log stream through the sharded
+// online pipeline running the selected analyzers (opts.Analyzers; nil
+// means all four: compliance, cadence, spoof, session) and returns every
+// analyzer's merged snapshot. Each snapshot is identical to its batch
+// counterpart on the same records whenever timestamp disorder stays
+// within MaxSkew. On context cancellation the results so far are
+// returned alongside ctx.Err().
+func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*stream.Results, error) {
+	if len(opts.Analyzers) == 0 {
+		opts.Analyzers = stream.AnalyzerNames
+	}
 	dec, err := stream.NewDecoder(streamFormat(opts), r, opts.CLF)
 	if err != nil {
 		return nil, err
 	}
-	return StreamPipeline(opts).Run(ctx, dec)
+	p, err := StreamPipeline(opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx, dec)
 }
 
-// StreamPipeline builds the sharded pipeline StreamAnalyze runs, with the
-// default preprocessing wired in — for callers that need mid-run access
-// (live snapshots while tailing). Pair it with stream.NewDecoder using
-// the same options.
-func StreamPipeline(opts StreamOptions) *stream.Pipeline {
+// StreamPipeline builds the sharded pipeline the stream facades run, with
+// the default preprocessing wired in — for callers that need mid-run
+// access (live snapshots while tailing). Nil opts.Analyzers means the
+// compliance analyzer only. Pair it with stream.NewDecoder using the same
+// options.
+func StreamPipeline(opts StreamOptions) (*stream.Pipeline, error) {
+	names := opts.Analyzers
+	if len(names) == 0 {
+		names = []string{stream.AnalyzerCompliance}
+	}
+	analyzers, err := stream.NewAnalyzers(names, analyzerOptions(opts))
+	if err != nil {
+		return nil, err
+	}
 	sOpts := stream.Options{
-		Shards:     opts.Shards,
-		MaxSkew:    opts.MaxSkew,
-		Compliance: opts.Compliance,
+		Shards:    opts.Shards,
+		MaxSkew:   opts.MaxSkew,
+		Analyzers: analyzers,
 	}
 	if !opts.Raw {
 		pre := weblog.NewPreprocessor()
@@ -193,7 +253,7 @@ func StreamPipeline(opts StreamOptions) *stream.Pipeline {
 			}
 		}
 	}
-	return stream.NewPipeline(sOpts)
+	return stream.NewPipeline(sOpts), nil
 }
 
 // streamFormat resolves the configured wire format, defaulting to CSV.

@@ -109,6 +109,115 @@ func Sessionize(d *weblog.Dataset, gap time.Duration) []Session {
 	return out
 }
 
+// Summary is the order-independent aggregate of a session list: totals,
+// per-category tallies, and per-day session starts. It is the
+// sessionization analogue of compliance.Summary — produced either by the
+// batch Summarize below or incrementally by internal/stream's session
+// analyzer, and both paths agree exactly because every field is a
+// commutative sum over individual sessions.
+type Summary struct {
+	// Sessions is the total number of sessions.
+	Sessions int
+	// Accesses is the total number of page accesses across all sessions
+	// (every record lands in exactly one session).
+	Accesses int
+	// Bytes is the total bytes transferred across all sessions.
+	Bytes int64
+	// ByCategory counts sessions per category display name ("" maps to
+	// "Unknown"), as CountByCategory does. Backs Figure 2.
+	ByCategory map[string]int
+	// BytesByCategory tallies bytes per category display name, as
+	// BytesByCategory does. Backs the Figure 3 ranking.
+	BytesByCategory map[string]int64
+	// StartsPerDay counts sessions starting on each UTC day, keyed first
+	// by the raw category label (which may be empty). Backs Figure 4 via
+	// Daily.
+	StartsPerDay map[string]map[time.Time]int
+}
+
+// NewSummary returns an empty summary with all maps allocated.
+func NewSummary() *Summary {
+	return &Summary{
+		ByCategory:      make(map[string]int),
+		BytesByCategory: make(map[string]int64),
+		StartsPerDay:    make(map[string]map[time.Time]int),
+	}
+}
+
+// AddSession folds one session into the summary.
+func (s *Summary) AddSession(start time.Time, category string, accesses int, bytes int64) {
+	s.Sessions++
+	s.Accesses += accesses
+	s.Bytes += bytes
+	disp := category
+	if disp == "" {
+		disp = "Unknown"
+	}
+	s.ByCategory[disp]++
+	s.BytesByCategory[disp] += bytes
+	day := start.UTC().Truncate(24 * time.Hour)
+	perDay := s.StartsPerDay[category]
+	if perDay == nil {
+		perDay = make(map[time.Time]int)
+		s.StartsPerDay[category] = perDay
+	}
+	perDay[day]++
+}
+
+// Merge folds another summary into this one (commutative sum).
+func (s *Summary) Merge(o *Summary) {
+	s.Sessions += o.Sessions
+	s.Accesses += o.Accesses
+	s.Bytes += o.Bytes
+	for c, n := range o.ByCategory {
+		s.ByCategory[c] += n
+	}
+	for c, b := range o.BytesByCategory {
+		s.BytesByCategory[c] += b
+	}
+	for c, days := range o.StartsPerDay {
+		perDay := s.StartsPerDay[c]
+		if perDay == nil {
+			perDay = make(map[time.Time]int, len(days))
+			s.StartsPerDay[c] = perDay
+		}
+		for d, n := range days {
+			perDay[d] += n
+		}
+	}
+}
+
+// Summarize aggregates a session list into a Summary; Summarize(
+// Sessionize(d, gap)) is the batch ground truth the streaming session
+// analyzer is tested against.
+func Summarize(sessions []Session) *Summary {
+	out := NewSummary()
+	for i := range sessions {
+		out.AddSession(sessions[i].Start, sessions[i].Category,
+			sessions[i].Accesses, sessions[i].Bytes)
+	}
+	return out
+}
+
+// Daily returns the per-day session starts for one raw category label
+// (empty means all sessions), matching SessionsPerDay on the session list
+// the summary was built from.
+func (s *Summary) Daily(category string) DailySeries {
+	counts := make(map[time.Time]float64)
+	if category == "" {
+		for _, days := range s.StartsPerDay {
+			for d, n := range days {
+				counts[d] += float64(n)
+			}
+		}
+	} else {
+		for d, n := range s.StartsPerDay[category] {
+			counts[d] += float64(n)
+		}
+	}
+	return toSeries(counts)
+}
+
 // CountByCategory tallies sessions per bot category display name; sessions
 // without a category count under "Unknown". This backs Figure 2.
 func CountByCategory(sessions []Session) map[string]int {

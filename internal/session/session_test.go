@@ -233,3 +233,90 @@ func TestQuickGapZeroUsesDefault(t *testing.T) {
 		t.Errorf("zero gap should fall back to DefaultGap, got %d sessions", len(got))
 	}
 }
+
+func TestSummarizeMatchesLegacyHelpers(t *testing.T) {
+	d := &weblog.Dataset{}
+	// Two entities with multi-session activity across two days, one with
+	// a category label.
+	for i := 0; i < 6; i++ {
+		r := rec("GPTBot/1.2", "h1", "OPENAI", t0.Add(time.Duration(i)*2*time.Minute), "/a", 100)
+		r.BotName, r.Category = "GPTBot", "AI Data Scrapers"
+		d.Records = append(d.Records, r)
+	}
+	d.Records = append(d.Records,
+		rec("curl/8", "h2", "COMCAST", t0.Add(26*time.Hour), "/b", 50),
+		rec("curl/8", "h2", "COMCAST", t0.Add(27*time.Hour), "/b", 70),
+	)
+	sessions := Sessionize(d, DefaultGap)
+	sum := Summarize(sessions)
+
+	if sum.Sessions != len(sessions) {
+		t.Fatalf("Sessions = %d, want %d", sum.Sessions, len(sessions))
+	}
+	if got, want := sum.ByCategory, CountByCategory(sessions); !mapsEqualInt(got, want) {
+		t.Fatalf("ByCategory = %v, want %v", got, want)
+	}
+	if got, want := sum.BytesByCategory, BytesByCategory(sessions); !mapsEqualInt64(got, want) {
+		t.Fatalf("BytesByCategory = %v, want %v", got, want)
+	}
+	for _, cat := range []string{"", "AI Data Scrapers"} {
+		got, want := sum.Daily(cat), SessionsPerDay(sessions, cat)
+		if len(got.Days) != len(want.Days) {
+			t.Fatalf("Daily(%q) days = %v, want %v", cat, got.Days, want.Days)
+		}
+		for i := range got.Days {
+			if !got.Days[i].Equal(want.Days[i]) || got.Values[i] != want.Values[i] {
+				t.Fatalf("Daily(%q)[%d] = (%v,%v), want (%v,%v)", cat, i,
+					got.Days[i], got.Values[i], want.Days[i], want.Values[i])
+			}
+		}
+	}
+	if sum.Accesses != d.Len() {
+		t.Fatalf("Accesses = %d, want %d", sum.Accesses, d.Len())
+	}
+}
+
+func TestSummaryMergeEqualsWhole(t *testing.T) {
+	d := &weblog.Dataset{}
+	for i := 0; i < 10; i++ {
+		d.Records = append(d.Records,
+			rec("ua1", "h1", "A", t0.Add(time.Duration(i)*10*time.Minute), "/x", 10))
+	}
+	sessions := Sessionize(d, DefaultGap)
+	whole := Summarize(sessions)
+
+	half := len(sessions) / 2
+	merged := Summarize(sessions[:half])
+	merged.Merge(Summarize(sessions[half:]))
+	if merged.Sessions != whole.Sessions || merged.Bytes != whole.Bytes ||
+		merged.Accesses != whole.Accesses {
+		t.Fatalf("merged totals %+v diverge from whole %+v", merged, whole)
+	}
+	if !mapsEqualInt(merged.ByCategory, whole.ByCategory) {
+		t.Fatalf("merged ByCategory %v != %v", merged.ByCategory, whole.ByCategory)
+	}
+}
+
+func mapsEqualInt(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func mapsEqualInt64(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -53,26 +53,74 @@ func (det *Detector) threshold() float64 {
 	return det.Threshold
 }
 
-// Detect analyzes a dataset and returns one finding per bot whose traffic
-// is dominated (>= threshold) by a single ASN while at least one other ASN
-// also carries its user agent. Findings are sorted by bot name.
-func (det *Detector) Detect(d *weblog.Dataset) []Finding {
-	counts := make(map[string]map[string]int) // bot -> asn -> count
+// Evidence is the per-bot ASN frequency table the detector consumes: for
+// every named bot, how many accesses each autonomous system carried. It
+// is the spoofing analogue of compliance.Summary — produced either by the
+// batch Gather below or incrementally by internal/stream's spoof
+// analyzer, with both paths feeding the identical DetectEvidence back
+// half. Counts are exact (not sampled), and merging two tables is a plain
+// commutative sum.
+type Evidence struct {
+	// Counts maps bot name -> ASN handle -> access count. Anonymous
+	// traffic (no BotName) is excluded, matching the paper's bot-only
+	// framing.
+	Counts map[string]map[string]int
+}
+
+// NewEvidence returns an empty frequency table.
+func NewEvidence() *Evidence {
+	return &Evidence{Counts: make(map[string]map[string]int)}
+}
+
+// Add records one access by bot from asn.
+func (e *Evidence) Add(bot, asn string) { e.AddN(bot, asn, 1) }
+
+// AddN records n accesses by bot from asn.
+func (e *Evidence) AddN(bot, asn string, n int) {
+	m := e.Counts[bot]
+	if m == nil {
+		m = make(map[string]int)
+		e.Counts[bot] = m
+	}
+	m[asn] += n
+}
+
+// Merge folds another table into this one (commutative sum).
+func (e *Evidence) Merge(o *Evidence) {
+	for bot, asns := range o.Counts {
+		for asn, n := range asns {
+			e.AddN(bot, asn, n)
+		}
+	}
+}
+
+// Gather tallies a dataset into the per-bot ASN frequency table — the
+// per-record front half of Detect.
+func Gather(d *weblog.Dataset) *Evidence {
+	e := NewEvidence()
 	for i := range d.Records {
 		r := &d.Records[i]
 		if r.BotName == "" {
 			continue
 		}
-		m := counts[r.BotName]
-		if m == nil {
-			m = make(map[string]int)
-			counts[r.BotName] = m
-		}
-		m[r.ASN]++
+		e.Add(r.BotName, r.ASN)
 	}
+	return e
+}
 
+// Detect analyzes a dataset and returns one finding per bot whose traffic
+// is dominated (>= threshold) by a single ASN while at least one other ASN
+// also carries its user agent. Findings are sorted by bot name. It is
+// Gather followed by DetectEvidence.
+func (det *Detector) Detect(d *weblog.Dataset) []Finding {
+	return det.DetectEvidence(Gather(d))
+}
+
+// DetectEvidence runs the dominant-ASN test over a pre-tallied frequency
+// table — the shared back half of Detect.
+func (det *Detector) DetectEvidence(e *Evidence) []Finding {
 	var out []Finding
-	for bot, asns := range counts {
+	for bot, asns := range e.Counts {
 		if len(asns) < 2 {
 			continue
 		}
@@ -154,5 +202,31 @@ func (det *Detector) CountSplit(d *weblog.Dataset) Counts {
 		}
 	}
 	c.Spoofed = spoofed.Len()
+	return c
+}
+
+// CountSplitEvidence computes the Table 9 tallies directly from a
+// frequency table, without materializing the record split: every access
+// in the table belongs to a named bot, and an access is spoofed exactly
+// when it comes from a suspect ASN of a finding. Equals CountSplit on the
+// dataset the table was gathered from.
+func (det *Detector) CountSplitEvidence(e *Evidence) Counts {
+	return CountsFromFindings(e, det.DetectEvidence(e))
+}
+
+// CountsFromFindings derives the Table 9 tallies from a frequency table
+// and findings already detected over it — for callers that hold both and
+// should not pay for a second detection pass.
+func CountsFromFindings(e *Evidence, findings []Finding) Counts {
+	var c Counts
+	for _, asns := range e.Counts {
+		for _, n := range asns {
+			c.Legitimate += n
+		}
+	}
+	for _, f := range findings {
+		c.Legitimate -= f.SpoofedAccesses
+		c.Spoofed += f.SpoofedAccesses
+	}
 	return c
 }

@@ -148,3 +148,65 @@ func TestDeterministicTieBreak(t *testing.T) {
 		}
 	}
 }
+
+func TestEvidencePathsMatchDatasetPaths(t *testing.T) {
+	d := &weblog.Dataset{}
+	d.Records = append(d.Records, botRecords("GB", "GOOGLE", 95)...)
+	d.Records = append(d.Records, botRecords("GB", "SHADY-NET", 3)...)
+	d.Records = append(d.Records, botRecords("CB", "OPENAI", 50)...)
+	d.Records = append(d.Records, botRecords("CB", "HETZNER", 40)...) // balanced: no finding
+	d.Records = append(d.Records, weblog.Record{UserAgent: "curl", ASN: "COMCAST",
+		Time: t0, Site: "www", Path: "/p"}) // anonymous: excluded
+
+	var det Detector
+	e := Gather(d)
+	if got, want := det.DetectEvidence(e), det.Detect(d); !equalFindings(got, want) {
+		t.Fatalf("DetectEvidence diverged from Detect:\n%+v\n%+v", got, want)
+	}
+	if got, want := det.CountSplitEvidence(e), det.CountSplit(d); got != want {
+		t.Fatalf("CountSplitEvidence = %+v, CountSplit = %+v", got, want)
+	}
+	if got := e.Counts["GB"]["SHADY-NET"]; got != 3 {
+		t.Fatalf("evidence count = %d, want 3", got)
+	}
+}
+
+func TestEvidenceMergeCommutes(t *testing.T) {
+	build := func(pairs [][2]string) *Evidence {
+		e := NewEvidence()
+		for _, p := range pairs {
+			e.Add(p[0], p[1])
+		}
+		return e
+	}
+	a := [][2]string{{"GB", "GOOGLE"}, {"GB", "GOOGLE"}, {"GB", "X-NET"}}
+	b := [][2]string{{"GB", "GOOGLE"}, {"CB", "OPENAI"}}
+
+	ab := build(a)
+	ab.Merge(build(b))
+	ba := build(b)
+	ba.Merge(build(a))
+	if ab.Counts["GB"]["GOOGLE"] != 3 || ba.Counts["GB"]["GOOGLE"] != 3 {
+		t.Fatalf("merge sums wrong: %v vs %v", ab.Counts, ba.Counts)
+	}
+	for bot, asns := range ab.Counts {
+		for asn, n := range asns {
+			if ba.Counts[bot][asn] != n {
+				t.Fatalf("merge not commutative at %s/%s", bot, asn)
+			}
+		}
+	}
+}
+
+func equalFindings(a, b []Finding) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Bot != b[i].Bot || a[i].MainASN != b[i].MainASN ||
+			a[i].Total != b[i].Total || a[i].SpoofedAccesses != b[i].SpoofedAccesses {
+			return false
+		}
+	}
+	return true
+}

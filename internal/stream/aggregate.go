@@ -37,6 +37,32 @@ type catSeen struct {
 	val string
 }
 
+// foldCategory applies the first-non-empty-label-in-ingest-order rule the
+// batch paths (compliance.CategoryOf, checkfreq.Collect) implement with
+// `if m[bot] == "" { m[bot] = category }`: a non-empty label wins by
+// minimal global sequence number (ties cannot happen, seq is unique); a
+// bot whose records only ever carry empty labels still gets an entry, via
+// the max-seq sentinel, so the merged map has batch-identical keys. This
+// rule is parity-critical and shared by every analyzer that reports
+// categories — do not fork it.
+func foldCategory(m map[string]catSeen, bot, category string, seq uint64) {
+	if category != "" {
+		if cur, ok := m[bot]; !ok || seq < cur.seq {
+			m[bot] = catSeen{seq: seq, val: category}
+		}
+	} else if _, ok := m[bot]; !ok {
+		m[bot] = catSeen{seq: ^uint64(0), val: ""}
+	}
+}
+
+// mergeCategory folds one shard's catSeen entry into a cross-shard map by
+// minimal sequence number — foldCategory's commutative merge half.
+func mergeCategory(m map[string]catSeen, bot string, c catSeen) {
+	if cur, ok := m[bot]; !ok || c.seq < cur.seq {
+		m[bot] = c
+	}
+}
+
 // shardAgg is the single-goroutine online state of one shard. Every map is
 // keyed by bot name except delays, which is keyed per (bot, τ tuple); a
 // tuple lives wholly inside one shard because the dispatcher partitions by
@@ -68,11 +94,12 @@ func newShardAgg(cfg compliance.Config) *shardAgg {
 	}
 }
 
-// apply folds one record into the shard state. seq is the record's global
-// ingest sequence number. Records must arrive in per-tuple timestamp order
-// (the reorder buffer's job); anonymous records (no BotName) only count
-// toward the record total, mirroring every batch metric's skip rule.
-func (a *shardAgg) apply(r *weblog.Record, seq uint64) {
+// Apply folds one record into the shard state (the compliance analyzer's
+// ShardState implementation). seq is the record's global ingest sequence
+// number. Records must arrive in per-tuple timestamp order (the reorder
+// buffer's job); anonymous records (no BotName) only count toward the
+// record total, mirroring every batch metric's skip rule.
+func (a *shardAgg) Apply(r *weblog.Record, seq uint64) {
 	a.records++
 	if r.BotName == "" {
 		return
@@ -120,22 +147,13 @@ func (a *shardAgg) apply(r *weblog.Record, seq uint64) {
 		a.checked[r.BotName] = true
 	}
 
-	// First non-empty category in global ingest order wins; ties cannot
-	// happen because seq is unique.
-	if r.Category != "" {
-		if cur, ok := a.category[r.BotName]; !ok || seq < cur.seq {
-			a.category[r.BotName] = catSeen{seq: seq, val: r.Category}
-		}
-	} else if _, ok := a.category[r.BotName]; !ok {
-		// Remember the bot exists so the merged Categories map has an
-		// entry (possibly empty), matching batch CategoryOf.
-		a.category[r.BotName] = catSeen{seq: ^uint64(0), val: ""}
-	}
+	foldCategory(a.category, r.BotName, r.Category, seq)
 }
 
-// Aggregates is the merged, immutable snapshot of every shard: the online
-// equivalents of the batch compliance measurement maps, plus stream
-// counters. Produce one with Pipeline.Snapshot or Pipeline.Run.
+// Aggregates is the compliance analyzer's merged, immutable snapshot: the
+// online equivalents of the batch compliance measurement maps, plus
+// stream counters. Obtain one via Results.Compliance after a
+// Pipeline.Snapshot or Pipeline.Run.
 type Aggregates struct {
 	// CrawlDelay, Endpoint, and Disallow are the per-bot measurements for
 	// the three §4.2 metrics, identical to compliance.Measure output on
@@ -209,9 +227,7 @@ func mergeShards(shards []*shardAgg) *Aggregates {
 			out.Checked[bot] = out.Checked[bot] || c
 		}
 		for bot, c := range s.category {
-			if cur, ok := cats[bot]; !ok || c.seq < cur.seq {
-				cats[bot] = c
-			}
+			mergeCategory(cats, bot, c)
 		}
 	}
 	for bot, c := range cats {

@@ -1,0 +1,250 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/checkfreq"
+	"repro/internal/compliance"
+	"repro/internal/session"
+	"repro/internal/spoof"
+	"repro/internal/weblog"
+)
+
+// ShardState is one analyzer's per-shard fold state. The pipeline gives
+// every shard its own ShardState per analyzer and calls Apply from that
+// shard's single goroutine, so implementations need no internal locking;
+// they must only never share mutable state across instances.
+type ShardState interface {
+	// Apply folds one record into the shard state. seq is the record's
+	// global ingest sequence number (unique, assigned in dispatch order),
+	// usable to reproduce batch first-in-dataset-order choices
+	// deterministically across shards. Records arrive in per-shard event
+	// time order whenever input disorder stays within the pipeline's
+	// MaxSkew (the reorder buffer's job).
+	Apply(r *weblog.Record, seq uint64)
+}
+
+// WatermarkObserver is optionally implemented by ShardStates that act on
+// event-time progress — e.g. the session analyzer closes inactivity-gapped
+// sessions and frees their open-state as the watermark passes end+gap.
+// Advance is called under the shard lock after records are released from
+// the reorder buffer; the watermark only moves forward, and every record
+// applied later has Time >= watermark (given bounded disorder). Advance is
+// never called when reordering is disabled (MaxSkew < 0), because then no
+// cross-tuple time bound holds.
+type WatermarkObserver interface {
+	Advance(watermark time.Time)
+}
+
+// Analyzer is one pluggable online analysis over the record stream: it
+// supplies fresh per-shard fold states and merges them into a snapshot.
+// The pipeline guarantees τ-locality (one requesting entity's records all
+// meet one ShardState, in event-time order within MaxSkew); in exchange an
+// analyzer's Snapshot must be deterministic — independent of shard count
+// and goroutine scheduling — which in practice means every cross-shard
+// combination must be commutative (sums, ORs, min-by-seq). See DESIGN.md,
+// "analyzer plugin layer".
+type Analyzer interface {
+	// Name is the registry key (cmd/analyze -analyzers selection) and the
+	// Results lookup key. Names must be unique within a pipeline.
+	Name() string
+	// NewState returns a fresh, empty per-shard fold state.
+	NewState() ShardState
+	// Snapshot merges the per-shard states into one result value. It is
+	// called with all shard locks held and MUST NOT mutate the states:
+	// mid-run live snapshots reuse them afterwards.
+	Snapshot(states []ShardState) any
+}
+
+// Registry names of the built-in analyzers.
+const (
+	// AnalyzerCompliance is the §4.2 compliance analyzer (crawl-delay,
+	// endpoint, disallow measurements); snapshot type *Aggregates.
+	AnalyzerCompliance = "compliance"
+	// AnalyzerCadence is the §5.1 robots.txt re-check cadence analyzer
+	// (Figure 10); snapshot type *CadenceSnapshot.
+	AnalyzerCadence = "cadence"
+	// AnalyzerSpoof is the §5.2 dominant-ASN spoof analyzer (Tables 8-9);
+	// snapshot type *SpoofSnapshot.
+	AnalyzerSpoof = "spoof"
+	// AnalyzerSession is the §3.2 inactivity-gap sessionization analyzer
+	// (Figures 2, 4); snapshot type *session.Summary.
+	AnalyzerSession = "session"
+)
+
+// AnalyzerNames lists every built-in analyzer in display order.
+var AnalyzerNames = []string{AnalyzerCompliance, AnalyzerCadence, AnalyzerSpoof, AnalyzerSession}
+
+// AnalyzerOptions carries the per-analyzer tuning knobs NewAnalyzer
+// consults; the zero value means paper defaults everywhere.
+type AnalyzerOptions struct {
+	// Compliance tunes the §4.2 metrics (zero value = paper defaults).
+	Compliance compliance.Config
+	// CadenceWindows are the §5.1 re-check windows (nil = the paper's
+	// checkfreq.DefaultWindows).
+	CadenceWindows []time.Duration
+	// CadenceSites restricts the cadence analysis to the named sites
+	// (nil = all sites), like checkfreq.Analyze.
+	CadenceSites []string
+	// SpoofThreshold is the dominant-ASN fraction (0 = the paper's
+	// spoof.DefaultThreshold of 0.90).
+	SpoofThreshold float64
+	// SessionGap is the inactivity threshold ending a session (0 = the
+	// paper's session.DefaultGap of 5 minutes).
+	SessionGap time.Duration
+}
+
+// NewAnalyzer builds one built-in analyzer by registry name.
+func NewAnalyzer(name string, o AnalyzerOptions) (Analyzer, error) {
+	switch name {
+	case AnalyzerCompliance:
+		return NewComplianceAnalyzer(o.Compliance), nil
+	case AnalyzerCadence:
+		return NewCadenceAnalyzer(o.CadenceWindows, o.CadenceSites), nil
+	case AnalyzerSpoof:
+		return NewSpoofAnalyzer(o.SpoofThreshold), nil
+	case AnalyzerSession:
+		return NewSessionAnalyzer(o.SessionGap), nil
+	default:
+		return nil, fmt.Errorf("stream: unknown analyzer %q (known: %v)", name, AnalyzerNames)
+	}
+}
+
+// NewAnalyzers builds the named built-in analyzers; nil or empty names
+// means all of them. Duplicate names are rejected (Results is keyed by
+// name).
+func NewAnalyzers(names []string, o AnalyzerOptions) ([]Analyzer, error) {
+	if len(names) == 0 {
+		names = AnalyzerNames
+	}
+	seen := make(map[string]bool, len(names))
+	out := make([]Analyzer, 0, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("stream: duplicate analyzer %q", n)
+		}
+		seen[n] = true
+		a, err := NewAnalyzer(n, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Results is the merged snapshot of every analyzer in a pipeline, keyed
+// by analyzer name. Produce one with Pipeline.Snapshot or Pipeline.Run;
+// after Close it is final and deterministic, mid-run it is a live
+// monotone approximation (in-flight records excluded).
+type Results struct {
+	// Records counts all records applied so far, anonymous ones included.
+	Records uint64
+	// Shards is the worker-pool width that produced the snapshot.
+	Shards int
+
+	names  []string // analyzer names in pipeline order
+	byName map[string]any
+}
+
+// Get returns the named analyzer's snapshot, or nil if that analyzer was
+// not part of the pipeline. The concrete type is the one documented on
+// the Analyzer* registry constant.
+func (r *Results) Get(name string) any { return r.byName[name] }
+
+// Names lists the analyzers present in the snapshot, in pipeline order
+// (the order of Options.Analyzers, or registry order for name-built
+// sets).
+func (r *Results) Names() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Compliance returns the §4.2 compliance aggregates, or nil if the
+// compliance analyzer was not selected.
+func (r *Results) Compliance() *Aggregates {
+	a, _ := r.byName[AnalyzerCompliance].(*Aggregates)
+	return a
+}
+
+// Cadence returns the §5.1 re-check cadence snapshot, or nil if the
+// cadence analyzer was not selected.
+func (r *Results) Cadence() *CadenceSnapshot {
+	c, _ := r.byName[AnalyzerCadence].(*CadenceSnapshot)
+	return c
+}
+
+// Spoof returns the §5.2 spoof-detection snapshot, or nil if the spoof
+// analyzer was not selected.
+func (r *Results) Spoof() *SpoofSnapshot {
+	s, _ := r.byName[AnalyzerSpoof].(*SpoofSnapshot)
+	return s
+}
+
+// Sessions returns the sessionization summary, or nil if the session
+// analyzer was not selected.
+func (r *Results) Sessions() *session.Summary {
+	s, _ := r.byName[AnalyzerSession].(*session.Summary)
+	return s
+}
+
+// complianceAnalyzer re-hosts the §4.2 online aggregators (aggregate.go)
+// as the first Analyzer plugin.
+type complianceAnalyzer struct {
+	cfg compliance.Config
+}
+
+// NewComplianceAnalyzer builds the §4.2 compliance analyzer; the zero
+// config means compliance.DefaultConfig(). Its snapshot type is
+// *Aggregates.
+func NewComplianceAnalyzer(cfg compliance.Config) Analyzer {
+	if cfg == (compliance.Config{}) {
+		cfg = compliance.DefaultConfig()
+	}
+	return complianceAnalyzer{cfg: cfg}
+}
+
+func (complianceAnalyzer) Name() string { return AnalyzerCompliance }
+
+func (a complianceAnalyzer) NewState() ShardState { return newShardAgg(a.cfg) }
+
+func (a complianceAnalyzer) Snapshot(states []ShardState) any {
+	aggs := make([]*shardAgg, len(states))
+	for i, st := range states {
+		aggs[i] = st.(*shardAgg)
+	}
+	return mergeShards(aggs)
+}
+
+// CadenceSnapshot is the cadence analyzer's merged state: the robots.txt
+// check Log plus the configured windows, ready for the checkfreq back
+// half.
+type CadenceSnapshot struct {
+	// Log is the merged check log, identical to checkfreq.Collect on the
+	// same records.
+	Log *checkfreq.Log
+	// Windows are the analyzer's re-check windows.
+	Windows []time.Duration
+}
+
+// Stats computes the per-bot Figure 10 statistics via the shared
+// checkfreq back half.
+func (c *CadenceSnapshot) Stats() []checkfreq.BotStats { return c.Log.Stats(c.Windows) }
+
+// ByCategory rolls the per-bot statistics up into Figure 10's
+// per-category proportions.
+func (c *CadenceSnapshot) ByCategory() []checkfreq.CategoryProportion {
+	return checkfreq.ByCategory(c.Stats(), c.Windows)
+}
+
+// SpoofSnapshot is the spoof analyzer's merged state: the per-bot ASN
+// frequency table plus the finished dominant-ASN verdicts.
+type SpoofSnapshot struct {
+	// Evidence is the merged frequency table, identical to spoof.Gather
+	// on the same records.
+	Evidence *spoof.Evidence
+	// Findings are the Table 8 verdicts (spoof.DetectEvidence output).
+	Findings []spoof.Finding
+	// Counts are the Table 9 legitimate-vs-spoofed request tallies.
+	Counts spoof.Counts
+}

@@ -1,0 +1,277 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/checkfreq"
+	"repro/internal/compliance"
+	"repro/internal/session"
+	"repro/internal/spoof"
+	"repro/internal/weblog"
+)
+
+// makeBursty builds n records as per-tuple bursts separated by idle gaps,
+// over a multi-week span: bursts produce multi-access sessions (in-burst
+// steps stay under the 5-minute gap), the long span exercises every §5.1
+// re-check window, and each bot's traffic is dominated by one ASN with a
+// small fraction leaking from foreign networks so the §5.2 heuristic
+// fires. jitter > 0 displaces timestamps by up to ±jitter while keeping
+// slice order, producing bounded out-of-order input.
+func makeBursty(n int, seed int64, jitter time.Duration) *weblog.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	enrich := poolEnrich()
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	nTuples := n / 400
+	if nTuples < 8 {
+		nTuples = 8
+	}
+	type tupleID struct {
+		ua, ip, asn string
+	}
+	// A guaranteed §5.2 case at any n: botPool[0] gets 19 tuples on its
+	// dominant network and exactly one on a foreign one, keeping the
+	// foreign share safely under the 10% suspect threshold while making
+	// at least one finding certain.
+	tuples := make([]tupleID, 0, nTuples+20)
+	for i := 0; i < 19; i++ {
+		tuples = append(tuples, tupleID{ua: botPool[0].ua, ip: fmt.Sprintf("gdom%02d", i), asn: asnPool[0]})
+	}
+	tuples = append(tuples, tupleID{ua: botPool[0].ua, ip: "gspoof", asn: asnPool[1]})
+	for i := 0; i < nTuples; i++ {
+		bi := rng.Intn(len(botPool))
+		asn := asnPool[bi%len(asnPool)] // the bot's dominant network
+		if rng.Intn(20) == 0 {          // ~5% of tuples spoof from elsewhere
+			asn = asnPool[rng.Intn(len(asnPool))]
+		}
+		tuples = append(tuples, tupleID{
+			ua:  botPool[bi].ua,
+			ip:  fmt.Sprintf("h%05x", rng.Intn(1<<20)),
+			asn: asn,
+		})
+	}
+	nTuples = len(tuples)
+	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
+	jitterSec := int(jitter / time.Second)
+	now := base
+	for len(d.Records) < n {
+		tp := tuples[rng.Intn(nTuples)]
+		burst := 1 + rng.Intn(12)
+		for b := 0; b < burst && len(d.Records) < n; b++ {
+			now = now.Add(time.Duration(1+rng.Intn(45)) * time.Second)
+			ts := now
+			if jitterSec > 0 {
+				ts = ts.Add(time.Duration(rng.Intn(2*jitterSec+1)-jitterSec) * time.Second)
+			}
+			rec := weblog.Record{
+				UserAgent: tp.ua,
+				Time:      ts,
+				IPHash:    tp.ip,
+				ASN:       tp.asn,
+				Site:      "www",
+				Path:      pathPool[rng.Intn(len(pathPool))],
+				Status:    200,
+				Bytes:     int64(rng.Intn(50_000)),
+			}
+			enrich(&rec)
+			d.Records = append(d.Records, rec)
+		}
+		now = now.Add(time.Duration(rng.Intn(1200)) * time.Second)
+	}
+	return d
+}
+
+// runAllAnalyzers streams a dataset through a pipeline running every
+// built-in analyzer with the default preprocessing.
+func runAllAnalyzers(t *testing.T, d *weblog.Dataset, shards int, skew time.Duration) *Results {
+	t.Helper()
+	analyzers, err := NewAnalyzers(nil, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	p := NewPipeline(Options{
+		Shards:    shards,
+		MaxSkew:   skew,
+		Keep:      pre.Keep,
+		Enrich:    func(r *weblog.Record) { enrich(r) },
+		Analyzers: analyzers,
+	})
+	res, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStreamAnalyzerParity is the multi-analyzer acceptance test: on a
+// ≥100k-record dataset with ±45s timestamp jitter, the streaming cadence,
+// spoof, session, and compliance snapshots must be byte-identical to
+// their batch counterparts for every shard count in {1, 4, 7}.
+func TestStreamAnalyzerParity(t *testing.T) {
+	d := makeBursty(parityN(t), 21, 45*time.Second)
+	batch := enrichBatch(d) // the preprocessed ground-truth dataset
+
+	wantLog := checkfreq.Collect(batch, nil)
+	wantStats := wantLog.Stats(nil) // sorts wantLog's check lists in place
+	wantByCat := checkfreq.ByCategory(wantStats, nil)
+	var det spoof.Detector
+	wantFindings := det.Detect(batch)
+	wantCounts := det.CountSplit(batch)
+	wantEvidence := spoof.Gather(batch)
+	wantSessions := session.Summarize(session.Sessionize(batch, session.DefaultGap))
+	wantComp := batchSummaries(d, compliance.DefaultConfig())
+
+	if len(wantFindings) == 0 {
+		t.Fatal("fixture produced no spoof findings; the spoof parity check would be vacuous")
+	}
+	if wantSessions.Sessions == 0 || wantSessions.Sessions == wantSessions.Accesses {
+		t.Fatalf("fixture produced degenerate sessions: %d sessions over %d accesses",
+			wantSessions.Sessions, wantSessions.Accesses)
+	}
+
+	for _, shards := range []int{1, 4, 7} {
+		label := fmt.Sprintf("shards=%d", shards)
+		res := runAllAnalyzers(t, d, shards, 2*time.Minute)
+
+		cad := res.Cadence()
+		if got := cad.Stats(); !reflect.DeepEqual(got, wantStats) {
+			t.Fatalf("%s: cadence stats diverged\nbatch:  %+v\nstream: %+v", label, wantStats, got)
+		}
+		// Stats sorted both logs' check lists, so the merged intermediate
+		// itself must now equal the batch Collect output too.
+		if !reflect.DeepEqual(cad.Log, wantLog) {
+			t.Fatalf("%s: cadence log diverged from checkfreq.Collect", label)
+		}
+		if got := cad.ByCategory(); !reflect.DeepEqual(got, wantByCat) {
+			t.Fatalf("%s: cadence categories diverged\nbatch:  %+v\nstream: %+v", label, wantByCat, got)
+		}
+
+		sp := res.Spoof()
+		if !reflect.DeepEqual(sp.Evidence, wantEvidence) {
+			t.Fatalf("%s: spoof evidence diverged from spoof.Gather", label)
+		}
+		if !reflect.DeepEqual(sp.Findings, wantFindings) {
+			t.Fatalf("%s: spoof findings diverged\nbatch:  %+v\nstream: %+v", label, wantFindings, sp.Findings)
+		}
+		if sp.Counts != wantCounts {
+			t.Fatalf("%s: spoof counts diverged: batch %+v, stream %+v", label, wantCounts, sp.Counts)
+		}
+
+		if got := res.Sessions(); !reflect.DeepEqual(got, wantSessions) {
+			t.Fatalf("%s: session summary diverged\nbatch:  %+v\nstream: %+v", label, wantSessions, got)
+		}
+
+		gotComp := make(map[compliance.Directive]compliance.Summary)
+		for _, dir := range compliance.Directives {
+			gotComp[dir] = res.Compliance().Summary(dir)
+		}
+		assertSummariesEqual(t, wantComp, gotComp, label)
+	}
+}
+
+// TestStreamAnalyzerParityInOrder repeats the parity check on strictly
+// ordered input with reordering disabled (MaxSkew < 0), the trusted-order
+// fast path where watermark observers never run.
+func TestStreamAnalyzerParityInOrder(t *testing.T) {
+	d := makeBursty(parityN(t)/4, 22, 0)
+	batch := enrichBatch(d)
+	wantSessions := session.Summarize(session.Sessionize(batch, session.DefaultGap))
+	wantStats := checkfreq.Analyze(batch, nil, nil)
+
+	res := runAllAnalyzers(t, d, 5, -1)
+	if got := res.Sessions(); !reflect.DeepEqual(got, wantSessions) {
+		t.Fatalf("session summary diverged on ordered input\nbatch:  %+v\nstream: %+v", wantSessions, got)
+	}
+	if got := res.Cadence().Stats(); !reflect.DeepEqual(got, wantStats) {
+		t.Fatalf("cadence stats diverged on ordered input")
+	}
+}
+
+// TestAnalyzerRegistry covers name resolution: all names, unknown names,
+// and duplicates.
+func TestAnalyzerRegistry(t *testing.T) {
+	all, err := NewAnalyzers(nil, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(AnalyzerNames) {
+		t.Fatalf("nil names built %d analyzers, want %d", len(all), len(AnalyzerNames))
+	}
+	for i, a := range all {
+		if a.Name() != AnalyzerNames[i] {
+			t.Fatalf("analyzer %d = %q, want %q", i, a.Name(), AnalyzerNames[i])
+		}
+	}
+	if _, err := NewAnalyzers([]string{"compliance", "nope"}, AnalyzerOptions{}); err == nil {
+		t.Fatal("want error for unknown analyzer name")
+	}
+	if _, err := NewAnalyzers([]string{"spoof", "spoof"}, AnalyzerOptions{}); err == nil {
+		t.Fatal("want error for duplicate analyzer name")
+	}
+}
+
+// TestResultsAccessors checks that absent analyzers yield nil snapshots
+// and present ones are listed in registry order.
+func TestResultsAccessors(t *testing.T) {
+	analyzers, err := NewAnalyzers([]string{AnalyzerSpoof, AnalyzerSession}, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(Options{Shards: 2, Analyzers: analyzers})
+	res, err := p.Run(context.Background(), NewDatasetDecoder(makeBursty(500, 23, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compliance() != nil || res.Cadence() != nil {
+		t.Fatal("unselected analyzers must be absent from Results")
+	}
+	if res.Spoof() == nil || res.Sessions() == nil {
+		t.Fatal("selected analyzers must be present in Results")
+	}
+	if got := res.Names(); !reflect.DeepEqual(got, []string{AnalyzerSpoof, AnalyzerSession}) {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+// TestSessionWatermarkClosure drives the session shard state directly:
+// once the watermark passes an open session's end by more than the gap,
+// the session closes and its open-state is freed, and the final snapshot
+// still matches the batch semantics.
+func TestSessionWatermarkClosure(t *testing.T) {
+	a := NewSessionAnalyzer(time.Minute)
+	st := a.NewState().(*sessionShard)
+	t0 := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	rec := func(ts time.Time) *weblog.Record {
+		return &weblog.Record{UserAgent: "ua", IPHash: "h", ASN: "AS", Time: ts,
+			Category: "AI Data Scrapers", Bytes: 10}
+	}
+	st.Apply(rec(t0), 1)
+	st.Apply(rec(t0.Add(30*time.Second)), 2)
+	if len(st.open) != 1 || st.closed.Sessions != 0 {
+		t.Fatalf("open=%d closed=%d after two in-gap records", len(st.open), st.closed.Sessions)
+	}
+	// The watermark passes end+gap: the session must close and free state.
+	st.Advance(t0.Add(30*time.Second + 2*time.Minute))
+	if len(st.open) != 0 || st.closed.Sessions != 1 {
+		t.Fatalf("open=%d closed=%d after watermark sweep", len(st.open), st.closed.Sessions)
+	}
+	// A later record starts a fresh session; the snapshot folds it in.
+	st.Apply(rec(t0.Add(10*time.Minute)), 3)
+	sum := a.Snapshot([]ShardState{st}).(*session.Summary)
+	if sum.Sessions != 2 || sum.Accesses != 3 || sum.Bytes != 30 {
+		t.Fatalf("snapshot = %+v, want 2 sessions / 3 accesses / 30 bytes", sum)
+	}
+	if sum.ByCategory["AI Data Scrapers"] != 2 {
+		t.Fatalf("ByCategory = %v", sum.ByCategory)
+	}
+	// The snapshot must not have mutated the live state.
+	if len(st.open) != 1 || st.closed.Sessions != 1 {
+		t.Fatalf("snapshot mutated shard state: open=%d closed=%d", len(st.open), st.closed.Sessions)
+	}
+}

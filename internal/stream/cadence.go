@@ -1,0 +1,92 @@
+package stream
+
+import (
+	"time"
+
+	"repro/internal/checkfreq"
+	"repro/internal/weblog"
+)
+
+// cadenceShard is the per-shard state of the §5.1 re-check cadence
+// analyzer: the bot's robots.txt fetch timestamps (checks are sparse, so
+// this stays far below O(records)), the first non-empty category label
+// with its sequence number, and the shard's event-time high-water mark.
+type cadenceShard struct {
+	siteOK func(string) bool
+	end    time.Time
+	checks map[string][]time.Time
+	cats   map[string]catSeen
+}
+
+// Apply folds one record: every record advances the dataset-end clock;
+// named-bot records on included sites contribute category labels and, for
+// robots.txt fetches, a check timestamp. Ordering does not matter — the
+// checkfreq back half sorts — so cadence tolerates unbounded disorder.
+func (s *cadenceShard) Apply(r *weblog.Record, seq uint64) {
+	if r.Time.After(s.end) {
+		s.end = r.Time
+	}
+	if r.BotName == "" || !s.siteOK(r.Site) {
+		return
+	}
+	foldCategory(s.cats, r.BotName, r.Category, seq)
+	if r.IsRobotsFetch() {
+		s.checks[r.BotName] = append(s.checks[r.BotName], r.Time)
+	}
+}
+
+// cadenceAnalyzer is the §5.1 analyzer: its merged snapshot is the same
+// checkfreq.Log the batch Collect produces, so Figure 10 statistics come
+// out of the shared checkfreq back half byte-identical to batch.
+type cadenceAnalyzer struct {
+	windows []time.Duration
+	sites   []string
+}
+
+// NewCadenceAnalyzer builds the §5.1 robots.txt re-check cadence
+// analyzer. Nil windows means the paper's checkfreq.DefaultWindows; nil
+// sites means all sites. Its snapshot type is *CadenceSnapshot.
+func NewCadenceAnalyzer(windows []time.Duration, sites []string) Analyzer {
+	if len(windows) == 0 {
+		windows = checkfreq.DefaultWindows
+	}
+	return cadenceAnalyzer{windows: windows, sites: sites}
+}
+
+func (cadenceAnalyzer) Name() string { return AnalyzerCadence }
+
+func (a cadenceAnalyzer) NewState() ShardState {
+	return &cadenceShard{
+		siteOK: checkfreq.SiteFilter(a.sites),
+		checks: make(map[string][]time.Time),
+		cats:   make(map[string]catSeen),
+	}
+}
+
+// Snapshot merges the shards into a fresh checkfreq.Log: check lists
+// concatenate (the back half sorts), the end clock is the max, and
+// category labels resolve by minimal global sequence number — all
+// commutative, so the result is shard-count independent.
+func (a cadenceAnalyzer) Snapshot(states []ShardState) any {
+	log := &checkfreq.Log{
+		Checks:     make(map[string][]time.Time),
+		Categories: make(map[string]string),
+	}
+	cats := make(map[string]catSeen)
+	for _, st := range states {
+		s := st.(*cadenceShard)
+		if s.end.After(log.End) {
+			log.End = s.end
+		}
+		for bot, ts := range s.checks {
+			log.Checks[bot] = append(log.Checks[bot], ts...)
+		}
+		for bot, c := range s.cats {
+			mergeCategory(cats, bot, c)
+		}
+	}
+	for bot, c := range cats {
+		log.Categories[bot] = c.val
+	}
+	return &CadenceSnapshot{Log: log, Windows: a.windows}
+}

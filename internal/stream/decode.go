@@ -1,13 +1,20 @@
-// Package stream is the streaming front-end of the compliance pipeline:
-// it ingests access logs as an unbounded record stream instead of a fully
+// Package stream is the streaming analyzer layer of the reproduction: it
+// ingests access logs as an unbounded record stream instead of a fully
 // materialized weblog.Dataset, shards the stream by the paper's τ =
 // (ASN, IP hash, user agent) tuple across a worker pool, runs enrichment
-// in parallel with backpressure, and folds every record into online
-// aggregators whose deterministic shard merge reproduces the batch
-// compliance metrics exactly while holding O(shards + tuples) state
-// instead of O(records).
+// in parallel with backpressure, and folds every record into pluggable
+// online analyzers whose deterministic shard merges reproduce the batch
+// results exactly while holding state proportional to the analysis, not
+// to the stream.
 //
-// The subsystem has four parts, one per file:
+// Four built-in analyzers cover the paper's whole methodology online:
+// compliance (§4.2 crawl-delay/endpoint/disallow metrics), cadence (§5.1
+// robots.txt re-check windows, Figure 10), spoof (§5.2 dominant-ASN
+// detection, Tables 8-9), and session (§3.2 inactivity-gap
+// sessionization, Figures 2, 4). Select them by name with NewAnalyzers or
+// plug in any Analyzer implementation via Options.Analyzers.
+//
+// The subsystem's parts, one per file:
 //
 //   - decode.go: incremental decoders for the three wire formats (CSV,
 //     JSONL, CLF) built on the same exported row primitives the batch
@@ -15,11 +22,16 @@
 //   - pipeline.go: the sharded worker pool with τ-hash partitioning, a
 //     per-shard watermark reorder buffer for bounded timestamp skew, and
 //     bounded channels for backpressure;
-//   - aggregate.go: the per-shard online metric state and the
+//   - analyzer.go: the Analyzer/ShardState plugin contract, the registry,
+//     and the merged Results snapshot;
+//   - aggregate.go: the compliance analyzer's per-shard state and its
 //     deterministic merge into compliance.Summary values;
+//   - cadence.go, spoofwatch.go, sessionize.go: the §5.1/§5.2/§3.2
+//     analyzers, each feeding its batch package's shared back half;
 //   - tail.go: a polling reader that follows a growing log file.
 //
-// See DESIGN.md ("internal/stream") for the shard-merge invariant.
+// See DESIGN.md ("internal/stream") for the shard-merge invariant and the
+// per-analyzer merge arguments.
 package stream
 
 import (

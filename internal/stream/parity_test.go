@@ -135,10 +135,11 @@ func streamSummaries(t *testing.T, encoded []byte, format string, shards int, sk
 		Enrich:     func(r *weblog.Record) { enrich(r) },
 		Compliance: cfg,
 	})
-	agg, err := p.Run(context.Background(), dec)
+	res, err := p.Run(context.Background(), dec)
 	if err != nil {
 		t.Fatal(err)
 	}
+	agg := res.Compliance()
 	out := make(map[compliance.Directive]compliance.Summary)
 	for _, dir := range compliance.Directives {
 		out[dir] = agg.Summary(dir)
@@ -309,9 +310,9 @@ func runPipeline(t *testing.T, d *weblog.Dataset, shards int, cfg compliance.Con
 		Enrich:     func(r *weblog.Record) { enrich(r) },
 		Compliance: cfg,
 	})
-	agg, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	res, err := p.Run(context.Background(), NewDatasetDecoder(d))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return agg
+	return res.Compliance()
 }

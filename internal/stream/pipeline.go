@@ -40,8 +40,14 @@ type Options struct {
 	// BotName/Category the way the batch Preprocessor does. It must be
 	// safe for concurrent use (agent.Matcher is).
 	Enrich func(*weblog.Record)
-	// Compliance tunes the online metrics; the zero value means
-	// compliance.DefaultConfig().
+	// Analyzers selects the online analyses every record is folded into.
+	// Nil means the single §4.2 compliance analyzer configured by the
+	// Compliance field below; build other sets with NewAnalyzers or the
+	// New*Analyzer constructors.
+	Analyzers []Analyzer
+	// Compliance tunes the default compliance analyzer when Analyzers is
+	// nil; the zero value means compliance.DefaultConfig(). Ignored when
+	// Analyzers is set (configure via NewComplianceAnalyzer instead).
 	Compliance compliance.Config
 }
 
@@ -67,8 +73,8 @@ func (h recHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h recHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *recHeap) Push(x any)        { *h = append(*h, x.(seqRec)) }
+func (h recHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *recHeap) Push(x any)   { *h = append(*h, x.(seqRec)) }
 func (h *recHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -79,28 +85,38 @@ func (h *recHeap) Pop() any {
 
 // shardWorker owns one shard: a channel feeding a single goroutine that
 // enriches, reorders within the skew window, and folds into the shard's
-// online aggregator. mu guards buf/agg so live snapshots can read them
+// analyzer states. mu guards buf/states so live snapshots can read them
 // mid-run.
 type shardWorker struct {
 	ch      chan seqRec
 	mu      sync.Mutex
 	buf     recHeap
 	maxSeen time.Time
-	agg     *shardAgg
+	states  []ShardState // one per pipeline analyzer, same order
+	records uint64
 }
 
-// Pipeline is the sharded streaming analyzer. Build with NewPipeline, then
-// either call Run with a Decoder, or Ingest records by hand and Close.
-// Snapshot may be called at any time; after Close it is final and
-// deterministic.
+// apply folds one released record into every analyzer state. Must hold mu.
+func (s *shardWorker) apply(r *weblog.Record, seq uint64) {
+	s.records++
+	for _, st := range s.states {
+		st.Apply(r, seq)
+	}
+}
+
+// Pipeline is the sharded streaming analyzer runtime. Build with
+// NewPipeline, then either call Run with a Decoder, or Ingest records by
+// hand and Close. Snapshot may be called at any time; after Close it is
+// final and deterministic.
 type Pipeline struct {
-	opts    Options
-	cfg     compliance.Config
-	shards  []*shardWorker
-	wg      sync.WaitGroup
-	seq     uint64
-	dropped atomic.Uint64
-	closed  bool
+	opts      Options
+	analyzers []Analyzer
+	shards    []*shardWorker
+	observers [][]WatermarkObserver // per shard, the states that watch watermarks
+	wg        sync.WaitGroup
+	seq       uint64
+	dropped   atomic.Uint64
+	closed    bool
 }
 
 // NewPipeline builds and starts a pipeline; its workers idle until records
@@ -115,27 +131,36 @@ func NewPipeline(opts Options) *Pipeline {
 	if opts.MaxSkew == 0 {
 		opts.MaxSkew = DefaultMaxSkew
 	}
-	cfg := opts.Compliance
-	if cfg == (compliance.Config{}) {
-		cfg = compliance.DefaultConfig()
+	analyzers := opts.Analyzers
+	if len(analyzers) == 0 {
+		analyzers = []Analyzer{NewComplianceAnalyzer(opts.Compliance)}
 	}
-	p := &Pipeline{opts: opts, cfg: cfg}
+	p := &Pipeline{opts: opts, analyzers: analyzers}
 	p.shards = make([]*shardWorker, opts.Shards)
+	p.observers = make([][]WatermarkObserver, opts.Shards)
 	for i := range p.shards {
 		s := &shardWorker{
-			ch:  make(chan seqRec, opts.Buffer),
-			agg: newShardAgg(cfg),
+			ch:     make(chan seqRec, opts.Buffer),
+			states: make([]ShardState, len(analyzers)),
+		}
+		for j, a := range analyzers {
+			s.states[j] = a.NewState()
+			// Watermark observers only make sense when the reorder buffer
+			// maintains a cross-tuple time bound (MaxSkew > 0).
+			if o, ok := s.states[j].(WatermarkObserver); ok && opts.MaxSkew > 0 {
+				p.observers[i] = append(p.observers[i], o)
+			}
 		}
 		p.shards[i] = s
 		p.wg.Add(1)
-		go p.work(s)
+		go p.work(i, s)
 	}
 	return p
 }
 
 // work is one shard's goroutine: enrich in parallel, then buffer/apply
 // under the shard lock.
-func (p *Pipeline) work(s *shardWorker) {
+func (p *Pipeline) work(idx int, s *shardWorker) {
 	defer p.wg.Done()
 	skew := p.opts.MaxSkew
 	for sr := range s.ch {
@@ -147,13 +172,16 @@ func (p *Pipeline) work(s *shardWorker) {
 			s.maxSeen = sr.rec.Time
 		}
 		if skew <= 0 {
-			s.agg.apply(&sr.rec, sr.seq)
+			s.apply(&sr.rec, sr.seq)
 		} else {
 			heap.Push(&s.buf, sr)
 			watermark := s.maxSeen.Add(-skew)
 			for len(s.buf) > 0 && !s.buf[0].rec.Time.After(watermark) {
 				rel := heap.Pop(&s.buf).(seqRec)
-				s.agg.apply(&rel.rec, rel.seq)
+				s.apply(&rel.rec, rel.seq)
+			}
+			for _, o := range p.observers[idx] {
+				o.Advance(watermark)
 			}
 		}
 		s.mu.Unlock()
@@ -162,14 +190,14 @@ func (p *Pipeline) work(s *shardWorker) {
 	s.mu.Lock()
 	for len(s.buf) > 0 {
 		rel := heap.Pop(&s.buf).(seqRec)
-		s.agg.apply(&rel.rec, rel.seq)
+		s.apply(&rel.rec, rel.seq)
 	}
 	s.mu.Unlock()
 }
 
 // shardOf partitions by τ = (ASN, IP hash, user agent) hash, so one
 // requesting entity's records always meet the same single-goroutine
-// aggregator in order.
+// analyzer states in order.
 func (p *Pipeline) shardOf(r *weblog.Record) int {
 	h := fnv.New64a()
 	io.WriteString(h, r.ASN)
@@ -220,29 +248,45 @@ func (p *Pipeline) Close() {
 // DroppedRecords reports how many records the Keep filter rejected.
 func (p *Pipeline) DroppedRecords() uint64 { return p.dropped.Load() }
 
-// Snapshot merges all shard states into one Aggregates. After Close the
-// snapshot is complete and deterministic — independent of shard count and
-// scheduling. Mid-run it is a live monotone approximation: all shard locks
-// are held during the merge, but records still in flight (channels,
-// reorder buffers) are not yet included.
-func (p *Pipeline) Snapshot() *Aggregates {
-	aggs := make([]*shardAgg, len(p.shards))
-	for i, s := range p.shards {
+// Analyzers returns the pipeline's analyzer set, in Results order.
+func (p *Pipeline) Analyzers() []Analyzer { return p.analyzers }
+
+// Snapshot merges all shard states into one Results value holding every
+// analyzer's snapshot. After Close the snapshot is complete and
+// deterministic — independent of shard count and scheduling. Mid-run it
+// is a live monotone approximation: all shard locks are held during the
+// merge, but records still in flight (channels, reorder buffers) are not
+// yet included.
+func (p *Pipeline) Snapshot() *Results {
+	for _, s := range p.shards {
 		s.mu.Lock()
-		aggs[i] = s.agg
 	}
-	out := mergeShards(aggs)
+	res := &Results{
+		Shards: len(p.shards),
+		byName: make(map[string]any, len(p.analyzers)),
+	}
+	for _, s := range p.shards {
+		res.Records += s.records
+	}
+	states := make([]ShardState, len(p.shards))
+	for ai, a := range p.analyzers {
+		for si, s := range p.shards {
+			states[si] = s.states[ai]
+		}
+		res.names = append(res.names, a.Name())
+		res.byName[a.Name()] = a.Snapshot(states)
+	}
 	for _, s := range p.shards {
 		s.mu.Unlock()
 	}
-	return out
+	return res
 }
 
 // Run ingests every record dec yields, closes the pipeline, and returns
 // the final snapshot. On a decode error or context cancellation it still
 // drains and returns the snapshot of everything ingested so far alongside
 // the error, so a tailing run interrupted by ctx keeps its results.
-func (p *Pipeline) Run(ctx context.Context, dec Decoder) (*Aggregates, error) {
+func (p *Pipeline) Run(ctx context.Context, dec Decoder) (*Results, error) {
 	var runErr error
 	for {
 		if ctx != nil {

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/weblog"
+)
+
+// liveSession is one entity's currently-open session.
+type liveSession struct {
+	start, end time.Time
+	category   string
+	accesses   int
+	bytes      int64
+}
+
+// sessionShard is the per-shard state of the sessionization analyzer: one
+// open session per active τ tuple plus the running Summary of every
+// session already closed. τ-locality means a tuple's whole session
+// history plays out inside one shard, so no session ever spans shards.
+type sessionShard struct {
+	gap       time.Duration
+	open      map[weblog.Tuple]*liveSession
+	closed    *session.Summary
+	lastSweep time.Time
+}
+
+// Apply folds one record: it either extends the tuple's open session or —
+// when the inactivity gap is exceeded — closes it into the summary and
+// starts a new one. Records reach a shard in event-time order (within
+// MaxSkew), which is exactly the order batch Sessionize sorts into.
+func (s *sessionShard) Apply(r *weblog.Record, seq uint64) {
+	t := weblog.TupleOf(r)
+	ls := s.open[t]
+	if ls == nil || r.Time.Sub(ls.end) > s.gap {
+		if ls != nil {
+			s.closed.AddSession(ls.start, ls.category, ls.accesses, ls.bytes)
+		}
+		// Like batch Sessionize, the session's category is the first
+		// record's label.
+		ls = &liveSession{start: r.Time, end: r.Time, category: r.Category}
+		s.open[t] = ls
+	}
+	ls.end = r.Time
+	ls.accesses++
+	ls.bytes += r.Bytes
+}
+
+// Advance is the watermark-driven closure: once the shard watermark
+// passes an open session's end by more than the gap, no future record can
+// extend it (every later record has Time >= watermark), so it is closed
+// and its open-state freed. This keeps the open map proportional to
+// *active* tuples, not all tuples ever seen, and makes live snapshots
+// reflect sessions the instant they time out. Sweeps are amortized to one
+// full map scan per gap of event time.
+func (s *sessionShard) Advance(w time.Time) {
+	if !s.lastSweep.IsZero() && w.Sub(s.lastSweep) < s.gap {
+		return
+	}
+	s.lastSweep = w
+	for t, ls := range s.open {
+		if w.Sub(ls.end) > s.gap {
+			s.closed.AddSession(ls.start, ls.category, ls.accesses, ls.bytes)
+			delete(s.open, t)
+		}
+	}
+}
+
+// sessionAnalyzer is the sessionization analyzer: its snapshot is the
+// same session.Summary the batch Summarize(Sessionize(d, gap)) produces.
+type sessionAnalyzer struct {
+	gap time.Duration
+}
+
+// NewSessionAnalyzer builds the inactivity-gap sessionization analyzer; a
+// zero gap means the paper's session.DefaultGap (5 minutes). Its snapshot
+// type is *session.Summary.
+func NewSessionAnalyzer(gap time.Duration) Analyzer {
+	if gap <= 0 {
+		gap = session.DefaultGap
+	}
+	return sessionAnalyzer{gap: gap}
+}
+
+func (sessionAnalyzer) Name() string { return AnalyzerSession }
+
+func (a sessionAnalyzer) NewState() ShardState {
+	return &sessionShard{
+		gap:    a.gap,
+		open:   make(map[weblog.Tuple]*liveSession),
+		closed: session.NewSummary(),
+	}
+}
+
+// Snapshot merges every shard's closed summary and folds the still-open
+// sessions in read-only (batch Sessionize counts in-progress activity as
+// a session too, so this matches it exactly at Close time). All
+// combination is commutative summing, so the result is shard-count
+// independent.
+func (sessionAnalyzer) Snapshot(states []ShardState) any {
+	out := session.NewSummary()
+	for _, st := range states {
+		s := st.(*sessionShard)
+		out.Merge(s.closed)
+		for _, ls := range s.open {
+			out.AddSession(ls.start, ls.category, ls.accesses, ls.bytes)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"repro/internal/spoof"
+	"repro/internal/weblog"
+)
+
+// spoofShard is the per-shard state of the §5.2 spoof analyzer: an exact
+// per-bot ASN frequency table. State is O(bots × ASNs) — independent of
+// stream length — and completely order-insensitive.
+type spoofShard struct {
+	ev *spoof.Evidence
+}
+
+func (s *spoofShard) Apply(r *weblog.Record, seq uint64) {
+	if r.BotName == "" {
+		return
+	}
+	s.ev.Add(r.BotName, r.ASN)
+}
+
+// spoofAnalyzer is the §5.2 analyzer: shard tables merge by plain sum
+// into one spoof.Evidence, and the shared spoof back half turns it into
+// Table 8 findings and Table 9 counts byte-identical to batch Detect.
+type spoofAnalyzer struct {
+	det spoof.Detector
+}
+
+// NewSpoofAnalyzer builds the §5.2 dominant-ASN spoof analyzer; a zero
+// threshold means the paper's spoof.DefaultThreshold (0.90). Its snapshot
+// type is *SpoofSnapshot.
+func NewSpoofAnalyzer(threshold float64) Analyzer {
+	return spoofAnalyzer{det: spoof.Detector{Threshold: threshold}}
+}
+
+func (spoofAnalyzer) Name() string { return AnalyzerSpoof }
+
+func (spoofAnalyzer) NewState() ShardState { return &spoofShard{ev: spoof.NewEvidence()} }
+
+func (a spoofAnalyzer) Snapshot(states []ShardState) any {
+	merged := spoof.NewEvidence()
+	for _, st := range states {
+		merged.Merge(st.(*spoofShard).ev)
+	}
+	det := a.det
+	// One detection pass serves both the findings and the counts: this
+	// runs with every shard lock held, so it must not do the O(bots×ASNs)
+	// scan twice.
+	findings := det.DetectEvidence(merged)
+	return &SpoofSnapshot{
+		Evidence: merged,
+		Findings: findings,
+		Counts:   spoof.CountsFromFindings(merged, findings),
+	}
+}

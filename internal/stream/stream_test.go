@@ -147,12 +147,16 @@ func TestPipelineShardCountInvariance(t *testing.T) {
 	var want *Aggregates
 	for _, shards := range []int{1, 2, 4, 7} {
 		p := NewPipeline(Options{Shards: shards})
-		got, err := p.Run(context.Background(), NewDatasetDecoder(d))
+		res, err := p.Run(context.Background(), NewDatasetDecoder(d))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Shards != shards {
-			t.Fatalf("snapshot reports %d shards, want %d", got.Shards, shards)
+		if res.Shards != shards {
+			t.Fatalf("snapshot reports %d shards, want %d", res.Shards, shards)
+		}
+		got := res.Compliance()
+		if got == nil {
+			t.Fatal("default pipeline must run the compliance analyzer")
 		}
 		if want == nil {
 			want = got
@@ -180,7 +184,7 @@ func TestPipelineOutOfOrderWithinSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assertSameAggregates(t, want, got, "out-of-order vs sorted")
+	assertSameAggregates(t, want.Compliance(), got.Compliance(), "out-of-order vs sorted")
 
 	// Sanity: the ordered and jittered datasets genuinely differ in order.
 	if reflect.DeepEqual(ordered.Records, shuffled.Records) {
@@ -193,15 +197,15 @@ func TestPipelineKeepAndDroppedCount(t *testing.T) {
 	p := NewPipeline(Options{Shards: 2, Keep: func(r *weblog.Record) bool {
 		return r.BotName != "" // drop the anonymous curl record
 	}})
-	agg, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	res, err := p.Run(context.Background(), NewDatasetDecoder(d))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.DroppedRecords() != 1 {
 		t.Fatalf("dropped = %d, want 1", p.DroppedRecords())
 	}
-	if agg.Records != 2 {
-		t.Fatalf("records = %d, want 2", agg.Records)
+	if res.Records != 2 {
+		t.Fatalf("records = %d, want 2", res.Records)
 	}
 }
 
@@ -209,12 +213,12 @@ func TestPipelineContextCancelKeepsPartialAggregates(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	p := NewPipeline(Options{Shards: 2})
-	agg, err := p.Run(ctx, NewDatasetDecoder(makeSynthetic(100, 3, 0)))
+	res, err := p.Run(ctx, NewDatasetDecoder(makeSynthetic(100, 3, 0)))
 	if err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if agg == nil {
-		t.Fatal("want non-nil aggregates on cancellation")
+	if res == nil || res.Compliance() == nil {
+		t.Fatal("want non-nil results on cancellation")
 	}
 }
 
@@ -258,12 +262,39 @@ func TestTailReaderFollowsGrowth(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 
-	// After cancellation the held-back partial line ("partial", no
-	// newline) is dropped and the reader reports a clean EOF: a decoder
-	// never sees a truncated record.
+	// After cancellation the held-back final line ("partial", no newline)
+	// is flushed so its record is not lost, and only then does the reader
+	// report a clean EOF.
 	cancel()
+	n, err := tr.Read(buf)
+	if err != nil || string(buf[:n]) != "partial" {
+		t.Fatalf("want flushed final line %q, got %q err=%v", "partial", buf[:n], err)
+	}
 	if n, err := tr.Read(buf); err != io.EOF || n != 0 {
-		t.Fatalf("want clean io.EOF after cancel, got n=%d err=%v", n, err)
+		t.Fatalf("want clean io.EOF after flush, got n=%d err=%v", n, err)
+	}
+}
+
+// TestTailReaderFlushWithoutPartial cancels a tail with no held-back
+// bytes: the very first read after cancellation is the clean EOF.
+func TestTailReaderFlushWithoutPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var cr chunkedReader
+	cr.chunks = [][]byte{[]byte("done\n")}
+	tr := NewTailReader(ctx, &cr, time.Millisecond)
+
+	got, err := func() ([]byte, error) {
+		buf := make([]byte, 16)
+		n, err := tr.Read(buf)
+		return buf[:n], err
+	}()
+	if err != nil || string(got) != "done\n" {
+		t.Fatalf("first read = %q, %v", got, err)
+	}
+	cancel()
+	buf := make([]byte, 16)
+	if n, err := tr.Read(buf); err != io.EOF || n != 0 {
+		t.Fatalf("want immediate io.EOF, got n=%d err=%v", n, err)
 	}
 }
 

@@ -19,12 +19,27 @@ import (
 //
 // TailReader is line-framed: it only releases bytes up to the last
 // newline it has seen, holding any trailing partial line back until its
-// newline arrives. That way a record the writer was mid-way through
-// appending when the context was cancelled is dropped — never handed to a
-// decoder as a truncated row — so a follow session always ends cleanly
-// with exactly the records that were fully written. (Consequently a final
-// line with no trailing newline is never emitted; log appenders
-// universally newline-terminate.)
+// newline arrives. That way a decoder never sees a row that is still
+// being appended mid-read. When the follow session ends (context
+// cancellation) at the underlying reader's EOF — the usual case, since a
+// tail spends its life parked there — the held-back final line is
+// flushed before the clean io.EOF, so a log whose last line lacks a
+// trailing newline still yields its final record instead of silently
+// dropping it. The flush cannot prove the line was complete: a writer
+// paused mid-append at cancel time hands the decoder a truncated row
+// (the CSV/CLF decoders tolerate or skip such rows; see the DESIGN.md
+// known-limits note). That is the accepted cost of never losing the
+// final record of a finished log. If cancellation instead catches the
+// reader with file bytes still flowing, it stops promptly after the
+// current chunk's complete lines — the remaining unread bytes and the
+// partial tail (whose continuation may be among them) are abandoned, as
+// an interrupt demands; a caller preferring completeness over prompt
+// shutdown can delay cancellation until its decoder goes idle.
+//
+// Because cancellation surfaces as a clean EOF, a pipeline can run off
+// the decoder alone (Pipeline.Run with a nil context) and still shut
+// down promptly on cancel — that is how cmd/analyze's follow mode
+// guarantees the flushed final record is actually consumed.
 type TailReader struct {
 	ctx     context.Context
 	r       io.Reader
@@ -49,8 +64,8 @@ func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) *TailRe
 
 // Read returns buffered complete-line bytes, refilling from the
 // underlying reader as needed; at its io.EOF it sleeps and retries until
-// data arrives or the context is done. Context cancellation surfaces as
-// io.EOF, discarding any held-back partial line.
+// data arrives or the context is done. Context cancellation flushes any
+// held-back final unterminated line, then surfaces as a clean io.EOF.
 func (t *TailReader) Read(p []byte) (int, error) {
 	for {
 		if len(t.ready) > 0 {
@@ -70,6 +85,15 @@ func (t *TailReader) Read(p []byte) (int, error) {
 				// clobber the ready bytes they used to share.
 				t.partial = append([]byte(nil), t.partial[i+1:]...)
 			}
+			// Cancellation with data still flowing: stop after the
+			// complete lines of this chunk. The held-back partial is NOT
+			// flushed here — the file may hold its continuation, so
+			// emitting it could truncate a row; only the true-EOF branch
+			// below knows the partial is genuinely the final line.
+			if t.ctx.Err() != nil {
+				t.done = true
+				t.partial = nil
+			}
 			continue
 		}
 		if err != nil && err != io.EOF {
@@ -78,8 +102,12 @@ func (t *TailReader) Read(p []byte) (int, error) {
 		// EOF (or empty read): wait for growth or cancellation.
 		select {
 		case <-t.ctx.Done():
-			t.done = true // drop any partial line
-			return 0, io.EOF
+			t.done = true
+			// Flush the final unterminated line, if any; the next Read
+			// returns the clean EOF.
+			t.ready = t.partial
+			t.partial = nil
+			continue
 		case <-time.After(t.poll):
 		}
 	}

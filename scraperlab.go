@@ -94,6 +94,20 @@ func StreamAnalyze(ctx context.Context, r io.Reader, opts StreamOptions) (*Strea
 	return core.StreamAnalyze(ctx, r, opts)
 }
 
+// StreamResults is the merged multi-analyzer snapshot a streaming run
+// produces; see stream.Results.
+type StreamResults = stream.Results
+
+// StreamAnalyzeAll runs the full online analyzer suite over an
+// access-log stream: §4.2 compliance, §5.1 robots.txt re-check cadence,
+// §5.2 dominant-ASN spoof detection, and inactivity-gap sessionization
+// (select a subset with StreamOptions.Analyzers). Every snapshot is
+// identical to its batch counterpart on the same records whenever
+// timestamp disorder stays within StreamOptions.MaxSkew.
+func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*StreamResults, error) {
+	return core.StreamAnalyzeAll(ctx, r, opts)
+}
+
 // NewTailReader wraps a growing file so StreamAnalyze follows it,
 // `tail -f` style, polling every poll interval until ctx is done.
 func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) io.Reader {

@@ -3,13 +3,17 @@ package scraperlab
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/checkfreq"
 	"repro/internal/compliance"
 	"repro/internal/robots"
+	"repro/internal/session"
+	"repro/internal/spoof"
 	"repro/internal/weblog"
 )
 
@@ -193,5 +197,54 @@ func TestWriteAllMentionsEveryArtifact(t *testing.T) {
 		if !strings.Contains(out, artifact) {
 			t.Errorf("WriteAll missing %s", artifact)
 		}
+	}
+}
+
+// TestStreamAnalyzeAllFacade runs the full analyzer suite through the
+// facade and checks every snapshot against its batch counterpart on the
+// identical records.
+func TestStreamAnalyzeAllFacade(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 7, Scale: 0.02, Secret: []byte("all-stream")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDatasetCSV(&buf, study.Dataset()); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := StreamAnalyzeAll(context.Background(), bytes.NewReader(buf.Bytes()), StreamOptions{
+		Format: "csv",
+		Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"compliance", "cadence", "spoof", "session"} {
+		if res.Get(name) == nil {
+			t.Fatalf("analyzer %q missing from results", name)
+		}
+	}
+
+	batchRaw, err := ReadDatasetCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := enrichLikeSuite(batchRaw)
+
+	wantSessions := session.Summarize(session.Sessionize(batch, session.DefaultGap))
+	if got := res.Sessions(); !reflect.DeepEqual(got, wantSessions) {
+		t.Errorf("session summary diverged: stream %+v, batch %+v", got, wantSessions)
+	}
+	wantStats := checkfreq.Analyze(batch, nil, nil)
+	if got := res.Cadence().Stats(); !reflect.DeepEqual(got, wantStats) {
+		t.Errorf("cadence stats diverged")
+	}
+	var det spoof.Detector
+	if got, want := res.Spoof().Counts, det.CountSplit(batch); got != want {
+		t.Errorf("spoof counts diverged: stream %+v, batch %+v", got, want)
+	}
+	if res.Compliance() == nil || res.Compliance().Records == 0 {
+		t.Error("compliance aggregates empty")
 	}
 }

@@ -1,0 +1,75 @@
+// Command checkdocs fails (exit 1) if any Go package in the repository
+// lacks a package (godoc) comment, keeping `go doc` output complete. CI
+// runs it as the docs gate:
+//
+//	go run ./scripts/checkdocs
+//
+// A package passes when at least one of its non-test files carries a doc
+// comment on its package clause.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	pkgs := map[string][]string{} // dir -> non-test .go files
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			pkgs[dir] = append(pkgs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(2)
+	}
+
+	var missing []string
+	for dir, files := range pkgs {
+		if !hasPackageDoc(files) {
+			missing = append(missing, dir)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "checkdocs: package in %s has no package comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// hasPackageDoc reports whether any file carries a doc comment on its
+// package clause.
+func hasPackageDoc(files []string) bool {
+	fset := token.NewFileSet()
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			continue // the build/vet gates report syntax errors
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
