@@ -515,6 +515,81 @@ func BenchmarkStreamVsBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkPhasedStreamVsBatch compares the two ways of computing the §4
+// per-phase compliance summaries over one rotation log: the batch path
+// (materialize, split by schedule, summarize each phase) against the
+// phase-partitioned streaming pipeline (decode incrementally, assign
+// phases by event time at Apply, aggregate online). Identical CSV bytes,
+// byte-identical summaries (the phased parity test), different cost
+// shapes.
+func BenchmarkPhasedStreamVsBatch(b *testing.B) {
+	const records = 30_000
+	csvBytes := benchStreamCSV(b, records)
+	cfg := compliance.DefaultConfig()
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	phaseLen := time.Duration(records/4) * time.Second
+	var phases []experiment.Phase
+	for i, v := range robots.Versions {
+		phases = append(phases, experiment.Phase{Version: v, Start: base.Add(time.Duration(i) * phaseLen)})
+	}
+	sched, err := experiment.NewSchedule(phases, base.Add(4*phaseLen))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(int64(len(csvBytes)))
+		b.ReportAllocs()
+		enrich := benchEnrich()
+		for i := 0; i < b.N; i++ {
+			d, err := weblog.ReadCSV(bytes.NewReader(csvBytes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pre := weblog.NewPreprocessor()
+			pre.Enrich = enrich
+			split, _ := sched.Split(pre.Run(d))
+			n := 0
+			for _, ds := range split {
+				for _, dir := range compliance.Directives {
+					n += len(compliance.Summarize(ds, dir, cfg).Measurements)
+				}
+			}
+			if n == 0 {
+				b.Fatal("no measurements")
+			}
+		}
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(int64(len(csvBytes)))
+		b.ReportAllocs()
+		enrich := benchEnrich()
+		for i := 0; i < b.N; i++ {
+			pre := weblog.NewPreprocessor()
+			p := stream.NewPipeline(stream.Options{
+				Keep:      pre.Keep,
+				Enrich:    enrich,
+				Analyzers: stream.WrapPhased([]stream.Analyzer{stream.NewComplianceAnalyzer(cfg)}, sched),
+			})
+			res, err := p.Run(context.Background(), stream.NewCSVDecoder(bytes.NewReader(csvBytes)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap := res.Phased(stream.AnalyzerCompliance)
+			n := 0
+			for _, v := range snap.Versions() {
+				for _, dir := range compliance.Directives {
+					n += len(snap.Aggregates(v).Summary(dir).Measurements)
+				}
+			}
+			if n == 0 {
+				b.Fatal("no measurements")
+			}
+		}
+	})
+}
+
 // retained is the live-heap delta attributable to a path's result, clamped
 // at zero against GC noise.
 func retained(holding, released uint64) float64 {

@@ -1,7 +1,10 @@
 // Command analyze runs the reproduction pipeline and prints the paper's
 // tables and figures — either over the synthetic study (default) or, with
 // -stream, over an external access log ingested through the sharded
-// streaming pipeline in bounded memory.
+// streaming pipeline in bounded memory. With -experiment the streaming
+// analyzers are phase-partitioned by a robots.txt rotation schedule and
+// the per-bot phase-vs-baseline compliance verdicts (Figure 9 / Table 10)
+// are computed online.
 //
 // Usage:
 //
@@ -15,18 +18,23 @@
 //	analyze -stream access.jsonl -format jsonl -follow -interval 10s
 //	analyze -stream access.csv -analyzers all      # compliance+cadence+spoof+session
 //	analyze -stream access.csv -analyzers spoof,session
+//	analyze -stream access.csv -experiment phases.json   # live §4 experiment
+//	analyze -stream access.csv -json               # machine-readable snapshot
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/compliance"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/report"
@@ -50,6 +58,8 @@ func main() {
 		shards     = flag.Int("shards", 0, "stream worker shards (0 = GOMAXPROCS)")
 		skew       = flag.Duration("skew", stream.DefaultMaxSkew, "max tolerated timestamp disorder (0 = default, negative = trust input order)")
 		analyzers  = flag.String("analyzers", "compliance", "comma-separated online analyzers (compliance, cadence, spoof, session) or \"all\"")
+		expPath    = flag.String("experiment", "", "phases.json robots.txt rotation; phase-partitions the stream analyzers (requires -stream)")
+		asJSON     = flag.Bool("json", false, "stream mode: emit snapshots as JSON instead of tables")
 		follow     = flag.Bool("follow", false, "keep tailing the file as it grows (stop with Ctrl-C)")
 		interval   = flag.Duration("interval", 15*time.Second, "snapshot print interval while following")
 	)
@@ -57,9 +67,16 @@ func main() {
 
 	var err error
 	if *streamPath != "" {
-		err = runStream(*streamPath, *format, *site, *shards, *skew, *analyzers, *follow, *interval)
+		err = runStream(os.Stdout, streamConfig{
+			path: *streamPath, format: *format, site: *site,
+			shards: *shards, skew: *skew, analyzers: *analyzers,
+			experiment: *expPath, asJSON: *asJSON,
+			follow: *follow, interval: *interval,
+		})
+	} else if *expPath != "" {
+		err = fmt.Errorf("-experiment requires -stream (or run the closed-loop demo: go run ./examples/liveexperiment)")
 	} else {
-		err = run(*seed, *scale, *artifact, *asCSV, *secret)
+		err = run(os.Stdout, *seed, *scale, *artifact, *asCSV, *secret)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
@@ -87,7 +104,7 @@ func parseAnalyzers(spec string) []string {
 	return names
 }
 
-func run(seed int64, scale float64, artifact string, asCSV bool, secret string) error {
+func run(w io.Writer, seed int64, scale float64, artifact string, asCSV bool, secret string) error {
 	suite, err := experiment.NewSuite(synth.Config{
 		Seed: seed, Scale: scale, Secret: []byte(secret),
 	})
@@ -95,48 +112,67 @@ func run(seed int64, scale float64, artifact string, asCSV bool, secret string) 
 		return err
 	}
 	if artifact == "all" {
-		return suite.RunAll(os.Stdout)
+		return suite.RunAll(w)
 	}
 	for _, a := range suite.Artifacts() {
 		if a.ID == artifact {
 			t := a.Build()
 			if asCSV {
-				return t.WriteCSV(os.Stdout)
+				return t.WriteCSV(w)
 			}
-			return t.Render(os.Stdout)
+			return t.Render(w)
 		}
 	}
 	return fmt.Errorf("unknown artifact %q; known: table2..table10, figure2..figure11, figures5-8, all", artifact)
 }
 
+// streamConfig carries the -stream flag set.
+type streamConfig struct {
+	path, format, site string
+	shards             int
+	skew               time.Duration
+	analyzers          string
+	experiment         string
+	asJSON             bool
+	follow             bool
+	interval           time.Duration
+}
+
 // runStream ingests one log file through the online analyzer pipeline and
 // prints each selected analyzer's snapshot. With follow, it tails the
 // file, reprinting the live snapshots every interval until interrupted.
-func runStream(path, format, site string, shards int, skew time.Duration, analyzers string, follow bool, interval time.Duration) error {
-	f, err := os.Open(path)
+func runStream(w io.Writer, cfg streamConfig) error {
+	f, err := os.Open(cfg.path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	if format == "" {
-		format = "csv" // match core.StreamAnalyzeAll's default
+	if cfg.format == "" {
+		cfg.format = "csv" // match core.StreamAnalyzeAll's default
 	}
 	ctx := context.Background()
 	opts := core.StreamOptions{
-		Format:    format,
-		Shards:    shards,
-		MaxSkew:   skew,
-		CLF:       weblog.CLFOptions{Site: site},
-		Analyzers: parseAnalyzers(analyzers),
+		Format:    cfg.format,
+		Shards:    cfg.shards,
+		MaxSkew:   cfg.skew,
+		CLF:       weblog.CLFOptions{Site: cfg.site},
+		Analyzers: parseAnalyzers(cfg.analyzers),
+	}
+	if cfg.experiment != "" {
+		sched, err := experiment.LoadSchedule(cfg.experiment)
+		if err != nil {
+			return err
+		}
+		opts.Phases = sched
 	}
 
-	if !follow {
+	if !cfg.follow {
 		res, err := core.StreamAnalyzeAll(ctx, f, opts)
 		if err != nil {
 			return err
 		}
-		return printResults(res)
+		return printResults(w, res, cfg.asJSON)
 	}
 
 	// Follow mode: cancel on interrupt, print a live snapshot per tick.
@@ -165,21 +201,21 @@ func runStream(path, format, site string, shards int, skew time.Duration, analyz
 		done <- result{res, err}
 	}()
 
-	tick := time.NewTicker(interval)
+	tick := time.NewTicker(cfg.interval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-tick.C:
-			fmt.Printf("-- live snapshot %s --\n", time.Now().Format(time.RFC3339))
-			if err := printResults(p.Snapshot()); err != nil {
+			fmt.Fprintf(w, "-- live snapshot %s --\n", time.Now().Format(time.RFC3339))
+			if err := printResults(w, p.Snapshot(), cfg.asJSON); err != nil {
 				return err
 			}
 		case res := <-done:
 			// Run returns valid partial results alongside any error, so a
 			// torn row at shutdown never costs the session's snapshot.
 			if res.res != nil {
-				fmt.Println("-- final snapshot --")
-				if err := printResults(res.res); err != nil {
+				fmt.Fprintln(w, "-- final snapshot --")
+				if err := printResults(w, res.res, cfg.asJSON); err != nil {
 					return err
 				}
 			}
@@ -191,36 +227,97 @@ func runStream(path, format, site string, shards int, skew time.Duration, analyz
 	}
 }
 
-// printResults renders every analyzer snapshot present in the results.
-func printResults(res *stream.Results) error {
-	if a := res.Compliance(); a != nil {
-		if err := printCompliance(a); err != nil {
-			return err
-		}
+// printResults renders every analyzer snapshot present in the results —
+// phase-partitioned ones as one section per phase plus the verdicts.
+func printResults(w io.Writer, res *stream.Results, asJSON bool) error {
+	if asJSON {
+		return printJSON(w, res)
 	}
-	if c := res.Cadence(); c != nil {
-		if err := printCadence(c); err != nil {
-			return err
+	for _, name := range res.Names() {
+		if p := res.Phased(name); p != nil {
+			if err := printPhased(w, p); err != nil {
+				return err
+			}
+			continue
 		}
-	}
-	if s := res.Spoof(); s != nil {
-		if err := printSpoof(s); err != nil {
-			return err
-		}
-	}
-	if s := res.Sessions(); s != nil {
-		if err := printSessions(res, s); err != nil {
+		if err := printSnapshot(w, name, "", res.Get(name)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// printSnapshot renders one analyzer snapshot, prefixing every table title
+// with label (the phase tag for phased sections, empty otherwise).
+func printSnapshot(w io.Writer, name, label string, snap any) error {
+	switch s := snap.(type) {
+	case *stream.Aggregates:
+		return printCompliance(w, label, s)
+	case *stream.CadenceSnapshot:
+		return printCadence(w, label, s)
+	case *stream.SpoofSnapshot:
+		return printSpoof(w, label, s)
+	case *session.Summary:
+		return printSessions(w, label, s)
+	default:
+		_, err := fmt.Fprintf(w, "analyzer %s: %v\n", name, snap)
+		return err
+	}
+}
+
+// printPhased renders a phase-partitioned snapshot: one section per phase
+// in version order (base, v1, v2, v3), then — for the compliance analyzer
+// — the per-bot phase-vs-baseline verdict table with z-tests.
+func printPhased(w io.Writer, p *stream.PhasedSnapshot) error {
+	for _, v := range p.Versions() {
+		label := fmt.Sprintf("[phase %s] ", v.Short())
+		if err := printSnapshot(w, p.Analyzer, label, p.Snapshots[v]); err != nil {
+			return err
+		}
+	}
+	if p.OutOfSchedule > 0 {
+		fmt.Fprintf(w, "(%d records fell outside the experiment schedule)\n\n", p.OutOfSchedule)
+	}
+	if p.Analyzer == stream.AnalyzerCompliance {
+		return printVerdicts(w, p.CompareCompliance(compliance.Config{}))
+	}
+	return nil
+}
+
+// printVerdicts renders the online Figure 9 / Table 10 verdicts.
+func printVerdicts(w io.Writer, verdicts map[compliance.Directive][]compliance.Result) error {
+	if verdicts == nil {
+		_, err := fmt.Fprintln(w, "(no baseline phase observed yet; verdicts unavailable)")
+		return err
+	}
+	t := &report.Table{
+		Title: "Phase-vs-baseline compliance verdicts (online Figure 9 / Table 10)",
+		Headers: []string{"Directive", "Bot", "Baseline", "Experiment", "Shift",
+			"z", "p", "Significant (p<=0.05)"},
+		Note: "two-proportion pooled z-test per bot, experiment phase vs baseline phase",
+	}
+	for _, dir := range compliance.Directives {
+		for _, r := range verdicts[dir] {
+			z, pv, sig := "N/A", "N/A", "no"
+			if r.HasTest {
+				z, pv = report.F(r.Test.Z, 2), report.Sci(r.Test.P)
+			}
+			if r.Significant() {
+				sig = "YES"
+			}
+			t.AddRow(dir.String(), r.Bot,
+				report.Ratio3(r.Baseline.Ratio()), report.Ratio3(r.Experiment.Ratio()),
+				report.F(r.Experiment.Ratio()-r.Baseline.Ratio(), 3), z, pv, sig)
+		}
+	}
+	return t.Render(w)
+}
+
 // printCompliance renders the per-bot and per-category compliance tables.
-func printCompliance(a *stream.Aggregates) error {
+func printCompliance(w io.Writer, label string, a *stream.Aggregates) error {
 	bots := &report.Table{
-		Title: fmt.Sprintf("Streaming compliance snapshot (%d records, %d τ-tuples, %d shards)",
-			a.Records, a.Tuples, a.Shards),
+		Title: fmt.Sprintf("%sStreaming compliance snapshot (%d records, %d τ-tuples, %d shards)",
+			label, a.Records, a.Tuples, a.Shards),
 		Headers: []string{"Bot", "Category", "Accesses", "Checked robots",
 			"Crawl delay", "Endpoint", "Disallow"},
 		Note: "Ratios are online §4.2 compliance metrics; identical to the batch pipeline on the same records.",
@@ -235,12 +332,12 @@ func printCompliance(a *stream.Aggregates) error {
 			report.Ratio3(b.Endpoint.Ratio()),
 			report.Ratio3(b.Disallow.Ratio()))
 	}
-	if err := bots.Render(os.Stdout); err != nil {
+	if err := bots.Render(w); err != nil {
 		return err
 	}
 
 	cats := &report.Table{
-		Title: "Per-category rollup (access-weighted)",
+		Title: label + "Per-category rollup (access-weighted)",
 		Headers: []string{"Category", "Bots", "Accesses",
 			"Crawl delay", "Endpoint", "Disallow"},
 	}
@@ -249,7 +346,7 @@ func printCompliance(a *stream.Aggregates) error {
 			report.Ratio3(c.CrawlDelay), report.Ratio3(c.Endpoint),
 			report.Ratio3(c.Disallow))
 	}
-	return cats.Render(os.Stdout)
+	return cats.Render(w)
 }
 
 // fmtWindow renders a re-check window compactly ("12h", not "12h0m0s"),
@@ -266,30 +363,30 @@ func fmtWindow(w time.Duration) string {
 }
 
 // printCadence renders the §5.1 Figure-10-style re-check proportions.
-func printCadence(c *stream.CadenceSnapshot) error {
+func printCadence(w io.Writer, label string, c *stream.CadenceSnapshot) error {
 	headers := []string{"Category", "Checking bots"}
-	for _, w := range c.Windows {
-		headers = append(headers, "≤"+fmtWindow(w))
+	for _, win := range c.Windows {
+		headers = append(headers, "≤"+fmtWindow(win))
 	}
 	t := &report.Table{
-		Title:   "Streaming robots.txt re-check cadence (§5.1, Figure 10)",
+		Title:   label + "Streaming robots.txt re-check cadence (§5.1, Figure 10)",
 		Headers: headers,
 		Note:    "Fraction of each category's checking bots that re-fetch robots.txt within every window.",
 	}
 	for _, cp := range c.ByCategory() {
 		row := []string{cp.Category, report.I(cp.Bots)}
-		for _, w := range c.Windows {
-			row = append(row, report.Ratio3(cp.Within[w]))
+		for _, win := range c.Windows {
+			row = append(row, report.Ratio3(cp.Within[win]))
 		}
 		t.AddRow(row...)
 	}
-	return t.Render(os.Stdout)
+	return t.Render(w)
 }
 
 // printSpoof renders the §5.2 Table-8-style findings and Table-9 counts.
-func printSpoof(s *stream.SpoofSnapshot) error {
+func printSpoof(w io.Writer, label string, s *stream.SpoofSnapshot) error {
 	t := &report.Table{
-		Title:   "Streaming spoof detection (§5.2, Table 8)",
+		Title:   label + "Streaming spoof detection (§5.2, Table 8)",
 		Headers: []string{"Bot", "Main ASN", "Share", "Suspect ASNs", "Spoofed accesses"},
 		Note: fmt.Sprintf("Legitimate bot requests: %d; potentially spoofed: %d (Table 9).",
 			s.Counts.Legitimate, s.Counts.Spoofed),
@@ -302,14 +399,17 @@ func printSpoof(s *stream.SpoofSnapshot) error {
 		t.AddRow(f.Bot, f.MainASN, report.Ratio3(f.MainFraction),
 			strings.Join(suspects, " "), report.I(f.SpoofedAccesses))
 	}
-	return t.Render(os.Stdout)
+	return t.Render(w)
 }
 
-// printSessions renders the sessionization rollup.
-func printSessions(res *stream.Results, s *session.Summary) error {
+// printSessions renders the sessionization rollup. The record count comes
+// from the summary itself (every applied record lands in exactly one
+// session), so phased sections report their own phase's input, not the
+// whole stream's.
+func printSessions(w io.Writer, label string, s *session.Summary) error {
 	t := &report.Table{
-		Title: fmt.Sprintf("Streaming sessionization (%d records → %d sessions)",
-			res.Records, s.Sessions),
+		Title: fmt.Sprintf("%sStreaming sessionization (%d records → %d sessions)",
+			label, s.Accesses, s.Sessions),
 		Headers: []string{"Category", "Sessions", "Sessions share", "GB"},
 		Note:    "Inactivity-gap sessions per category (Figure 2); bytes per category backs Figure 3.",
 	}
@@ -321,7 +421,7 @@ func printSessions(res *stream.Results, s *session.Summary) error {
 		t.AddRow(cat, report.I(s.ByCategory[cat]), report.Ratio3(share),
 			report.GB(s.BytesByCategory[cat]))
 	}
-	return t.Render(os.Stdout)
+	return t.Render(w)
 }
 
 // sortedKeys returns the map's keys in ascending order.
@@ -332,4 +432,78 @@ func sortedKeys(m map[string]int) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ---- JSON output ----
+
+// printJSON emits the whole snapshot as one indented JSON object keyed by
+// analyzer name. Map keys are sorted by the encoder and slices come from
+// deterministic snapshot accessors, so identical input bytes produce
+// identical JSON — the property the golden-file tests pin down.
+func printJSON(w io.Writer, res *stream.Results) error {
+	out := map[string]any{
+		"records": res.Records,
+		"shards":  res.Shards,
+	}
+	for _, name := range res.Names() {
+		if p := res.Phased(name); p != nil {
+			phases := make(map[string]any, len(p.Snapshots))
+			for _, v := range p.Versions() {
+				phases[v.Short()] = jsonView(p.Snapshots[v])
+			}
+			entry := map[string]any{"phases": phases}
+			if p.OutOfSchedule > 0 {
+				entry["outOfSchedule"] = p.OutOfSchedule
+			}
+			if verdicts := p.CompareCompliance(compliance.Config{}); verdicts != nil {
+				jv := make(map[string][]compliance.Result, len(verdicts))
+				for dir, rs := range verdicts {
+					jv[dir.String()] = rs
+				}
+				entry["verdicts"] = jv
+			}
+			out[name] = entry
+			continue
+		}
+		out[name] = jsonView(res.Get(name))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonView adapts one snapshot to a stable JSON shape.
+func jsonView(snap any) any {
+	switch s := snap.(type) {
+	case *stream.Aggregates:
+		return map[string]any{
+			"records":    s.Records,
+			"tuples":     s.Tuples,
+			"bots":       s.Bots(),
+			"categories": s.CategoryRollup(),
+		}
+	case *stream.CadenceSnapshot:
+		cats := s.ByCategory()
+		out := make([]map[string]any, 0, len(cats))
+		for _, cp := range cats {
+			within := make(map[string]float64, len(cp.Within))
+			for w, f := range cp.Within {
+				within[fmtWindow(w)] = f
+			}
+			out = append(out, map[string]any{
+				"category": cp.Category, "bots": cp.Bots, "within": within,
+			})
+		}
+		return out
+	case *stream.SpoofSnapshot:
+		return map[string]any{"findings": s.Findings, "counts": s.Counts}
+	case *session.Summary:
+		return map[string]any{
+			"sessions":        s.Sessions,
+			"byCategory":      s.ByCategory,
+			"bytesByCategory": s.BytesByCategory,
+		}
+	default:
+		return snap
+	}
 }

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/weblog"
+)
+
+// update regenerates every golden file instead of comparing:
+//
+//	go test ./cmd/analyze -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/analyze -run Golden -update)", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("%s drifted from golden file\n--- want ---\n%s\n--- got ---\n%s\n(regenerate with: go test ./cmd/analyze -run Golden -update)",
+			name, want, got)
+	}
+}
+
+// goldenStart anchors the stream fixture to the committed phases.json
+// fixture (testdata/phases.json: four 1-hour phases from this instant).
+var goldenStart = time.Date(2025, 2, 12, 0, 0, 0, 0, time.UTC)
+
+// writeStreamFixture synthesizes the deterministic access log the stream
+// goldens ingest: recognizable bot UAs (the production matcher enriches
+// them), robots.txt and /page-data traffic, and timestamps sweeping all
+// four scheduled phases at 30-second pacing.
+func writeStreamFixture(t *testing.T) string {
+	t.Helper()
+	uas := []string{
+		"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+		"Mozilla/5.0 AppleWebKit/537.36 (compatible; bingbot/2.0)",
+		"Mozilla/5.0 (compatible; GPTBot/1.2; +https://openai.com/gptbot)",
+		"Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)",
+		"python-requests/2.31.0",
+	}
+	asns := []string{"GOOGLE", "MICROSOFT-CORP", "OPENAI", "OVH"}
+	// Pool sizes are coprime with the UA pool's so user agent, path, and τ
+	// tuple decorrelate; the irregular pacing steps straddle the 30-second
+	// crawl-delay threshold so the delay metric isn't uniformly 1.000.
+	paths := []string{"/robots.txt", "/page-data/app.json", "/people/a", "/", "/news/x", "/dining/menu", "/page-data/p/q.json"}
+	steps := []time.Duration{10 * time.Second, 35 * time.Second, 45 * time.Second}
+	d := &weblog.Dataset{}
+	ts := goldenStart
+	for i := 0; i < 480; i++ {
+		// Consecutive record pairs share one τ tuple (j advances every
+		// other record), so the 10 s step lands same-tuple deltas under
+		// the 30 s threshold.
+		j := i / 2
+		d.Records = append(d.Records, weblog.Record{
+			UserAgent: uas[j%len(uas)],
+			Time:      ts,
+			IPHash:    fmt.Sprintf("h%03d", j%4),
+			ASN:       asns[j%len(asns)],
+			Site:      "www",
+			Path:      paths[i%len(paths)],
+			Status:    200,
+			Bytes:     int64(1000 + i%900),
+		})
+		ts = ts.Add(steps[i%len(steps)])
+	}
+	path := filepath.Join(t.TempDir(), "access.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := weblog.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// goldenStreamConfig pins every environment-dependent knob (shard count,
+// skew) so the output is byte-stable across machines.
+func goldenStreamConfig(path string) streamConfig {
+	return streamConfig{
+		path:      path,
+		format:    "csv",
+		shards:    1,
+		skew:      stream.DefaultMaxSkew,
+		analyzers: "all",
+	}
+}
+
+func TestGoldenBatchArtifacts(t *testing.T) {
+	cases := []struct {
+		name     string
+		artifact string
+		csv      bool
+	}{
+		{"batch_figures5-8_text", "figures5-8", false},
+		{"batch_table4_text", "table4", false},
+		{"batch_table5_csv", "table5", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, 1, 0.02, tc.artifact, tc.csv, "analyze"); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, buf.Bytes())
+		})
+	}
+}
+
+func TestGoldenStreamText(t *testing.T) {
+	cfg := goldenStreamConfig(writeStreamFixture(t))
+	var buf bytes.Buffer
+	if err := runStream(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stream_text", buf.Bytes())
+}
+
+func TestGoldenStreamJSON(t *testing.T) {
+	cfg := goldenStreamConfig(writeStreamFixture(t))
+	cfg.asJSON = true
+	var buf bytes.Buffer
+	if err := runStream(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stream_json", buf.Bytes())
+}
+
+func TestGoldenStreamPhasedText(t *testing.T) {
+	cfg := goldenStreamConfig(writeStreamFixture(t))
+	cfg.analyzers = "compliance"
+	cfg.experiment = filepath.Join("testdata", "phases.json")
+	var buf bytes.Buffer
+	if err := runStream(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stream_phased_text", buf.Bytes())
+}
+
+func TestGoldenStreamPhasedJSON(t *testing.T) {
+	cfg := goldenStreamConfig(writeStreamFixture(t))
+	cfg.analyzers = "compliance"
+	cfg.experiment = filepath.Join("testdata", "phases.json")
+	cfg.asJSON = true
+	var buf bytes.Buffer
+	if err := runStream(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stream_phased_json", buf.Bytes())
+}
+
+// TestExperimentRequiresSchedule pins the flag contract: a bad schedule
+// path fails cleanly rather than silently running un-phased.
+func TestExperimentRequiresSchedule(t *testing.T) {
+	cfg := goldenStreamConfig(writeStreamFixture(t))
+	cfg.experiment = filepath.Join("testdata", "no-such-phases.json")
+	if err := runStream(new(bytes.Buffer), cfg); err == nil {
+		t.Fatal("missing schedule file should fail")
+	}
+}

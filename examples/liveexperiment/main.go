@@ -1,0 +1,111 @@
+// Live phased experiment: the paper's §4 controlled study as one
+// closed-loop run. A real HTTP estate rotates its robots.txt through the
+// full baseline → v1 (crawl-delay) → v2 (endpoint allow-list) → v3
+// (disallow-all) schedule under a simulated clock; the calibrated bot
+// fleet re-reads each deployment live and adapts; every served request
+// streams straight into the phase-partitioned online analyzers; and the
+// run ends with the per-bot phase-vs-baseline compliance verdicts —
+// z-tests included — computed without ever materializing a dataset.
+//
+// The simulated clock compresses the paper's eight weeks into a few
+// seconds of wall time: crawl pacing (politeness sleeps) shrinks by the
+// same factor the collector's virtual timestamps grow, so the logs carry
+// realistic second-scale gaps while the demo stays interactive. With a
+// fixed seed and single-worker bots, each bot's crawl decisions are
+// reproducible run to run.
+//
+// Run with: go run ./examples/liveexperiment
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	scraperlab "repro"
+	"repro/internal/compliance"
+	"repro/internal/report"
+	"repro/internal/robots"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	res, err := scraperlab.LivePhasedExperiment(ctx, scraperlab.LivePhasedOptions{
+		Bots:          []string{"GPTBot", "ClaudeBot", "Googlebot", "Bytespider", "HeadlessChrome", "AhrefsBot"},
+		PagesPerBot:   12,
+		Sites:         2,
+		Seed:          7,
+		TimeScale:     2000, // a 30 s crawl delay costs 15 ms of wall time
+		Deterministic: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-phase fleet behaviour: how each deployment changed what the bots
+	// actually did on the wire.
+	fleet := &report.Table{
+		Title:   "Fleet behaviour per robots.txt phase (closed loop, live HTTP)",
+		Headers: []string{"Phase", "Bot", "Pages", "Blocked", "robots.txt fetches"},
+		Note:    "v3 blocks obedient bots almost entirely; HeadlessChrome never checks; Googlebot is exempt",
+	}
+	for _, v := range robots.Versions {
+		stats := res.Fleet[v]
+		names := make([]string, 0, len(stats))
+		for n := range stats {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s := stats[n]
+			fleet.AddRow(v.Short(), n, report.I(s.PagesFetched), report.I(s.Blocked), report.I(s.RobotsFetches))
+		}
+	}
+	if err := fleet.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-phase streamed record counts prove the rotation reached the
+	// analyzers: every phase's records landed inside its scheduled window.
+	counts := &report.Table{
+		Title:   "Streamed records per phase (phase-partitioned online pipeline)",
+		Headers: []string{"Phase", "Records", "Bots measured"},
+	}
+	for _, v := range res.Compliance.Versions() {
+		agg := res.Compliance.Aggregates(v)
+		counts.AddRow(v.Short(), report.I(int(agg.Records)), report.I(len(agg.Access)))
+	}
+	if err := counts.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The headline: the paper's Figure 9 / Table 10 verdicts, straight
+	// from the stream.
+	verdicts := &report.Table{
+		Title:   "Phase-vs-baseline compliance verdicts (online Figure 9 / Table 10)",
+		Headers: []string{"Directive", "Bot", "Baseline", "Experiment", "Shift", "Significant"},
+	}
+	for _, dir := range compliance.Directives {
+		for _, r := range res.Verdicts[dir] {
+			sig := "no"
+			if r.Significant() {
+				sig = "YES"
+			}
+			verdicts.AddRow(dir.String(), r.Bot,
+				report.Ratio3(r.Baseline.Ratio()), report.Ratio3(r.Experiment.Ratio()),
+				report.F(r.Experiment.Ratio()-r.Baseline.Ratio(), 3), sig)
+		}
+	}
+	if err := verdicts.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("full baseline→v1→v2→v3 rotation: %d records streamed in %.1fs of wall time\n",
+		res.Results.Records, time.Since(start).Seconds())
+}

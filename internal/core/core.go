@@ -165,6 +165,12 @@ type StreamOptions struct {
 	// matcher-based bot enrichment) and aggregates records exactly as
 	// decoded — for inputs that are already enriched.
 	Raw bool
+	// Phases, when non-nil, phase-partitions every selected analyzer by
+	// the schedule: each snapshot becomes a stream.PhasedSnapshot holding
+	// the per-robots.txt-version results, and the phased compliance
+	// snapshot can emit the paper's phase-vs-baseline verdicts online
+	// (stream.PhasedSnapshot.CompareCompliance).
+	Phases *experiment.Schedule
 }
 
 // analyzerOptions maps the facade knobs onto the stream registry's.
@@ -233,6 +239,9 @@ func StreamPipeline(opts StreamOptions) (*stream.Pipeline, error) {
 	analyzers, err := stream.NewAnalyzers(names, analyzerOptions(opts))
 	if err != nil {
 		return nil, err
+	}
+	if opts.Phases != nil {
+		analyzers = stream.WrapPhased(analyzers, opts.Phases)
 	}
 	sOpts := stream.Options{
 		Shards:    opts.Shards,

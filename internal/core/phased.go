@@ -1,0 +1,214 @@
+// phased.go wires the live phased-experiment engine: the paper's §4
+// controlled experiment run closed-loop and online. A real HTTP estate
+// rotates through the scheduled robots.txt versions, the calibrated bot
+// fleet reacts to each deployment live, every served request streams into
+// the sharded pipeline's phase-partitioned analyzers as it happens, and
+// the final snapshot carries the per-bot phase-vs-baseline compliance
+// verdicts (z-tests included) — no dataset is ever materialized.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/compliance"
+	"repro/internal/crawler"
+	"repro/internal/experiment"
+	"repro/internal/robots"
+	"repro/internal/sitegen"
+	"repro/internal/stream"
+	"repro/internal/synth"
+	"repro/internal/webserver"
+)
+
+// LivePhasedOptions configures LivePhasedExperiment.
+type LivePhasedOptions struct {
+	// Schedule is the robots.txt rotation (nil = the paper's four-phase
+	// baseline→v1→v2→v3 rotation starting at synth.DefaultStart).
+	Schedule *experiment.Schedule
+	// Bots restricts the fleet (nil = whole population).
+	Bots []string
+	// PagesPerBot caps each bot's page fetches per phase (default 25).
+	PagesPerBot int
+	// Sites is how many sites the estate serves (default 2).
+	Sites int
+	// Seed drives fleet determinism; each phase derives its own sub-seed.
+	Seed int64
+	// Shards is the pipeline worker-pool width (0 = GOMAXPROCS).
+	Shards int
+	// TimeScale compresses the simulated clock (default 1000: a 30 s crawl
+	// delay costs 30 ms of wall time, and collected records land in
+	// virtual time at 1000x pacing).
+	TimeScale float64
+	// Analyzers selects the phase-partitioned analyses by registry name
+	// (nil = compliance only; the headline verdicts need just compliance).
+	Analyzers []string
+	// Compliance tunes the §4.2 metrics (zero value = paper defaults).
+	Compliance compliance.Config
+	// Deterministic runs each bot with a single fetch worker so the exact
+	// set of fetched pages — and thus every path-derived measurement — is
+	// reproducible for a given Seed.
+	Deterministic bool
+}
+
+// LivePhasedResult is everything one closed-loop rotation produced.
+type LivePhasedResult struct {
+	// Results holds every selected analyzer's phase-partitioned snapshot.
+	Results *stream.Results
+	// Compliance is the phased §4.2 snapshot (per-phase aggregates), nil
+	// only if the compliance analyzer was deselected.
+	Compliance *stream.PhasedSnapshot
+	// Verdicts are the per-bot phase-vs-baseline comparisons with z-tests
+	// (the paper's Figure 9 / Table 10), computed online.
+	Verdicts map[compliance.Directive][]compliance.Result
+	// Fleet maps each deployed version to the bots' crawl stats during its
+	// phase(s), summed when a version is deployed more than once.
+	Fleet map[robots.Version]crawler.FleetResult
+}
+
+// LivePhasedExperiment runs the full §4 methodology as one live loop:
+// start the estate, then for each scheduled phase deploy its robots.txt,
+// re-base the collector's simulated clock to the phase window, and drive
+// the calibrated fleet over real HTTP while a dispatcher goroutine feeds
+// every served request straight into the phase-partitioned streaming
+// pipeline. Phases run back-to-back (the simulated clock, not the wall
+// clock, positions their records two weeks apart), so a four-phase
+// rotation completes in seconds. On context cancellation it returns the
+// partial results alongside ctx.Err().
+func LivePhasedExperiment(ctx context.Context, opts LivePhasedOptions) (*LivePhasedResult, error) {
+	sched := opts.Schedule
+	if sched == nil {
+		sched = experiment.DefaultSchedule(time.Time{})
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 1000
+	}
+	if opts.Sites <= 0 {
+		opts.Sites = 2
+	}
+	names := opts.Analyzers
+	if len(names) == 0 {
+		names = []string{stream.AnalyzerCompliance}
+	}
+
+	pop, err := botnet.DefaultPopulation()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := synth.New(synth.Config{Seed: opts.Seed, Scale: 0.01})
+	if err != nil {
+		return nil, err
+	}
+	sites := gen.Sites()
+	if opts.Sites > len(sites) {
+		opts.Sites = len(sites)
+	}
+
+	col := webserver.NewStreamCollector(1024)
+	col.TimeScale = opts.TimeScale
+	estate, err := webserver.StartEstate(sites[:opts.Sites], col, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer estate.Close()
+
+	p, err := phasedPipeline(sched, names, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// The dispatcher is the pipeline's single ingest goroutine: it drains
+	// the collector until Close, so request handlers never block on a
+	// stalled pipeline after cancellation — ingest errors flip it into
+	// discard mode instead of stopping the drain.
+	dispatchDone := make(chan error, 1)
+	go func() {
+		var ingestErr error
+		for rec := range col.Records() {
+			if ingestErr == nil {
+				ingestErr = p.Ingest(ctx, rec)
+			}
+		}
+		dispatchDone <- ingestErr
+	}()
+
+	var runErr error
+	fleet := make(map[robots.Version]crawler.FleetResult)
+	for i, ph := range sched.Phases() {
+		if ctx.Err() != nil {
+			runErr = ctx.Err()
+			break
+		}
+		// Rebase before deploying: every record of this phase — including
+		// the deployment-triggered robots.txt re-checks — lands at the
+		// start of the phase's scheduled window.
+		col.Rebase(ph.Start)
+		version := ph.Version
+		estate.SetRobots(func(*sitegen.Site) []byte {
+			return robots.BuildVersion(version, "")
+		})
+		workers := 0
+		if opts.Deterministic {
+			workers = 1
+		}
+		stats, err := crawler.RunFleet(ctx, crawler.FleetConfig{
+			Population:  pop,
+			Estate:      estate,
+			Version:     version,
+			PagesPerBot: opts.PagesPerBot,
+			Workers:     workers,
+			TimeScale:   opts.TimeScale,
+			Seed:        opts.Seed + int64(i)*1009,
+			Bots:        opts.Bots,
+		})
+		mergeFleet(fleet, version, stats)
+		if err != nil {
+			runErr = fmt.Errorf("core: phase %s fleet: %w", version, err)
+			break
+		}
+	}
+
+	col.Close()
+	if err := <-dispatchDone; err != nil && runErr == nil {
+		runErr = err
+	}
+	p.Close()
+
+	res := &LivePhasedResult{Results: p.Snapshot(), Fleet: fleet}
+	if snap := res.Results.Phased(stream.AnalyzerCompliance); snap != nil {
+		res.Compliance = snap
+		res.Verdicts = snap.CompareCompliance(opts.Compliance)
+	}
+	return res, runErr
+}
+
+// phasedPipeline builds the sharded pipeline with every selected analyzer
+// phase-partitioned by the schedule and the default matcher preprocessing
+// — the same StreamPipeline the stream facades run, just always phased.
+func phasedPipeline(sched *experiment.Schedule, names []string, opts LivePhasedOptions) (*stream.Pipeline, error) {
+	return StreamPipeline(StreamOptions{
+		Shards:     opts.Shards,
+		Analyzers:  names,
+		Compliance: opts.Compliance,
+		Phases:     sched,
+	})
+}
+
+// mergeFleet sums per-bot stats into the version's running totals.
+func mergeFleet(fleet map[robots.Version]crawler.FleetResult, v robots.Version, stats crawler.FleetResult) {
+	acc := fleet[v]
+	if acc == nil {
+		acc = make(crawler.FleetResult, len(stats))
+		fleet[v] = acc
+	}
+	for bot, s := range stats {
+		t := acc[bot]
+		t.PagesFetched += s.PagesFetched
+		t.Blocked += s.Blocked
+		t.RobotsFetches += s.RobotsFetches
+		t.Errors += s.Errors
+		acc[bot] = t
+	}
+}

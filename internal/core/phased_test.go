@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/robots"
+	"repro/internal/stream"
+)
+
+// TestLivePhasedExperiment runs a small closed-loop rotation — real HTTP
+// estate, reacting fleet, phase-partitioned streaming analyzers — and
+// checks the structural invariants of the result: every scheduled phase
+// received records inside its own window, nothing fell outside the
+// schedule, and the online verdicts compare experiment phases against the
+// baseline.
+func TestLivePhasedExperiment(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := LivePhasedExperiment(ctx, LivePhasedOptions{
+		Bots:          []string{"GPTBot", "Googlebot", "HeadlessChrome"},
+		PagesPerBot:   6,
+		Sites:         1,
+		Seed:          3,
+		TimeScale:     5000,
+		Deterministic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compliance == nil {
+		t.Fatal("no phased compliance snapshot")
+	}
+	if res.Compliance.OutOfSchedule != 0 {
+		t.Fatalf("%d records fell outside the schedule; rebasing should pin every phase inside its window",
+			res.Compliance.OutOfSchedule)
+	}
+	if got := len(res.Compliance.Snapshots); got != 4 {
+		t.Fatalf("phases with traffic = %d, want 4", got)
+	}
+	var phased uint64
+	for _, v := range robots.Versions {
+		agg := res.Compliance.Aggregates(v)
+		if agg == nil || agg.Records == 0 {
+			t.Fatalf("phase %s captured no records", v)
+		}
+		phased += agg.Records
+		if len(res.Fleet[v]) != 3 {
+			t.Fatalf("phase %s fleet ran %d bots, want 3", v, len(res.Fleet[v]))
+		}
+	}
+	// Every streamed record either landed in a phase or was dropped by the
+	// preprocessor before sharding; none may vanish silently.
+	if phased != res.Results.Records {
+		t.Fatalf("phase records sum %d != pipeline records %d", phased, res.Results.Records)
+	}
+	if res.Verdicts == nil {
+		t.Fatal("no online verdicts")
+	}
+	// HeadlessChrome never checks robots.txt, so the v3 phase must show it
+	// still fetching pages while obedient bots are blocked.
+	v3 := res.Fleet[robots.Version3]
+	if v3["HeadlessChrome"].PagesFetched == 0 {
+		t.Error("HeadlessChrome should ignore v3 and keep fetching")
+	}
+	if v3["GPTBot"].PagesFetched != 0 || v3["GPTBot"].Blocked == 0 {
+		t.Errorf("GPTBot should be blocked under v3, got %+v", v3["GPTBot"])
+	}
+}
+
+// TestStreamPipelinePhases checks the facade path: StreamOptions.Phases
+// phase-partitions the selected analyzers.
+func TestStreamPipelinePhases(t *testing.T) {
+	p, err := StreamPipeline(StreamOptions{
+		Phases: experiment.DefaultSchedule(time.Time{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	res := p.Snapshot()
+	if res.Phased(stream.AnalyzerCompliance) == nil {
+		t.Fatal("facade did not phase-partition the compliance analyzer")
+	}
+	if res.Compliance() != nil {
+		t.Fatal("phased pipeline should not expose an un-phased compliance snapshot")
+	}
+}

@@ -27,6 +27,10 @@ type FleetConfig struct {
 	PagesPerBot int
 	// Concurrency bounds how many bots crawl simultaneously (default 8).
 	Concurrency int
+	// Workers is each bot's fetch-worker count (default 2). Use 1 when the
+	// exact set of fetched pages must be reproducible under a page cap:
+	// with one worker a bot's fetch order is exactly its shuffled frontier.
+	Workers int
 	// TimeScale compresses crawl pacing (default 600: a 30 s delay costs
 	// 50 ms of wall time).
 	TimeScale float64
@@ -73,6 +77,9 @@ func RunFleet(ctx context.Context, cfg FleetConfig) (FleetResult, error) {
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 600
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
 
 	selected := cfg.Population.Profiles
 	if len(cfg.Bots) > 0 {
@@ -107,7 +114,7 @@ func RunFleet(ctx context.Context, cfg FleetConfig) (FleetResult, error) {
 				BaseURLs:  cfg.Estate.URLs,
 				Policy:    PolicyFor(p, cfg.Version, rng),
 				MaxPages:  cfg.PagesPerBot,
-				Workers:   2,
+				Workers:   cfg.Workers,
 				Clock:     clock,
 				Rand:      rng,
 			})

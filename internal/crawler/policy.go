@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/robots"
@@ -96,6 +97,18 @@ type Selective struct {
 	FastPace time.Duration
 	// MinDelay is the floor when obeying without a directive (default 1 s).
 	MinDelay time.Duration
+
+	// mu serializes Rand draws: a crawler's worker goroutines share one
+	// policy and math/rand.Rand is not safe for concurrent use.
+	mu sync.Mutex
+}
+
+// flip draws one uniform [0,1) coin under the lock.
+func (s *Selective) flip() float64 {
+	s.mu.Lock()
+	v := s.Rand.Float64()
+	s.mu.Unlock()
+	return v
 }
 
 // FetchesRobots implements Policy.
@@ -106,7 +119,7 @@ func (s *Selective) Allowed(t *robots.Tester, path string) bool {
 	if t == nil || t.Allowed(path) {
 		return true
 	}
-	return s.Rand.Float64() >= s.ObeyDisallow
+	return s.flip() >= s.ObeyDisallow
 }
 
 // Delay implements Policy.
@@ -126,7 +139,7 @@ func (s *Selective) Delay(t *robots.Tester) time.Duration {
 	if !ok || d <= min {
 		return min
 	}
-	if s.Rand.Float64() < s.ObeyDelay {
+	if s.flip() < s.ObeyDelay {
 		return d
 	}
 	return fast

@@ -1,0 +1,232 @@
+// phase.go implements the experiment's phase scheduler: the rotation of
+// robots.txt versions through time that turns a passive log pipeline into
+// the paper's §4 controlled experiment. A Schedule maps every instant to
+// the directive phase in force at that instant; it partitions batch
+// datasets (Split), assigns streaming records to phases by event time (the
+// stream package's PhaseLookup contract), and drives live robots.txt
+// rotation on a real or simulated clock (Rotate).
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/synth"
+	"repro/internal/weblog"
+)
+
+// Phase is one deployment window of the rotation: Version is in force from
+// Start until the next phase's Start (or the schedule End for the last
+// phase).
+type Phase struct {
+	// Version is the robots.txt version deployed during the phase.
+	Version robots.Version
+	// Start is the first instant of the phase (inclusive).
+	Start time.Time
+}
+
+// Schedule is an immutable, time-ordered robots.txt rotation. Build one
+// with NewSchedule, DefaultSchedule, or ParseSchedule; immutability is what
+// lets every pipeline shard resolve a record's phase independently yet
+// deterministically (see DESIGN.md, "phase-partitioned analyzers").
+type Schedule struct {
+	phases []Phase
+	end    time.Time // zero = the last phase never ends
+}
+
+// NewSchedule validates and builds a schedule. Phases must be non-empty
+// with strictly increasing start times; a non-zero end caps the last phase
+// (records at or after it fall outside the schedule) and must lie after
+// the last start.
+func NewSchedule(phases []Phase, end time.Time) (*Schedule, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("experiment: schedule needs at least one phase")
+	}
+	for i := 1; i < len(phases); i++ {
+		if !phases[i].Start.After(phases[i-1].Start) {
+			return nil, fmt.Errorf("experiment: phase %d (%s) starts at %s, not after phase %d (%s) at %s",
+				i, phases[i].Version, phases[i].Start.Format(time.RFC3339),
+				i-1, phases[i-1].Version, phases[i-1].Start.Format(time.RFC3339))
+		}
+	}
+	if !end.IsZero() && !end.After(phases[len(phases)-1].Start) {
+		return nil, fmt.Errorf("experiment: schedule end %s not after last phase start %s",
+			end.Format(time.RFC3339), phases[len(phases)-1].Start.Format(time.RFC3339))
+	}
+	return &Schedule{phases: append([]Phase(nil), phases...), end: end}, nil
+}
+
+// DefaultSchedule is the paper's rotation: baseline → v1 → v2 → v3, each
+// phase synth.PhaseDays (two weeks) long, starting at start (zero means
+// synth.DefaultStart, the paper's collection start date).
+func DefaultSchedule(start time.Time) *Schedule {
+	if start.IsZero() {
+		start = synth.DefaultStart
+	}
+	phaseLen := synth.PhaseDays * 24 * time.Hour
+	phases := make([]Phase, 0, len(robots.Versions))
+	for i, v := range robots.Versions {
+		phases = append(phases, Phase{Version: v, Start: start.Add(time.Duration(i) * phaseLen)})
+	}
+	s, err := NewSchedule(phases, start.Add(time.Duration(len(phases))*phaseLen))
+	if err != nil {
+		panic(err) // impossible: strictly increasing by construction
+	}
+	return s
+}
+
+// Phases returns the rotation in time order.
+func (s *Schedule) Phases() []Phase { return append([]Phase(nil), s.phases...) }
+
+// End returns the schedule's cap instant (zero if the last phase is
+// open-ended).
+func (s *Schedule) End() time.Time { return s.end }
+
+// Versions returns the distinct versions deployed, in first-deployment
+// order.
+func (s *Schedule) Versions() []robots.Version {
+	seen := make(map[robots.Version]bool, len(s.phases))
+	out := make([]robots.Version, 0, len(s.phases))
+	for _, p := range s.phases {
+		if !seen[p.Version] {
+			seen[p.Version] = true
+			out = append(out, p.Version)
+		}
+	}
+	return out
+}
+
+// PhaseAt resolves the version in force at t. It reports false for
+// instants before the first phase or at/after a non-zero End. This is the
+// stream package's PhaseLookup contract: pure and time-based, so every
+// shard attributes a (possibly late) record identically.
+func (s *Schedule) PhaseAt(t time.Time) (robots.Version, bool) {
+	if t.Before(s.phases[0].Start) {
+		return 0, false
+	}
+	if !s.end.IsZero() && !t.Before(s.end) {
+		return 0, false
+	}
+	// First phase with Start > t; the record belongs to its predecessor.
+	i := sort.Search(len(s.phases), func(i int) bool { return s.phases[i].Start.After(t) })
+	return s.phases[i-1].Version, true
+}
+
+// BoundaryAfter returns the next phase-start (or End) strictly after t,
+// reporting false when no boundary remains. Rotate uses it to sleep
+// exactly to the next deployment.
+func (s *Schedule) BoundaryAfter(t time.Time) (time.Time, bool) {
+	for _, p := range s.phases {
+		if p.Start.After(t) {
+			return p.Start, true
+		}
+	}
+	if !s.end.IsZero() && s.end.After(t) {
+		return s.end, true
+	}
+	return time.Time{}, false
+}
+
+// Split partitions a dataset into per-version datasets by record event
+// time — the batch counterpart of the streaming phase partition. Records
+// outside the schedule are dropped (and counted in the second return).
+// When one version is deployed in several phases, its windows pool into
+// one dataset, exactly as the streaming side pools per-version state.
+func (s *Schedule) Split(d *weblog.Dataset) (map[robots.Version]*weblog.Dataset, int) {
+	out := make(map[robots.Version]*weblog.Dataset, len(s.phases))
+	dropped := 0
+	for i := range d.Records {
+		r := &d.Records[i]
+		v, ok := s.PhaseAt(r.Time)
+		if !ok {
+			dropped++
+			continue
+		}
+		ds := out[v]
+		if ds == nil {
+			ds = &weblog.Dataset{}
+			out[v] = ds
+		}
+		ds.Records = append(ds.Records, *r)
+	}
+	return out, dropped
+}
+
+// scheduleJSON is the on-disk schedule format consumed by
+// `cmd/analyze -experiment phases.json`:
+//
+//	{
+//	  "phases": [
+//	    {"version": "base", "start": "2025-02-12T00:00:00Z"},
+//	    {"version": "v1",   "start": "2025-02-26T00:00:00Z"},
+//	    {"version": "v2",   "start": "2025-03-12T00:00:00Z"},
+//	    {"version": "v3",   "start": "2025-03-26T00:00:00Z"}
+//	  ],
+//	  "end": "2025-04-09T00:00:00Z"
+//	}
+//
+// Versions accept both short ("v1") and long ("v1-crawl-delay") labels;
+// "end" is optional.
+type scheduleJSON struct {
+	Phases []phaseJSON `json:"phases"`
+	End    string      `json:"end,omitempty"`
+}
+
+type phaseJSON struct {
+	Version string `json:"version"`
+	Start   string `json:"start"`
+}
+
+// ParseSchedule decodes the JSON schedule format.
+func ParseSchedule(b []byte) (*Schedule, error) {
+	var sj scheduleJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return nil, fmt.Errorf("experiment: parsing schedule: %w", err)
+	}
+	phases := make([]Phase, 0, len(sj.Phases))
+	for i, pj := range sj.Phases {
+		v, err := robots.ParseVersion(pj.Version)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: schedule phase %d: %w", i, err)
+		}
+		start, err := time.Parse(time.RFC3339, pj.Start)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: schedule phase %d start: %w", i, err)
+		}
+		phases = append(phases, Phase{Version: v, Start: start})
+	}
+	var end time.Time
+	if sj.End != "" {
+		var err error
+		if end, err = time.Parse(time.RFC3339, sj.End); err != nil {
+			return nil, fmt.Errorf("experiment: schedule end: %w", err)
+		}
+	}
+	return NewSchedule(phases, end)
+}
+
+// LoadSchedule reads and parses a JSON schedule file.
+func LoadSchedule(path string) (*Schedule, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return ParseSchedule(b)
+}
+
+// MarshalJSON encodes the schedule in the ParseSchedule format, so
+// programmatically built rotations can be saved as phases.json files.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	sj := scheduleJSON{Phases: make([]phaseJSON, 0, len(s.phases))}
+	for _, p := range s.phases {
+		sj.Phases = append(sj.Phases, phaseJSON{Version: p.Version.Short(), Start: p.Start.Format(time.RFC3339)})
+	}
+	if !s.end.IsZero() {
+		sj.End = s.end.Format(time.RFC3339)
+	}
+	return json.Marshal(sj)
+}

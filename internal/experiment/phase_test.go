@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/robots"
+	"repro/internal/synth"
+	"repro/internal/weblog"
+)
+
+var phaseStart = time.Date(2025, 2, 12, 0, 0, 0, 0, time.UTC)
+
+func fourPhases(phaseLen time.Duration) []Phase {
+	out := make([]Phase, 0, 4)
+	for i, v := range robots.Versions {
+		out = append(out, Phase{Version: v, Start: phaseStart.Add(time.Duration(i) * phaseLen)})
+	}
+	return out
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		phases []Phase
+		end    time.Time
+		ok     bool
+	}{
+		{"empty", nil, time.Time{}, false},
+		{"single open-ended", []Phase{{robots.VersionBase, phaseStart}}, time.Time{}, true},
+		{"increasing", fourPhases(time.Hour), time.Time{}, true},
+		{"equal starts", []Phase{
+			{robots.VersionBase, phaseStart}, {robots.Version1, phaseStart},
+		}, time.Time{}, false},
+		{"decreasing", []Phase{
+			{robots.VersionBase, phaseStart.Add(time.Hour)}, {robots.Version1, phaseStart},
+		}, time.Time{}, false},
+		{"end before last start", fourPhases(time.Hour), phaseStart.Add(2 * time.Hour), false},
+		{"end at last start", fourPhases(time.Hour), phaseStart.Add(3 * time.Hour), false},
+		{"end after last start", fourPhases(time.Hour), phaseStart.Add(4 * time.Hour), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSchedule(tc.phases, tc.end)
+			if (err == nil) != tc.ok {
+				t.Fatalf("NewSchedule error = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestSchedulePhaseAt(t *testing.T) {
+	sched, err := NewSchedule(fourPhases(time.Hour), phaseStart.Add(4*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		t    time.Time
+		want robots.Version
+		ok   bool
+	}{
+		{"before first", phaseStart.Add(-time.Nanosecond), 0, false},
+		{"exactly first start", phaseStart, robots.VersionBase, true},
+		{"mid first phase", phaseStart.Add(30 * time.Minute), robots.VersionBase, true},
+		{"instant before boundary", phaseStart.Add(time.Hour - time.Nanosecond), robots.VersionBase, true},
+		{"exactly boundary", phaseStart.Add(time.Hour), robots.Version1, true},
+		{"last phase", phaseStart.Add(3*time.Hour + time.Minute), robots.Version3, true},
+		{"instant before end", phaseStart.Add(4*time.Hour - time.Nanosecond), robots.Version3, true},
+		{"exactly end", phaseStart.Add(4 * time.Hour), 0, false},
+		{"after end", phaseStart.Add(5 * time.Hour), 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, ok := sched.PhaseAt(tc.t)
+			if ok != tc.ok || (ok && v != tc.want) {
+				t.Fatalf("PhaseAt(%s) = (%v, %v), want (%v, %v)", tc.t, v, ok, tc.want, tc.ok)
+			}
+		})
+	}
+
+	// An open-ended schedule keeps its last phase forever.
+	open, err := NewSchedule(fourPhases(time.Hour), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := open.PhaseAt(phaseStart.Add(1000 * time.Hour)); !ok || v != robots.Version3 {
+		t.Fatalf("open-ended PhaseAt far future = (%v, %v), want (v3, true)", v, ok)
+	}
+}
+
+func TestScheduleSplit(t *testing.T) {
+	sched, err := NewSchedule(fourPhases(time.Hour), phaseStart.Add(4*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(offset time.Duration) weblog.Record {
+		return weblog.Record{Time: phaseStart.Add(offset), BotName: "X"}
+	}
+	d := &weblog.Dataset{Records: []weblog.Record{
+		rec(-time.Minute),     // before schedule: dropped
+		rec(0),                // base
+		rec(time.Hour),        // v1 (boundary is inclusive on the right phase)
+		rec(90 * time.Minute), // v1
+		rec(3 * time.Hour),    // v3
+		rec(4 * time.Hour),    // at end: dropped
+	}}
+	phases, dropped := sched.Split(d)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	counts := map[robots.Version]int{}
+	for v, ds := range phases {
+		counts[v] = ds.Len()
+	}
+	want := map[robots.Version]int{robots.VersionBase: 1, robots.Version1: 2, robots.Version3: 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("split counts = %v, want %v", counts, want)
+	}
+
+	// A version deployed twice pools both windows into one dataset.
+	re, err := NewSchedule([]Phase{
+		{robots.VersionBase, phaseStart},
+		{robots.Version1, phaseStart.Add(time.Hour)},
+		{robots.VersionBase, phaseStart.Add(2 * time.Hour)},
+	}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, _ := re.Split(&weblog.Dataset{Records: []weblog.Record{
+		rec(0), rec(2*time.Hour + time.Minute),
+	}})
+	if pooled[robots.VersionBase].Len() != 2 {
+		t.Fatalf("re-deployed version pooled %d records, want 2", pooled[robots.VersionBase].Len())
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	sched := DefaultSchedule(time.Time{})
+	b, err := sched.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSchedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sched.Phases(), back.Phases()) || !sched.End().Equal(back.End()) {
+		t.Fatalf("round trip diverged:\n%v end %v\nvs\n%v end %v",
+			sched.Phases(), sched.End(), back.Phases(), back.End())
+	}
+	if sched.Phases()[0].Start != synth.DefaultStart {
+		t.Fatalf("default schedule starts at %v, want %v", sched.Phases()[0].Start, synth.DefaultStart)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{`},
+		{"unknown version", `{"phases":[{"version":"v9","start":"2025-02-12T00:00:00Z"}]}`},
+		{"bad start", `{"phases":[{"version":"v1","start":"yesterday"}]}`},
+		{"bad end", `{"phases":[{"version":"v1","start":"2025-02-12T00:00:00Z"}],"end":"soon"}`},
+		{"no phases", `{"phases":[]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSchedule([]byte(tc.body)); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+	// Long labels parse too.
+	ok := `{"phases":[{"version":"v1-crawl-delay","start":"2025-02-12T00:00:00Z"}]}`
+	sched, err := ParseSchedule([]byte(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sched.PhaseAt(phaseStart); v != robots.Version1 {
+		t.Fatalf("long label parsed to %v, want v1", v)
+	}
+}
+
+// fakeClock records sleeps without waiting.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (c *fakeClock) Now() time.Time        { return time.Time{} }
+func (c *fakeClock) Sleep(d time.Duration) { c.slept = append(c.slept, d) }
+
+func TestRotateDeploySequence(t *testing.T) {
+	sched, err := NewSchedule(fourPhases(time.Hour), phaseStart.Add(4*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{}
+	var deployed []robots.Version
+	var at []time.Time
+	if err := sched.Rotate(context.Background(), clock, func(v robots.Version, when time.Time) {
+		deployed = append(deployed, v)
+		at = append(at, when)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(deployed, robots.Versions) {
+		t.Fatalf("deploy sequence = %v, want %v", deployed, robots.Versions)
+	}
+	for i, when := range at {
+		if want := phaseStart.Add(time.Duration(i) * time.Hour); !when.Equal(want) {
+			t.Fatalf("deploy %d at %v, want %v", i, when, want)
+		}
+	}
+	// Three inter-phase gaps plus the final gap to End.
+	if !reflect.DeepEqual(clock.slept, []time.Duration{time.Hour, time.Hour, time.Hour, time.Hour}) {
+		t.Fatalf("sleeps = %v", clock.slept)
+	}
+}
+
+func TestRotateCancel(t *testing.T) {
+	sched, err := NewSchedule(fourPhases(time.Hour), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	clock := &fakeClock{}
+	var n int
+	err = sched.Rotate(ctx, clock, func(robots.Version, time.Time) {
+		n++
+		if n == 2 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 2 {
+		t.Fatalf("deployed %d phases before cancel, want 2", n)
+	}
+}

@@ -1,0 +1,48 @@
+// rotate.go drives a Schedule forward in time: the programmatic equivalent
+// of the paper's support staff swapping the study site's robots.txt file
+// every two weeks.
+package experiment
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/robots"
+)
+
+// Clock abstracts rotation timing so a Schedule can rotate on the wall
+// clock in production or a compressed simulated clock in tests and demos.
+// crawler.RealClock and crawler.ScaledClock both satisfy it.
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+	// Sleep pauses the caller for a (possibly scaled) duration.
+	Sleep(d time.Duration)
+}
+
+// Rotate walks the schedule in experiment time, invoking deploy for every
+// phase as it comes into force: once immediately for the first phase, then
+// after sleeping the clock across each inter-boundary gap. Experiment time
+// starts at the first phase's Start and is passed to deploy alongside the
+// version; a scaled clock compresses the wall cost of each gap without
+// changing the experiment-time boundaries. Rotate returns nil once the
+// schedule is exhausted (or, for an open-ended schedule, after the last
+// deployment), or ctx.Err() when cancelled between sleeps.
+func (s *Schedule) Rotate(ctx context.Context, clock Clock, deploy func(v robots.Version, at time.Time)) error {
+	now := s.phases[0].Start
+	deploy(s.phases[0].Version, now)
+	for {
+		boundary, ok := s.BoundaryAfter(now)
+		if !ok {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		clock.Sleep(boundary.Sub(now))
+		now = boundary
+		if v, ok := s.PhaseAt(now); ok {
+			deploy(v, now)
+		}
+	}
+}

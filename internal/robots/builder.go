@@ -1,6 +1,7 @@
 package robots
 
 import (
+	"fmt"
 	"strings"
 	"time"
 )
@@ -208,6 +209,18 @@ func (v Version) Short() string {
 
 // Versions lists all four deployment phases in order.
 var Versions = []Version{VersionBase, Version1, Version2, Version3}
+
+// ParseVersion resolves a version label — either the paper's long name
+// ("v2-endpoint") or the compact table label ("v2", case-insensitive) — to
+// its Version, for configuration files naming deployment phases.
+func ParseVersion(s string) (Version, error) {
+	for _, v := range Versions {
+		if strings.EqualFold(s, v.String()) || strings.EqualFold(s, v.Short()) {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("robots: unknown version %q (want base, v1, v2, or v3)", s)
+}
 
 // BuildVersion constructs the robots.txt body for one of the paper's four
 // experiment versions, reproducing Figures 5-8. The sitemap URL is included

@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/weblog"
+)
+
+// drainDecoder pulls every record out of a decoder until EOF or error,
+// enforcing the sticky-error contract along the way.
+func drainDecoder(t *testing.T, dec Decoder) ([]weblog.Record, error) {
+	t.Helper()
+	var out []weblog.Record
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			if _, err2 := dec.Next(); err2 != io.EOF {
+				t.Fatalf("EOF not sticky: second Next returned %v", err2)
+			}
+			return out, nil
+		}
+		if err != nil {
+			if _, err2 := dec.Next(); err2 != err {
+				t.Fatalf("decode error not sticky: %v then %v", err, err2)
+			}
+			return out, err
+		}
+		out = append(out, rec)
+		if len(out) > 1<<20 {
+			t.Fatal("decoder yielded over a million records from a small input")
+		}
+	}
+}
+
+// csvSeedBytes builds a small well-formed CSV corpus from the parity
+// fixture generator.
+func csvSeedBytes(n int, seed int64) []byte {
+	d := makeSynthetic(n, seed, 0)
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeCSV differential-fuzzes the incremental CSV decoder against
+// the batch reader: no panic on any input, sticky errors, and whenever the
+// batch path accepts the bytes the streaming path must yield the identical
+// record sequence.
+func FuzzDecodeCSV(f *testing.F) {
+	f.Add(csvSeedBytes(50, 41))
+	// Ragged variant: enrichment columns truncated from alternating rows,
+	// as the ragged-row parity test does.
+	ragged := bytes.Split(csvSeedBytes(20, 42), []byte("\n"))
+	for i := 1; i < len(ragged); i += 2 {
+		cells := bytes.Split(ragged[i], []byte(","))
+		if len(cells) > 9 {
+			ragged[i] = bytes.Join(cells[:9], []byte(","))
+		}
+	}
+	f.Add(bytes.Join(ragged, []byte("\n")))
+	f.Add([]byte(""))
+	f.Add([]byte("useragent,timestamp\n\"unterminated"))
+	f.Add([]byte("useragent,timestamp,status\nbot,2025-03-01T00:00:00Z,notanint\n"))
+	f.Add([]byte("no,known,columns\na,b,c\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, serr := drainDecoder(t, NewCSVDecoder(bytes.NewReader(data)))
+		want, berr := weblog.ReadCSV(bytes.NewReader(data))
+		if berr != nil {
+			return // batch rejects; streaming already proved panic-free
+		}
+		if serr != nil {
+			t.Fatalf("batch accepted but stream failed: %v", serr)
+		}
+		if len(want.Records) != len(got) {
+			t.Fatalf("record counts diverged: batch %d, stream %d", len(want.Records), len(got))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(want.Records[i], got[i]) {
+				t.Fatalf("record %d diverged:\nbatch:  %+v\nstream: %+v", i, want.Records[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeJSONL differential-fuzzes the JSONL decoder the same way.
+func FuzzDecodeJSONL(f *testing.F) {
+	d := makeSynthetic(50, 43, 0)
+	var buf bytes.Buffer
+	if err := weblog.WriteJSONL(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"useragent":"bot","timestamp":"2025-03-01T00:00:00Z"}` + "\n"))
+	f.Add([]byte(`{"useragent":"bot"`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"timestamp":"not a time"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, serr := drainDecoder(t, NewJSONLDecoder(bytes.NewReader(data)))
+		want, berr := weblog.ReadJSONL(bytes.NewReader(data))
+		if berr != nil {
+			return
+		}
+		if serr != nil {
+			t.Fatalf("batch accepted but stream failed: %v", serr)
+		}
+		if len(want.Records) != len(got) {
+			t.Fatalf("record counts diverged: batch %d, stream %d", len(want.Records), len(got))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(want.Records[i], got[i]) {
+				t.Fatalf("record %d diverged:\nbatch:  %+v\nstream: %+v", i, want.Records[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeCLF fuzzes the streaming CLF decoder against the batch CLF
+// reader in skip-and-count (non-strict) mode: identical kept records and
+// skip totals.
+func FuzzDecodeCLF(f *testing.F) {
+	var clf bytes.Buffer
+	if err := weblog.WriteCLF(&clf, makeSynthetic(30, 44, 0)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clf.Bytes())
+	f.Add([]byte("junk\n" + `h - - [01/Mar/2025:00:00:00 +0000] "GET /x HTTP/1.1" 200 5 "-" "ua"` + "\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewCLFDecoder(bytes.NewReader(data), weblog.CLFOptions{Site: "www"})
+		got, serr := drainDecoder(t, dec)
+		want, skipped, berr := weblog.ReadCLF(bytes.NewReader(data), weblog.CLFOptions{Site: "www"})
+		if berr != nil {
+			if serr == nil {
+				t.Fatalf("batch rejected (%v) but stream accepted", berr)
+			}
+			return
+		}
+		if serr != nil {
+			t.Fatalf("batch accepted but stream failed: %v", serr)
+		}
+		if len(want.Records) != len(got) || dec.Skipped != skipped {
+			t.Fatalf("diverged: batch %d records / %d skipped, stream %d / %d",
+				len(want.Records), skipped, len(got), dec.Skipped)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(want.Records[i], got[i]) {
+				t.Fatalf("record %d diverged:\nbatch:  %+v\nstream: %+v", i, want.Records[i], got[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// phased.go is the phase-aware analyzer wrapper: it partitions any
+// Analyzer's per-shard state by robots.txt deployment phase, turning the
+// single-stream online analyses into the paper's §4 controlled experiment
+// run live. A record's phase is a pure function of its event time (the
+// PhaseLookup contract), so every shard — and every shard count —
+// attributes even late records identically, and per-phase states inherit
+// the inner analyzer's commutative merge unchanged (DESIGN.md,
+// "phase-partitioned analyzers").
+package stream
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/robots"
+	"repro/internal/weblog"
+)
+
+// PhaseLookup resolves the robots.txt version in force at an instant. It
+// must be pure and safe for concurrent use: shards call it from their own
+// goroutines and determinism of the merged snapshot depends on every call
+// site agreeing. experiment.Schedule implements it.
+type PhaseLookup interface {
+	// PhaseAt returns the deployed version at t, reporting false for
+	// instants outside the experiment (such records are counted, not
+	// analyzed).
+	PhaseAt(t time.Time) (robots.Version, bool)
+}
+
+// phasedAnalyzer wraps an inner analyzer with per-phase state partitioning.
+type phasedAnalyzer struct {
+	inner  Analyzer
+	phases PhaseLookup
+}
+
+// NewPhasedAnalyzer wraps inner so that every record folds into a per-phase
+// copy of the inner per-shard state, selected by the record's event time.
+// The wrapper keeps the inner registry name — it is the same analysis,
+// partitioned — so Results.Get returns a *PhasedSnapshot under the inner
+// name (the typed Results accessors for the un-phased snapshot return nil).
+func NewPhasedAnalyzer(inner Analyzer, phases PhaseLookup) Analyzer {
+	return phasedAnalyzer{inner: inner, phases: phases}
+}
+
+// WrapPhased phase-partitions every analyzer in the slice.
+func WrapPhased(analyzers []Analyzer, phases PhaseLookup) []Analyzer {
+	out := make([]Analyzer, len(analyzers))
+	for i, a := range analyzers {
+		out[i] = NewPhasedAnalyzer(a, phases)
+	}
+	return out
+}
+
+func (a phasedAnalyzer) Name() string { return a.inner.Name() }
+
+func (a phasedAnalyzer) NewState() ShardState {
+	return &phasedState{inner: a.inner, phases: a.phases, states: make(map[robots.Version]ShardState)}
+}
+
+// phasedState is one shard's phase partition: one lazily created inner
+// state per phase seen on this shard. It always implements
+// WatermarkObserver — the pipeline registers it unconditionally and the
+// forwarding is a no-op for inner states that don't observe watermarks.
+type phasedState struct {
+	inner  Analyzer
+	phases PhaseLookup
+	states map[robots.Version]ShardState
+	// outOfSchedule counts records outside every phase window.
+	outOfSchedule uint64
+}
+
+// Apply routes the record to its phase's inner state by event time.
+func (s *phasedState) Apply(r *weblog.Record, seq uint64) {
+	v, ok := s.phases.PhaseAt(r.Time)
+	if !ok {
+		s.outOfSchedule++
+		return
+	}
+	st := s.states[v]
+	if st == nil {
+		st = s.inner.NewState()
+		s.states[v] = st
+	}
+	st.Apply(r, seq)
+}
+
+// Advance forwards the shard watermark to every phase partition that
+// observes it. The watermark is a cross-phase event-time bound: a phase
+// whose window the watermark has passed can never receive another record,
+// so its observers (e.g. the session analyzer) may finalize exactly as in
+// the un-phased pipeline.
+func (s *phasedState) Advance(w time.Time) {
+	for _, st := range s.states {
+		if o, ok := st.(WatermarkObserver); ok {
+			o.Advance(w)
+		}
+	}
+}
+
+// PhasedSnapshot is a phase-partitioned analyzer's merged snapshot: the
+// inner analyzer's snapshot computed independently over each phase's
+// records. Obtain one via Results.Phased.
+type PhasedSnapshot struct {
+	// Analyzer is the inner analyzer's registry name.
+	Analyzer string
+	// Snapshots maps each phase seen in the stream to the inner snapshot
+	// over exactly that phase's records; the concrete type is the one
+	// documented on the inner Analyzer* registry constant.
+	Snapshots map[robots.Version]any
+	// OutOfSchedule counts records whose event time fell outside every
+	// phase window (analyzed by no phase).
+	OutOfSchedule uint64
+}
+
+// Versions lists the phases present in the snapshot in ascending version
+// order (base, v1, v2, v3) — which matches deployment order for the
+// paper's rotation, though a custom schedule may deploy versions in any
+// sequence (the snapshot pools a version's windows and keeps no timeline).
+func (p *PhasedSnapshot) Versions() []robots.Version {
+	out := make([]robots.Version, 0, len(p.Snapshots))
+	for v := range p.Snapshots {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Aggregates returns one phase's compliance aggregates, or nil when the
+// inner analyzer is not the compliance analyzer or the phase is absent.
+func (p *PhasedSnapshot) Aggregates(v robots.Version) *Aggregates {
+	a, _ := p.Snapshots[v].(*Aggregates)
+	return a
+}
+
+// CompareCompliance runs the paper's per-bot phase-vs-baseline comparison
+// (Figure 9 / Table 10, z-tests included) over a phased compliance
+// snapshot: for each directive whose deploying phase is present alongside
+// the baseline phase, the two phases' online summaries feed the same
+// compliance.CompareSummaries the batch experiment suite uses — so the
+// verdicts are byte-identical to batch by construction. It returns nil
+// when the inner analyzer is not compliance or no baseline phase was seen.
+func (p *PhasedSnapshot) CompareCompliance(cfg compliance.Config) map[compliance.Directive][]compliance.Result {
+	if cfg == (compliance.Config{}) {
+		cfg = compliance.DefaultConfig()
+	}
+	base := p.Aggregates(robots.VersionBase)
+	if base == nil {
+		return nil
+	}
+	out := make(map[compliance.Directive][]compliance.Result, len(compliance.Directives))
+	for _, dir := range compliance.Directives {
+		exp := p.Aggregates(dir.Version())
+		if exp == nil {
+			continue
+		}
+		out[dir] = compliance.CompareSummaries(base.Summary(dir), exp.Summary(dir), dir, cfg)
+	}
+	return out
+}
+
+// Phased returns the named analyzer's phase-partitioned snapshot, or nil
+// when that analyzer was absent or not phase-wrapped.
+func (r *Results) Phased(name string) *PhasedSnapshot {
+	p, _ := r.byName[name].(*PhasedSnapshot)
+	return p
+}
+
+// Snapshot merges the per-shard phase partitions: for every phase seen on
+// any shard it assembles that phase's per-shard inner states (substituting
+// fresh empty states for shards that saw no record of the phase — the
+// inner merge must treat empty states as identity, which every built-in
+// does) and delegates to the inner analyzer's own Snapshot. Phase
+// assignment is by event time, so the phase → records partition is
+// shard-count independent and each inner snapshot inherits the inner
+// analyzer's determinism.
+func (a phasedAnalyzer) Snapshot(states []ShardState) any {
+	out := &PhasedSnapshot{Analyzer: a.inner.Name(), Snapshots: make(map[robots.Version]any)}
+	present := make(map[robots.Version]bool)
+	for _, st := range states {
+		ps := st.(*phasedState)
+		out.OutOfSchedule += ps.outOfSchedule
+		for v := range ps.states {
+			present[v] = true
+		}
+	}
+	inner := make([]ShardState, len(states))
+	for v := range present {
+		for i, st := range states {
+			ps := st.(*phasedState)
+			if s, ok := ps.states[v]; ok {
+				inner[i] = s
+			} else {
+				inner[i] = a.inner.NewState()
+			}
+		}
+		out.Snapshots[v] = a.inner.Snapshot(inner)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/experiment"
+	"repro/internal/robots"
+	"repro/internal/weblog"
+)
+
+// rotationSchedule builds a four-phase baseline→v1→v2→v3 schedule whose
+// windows tile [start, start+4*phaseLen) exactly.
+func rotationSchedule(t *testing.T, start time.Time, phaseLen time.Duration) *experiment.Schedule {
+	t.Helper()
+	phases := make([]experiment.Phase, 0, len(robots.Versions))
+	for i, v := range robots.Versions {
+		phases = append(phases, experiment.Phase{Version: v, Start: start.Add(time.Duration(i) * phaseLen)})
+	}
+	sched, err := experiment.NewSchedule(phases, start.Add(4*phaseLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// phasedStreamSummaries streams encoded CSV through a phase-partitioned
+// compliance pipeline and returns per-version per-directive summaries plus
+// the snapshot itself.
+func phasedStreamSummaries(t *testing.T, encoded []byte, sched *experiment.Schedule, shards int, skew time.Duration, cfg compliance.Config) *PhasedSnapshot {
+	t.Helper()
+	dec := NewCSVDecoder(bytes.NewReader(encoded))
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	p := NewPipeline(Options{
+		Shards:    shards,
+		MaxSkew:   skew,
+		Keep:      pre.Keep,
+		Enrich:    func(r *weblog.Record) { enrich(r) },
+		Analyzers: WrapPhased([]Analyzer{NewComplianceAnalyzer(cfg)}, sched),
+	})
+	res, err := p.Run(nil, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Phased(AnalyzerCompliance)
+	if snap == nil {
+		t.Fatal("no phased compliance snapshot")
+	}
+	return snap
+}
+
+// TestPhasedStreamBatchParity is the phased acceptance test: a 100k-record
+// synthetic rotation across four robots.txt phases, with ±45 s timestamp
+// jitter spanning the phase boundaries, streamed through the
+// phase-partitioned pipeline at shard counts {1,4,7}, must produce
+// per-phase compliance summaries and phase-vs-baseline verdicts identical
+// to the batch path (experiment.Schedule.Split + the compliance package)
+// on the same bytes.
+func TestPhasedStreamBatchParity(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	n := parityN(t)
+	jitter := 45 * time.Second
+	// makeSynthetic emits one record per second from its fixed base; four
+	// equal windows tile the stream so the jitter displaces records across
+	// every interior boundary (and off both schedule edges).
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	phaseLen := time.Duration(n/4) * time.Second
+	sched := rotationSchedule(t, base, phaseLen)
+
+	d := makeSynthetic(n, 21, jitter)
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := weblog.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch path: preprocess + enrich, split by schedule, summarize and
+	// compare per phase with the batch compliance package.
+	enriched := enrichBatch(decoded)
+	wantPhases, wantDropped := sched.Split(enriched)
+	if len(wantPhases) != 4 {
+		t.Fatalf("batch split produced %d phases, want 4", len(wantPhases))
+	}
+	if wantDropped == 0 {
+		t.Fatal("expected boundary jitter to push some records off the schedule edges")
+	}
+	type phaseDir struct {
+		v   robots.Version
+		dir compliance.Directive
+	}
+	wantSums := make(map[phaseDir]compliance.Summary)
+	for v, ds := range wantPhases {
+		for _, dir := range compliance.Directives {
+			wantSums[phaseDir{v, dir}] = compliance.Summarize(ds, dir, cfg)
+		}
+	}
+	wantVerdicts := make(map[compliance.Directive][]compliance.Result)
+	for _, dir := range compliance.Directives {
+		wantVerdicts[dir] = compliance.Compare(wantPhases[robots.VersionBase], wantPhases[dir.Version()], dir, cfg)
+	}
+
+	for _, shards := range []int{1, 4, 7} {
+		snap := phasedStreamSummaries(t, buf.Bytes(), sched, shards, 2*time.Minute, cfg)
+		if got := snap.OutOfSchedule; got != uint64(wantDropped) {
+			t.Fatalf("shards=%d: out-of-schedule count %d, batch dropped %d", shards, got, wantDropped)
+		}
+		if got, want := len(snap.Snapshots), len(wantPhases); got != want {
+			t.Fatalf("shards=%d: %d phases in snapshot, want %d", shards, got, want)
+		}
+		for v := range wantPhases {
+			agg := snap.Aggregates(v)
+			if agg == nil {
+				t.Fatalf("shards=%d: phase %s missing from snapshot", shards, v)
+			}
+			for _, dir := range compliance.Directives {
+				want := wantSums[phaseDir{v, dir}]
+				got := agg.Summary(dir)
+				if !reflect.DeepEqual(want.Measurements, got.Measurements) {
+					t.Fatalf("shards=%d phase=%s %v: measurements diverged\nbatch:  %v\nstream: %v",
+						shards, v, dir, want.Measurements, got.Measurements)
+				}
+				if !reflect.DeepEqual(want.Access, got.Access) {
+					t.Fatalf("shards=%d phase=%s %v: access counts diverged", shards, v, dir)
+				}
+				if !reflect.DeepEqual(want.Checked, got.Checked) {
+					t.Fatalf("shards=%d phase=%s %v: checked flags diverged", shards, v, dir)
+				}
+				if !reflect.DeepEqual(want.Categories, got.Categories) {
+					t.Fatalf("shards=%d phase=%s %v: categories diverged", shards, v, dir)
+				}
+			}
+		}
+		gotVerdicts := snap.CompareCompliance(cfg)
+		for _, dir := range compliance.Directives {
+			if !reflect.DeepEqual(wantVerdicts[dir], gotVerdicts[dir]) {
+				t.Fatalf("shards=%d %v: verdicts diverged\nbatch:  %+v\nstream: %+v",
+					shards, dir, wantVerdicts[dir], gotVerdicts[dir])
+			}
+		}
+	}
+}
+
+// TestPhasedSnapshotDeterministic re-runs the same phased stream twice at
+// different shard counts and requires byte-identical snapshots — the
+// shard-merge invariant extended to phase partitions.
+func TestPhasedSnapshotDeterministic(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	sched := rotationSchedule(t, base, 500*time.Second)
+	d := makeSynthetic(2000, 22, 30*time.Second)
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var prev *PhasedSnapshot
+	for _, shards := range []int{1, 3, 8} {
+		snap := phasedStreamSummaries(t, buf.Bytes(), sched, shards, time.Minute, cfg)
+		if prev != nil {
+			for v, want := range prev.Snapshots {
+				got := snap.Snapshots[v]
+				wa, ga := want.(*Aggregates), got.(*Aggregates)
+				// Shards differs by construction; everything else must not.
+				ga2 := *ga
+				ga2.Shards = wa.Shards
+				wa2 := *wa
+				if !reflect.DeepEqual(&wa2, &ga2) {
+					t.Fatalf("phase %s diverged between shard counts:\n%+v\nvs\n%+v", v, wa, ga)
+				}
+			}
+		}
+		prev = snap
+	}
+}

@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/robots"
+	"repro/internal/session"
+	"repro/internal/weblog"
+)
+
+// twoPhaseLookup is a minimal PhaseLookup: base before the boundary, v1 at
+// and after it, out-of-schedule before the epoch.
+type twoPhaseLookup struct {
+	epoch, boundary time.Time
+}
+
+func (l twoPhaseLookup) PhaseAt(t time.Time) (robots.Version, bool) {
+	if t.Before(l.epoch) {
+		return 0, false
+	}
+	if t.Before(l.boundary) {
+		return robots.VersionBase, true
+	}
+	return robots.Version1, true
+}
+
+// TestPhasedOutOfSchedule counts, without analyzing, records outside every
+// phase window.
+func TestPhasedOutOfSchedule(t *testing.T) {
+	epoch := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	lookup := twoPhaseLookup{epoch: epoch, boundary: epoch.Add(time.Hour)}
+	p := NewPipeline(Options{
+		Shards:    3,
+		Analyzers: WrapPhased([]Analyzer{NewComplianceAnalyzer(compliance.Config{})}, lookup),
+	})
+	rec := func(offset time.Duration) weblog.Record {
+		return weblog.Record{
+			Time: epoch.Add(offset), BotName: "TestBot", UserAgent: "TestBot/1.0",
+			IPHash: "h1", ASN: "AS1", Path: "/p",
+		}
+	}
+	for _, off := range []time.Duration{-time.Minute, 0, 30 * time.Minute, 2 * time.Hour} {
+		if err := p.Ingest(nil, rec(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	snap := p.Snapshot().Phased(AnalyzerCompliance)
+	if snap.OutOfSchedule != 1 {
+		t.Fatalf("OutOfSchedule = %d, want 1", snap.OutOfSchedule)
+	}
+	if got := snap.Aggregates(robots.VersionBase).Access["TestBot"]; got != 2 {
+		t.Fatalf("base phase accesses = %d, want 2", got)
+	}
+	if got := snap.Aggregates(robots.Version1).Access["TestBot"]; got != 1 {
+		t.Fatalf("v1 phase accesses = %d, want 1", got)
+	}
+	if vs := snap.Versions(); !reflect.DeepEqual(vs, []robots.Version{robots.VersionBase, robots.Version1}) {
+		t.Fatalf("Versions() = %v", vs)
+	}
+}
+
+// TestPhasedSessionParity wraps the session analyzer and checks each
+// phase's summary equals batch sessionization of that phase's records
+// alone — including the watermark forwarding that closes idle sessions
+// inside phase partitions mid-run.
+func TestPhasedSessionParity(t *testing.T) {
+	// makeSynthetic emits one record per second from this epoch, so 8000
+	// records span ~2.2 hours; an interior boundary at +1 h puts traffic on
+	// both sides with jitter crossing it.
+	epoch := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	boundary := epoch.Add(time.Hour)
+	lookup := twoPhaseLookup{epoch: epoch, boundary: boundary}
+
+	d := makeSynthetic(8000, 31, 20*time.Second)
+	// Split batch-side by the same event-time rule.
+	var base, v1 weblog.Dataset
+	for _, r := range d.Records {
+		if v, ok := lookup.PhaseAt(r.Time); ok && v == robots.VersionBase {
+			base.Records = append(base.Records, r)
+		} else if ok {
+			v1.Records = append(v1.Records, r)
+		}
+	}
+	enrichedBase := enrichBatch(&base)
+	enrichedV1 := enrichBatch(&v1)
+	wantBase := session.Summarize(session.Sessionize(enrichedBase, session.DefaultGap))
+	wantV1 := session.Summarize(session.Sessionize(enrichedV1, session.DefaultGap))
+
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	p := NewPipeline(Options{
+		Shards:    4,
+		MaxSkew:   time.Minute,
+		Keep:      pre.Keep,
+		Enrich:    func(r *weblog.Record) { enrich(r) },
+		Analyzers: WrapPhased([]Analyzer{NewSessionAnalyzer(0)}, lookup),
+	})
+	res, err := p.Run(nil, NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Phased(AnalyzerSession)
+	if snap == nil {
+		t.Fatal("no phased session snapshot")
+	}
+	gotBase, _ := snap.Snapshots[robots.VersionBase].(*session.Summary)
+	gotV1, _ := snap.Snapshots[robots.Version1].(*session.Summary)
+	if !reflect.DeepEqual(wantBase, gotBase) {
+		t.Fatalf("base phase sessions diverged\nbatch:  %+v\nstream: %+v", wantBase, gotBase)
+	}
+	if !reflect.DeepEqual(wantV1, gotV1) {
+		t.Fatalf("v1 phase sessions diverged\nbatch:  %+v\nstream: %+v", wantV1, gotV1)
+	}
+}
+
+// TestResultsPhasedAccessors checks the Results-level type discrimination:
+// phased snapshots are reachable only through Phased, un-phased ones only
+// through their typed accessors.
+func TestResultsPhasedAccessors(t *testing.T) {
+	p := NewPipeline(Options{Shards: 1})
+	p.Close()
+	res := p.Snapshot()
+	if res.Phased(AnalyzerCompliance) != nil {
+		t.Fatal("un-phased pipeline leaked a phased snapshot")
+	}
+	if res.Compliance() == nil {
+		t.Fatal("un-phased compliance snapshot missing")
+	}
+}

@@ -1,0 +1,250 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/robots"
+	"repro/internal/weblog"
+)
+
+var reorderEpoch = time.Date(2025, 3, 1, 12, 0, 0, 0, time.UTC)
+
+// reorderRec builds one pre-enriched record for reorder tests; ip selects
+// the τ tuple (and therefore the shard).
+func reorderRec(ip string, offset time.Duration, path string) weblog.Record {
+	return weblog.Record{
+		UserAgent: "TestBot/1.0",
+		BotName:   "TestBot",
+		Category:  "Test Crawlers",
+		Time:      reorderEpoch.Add(offset),
+		IPHash:    ip,
+		ASN:       "AS-" + ip,
+		Site:      "www",
+		Path:      path,
+		Status:    200,
+		Bytes:     100,
+	}
+}
+
+// streamAggRaw runs pre-enriched records through a compliance pipeline
+// as-is (no preprocessing) and returns the merged aggregates.
+func streamAggRaw(t *testing.T, recs []weblog.Record, shards int, skew time.Duration, cfg compliance.Config) *Aggregates {
+	t.Helper()
+	p := NewPipeline(Options{Shards: shards, MaxSkew: skew, Compliance: cfg})
+	res, err := p.Run(nil, NewDatasetDecoder(&weblog.Dataset{Records: recs}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Compliance()
+}
+
+// TestReorderEdgeCases drives the watermark reorder buffer through its
+// boundary conditions: each case's ingest order is deliberately disordered
+// within (or exactly at) MaxSkew, and the streamed summaries must match
+// the order-insensitive batch path on the same records.
+func TestReorderEdgeCases(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	sec := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	cases := []struct {
+		name   string
+		skew   time.Duration
+		shards []int
+		recs   []weblog.Record
+	}{
+		{
+			// The late record trails the high-water mark by exactly
+			// MaxSkew: its time equals the watermark, the inclusive release
+			// bound, so it must still be applied in repaired order.
+			name:   "disorder exactly at skew boundary",
+			skew:   30 * time.Second,
+			shards: []int{1, 4},
+			recs: []weblog.Record{
+				reorderRec("a", sec(30), "/x"),
+				reorderRec("a", sec(0), "/robots.txt"), // 30s late = exactly MaxSkew
+				reorderRec("a", sec(60), "/x"),
+				reorderRec("a", sec(31), "/x"), // 29s late, inside the window
+			},
+		},
+		{
+			// Two tuples hash to different shards but share every
+			// timestamp; per-shard heaps must tiebreak identically (by
+			// global sequence) at any shard count.
+			name:   "duplicate timestamps across shards",
+			skew:   30 * time.Second,
+			shards: []int{1, 2, 7},
+			recs: []weblog.Record{
+				reorderRec("a", sec(0), "/robots.txt"),
+				reorderRec("b", sec(0), "/x"),
+				reorderRec("a", sec(40), "/x"),
+				reorderRec("b", sec(40), "/robots.txt"),
+				reorderRec("b", sec(10), "/x"), // late, duplicates a's pending slot shape
+				reorderRec("a", sec(10), "/x"),
+				reorderRec("a", sec(70), "/x"),
+				reorderRec("b", sec(70), "/x"),
+			},
+		},
+		{
+			// Same-timestamp records within one tuple: delta 0 < threshold
+			// regardless of release order, and the heap's (time, seq)
+			// ordering keeps the outcome deterministic.
+			name:   "duplicate timestamps within a tuple",
+			skew:   10 * time.Second,
+			shards: []int{1, 3},
+			recs: []weblog.Record{
+				reorderRec("a", sec(5), "/x"),
+				reorderRec("a", sec(5), "/robots.txt"),
+				reorderRec("a", sec(5), "/x"),
+				reorderRec("a", sec(40), "/x"),
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := compliance.Summarize(&weblog.Dataset{Records: tc.recs}, compliance.CrawlDelay, cfg)
+			var prev *Aggregates
+			for _, shards := range tc.shards {
+				got := streamAggRaw(t, tc.recs, shards, tc.skew, cfg)
+				sum := got.Summary(compliance.CrawlDelay)
+				if !reflect.DeepEqual(want.Measurements, sum.Measurements) {
+					t.Fatalf("shards=%d: crawl-delay measurements diverged\nbatch:  %v\nstream: %v",
+						shards, want.Measurements, sum.Measurements)
+				}
+				if !reflect.DeepEqual(want.Access, sum.Access) || !reflect.DeepEqual(want.Checked, sum.Checked) {
+					t.Fatalf("shards=%d: access/checked diverged", shards)
+				}
+				if prev != nil {
+					if !reflect.DeepEqual(prev.CrawlDelay, got.CrawlDelay) {
+						t.Fatalf("snapshot not shard-count independent: %v vs %v", prev.CrawlDelay, got.CrawlDelay)
+					}
+				}
+				prev = got
+			}
+		})
+	}
+}
+
+// TestReorderAcrossPhaseBoundary lands a phase boundary inside the reorder
+// window: records straddling the boundary arrive out of order (a
+// pre-boundary record arrives after post-boundary ones), and every record
+// must still be attributed to the phase its event time falls in — phase
+// assignment happens at Apply, after the reorder buffer has repaired
+// order, and depends only on the timestamp.
+func TestReorderAcrossPhaseBoundary(t *testing.T) {
+	cfg := compliance.DefaultConfig()
+	sec := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	boundary := reorderEpoch.Add(sec(100))
+	lookup := twoPhaseLookup{epoch: reorderEpoch, boundary: boundary}
+
+	recs := []weblog.Record{
+		reorderRec("a", sec(0), "/x"),            // base
+		reorderRec("a", sec(105), "/x"),          // v1, arrives before older records
+		reorderRec("a", sec(95), "/robots.txt"),  // base, 10s late across the boundary
+		reorderRec("a", sec(100), "/robots.txt"), // v1: the boundary instant itself
+		reorderRec("a", sec(99), "/x"),           // base, late again
+		reorderRec("a", sec(130), "/x"),          // v1
+	}
+	wantBase := map[string]int{"TestBot": 3}
+	wantV1 := map[string]int{"TestBot": 3}
+
+	for _, shards := range []int{1, 4} {
+		p := NewPipeline(Options{
+			Shards:    shards,
+			MaxSkew:   30 * time.Second,
+			Analyzers: WrapPhased([]Analyzer{NewComplianceAnalyzer(cfg)}, lookup),
+		})
+		res, err := p.Run(nil, NewDatasetDecoder(&weblog.Dataset{Records: recs}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := res.Phased(AnalyzerCompliance)
+		if snap.OutOfSchedule != 0 {
+			t.Fatalf("shards=%d: %d records out of schedule", shards, snap.OutOfSchedule)
+		}
+		gotBase := snap.Aggregates(robots.VersionBase).Access
+		gotV1 := snap.Aggregates(robots.Version1).Access
+		if !reflect.DeepEqual(gotBase, wantBase) || !reflect.DeepEqual(gotV1, wantV1) {
+			t.Fatalf("shards=%d: phase attribution diverged: base=%v v1=%v", shards, gotBase, gotV1)
+		}
+		// The boundary-straddling late records must also aggregate in
+		// repaired time order: within the base phase the robots.txt fetch
+		// at +95s precedes +99s, giving delta trials identical to sorted
+		// batch input.
+		wantDelay := compliance.Measure(compliance.CrawlDelay,
+			phaseSlice(recs, lookup, robots.VersionBase), cfg)
+		if got := snap.Aggregates(robots.VersionBase).CrawlDelay; !reflect.DeepEqual(got, wantDelay) {
+			t.Fatalf("shards=%d: base-phase crawl delay diverged\nbatch:  %v\nstream: %v", shards, wantDelay, got)
+		}
+	}
+}
+
+// phaseSlice is the batch-side phase partition of a record slice.
+func phaseSlice(recs []weblog.Record, lookup PhaseLookup, v robots.Version) *weblog.Dataset {
+	out := &weblog.Dataset{}
+	for _, r := range recs {
+		if got, ok := lookup.PhaseAt(r.Time); ok && got == v {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// TestReorderMidRunRelease verifies the inclusive release bound live: a
+// record whose time equals the advancing watermark is applied as soon as
+// the watermark reaches it, before the pipeline closes.
+func TestReorderMidRunRelease(t *testing.T) {
+	p := NewPipeline(Options{Shards: 1, MaxSkew: 10 * time.Second})
+	if err := p.Ingest(nil, reorderRec("a", 0, "/x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(nil, reorderRec("a", 10*time.Second, "/x")); err != nil {
+		t.Fatal(err)
+	}
+	// watermark = maxSeen-skew = epoch: the first record sits exactly on
+	// it and must release without waiting for Close.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := p.Snapshot().Records; n == 1 {
+			break
+		} else if n > 1 {
+			t.Fatalf("released %d records mid-run, want exactly 1", n)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("boundary record never released before Close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Close()
+	if n := p.Snapshot().Records; n != 2 {
+		t.Fatalf("final records = %d, want 2", n)
+	}
+}
+
+// TestReorderBufferBounded checks the buffer drains as the watermark
+// advances: after a long in-order stream, held-back state is only the
+// trailing skew window, not the whole stream.
+func TestReorderBufferBounded(t *testing.T) {
+	p := NewPipeline(Options{Shards: 1, MaxSkew: 10 * time.Second})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := p.Ingest(nil, reorderRec("a", time.Duration(i)*time.Second, "/x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := p.Snapshot().Records; got >= n-11 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d records released; buffer not draining", p.Snapshot().Records, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Close()
+	if got := p.Snapshot().Records; got != n {
+		t.Fatalf("final records = %d, want %d", got, n)
+	}
+}

@@ -97,6 +97,11 @@ func ParseCLFLine(line string) (Record, error) {
 	if !ok {
 		return rec, fmt.Errorf("missing host field")
 	}
+	if host == "" {
+		// A leading space would otherwise shift every field left and let a
+		// hostless line through (found by FuzzParseCLF).
+		return rec, fmt.Errorf("empty host field")
+	}
 	rec.IPHash = host
 	if _, rest, ok = cutSpace(rest); !ok { // ident
 		return rec, fmt.Errorf("missing ident field")

@@ -1,0 +1,86 @@
+package weblog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseCLF hammers the Common/Combined Log Format line parser with
+// arbitrary input. The parser must never panic; when it accepts a line it
+// must have produced a real timestamp and a non-empty host, and the
+// accepted line must parse identically a second time (no hidden state).
+func FuzzParseCLF(f *testing.F) {
+	// Seeds: the corpus shapes the CLF tests and parity fixtures exercise.
+	seeds := []string{
+		`198.51.100.7 - - [12/Feb/2025:10:30:00 +0000] "GET /page-data/app.json HTTP/1.1" 200 1234 "-" "Mozilla/5.0 (compatible; GPTBot/1.2)"`,
+		`h0042 - - [01/Mar/2025:00:00:00 +0000] "GET /robots.txt HTTP/1.1" 200 64 "http://ref.example/" "bingbot/2.0"`,
+		`10.0.0.1 - - [12/Feb/2025:10:30:00 +0000] "GET / HTTP/1.1" 404 -`, // Common format, dash bytes
+		`bad line`,
+		``,
+		`host - - [not-a-time] "GET / HTTP/1.1" 200 5 "-" "-"`,
+		`host - - [12/Feb/2025:10:30:00 +0000] "GET / HTTP/1.1" xx 5`,
+		`host - - [12/Feb/2025:10:30:00 +0000] "unterminated`,
+		`host - - [12/Feb/2025:10:30:00 +0000] "esc\"aped path" 200 5 "r\\ef" "u\"a"`,
+		`host - - [12/Feb/2025:10:30:00 +0000] "GET / HTTP/1.1" 200 5 "dangling\`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseCLFLine(line)
+		if err != nil {
+			return
+		}
+		if rec.Time.IsZero() {
+			t.Fatalf("accepted line %q with zero timestamp", line)
+		}
+		if rec.IPHash == "" {
+			t.Fatalf("accepted line %q with empty host", line)
+		}
+		again, err2 := ParseCLFLine(line)
+		if err2 != nil || again != rec {
+			t.Fatalf("reparse of accepted line %q diverged: %+v / %v vs %+v", line, again, err2, rec)
+		}
+	})
+}
+
+// FuzzReadCLF checks the batch reader and the parser agree on skip
+// counting: every non-blank line either parses or is counted skipped, and
+// the reader never panics on arbitrary multi-line input.
+func FuzzReadCLF(f *testing.F) {
+	f.Add("198.51.100.7 - - [12/Feb/2025:10:30:00 +0000] \"GET / HTTP/1.1\" 200 10 \"-\" \"bot\"\n\njunk\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, skipped, err := ReadCLF(strings.NewReader(input), CLFOptions{Site: "www"})
+		if err != nil {
+			return // scanner-level failure (e.g. over-long line) is fine
+		}
+		parsed := 0
+		for _, line := range strings.Split(input, "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if _, perr := ParseCLFLine(strings.TrimSpace(line)); perr == nil {
+				parsed++
+			}
+		}
+		if d.Len() != parsed {
+			t.Fatalf("reader kept %d records, line-by-line parse accepts %d (skipped=%d)", d.Len(), parsed, skipped)
+		}
+		for i := range d.Records {
+			if d.Records[i].Site != "www" {
+				t.Fatalf("record %d not decorated with sitename", i)
+			}
+		}
+	})
+}
+
+// timestampSeed keeps the seed corpus honest: the layouts above must stay
+// parseable or the fuzz seeds silently degrade into noise.
+func TestFuzzSeedTimestampsParse(t *testing.T) {
+	if _, err := time.Parse(clfTimeLayout, "12/Feb/2025:10:30:00 +0000"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -85,6 +85,93 @@ func (c *MemoryCollector) Len() int {
 	return len(c.records)
 }
 
+// StreamCollector forwards every collected record to a channel instead of
+// accumulating them — the live-ingest counterpart of MemoryCollector, for
+// feeding a streaming pipeline while the estate is still being crawled.
+// Like MemoryCollector it can anonymize IPs and remap wall-clock
+// timestamps into virtual time; unlike it, the virtual clock can be
+// re-based mid-run (Rebase), which is how the phased experiment engine
+// pins each crawl phase's records inside that phase's scheduled window.
+type StreamCollector struct {
+	// Anonymizer, if set, hashes the IP of every collected record.
+	Anonymizer *weblog.Anonymizer
+	// TimeScale, if > 0, compresses wall time into virtual time:
+	// t' = virtualBase + (t - realBase) * TimeScale, with the bases set by
+	// Rebase (or, if never re-based, by the first record).
+	TimeScale float64
+
+	ch chan weblog.Record
+
+	mu          sync.Mutex
+	virtualBase time.Time
+	realBase    time.Time
+	based       bool
+	closed      bool
+}
+
+// NewStreamCollector builds a collector whose channel holds buffer pending
+// records (minimum 1); a full channel blocks request handlers, which is
+// the collector's backpressure.
+func NewStreamCollector(buffer int) *StreamCollector {
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &StreamCollector{ch: make(chan weblog.Record, buffer)}
+}
+
+// Records is the receive side: one record per served request, in collect
+// order. It is closed by Close.
+func (c *StreamCollector) Records() <-chan weblog.Record { return c.ch }
+
+// Rebase anchors the virtual clock: records collected from now on map the
+// current wall instant to virtualStart. The phased engine calls it once
+// per phase, between the previous phase's last request and the next
+// phase's first, so every phase's records land at the start of its
+// scheduled window regardless of how long earlier phases took.
+func (c *StreamCollector) Rebase(virtualStart time.Time) {
+	c.mu.Lock()
+	c.virtualBase = virtualStart
+	c.realBase = time.Now()
+	c.based = true
+	c.mu.Unlock()
+}
+
+// Collect implements Collector: it remaps the timestamp, anonymizes, and
+// forwards the record, blocking when the channel is full. Collect after
+// Close is dropped (a straggling handler outliving the run loses its
+// record rather than panicking).
+func (c *StreamCollector) Collect(r weblog.Record) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	if !c.based {
+		c.virtualBase = r.Time
+		c.realBase = r.Time
+		c.based = true
+	}
+	if c.TimeScale > 0 {
+		r.Time = c.virtualBase.Add(time.Duration(float64(r.Time.Sub(c.realBase)) * c.TimeScale))
+	}
+	if c.Anonymizer != nil {
+		c.Anonymizer.AnonymizeRecord(&r)
+	}
+	c.ch <- r
+	c.mu.Unlock()
+}
+
+// Close ends the stream: the Records channel is closed once every
+// in-flight Collect has delivered.
+func (c *StreamCollector) Close() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+	c.mu.Unlock()
+}
+
 // Server serves one site.
 type Server struct {
 	site      *sitegen.Site
@@ -145,9 +232,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			body = []byte("<!doctype html><html><body>not found</body></html>")
 		}
 	}
-	w.WriteHeader(status)
-	_, _ = w.Write(body)
-
+	// Log before writing the response: the client can only observe a
+	// completed request after its record exists, so a supervisor that
+	// waits for the crawl to finish and then rotates robots.txt (the
+	// phased experiment engine) never races a straggling log write across
+	// the phase boundary.
 	if s.collector != nil {
 		s.collector.Collect(weblog.Record{
 			UserAgent: r.UserAgent(),
@@ -161,6 +250,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Referer:   r.Referer(),
 		})
 	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 // clientIP prefers the simulated identity header, falling back to the
@@ -224,6 +315,15 @@ func StartEstate(sites []sitegen.Site, collector Collector, robotsFor func(*site
 		e.URLs = append(e.URLs, url)
 	}
 	return e, nil
+}
+
+// SetRobots swaps every server's robots.txt body, chosen per site by
+// robotsFor — the estate-wide deployment a schedule rotation performs at
+// each phase boundary.
+func (e *Estate) SetRobots(robotsFor func(*sitegen.Site) []byte) {
+	for _, srv := range e.Servers {
+		srv.SetRobots(robotsFor(srv.site))
+	}
 }
 
 // ServerFor returns the server and URL for a site name.

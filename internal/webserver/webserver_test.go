@@ -159,6 +159,94 @@ func TestEstate(t *testing.T) {
 	}
 }
 
+func TestStreamCollectorForwardsInOrder(t *testing.T) {
+	col := NewStreamCollector(8)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		col.Collect(weblog.Record{Path: "/p", Time: now.Add(time.Duration(i) * time.Second)})
+	}
+	col.Close()
+	var got []weblog.Record
+	for r := range col.Records() {
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("received %d records, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i].Time.After(got[i-1].Time) {
+			t.Fatalf("records out of order: %v then %v", got[i-1].Time, got[i].Time)
+		}
+	}
+}
+
+func TestStreamCollectorRebase(t *testing.T) {
+	col := NewStreamCollector(8)
+	col.TimeScale = 1000
+	phase1 := time.Date(2025, 2, 12, 0, 0, 0, 0, time.UTC)
+	phase2 := phase1.Add(14 * 24 * time.Hour)
+
+	col.Rebase(phase1)
+	col.Collect(weblog.Record{Time: time.Now()})
+	col.Collect(weblog.Record{Time: time.Now().Add(30 * time.Millisecond)})
+	col.Rebase(phase2)
+	col.Collect(weblog.Record{Time: time.Now()})
+	col.Close()
+
+	var got []weblog.Record
+	for r := range col.Records() {
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("received %d records, want 3", len(got))
+	}
+	// Records map to the phase start plus the (scaled) wall delay since
+	// Rebase — a few virtual seconds at most here.
+	if got[0].Time.Before(phase1) || got[0].Time.After(phase1.Add(time.Hour)) {
+		t.Errorf("first record at %v, want within an hour after phase start %v", got[0].Time, phase1)
+	}
+	if gap := got[1].Time.Sub(got[0].Time); gap < 25*time.Second || gap > 35*time.Second {
+		t.Errorf("virtual gap = %v, want ~30s", gap)
+	}
+	// The third record lands at (or a hair after) the second phase's start,
+	// firmly inside its window.
+	if got[2].Time.Before(phase2) || got[2].Time.After(phase2.Add(time.Hour)) {
+		t.Errorf("re-based record at %v, want within an hour after %v", got[2].Time, phase2)
+	}
+}
+
+func TestStreamCollectorCloseDropsStragglers(t *testing.T) {
+	col := NewStreamCollector(8)
+	col.Collect(weblog.Record{Path: "/a"})
+	col.Close()
+	col.Collect(weblog.Record{Path: "/late"}) // must not panic
+	n := 0
+	for range col.Records() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("received %d records, want 1 (straggler dropped)", n)
+	}
+}
+
+func TestEstateSetRobotsDeploysEverywhere(t *testing.T) {
+	sites := sitegen.Generate(5)[:3]
+	estate, err := StartEstate(sites, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer estate.Close()
+	estate.SetRobots(func(*sitegen.Site) []byte {
+		return robots.BuildVersion(robots.Version3, "")
+	})
+	for _, url := range estate.URLs {
+		_, body := get(t, url+"/robots.txt", nil)
+		if !strings.Contains(body, "Disallow: /") {
+			t.Errorf("site %s not rotated: %q", url, body)
+		}
+	}
+}
+
 func TestQueryStringLogged(t *testing.T) {
 	col := &MemoryCollector{}
 	_, base := startOne(t, col)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/stream"
 	"repro/internal/weblog"
 )
@@ -112,6 +113,55 @@ func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*St
 // `tail -f` style, polling every poll interval until ctx is done.
 func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) io.Reader {
 	return stream.NewTailReader(ctx, r, poll)
+}
+
+// PhaseSchedule is a robots.txt rotation through time: which version is
+// in force at every instant. Build one with DefaultPhaseSchedule,
+// NewPhaseSchedule, or LoadPhaseSchedule; pass it as StreamOptions.Phases
+// to phase-partition a streaming run, or to LivePhasedExperiment to drive
+// a closed-loop rotation.
+type PhaseSchedule = experiment.Schedule
+
+// Phase is one deployment window of a PhaseSchedule.
+type Phase = experiment.Phase
+
+// NewPhaseSchedule builds a validated rotation from explicit phases; a
+// non-zero end caps the last phase.
+func NewPhaseSchedule(phases []Phase, end time.Time) (*PhaseSchedule, error) {
+	return experiment.NewSchedule(phases, end)
+}
+
+// DefaultPhaseSchedule is the paper's rotation — baseline→v1→v2→v3, two
+// weeks each — starting at start (zero = the paper's collection start).
+func DefaultPhaseSchedule(start time.Time) *PhaseSchedule {
+	return experiment.DefaultSchedule(start)
+}
+
+// LoadPhaseSchedule reads a phases.json rotation file (the format
+// `analyze -experiment` consumes; see experiment.ParseSchedule).
+func LoadPhaseSchedule(path string) (*PhaseSchedule, error) {
+	return experiment.LoadSchedule(path)
+}
+
+// PhasedSnapshot is one analyzer's phase-partitioned snapshot; see
+// stream.PhasedSnapshot. Retrieve one with StreamResults.Phased.
+type PhasedSnapshot = stream.PhasedSnapshot
+
+// LivePhasedOptions configures LivePhasedExperiment; see
+// core.LivePhasedOptions.
+type LivePhasedOptions = core.LivePhasedOptions
+
+// LivePhasedResult is a closed-loop rotation's outcome; see
+// core.LivePhasedResult.
+type LivePhasedResult = core.LivePhasedResult
+
+// LivePhasedExperiment runs the paper's controlled experiment as one live
+// loop: a real HTTP estate rotates robots.txt through the schedule, the
+// calibrated bot fleet reacts to each deployment, and every request
+// streams straight into phase-partitioned online analyzers that emit the
+// per-bot phase-vs-baseline compliance verdicts.
+func LivePhasedExperiment(ctx context.Context, opts LivePhasedOptions) (*LivePhasedResult, error) {
+	return core.LivePhasedExperiment(ctx, opts)
 }
 
 // WriteDatasetCSV exports a dataset in the study's CSV schema.

@@ -1,0 +1,173 @@
+// Command bench runs the repository's headline benchmarks and appends one
+// machine-readable data point to the performance trajectory: it executes
+// `go test -bench` for the stream-vs-batch and phased-pipeline benchmarks,
+// parses the result lines, and writes them to BENCH_<n>.json where n is
+// one past the highest existing index. CI runs it with -benchtime 1x as a
+// smoke check; longer local runs produce comparable points for tracking
+// regressions across PRs.
+//
+// Usage:
+//
+//	go run ./scripts/bench                      # default pattern, 1x
+//	go run ./scripts/bench -benchtime 2s        # a real measurement
+//	go run ./scripts/bench -pattern 'Robots'    # any benchmark subset
+//	go run ./scripts/bench -out bench-results   # separate directory
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmarks and the
+	// GOMAXPROCS suffix, e.g. "BenchmarkStreamVsBatch/stream-8".
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit to value for every reported pair (ns/op, MB/s,
+	// B/op, allocs/op, and custom metrics like retained-bytes).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Point is one BENCH_<n>.json file: the benchmark results plus enough
+// context to compare points across machines and commits.
+type Point struct {
+	// Time is the run's completion time (RFC 3339).
+	Time string `json:"time"`
+	// GoVersion, GOOS, GOARCH, and NumCPU describe the environment.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Pattern and Benchtime record the invocation.
+	Pattern   string `json:"pattern"`
+	Benchtime string `json:"benchtime"`
+	// Results are the parsed benchmark lines in output order.
+	Results []Result `json:"results"`
+}
+
+func main() {
+	var (
+		pattern   = flag.String("pattern", "StreamVsBatch", "benchmark name pattern passed to -bench")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		outDir    = flag.String("out", ".", "directory receiving BENCH_<n>.json")
+		count     = flag.Int("count", 1, "go test -count value")
+	)
+	flag.Parse()
+	if err := run(*pattern, *benchtime, *pkg, *outDir, *count); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pattern, benchtime, pkg, outDir string, count int) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchtime", benchtime,
+		"-count", strconv.Itoa(count), pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w\n%s", err, out.String())
+	}
+
+	results, err := parseBenchOutput(out.Bytes())
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines matched pattern %q", pattern)
+	}
+
+	point := Point{
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Pattern:   pattern,
+		Benchtime: benchtime,
+		Results:   results,
+	}
+	path, err := nextBenchPath(outDir)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(point, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput extracts Result entries from `go test -bench` output.
+// Metric pairs follow the name and iteration count as "value unit" tokens.
+func parseBenchOutput(out []byte) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", sc.Text(), err)
+		}
+		r := Result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %w", sc.Text(), err)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// nextBenchPath returns outDir/BENCH_<n>.json with n one past the highest
+// existing index.
+func nextBenchPath(outDir string) (string, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return "", err
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(outDir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
