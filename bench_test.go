@@ -423,9 +423,11 @@ func benchStreamCSV(b *testing.B, n int) []byte {
 	return []byte(buf.String())
 }
 
-// benchEnrich returns the matcher-backed enrichment both paths share.
+// benchEnrich returns the matcher-backed enrichment both paths share —
+// memoized, as the production streaming facade's enrichment is (batch and
+// stream get the identical func, so the comparison stays fair).
 func benchEnrich() func(*weblog.Record) {
-	m := agent.NewMatcher(nil)
+	m := agent.NewCachedMatcher(nil)
 	return func(r *weblog.Record) {
 		if bot, ok := m.Match(r.UserAgent); ok {
 			r.BotName = bot.Name
@@ -437,9 +439,13 @@ func benchEnrich() func(*weblog.Record) {
 	}
 }
 
-// heapLive forces a GC and returns the live heap, for the retained-memory
-// comparison below.
+// heapLive forces collection and returns the live heap, for the
+// retained-memory comparison below. Two GC cycles, because sync.Pool
+// contents (the stream pipeline's recycled batches) survive the first
+// collection in the victim cache even when the pool itself is dead — one
+// cycle would bill that transient to the result being measured.
 func heapLive() uint64 {
+	runtime.GC()
 	runtime.GC()
 	var m runtime.MemStats
 	runtime.ReadMemStats(&m)

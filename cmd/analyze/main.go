@@ -57,6 +57,8 @@ func main() {
 		site       = flag.String("site", "", "sitename stamped on CLF records (clf format only)")
 		shards     = flag.Int("shards", 0, "stream worker shards (0 = GOMAXPROCS)")
 		skew       = flag.Duration("skew", stream.DefaultMaxSkew, "max tolerated timestamp disorder (0 = default, negative = trust input order)")
+		batch      = flag.Int("batch", 0, "records per pooled shard batch (0 = default 256, 1 = unbatched; never affects results)")
+		flush      = flag.Duration("flush", 0, "max time a partial batch may wait in the dispatcher (0 = default 200ms; bounds live-snapshot staleness while following)")
 		analyzers  = flag.String("analyzers", "compliance", "comma-separated online analyzers (compliance, cadence, spoof, session) or \"all\"")
 		expPath    = flag.String("experiment", "", "phases.json robots.txt rotation; phase-partitions the stream analyzers (requires -stream)")
 		asJSON     = flag.Bool("json", false, "stream mode: emit snapshots as JSON instead of tables")
@@ -69,7 +71,8 @@ func main() {
 	if *streamPath != "" {
 		err = runStream(os.Stdout, streamConfig{
 			path: *streamPath, format: *format, site: *site,
-			shards: *shards, skew: *skew, analyzers: *analyzers,
+			shards: *shards, skew: *skew, batch: *batch, flush: *flush,
+			analyzers:  *analyzers,
 			experiment: *expPath, asJSON: *asJSON,
 			follow: *follow, interval: *interval,
 		})
@@ -131,6 +134,8 @@ type streamConfig struct {
 	path, format, site string
 	shards             int
 	skew               time.Duration
+	batch              int
+	flush              time.Duration
 	analyzers          string
 	experiment         string
 	asJSON             bool
@@ -153,11 +158,13 @@ func runStream(w io.Writer, cfg streamConfig) error {
 	}
 	ctx := context.Background()
 	opts := core.StreamOptions{
-		Format:    cfg.format,
-		Shards:    cfg.shards,
-		MaxSkew:   cfg.skew,
-		CLF:       weblog.CLFOptions{Site: cfg.site},
-		Analyzers: parseAnalyzers(cfg.analyzers),
+		Format:        cfg.format,
+		Shards:        cfg.shards,
+		MaxSkew:       cfg.skew,
+		BatchSize:     cfg.batch,
+		FlushInterval: cfg.flush,
+		CLF:           weblog.CLFOptions{Site: cfg.site},
+		Analyzers:     parseAnalyzers(cfg.analyzers),
 	}
 	if cfg.experiment != "" {
 		sched, err := experiment.LoadSchedule(cfg.experiment)

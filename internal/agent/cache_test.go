@@ -1,0 +1,72 @@
+package agent
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCachedMatcherAgreesWithMatcher pins the memo to the plain matcher
+// over exact hits, fuzzy hits, anonymous agents, and repeats.
+func TestCachedMatcherAgreesWithMatcher(t *testing.T) {
+	plain := NewMatcher(nil)
+	cached := NewCachedMatcher(nil)
+	corpus := []string{
+		"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+		"Mozilla/5.0 (compatible; Googelbot/2.1)", // typo: fuzzy stage
+		"python-requests/2.31.0",
+		"",
+		"Mozilla/5.0 (Windows NT 10.0) Chrome/120.0 Safari/537.36",
+	}
+	for round := 0; round < 3; round++ { // repeats exercise the memo
+		for _, ua := range corpus {
+			wb, wok := plain.Match(ua)
+			gb, gok := cached.Match(ua)
+			if wok != gok || (wok && wb.Name != gb.Name) {
+				t.Fatalf("round %d: cached verdict diverged on %q", round, ua)
+			}
+		}
+	}
+	if cached.Size() == 0 || cached.Size() > len(corpus) {
+		t.Fatalf("cache size = %d after %d distinct UAs", cached.Size(), len(corpus))
+	}
+}
+
+// TestCachedMatcherConcurrent hammers the cache from parallel goroutines
+// (the shard workers' access pattern); run under -race.
+func TestCachedMatcherConcurrent(t *testing.T) {
+	cached := NewCachedMatcher(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ua := fmt.Sprintf("Mozilla/5.0 (compatible; bingbot/2.%d)", i%7)
+				if _, ok := cached.Match(ua); !ok {
+					t.Errorf("worker %d: bingbot UA unmatched", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCachedMatcherCap checks the memo stops growing at its cap but keeps
+// answering correctly.
+func TestCachedMatcherCap(t *testing.T) {
+	cached := NewCachedMatcher(nil)
+	cached.max = 3
+	for i := 0; i < 10; i++ {
+		ua := fmt.Sprintf("custom-agent-%d/1.0", i)
+		cached.Match(ua)
+	}
+	if cached.Size() > 3 {
+		t.Fatalf("cache grew past its cap: %d", cached.Size())
+	}
+	// Over-cap queries still resolve through the underlying matcher.
+	if _, ok := cached.Match("Mozilla/5.0 (compatible; Googlebot/2.1)"); !ok {
+		t.Fatal("over-cap Match lost correctness")
+	}
+}

@@ -140,6 +140,15 @@ type StreamOptions struct {
 	// stream.DefaultMaxSkew, negative = trust input order); see
 	// stream.Options.
 	MaxSkew time.Duration
+	// BatchSize is the pooled record-batch size on the shard channels
+	// (0 = stream.DefaultBatchSize, 1 = effectively unbatched). Batch
+	// boundaries never affect results; see stream.Options.BatchSize.
+	BatchSize int
+	// FlushInterval bounds how long a partially filled batch may sit in
+	// the dispatcher — the worst-case live-snapshot staleness while
+	// following a slow log (0 = stream.DefaultFlushInterval, negative =
+	// no background flushing); see stream.Options.FlushInterval.
+	FlushInterval time.Duration
 	// CLF supplies per-record options for the "clf" format (sitename, ASN
 	// lookup, anonymization).
 	CLF weblog.CLFOptions
@@ -244,13 +253,18 @@ func StreamPipeline(opts StreamOptions) (*stream.Pipeline, error) {
 		analyzers = stream.WrapPhased(analyzers, opts.Phases)
 	}
 	sOpts := stream.Options{
-		Shards:    opts.Shards,
-		MaxSkew:   opts.MaxSkew,
-		Analyzers: analyzers,
+		Shards:        opts.Shards,
+		MaxSkew:       opts.MaxSkew,
+		BatchSize:     opts.BatchSize,
+		FlushInterval: opts.FlushInterval,
+		Analyzers:     analyzers,
 	}
 	if !opts.Raw {
 		pre := weblog.NewPreprocessor()
-		matcher := agent.NewMatcher(nil)
+		// The memoizing matcher turns per-record UA standardization into a
+		// map hit for every repeated user agent; matching is pure, so
+		// results are identical to the plain matcher.
+		matcher := agent.NewCachedMatcher(nil)
 		sOpts.Keep = pre.Keep
 		sOpts.Enrich = func(rec *weblog.Record) {
 			if b, ok := matcher.Match(rec.UserAgent); ok {

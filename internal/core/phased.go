@@ -38,6 +38,14 @@ type LivePhasedOptions struct {
 	Seed int64
 	// Shards is the pipeline worker-pool width (0 = GOMAXPROCS).
 	Shards int
+	// BatchSize is the pipeline's pooled record-batch size (0 = the
+	// stream default); see StreamOptions.BatchSize.
+	BatchSize int
+	// FlushInterval bounds dispatcher batching latency (0 = the stream
+	// default); see StreamOptions.FlushInterval. The live loop's collector
+	// trickles records in real time, so this is what keeps mid-rotation
+	// snapshots fresh.
+	FlushInterval time.Duration
 	// TimeScale compresses the simulated clock (default 1000: a 30 s crawl
 	// delay costs 30 ms of wall time, and collected records land in
 	// virtual time at 1000x pacing).
@@ -189,10 +197,12 @@ func LivePhasedExperiment(ctx context.Context, opts LivePhasedOptions) (*LivePha
 // — the same StreamPipeline the stream facades run, just always phased.
 func phasedPipeline(sched *experiment.Schedule, names []string, opts LivePhasedOptions) (*stream.Pipeline, error) {
 	return StreamPipeline(StreamOptions{
-		Shards:     opts.Shards,
-		Analyzers:  names,
-		Compliance: opts.Compliance,
-		Phases:     sched,
+		Shards:        opts.Shards,
+		BatchSize:     opts.BatchSize,
+		FlushInterval: opts.FlushInterval,
+		Analyzers:     names,
+		Compliance:    opts.Compliance,
+		Phases:        sched,
 	})
 }
 

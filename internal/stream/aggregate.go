@@ -150,6 +150,15 @@ func (a *shardAgg) Apply(r *weblog.Record, seq uint64) {
 	foldCategory(a.category, r.BotName, r.Category, seq)
 }
 
+// ApplyBatch folds one released run in slice order — the compliance
+// analyzer's BatchApplier fast path. One dynamic dispatch per run instead
+// of per record; the inner calls are static.
+func (a *shardAgg) ApplyBatch(recs []weblog.Record, seqs []uint64) {
+	for i := range recs {
+		a.Apply(&recs[i], seqs[i])
+	}
+}
+
 // Aggregates is the compliance analyzer's merged, immutable snapshot: the
 // online equivalents of the batch compliance measurement maps, plus
 // stream counters. Obtain one via Results.Compliance after a

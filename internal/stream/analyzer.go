@@ -25,6 +25,25 @@ type ShardState interface {
 	Apply(r *weblog.Record, seq uint64)
 }
 
+// BatchApplier is optionally implemented by ShardStates that fold a whole
+// run of records in one call, eliminating the per-record dynamic dispatch
+// of Apply on the hot path. seqs[i] is recs[i]'s global ingest sequence
+// number (the pipeline routes whole batches per shard, so a run's sequence
+// numbers are increasing but not contiguous). ApplyBatch must be exactly
+// equivalent to calling Apply(&recs[i], seqs[i]) for i in order — batch
+// boundaries carry no meaning and never affect results. States that do not
+// implement it get a per-record fallback shim, so analyzers written
+// against the original contract keep working unchanged.
+//
+// Implementations must not retain recs, seqs, or pointers into them past
+// the call: the pipeline recycles batch memory through a sync.Pool
+// (copying a Record value, or keeping its string fields, is safe — string
+// bytes are immutable and never recycled). See DESIGN.md, "batched record
+// path".
+type BatchApplier interface {
+	ApplyBatch(recs []weblog.Record, seqs []uint64)
+}
+
 // WatermarkObserver is optionally implemented by ShardStates that act on
 // event-time progress — e.g. the session analyzer closes inactivity-gapped
 // sessions and frees their open-state as the watermark passes end+gap.

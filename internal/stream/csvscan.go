@@ -1,0 +1,203 @@
+// csvscan.go is the byte-native CSV framer of the streaming decode path:
+// it splits an input stream into records of []byte fields with exactly the
+// semantics encoding/csv applies under the batch reader's configuration
+// (comma delimiter, no comment character, strict quotes, ragged rows
+// tolerated) — RFC 4180 quoting, `""` escapes, multi-line quoted fields,
+// \r\n normalization, blank-line skipping — but without materializing one
+// string per field per row. The batch weblog.ReadCSV stays on encoding/csv
+// itself and serves as the reference implementation; FuzzDecodeCSV
+// differentially fuzzes this framer against it on arbitrary inputs.
+//
+// The returned fields alias the scanner's internal record buffer and are
+// valid only until the following next call, which is why the row decoder
+// (weblog.CSVSchema.DecodeRowBytes) copies or interns every byte it keeps.
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+var (
+	// errBareQuote mirrors csv.ErrBareQuote: a '"' inside a non-quoted field.
+	errBareQuote = errors.New(`bare " in non-quoted-field`)
+	// errQuote mirrors csv.ErrQuote: an extraneous or missing '"' in a
+	// quoted field.
+	errQuote = errors.New(`extraneous or missing " in quoted-field`)
+)
+
+// csvScanner frames one CSV stream into byte-slice records.
+type csvScanner struct {
+	br *bufio.Reader
+	// numLine is the current physical line, for error messages.
+	numLine int
+	// rawBuffer accumulates lines longer than the bufio buffer.
+	rawBuffer []byte
+	// recordBuffer holds the current record's unescaped fields back to
+	// back; fieldIndexes[i] is the end offset of field i within it.
+	recordBuffer []byte
+	fieldIndexes []int
+	// fields is the reused per-record return value, sliced into
+	// recordBuffer.
+	fields [][]byte
+}
+
+func newCSVScanner(r io.Reader) *csvScanner {
+	return &csvScanner{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// readLine reads the next line including its delimiter, normalizing \r\n
+// to \n and dropping a trailing \r at EOF, exactly as encoding/csv does.
+// If any bytes were read the error is never io.EOF.
+func (s *csvScanner) readLine() ([]byte, error) {
+	line, err := s.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		s.rawBuffer = append(s.rawBuffer[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = s.br.ReadSlice('\n')
+			s.rawBuffer = append(s.rawBuffer, line...)
+		}
+		line = s.rawBuffer
+	}
+	readSize := len(line)
+	if readSize > 0 && err == io.EOF {
+		err = nil
+		// For compatibility with encoding/csv, drop a trailing \r before EOF.
+		if line[readSize-1] == '\r' {
+			line = line[:readSize-1]
+		}
+	}
+	s.numLine++
+	// Normalize \r\n to \n on all input lines.
+	if n := len(line); n >= 2 && line[n-2] == '\r' && line[n-1] == '\n' {
+		line[n-2] = '\n'
+		line = line[:n-1]
+	}
+	return line, err
+}
+
+// lengthNL reports the number of bytes for the trailing \n.
+func lengthNL(b []byte) int {
+	if len(b) > 0 && b[len(b)-1] == '\n' {
+		return 1
+	}
+	return 0
+}
+
+// next returns the next record's fields, or io.EOF past the last record.
+// The fields alias internal buffers valid only until the next call.
+func (s *csvScanner) next() ([][]byte, error) {
+	// Read the next line, skipping empty ones (a lone newline), exactly as
+	// encoding/csv's readRecord does.
+	var line []byte
+	var errRead error
+	for errRead == nil {
+		line, errRead = s.readLine()
+		if errRead == nil && len(line) == lengthNL(line) {
+			line = nil
+			continue
+		}
+		break
+	}
+	if errRead == io.EOF {
+		return nil, errRead
+	}
+
+	var err error
+	recLine := s.numLine
+	s.recordBuffer = s.recordBuffer[:0]
+	s.fieldIndexes = s.fieldIndexes[:0]
+parseField:
+	for {
+		if len(line) == 0 || line[0] != '"' {
+			// Non-quoted field: runs to the next comma or end of line, and
+			// must not contain a quote.
+			i := bytes.IndexByte(line, ',')
+			field := line
+			if i >= 0 {
+				field = field[:i]
+			} else {
+				field = field[:len(field)-lengthNL(field)]
+			}
+			if bytes.IndexByte(field, '"') >= 0 {
+				err = fmt.Errorf("record on line %d: %w", recLine, errBareQuote)
+				break parseField
+			}
+			s.recordBuffer = append(s.recordBuffer, field...)
+			s.fieldIndexes = append(s.fieldIndexes, len(s.recordBuffer))
+			if i >= 0 {
+				line = line[i+1:]
+				continue parseField
+			}
+			break parseField
+		}
+		// Quoted field.
+		line = line[1:]
+		for {
+			i := bytes.IndexByte(line, '"')
+			switch {
+			case i >= 0:
+				// Hit the next quote: copy the span, then dispatch on what
+				// follows it.
+				s.recordBuffer = append(s.recordBuffer, line[:i]...)
+				line = line[i+1:]
+				switch {
+				case len(line) > 0 && line[0] == '"':
+					// `""` escape.
+					s.recordBuffer = append(s.recordBuffer, '"')
+					line = line[1:]
+				case len(line) > 0 && line[0] == ',':
+					// `",` ends the field.
+					line = line[1:]
+					s.fieldIndexes = append(s.fieldIndexes, len(s.recordBuffer))
+					continue parseField
+				case lengthNL(line) == len(line):
+					// `"\n` (or `"` at end of data) ends the record.
+					s.fieldIndexes = append(s.fieldIndexes, len(s.recordBuffer))
+					break parseField
+				default:
+					// `"x`: a non-escaped quote mid-field.
+					err = fmt.Errorf("record on line %d; parse error on line %d: %w", recLine, s.numLine, errQuote)
+					break parseField
+				}
+			case len(line) > 0:
+				// The quoted field continues past this line: copy it all and
+				// pull the next line in.
+				s.recordBuffer = append(s.recordBuffer, line...)
+				if errRead != nil {
+					break parseField
+				}
+				line, errRead = s.readLine()
+				if errRead == io.EOF {
+					errRead = nil
+				}
+			default:
+				// Abrupt end of data inside the quotes.
+				if errRead == nil {
+					err = fmt.Errorf("record on line %d; parse error on line %d: %w", recLine, s.numLine, errQuote)
+					break parseField
+				}
+				s.fieldIndexes = append(s.fieldIndexes, len(s.recordBuffer))
+				break parseField
+			}
+		}
+	}
+	if err == nil {
+		err = errRead
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Slice the reusable field views out of the record buffer.
+	s.fields = s.fields[:0]
+	prev := 0
+	for _, idx := range s.fieldIndexes {
+		s.fields = append(s.fields, s.recordBuffer[prev:idx])
+		prev = idx
+	}
+	return s.fields, nil
+}

@@ -17,29 +17,35 @@
 // The subsystem's parts, one per file:
 //
 //   - decode.go: incremental decoders for the three wire formats (CSV,
-//     JSONL, CLF) built on the same exported row primitives the batch
-//     readers in internal/weblog use, so parse semantics are shared;
-//   - pipeline.go: the sharded worker pool with τ-hash partitioning, a
-//     per-shard watermark reorder buffer for bounded timestamp skew, and
-//     bounded channels for backpressure;
-//   - analyzer.go: the Analyzer/ShardState plugin contract, the registry,
-//     and the merged Results snapshot;
+//     JSONL, CLF) built on the []byte-native row primitives exported by
+//     internal/weblog (whose string forms the batch readers use), each
+//     owning a scoped string-interning table so the decode hot path
+//     allocates only on first sight of a column value;
+//   - csvscan.go: the byte-native CSV framer the CSV decoder runs on,
+//     mirroring encoding/csv's record semantics exactly;
+//   - pipeline.go: the sharded worker pool with τ-hash partitioning,
+//     pooled record batches on the shard channels, a per-shard watermark
+//     reorder buffer for bounded timestamp skew, and bounded channels for
+//     backpressure;
+//   - analyzer.go: the Analyzer/ShardState plugin contract (including the
+//     optional batch-fold fast path), the registry, and the merged
+//     Results snapshot;
 //   - aggregate.go: the compliance analyzer's per-shard state and its
 //     deterministic merge into compliance.Summary values;
 //   - cadence.go, spoofwatch.go, sessionize.go: the §5.1/§5.2/§3.2
 //     analyzers, each feeding its batch package's shared back half;
 //   - tail.go: a polling reader that follows a growing log file.
 //
-// See DESIGN.md ("internal/stream") for the shard-merge invariant and the
-// per-analyzer merge arguments.
+// See DESIGN.md ("internal/stream" and "batched record path") for the
+// shard-merge invariant, the per-analyzer merge arguments, and the
+// batch/pooling lifecycle.
 package stream
 
 import (
 	"bufio"
-	"encoding/csv"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 
 	"repro/internal/weblog"
 )
@@ -70,20 +76,22 @@ func NewDecoder(format string, r io.Reader, clf weblog.CLFOptions) (Decoder, err
 }
 
 // CSVDecoder incrementally decodes the study's CSV schema (the format
-// weblog.WriteCSV emits). The header row is read lazily on the first Next.
+// weblog.WriteCSV emits) on the byte-native framer: fields never become
+// intermediate strings, and the high-repetition columns are interned for
+// the decoder's lifetime. The header row is read lazily on the first Next.
+// Record semantics are identical to the batch weblog.ReadCSV on every
+// input (FuzzDecodeCSV pins this differentially).
 type CSVDecoder struct {
-	cr     *csv.Reader
+	sc     *csvScanner
 	schema weblog.CSVSchema
+	intern *weblog.Intern
 	line   int
 	err    error
 }
 
 // NewCSVDecoder returns a decoder over r.
 func NewCSVDecoder(r io.Reader) *CSVDecoder {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1 // tolerate ragged rows, as ReadCSV does
-	cr.ReuseRecord = true   // rows are decoded immediately, never retained
-	return &CSVDecoder{cr: cr}
+	return &CSVDecoder{sc: newCSVScanner(r), intern: weblog.NewIntern()}
 }
 
 // Next returns the next record, or io.EOF at end of input. A decode error
@@ -93,7 +101,7 @@ func (d *CSVDecoder) Next() (weblog.Record, error) {
 		return weblog.Record{}, d.err
 	}
 	if d.line == 0 { // read header lazily
-		header, err := d.cr.Read()
+		header, err := d.sc.next()
 		if err != nil {
 			if err == io.EOF {
 				d.err = io.EOF
@@ -102,11 +110,11 @@ func (d *CSVDecoder) Next() (weblog.Record, error) {
 			}
 			return weblog.Record{}, d.err
 		}
-		d.schema = weblog.ParseCSVHeader(header)
+		d.schema = weblog.ParseCSVHeaderBytes(header)
 		d.line = 1
 	}
 	d.line++
-	row, err := d.cr.Read()
+	row, err := d.sc.next()
 	if err != nil {
 		if err == io.EOF {
 			d.err = io.EOF
@@ -115,7 +123,7 @@ func (d *CSVDecoder) Next() (weblog.Record, error) {
 		}
 		return weblog.Record{}, d.err
 	}
-	rec, err := d.schema.DecodeRow(row)
+	rec, err := d.schema.DecodeRowBytes(row, d.intern)
 	if err != nil {
 		d.err = fmt.Errorf("stream: CSV line %d: %w", d.line, err)
 		return weblog.Record{}, d.err
@@ -124,18 +132,20 @@ func (d *CSVDecoder) Next() (weblog.Record, error) {
 }
 
 // JSONLDecoder incrementally decodes one JSON object per line (the format
-// weblog.WriteJSONL emits). Blank lines are skipped.
+// weblog.WriteJSONL emits), interning the high-repetition columns for the
+// decoder's lifetime. Blank lines are skipped.
 type JSONLDecoder struct {
-	sc   *bufio.Scanner
-	line int
-	err  error
+	sc     *bufio.Scanner
+	intern *weblog.Intern
+	line   int
+	err    error
 }
 
 // NewJSONLDecoder returns a decoder over r.
 func NewJSONLDecoder(r io.Reader) *JSONLDecoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
-	return &JSONLDecoder{sc: sc}
+	return &JSONLDecoder{sc: sc, intern: weblog.NewIntern()}
 }
 
 // Next returns the next record, or io.EOF at end of input.
@@ -149,7 +159,7 @@ func (d *JSONLDecoder) Next() (weblog.Record, error) {
 		if len(b) == 0 {
 			continue
 		}
-		rec, err := weblog.ParseJSONLLine(b)
+		rec, err := weblog.ParseJSONLLineBytes(b, d.intern)
 		if err != nil {
 			d.err = fmt.Errorf("stream: JSONL line %d: %w", d.line, err)
 			return weblog.Record{}, d.err
@@ -164,14 +174,16 @@ func (d *JSONLDecoder) Next() (weblog.Record, error) {
 	return weblog.Record{}, d.err
 }
 
-// CLFDecoder incrementally decodes Common/Combined Log Format lines. Like
-// weblog.ReadCLF, malformed lines are skipped and counted unless
-// opts.Strict is set, in which case they are fatal.
+// CLFDecoder incrementally decodes Common/Combined Log Format lines on the
+// []byte-native parser, interning the high-repetition columns for the
+// decoder's lifetime. Like weblog.ReadCLF, malformed lines are skipped and
+// counted unless opts.Strict is set, in which case they are fatal.
 type CLFDecoder struct {
-	sc   *bufio.Scanner
-	opts weblog.CLFOptions
-	line int
-	err  error
+	sc     *bufio.Scanner
+	opts   weblog.CLFOptions
+	intern *weblog.Intern
+	line   int
+	err    error
 
 	// Skipped counts malformed lines dropped so far (non-strict mode).
 	Skipped int
@@ -181,7 +193,7 @@ type CLFDecoder struct {
 func NewCLFDecoder(r io.Reader, opts weblog.CLFOptions) *CLFDecoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	return &CLFDecoder{sc: sc, opts: opts}
+	return &CLFDecoder{sc: sc, opts: opts, intern: weblog.NewIntern()}
 }
 
 // Next returns the next well-formed record, or io.EOF at end of input.
@@ -191,11 +203,11 @@ func (d *CLFDecoder) Next() (weblog.Record, error) {
 	}
 	for d.sc.Scan() {
 		d.line++
-		line := strings.TrimSpace(d.sc.Text())
-		if line == "" {
+		line := bytes.TrimSpace(d.sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		rec, err := weblog.ParseCLFLine(line)
+		rec, err := weblog.ParseCLFLineBytes(line, d.intern)
 		if err != nil {
 			if d.opts.Strict {
 				d.err = fmt.Errorf("stream: CLF line %d: %w", d.line, err)

@@ -66,6 +66,21 @@ func FuzzDecodeCSV(f *testing.F) {
 	f.Add([]byte("useragent,timestamp\n\"unterminated"))
 	f.Add([]byte("useragent,timestamp,status\nbot,2025-03-01T00:00:00Z,notanint\n"))
 	f.Add([]byte("no,known,columns\na,b,c\n"))
+	// Framing corner cases for the byte-native scanner: quoting, escapes,
+	// multi-line fields, CR normalization, blank-line skipping, bare and
+	// unterminated quotes.
+	f.Add([]byte("useragent,uri_path\n\"quoted,comma\",\"esc\"\"aped\"\n"))
+	f.Add([]byte("useragent,uri_path\n\"multi\nline\nfield\",/x\n"))
+	f.Add([]byte("useragent,uri_path\r\nua,\"crlf\r\ninside\"\r\n"))
+	f.Add([]byte("useragent\n\n\nua-after-blanks\n"))
+	f.Add([]byte("useragent\nbare\"quote\n"))
+	f.Add([]byte("useragent\n\"trailing\"junk\n"))
+	f.Add([]byte("useragent\nua-no-newline"))
+	f.Add([]byte("useragent\ncr-at-eof\r"))
+	f.Add([]byte("useragent\n\"quote at eof"))
+	f.Add([]byte("useragent\n\"\"\n"))
+	f.Add([]byte("a,b\n,\n"))
+	f.Add([]byte("lone\rcr,mid\rline\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, serr := drainDecoder(t, NewCSVDecoder(bytes.NewReader(data)))
 		want, berr := weblog.ReadCSV(bytes.NewReader(data))

@@ -55,7 +55,12 @@ func WrapPhased(analyzers []Analyzer, phases PhaseLookup) []Analyzer {
 func (a phasedAnalyzer) Name() string { return a.inner.Name() }
 
 func (a phasedAnalyzer) NewState() ShardState {
-	return &phasedState{inner: a.inner, phases: a.phases, states: make(map[robots.Version]ShardState)}
+	return &phasedState{
+		inner:  a.inner,
+		phases: a.phases,
+		states: make(map[robots.Version]ShardState),
+		folds:  make(map[robots.Version]applyBatchFn),
+	}
 }
 
 // phasedState is one shard's phase partition: one lazily created inner
@@ -66,8 +71,22 @@ type phasedState struct {
 	inner  Analyzer
 	phases PhaseLookup
 	states map[robots.Version]ShardState
+	folds  map[robots.Version]applyBatchFn
 	// outOfSchedule counts records outside every phase window.
 	outOfSchedule uint64
+}
+
+// stateFold returns the phase's inner state fold, creating state and fold
+// on first sight of the phase.
+func (s *phasedState) stateFold(v robots.Version) applyBatchFn {
+	f := s.folds[v]
+	if f == nil {
+		st := s.inner.NewState()
+		s.states[v] = st
+		f = batchApplier(st)
+		s.folds[v] = f
+	}
+	return f
 }
 
 // Apply routes the record to its phase's inner state by event time.
@@ -79,10 +98,38 @@ func (s *phasedState) Apply(r *weblog.Record, seq uint64) {
 	}
 	st := s.states[v]
 	if st == nil {
-		st = s.inner.NewState()
-		s.states[v] = st
+		s.stateFold(v) // creates the state and its fold together
+		st = s.states[v]
 	}
 	st.Apply(r, seq)
+}
+
+// ApplyBatch routes a released run phase by phase: records are grouped
+// into maximal same-phase sub-runs (phases change on the scale of weeks,
+// so released runs are almost always one group) and each sub-run folds
+// through the inner state's own batch fold. Grouping never changes
+// results: phase assignment is a pure function of each record's event
+// time, and sub-runs preserve slice order.
+func (s *phasedState) ApplyBatch(recs []weblog.Record, seqs []uint64) {
+	i := 0
+	for i < len(recs) {
+		v, ok := s.phases.PhaseAt(recs[i].Time)
+		if !ok {
+			s.outOfSchedule++
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(recs) {
+			v2, ok2 := s.phases.PhaseAt(recs[j].Time)
+			if !ok2 || v2 != v {
+				break
+			}
+			j++
+		}
+		s.stateFold(v)(recs[i:j], seqs[i:j])
+		i = j
+	}
 }
 
 // Advance forwards the shard watermark to every phase partition that

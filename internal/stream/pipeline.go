@@ -1,9 +1,8 @@
 package stream
 
 import (
-	"container/heap"
 	"context"
-	"hash/fnv"
+
 	"io"
 	"runtime"
 	"sync"
@@ -20,9 +19,9 @@ type Options struct {
 	// count never changes results: the merge is deterministic (see
 	// DESIGN.md, "shard-merge invariant").
 	Shards int
-	// Buffer is the per-shard channel depth; the dispatcher blocks when a
-	// shard's channel is full, which is the pipeline's backpressure. Zero
-	// means 256.
+	// Buffer is the per-shard channel depth, counted in record batches;
+	// the dispatcher blocks when a shard's channel is full, which is the
+	// pipeline's backpressure. Zero means 16 batches.
 	Buffer int
 	// MaxSkew bounds tolerated timestamp disorder. Each shard holds back
 	// records in a reorder buffer until the shard's high-water timestamp
@@ -32,6 +31,19 @@ type Options struct {
 	// negative value disables reordering entirely (the input is trusted
 	// to be per-tuple time-ordered and records apply immediately).
 	MaxSkew time.Duration
+	// BatchSize is how many records the dispatcher accumulates per shard
+	// before handing the batch to the shard worker. Batching amortizes
+	// channel operations and analyzer dispatch; batch boundaries never
+	// affect results (see DESIGN.md, "batched record path"). Zero means
+	// DefaultBatchSize; 1 effectively disables batching.
+	BatchSize int
+	// FlushInterval bounds how long a partially filled batch may sit in
+	// the dispatcher, which bounds the staleness of live snapshots and of
+	// follow-mode output on a slow stream. Zero means
+	// DefaultFlushInterval; a negative value disables the background
+	// flusher entirely (batches then move only when full, at Flush, or at
+	// Close — appropriate for one-shot runs that never snapshot mid-run).
+	FlushInterval time.Duration
 	// Keep, if non-nil, filters records before sharding (dropped records
 	// count in DroppedRecords). It runs on the dispatcher goroutine, so an
 	// unsynchronized weblog.Preprocessor.Keep is safe here.
@@ -49,6 +61,12 @@ type Options struct {
 	// nil; the zero value means compliance.DefaultConfig(). Ignored when
 	// Analyzers is set (configure via NewComplianceAnalyzer instead).
 	Compliance compliance.Config
+
+	// poisonRecycled is a test hook: recycled batches and release scratch
+	// are scribbled with garbage before reuse, so any analyzer that
+	// retains a pointer into batch memory past Apply/ApplyBatch corrupts
+	// its own results and fails the parity suite (see pool_test.go).
+	poisonRecycled bool
 }
 
 // DefaultMaxSkew is the reorder window used when Options.MaxSkew is zero:
@@ -56,31 +74,106 @@ type Options struct {
 // logs, narrow enough to hold back only minutes of traffic.
 const DefaultMaxSkew = 2 * time.Minute
 
+// DefaultBatchSize is the per-shard record batch size used when
+// Options.BatchSize is zero: large enough to amortize channel and dispatch
+// overhead to noise, small enough that a batch stays cache-resident.
+const DefaultBatchSize = 256
+
+// DefaultFlushInterval is the background flush cadence used when
+// Options.FlushInterval is zero — the worst-case added latency between a
+// record arriving on a slow stream and its effect becoming visible to
+// live snapshots.
+const DefaultFlushInterval = 200 * time.Millisecond
+
 // seqRec is a record stamped with its global ingest sequence number.
 type seqRec struct {
 	rec weblog.Record
 	seq uint64
 }
 
-// recHeap orders buffered records by (time, sequence): a min-heap used as
-// each shard's reorder buffer.
+// recordBatch is the pooled unit of work on the shard channels: parallel
+// record/sequence slices filled by the dispatcher and recycled by the
+// worker after the fold. Recycling is what makes the steady-state hot path
+// allocation-free — and what obliges analyzers never to retain pointers
+// into a batch past the fold (the no-aliasing rule; string fields are safe
+// to keep because string bytes are immutable and never recycled).
+type recordBatch struct {
+	recs []weblog.Record
+	seqs []uint64
+}
+
+// recHeap orders buffered records by (time, sequence): a concrete min-heap
+// used as each shard's reorder buffer. It is hand-rolled rather than
+// container/heap because the interface-based API boxes every pushed and
+// popped element — two heap allocations per record on the hot path.
 type recHeap []seqRec
 
-func (h recHeap) Len() int { return len(h) }
-func (h recHeap) Less(i, j int) bool {
+func (h recHeap) less(i, j int) bool {
 	if !h[i].rec.Time.Equal(h[j].rec.Time) {
 		return h[i].rec.Time.Before(h[j].rec.Time)
 	}
 	return h[i].seq < h[j].seq
 }
-func (h recHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *recHeap) Push(x any)   { *h = append(*h, x.(seqRec)) }
-func (h *recHeap) Pop() any {
+
+// push adds sr to the heap.
+func (h *recHeap) push(sr seqRec) {
+	*h = append(*h, sr)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum element.
+func (h *recHeap) pop() seqRec {
 	old := *h
 	n := len(old)
-	x := old[n-1]
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = seqRec{} // release the Record's strings to the GC
 	*h = old[:n-1]
-	return x
+	// Sift down.
+	i, end := 0, n-1
+	for {
+		left := 2*i + 1
+		if left >= end {
+			break
+		}
+		child := left
+		if right := left + 1; right < end && old.less(right, left) {
+			child = right
+		}
+		if !old.less(child, i) {
+			break
+		}
+		old[i], old[child] = old[child], old[i]
+		i = child
+	}
+	return top
+}
+
+// applyBatchFn folds one run of records (with their global sequence
+// numbers) into a single analyzer state.
+type applyBatchFn func(recs []weblog.Record, seqs []uint64)
+
+// batchApplier resolves a state's batch fold: its native ApplyBatch when
+// the state implements BatchApplier, otherwise a shim that falls back to
+// per-record Apply — which is how analyzers written against the original
+// contract keep working unchanged.
+func batchApplier(st ShardState) applyBatchFn {
+	if ba, ok := st.(BatchApplier); ok {
+		return ba.ApplyBatch
+	}
+	return func(recs []weblog.Record, seqs []uint64) {
+		for i := range recs {
+			st.Apply(&recs[i], seqs[i])
+		}
+	}
 }
 
 // shardWorker owns one shard: a channel feeding a single goroutine that
@@ -88,19 +181,59 @@ func (h *recHeap) Pop() any {
 // analyzer states. mu guards buf/states so live snapshots can read them
 // mid-run.
 type shardWorker struct {
-	ch      chan seqRec
+	ch      chan *recordBatch
 	mu      sync.Mutex
 	buf     recHeap
 	maxSeen time.Time
-	states  []ShardState // one per pipeline analyzer, same order
+	states  []ShardState   // one per pipeline analyzer, same order
+	folds   []applyBatchFn // matching batch fold per state
+	runRecs []weblog.Record
+	runSeqs []uint64
 	records uint64
+	poison  bool
 }
 
-// apply folds one released record into every analyzer state. Must hold mu.
-func (s *shardWorker) apply(r *weblog.Record, seq uint64) {
-	s.records++
-	for _, st := range s.states {
-		st.Apply(r, seq)
+// fold applies one released run to every analyzer state. Must hold mu.
+func (s *shardWorker) fold(recs []weblog.Record, seqs []uint64) {
+	if len(recs) == 0 {
+		return
+	}
+	s.records += uint64(len(recs))
+	for _, f := range s.folds {
+		f(recs, seqs)
+	}
+}
+
+// release pops every buffered record at or before watermark — in (time,
+// sequence) order — into the reused run scratch and folds the run. Must
+// hold mu.
+func (s *shardWorker) release(watermark time.Time) {
+	s.runRecs = s.runRecs[:0]
+	s.runSeqs = s.runSeqs[:0]
+	for len(s.buf) > 0 && !s.buf[0].rec.Time.After(watermark) {
+		sr := s.buf.pop()
+		s.runRecs = append(s.runRecs, sr.rec)
+		s.runSeqs = append(s.runSeqs, sr.seq)
+	}
+	s.fold(s.runRecs, s.runSeqs)
+	if s.poison {
+		poisonRecords(s.runRecs, s.runSeqs)
+	}
+}
+
+// releaseAll drains the reorder buffer unconditionally, still in (time,
+// sequence) order (pipeline close). Must hold mu.
+func (s *shardWorker) releaseAll() {
+	s.runRecs = s.runRecs[:0]
+	s.runSeqs = s.runSeqs[:0]
+	for len(s.buf) > 0 {
+		sr := s.buf.pop()
+		s.runRecs = append(s.runRecs, sr.rec)
+		s.runSeqs = append(s.runSeqs, sr.seq)
+	}
+	s.fold(s.runRecs, s.runSeqs)
+	if s.poison {
+		poisonRecords(s.runRecs, s.runSeqs)
 	}
 }
 
@@ -117,6 +250,16 @@ type Pipeline struct {
 	seq       uint64
 	dropped   atomic.Uint64
 	closed    bool
+
+	batchSize int
+	pool      sync.Pool
+	// mu serializes dispatch — pending-batch appends and shard-channel
+	// sends — between Ingest (one goroutine) and the background flusher,
+	// so batches reach each shard in ingest order.
+	mu        sync.Mutex
+	pending   []*recordBatch
+	flushStop chan struct{}
+	flushDone chan struct{}
 }
 
 // NewPipeline builds and starts a pipeline; its workers idle until records
@@ -126,25 +269,41 @@ func NewPipeline(opts Options) *Pipeline {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
 	if opts.Buffer <= 0 {
-		opts.Buffer = 256
+		opts.Buffer = 16
 	}
 	if opts.MaxSkew == 0 {
 		opts.MaxSkew = DefaultMaxSkew
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = DefaultFlushInterval
 	}
 	analyzers := opts.Analyzers
 	if len(analyzers) == 0 {
 		analyzers = []Analyzer{NewComplianceAnalyzer(opts.Compliance)}
 	}
-	p := &Pipeline{opts: opts, analyzers: analyzers}
+	p := &Pipeline{opts: opts, analyzers: analyzers, batchSize: opts.BatchSize}
+	p.pool.New = func() any {
+		return &recordBatch{
+			recs: make([]weblog.Record, 0, p.batchSize),
+			seqs: make([]uint64, 0, p.batchSize),
+		}
+	}
+	p.pending = make([]*recordBatch, opts.Shards)
 	p.shards = make([]*shardWorker, opts.Shards)
 	p.observers = make([][]WatermarkObserver, opts.Shards)
 	for i := range p.shards {
 		s := &shardWorker{
-			ch:     make(chan seqRec, opts.Buffer),
+			ch:     make(chan *recordBatch, opts.Buffer),
 			states: make([]ShardState, len(analyzers)),
+			folds:  make([]applyBatchFn, len(analyzers)),
+			poison: opts.poisonRecycled,
 		}
 		for j, a := range analyzers {
 			s.states[j] = a.NewState()
+			s.folds[j] = batchApplier(s.states[j])
 			// Watermark observers only make sense when the reorder buffer
 			// maintains a cross-tuple time bound (MaxSkew > 0).
 			if o, ok := s.states[j].(WatermarkObserver); ok && opts.MaxSkew > 0 {
@@ -155,90 +314,212 @@ func NewPipeline(opts Options) *Pipeline {
 		p.wg.Add(1)
 		go p.work(i, s)
 	}
+	if opts.FlushInterval > 0 {
+		p.flushStop = make(chan struct{})
+		p.flushDone = make(chan struct{})
+		go p.flusher(opts.FlushInterval)
+	}
 	return p
 }
 
-// work is one shard's goroutine: enrich in parallel, then buffer/apply
-// under the shard lock.
+// work is one shard's goroutine: enrich in parallel, then buffer/fold
+// under the shard lock, one batch at a time, recycling each batch after
+// its fold.
 func (p *Pipeline) work(idx int, s *shardWorker) {
 	defer p.wg.Done()
 	skew := p.opts.MaxSkew
-	for sr := range s.ch {
+	for b := range s.ch {
 		if p.opts.Enrich != nil {
-			p.opts.Enrich(&sr.rec)
+			for i := range b.recs {
+				p.opts.Enrich(&b.recs[i])
+			}
 		}
 		s.mu.Lock()
-		if sr.rec.Time.After(s.maxSeen) {
-			s.maxSeen = sr.rec.Time
-		}
 		if skew <= 0 {
-			s.apply(&sr.rec, sr.seq)
+			s.fold(b.recs, b.seqs)
 		} else {
-			heap.Push(&s.buf, sr)
-			watermark := s.maxSeen.Add(-skew)
-			for len(s.buf) > 0 && !s.buf[0].rec.Time.After(watermark) {
-				rel := heap.Pop(&s.buf).(seqRec)
-				s.apply(&rel.rec, rel.seq)
+			for i := range b.recs {
+				if b.recs[i].Time.After(s.maxSeen) {
+					s.maxSeen = b.recs[i].Time
+				}
+				s.buf.push(seqRec{rec: b.recs[i], seq: b.seqs[i]})
 			}
+			watermark := s.maxSeen.Add(-skew)
+			s.release(watermark)
 			for _, o := range p.observers[idx] {
 				o.Advance(watermark)
 			}
 		}
 		s.mu.Unlock()
+		p.recycle(b)
 	}
 	// Channel closed: flush the reorder buffer in time order.
 	s.mu.Lock()
-	for len(s.buf) > 0 {
-		rel := heap.Pop(&s.buf).(seqRec)
-		s.apply(&rel.rec, rel.seq)
-	}
+	s.releaseAll()
 	s.mu.Unlock()
+}
+
+// getBatch takes an empty batch from the pool.
+func (p *Pipeline) getBatch() *recordBatch {
+	return p.pool.Get().(*recordBatch)
+}
+
+// recycle returns a folded batch to the pool, scribbling it first when the
+// poison hook is armed.
+func (p *Pipeline) recycle(b *recordBatch) {
+	if p.opts.poisonRecycled {
+		poisonRecords(b.recs, b.seqs)
+	}
+	b.recs = b.recs[:0]
+	b.seqs = b.seqs[:0]
+	p.pool.Put(b)
+}
+
+// poisonRecords overwrites a recycled run with garbage so any state that
+// aliased it produces visibly corrupt results.
+func poisonRecords(recs []weblog.Record, seqs []uint64) {
+	for i := range recs {
+		recs[i] = weblog.Record{
+			UserAgent: "POISONED-UA",
+			Time:      time.Unix(0, 0),
+			IPHash:    "POISONED-HASH",
+			ASN:       "POISONED-ASN",
+			Site:      "POISONED-SITE",
+			Path:      "/poisoned",
+			Status:    -999,
+			Bytes:     -999,
+			Referer:   "POISONED-REF",
+			BotName:   "POISONED-BOT",
+			Category:  "POISONED-CAT",
+		}
+	}
+	for i := range seqs {
+		seqs[i] = ^uint64(0)
+	}
+}
+
+// flusher periodically pushes partially filled batches to their shards so
+// slow streams surface in live snapshots within FlushInterval.
+func (p *Pipeline) flusher(interval time.Duration) {
+	defer close(p.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.flushStop:
+			return
+		case <-t.C:
+			p.Flush()
+		}
+	}
+}
+
+// Flush hands every pending, partially filled batch to its shard without
+// waiting for it to fill. Callers that snapshot mid-run (follow mode) can
+// Flush first for a fresher view; Close flushes implicitly. Flush does not
+// wait for the shards to fold the flushed batches.
+func (p *Pipeline) Flush() {
+	p.mu.Lock()
+	for si, b := range p.pending {
+		if b != nil {
+			p.pending[si] = nil
+			p.shards[si].ch <- b
+		}
+	}
+	p.mu.Unlock()
+}
+
+// FNV-1a constants (hash/fnv's, inlined so the dispatcher's per-record
+// hash allocates nothing — the hash.Hash interface costs a heap-allocated
+// state plus a []byte conversion per written string).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds s into an FNV-1a state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // shardOf partitions by τ = (ASN, IP hash, user agent) hash, so one
 // requesting entity's records always meet the same single-goroutine
-// analyzer states in order.
+// analyzer states in order. The byte sequence hashed is identical to the
+// historical hash/fnv-based version (NUL-separated fields), so shard
+// assignment is unchanged.
 func (p *Pipeline) shardOf(r *weblog.Record) int {
-	h := fnv.New64a()
-	io.WriteString(h, r.ASN)
-	h.Write([]byte{0})
-	io.WriteString(h, r.IPHash)
-	h.Write([]byte{0})
-	io.WriteString(h, r.UserAgent)
-	return int(h.Sum64() % uint64(len(p.shards)))
+	h := fnvString(uint64(fnvOffset64), r.ASN)
+	h ^= 0
+	h *= fnvPrime64
+	h = fnvString(h, r.IPHash)
+	h ^= 0
+	h *= fnvPrime64
+	h = fnvString(h, r.UserAgent)
+	return int(h % uint64(len(p.shards)))
 }
 
-// Ingest routes one record to its shard, blocking for backpressure when
-// the shard is behind. It must be called from a single goroutine (the
-// dispatcher), and not after Close.
+// Ingest routes one record to its shard's pending batch, handing the batch
+// over — and blocking for backpressure — when it fills. It must be called
+// from a single goroutine (the dispatcher), and not after Close. On
+// context cancellation the shard's pending batch is dropped along with the
+// record (in-flight work is forfeit on cancel, as before).
 func (p *Pipeline) Ingest(ctx context.Context, rec weblog.Record) error {
 	if p.opts.Keep != nil && !p.opts.Keep(&rec) {
 		p.dropped.Add(1)
 		return nil
 	}
 	p.seq++
-	sr := seqRec{rec: rec, seq: p.seq}
-	s := p.shards[p.shardOf(&rec)]
+	si := p.shardOf(&rec)
+	p.mu.Lock()
+	b := p.pending[si]
+	if b == nil {
+		b = p.getBatch()
+		p.pending[si] = b
+	}
+	b.recs = append(b.recs, rec)
+	b.seqs = append(b.seqs, p.seq)
+	var err error
+	if len(b.recs) >= p.batchSize {
+		p.pending[si] = nil
+		err = p.send(ctx, p.shards[si], b)
+	}
+	p.mu.Unlock()
+	return err
+}
+
+// send delivers one batch to a shard, honoring ctx for backpressure
+// cancellation. Must hold mu, which is what keeps per-shard delivery in
+// ingest order when the flusher runs concurrently.
+func (p *Pipeline) send(ctx context.Context, s *shardWorker, b *recordBatch) error {
 	if ctx == nil {
-		s.ch <- sr
+		s.ch <- b
 		return nil
 	}
 	select {
-	case s.ch <- sr:
+	case s.ch <- b:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// Close stops ingestion, waits for every shard to drain its channel and
-// reorder buffer, and makes subsequent Snapshots final. Close is
-// idempotent.
+// Close stops ingestion, flushes pending batches, waits for every shard to
+// drain its channel and reorder buffer, and makes subsequent Snapshots
+// final. Close is idempotent.
 func (p *Pipeline) Close() {
 	if p.closed {
 		return
 	}
 	p.closed = true
+	if p.flushStop != nil {
+		close(p.flushStop)
+		<-p.flushDone
+	}
+	p.Flush()
 	for _, s := range p.shards {
 		close(s.ch)
 	}
@@ -253,10 +534,10 @@ func (p *Pipeline) Analyzers() []Analyzer { return p.analyzers }
 
 // Snapshot merges all shard states into one Results value holding every
 // analyzer's snapshot. After Close the snapshot is complete and
-// deterministic — independent of shard count and scheduling. Mid-run it
-// is a live monotone approximation: all shard locks are held during the
-// merge, but records still in flight (channels, reorder buffers) are not
-// yet included.
+// deterministic — independent of shard count, batch size, and scheduling.
+// Mid-run it is a live monotone approximation: all shard locks are held
+// during the merge, but records still in flight (pending batches,
+// channels, reorder buffers) are not yet included.
 func (p *Pipeline) Snapshot() *Results {
 	for _, s := range p.shards {
 		s.mu.Lock()

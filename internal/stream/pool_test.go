@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/robots"
+	"repro/internal/weblog"
+)
+
+// runAllOpts streams a dataset through a pipeline running every built-in
+// analyzer with the default preprocessing and the given extra options.
+func runAllOpts(t *testing.T, d *weblog.Dataset, opts Options) *Results {
+	t.Helper()
+	analyzers, err := NewAnalyzers(nil, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	opts.Keep = pre.Keep
+	opts.Enrich = func(r *weblog.Record) { enrich(r) }
+	opts.Analyzers = analyzers
+	p := NewPipeline(opts)
+	res, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertResultsEqual deep-compares every analyzer snapshot of two Results.
+func assertResultsEqual(t *testing.T, want, got *Results, label string) {
+	t.Helper()
+	if want.Records != got.Records {
+		t.Fatalf("%s: records %d != %d", label, want.Records, got.Records)
+	}
+	if !reflect.DeepEqual(want.Names(), got.Names()) {
+		t.Fatalf("%s: analyzer sets diverged: %v vs %v", label, want.Names(), got.Names())
+	}
+	for _, name := range want.Names() {
+		if !reflect.DeepEqual(want.Get(name), got.Get(name)) {
+			t.Fatalf("%s: analyzer %q snapshot diverged\nwant: %+v\ngot:  %+v",
+				label, name, want.Get(name), got.Get(name))
+		}
+	}
+}
+
+// TestPoisonedPoolParity is the aliasing-corruption acceptance test: the
+// multi-analyzer parity suite runs with a poisoning pool that scribbles
+// every recycled batch — and the release scratch — with garbage before
+// reuse. If any of the four analyzers (or the pipeline itself) retained a
+// pointer into batch memory past its fold, the scribble would corrupt its
+// state and the snapshots would diverge from the clean run (which the
+// parity suite already proves byte-identical to batch). Run with -race:
+// cross-goroutine retention shows up as a data race between the worker's
+// scribble and the reader.
+func TestPoisonedPoolParity(t *testing.T) {
+	d := makeBursty(parityN(t)/2, 31, 45*time.Second)
+	for _, shards := range []int{1, 4, 7} {
+		// Clean and poisoned runs at the same shard count (snapshots embed
+		// the shard width, and shard-count independence is the parity
+		// suite's job; this test isolates pool recycling).
+		want := runAllOpts(t, d, Options{Shards: shards, MaxSkew: 2 * time.Minute})
+		got := runAllOpts(t, d, Options{
+			Shards:         shards,
+			MaxSkew:        2 * time.Minute,
+			poisonRecycled: true,
+		})
+		assertResultsEqual(t, want, got, fmt.Sprintf("poisoned shards=%d", shards))
+	}
+	// The trusted-order fast path folds incoming batches directly, so its
+	// aliasing discipline is separately load-bearing.
+	ordered := makeBursty(parityN(t)/2, 31, 0)
+	wantOrdered := runAllOpts(t, ordered, Options{Shards: 3, MaxSkew: -1})
+	gotOrdered := runAllOpts(t, ordered, Options{Shards: 3, MaxSkew: -1, poisonRecycled: true})
+	assertResultsEqual(t, wantOrdered, gotOrdered, "poisoned trusted-order")
+}
+
+// TestPoisonedPoolPhasedParity repeats the poisoning run with every
+// analyzer phase-partitioned (NewPhasedAnalyzer routes sub-runs into
+// per-phase inner states, so its grouping logic is on the aliasing hook
+// too).
+func TestPoisonedPoolPhasedParity(t *testing.T) {
+	d := makeBursty(parityN(t)/4, 32, 45*time.Second)
+	first, last, ok := d.TimeRange()
+	if !ok {
+		t.Fatal("empty fixture")
+	}
+	span := last.Sub(first) / 4
+	var phases []experiment.Phase
+	for i, v := range robots.Versions {
+		phases = append(phases, experiment.Phase{Version: v, Start: first.Add(time.Duration(i) * span)})
+	}
+	sched, err := experiment.NewSchedule(phases, last.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased := func(poison bool) *Results {
+		analyzers, err := NewAnalyzers(nil, AnalyzerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := weblog.NewPreprocessor()
+		enrich := poolEnrich()
+		p := NewPipeline(Options{
+			Shards:         5,
+			MaxSkew:        2 * time.Minute,
+			Keep:           pre.Keep,
+			Enrich:         func(r *weblog.Record) { enrich(r) },
+			Analyzers:      WrapPhased(analyzers, sched),
+			poisonRecycled: poison,
+		})
+		res, err := p.Run(context.Background(), NewDatasetDecoder(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	assertResultsEqual(t, phased(false), phased(true), "poisoned phased")
+}
+
+// TestBatchSizeInvariance pins the flush-on-watermark argument's
+// consequence: batch size (and with it every batch boundary) never changes
+// results — from unbatched through batches larger than the whole stream.
+func TestBatchSizeInvariance(t *testing.T) {
+	d := makeBursty(20_000, 33, 45*time.Second)
+	want := runAllOpts(t, d, Options{Shards: 4, MaxSkew: 2 * time.Minute, BatchSize: DefaultBatchSize})
+	for _, bs := range []int{1, 3, 17, 4096, 50_000} {
+		got := runAllOpts(t, d, Options{Shards: 4, MaxSkew: 2 * time.Minute, BatchSize: bs})
+		assertResultsEqual(t, want, got, fmt.Sprintf("batchSize=%d", bs))
+	}
+}
+
+// countingState wraps per-record Apply counting without implementing
+// BatchApplier, so the pipeline must route it through the fallback shim.
+type countingState struct {
+	applied *atomic.Uint64
+	lastSeq uint64
+}
+
+func (c *countingState) Apply(r *weblog.Record, seq uint64) {
+	c.applied.Add(1)
+	if seq <= c.lastSeq {
+		panic("per-shard sequence numbers must be increasing")
+	}
+	c.lastSeq = seq
+}
+
+// countingAnalyzer counts applies across shards.
+type countingAnalyzer struct{ applied *atomic.Uint64 }
+
+func (countingAnalyzer) Name() string              { return "counting" }
+func (a countingAnalyzer) NewState() ShardState    { return &countingState{applied: a.applied} }
+func (countingAnalyzer) Snapshot([]ShardState) any { return nil }
+
+// TestBatchApplierShim proves analyzers written against the original
+// per-record contract keep working unchanged under the batched pipeline:
+// a ShardState without ApplyBatch sees every record exactly once, in
+// increasing per-shard sequence order, at any batch size.
+func TestBatchApplierShim(t *testing.T) {
+	if _, ok := any(&countingState{}).(BatchApplier); ok {
+		t.Fatal("fixture must NOT implement BatchApplier")
+	}
+	d := makeSynthetic(5000, 34, 0)
+	for _, bs := range []int{1, DefaultBatchSize} {
+		var applied atomic.Uint64
+		p := NewPipeline(Options{
+			Shards:    3,
+			BatchSize: bs,
+			Analyzers: []Analyzer{countingAnalyzer{applied: &applied}},
+		})
+		if _, err := p.Run(context.Background(), NewDatasetDecoder(d)); err != nil {
+			t.Fatal(err)
+		}
+		if got := applied.Load(); got != uint64(len(d.Records)) {
+			t.Fatalf("batchSize=%d: shim applied %d records, want %d", bs, got, len(d.Records))
+		}
+	}
+}
+
+// TestBuiltinBatchAppliers pins which built-in states take the native
+// batch-fold fast path: compliance, session, and the phased wrapper
+// implement BatchApplier; cadence and spoof deliberately stay on the
+// per-record shim (they are the standing proof the fallback works).
+func TestBuiltinBatchAppliers(t *testing.T) {
+	all, err := NewAnalyzers(nil, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNative := map[string]bool{
+		AnalyzerCompliance: true,
+		AnalyzerCadence:    false,
+		AnalyzerSpoof:      false,
+		AnalyzerSession:    true,
+	}
+	for _, a := range all {
+		_, native := a.NewState().(BatchApplier)
+		if native != wantNative[a.Name()] {
+			t.Errorf("analyzer %q: native batch fold = %v, want %v", a.Name(), native, wantNative[a.Name()])
+		}
+		if _, ok := NewPhasedAnalyzer(a, experiment.DefaultSchedule(time.Time{})).NewState().(BatchApplier); !ok {
+			t.Errorf("phased wrapper over %q lost the batch fold", a.Name())
+		}
+	}
+}

@@ -47,6 +47,15 @@ func (s *sessionShard) Apply(r *weblog.Record, seq uint64) {
 	ls.bytes += r.Bytes
 }
 
+// ApplyBatch folds one released run in slice order — the session
+// analyzer's BatchApplier fast path. Nothing from the run is retained:
+// liveSession copies times, counts, and (immutable) category strings.
+func (s *sessionShard) ApplyBatch(recs []weblog.Record, seqs []uint64) {
+	for i := range recs {
+		s.Apply(&recs[i], seqs[i])
+	}
+}
+
 // Advance is the watermark-driven closure: once the shard watermark
 // passes an open session's end by more than the gap, no future record can
 // extend it (every later record has Time >= watermark), so it is closed

@@ -298,6 +298,37 @@ func TestTailReaderFlushWithoutPartial(t *testing.T) {
 	}
 }
 
+// TestTailReaderSteadyStateAllocs pins the chunk loop's allocation
+// behavior: once warmed, following a steadily growing stream through a
+// TailReader allocates nothing per Read — the line buffer is compacted and
+// reused across chunks, never reallocated.
+func TestTailReaderSteadyStateAllocs(t *testing.T) {
+	src := &endlessLines{line: []byte(`h0001 - - [01/Mar/2025:00:00:00 +0000] "GET /x HTTP/1.1" 200 5` + "\n")}
+	tr := NewTailReader(context.Background(), src, time.Millisecond)
+	buf := make([]byte, 4096)
+	for i := 0; i < 64; i++ { // warm until the buffer reaches steady state
+		if _, err := tr.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := tr.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state tail Read allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// endlessLines yields the same newline-terminated line forever, never
+// reporting EOF (a file growing faster than the tail consumes it).
+type endlessLines struct{ line []byte }
+
+func (e *endlessLines) Read(p []byte) (int, error) {
+	return copy(p, e.line), nil
+}
+
 // chunkedReader yields its chunks one Read at a time, reporting EOF
 // between them (simulating a file that grows between polls).
 type chunkedReader struct {

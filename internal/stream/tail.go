@@ -40,15 +40,27 @@ import (
 // the decoder alone (Pipeline.Run with a nil context) and still shut
 // down promptly on cancel — that is how cmd/analyze's follow mode
 // guarantees the flushed final record is actually consumed.
+// TailReader holds one reused buffer segmented by three cursors:
+// buf[rpos:line] is ready (complete-line bytes not yet returned),
+// buf[line:wpos] is the held-back partial line, and buf[wpos:] is free
+// space for the next underlying read. Consumed bytes are reclaimed by
+// compaction (a copy to the front) instead of reallocation, so a
+// steady-state tail session allocates nothing per chunk — the buffer grows
+// only when a single line outgrows it.
 type TailReader struct {
-	ctx     context.Context
-	r       io.Reader
-	poll    time.Duration
-	scratch []byte
-	ready   []byte // complete-line bytes not yet returned
-	partial []byte // bytes after the last newline, held back
-	done    bool
+	ctx  context.Context
+	r    io.Reader
+	poll time.Duration
+	buf  []byte
+	rpos int // start of unreturned ready bytes
+	line int // end of complete-line bytes (start of the partial tail)
+	wpos int // end of buffered data
+	done bool
 }
+
+// tailBufSize is the TailReader's initial buffer; it doubles whenever a
+// single line exceeds the free space.
+const tailBufSize = 64 * 1024
 
 // NewTailReader wraps r. poll is the sleep between EOF probes; zero means
 // 500ms.
@@ -59,7 +71,7 @@ func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) *TailRe
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &TailReader{ctx: ctx, r: r, poll: poll, scratch: make([]byte, 32*1024)}
+	return &TailReader{ctx: ctx, r: r, poll: poll, buf: make([]byte, tailBufSize)}
 }
 
 // Read returns buffered complete-line bytes, refilling from the
@@ -68,22 +80,32 @@ func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) *TailRe
 // held-back final unterminated line, then surfaces as a clean io.EOF.
 func (t *TailReader) Read(p []byte) (int, error) {
 	for {
-		if len(t.ready) > 0 {
-			n := copy(p, t.ready)
-			t.ready = t.ready[n:]
+		if t.rpos < t.line {
+			n := copy(p, t.buf[t.rpos:t.line])
+			t.rpos += n
 			return n, nil
 		}
 		if t.done {
 			return 0, io.EOF
 		}
-		n, err := t.r.Read(t.scratch)
+		// No ready bytes: reclaim the consumed prefix, keeping only the
+		// held-back partial line, then grow if a long line has filled the
+		// buffer anyway.
+		if t.rpos > 0 {
+			t.wpos = copy(t.buf, t.buf[t.rpos:t.wpos])
+			t.rpos, t.line = 0, 0
+		}
+		if t.wpos == len(t.buf) {
+			grown := make([]byte, 2*len(t.buf))
+			copy(grown, t.buf[:t.wpos])
+			t.buf = grown
+		}
+		n, err := t.r.Read(t.buf[t.wpos:])
 		if n > 0 {
-			t.partial = append(t.partial, t.scratch[:n]...)
-			if i := bytes.LastIndexByte(t.partial, '\n'); i >= 0 {
-				t.ready = t.partial[:i+1]
-				// Fresh backing array: appends to partial must not
-				// clobber the ready bytes they used to share.
-				t.partial = append([]byte(nil), t.partial[i+1:]...)
+			start := t.wpos
+			t.wpos += n
+			if i := bytes.LastIndexByte(t.buf[start:t.wpos], '\n'); i >= 0 {
+				t.line = start + i + 1
 			}
 			// Cancellation with data still flowing: stop after the
 			// complete lines of this chunk. The held-back partial is NOT
@@ -92,7 +114,7 @@ func (t *TailReader) Read(p []byte) (int, error) {
 			// below knows the partial is genuinely the final line.
 			if t.ctx.Err() != nil {
 				t.done = true
-				t.partial = nil
+				t.wpos = t.line
 			}
 			continue
 		}
@@ -105,8 +127,7 @@ func (t *TailReader) Read(p []byte) (int, error) {
 			t.done = true
 			// Flush the final unterminated line, if any; the next Read
 			// returns the clean EOF.
-			t.ready = t.partial
-			t.partial = nil
+			t.line = t.wpos
 			continue
 		case <-time.After(t.poll):
 		}

@@ -1,0 +1,231 @@
+// bytes.go holds the []byte-native variants of the row primitives: the
+// same parse semantics as the string forms in io.go and clf.go, but
+// operating directly on decoder-owned byte slices with no intermediate
+// string conversion and all high-repetition columns routed through a
+// scoped Intern table. The streaming decoders in internal/stream are the
+// intended callers; the batch readers keep the string forms, which makes
+// them the reference implementation the differential fuzz tests compare
+// against.
+//
+// The timestamp and integer fields use strict fast paths that accept
+// exactly the canonical wire forms (what WriteCSV/WriteCLF emit) and fall
+// back to the standard library parsers on anything unusual, so the
+// accepted input set — and every parsed value — is identical to the string
+// path by construction.
+package weblog
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// ParseCSVHeaderBytes builds a schema from a byte-slice header row, the
+// []byte-native form of ParseCSVHeader. Column names are copied, so the
+// row may be decoder-owned scratch.
+func ParseCSVHeaderBytes(header [][]byte) CSVSchema {
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[string(h)] = i
+	}
+	return CSVSchema{col: col}
+}
+
+// getBytes returns the named column of row, or nil when the column is
+// absent or the row is ragged — the []byte twin of get.
+func (s CSVSchema) getBytes(row [][]byte, name string) []byte {
+	if i, ok := s.col[name]; ok && i < len(row) {
+		return row[i]
+	}
+	return nil
+}
+
+// DecodeRowBytes decodes one data row of byte-slice cells under this
+// schema, the []byte-native form of DecodeRow: identical field semantics
+// (ragged rows tolerated, missing cells zero-valued), no per-field string
+// conversion, high-repetition columns interned through in (nil in means
+// plain copies). The returned Record never aliases row's backing memory.
+func (s CSVSchema) DecodeRowBytes(row [][]byte, in *Intern) (Record, error) {
+	var rec Record
+	rec.UserAgent = in.Bytes(s.getBytes(row, "useragent"))
+	if ts := s.getBytes(row, "timestamp"); len(ts) > 0 {
+		t, err := ParseTimestampBytes(ts)
+		if err != nil {
+			return rec, fmt.Errorf("bad timestamp %q: %w", ts, err)
+		}
+		rec.Time = t
+	}
+	rec.IPHash = in.Bytes(s.getBytes(row, "ip_hash"))
+	rec.ASN = in.Bytes(s.getBytes(row, "asn"))
+	rec.Site = in.Bytes(s.getBytes(row, "sitename"))
+	rec.Path = in.Bytes(s.getBytes(row, "uri_path"))
+	if v := s.getBytes(row, "status"); len(v) > 0 {
+		n, err := atoiBytes(v)
+		if err != nil {
+			return rec, fmt.Errorf("bad status %q: %w", v, err)
+		}
+		rec.Status = n
+	}
+	if v := s.getBytes(row, "bytes"); len(v) > 0 {
+		n, err := parseInt64Bytes(v)
+		if err != nil {
+			return rec, fmt.Errorf("bad bytes %q: %w", v, err)
+		}
+		rec.Bytes = n
+	}
+	rec.Referer = in.Bytes(s.getBytes(row, "referer"))
+	rec.BotName = in.Bytes(s.getBytes(row, "bot_name"))
+	rec.Category = in.Bytes(s.getBytes(row, "bot_category"))
+	return rec, nil
+}
+
+// ParseJSONLLineBytes decodes one JSONL line like ParseJSONLLine and then
+// routes the high-repetition columns through in, so records decoded from a
+// long stream share canonical string storage. Output is identical to
+// ParseJSONLLine on every input (the JSON framing is delegated to
+// encoding/json; only the string storage differs).
+func ParseJSONLLineBytes(b []byte, in *Intern) (Record, error) {
+	rec, err := ParseJSONLLine(b)
+	if err != nil {
+		return rec, err
+	}
+	rec.UserAgent = in.String(rec.UserAgent)
+	rec.IPHash = in.String(rec.IPHash)
+	rec.ASN = in.String(rec.ASN)
+	rec.Site = in.String(rec.Site)
+	rec.Path = in.String(rec.Path)
+	rec.Referer = in.String(rec.Referer)
+	rec.BotName = in.String(rec.BotName)
+	rec.Category = in.String(rec.Category)
+	return rec, nil
+}
+
+// ParseTimestampBytes parses an RFC 3339 timestamp from a byte slice with
+// the exact semantics of time.Parse(time.RFC3339, string(b)): a strict
+// zero-allocation fast path accepts the canonical "2006-01-02T15:04:05Z"
+// form WriteCSV emits, and everything else — offsets, fractional seconds,
+// lenient layout variants — falls back to time.Parse itself, so both
+// acceptance and parsed values match the string path on every input.
+func ParseTimestampBytes(b []byte) (time.Time, error) {
+	if t, ok := fastRFC3339UTC(b); ok {
+		return t, nil
+	}
+	return time.Parse(time.RFC3339, string(b))
+}
+
+// fastRFC3339UTC is the strict fast path: exactly "YYYY-MM-DDTHH:MM:SSZ",
+// with the same field validation the standard library's internal
+// parseRFC3339 applies (so acceptance implies time.Parse acceptance with
+// an identical value — the 'Z' branch never consults the local zone).
+func fastRFC3339UTC(s []byte) (time.Time, bool) {
+	if len(s) != len("2006-01-02T15:04:05Z") || s[len(s)-1] != 'Z' {
+		return time.Time{}, false
+	}
+	if s[4] != '-' || s[7] != '-' || s[10] != 'T' || s[13] != ':' || s[16] != ':' {
+		return time.Time{}, false
+	}
+	year, ok := num4(s[0:4])
+	if !ok {
+		return time.Time{}, false
+	}
+	month, ok := numRange(s[5:7], 1, 12)
+	if !ok {
+		return time.Time{}, false
+	}
+	day, ok := numRange(s[8:10], 1, daysIn(time.Month(month), year))
+	if !ok {
+		return time.Time{}, false
+	}
+	hour, ok := numRange(s[11:13], 0, 23)
+	if !ok {
+		return time.Time{}, false
+	}
+	min, ok := numRange(s[14:16], 0, 59)
+	if !ok {
+		return time.Time{}, false
+	}
+	sec, ok := numRange(s[17:19], 0, 59)
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.Date(year, time.Month(month), day, hour, min, sec, 0, time.UTC), true
+}
+
+// num2 parses exactly two ASCII digits.
+func num2(s []byte) (int, bool) {
+	if s[0] < '0' || s[0] > '9' || s[1] < '0' || s[1] > '9' {
+		return 0, false
+	}
+	return int(s[0]-'0')*10 + int(s[1]-'0'), true
+}
+
+// num4 parses exactly four ASCII digits.
+func num4(s []byte) (int, bool) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// numRange parses exactly two ASCII digits and range-checks the value.
+func numRange(s []byte, min, max int) (int, bool) {
+	n, ok := num2(s)
+	if !ok || n < min || n > max {
+		return 0, false
+	}
+	return n, true
+}
+
+// daysIn mirrors the standard library's month-length rule, February leap
+// years included.
+func daysIn(m time.Month, year int) int {
+	switch m {
+	case time.January, time.March, time.May, time.July, time.August, time.October, time.December:
+		return 31
+	case time.February:
+		if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+			return 29
+		}
+		return 28
+	default:
+		return 30
+	}
+}
+
+// atoiBytes mirrors strconv.Atoi on a byte slice: a digits-only fast path
+// for values that cannot overflow, with strconv.Atoi (one transient string)
+// as the fallback for signs, overflow, and malformed input.
+func atoiBytes(v []byte) (int, error) {
+	if n, ok := digitsFast(v, 9); ok {
+		return int(n), nil
+	}
+	return strconv.Atoi(string(v))
+}
+
+// parseInt64Bytes mirrors strconv.ParseInt(v, 10, 64) the same way.
+func parseInt64Bytes(v []byte) (int64, error) {
+	if n, ok := digitsFast(v, 18); ok {
+		return n, nil
+	}
+	return strconv.ParseInt(string(v), 10, 64)
+}
+
+// digitsFast parses an unsigned all-digit slice of at most maxDigits bytes
+// (chosen so overflow is impossible); anything else defers to strconv.
+func digitsFast(v []byte, maxDigits int) (int64, bool) {
+	if len(v) == 0 || len(v) > maxDigits {
+		return 0, false
+	}
+	var n int64
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}

@@ -1,0 +1,177 @@
+package weblog
+
+import (
+	"reflect"
+
+	"testing"
+	"time"
+)
+
+func TestInternCanonicalizes(t *testing.T) {
+	in := NewIntern()
+	a := in.Bytes([]byte("Googlebot"))
+	b := in.Bytes([]byte("Googlebot"))
+	if a != "Googlebot" || b != "Googlebot" {
+		t.Fatalf("interned values wrong: %q %q", a, b)
+	}
+	if in.Len() != 1 {
+		t.Fatalf("table holds %d entries, want 1", in.Len())
+	}
+	if got := in.String("Googlebot"); got != "Googlebot" {
+		t.Fatalf("String returned %q", got)
+	}
+	if in.Bytes(nil) != "" || in.String("") != "" {
+		t.Fatal("empty values must intern to the empty string")
+	}
+}
+
+func TestInternNeverAliasesInput(t *testing.T) {
+	in := NewIntern()
+	buf := []byte("mutable-value")
+	s := in.Bytes(buf)
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	if s != "mutable-value" {
+		t.Fatalf("interned string changed with its input buffer: %q", s)
+	}
+	if again := in.Bytes([]byte("mutable-value")); again != "mutable-value" {
+		t.Fatalf("canonical lookup broken after input reuse: %q", again)
+	}
+}
+
+func TestInternCapStopsGrowth(t *testing.T) {
+	in := NewInternSize(2)
+	in.Bytes([]byte("a"))
+	in.Bytes([]byte("b"))
+	c := in.Bytes([]byte("c"))
+	if c != "c" {
+		t.Fatalf("over-cap value = %q", c)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("table grew past its cap: %d entries", in.Len())
+	}
+	// Existing entries still resolve.
+	if in.Bytes([]byte("a")) != "a" {
+		t.Fatal("pre-cap entry lost")
+	}
+}
+
+func TestInternNilReceiver(t *testing.T) {
+	var in *Intern
+	if in.Bytes([]byte("x")) != "x" || in.String("y") != "y" || in.Len() != 0 {
+		t.Fatal("nil *Intern must degrade to plain conversion")
+	}
+}
+
+// TestDecodeRowBytesMatchesDecodeRow pins the two row decoders to each
+// other over representative rows: full, ragged, malformed numerics, and
+// malformed timestamps.
+func TestDecodeRowBytesMatchesDecodeRow(t *testing.T) {
+	header := []string{"useragent", "timestamp", "ip_hash", "asn", "sitename", "uri_path",
+		"status", "bytes", "referer", "bot_name", "bot_category"}
+	rows := [][]string{
+		{"ua", "2025-03-01T12:00:00Z", "h1", "AS1", "www", "/robots.txt", "200", "123", "", "BotA", "CatA"},
+		{"ua2", "2025-03-01T12:00:00+02:00", "h2", "AS2", "www", "/x", "404", "-5", "r", "", ""},
+		{"ua3", "2025-03-01T12:00:00Z", "h3", "AS3"}, // ragged
+		{"ua4", "not-a-time", "h4"},
+		{"ua5", "2025-03-01T12:00:00Z", "h5", "AS5", "www", "/x", "xx"},
+		{"ua6", "2025-03-01T12:00:00Z", "h6", "AS6", "www", "/x", "200", "huge"},
+		{"ua7", "2025-02-30T12:00:00Z", "h7"}, // day out of range
+	}
+	schema := ParseCSVHeader(header)
+	var bheader [][]byte
+	for _, h := range header {
+		bheader = append(bheader, []byte(h))
+	}
+	bschema := ParseCSVHeaderBytes(bheader)
+	in := NewIntern()
+	for i, row := range rows {
+		want, werr := schema.DecodeRow(row)
+		var brow [][]byte
+		for _, c := range row {
+			brow = append(brow, []byte(c))
+		}
+		got, gerr := bschema.DecodeRowBytes(brow, in)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("row %d: acceptance diverged: string err=%v, bytes err=%v", i, werr, gerr)
+		}
+		if werr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("row %d diverged:\nstring: %+v\nbytes:  %+v", i, want, got)
+		}
+		// The decoded record must survive the caller scribbling the row.
+		for _, c := range brow {
+			for j := range c {
+				c[j] = 0xFF
+			}
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("row %d: record aliases the row buffer", i)
+		}
+	}
+}
+
+// FuzzParseTimestampBytes differential-fuzzes the strict RFC 3339 fast
+// path against time.Parse: identical acceptance, and identical Time values
+// (deep-equal, so internal representation included) on acceptance.
+func FuzzParseTimestampBytes(f *testing.F) {
+	for _, s := range []string{
+		"2025-03-01T00:00:00Z",
+		"2024-02-29T00:00:00Z",       // leap day
+		"2025-02-29T00:00:00Z",       // not a leap year
+		"2025-03-01T00:00:00+02:00",  // offset: fallback path
+		"2025-03-01T00:00:00.123Z",   // fraction: fallback path
+		"2025-03-01T00:00:00z",       // lowercase z
+		"2025-3-01T00:00:00Z",        // narrow month
+		"9999-12-31T23:59:59Z",       //
+		"0000-01-01T00:00:00Z",       //
+		"2025-03-01T24:00:00Z",       // hour out of range
+		"2025-03-01 00:00:00Z",       // space separator
+		"2025-03-01T00:00:60Z",       // leap second is rejected
+		"2025-03-01T00:00:00-00:00",  //
+		"2025-03-01T00:00:00+23:59Z", // trailing junk
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, gerr := ParseTimestampBytes([]byte(s))
+		want, werr := time.Parse(time.RFC3339, s)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("acceptance diverged on %q: time.Parse err=%v, bytes err=%v", s, werr, gerr)
+		}
+		if werr == nil && !reflect.DeepEqual(want, got) {
+			t.Fatalf("value diverged on %q: time.Parse %v, bytes %v", s, want, got)
+		}
+	})
+}
+
+// FuzzParseCLFTime differential-fuzzes the strict CLF timestamp fast path
+// against time.Parse(clfTimeLayout, ...).UTC().
+func FuzzParseCLFTime(f *testing.F) {
+	for _, s := range []string{
+		"12/Feb/2025:10:30:00 +0000",
+		"12/Feb/2025:10:30:00 -0730",
+		"12/feb/2025:10:30:00 +0000", // lowercase month: fallback accepts
+		"2/Feb/2025:9:30:00 +0000",   // narrow fields: fallback accepts
+		"30/Feb/2025:10:30:00 +0000", // day out of range
+		"29/Feb/2024:23:59:59 +1400",
+		"12/Feb/2025:10:30:00 +2500", // zone hour past the fast path's range
+		"12/Feb/2025:10:30:00+0000",  // missing space
+		"12/Feb/2025:10:30:00 0000",  // missing sign
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, gerr := parseCLFTime([]byte(s))
+		want, werr := time.Parse(clfTimeLayout, s)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("acceptance diverged on %q: time.Parse err=%v, bytes err=%v", s, werr, gerr)
+		}
+		if werr == nil && !reflect.DeepEqual(want.UTC(), got) {
+			t.Fatalf("value diverged on %q: time.Parse %v, bytes %v", s, want.UTC(), got)
+		}
+	})
+}

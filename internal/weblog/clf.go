@@ -2,10 +2,9 @@ package weblog
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 	"time"
 )
 
@@ -66,11 +65,11 @@ func ReadCLF(r io.Reader, opts CLFOptions) (*Dataset, int, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		rec, err := ParseCLFLine(line)
+		rec, err := ParseCLFLineBytes(line, nil)
 		if err != nil {
 			if opts.Strict {
 				return nil, skipped, fmt.Errorf("weblog: CLF line %d: %w", lineNo, err)
@@ -89,7 +88,17 @@ func ReadCLF(r io.Reader, opts CLFOptions) (*Dataset, int, error) {
 
 // ParseCLFLine parses one Common/Combined Log Format line. The client host
 // lands in IPHash (raw; anonymize afterwards, e.g. via CLFOptions.Decorate).
+// It is the string form of ParseCLFLineBytes; both share one
+// implementation, so they accept and reject identical inputs.
 func ParseCLFLine(line string) (Record, error) {
+	return ParseCLFLineBytes([]byte(line), nil)
+}
+
+// ParseCLFLineBytes parses one Common/Combined Log Format line directly
+// from a byte slice — the hot-path form the streaming decoder uses — with
+// the high-repetition columns routed through in (nil means plain copies).
+// The returned Record never aliases line, so callers may reuse the buffer.
+func ParseCLFLineBytes(line []byte, in *Intern) (Record, error) {
 	var rec Record
 
 	// host ident authuser
@@ -97,12 +106,12 @@ func ParseCLFLine(line string) (Record, error) {
 	if !ok {
 		return rec, fmt.Errorf("missing host field")
 	}
-	if host == "" {
+	if len(host) == 0 {
 		// A leading space would otherwise shift every field left and let a
 		// hostless line through (found by FuzzParseCLF).
 		return rec, fmt.Errorf("empty host field")
 	}
-	rec.IPHash = host
+	rec.IPHash = in.Bytes(host)
 	if _, rest, ok = cutSpace(rest); !ok { // ident
 		return rec, fmt.Errorf("missing ident field")
 	}
@@ -114,45 +123,50 @@ func ParseCLFLine(line string) (Record, error) {
 	if len(rest) == 0 || rest[0] != '[' {
 		return rec, fmt.Errorf("missing '[' before timestamp")
 	}
-	end := strings.IndexByte(rest, ']')
+	end := bytes.IndexByte(rest, ']')
 	if end < 0 {
 		return rec, fmt.Errorf("unterminated timestamp")
 	}
-	ts, err := time.Parse(clfTimeLayout, rest[1:end])
+	ts, err := parseCLFTime(rest[1:end])
 	if err != nil {
 		return rec, fmt.Errorf("bad timestamp: %w", err)
 	}
-	rec.Time = ts.UTC()
-	rest = strings.TrimLeft(rest[end+1:], " ")
+	rec.Time = ts
+	rest = trimLeftSpace(rest[end+1:])
 
 	// "METHOD path HTTP/v"
 	reqLine, rest, err := quoted(rest)
 	if err != nil {
 		return rec, fmt.Errorf("request line: %w", err)
 	}
-	parts := strings.Split(reqLine, " ")
-	if len(parts) >= 2 {
-		rec.Path = parts[1]
+	// The path is the second space-separated token (the whole request line
+	// when there is no space at all).
+	if sp := bytes.IndexByte(reqLine, ' '); sp >= 0 {
+		path := reqLine[sp+1:]
+		if sp2 := bytes.IndexByte(path, ' '); sp2 >= 0 {
+			path = path[:sp2]
+		}
+		rec.Path = in.Bytes(path)
 	} else {
-		rec.Path = reqLine
+		rec.Path = in.Bytes(reqLine)
 	}
 
 	// status bytes — cutSpace returns the whole remainder as head when no
 	// space follows, covering tokens at end of line.
-	statusStr, rest, _ := cutSpace(strings.TrimLeft(rest, " "))
-	if statusStr == "" {
+	statusStr, rest, _ := cutSpace(trimLeftSpace(rest))
+	if len(statusStr) == 0 {
 		return rec, fmt.Errorf("missing status")
 	}
-	status, err := strconv.Atoi(statusStr)
+	status, err := atoiBytes(statusStr)
 	if err != nil {
 		return rec, fmt.Errorf("bad status %q", statusStr)
 	}
 	rec.Status = status
 
-	bytesStr, rest, _ := cutSpace(strings.TrimLeft(rest, " "))
-	bytesStr = strings.TrimSpace(bytesStr)
-	if bytesStr != "" && bytesStr != "-" {
-		n, err := strconv.ParseInt(bytesStr, 10, 64)
+	bytesStr, rest, _ := cutSpace(trimLeftSpace(rest))
+	bytesStr = bytes.TrimSpace(bytesStr)
+	if len(bytesStr) != 0 && !bytes.Equal(bytesStr, dashField) {
+		n, err := parseInt64Bytes(bytesStr)
 		if err != nil {
 			return rec, fmt.Errorf("bad bytes %q", bytesStr)
 		}
@@ -160,64 +174,174 @@ func ParseCLFLine(line string) (Record, error) {
 	}
 
 	// Optional Combined extras: "referer" "user-agent".
-	rest = strings.TrimLeft(rest, " ")
-	if rest != "" {
+	rest = trimLeftSpace(rest)
+	if len(rest) != 0 {
 		ref, rest2, err := quoted(rest)
 		if err != nil {
 			return rec, fmt.Errorf("referer: %w", err)
 		}
-		if ref != "-" {
-			rec.Referer = ref
+		if !bytes.Equal(ref, dashField) {
+			rec.Referer = in.Bytes(ref)
 		}
-		rest2 = strings.TrimLeft(rest2, " ")
-		if rest2 != "" {
+		rest2 = trimLeftSpace(rest2)
+		if len(rest2) != 0 {
 			ua, _, err := quoted(rest2)
 			if err != nil {
 				return rec, fmt.Errorf("user agent: %w", err)
 			}
-			if ua != "-" {
-				rec.UserAgent = ua
+			if !bytes.Equal(ua, dashField) {
+				rec.UserAgent = in.Bytes(ua)
 			}
 		}
 	}
 	return rec, nil
 }
 
+// dashField is CLF's "no value" marker.
+var dashField = []byte("-")
+
 // cutSpace splits at the first space.
-func cutSpace(s string) (head, rest string, ok bool) {
-	i := strings.IndexByte(s, ' ')
+func cutSpace(s []byte) (head, rest []byte, ok bool) {
+	i := bytes.IndexByte(s, ' ')
 	if i < 0 {
-		return s, "", false
+		return s, nil, false
 	}
 	return s[:i], s[i+1:], true
 }
 
-// quoted parses a leading double-quoted field, handling backslash escapes
-// the way httpd writes them (\" and \\).
-func quoted(s string) (value, rest string, err error) {
-	if len(s) == 0 || s[0] != '"' {
-		return "", "", fmt.Errorf("missing opening quote")
+// trimLeftSpace drops leading ' ' bytes (the only padding CLF uses).
+func trimLeftSpace(s []byte) []byte {
+	for len(s) > 0 && s[0] == ' ' {
+		s = s[1:]
 	}
-	var b strings.Builder
+	return s
+}
+
+// quoted parses a leading double-quoted field, handling backslash escapes
+// the way httpd writes them (\" and \\). The returned value aliases s when
+// the field has no escapes (the common case — zero copies) and is a fresh
+// buffer otherwise; callers must copy (or intern) before retaining it.
+func quoted(s []byte) (value, rest []byte, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return nil, nil, fmt.Errorf("missing opening quote")
+	}
+	// Fast path: scan for the closing quote; bail to the unescaping path at
+	// the first backslash.
 	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '"':
+			return s[1:i], s[i+1:], nil
+		case '\\':
+			return quotedEscaped(s, i)
+		}
+		i++
+	}
+	return nil, nil, fmt.Errorf("unterminated quote")
+}
+
+// quotedEscaped finishes parsing a quoted field that contains escapes,
+// building the unescaped value into a fresh buffer. i is the offset of the
+// first backslash.
+func quotedEscaped(s []byte, i int) (value, rest []byte, err error) {
+	buf := append(make([]byte, 0, len(s)-i), s[1:i]...)
 	for i < len(s) {
 		c := s[i]
 		switch c {
 		case '\\':
 			if i+1 < len(s) {
-				b.WriteByte(s[i+1])
+				buf = append(buf, s[i+1])
 				i += 2
 				continue
 			}
-			return "", "", fmt.Errorf("dangling escape")
+			return nil, nil, fmt.Errorf("dangling escape")
 		case '"':
-			return b.String(), s[i+1:], nil
+			return buf, s[i+1:], nil
 		default:
-			b.WriteByte(c)
+			buf = append(buf, c)
 			i++
 		}
 	}
-	return "", "", fmt.Errorf("unterminated quote")
+	return nil, nil, fmt.Errorf("unterminated quote")
+}
+
+// clfMonths are the canonical month abbreviations of the CLF timestamp, in
+// layout order (case-sensitive: the strict fast path accepts exactly what
+// servers emit and defers anything else to time.Parse).
+var clfMonths = [12]string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+// parseCLFTime parses a CLF timestamp ("02/Jan/2006:15:04:05 -0700") into
+// UTC. The strict fast path accepts the canonical fixed-width form with the
+// same field validation time.Parse applies; anything unusual (lenient
+// widths, odd month casing, out-of-range zones) falls back to
+// time.Parse(clfTimeLayout, ...) so acceptance and values are identical to
+// the historical string path on every input.
+func parseCLFTime(s []byte) (time.Time, error) {
+	if t, ok := fastCLFTime(s); ok {
+		return t, nil
+	}
+	t, err := time.Parse(clfTimeLayout, string(s))
+	if err != nil {
+		return time.Time{}, err
+	}
+	return t.UTC(), nil
+}
+
+// fastCLFTime is the strict zero-allocation CLF timestamp path.
+func fastCLFTime(s []byte) (time.Time, bool) {
+	if len(s) != len("02/Jan/2006:15:04:05 -0700") {
+		return time.Time{}, false
+	}
+	if s[2] != '/' || s[6] != '/' || s[11] != ':' || s[14] != ':' || s[17] != ':' || s[20] != ' ' {
+		return time.Time{}, false
+	}
+	month := 0
+	for i, m := range clfMonths {
+		if s[3] == m[0] && s[4] == m[1] && s[5] == m[2] {
+			month = i + 1
+			break
+		}
+	}
+	if month == 0 {
+		return time.Time{}, false
+	}
+	year, ok := num4(s[7:11])
+	if !ok {
+		return time.Time{}, false
+	}
+	day, ok := numRange(s[0:2], 1, daysIn(time.Month(month), year))
+	if !ok {
+		return time.Time{}, false
+	}
+	hour, ok := numRange(s[12:14], 0, 23)
+	if !ok {
+		return time.Time{}, false
+	}
+	min, ok := numRange(s[15:17], 0, 59)
+	if !ok {
+		return time.Time{}, false
+	}
+	sec, ok := numRange(s[18:20], 0, 59)
+	if !ok {
+		return time.Time{}, false
+	}
+	if s[21] != '+' && s[21] != '-' {
+		return time.Time{}, false
+	}
+	zh, ok := numRange(s[22:24], 0, 23)
+	if !ok {
+		return time.Time{}, false
+	}
+	zm, ok := numRange(s[24:26], 0, 59)
+	if !ok {
+		return time.Time{}, false
+	}
+	offset := zh*3600 + zm*60
+	if s[21] == '-' {
+		offset = -offset
+	}
+	t := time.Date(year, time.Month(month), day, hour, min, sec, 0, time.UTC)
+	return t.Add(-time.Duration(offset) * time.Second), true
 }
 
 // WriteCLF exports a dataset as Combined Log Format, the inverse of

@@ -15,7 +15,9 @@ type Preprocessor struct {
 	// and must be excluded for privacy.
 	InternalASNs map[string]struct{}
 	// ScannerUAFragments drops any record whose user agent contains one of
-	// these substrings (case-insensitive): vulnerability scanners etc.
+	// these substrings under ASCII case folding: vulnerability scanners
+	// etc. Fragments should be lowercase (uppercase fragment bytes never
+	// match, as before — the record's user agent is the folded side).
 	ScannerUAFragments []string
 	// Enrich, if non-nil, is called for every surviving record to fill
 	// BotName/Category (typically agent.Matcher-backed).
@@ -61,24 +63,57 @@ func (p *Preprocessor) BlockInternalASN(handle string) {
 // synchronized).
 func (p *Preprocessor) Keep(r *Record) bool { return p.keep(r) }
 
-// keep applies the drop rules to one record.
+// keep applies the drop rules to one record. It is allocation-free: this
+// is the streaming dispatcher's per-record filter, so the user-agent scan
+// folds case byte-wise instead of lowering the whole string.
 func (p *Preprocessor) keep(r *Record) bool {
 	if _, blocked := p.BlockedIPHashes[r.IPHash]; blocked {
 		p.Dropped.BlockedIP++
 		return false
 	}
-	if _, internal := p.InternalASNs[strings.ToUpper(r.ASN)]; internal {
-		p.Dropped.InternalASN++
-		return false
+	if len(p.InternalASNs) > 0 {
+		if _, internal := p.InternalASNs[strings.ToUpper(r.ASN)]; internal {
+			p.Dropped.InternalASN++
+			return false
+		}
 	}
-	ua := strings.ToLower(r.UserAgent)
 	for _, frag := range p.ScannerUAFragments {
-		if strings.Contains(ua, frag) {
+		if containsASCIIFold(r.UserAgent, frag) {
 			p.Dropped.ScannerUA++
 			return false
 		}
 	}
 	return true
+}
+
+// containsASCIIFold reports whether ASCII-lowercasing s makes frag a
+// substring — the allocation-free equivalent of
+// strings.Contains(strings.ToLower(s), frag) for the ASCII fragments the
+// scanner list holds (frag bytes are compared literally, so an uppercase
+// fragment byte never matches, exactly as before).
+func containsASCIIFold(s, frag string) bool {
+	n := len(frag)
+	if n == 0 {
+		return true
+	}
+	for i := 0; i+n <= len(s); i++ {
+		j := 0
+		for j < n && lowerASCII(s[i+j]) == frag[j] {
+			j++
+		}
+		if j == n {
+			return true
+		}
+	}
+	return false
+}
+
+// lowerASCII folds one ASCII byte to lowercase.
+func lowerASCII(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
 }
 
 // Run filters and enriches the dataset, returning a new dataset; the input

@@ -1,6 +1,9 @@
 package weblog
 
 import (
+	"fmt"
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -83,4 +86,201 @@ func TestFuzzSeedTimestampsParse(t *testing.T) {
 	if _, err := time.Parse(clfTimeLayout, "12/Feb/2025:10:30:00 +0000"); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// referenceParseCLFLine is the pre-refactor string-based CLF parser,
+// frozen verbatim as the independent reference implementation for the
+// differential fuzz below. The production ParseCLFLine now delegates to
+// ParseCLFLineBytes, so without this copy a string-vs-bytes comparison
+// would be tautological — a tokenization bug in the []byte rewrite would
+// corrupt both sides identically and never fire.
+func referenceParseCLFLine(line string) (Record, error) {
+	var rec Record
+
+	// host ident authuser
+	host, rest, ok := refCutSpace(line)
+	if !ok {
+		return rec, fmt.Errorf("missing host field")
+	}
+	if host == "" {
+		return rec, fmt.Errorf("empty host field")
+	}
+	rec.IPHash = host
+	if _, rest, ok = refCutSpace(rest); !ok { // ident
+		return rec, fmt.Errorf("missing ident field")
+	}
+	if _, rest, ok = refCutSpace(rest); !ok { // authuser
+		return rec, fmt.Errorf("missing authuser field")
+	}
+
+	// [timestamp]
+	if len(rest) == 0 || rest[0] != '[' {
+		return rec, fmt.Errorf("missing '[' before timestamp")
+	}
+	end := strings.IndexByte(rest, ']')
+	if end < 0 {
+		return rec, fmt.Errorf("unterminated timestamp")
+	}
+	ts, err := time.Parse(clfTimeLayout, rest[1:end])
+	if err != nil {
+		return rec, fmt.Errorf("bad timestamp: %w", err)
+	}
+	rec.Time = ts.UTC()
+	rest = strings.TrimLeft(rest[end+1:], " ")
+
+	// "METHOD path HTTP/v"
+	reqLine, rest, err := refQuoted(rest)
+	if err != nil {
+		return rec, fmt.Errorf("request line: %w", err)
+	}
+	parts := strings.Split(reqLine, " ")
+	if len(parts) >= 2 {
+		rec.Path = parts[1]
+	} else {
+		rec.Path = reqLine
+	}
+
+	// status bytes
+	statusStr, rest, _ := refCutSpace(strings.TrimLeft(rest, " "))
+	if statusStr == "" {
+		return rec, fmt.Errorf("missing status")
+	}
+	status, err := strconv.Atoi(statusStr)
+	if err != nil {
+		return rec, fmt.Errorf("bad status %q", statusStr)
+	}
+	rec.Status = status
+
+	bytesStr, rest, _ := refCutSpace(strings.TrimLeft(rest, " "))
+	bytesStr = strings.TrimSpace(bytesStr)
+	if bytesStr != "" && bytesStr != "-" {
+		n, err := strconv.ParseInt(bytesStr, 10, 64)
+		if err != nil {
+			return rec, fmt.Errorf("bad bytes %q", bytesStr)
+		}
+		rec.Bytes = n
+	}
+
+	// Optional Combined extras: "referer" "user-agent".
+	rest = strings.TrimLeft(rest, " ")
+	if rest != "" {
+		ref, rest2, err := refQuoted(rest)
+		if err != nil {
+			return rec, fmt.Errorf("referer: %w", err)
+		}
+		if ref != "-" {
+			rec.Referer = ref
+		}
+		rest2 = strings.TrimLeft(rest2, " ")
+		if rest2 != "" {
+			ua, _, err := refQuoted(rest2)
+			if err != nil {
+				return rec, fmt.Errorf("user agent: %w", err)
+			}
+			if ua != "-" {
+				rec.UserAgent = ua
+			}
+		}
+	}
+	return rec, nil
+}
+
+// refCutSpace is the reference parser's split-at-first-space.
+func refCutSpace(s string) (head, rest string, ok bool) {
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// refQuoted is the reference parser's quoted-field scanner.
+func refQuoted(s string) (value, rest string, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("missing opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '\\':
+			if i+1 < len(s) {
+				b.WriteByte(s[i+1])
+				i += 2
+				continue
+			}
+			return "", "", fmt.Errorf("dangling escape")
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote")
+}
+
+// FuzzParseCLFBytes differential-fuzzes the []byte-native CLF parser (with
+// interning, over a reused input buffer) against the frozen pre-refactor
+// string parser above: identical acceptance and identical records on every
+// input, and no record field may alias the input buffer after the parser
+// returns. ParseCLFLine itself (a thin wrapper over the bytes form) is
+// checked against the same reference in passing.
+func FuzzParseCLFBytes(f *testing.F) {
+	f.Add(`198.51.100.7 - - [12/Feb/2025:10:30:00 +0000] "GET /page-data/app.json HTTP/1.1" 200 1234 "-" "Mozilla/5.0 (compatible; GPTBot/1.2)"`)
+	f.Add(`10.0.0.1 - - [12/Feb/2025:10:30:00 +0000] "GET / HTTP/1.1" 404 -`)
+	f.Add(`host - - [12/Feb/2025:10:30:00 +0000] "esc\"aped path" 200 5 "r\\ef" "u\"a"`)
+	f.Add(`host - - [12/feb/2025:9:30:00 +0000] "GET /x HTTP/1.1" 200 5`)
+	f.Add(`bad line`)
+	in := NewIntern()
+	f.Fuzz(func(t *testing.T, line string) {
+		want, werr := referenceParseCLFLine(line)
+		buf := []byte(line)
+		got, gerr := ParseCLFLineBytes(buf, in)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("acceptance diverged on %q: reference err=%v, bytes err=%v", line, werr, gerr)
+		}
+		wrapped, werr2 := ParseCLFLine(line)
+		if (werr2 == nil) != (werr == nil) {
+			t.Fatalf("acceptance diverged on %q: reference err=%v, wrapper err=%v", line, werr, werr2)
+		}
+		if werr != nil {
+			return
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("record diverged on %q:\nreference: %+v\nbytes:     %+v", line, want, got)
+		}
+		if !reflect.DeepEqual(want, wrapped) {
+			t.Fatalf("wrapper diverged from reference on %q", line)
+		}
+		// The decoder reuses its scanner buffer between lines; scribbling
+		// the input must not reach into the parsed record (want was parsed
+		// from an untouched copy of the same line).
+		for i := range buf {
+			buf[i] ^= 0xA5
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("record aliases the input buffer on %q", line)
+		}
+	})
+}
+
+// FuzzParseJSONLBytes differential-fuzzes the interning JSONL parser
+// against the plain one.
+func FuzzParseJSONLBytes(f *testing.F) {
+	f.Add([]byte(`{"useragent":"bot","timestamp":"2025-03-01T00:00:00Z","ip_hash":"h1","asn":"AS","sitename":"www","uri_path":"/x","status":200,"bytes":10}`))
+	f.Add([]byte(`{"useragent":"bot"`))
+	f.Add([]byte(`{"timestamp":"not a time"}`))
+	in := NewIntern()
+	f.Fuzz(func(t *testing.T, b []byte) {
+		want, werr := ParseJSONLLine(b)
+		got, gerr := ParseJSONLLineBytes(b, in)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("acceptance diverged: plain err=%v, interned err=%v", werr, gerr)
+		}
+		if werr == nil && !reflect.DeepEqual(want, got) {
+			t.Fatalf("record diverged:\nplain:    %+v\ninterned: %+v", want, got)
+		}
+	})
 }

@@ -1,0 +1,93 @@
+package weblog
+
+// Intern is a scoped string-interning table for the high-repetition columns
+// of an access-log stream: user agent, client host, ASN, sitename, path,
+// referer, and the enrichment labels. A log stream carries thousands of
+// distinct values for these columns across millions of records, so mapping
+// each freshly parsed []byte field onto one canonical string turns the
+// per-record string allocations of the decode hot path into map lookups
+// that allocate nothing at all (the Go compiler recognizes the
+// map[string(b)] form and skips the conversion).
+//
+// The table is scoped to one decoding session — each streaming decoder owns
+// its own — so its lifetime, and therefore the lifetime of every canonical
+// string it pins, is the stream's. Growth is capped: past MaxEntries the
+// table stops admitting new values and falls back to plain allocation, so
+// an adversarial stream of unique values degrades to the un-interned cost
+// instead of unbounded memory. An Intern is NOT safe for concurrent use;
+// decoders run on the single dispatcher goroutine.
+//
+// Interning never changes parse results: canonical strings are
+// byte-identical copies of the input, only their backing allocation is
+// shared (the differential parser fuzz tests pin this down).
+type Intern struct {
+	m   map[string]string
+	max int
+}
+
+// DefaultInternEntries caps an interning table built by NewIntern: generous
+// for real column cardinalities (a year of logs has ~10⁴ distinct user
+// agents), small enough that a pathological stream cannot hold more than a
+// table's worth of dead strings live.
+const DefaultInternEntries = 1 << 16
+
+// NewIntern returns an empty table holding at most DefaultInternEntries
+// distinct strings.
+func NewIntern() *Intern {
+	return &Intern{m: make(map[string]string), max: DefaultInternEntries}
+}
+
+// NewInternSize returns an empty table holding at most max distinct
+// strings; max <= 0 means DefaultInternEntries.
+func NewInternSize(max int) *Intern {
+	if max <= 0 {
+		max = DefaultInternEntries
+	}
+	return &Intern{m: make(map[string]string), max: max}
+}
+
+// Bytes returns the canonical string equal to b, copying b only the first
+// time a value is seen (or on every call once the table is full). The
+// result never aliases b's backing array, so callers may reuse b freely. A
+// nil *Intern degrades to plain string conversion.
+func (in *Intern) Bytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if in == nil {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok { // compiler elides the conversion
+		return s
+	}
+	s := string(b)
+	if len(in.m) < in.max {
+		in.m[s] = s
+	}
+	return s
+}
+
+// String returns the canonical string equal to s, admitting s itself as
+// the canonical copy when unseen. It lets already-string parse paths
+// (JSONL's encoding/json output) share canonical storage with the []byte
+// paths. A nil *Intern returns s unchanged.
+func (in *Intern) String(s string) string {
+	if s == "" || in == nil {
+		return s
+	}
+	if c, ok := in.m[s]; ok {
+		return c
+	}
+	if len(in.m) < in.max {
+		in.m[s] = s
+	}
+	return s
+}
+
+// Len reports how many distinct strings the table currently holds.
+func (in *Intern) Len() int {
+	if in == nil {
+		return 0
+	}
+	return len(in.m)
+}

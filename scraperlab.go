@@ -89,8 +89,14 @@ type StreamAggregates = stream.Aggregates
 // through the sharded online pipeline and returns compliance aggregates
 // identical to the batch metrics (for input whose timestamp disorder
 // stays within StreamOptions.MaxSkew, default 2 minutes), in
-// O(shards + tuples) memory. Wrap a growing file with NewTailReader to
-// follow it live; cancel ctx to stop and keep the aggregates so far.
+// O(shards + tuples) memory. The hot path is batched and pooled: records
+// move through recycled record batches (StreamOptions.BatchSize, default
+// 256) with byte-slice parsing and string interning, so steady-state
+// ingestion allocates only for genuinely new column values; batch
+// boundaries never affect results, and StreamOptions.FlushInterval bounds
+// how stale a live snapshot can be on a slow stream. Wrap a growing file
+// with NewTailReader to follow it live; cancel ctx to stop and keep the
+// aggregates so far.
 func StreamAnalyze(ctx context.Context, r io.Reader, opts StreamOptions) (*StreamAggregates, error) {
 	return core.StreamAnalyze(ctx, r, opts)
 }

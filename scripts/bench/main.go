@@ -6,12 +6,21 @@
 // smoke check; longer local runs produce comparable points for tracking
 // regressions across PRs.
 //
+// Each point also carries -benchmem-derived deltas against the previous
+// committed point (ns/op, B/op, allocs/op per benchmark), printed to
+// stdout and embedded in the JSON, so the performance trajectory is
+// readable file by file. With -maxregress the run becomes a gate: it fails
+// when the stream path's allocs/op regresses more than the given fraction
+// against the committed baseline — CI runs it at 0.10 (GOMAXPROCS pinned
+// to 1 so the comparison is apples-to-apples with the committed points).
+//
 // Usage:
 //
 //	go run ./scripts/bench                      # default pattern, 1x
 //	go run ./scripts/bench -benchtime 2s        # a real measurement
 //	go run ./scripts/bench -pattern 'Robots'    # any benchmark subset
 //	go run ./scripts/bench -out bench-results   # separate directory
+//	go run ./scripts/bench -maxregress 0.10     # gate on stream allocs/op
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -57,26 +67,45 @@ type Point struct {
 	Benchtime string `json:"benchtime"`
 	// Results are the parsed benchmark lines in output order.
 	Results []Result `json:"results"`
+	// Baseline names the previous point the deltas compare against, when
+	// one exists.
+	Baseline string `json:"baseline,omitempty"`
+	// Deltas maps benchmark name to per-metric fractional change vs the
+	// baseline ((new-old)/old) for the headline metrics ns/op, B/op, and
+	// allocs/op. Negative is an improvement.
+	Deltas map[string]map[string]float64 `json:"deltas,omitempty"`
 }
+
+// deltaMetrics are the metrics the trajectory tracks point to point.
+var deltaMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// gateBenchmark and gateMetric define the regression gate: the streaming
+// hot path's allocation count, the number PR 4 exists to keep down.
+const (
+	gateBenchmark = "BenchmarkStreamVsBatch/stream"
+	gateMetric    = "allocs/op"
+)
 
 func main() {
 	var (
-		pattern   = flag.String("pattern", "StreamVsBatch", "benchmark name pattern passed to -bench")
-		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
-		pkg       = flag.String("pkg", ".", "package to benchmark")
-		outDir    = flag.String("out", ".", "directory receiving BENCH_<n>.json")
-		count     = flag.Int("count", 1, "go test -count value")
+		pattern    = flag.String("pattern", "StreamVsBatch", "benchmark name pattern passed to -bench")
+		benchtime  = flag.String("benchtime", "1x", "go test -benchtime value")
+		pkg        = flag.String("pkg", ".", "package to benchmark")
+		outDir     = flag.String("out", ".", "directory receiving BENCH_<n>.json")
+		count      = flag.Int("count", 1, "go test -count value")
+		baseline   = flag.String("baseline", ".", "directory holding the committed BENCH_<n>.json trajectory to delta against (empty disables)")
+		maxRegress = flag.Float64("maxregress", -1, "fail when "+gateBenchmark+" "+gateMetric+" regresses more than this fraction vs the baseline (negative disables)")
 	)
 	flag.Parse()
-	if err := run(*pattern, *benchtime, *pkg, *outDir, *count); err != nil {
+	if err := run(*pattern, *benchtime, *pkg, *outDir, *count, *baseline, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pattern, benchtime, pkg, outDir string, count int) error {
+func run(pattern, benchtime, pkg, outDir string, count int, baselineDir string, maxRegress float64) error {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", pattern, "-benchtime", benchtime,
+		"-bench", pattern, "-benchtime", benchtime, "-benchmem",
 		"-count", strconv.Itoa(count), pkg)
 	var out bytes.Buffer
 	cmd.Stdout = &out
@@ -103,6 +132,21 @@ func run(pattern, benchtime, pkg, outDir string, count int) error {
 		Benchtime: benchtime,
 		Results:   results,
 	}
+
+	var base *Point
+	var basePath string
+	if baselineDir != "" {
+		base, basePath, err = latestBenchPoint(baselineDir)
+		if err != nil {
+			return err
+		}
+	}
+	if base != nil {
+		point.Baseline = filepath.Base(basePath)
+		point.Deltas = computeDeltas(base, &point)
+		printDeltas(point.Baseline, point.Deltas)
+	}
+
 	path, err := nextBenchPath(outDir)
 	if err != nil {
 		return err
@@ -115,7 +159,131 @@ func run(pattern, benchtime, pkg, outDir string, count int) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+
+	if maxRegress >= 0 && base != nil {
+		if err := gateRegression(base, &point, maxRegress); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// trimProcSuffix normalizes a benchmark name across machines by dropping
+// the -GOMAXPROCS suffix go test appends when GOMAXPROCS > 1.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// metricsByName indexes a point's results by normalized benchmark name.
+func metricsByName(p *Point) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(p.Results))
+	for _, r := range p.Results {
+		out[trimProcSuffix(r.Name)] = r.Metrics
+	}
+	return out
+}
+
+// computeDeltas builds the per-benchmark fractional changes of the
+// headline metrics vs the baseline point.
+func computeDeltas(base, cur *Point) map[string]map[string]float64 {
+	baseBy := metricsByName(base)
+	out := make(map[string]map[string]float64)
+	for _, r := range cur.Results {
+		name := trimProcSuffix(r.Name)
+		bm, ok := baseBy[name]
+		if !ok {
+			continue
+		}
+		for _, metric := range deltaMetrics {
+			nv, haveNew := r.Metrics[metric]
+			bv, haveOld := bm[metric]
+			if !haveNew || !haveOld || bv == 0 {
+				continue
+			}
+			if out[name] == nil {
+				out[name] = make(map[string]float64)
+			}
+			out[name][metric] = (nv - bv) / bv
+		}
+	}
+	return out
+}
+
+// printDeltas renders the trajectory deltas, one line per benchmark.
+func printDeltas(baseline string, deltas map[string]map[string]float64) {
+	names := make([]string, 0, len(deltas))
+	for name := range deltas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("vs %s: %s:", baseline, name)
+		for _, metric := range deltaMetrics {
+			if d, ok := deltas[name][metric]; ok {
+				fmt.Printf(" %s %+.1f%%", metric, 100*d)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// gateRegression fails the run when the stream hot path's allocs/op
+// regressed past the tolerated fraction.
+func gateRegression(base, cur *Point, maxRegress float64) error {
+	baseBy, curBy := metricsByName(base), metricsByName(cur)
+	bv, okB := baseBy[gateBenchmark][gateMetric]
+	nv, okN := curBy[gateBenchmark][gateMetric]
+	if !okB || !okN {
+		return fmt.Errorf("regression gate: %s %s missing from %s",
+			gateBenchmark, gateMetric, map[bool]string{true: "current run", false: "baseline"}[okB])
+	}
+	if bv > 0 && (nv-bv)/bv > maxRegress {
+		return fmt.Errorf("regression gate: %s %s regressed %.1f%% (%.0f -> %.0f), tolerance %.0f%%",
+			gateBenchmark, gateMetric, 100*(nv-bv)/bv, bv, nv, 100*maxRegress)
+	}
+	fmt.Printf("regression gate ok: %s %s %.0f -> %.0f (tolerance %.0f%%)\n",
+		gateBenchmark, gateMetric, bv, nv, 100*maxRegress)
+	return nil
+}
+
+// latestBenchPoint loads the highest-numbered BENCH_<n>.json in dir,
+// returning nil when none exists.
+func latestBenchPoint(dir string) (*Point, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", nil
+		}
+		return nil, "", err
+	}
+	best, bestPath := -1, ""
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n > best {
+			best, bestPath = n, filepath.Join(dir, e.Name())
+		}
+	}
+	if best < 0 {
+		return nil, "", nil
+	}
+	b, err := os.ReadFile(bestPath)
+	if err != nil {
+		return nil, "", err
+	}
+	var p Point
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, "", fmt.Errorf("parsing baseline %s: %w", bestPath, err)
+	}
+	return &p, bestPath, nil
 }
 
 // benchLine matches one `go test -bench` result line.
