@@ -20,6 +20,10 @@
 //	analyze -stream access.csv -analyzers spoof,session
 //	analyze -stream access.csv -experiment phases.json   # live §4 experiment
 //	analyze -stream access.csv -json               # machine-readable snapshot
+//
+//	analyze -stream big.csv -decoders 8            # chunked parallel decode
+//	analyze -inputs 'logs/*.log' -format clf       # multi-source fan-in, one file per site
+//	analyze -inputs 'logs/*.csv' -decoders 16      # fan-in plus per-file chunking
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -53,8 +58,10 @@ func main() {
 		secret   = flag.String("secret", "analyze", "IP anonymizer secret")
 
 		streamPath = flag.String("stream", "", "stream an access log from this path instead of running the synthetic study")
+		inputs     = flag.String("inputs", "", "glob of access logs ingested together through the multi-source fan-in (e.g. 'logs/*.log'; excludes -stream and -follow)")
+		decoders   = flag.Int("decoders", 0, "decoder goroutines: >1 splits the input into record-aligned chunks decoded in parallel (never changes results; one-shot mode only)")
 		format     = flag.String("format", "csv", "stream wire format: csv, jsonl, or clf")
-		site       = flag.String("site", "", "sitename stamped on CLF records (clf format only)")
+		site       = flag.String("site", "", "sitename stamped on CLF records (clf format only; with -inputs, empty means each file's base name)")
 		shards     = flag.Int("shards", 0, "stream worker shards (0 = GOMAXPROCS)")
 		skew       = flag.Duration("skew", stream.DefaultMaxSkew, "max tolerated timestamp disorder (0 = default, negative = trust input order)")
 		batch      = flag.Int("batch", 0, "records per pooled shard batch (0 = default 256, 1 = unbatched; never affects results)")
@@ -68,9 +75,12 @@ func main() {
 	flag.Parse()
 
 	var err error
-	if *streamPath != "" {
+	if *streamPath != "" && *inputs != "" {
+		err = fmt.Errorf("-stream and -inputs are mutually exclusive (use -inputs alone for multi-file runs)")
+	} else if *streamPath != "" || *inputs != "" {
 		err = runStream(os.Stdout, streamConfig{
-			path: *streamPath, format: *format, site: *site,
+			path: *streamPath, inputs: *inputs, decoders: *decoders,
+			format: *format, site: *site,
 			shards: *shards, skew: *skew, batch: *batch, flush: *flush,
 			analyzers:  *analyzers,
 			experiment: *expPath, asJSON: *asJSON,
@@ -129,9 +139,11 @@ func run(w io.Writer, seed int64, scale float64, artifact string, asCSV bool, se
 	return fmt.Errorf("unknown artifact %q; known: table2..table10, figure2..figure11, figures5-8, all", artifact)
 }
 
-// streamConfig carries the -stream flag set.
+// streamConfig carries the -stream/-inputs flag set.
 type streamConfig struct {
 	path, format, site string
+	inputs             string
+	decoders           int
 	shards             int
 	skew               time.Duration
 	batch              int
@@ -143,28 +155,26 @@ type streamConfig struct {
 	interval           time.Duration
 }
 
-// runStream ingests one log file through the online analyzer pipeline and
-// prints each selected analyzer's snapshot. With follow, it tails the
-// file, reprinting the live snapshots every interval until interrupted.
+// runStream ingests one or several log files through the online analyzer
+// pipeline and prints each selected analyzer's snapshot. With follow, it
+// tails a single file, reprinting the live snapshots every interval
+// until interrupted; -inputs globs ingest many files at once through the
+// multi-source fan-in, and -decoders splits inputs into concurrently
+// decoded record-aligned chunks.
 func runStream(w io.Writer, cfg streamConfig) error {
-	f, err := os.Open(cfg.path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
 	if cfg.format == "" {
 		cfg.format = "csv" // match core.StreamAnalyzeAll's default
 	}
 	ctx := context.Background()
 	opts := core.StreamOptions{
-		Format:        cfg.format,
-		Shards:        cfg.shards,
-		MaxSkew:       cfg.skew,
-		BatchSize:     cfg.batch,
-		FlushInterval: cfg.flush,
-		CLF:           weblog.CLFOptions{Site: cfg.site},
-		Analyzers:     parseAnalyzers(cfg.analyzers),
+		Format:            cfg.format,
+		Shards:            cfg.shards,
+		MaxSkew:           cfg.skew,
+		BatchSize:         cfg.batch,
+		FlushInterval:     cfg.flush,
+		DecodeParallelism: cfg.decoders,
+		CLF:               weblog.CLFOptions{Site: cfg.site},
+		Analyzers:         parseAnalyzers(cfg.analyzers),
 	}
 	if cfg.experiment != "" {
 		sched, err := experiment.LoadSchedule(cfg.experiment)
@@ -174,12 +184,40 @@ func runStream(w io.Writer, cfg streamConfig) error {
 		opts.Phases = sched
 	}
 
+	if cfg.inputs != "" {
+		if cfg.follow {
+			return fmt.Errorf("-inputs is one-shot; -follow needs a single -stream file")
+		}
+		paths, err := filepath.Glob(cfg.inputs)
+		if err != nil {
+			return err
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("-inputs %q matched no files", cfg.inputs)
+		}
+		sort.Strings(paths) // source order (and thus tie-breaks) must not depend on FS order
+		res, err := core.StreamAnalyzeAllFiles(ctx, paths, opts)
+		if err != nil {
+			return err
+		}
+		return printResults(w, res, cfg.asJSON)
+	}
+
+	f, err := os.Open(cfg.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
 	if !cfg.follow {
 		res, err := core.StreamAnalyzeAll(ctx, f, opts)
 		if err != nil {
 			return err
 		}
 		return printResults(w, res, cfg.asJSON)
+	}
+	if cfg.decoders > 1 {
+		return fmt.Errorf("-decoders needs a one-shot run; a followed stream decodes serially")
 	}
 
 	// Follow mode: cancel on interrupt, print a live snapshot per tick.

@@ -171,6 +171,114 @@ func TestGoldenStreamPhasedJSON(t *testing.T) {
 	checkGolden(t, "stream_phased_json", buf.Bytes())
 }
 
+// splitStreamFixture rewrites the golden fixture as nParts per-"site"
+// files (round-robin over time order, so each file stays time-sorted),
+// returning the glob matching them. The fixture's timestamps strictly
+// increase, so the fan-in merge must reassemble exactly the original
+// stream.
+func splitStreamFixture(t *testing.T, nParts int) string {
+	t.Helper()
+	src := writeStreamFixture(t)
+	f, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := weblog.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Dir(src)
+	parts := make([]*weblog.Dataset, nParts)
+	for i := range parts {
+		parts[i] = &weblog.Dataset{}
+	}
+	for i, rec := range d.Records {
+		parts[i%nParts].Records = append(parts[i%nParts].Records, rec)
+	}
+	for i, part := range parts {
+		pf, err := os.Create(filepath.Join(dir, fmt.Sprintf("site-%d.csv", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := weblog.WriteCSV(pf, part); err != nil {
+			t.Fatal(err)
+		}
+		pf.Close()
+	}
+	return filepath.Join(dir, "site-*.csv")
+}
+
+// TestGoldenStreamInputsFanIn pins the headline determinism claim at the
+// CLI: the fixture split across three per-site files and ingested via
+// -inputs (with and without extra -decoders chunking) renders the exact
+// bytes the single-file golden run does.
+func TestGoldenStreamInputsFanIn(t *testing.T) {
+	glob := splitStreamFixture(t, 3)
+	for _, decoders := range []int{0, 6} {
+		cfg := goldenStreamConfig("")
+		cfg.inputs = glob
+		cfg.decoders = decoders
+		var buf bytes.Buffer
+		if err := runStream(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "stream_text", buf.Bytes())
+	}
+}
+
+// TestGoldenStreamDecodersInvariance pins that chunked parallel decode
+// of a single file never changes the rendered snapshot.
+func TestGoldenStreamDecodersInvariance(t *testing.T) {
+	path := writeStreamFixture(t)
+	for _, decoders := range []int{2, 4} {
+		cfg := goldenStreamConfig(path)
+		cfg.decoders = decoders
+		var buf bytes.Buffer
+		if err := runStream(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "stream_text", buf.Bytes())
+	}
+}
+
+// TestGoldenStreamPhasedFanIn composes the two PR-spanning features: the
+// phase-partitioned experiment consumed through multi-file fan-in must
+// match the single-file phased golden.
+func TestGoldenStreamPhasedFanIn(t *testing.T) {
+	cfg := goldenStreamConfig("")
+	cfg.inputs = splitStreamFixture(t, 2)
+	cfg.analyzers = "compliance"
+	cfg.experiment = filepath.Join("testdata", "phases.json")
+	var buf bytes.Buffer
+	if err := runStream(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stream_phased_text", buf.Bytes())
+}
+
+// TestInputsFlagContract covers the -inputs flag's error paths: no
+// matches, and the follow-mode exclusions.
+func TestInputsFlagContract(t *testing.T) {
+	cfg := goldenStreamConfig("")
+	cfg.inputs = filepath.Join(t.TempDir(), "no-such-*.csv")
+	if err := runStream(new(bytes.Buffer), cfg); err == nil {
+		t.Fatal("want error for a glob matching nothing")
+	}
+	cfg = goldenStreamConfig("")
+	cfg.inputs = splitStreamFixture(t, 2)
+	cfg.follow = true
+	if err := runStream(new(bytes.Buffer), cfg); err == nil {
+		t.Fatal("want error for -inputs with -follow")
+	}
+	cfg = goldenStreamConfig(writeStreamFixture(t))
+	cfg.follow = true
+	cfg.decoders = 4
+	if err := runStream(new(bytes.Buffer), cfg); err == nil {
+		t.Fatal("want error for -decoders with -follow")
+	}
+}
+
 // TestExperimentRequiresSchedule pins the flag contract: a bad schedule
 // path fails cleanly rather than silently running un-phased.
 func TestExperimentRequiresSchedule(t *testing.T) {

@@ -1,11 +1,14 @@
 // Command loggen generates the study's synthetic web-log datasets: the
 // 40-day observational dataset or one two-week controlled-experiment
-// phase, in CSV or JSONL.
+// phase, in CSV or JSONL — as one merged log, or split into one file per
+// site (the shape real estates produce, and the natural workload for
+// `analyze -inputs 'dir/*.csv'` multi-source ingestion).
 //
 // Usage:
 //
 //	loggen -kind full -scale 0.1 -out logs.csv
 //	loggen -kind study -version v3 -format jsonl -out phase3.jsonl
+//	loggen -kind full -persite logs/          # one time-ordered file per site
 package main
 
 import (
@@ -13,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/robots"
 	"repro/internal/synth"
@@ -28,17 +33,18 @@ func main() {
 		days    = flag.Int("days", 40, "observational window in days (full kind only)")
 		format  = flag.String("format", "csv", "csv or jsonl")
 		out     = flag.String("out", "-", "output file (- = stdout)")
+		persite = flag.String("persite", "", "write one <site>.<format> file per site into this directory instead of -out")
 		secret  = flag.String("secret", "loggen", "IP anonymizer secret")
 	)
 	flag.Parse()
 
-	if err := run(*kind, *version, *seed, *scale, *days, *format, *out, *secret); err != nil {
+	if err := run(*kind, *version, *seed, *scale, *days, *format, *out, *persite, *secret); err != nil {
 		fmt.Fprintln(os.Stderr, "loggen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, version string, seed int64, scale float64, days int, format, out, secret string) error {
+func run(kind, version string, seed int64, scale float64, days int, format, out, persite, secret string) error {
 	gen, err := synth.New(synth.Config{
 		Seed: seed, Scale: scale, Days: days, Secret: []byte(secret),
 	})
@@ -58,6 +64,10 @@ func run(kind, version string, seed int64, scale float64, days int, format, out,
 		d = gen.StudyDataset(v)
 	default:
 		return fmt.Errorf("unknown kind %q (want full or study)", kind)
+	}
+
+	if persite != "" {
+		return writePerSite(persite, format, d)
 	}
 
 	var w io.Writer = os.Stdout
@@ -82,6 +92,63 @@ func run(kind, version string, seed int64, scale float64, days int, format, out,
 	}
 	fmt.Fprintf(os.Stderr, "loggen: wrote %d records\n", d.Len())
 	return nil
+}
+
+// writePerSite splits the dataset by Record.Site, preserving the merged
+// dataset's time order within each file — so every per-site log is
+// itself time-sorted, ready for `analyze -inputs` fan-in ingestion.
+func writePerSite(dir, format string, d *weblog.Dataset) error {
+	if format != "csv" && format != "jsonl" {
+		return fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	bySite := make(map[string]*weblog.Dataset)
+	var order []string
+	for _, rec := range d.Records {
+		sd := bySite[rec.Site]
+		if sd == nil {
+			sd = &weblog.Dataset{}
+			bySite[rec.Site] = sd
+			order = append(order, rec.Site)
+		}
+		sd.Records = append(sd.Records, rec)
+	}
+	for _, site := range order {
+		name := siteFileName(site) + "." + format
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		var werr error
+		if format == "csv" {
+			werr = weblog.WriteCSV(f, bySite[site])
+		} else {
+			werr = weblog.WriteJSONL(f, bySite[site])
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", name, werr)
+		}
+		fmt.Fprintf(os.Stderr, "loggen: wrote %s (%d records)\n",
+			filepath.Join(dir, name), bySite[site].Len())
+	}
+	fmt.Fprintf(os.Stderr, "loggen: wrote %d records across %d site files\n", d.Len(), len(order))
+	return nil
+}
+
+// siteFileName makes a site name safe as a file name (sites are plain
+// hostnames, but an empty or path-ridden name must not escape the
+// directory).
+func siteFileName(site string) string {
+	if site == "" {
+		return "unknown-site"
+	}
+	site = strings.ReplaceAll(site, string(os.PathSeparator), "_")
+	return strings.ReplaceAll(site, "..", "_")
 }
 
 func parseVersion(s string) (robots.Version, error) {

@@ -15,9 +15,13 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/agent"
@@ -149,6 +153,26 @@ type StreamOptions struct {
 	// following a slow log (0 = stream.DefaultFlushInterval, negative =
 	// no background flushing); see stream.Options.FlushInterval.
 	FlushInterval time.Duration
+	// DecodeParallelism is how many decoder goroutines ingest the input:
+	// values above 1 split a single at-rest input into that many
+	// record-aligned chunks decoded concurrently (stream.ChunkSources),
+	// and spread the decoder budget across files in
+	// StreamAnalyzeAllFiles. Chunk and source counts never change
+	// results — every snapshot stays byte-identical to a serial decode
+	// (see DESIGN.md, "Parallel ingestion"). 0 or 1 means the classic
+	// serial decoder; parallel decode needs random access, so an input
+	// that is neither an os.File nor an io.ReaderAt+io.Seeker is
+	// buffered in memory first. Follow mode (tailing a growing log) is
+	// inherently serial and ignores this knob: a stream.TailReader input
+	// always decodes serially, however large the value.
+	//
+	// Memory: chunking one time-ordered file makes later chunks' records
+	// wait in the reorder buffers until earlier chunks drain (exactness
+	// demands the merge), so peak memory grows toward O(input) — the
+	// order batch analysis pays anyway. Fan-in over files that overlap
+	// in time (per-site logs of one estate) keeps the min-watermark
+	// moving and stays in the usual O(skew window) regime.
+	DecodeParallelism int
 	// CLF supplies per-record options for the "clf" format (sitename, ASN
 	// lookup, anonymization).
 	CLF weblog.CLFOptions
@@ -224,6 +248,26 @@ func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*st
 	if len(opts.Analyzers) == 0 {
 		opts.Analyzers = stream.AnalyzerNames
 	}
+	// A followed stream (TailReader) has no size and never ends until
+	// cancellation — buffering it for chunking would hold the whole tail
+	// in memory and return nothing until the very end. Follow mode is
+	// inherently serial; quietly decode it that way.
+	_, following := r.(*stream.TailReader)
+	if opts.DecodeParallelism > 1 && !following {
+		ra, size, err := readerAtSize(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: buffering input for parallel decode: %w", err)
+		}
+		sources, err := stream.ChunkSources(ra, size, streamFormat(opts), opts.DecodeParallelism, opts.CLF)
+		if err != nil {
+			return nil, err
+		}
+		p, err := StreamPipeline(opts)
+		if err != nil {
+			return nil, err
+		}
+		return p.RunSources(ctx, sources)
+	}
 	dec, err := stream.NewDecoder(streamFormat(opts), r, opts.CLF)
 	if err != nil {
 		return nil, err
@@ -233,6 +277,181 @@ func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*st
 		return nil, err
 	}
 	return p.Run(ctx, dec)
+}
+
+// StreamAnalyzeAllFiles runs the online analyzer suite over several log
+// files at once — the paper's true shape, one access log per monitored
+// site — ingesting them through the pipeline's multi-source fan-in:
+// every file decodes on its own goroutine, and a per-source low-watermark
+// merge keeps the merged analysis exact even when the files lag each
+// other arbitrarily (only each file's internal timestamp disorder must
+// stay within MaxSkew). Results are byte-identical to batch-analyzing
+// the records of all files concatenated in paths order and stably
+// sorted by time — independent of goroutine interleaving, shard count,
+// and decoder count. The paths order itself is part of that definition:
+// it breaks equal-timestamp ties (earlier path wins), so callers
+// wanting run-to-run stability should pass a canonical order, as
+// cmd/analyze does by sorting its glob. When
+// opts.DecodeParallelism exceeds the file count, the decoder budget is
+// spread by additionally chunking each file into ⌈budget/files⌉ pieces
+// (stream.ChunkSources). Files decode on concurrent goroutines, so any
+// callbacks opts.CLF carries (ASN lookup, anonymizer) must be safe for
+// concurrent use when more than one file or chunk is in play. All
+// files share one wire format (opts.Format). For the site-less CLF
+// format, each file's records default to the file's base name (minus
+// extension) as their site — set opts.CLF.Site to force one shared
+// label instead.
+//
+// Fan-in width equals the file count: every file is opened up front and
+// decodes on its own goroutine (DecodeParallelism can raise the decoder
+// count via chunking, never lower it below one per file — a source that
+// hasn't started would pin the watermark merge and stall release for
+// everyone). Very large file sets therefore need matching fd-limit
+// headroom; shard-merge the results of several smaller runs instead of
+// fanning in tens of thousands of files at once.
+func StreamAnalyzeAllFiles(ctx context.Context, paths []string, opts StreamOptions) (*stream.Results, error) {
+	if len(opts.Analyzers) == 0 {
+		opts.Analyzers = stream.AnalyzerNames
+	}
+	// Build the pipeline before opening any file: a bad analyzer set or
+	// schedule must not strand opened descriptors (every later error
+	// path closes the sources — fileSources its own, RunSources the
+	// rest).
+	p, err := StreamPipeline(opts)
+	if err != nil {
+		return nil, err
+	}
+	sources, err := fileSources(paths, opts)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p.RunSources(ctx, sources)
+}
+
+// fileSources opens every path and builds the fan-in source set,
+// chunking individual files when the decoder budget exceeds the file
+// count. CLF carries no site column, so when no explicit CLF.Site is
+// configured each file's records are stamped with the file's base name
+// (sans extension) — one log per site is the wire shape fan-in exists
+// for, and a single shared site label would collapse the per-site
+// analyses (cadence site filters, session site lists).
+func fileSources(paths []string, opts StreamOptions) ([]stream.Source, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: no input files")
+	}
+	perFile := 1
+	if opts.DecodeParallelism > len(paths) {
+		// Ceiling division: a budget of 8 over 5 files chunks each file
+		// in two rather than silently flooring back to one decoder per
+		// file and idling the requested cores.
+		perFile = (opts.DecodeParallelism + len(paths) - 1) / len(paths)
+	}
+	siteFor := clfSiteLabels(paths, opts)
+	var sources []stream.Source
+	closeAll := func() {
+		for _, s := range sources {
+			if s.Close != nil {
+				s.Close()
+			}
+		}
+	}
+	for _, path := range paths {
+		clf := opts.CLF
+		if siteFor != nil && clf.Site == "" {
+			clf.Site = siteFor[path]
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if perFile == 1 {
+			dec, err := stream.NewDecoder(streamFormat(opts), f, clf)
+			if err != nil {
+				f.Close()
+				closeAll()
+				return nil, err
+			}
+			sources = append(sources, stream.Source{Name: path, Dec: dec, Close: f.Close})
+			continue
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			closeAll()
+			return nil, err
+		}
+		chunks, err := stream.ChunkSources(f, info.Size(), streamFormat(opts), perFile, clf)
+		if err != nil {
+			f.Close()
+			closeAll()
+			return nil, err
+		}
+		for i := range chunks {
+			chunks[i].Name = path + " " + chunks[i].Name
+		}
+		chunks[0].Close = f.Close // one close per file, on its first chunk
+		sources = append(sources, chunks...)
+	}
+	return sources, nil
+}
+
+// clfSiteLabels derives each CLF file's default site label: the base
+// name sans extension, falling back to the whole path (sans extension)
+// whenever base names collide — per-site directories holding same-named
+// files (logs/cs.example.edu/access.log, logs/law.example.edu/access.log)
+// must not silently collapse into one site. Nil for non-CLF formats.
+func clfSiteLabels(paths []string, opts StreamOptions) map[string]string {
+	if streamFormat(opts) != "clf" {
+		return nil
+	}
+	byBase := make(map[string]string, len(paths))
+	labels := make(map[string]string, len(paths))
+	collide := false
+	for _, path := range paths {
+		base := filepath.Base(path)
+		label := strings.TrimSuffix(base, filepath.Ext(base))
+		if prev, dup := byBase[label]; dup && prev != path {
+			collide = true
+		}
+		byBase[label] = path
+		labels[path] = label
+	}
+	if collide {
+		for _, path := range paths {
+			labels[path] = strings.TrimSuffix(path, filepath.Ext(path))
+		}
+	}
+	return labels
+}
+
+// readerAtSize adapts a stream to the random-access form parallel decode
+// needs: files (and any ReaderAt+Seeker) are used in place — from their
+// CURRENT position, so a partially consumed reader decodes the same
+// remainder the serial path would — and anything else is buffered in
+// memory.
+func readerAtSize(r io.Reader) (io.ReaderAt, int64, error) {
+	type randomAccess interface {
+		io.ReaderAt
+		io.Seeker
+	}
+	if ra, ok := r.(randomAccess); ok {
+		cur, errCur := ra.Seek(0, io.SeekCurrent)
+		size, errEnd := ra.Seek(0, io.SeekEnd)
+		if errCur == nil && errEnd == nil {
+			if cur >= size {
+				return bytes.NewReader(nil), 0, nil
+			}
+			return io.NewSectionReader(ra, cur, size-cur), size - cur, nil
+		}
+		// Fall through to buffering readers that refuse to seek.
+	}
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bytes.NewReader(b), int64(len(b)), nil
 }
 
 // StreamPipeline builds the sharded pipeline the stream facades run, with
@@ -266,6 +485,12 @@ func StreamPipeline(opts StreamOptions) (*stream.Pipeline, error) {
 		// results are identical to the plain matcher.
 		matcher := agent.NewCachedMatcher(nil)
 		sOpts.Keep = pre.Keep
+		// Fan-in runs give each source goroutine its own preprocessor:
+		// the drop rules are pure per record, only the audit counters are
+		// private, so parallel filtering decides identically.
+		sOpts.NewKeep = func() func(*weblog.Record) bool {
+			return weblog.NewPreprocessor().Keep
+		}
 		sOpts.Enrich = func(rec *weblog.Record) {
 			if b, ok := matcher.Match(rec.UserAgent); ok {
 				rec.BotName = b.Name

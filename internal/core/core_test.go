@@ -2,11 +2,18 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/robots"
+	"repro/internal/stream"
 	"repro/internal/weblog"
 )
 
@@ -62,6 +69,247 @@ func TestAuditDataset(t *testing.T) {
 	res := AuditDataset(mk("/page"), mk("/robots.txt"))
 	if len(res) != 3 {
 		t.Fatalf("directives = %d", len(res))
+	}
+}
+
+// streamFixture synthesizes a small deterministic access log: real bot
+// UAs (so the production matcher enriches them), a robots.txt mix, and
+// strictly increasing timestamps.
+func streamFixture(n int) *weblog.Dataset {
+	uas := []string{
+		"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+		"Mozilla/5.0 (compatible; GPTBot/1.2; +https://openai.com/gptbot)",
+		"python-requests/2.31.0",
+	}
+	paths := []string{"/robots.txt", "/page-data/app.json", "/people/a", "/"}
+	t0 := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	d := &weblog.Dataset{}
+	for i := 0; i < n; i++ {
+		d.Records = append(d.Records, weblog.Record{
+			UserAgent: uas[i%len(uas)],
+			Time:      t0.Add(time.Duration(i) * 7 * time.Second),
+			IPHash:    fmt.Sprintf("h%02d", i%5),
+			ASN:       "GOOGLE",
+			Site:      fmt.Sprintf("s%d.edu", i%3),
+			Path:      paths[i%len(paths)],
+			Status:    200, Bytes: int64(100 + i),
+		})
+	}
+	return d
+}
+
+// TestStreamAnalyzeAllFilesMatchesSingle proves the facade-level fan-in
+// contract: per-site files analyzed together equal the single merged
+// log, and DecodeParallelism (both the files path and the buffered
+// io.Reader path) never changes snapshots.
+func TestStreamAnalyzeAllFilesMatchesSingle(t *testing.T) {
+	d := streamFixture(600)
+	dir := t.TempDir()
+
+	// One merged file plus three per-site splits (each time-sorted).
+	merged := filepath.Join(dir, "merged.csv")
+	writeCSVFile(t, merged, d)
+	var paths []string
+	parts := map[string]*weblog.Dataset{}
+	var siteOrder []string
+	for _, rec := range d.Records {
+		if parts[rec.Site] == nil {
+			parts[rec.Site] = &weblog.Dataset{}
+			siteOrder = append(siteOrder, rec.Site)
+		}
+		parts[rec.Site].Records = append(parts[rec.Site].Records, rec)
+	}
+	sort.Strings(siteOrder)
+	for _, site := range siteOrder {
+		p := filepath.Join(dir, site+".csv")
+		writeCSVFile(t, p, parts[site])
+		paths = append(paths, p)
+	}
+
+	mf, err := os.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	want, err := StreamAnalyzeAll(context.Background(), mf, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Records == 0 {
+		t.Fatal("fixture produced no folded records")
+	}
+
+	for _, parallelism := range []int{0, 2, 7} {
+		got, err := StreamAnalyzeAllFiles(context.Background(), paths, StreamOptions{
+			DecodeParallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertStreamResultsEqual(t, want, got, fmt.Sprintf("files parallelism=%d", parallelism))
+	}
+
+	// The buffered-reader path: a non-seekable stream with parallel
+	// decode requested must buffer and still match.
+	var buf strings.Builder
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := StreamAnalyzeAll(context.Background(), onlyReader{strings.NewReader(buf.String())}, StreamOptions{
+		DecodeParallelism: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStreamResultsEqual(t, want, got, "buffered reader parallelism=3")
+
+	if _, err := StreamAnalyzeAllFiles(context.Background(), nil, StreamOptions{}); err == nil {
+		t.Fatal("want error for empty path list")
+	}
+	if _, err := StreamAnalyzeAllFiles(context.Background(), []string{filepath.Join(dir, "absent.csv")}, StreamOptions{}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	// Pipeline construction precedes file opening, so a bad analyzer set
+	// fails before any descriptor exists to leak: the missing-file error
+	// must NOT surface here.
+	_, err = StreamAnalyzeAllFiles(context.Background(),
+		[]string{filepath.Join(dir, "absent.csv")},
+		StreamOptions{Analyzers: []string{"bogus"}})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want the analyzer error before any file open, got %v", err)
+	}
+}
+
+// TestStreamAnalyzeAllPartiallyConsumedReader pins that parallel decode
+// honors the reader's current position: a caller that consumed a
+// prologue must get the same snapshot from the parallel path as from
+// the serial one — not a re-ingestion from byte zero.
+func TestStreamAnalyzeAllPartiallyConsumedReader(t *testing.T) {
+	d := streamFixture(300)
+	var csv strings.Builder
+	if err := weblog.WriteCSV(&csv, d); err != nil {
+		t.Fatal(err)
+	}
+	prologue := "# not part of the log\n"
+	path := filepath.Join(t.TempDir(), "with-prologue.csv")
+	if err := os.WriteFile(path, []byte(prologue+csv.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	open := func() *os.File {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(f, make([]byte, len(prologue))); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	serialF := open()
+	defer serialF.Close()
+	want, err := StreamAnalyzeAll(context.Background(), serialF, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Records == 0 {
+		t.Fatal("serial reference folded nothing")
+	}
+	parallelF := open()
+	defer parallelF.Close()
+	got, err := StreamAnalyzeAll(context.Background(), parallelF, StreamOptions{DecodeParallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStreamResultsEqual(t, want, got, "partially consumed reader, parallelism=3")
+}
+
+// TestStreamAnalyzeAllFilesCLFPerFileSite pins that site-less CLF files
+// keep their per-site identity in a fan-in run: with no explicit
+// CLF.Site, each file's records carry the file's base name as the site
+// (an explicit Site still overrides for every file).
+func TestStreamAnalyzeAllFilesCLFPerFileSite(t *testing.T) {
+	dir := t.TempDir()
+	line := `1.2.3.%d - - [01/Mar/2025:12:0%d:00 +0000] "GET /robots.txt HTTP/1.1" 200 9 "-" "Googlebot/2.1"` + "\n"
+	var paths []string
+	for i, name := range []string{"cs.example.edu.log", "law.example.edu.log"} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(fmt.Sprintf(line, i, i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	// The cadence analyzer's site filter only counts robots.txt checks on
+	// matching sites — exactly the analysis a collapsed site label breaks.
+	run := func(opts StreamOptions) *stream.Results {
+		opts.Format = "clf"
+		opts.Analyzers = []string{stream.AnalyzerCadence}
+		opts.CadenceSites = []string{"cs.example.edu"}
+		res, err := StreamAnalyzeAllFiles(context.Background(), paths, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if stats := run(StreamOptions{}).Cadence().Stats(); len(stats) != 1 || stats[0].Bot != "Googlebot" {
+		t.Fatalf("per-file CLF site attribution lost: cadence stats = %+v", stats)
+	}
+	forced := StreamOptions{CLF: weblog.CLFOptions{Site: "forced"}}
+	if stats := run(forced).Cadence().Stats(); len(stats) != 0 {
+		t.Fatalf("explicit CLF.Site not honored: cadence stats = %+v", stats)
+	}
+
+	// Same-named files in per-site directories must not collapse into
+	// one derived site: colliding base names fall back to path labels.
+	perDir := []string{}
+	for _, site := range []string{"cs.example.edu", "law.example.edu"} {
+		d := filepath.Join(dir, site)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(d, "access.log")
+		if err := os.WriteFile(p, []byte(fmt.Sprintf(line, 7, 7)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		perDir = append(perDir, p)
+	}
+	labels := clfSiteLabels(perDir, StreamOptions{Format: "clf"})
+	if labels[perDir[0]] == labels[perDir[1]] {
+		t.Fatalf("colliding base names collapsed to one site label %q", labels[perDir[0]])
+	}
+}
+
+// onlyReader hides every random-access method of its underlying reader.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// writeCSVFile writes one dataset as CSV at path.
+func writeCSVFile(t *testing.T, path string, d *weblog.Dataset) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := weblog.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertStreamResultsEqual deep-compares two stream snapshots analyzer
+// by analyzer.
+func assertStreamResultsEqual(t *testing.T, want, got *stream.Results, label string) {
+	t.Helper()
+	if want.Records != got.Records {
+		t.Fatalf("%s: records %d != %d", label, got.Records, want.Records)
+	}
+	if !reflect.DeepEqual(want.Names(), got.Names()) {
+		t.Fatalf("%s: analyzer sets diverged", label)
+	}
+	for _, name := range want.Names() {
+		if !reflect.DeepEqual(want.Get(name), got.Get(name)) {
+			t.Fatalf("%s: analyzer %q snapshot diverged", label, name)
+		}
 	}
 }
 

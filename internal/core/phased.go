@@ -38,6 +38,12 @@ type LivePhasedOptions struct {
 	Seed int64
 	// Shards is the pipeline worker-pool width (0 = GOMAXPROCS).
 	Shards int
+	// MaxSkew bounds tolerated timestamp disorder in the collected
+	// stream (0 = the stream default, negative = trust collector order);
+	// see StreamOptions.MaxSkew. Concurrent request handlers can log
+	// with slightly interleaved virtual timestamps, which the default
+	// window absorbs.
+	MaxSkew time.Duration
 	// BatchSize is the pipeline's pooled record-batch size (0 = the
 	// stream default); see StreamOptions.BatchSize.
 	BatchSize int
@@ -198,6 +204,7 @@ func LivePhasedExperiment(ctx context.Context, opts LivePhasedOptions) (*LivePha
 func phasedPipeline(sched *experiment.Schedule, names []string, opts LivePhasedOptions) (*stream.Pipeline, error) {
 	return StreamPipeline(StreamOptions{
 		Shards:        opts.Shards,
+		MaxSkew:       opts.MaxSkew,
 		BatchSize:     opts.BatchSize,
 		FlushInterval: opts.FlushInterval,
 		Analyzers:     names,

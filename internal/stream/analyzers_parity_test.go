@@ -109,69 +109,96 @@ func runAllAnalyzers(t *testing.T, d *weblog.Dataset, shards int, skew time.Dura
 	return res
 }
 
+// batchWants holds every batch analyzer's ground truth for one dataset,
+// shared by the single-stream and multi-source parity suites.
+type batchWants struct {
+	log      *checkfreq.Log
+	stats    []checkfreq.BotStats
+	byCat    []checkfreq.CategoryProportion
+	findings []spoof.Finding
+	counts   spoof.Counts
+	evidence *spoof.Evidence
+	sessions *session.Summary
+	comp     map[compliance.Directive]compliance.Summary
+}
+
+// computeBatchWants runs the whole batch methodology over a raw dataset
+// (preprocessing included) and sanity-checks that the fixture exercises
+// the spoof and session analyses non-vacuously.
+func computeBatchWants(t *testing.T, d *weblog.Dataset) batchWants {
+	t.Helper()
+	batch := enrichBatch(d) // the preprocessed ground-truth dataset
+	w := batchWants{}
+	w.log = checkfreq.Collect(batch, nil)
+	w.stats = w.log.Stats(nil) // sorts the log's check lists in place
+	w.byCat = checkfreq.ByCategory(w.stats, nil)
+	var det spoof.Detector
+	w.findings = det.Detect(batch)
+	w.counts = det.CountSplit(batch)
+	w.evidence = spoof.Gather(batch)
+	w.sessions = session.Summarize(session.Sessionize(batch, session.DefaultGap))
+	w.comp = batchSummaries(d, compliance.DefaultConfig())
+
+	if len(w.findings) == 0 {
+		t.Fatal("fixture produced no spoof findings; the spoof parity check would be vacuous")
+	}
+	if w.sessions.Sessions == 0 || w.sessions.Sessions == w.sessions.Accesses {
+		t.Fatalf("fixture produced degenerate sessions: %d sessions over %d accesses",
+			w.sessions.Sessions, w.sessions.Accesses)
+	}
+	return w
+}
+
+// assertAllAnalyzerParity requires every analyzer snapshot in res to be
+// byte-identical to the batch ground truth.
+func assertAllAnalyzerParity(t *testing.T, want batchWants, res *Results, label string) {
+	t.Helper()
+	cad := res.Cadence()
+	if got := cad.Stats(); !reflect.DeepEqual(got, want.stats) {
+		t.Fatalf("%s: cadence stats diverged\nbatch:  %+v\nstream: %+v", label, want.stats, got)
+	}
+	// Stats sorted both logs' check lists, so the merged intermediate
+	// itself must now equal the batch Collect output too.
+	if !reflect.DeepEqual(cad.Log, want.log) {
+		t.Fatalf("%s: cadence log diverged from checkfreq.Collect", label)
+	}
+	if got := cad.ByCategory(); !reflect.DeepEqual(got, want.byCat) {
+		t.Fatalf("%s: cadence categories diverged\nbatch:  %+v\nstream: %+v", label, want.byCat, got)
+	}
+
+	sp := res.Spoof()
+	if !reflect.DeepEqual(sp.Evidence, want.evidence) {
+		t.Fatalf("%s: spoof evidence diverged from spoof.Gather", label)
+	}
+	if !reflect.DeepEqual(sp.Findings, want.findings) {
+		t.Fatalf("%s: spoof findings diverged\nbatch:  %+v\nstream: %+v", label, want.findings, sp.Findings)
+	}
+	if sp.Counts != want.counts {
+		t.Fatalf("%s: spoof counts diverged: batch %+v, stream %+v", label, want.counts, sp.Counts)
+	}
+
+	if got := res.Sessions(); !reflect.DeepEqual(got, want.sessions) {
+		t.Fatalf("%s: session summary diverged\nbatch:  %+v\nstream: %+v", label, want.sessions, got)
+	}
+
+	gotComp := make(map[compliance.Directive]compliance.Summary)
+	for _, dir := range compliance.Directives {
+		gotComp[dir] = res.Compliance().Summary(dir)
+	}
+	assertSummariesEqual(t, want.comp, gotComp, label)
+}
+
 // TestStreamAnalyzerParity is the multi-analyzer acceptance test: on a
 // ≥100k-record dataset with ±45s timestamp jitter, the streaming cadence,
 // spoof, session, and compliance snapshots must be byte-identical to
 // their batch counterparts for every shard count in {1, 4, 7}.
 func TestStreamAnalyzerParity(t *testing.T) {
 	d := makeBursty(parityN(t), 21, 45*time.Second)
-	batch := enrichBatch(d) // the preprocessed ground-truth dataset
-
-	wantLog := checkfreq.Collect(batch, nil)
-	wantStats := wantLog.Stats(nil) // sorts wantLog's check lists in place
-	wantByCat := checkfreq.ByCategory(wantStats, nil)
-	var det spoof.Detector
-	wantFindings := det.Detect(batch)
-	wantCounts := det.CountSplit(batch)
-	wantEvidence := spoof.Gather(batch)
-	wantSessions := session.Summarize(session.Sessionize(batch, session.DefaultGap))
-	wantComp := batchSummaries(d, compliance.DefaultConfig())
-
-	if len(wantFindings) == 0 {
-		t.Fatal("fixture produced no spoof findings; the spoof parity check would be vacuous")
-	}
-	if wantSessions.Sessions == 0 || wantSessions.Sessions == wantSessions.Accesses {
-		t.Fatalf("fixture produced degenerate sessions: %d sessions over %d accesses",
-			wantSessions.Sessions, wantSessions.Accesses)
-	}
-
+	want := computeBatchWants(t, d)
 	for _, shards := range []int{1, 4, 7} {
 		label := fmt.Sprintf("shards=%d", shards)
 		res := runAllAnalyzers(t, d, shards, 2*time.Minute)
-
-		cad := res.Cadence()
-		if got := cad.Stats(); !reflect.DeepEqual(got, wantStats) {
-			t.Fatalf("%s: cadence stats diverged\nbatch:  %+v\nstream: %+v", label, wantStats, got)
-		}
-		// Stats sorted both logs' check lists, so the merged intermediate
-		// itself must now equal the batch Collect output too.
-		if !reflect.DeepEqual(cad.Log, wantLog) {
-			t.Fatalf("%s: cadence log diverged from checkfreq.Collect", label)
-		}
-		if got := cad.ByCategory(); !reflect.DeepEqual(got, wantByCat) {
-			t.Fatalf("%s: cadence categories diverged\nbatch:  %+v\nstream: %+v", label, wantByCat, got)
-		}
-
-		sp := res.Spoof()
-		if !reflect.DeepEqual(sp.Evidence, wantEvidence) {
-			t.Fatalf("%s: spoof evidence diverged from spoof.Gather", label)
-		}
-		if !reflect.DeepEqual(sp.Findings, wantFindings) {
-			t.Fatalf("%s: spoof findings diverged\nbatch:  %+v\nstream: %+v", label, wantFindings, sp.Findings)
-		}
-		if sp.Counts != wantCounts {
-			t.Fatalf("%s: spoof counts diverged: batch %+v, stream %+v", label, wantCounts, sp.Counts)
-		}
-
-		if got := res.Sessions(); !reflect.DeepEqual(got, wantSessions) {
-			t.Fatalf("%s: session summary diverged\nbatch:  %+v\nstream: %+v", label, wantSessions, got)
-		}
-
-		gotComp := make(map[compliance.Directive]compliance.Summary)
-		for _, dir := range compliance.Directives {
-			gotComp[dir] = res.Compliance().Summary(dir)
-		}
-		assertSummariesEqual(t, wantComp, gotComp, label)
+		assertAllAnalyzerParity(t, want, res, label)
 	}
 }
 

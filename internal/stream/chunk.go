@@ -1,0 +1,227 @@
+// chunk.go is the chunked-parallel-decode half of the parallel ingestion
+// front-end: it splits one large at-rest log into record-aligned byte
+// ranges that decode concurrently as independent RunSources sources.
+// Alignment is what keeps the split invisible: CLF and JSONL are line
+// framed, so any newline is a record boundary; CSV records may span
+// lines inside quoted fields, so CSV boundaries are chosen framer-aware
+// — at newlines where every preceding quote has closed — and the header
+// record is parsed once and shared with every chunk's decoder. Chunk
+// index order equals file order, so the per-source sequence numbers
+// RunSources assigns reproduce the serial decode's record order exactly
+// (see DESIGN.md, "Parallel ingestion").
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/weblog"
+)
+
+// chunkScanWindow is the read granularity of the line-aligned boundary
+// search.
+const chunkScanWindow = 64 * 1024
+
+// ChunkSources splits size bytes of r into up to n record-aligned chunks
+// of roughly equal size, each wrapped in a Source whose decoder handles
+// only its own byte range — the single-file parallel decode path, fed to
+// Pipeline.RunSources. Fewer than n chunks come back when the input is
+// too small to split (boundaries that coincide are merged); n <= 1, or a
+// format that cannot be split, yields a single source over the whole
+// range. The concatenated chunk decodes yield exactly the records of a
+// whole-file decode, in the same order, for well-formed input of any of
+// the three wire formats; on malformed input each chunk's decoder
+// surfaces its own error, so which records precede the failure may
+// differ from the serial decode. The clf options value is shared by
+// every chunk's decoder running concurrently — any callbacks it carries
+// (ASN lookup, anonymizer) must be safe for concurrent use when n > 1.
+func ChunkSources(r io.ReaderAt, size int64, format string, n int, clf weblog.CLFOptions) ([]Source, error) {
+	if n < 1 {
+		n = 1
+	}
+	single := func() ([]Source, error) {
+		dec, err := NewDecoder(format, io.NewSectionReader(r, 0, size), clf)
+		if err != nil {
+			return nil, err
+		}
+		return []Source{{Name: "chunk 1/1", Dec: dec}}, nil
+	}
+	switch format {
+	case "jsonl", "clf":
+		if n == 1 {
+			return single()
+		}
+		bounds, err := lineAlignedOffsets(r, size, n)
+		if err != nil {
+			return nil, fmt.Errorf("stream: splitting %s input: %w", format, err)
+		}
+		sources := make([]Source, 0, len(bounds)-1)
+		for i := 0; i+1 < len(bounds); i++ {
+			dec, err := NewDecoder(format, io.NewSectionReader(r, bounds[i], bounds[i+1]-bounds[i]), clf)
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, Source{
+				Name: fmt.Sprintf("chunk %d/%d", i+1, len(bounds)-1),
+				Dec:  dec,
+			})
+		}
+		return sources, nil
+	case "csv":
+		if n == 1 {
+			return single() // skip the parity pre-scan: nothing to split
+		}
+		headerEnd, bounds, err := csvChunkOffsets(r, size, n)
+		if err != nil {
+			return nil, fmt.Errorf("stream: splitting csv input: %w", err)
+		}
+		if headerEnd == 0 {
+			return single() // empty input: one decoder that reports EOF
+		}
+		sc := newCSVScanner(io.NewSectionReader(r, 0, headerEnd))
+		header, err := sc.next()
+		if err != nil {
+			if err == io.EOF {
+				return single()
+			}
+			return nil, fmt.Errorf("stream: reading CSV header: %w", err)
+		}
+		schema := weblog.ParseCSVHeaderBytes(header)
+		// csvChunkOffsets always yields >= 2 bounds, so at least one
+		// chunk comes back — a header-only file gets one empty section.
+		sources := make([]Source, 0, len(bounds)-1)
+		for i := 0; i+1 < len(bounds); i++ {
+			sources = append(sources, Source{
+				Name: fmt.Sprintf("chunk %d/%d", i+1, len(bounds)-1),
+				Dec:  NewCSVDecoderSchema(io.NewSectionReader(r, bounds[i], bounds[i+1]-bounds[i]), schema),
+			})
+		}
+		return sources, nil
+	default:
+		return nil, fmt.Errorf("stream: unknown format %q (want csv, jsonl, or clf)", format)
+	}
+}
+
+// ChunkBytes is ChunkSources over an in-memory input.
+func ChunkBytes(data []byte, format string, n int, clf weblog.CLFOptions) ([]Source, error) {
+	return ChunkSources(bytes.NewReader(data), int64(len(data)), format, n, clf)
+}
+
+// lineAlignedOffsets picks up to n-1 chunk boundaries in [0, size) at
+// the first newline at or past each equal-spaced target, returning the
+// strictly increasing offsets including both ends. A boundary always sits
+// just after a '\n', so line-framed decoders (JSONL, CLF) see whole lines
+// only; a final line without a trailing newline stays in the last chunk.
+func lineAlignedOffsets(r io.ReaderAt, size int64, n int) ([]int64, error) {
+	offs := []int64{0}
+	buf := make([]byte, chunkScanWindow)
+	for i := 1; i < n; i++ {
+		target := size * int64(i) / int64(n)
+		if target <= offs[len(offs)-1] {
+			continue
+		}
+		b, err := nextNewline(r, size, target, buf)
+		if err != nil {
+			return nil, err
+		}
+		if b > offs[len(offs)-1] && b < size {
+			offs = append(offs, b)
+		}
+	}
+	return append(offs, size), nil
+}
+
+// nextNewline returns the offset just past the first '\n' at or after
+// from, or size when the remainder holds none.
+func nextNewline(r io.ReaderAt, size, from int64, buf []byte) (int64, error) {
+	for at := from; at < size; {
+		want := int64(len(buf))
+		if at+want > size {
+			want = size - at
+		}
+		n, err := r.ReadAt(buf[:want], at)
+		if i := bytes.IndexByte(buf[:n], '\n'); i >= 0 {
+			return at + int64(i) + 1, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		if n == 0 {
+			break
+		}
+		at += int64(n)
+	}
+	return size, nil
+}
+
+// csvChunkOffsets scans the CSV input once, tracking quote parity, and
+// returns the offset just past the header record plus up to n-1 chunk
+// boundaries at record-ending newlines at or past each equal-spaced
+// target. A newline ends a record exactly when every '"' seen so far has
+// closed (RFC 4180: `""` escapes come in pairs, so inside a quoted field
+// the running quote count is odd) — the framer-aware rule that never
+// splits a quoted multi-line field. The scan is serial but cheap: it
+// walks newline to newline with bytes.IndexByte and folds each line's
+// quote count in with bytes.Count (both SIMD-backed), touching only
+// delimiter positions rather than branching per byte, so the pre-pass
+// stays a small fraction of the parallel decode it enables.
+func csvChunkOffsets(r io.ReaderAt, size int64, n int) (headerEnd int64, bounds []int64, err error) {
+	var (
+		buf     = make([]byte, chunkScanWindow)
+		off     int64 // absolute offset of buf[0]
+		inQuote bool
+	)
+	target := func(i int) int64 { return size * int64(i) / int64(n) }
+	next := 1
+	for off < size {
+		want := int64(len(buf))
+		if off+want > size {
+			want = size - off
+		}
+		m, rerr := r.ReadAt(buf[:want], off)
+		if rerr != nil && rerr != io.EOF {
+			return 0, nil, rerr
+		}
+		if m == 0 {
+			break
+		}
+		window := buf[:m]
+		i := 0
+		for i < m {
+			j := bytes.IndexByte(window[i:], '\n')
+			if j < 0 {
+				inQuote = inQuote != (bytes.Count(window[i:], quoteByte)&1 == 1)
+				break
+			}
+			inQuote = inQuote != (bytes.Count(window[i:i+j], quoteByte)&1 == 1)
+			lineEnd := off + int64(i) + int64(j) + 1
+			i += j + 1
+			if inQuote {
+				continue // the newline sits inside a quoted field
+			}
+			if headerEnd == 0 {
+				headerEnd = lineEnd
+				bounds = append(bounds, lineEnd)
+				continue
+			}
+			for next < n && target(next) <= bounds[len(bounds)-1] {
+				next++
+			}
+			if next < n && lineEnd > target(next) && lineEnd < size {
+				bounds = append(bounds, lineEnd)
+				next++
+			}
+		}
+		off += int64(m)
+	}
+	if headerEnd == 0 {
+		// No record-ending newline at all: the whole input is one header
+		// record (possibly unterminated or malformed) — nothing to split.
+		return size, []int64{size, size}, nil
+	}
+	return headerEnd, append(bounds, size), nil
+}
+
+// quoteByte is bytes.Count's needle for the parity scan.
+var quoteByte = []byte{'"'}

@@ -1,0 +1,343 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/weblog"
+)
+
+// drainSources decodes every chunk in order and concatenates the
+// records, mirroring what RunSources folds (its per-source sequence
+// numbers reproduce exactly this concatenation order for equal
+// timestamps). CLF skip counts are summed across chunks.
+func drainSources(t *testing.T, sources []Source) ([]weblog.Record, int, error) {
+	t.Helper()
+	var out []weblog.Record
+	skipped := 0
+	for _, src := range sources {
+		recs, err := drainDecoder(t, src.Dec)
+		out = append(out, recs...)
+		if clf, ok := src.Dec.(*CLFDecoder); ok {
+			skipped += clf.Skipped
+		}
+		if err != nil {
+			return out, skipped, fmt.Errorf("%s: %w", src.Name, err)
+		}
+	}
+	return out, skipped, nil
+}
+
+// assertChunkedEqualsWhole splits data into n chunks and requires the
+// concatenated chunk decodes to equal the whole-input decode exactly.
+func assertChunkedEqualsWhole(t *testing.T, data []byte, format string, n int, clf weblog.CLFOptions) {
+	t.Helper()
+	whole, err := NewDecoder(format, bytes.NewReader(data), clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, werr := drainDecoder(t, whole)
+
+	sources, serr := ChunkBytes(data, format, n, clf)
+	if werr == nil && serr != nil {
+		t.Fatalf("%s n=%d: whole decode succeeded but chunking failed: %v", format, n, serr)
+	}
+	if serr != nil {
+		return // both reject; nothing further to compare
+	}
+	if len(sources) > n {
+		t.Fatalf("%s: asked for %d chunks, got %d sources", format, n, len(sources))
+	}
+	got, gotSkipped, gerr := drainSources(t, sources)
+	if werr != nil {
+		if gerr == nil {
+			t.Fatalf("%s n=%d: whole decode failed (%v) but every chunk decoded cleanly", format, n, werr)
+		}
+		return
+	}
+	if gerr != nil {
+		t.Fatalf("%s n=%d: whole decode succeeded but a chunk failed: %v", format, n, gerr)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("%s n=%d: record counts diverged: whole %d, chunked %d", format, n, len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("%s n=%d: record %d diverged:\nwhole:   %+v\nchunked: %+v", format, n, i, want[i], got[i])
+		}
+	}
+	if format == "clf" {
+		wholeDec := NewCLFDecoder(bytes.NewReader(data), clf)
+		if _, err := drainDecoder(t, wholeDec); err == nil && wholeDec.Skipped != gotSkipped {
+			t.Fatalf("clf n=%d: skip counts diverged: whole %d, chunked %d", n, wholeDec.Skipped, gotSkipped)
+		}
+	}
+}
+
+// TestChunkSourcesCSV checks record-exact splitting of well-formed CSV
+// across chunk counts, including counts far beyond the record count.
+func TestChunkSourcesCSV(t *testing.T) {
+	data := encodeCSV(t, makeSynthetic(500, 61, 0))
+	for _, n := range []int{1, 2, 3, 7, 64} {
+		assertChunkedEqualsWhole(t, data, "csv", n, weblog.CLFOptions{})
+	}
+}
+
+// TestChunkSourcesQuotedNewlines pins the framer-aware CSV splitter: a
+// file full of quoted fields holding newlines (and escaped quotes) must
+// never split inside a record, wherever the byte targets land.
+func TestChunkSourcesQuotedNewlines(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("useragent,timestamp,uri_path\n")
+	for i := 0; i < 200; i++ {
+		// Every record spans three physical lines via a quoted UA, with
+		// `""` escapes to keep parity honest.
+		fmt.Fprintf(&buf, "\"multi\nline \"\"agent\"\" %03d\n\",2025-03-01T00:%02d:%02dZ,/p%d\n",
+			i, i/60, i%60, i)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{2, 3, 8, 33} {
+		assertChunkedEqualsWhole(t, data, "csv", n, weblog.CLFOptions{})
+	}
+}
+
+// TestChunkSourcesJSONLAndCLF checks the line-aligned splitter on both
+// line-framed formats, including inputs with malformed (skipped) CLF
+// lines and a final line with no trailing newline.
+func TestChunkSourcesJSONLAndCLF(t *testing.T) {
+	d := makeSynthetic(400, 62, 0)
+	var jsonl bytes.Buffer
+	if err := weblog.WriteJSONL(&jsonl, d); err != nil {
+		t.Fatal(err)
+	}
+	jl := bytes.TrimSuffix(jsonl.Bytes(), []byte("\n")) // unterminated final line
+	var clf bytes.Buffer
+	if err := weblog.WriteCLF(&clf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Sprinkle malformed lines so chunked skip counting is exercised.
+	withJunk := bytes.ReplaceAll(clf.Bytes(), []byte("\n"), []byte("\njunk line\n"))
+	for _, n := range []int{1, 2, 5, 16} {
+		assertChunkedEqualsWhole(t, jl, "jsonl", n, weblog.CLFOptions{})
+		assertChunkedEqualsWhole(t, withJunk, "clf", n, weblog.CLFOptions{Site: "www"})
+	}
+}
+
+// TestChunkSourcesDegenerate covers empty input, header-only CSV, and
+// inputs smaller than the chunk count.
+func TestChunkSourcesDegenerate(t *testing.T) {
+	for _, format := range Formats {
+		assertChunkedEqualsWhole(t, nil, format, 4, weblog.CLFOptions{})
+	}
+	assertChunkedEqualsWhole(t, []byte("useragent,timestamp\n"), "csv", 4, weblog.CLFOptions{})
+	assertChunkedEqualsWhole(t, []byte("useragent,timestamp"), "csv", 4, weblog.CLFOptions{})
+	assertChunkedEqualsWhole(t, []byte("useragent,timestamp\nua,2025-03-01T00:00:00Z\n"), "csv", 8, weblog.CLFOptions{})
+	if _, err := ChunkBytes(nil, "nope", 2, weblog.CLFOptions{}); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+}
+
+// TestChunkSourcesSectionIsolation checks chunks decode independently:
+// consuming them out of order (as concurrent fan-in goroutines do)
+// yields the same per-chunk records as in-order consumption.
+func TestChunkSourcesSectionIsolation(t *testing.T) {
+	data := encodeCSV(t, makeSynthetic(300, 63, 0))
+	a, err := ChunkBytes(data, "csv", 3, weblog.CLFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChunkBytes(data, "csv", 3, weblog.CLFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain b's chunks in reverse, a's forward; per-chunk contents must
+	// agree chunk by chunk.
+	gotB := make([][]weblog.Record, len(b))
+	for i := len(b) - 1; i >= 0; i-- {
+		recs, err := drainDecoder(t, b[i].Dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB[i] = recs
+	}
+	for i := range a {
+		recs, err := drainDecoder(t, a[i].Dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(recs, gotB[i]) {
+			t.Fatalf("chunk %d decoded differently out of order", i)
+		}
+	}
+}
+
+// fuzzChunkSplit is the shared differential target: for arbitrary input
+// bytes and chunk count, a chunked decode must agree with the whole
+// decode — same records in the same order (and, for CLF, the same skip
+// totals) whenever the whole decode accepts the input, and a failure
+// whenever it rejects it.
+func fuzzChunkSplit(t *testing.T, format string, data []byte, n uint8, clf weblog.CLFOptions) {
+	chunks := 1 + int(n%8)
+	whole, err := NewDecoder(format, bytes.NewReader(data), clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, werr := drainDecoder(t, whole)
+	sources, serr := ChunkBytes(data, format, chunks, clf)
+	if serr != nil {
+		if werr == nil {
+			t.Fatalf("whole decode succeeded but chunking failed: %v", serr)
+		}
+		return
+	}
+	got, _, gerr := drainSources(t, sources)
+	if werr != nil {
+		if gerr == nil {
+			t.Fatalf("whole decode failed (%v) but every chunk decoded cleanly", werr)
+		}
+		return
+	}
+	if gerr != nil {
+		t.Fatalf("whole decode succeeded but a chunk failed: %v", gerr)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("record counts diverged: whole %d, chunked %d", len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("record %d diverged:\nwhole:   %+v\nchunked: %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// FuzzChunkSplitJSONL differential-fuzzes the line-aligned splitter
+// against whole-file JSONL decoding on arbitrary bytes.
+func FuzzChunkSplitJSONL(f *testing.F) {
+	d := makeSynthetic(40, 64, 0)
+	var buf bytes.Buffer
+	if err := weblog.WriteJSONL(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), uint8(3))
+	f.Add([]byte(""), uint8(0))
+	f.Add([]byte("\n\n\n"), uint8(5))
+	f.Add([]byte(`{"useragent":"bot","timestamp":"2025-03-01T00:00:00Z"}`), uint8(2))
+	f.Add([]byte("{\"useragent\":\"a\"}\n{\"useragent\":\"b\"}\nnot json"), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, n uint8) {
+		fuzzChunkSplit(t, "jsonl", data, n, weblog.CLFOptions{})
+	})
+}
+
+// FuzzChunkSplitCLF differential-fuzzes the line-aligned splitter
+// against whole-file CLF decoding (skip-and-count mode) on arbitrary
+// bytes.
+func FuzzChunkSplitCLF(f *testing.F) {
+	var clf bytes.Buffer
+	if err := weblog.WriteCLF(&clf, makeSynthetic(30, 65, 0)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clf.Bytes(), uint8(3))
+	f.Add([]byte("junk\n"+`h - - [01/Mar/2025:00:00:00 +0000] "GET /x HTTP/1.1" 200 5 "-" "ua"`+"\n"), uint8(2))
+	f.Add([]byte(""), uint8(1))
+	f.Add([]byte("no newline at all"), uint8(6))
+	f.Fuzz(func(t *testing.T, data []byte, n uint8) {
+		fuzzChunkSplit(t, "clf", data, n, weblog.CLFOptions{Site: "www"})
+		skipWhole := NewCLFDecoder(bytes.NewReader(data), weblog.CLFOptions{Site: "www"})
+		if _, err := drainDecoder(t, skipWhole); err != nil {
+			return
+		}
+		sources, err := ChunkBytes(data, "clf", 1+int(n%8), weblog.CLFOptions{Site: "www"})
+		if err != nil {
+			t.Fatalf("whole CLF decode succeeded but chunking failed: %v", err)
+		}
+		if _, skipped, err := drainSources(t, sources); err == nil && skipped != skipWhole.Skipped {
+			t.Fatalf("skip counts diverged: whole %d, chunked %d", skipWhole.Skipped, skipped)
+		}
+	})
+}
+
+// FuzzChunkSplitCSV differential-fuzzes the quote-parity CSV splitter
+// against whole-file decoding on arbitrary bytes — quoted multi-line
+// fields, escapes, CRLF, and malformed quoting included.
+func FuzzChunkSplitCSV(f *testing.F) {
+	f.Add(csvSeedBytes(40, 66), uint8(3))
+	f.Add([]byte("useragent,uri_path\n\"multi\nline\nfield\",/x\nplain,/y\n"), uint8(2))
+	f.Add([]byte("useragent,uri_path\n\"esc\"\"aped\"\"\nnewline\",/x\n"), uint8(4))
+	f.Add([]byte("useragent\r\nua,\"crlf\r\ninside\"\r\n"), uint8(5))
+	f.Add([]byte("useragent\n\"unterminated\nquote,/x\n"), uint8(2))
+	f.Add([]byte("useragent\nbare\"quote\nok\n"), uint8(3))
+	f.Add([]byte(""), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, n uint8) {
+		fuzzChunkSplit(t, "csv", data, n, weblog.CLFOptions{})
+	})
+}
+
+// TestNextNewlineWindows drives the boundary scanner across reads larger
+// than one scan window.
+func TestNextNewlineWindows(t *testing.T) {
+	long := bytes.Repeat([]byte("x"), 3*chunkScanWindow)
+	data := append(append([]byte{}, long...), '\n')
+	data = append(data, []byte("tail")...)
+	off, err := nextNewline(bytes.NewReader(data), int64(len(data)), 10, make([]byte, chunkScanWindow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(long) + 1); off != want {
+		t.Fatalf("nextNewline = %d, want %d", off, want)
+	}
+	if off, err = nextNewline(bytes.NewReader(data), int64(len(data)), off, make([]byte, chunkScanWindow)); err != nil || off != int64(len(data)) {
+		t.Fatalf("nextNewline past last newline = %d, %v; want size %d", off, err, len(data))
+	}
+}
+
+// TestChunkSplitterMisalignedReference is the negative control for the
+// differential fuzz: splitting CSV at naive newline targets (ignoring
+// quote parity) must be observably wrong on quoted-newline input —
+// proving the parity rule is load-bearing, not vacuously tested.
+func TestChunkSplitterMisalignedReference(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("useragent,uri_path\n")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&buf, "\"line one\nline two %d\",/p%d\n", i, i)
+	}
+	data := buf.Bytes()
+
+	whole, err := drainDecoder(t, NewCSVDecoder(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive split: cut at the first newline past the midpoint regardless
+	// of quote state.
+	mid := len(data) / 2
+	cut := mid + bytes.IndexByte(data[mid:], '\n') + 1
+	sc := newCSVScanner(bytes.NewReader(data[:cut]))
+	hdr, err := sc.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := weblog.ParseCSVHeaderBytes(hdr)
+	var naive []weblog.Record
+	ok := true
+	for _, part := range [][]byte{data[len("useragent,uri_path\n"):cut], data[cut:]} {
+		recs, err := drainDecoder(t, NewCSVDecoderSchema(bytes.NewReader(part), schema))
+		naive = append(naive, recs...)
+		if err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok && len(naive) == len(whole) {
+		same := true
+		for i := range whole {
+			if !reflect.DeepEqual(whole[i], naive[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("naive mid-quote split decoded identically; the fixture no longer exercises quote parity")
+		}
+	}
+}

@@ -27,6 +27,13 @@
 //     pooled record batches on the shard channels, a per-shard watermark
 //     reorder buffer for bounded timestamp skew, and bounded channels for
 //     backpressure;
+//   - source.go: the multi-source fan-in front-end (Pipeline.RunSources):
+//     one decoder goroutine per source, per-source sequence numbers, and
+//     the per-source low-watermark merge that keeps bounded-skew
+//     reordering exact when sources lag each other arbitrarily;
+//   - chunk.go: record-aligned chunking of one large at-rest file
+//     (newline-aligned for JSONL/CLF, quote-parity framer-aware for CSV)
+//     so a single input decodes in parallel as fan-in sources;
 //   - analyzer.go: the Analyzer/ShardState plugin contract (including the
 //     optional batch-fold fast path), the registry, and the merged
 //     Results snapshot;
@@ -82,16 +89,26 @@ func NewDecoder(format string, r io.Reader, clf weblog.CLFOptions) (Decoder, err
 // Record semantics are identical to the batch weblog.ReadCSV on every
 // input (FuzzDecodeCSV pins this differentially).
 type CSVDecoder struct {
-	sc     *csvScanner
-	schema weblog.CSVSchema
-	intern *weblog.Intern
-	line   int
-	err    error
+	sc         *csvScanner
+	schema     weblog.CSVSchema
+	headerDone bool
+	intern     *weblog.Intern
+	line       int
+	err        error
 }
 
 // NewCSVDecoder returns a decoder over r.
 func NewCSVDecoder(r io.Reader) *CSVDecoder {
 	return &CSVDecoder{sc: newCSVScanner(r), intern: weblog.NewIntern()}
+}
+
+// NewCSVDecoderSchema returns a decoder over r that decodes every row as
+// data under a pre-parsed schema instead of reading a header first — the
+// chunked parallel decode path, where only the file's first chunk holds
+// the header row (ChunkSources parses it once and shares it). Error line
+// numbers are relative to r, so a chunk's first row is line 1.
+func NewCSVDecoderSchema(r io.Reader, schema weblog.CSVSchema) *CSVDecoder {
+	return &CSVDecoder{sc: newCSVScanner(r), schema: schema, headerDone: true, intern: weblog.NewIntern()}
 }
 
 // Next returns the next record, or io.EOF at end of input. A decode error
@@ -100,7 +117,7 @@ func (d *CSVDecoder) Next() (weblog.Record, error) {
 	if d.err != nil {
 		return weblog.Record{}, d.err
 	}
-	if d.line == 0 { // read header lazily
+	if !d.headerDone { // read header lazily
 		header, err := d.sc.next()
 		if err != nil {
 			if err == io.EOF {
@@ -111,6 +128,7 @@ func (d *CSVDecoder) Next() (weblog.Record, error) {
 			return weblog.Record{}, d.err
 		}
 		d.schema = weblog.ParseCSVHeaderBytes(header)
+		d.headerDone = true
 		d.line = 1
 	}
 	d.line++

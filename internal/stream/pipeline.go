@@ -2,7 +2,6 @@ package stream
 
 import (
 	"context"
-
 	"io"
 	"runtime"
 	"sync"
@@ -43,11 +42,24 @@ type Options struct {
 	// DefaultFlushInterval; a negative value disables the background
 	// flusher entirely (batches then move only when full, at Flush, or at
 	// Close — appropriate for one-shot runs that never snapshot mid-run).
+	// Exception: a fan-in run (RunSources) always flushes its sources'
+	// pendings, at DefaultFlushInterval when this is negative — there,
+	// flushing is what keeps the min-watermark merge live, not just
+	// snapshots fresh, and flush timing never changes results.
 	FlushInterval time.Duration
 	// Keep, if non-nil, filters records before sharding (dropped records
 	// count in DroppedRecords). It runs on the dispatcher goroutine, so an
-	// unsynchronized weblog.Preprocessor.Keep is safe here.
+	// unsynchronized weblog.Preprocessor.Keep is safe here. A fan-in run
+	// (RunSources) shares it across every source goroutine unless NewKeep
+	// is set, in which case it must be safe for concurrent use.
 	Keep func(*weblog.Record) bool
+	// NewKeep, if non-nil, supplies each RunSources source goroutine its
+	// own filter instance, so unsynchronized filters (a fresh
+	// weblog.Preprocessor per source) parallelize without races. The
+	// produced filters must implement identical drop decisions; only
+	// their private audit counters may differ. Single-dispatcher paths
+	// (Ingest, Run) ignore it and use Keep.
+	NewKeep func() func(*weblog.Record) bool
 	// Enrich, if non-nil, runs on the shard workers in parallel, filling
 	// BotName/Category the way the batch Preprocessor does. It must be
 	// safe for concurrent use (agent.Matcher is).
@@ -97,9 +109,15 @@ type seqRec struct {
 // allocation-free — and what obliges analyzers never to retain pointers
 // into a batch past the fold (the no-aliasing rule; string fields are safe
 // to keep because string bytes are immutable and never recycled).
+//
+// mark is the fan-in min-watermark stamp (unix nanos): a promise that
+// every record any source delivers after this batch has time >= mark.
+// Batches from the single-dispatcher Ingest path carry unstampedMark and
+// the shard falls back to its local maxSeen watermark.
 type recordBatch struct {
 	recs []weblog.Record
 	seqs []uint64
+	mark int64
 }
 
 // recHeap orders buffered records by (time, sequence): a concrete min-heap
@@ -185,6 +203,11 @@ type shardWorker struct {
 	mu      sync.Mutex
 	buf     recHeap
 	maxSeen time.Time
+	// stampWM is the highest fan-in min-watermark stamp applied so far
+	// (unix nanos): stamped batches release the reorder buffer strictly
+	// below it, never by the local maxSeen heuristic, so one lagging
+	// source holds release back on every shard.
+	stampWM int64
 	states  []ShardState   // one per pipeline analyzer, same order
 	folds   []applyBatchFn // matching batch fold per state
 	runRecs []weblog.Record
@@ -205,12 +228,24 @@ func (s *shardWorker) fold(recs []weblog.Record, seqs []uint64) {
 }
 
 // release pops every buffered record at or before watermark — in (time,
-// sequence) order — into the reused run scratch and folds the run. Must
-// hold mu.
-func (s *shardWorker) release(watermark time.Time) {
+// sequence) order — into the reused run scratch and folds the run. With
+// strict set, records exactly at the watermark are held back instead:
+// the fan-in path releases exclusively, because a stamp only promises
+// later arrivals are at or above it, and an equal-time late arrival
+// folding after an already-released twin would make the fold order
+// depend on goroutine interleaving. Must hold mu.
+func (s *shardWorker) release(watermark time.Time, strict bool) {
 	s.runRecs = s.runRecs[:0]
 	s.runSeqs = s.runSeqs[:0]
-	for len(s.buf) > 0 && !s.buf[0].rec.Time.After(watermark) {
+	for len(s.buf) > 0 {
+		t := s.buf[0].rec.Time
+		if strict {
+			if !t.Before(watermark) {
+				break
+			}
+		} else if t.After(watermark) {
+			break
+		}
 		sr := s.buf.pop()
 		s.runRecs = append(s.runRecs, sr.rec)
 		s.runSeqs = append(s.runSeqs, sr.seq)
@@ -289,6 +324,7 @@ func NewPipeline(opts Options) *Pipeline {
 		return &recordBatch{
 			recs: make([]weblog.Record, 0, p.batchSize),
 			seqs: make([]uint64, 0, p.batchSize),
+			mark: unstampedMark,
 		}
 	}
 	p.pending = make([]*recordBatch, opts.Shards)
@@ -296,10 +332,11 @@ func NewPipeline(opts Options) *Pipeline {
 	p.observers = make([][]WatermarkObserver, opts.Shards)
 	for i := range p.shards {
 		s := &shardWorker{
-			ch:     make(chan *recordBatch, opts.Buffer),
-			states: make([]ShardState, len(analyzers)),
-			folds:  make([]applyBatchFn, len(analyzers)),
-			poison: opts.poisonRecycled,
+			ch:      make(chan *recordBatch, opts.Buffer),
+			stampWM: unstampedMark,
+			states:  make([]ShardState, len(analyzers)),
+			folds:   make([]applyBatchFn, len(analyzers)),
+			poison:  opts.poisonRecycled,
 		}
 		for j, a := range analyzers {
 			s.states[j] = a.NewState()
@@ -335,9 +372,30 @@ func (p *Pipeline) work(idx int, s *shardWorker) {
 			}
 		}
 		s.mu.Lock()
-		if skew <= 0 {
+		switch {
+		case skew <= 0:
 			s.fold(b.recs, b.seqs)
-		} else {
+		case b.mark != unstampedMark:
+			// Fan-in batch: push everything, then release strictly below
+			// the highest min-watermark stamp seen. The stamp — not the
+			// local maxSeen — is what bounds future arrivals when several
+			// sources interleave on this shard; until every source has
+			// published a promise (stampWM still at the noStampMark
+			// floor) nothing may release at all.
+			for i := range b.recs {
+				s.buf.push(seqRec{rec: b.recs[i], seq: b.seqs[i]})
+			}
+			if b.mark > s.stampWM {
+				s.stampWM = b.mark
+			}
+			if s.stampWM > noStampMark {
+				watermark := time.Unix(0, s.stampWM).UTC()
+				s.release(watermark, true)
+				for _, o := range p.observers[idx] {
+					o.Advance(watermark)
+				}
+			}
+		default:
 			for i := range b.recs {
 				if b.recs[i].Time.After(s.maxSeen) {
 					s.maxSeen = b.recs[i].Time
@@ -345,7 +403,7 @@ func (p *Pipeline) work(idx int, s *shardWorker) {
 				s.buf.push(seqRec{rec: b.recs[i], seq: b.seqs[i]})
 			}
 			watermark := s.maxSeen.Add(-skew)
-			s.release(watermark)
+			s.release(watermark, false)
 			for _, o := range p.observers[idx] {
 				o.Advance(watermark)
 			}
@@ -372,6 +430,7 @@ func (p *Pipeline) recycle(b *recordBatch) {
 	}
 	b.recs = b.recs[:0]
 	b.seqs = b.seqs[:0]
+	b.mark = unstampedMark
 	p.pool.Put(b)
 }
 
@@ -492,8 +551,12 @@ func (p *Pipeline) Ingest(ctx context.Context, rec weblog.Record) error {
 }
 
 // send delivers one batch to a shard, honoring ctx for backpressure
-// cancellation. Must hold mu, which is what keeps per-shard delivery in
-// ingest order when the flusher runs concurrently.
+// cancellation. Ingest/Flush-path callers must hold mu — that is what
+// keeps per-shard delivery in ingest order when the background flusher
+// runs concurrently. Fan-in source runners call it WITHOUT mu: each
+// source's sends to a given shard are same-goroutine FIFO, cross-source
+// order is absorbed by the stamped reorder path, and RunSources retires
+// the background flusher up front.
 func (p *Pipeline) send(ctx context.Context, s *shardWorker, b *recordBatch) error {
 	if ctx == nil {
 		s.ch <- b
@@ -507,6 +570,18 @@ func (p *Pipeline) send(ctx context.Context, s *shardWorker, b *recordBatch) err
 	}
 }
 
+// stopFlusher retires the background flusher, if one is (still)
+// running. The fan-in path calls it up front — source goroutines flush
+// their own pendings on the watcher's cadence, so the Ingest-path
+// flusher would only tick over an always-empty p.pending.
+func (p *Pipeline) stopFlusher() {
+	if p.flushStop != nil {
+		close(p.flushStop)
+		<-p.flushDone
+		p.flushStop = nil
+	}
+}
+
 // Close stops ingestion, flushes pending batches, waits for every shard to
 // drain its channel and reorder buffer, and makes subsequent Snapshots
 // final. Close is idempotent.
@@ -515,10 +590,7 @@ func (p *Pipeline) Close() {
 		return
 	}
 	p.closed = true
-	if p.flushStop != nil {
-		close(p.flushStop)
-		<-p.flushDone
-	}
+	p.stopFlusher()
 	p.Flush()
 	for _, s := range p.shards {
 		close(s.ch)

@@ -1,0 +1,440 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+// makeMultiSite reassigns every record of a bursty fixture to one of k
+// sites deterministically, modeling the paper's estate: each τ tuple
+// crawls every site, so one requesting entity's records spread across
+// all per-site files — the case the fan-in watermark merge must repair.
+func makeMultiSite(n int, seed int64, jitter time.Duration, k int) *weblog.Dataset {
+	d := makeBursty(n, seed, jitter)
+	rng := rand.New(rand.NewSource(seed * 31))
+	for i := range d.Records {
+		d.Records[i].Site = fmt.Sprintf("s%02d.example.edu", rng.Intn(k))
+	}
+	return d
+}
+
+// splitBySite partitions a dataset into per-site datasets, preserving
+// the merged order within each site — every per-site file inherits the
+// original's bounded timestamp disorder.
+func splitBySite(d *weblog.Dataset) []*weblog.Dataset {
+	bySite := make(map[string]*weblog.Dataset)
+	var order []*weblog.Dataset
+	for _, rec := range d.Records {
+		sd := bySite[rec.Site]
+		if sd == nil {
+			sd = &weblog.Dataset{}
+			bySite[rec.Site] = sd
+			order = append(order, sd)
+		}
+		sd.Records = append(sd.Records, rec)
+	}
+	return order
+}
+
+// encodeCSV round-trips a dataset to CSV bytes.
+func encodeCSV(t *testing.T, d *weblog.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// csvFileSources builds one CSV-decoding Source per dataset.
+func csvFileSources(t *testing.T, parts []*weblog.Dataset) []Source {
+	t.Helper()
+	sources := make([]Source, len(parts))
+	for i, part := range parts {
+		sources[i] = Source{
+			Name: fmt.Sprintf("site-file-%d", i),
+			Dec:  NewCSVDecoder(bytes.NewReader(encodeCSV(t, part))),
+		}
+	}
+	return sources
+}
+
+// runSourcesAllAnalyzers ingests the sources through a fan-in pipeline
+// running every built-in analyzer with the standard test preprocessing.
+func runSourcesAllAnalyzers(t *testing.T, sources []Source, opts Options) *Results {
+	t.Helper()
+	analyzers, err := NewAnalyzers(nil, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enrich := poolEnrich()
+	opts.NewKeep = func() func(*weblog.Record) bool { return weblog.NewPreprocessor().Keep }
+	opts.Enrich = func(r *weblog.Record) { enrich(r) }
+	opts.Analyzers = analyzers
+	p := NewPipeline(opts)
+	res, err := p.RunSources(context.Background(), sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMultiSourceParity is the fan-in acceptance test: K per-site files
+// (each holding one site's slice of a jittered multi-week stream, so one
+// bot's records spread across every file) ingested through RunSources
+// must produce snapshots byte-identical to the batch analyzers over the
+// concatenated records stably sorted by time — for source counts
+// {1, 3, 8} and shard counts {1, 4, 7}, with ±45s timestamp jitter.
+func TestMultiSourceParity(t *testing.T) {
+	for _, nSources := range []int{1, 3, 8} {
+		d := makeMultiSite(parityN(t)/2, 300+int64(nSources), 45*time.Second, nSources)
+		parts := splitBySite(d)
+		if len(parts) != nSources {
+			t.Fatalf("fixture produced %d site files, want %d", len(parts), nSources)
+		}
+
+		// The batch reference: concatenate the per-site files in source
+		// order and stable-sort by time — exactly the dataset a batch
+		// operator would assemble from the same files.
+		ref := &weblog.Dataset{}
+		for _, part := range parts {
+			ref.Records = append(ref.Records, part.Records...)
+		}
+		ref.SortByTime() // documented stable
+		want := computeBatchWants(t, ref)
+
+		for _, shards := range []int{1, 4, 7} {
+			label := fmt.Sprintf("sources=%d shards=%d", nSources, shards)
+			res := runSourcesAllAnalyzers(t, csvFileSources(t, parts), Options{
+				Shards:  shards,
+				MaxSkew: 2 * time.Minute,
+			})
+			assertAllAnalyzerParity(t, want, res, label)
+			if kept := uint64(len(enrichBatch(ref).Records)); res.Records != kept {
+				t.Fatalf("%s: %d records folded, want %d (batch kept count)", label, res.Records, kept)
+			}
+		}
+	}
+}
+
+// TestRunSourcesMatchesRun pins the degenerate fan-in: one source through
+// RunSources yields the same snapshot as the serial Run path on the same
+// bytes, shard count held fixed.
+func TestRunSourcesMatchesRun(t *testing.T) {
+	d := makeBursty(4000, 91, 30*time.Second)
+	csvBytes := encodeCSV(t, d)
+
+	serial := runAllOpts(t, d, Options{Shards: 3, MaxSkew: 2 * time.Minute})
+	fanIn := runSourcesAllAnalyzers(t, []Source{{
+		Name: "only",
+		Dec:  NewCSVDecoder(bytes.NewReader(csvBytes)),
+	}}, Options{Shards: 3, MaxSkew: 2 * time.Minute})
+	assertResultsEqual(t, serial, fanIn, "single-source fan-in vs serial run")
+}
+
+// TestRunSourcesLaggingSource proves the min-watermark merge absorbs
+// unbounded cross-source lag: one source an hour of event time behind
+// the other still folds exactly like the merged sorted stream, far
+// beyond the 2-minute per-source skew window.
+func TestRunSourcesLaggingSource(t *testing.T) {
+	d := makeMultiSite(8000, 92, 20*time.Second, 2)
+	parts := splitBySite(d)
+
+	// Shift the second site's records an hour earlier wholesale: its file
+	// stays internally skew-bounded, but trails the first source by far
+	// more than MaxSkew.
+	for i := range parts[1].Records {
+		parts[1].Records[i].Time = parts[1].Records[i].Time.Add(-time.Hour)
+	}
+
+	ref := &weblog.Dataset{}
+	for _, part := range parts {
+		ref.Records = append(ref.Records, part.Records...)
+	}
+	ref.SortByTime()
+	want := computeBatchWants(t, ref)
+
+	res := runSourcesAllAnalyzers(t, csvFileSources(t, parts), Options{
+		Shards:  4,
+		MaxSkew: 2 * time.Minute,
+	})
+	assertAllAnalyzerParity(t, want, res, "hour-lagged source")
+}
+
+// TestChunkCountInvariance pins that the chunked parallel decode never
+// changes any analyzer snapshot: -decoders {1, 2, 4} over the same CSV
+// and JSONL bytes produce results identical to the serial Run, across
+// shard counts.
+func TestChunkCountInvariance(t *testing.T) {
+	d := makeBursty(parityN(t)/4, 93, 45*time.Second)
+	encode := map[string]func() []byte{
+		"csv": func() []byte { return encodeCSV(t, d) },
+		"jsonl": func() []byte {
+			var buf bytes.Buffer
+			if err := weblog.WriteJSONL(&buf, d); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		},
+	}
+	for format, enc := range encode {
+		data := enc()
+		serial := runAllOpts(t, d, Options{Shards: 4, MaxSkew: 2 * time.Minute})
+		for _, chunks := range []int{1, 2, 4} {
+			sources, err := ChunkBytes(data, format, chunks, weblog.CLFOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chunks > 1 && len(sources) < 2 {
+				t.Fatalf("%s: %d requested chunks collapsed to %d sources on a %d-byte input",
+					format, chunks, len(sources), len(data))
+			}
+			res := runSourcesAllAnalyzers(t, sources, Options{Shards: 4, MaxSkew: 2 * time.Minute})
+			assertResultsEqual(t, serial, res,
+				fmt.Sprintf("%s decoders=%d vs serial", format, chunks))
+		}
+	}
+}
+
+// TestRunSourcesErrors covers the fan-in's failure modes: an empty
+// source set, multi-source runs with reordering disabled, and a decode
+// error that must surface wrapped with its source's name while the other
+// sources' partial results survive.
+func TestRunSourcesErrors(t *testing.T) {
+	p := NewPipeline(Options{Shards: 1})
+	if _, err := p.RunSources(context.Background(), nil); err == nil {
+		t.Fatal("want error for empty source set")
+	}
+
+	p = NewPipeline(Options{Shards: 1, MaxSkew: -1})
+	closed := make([]int, 2)
+	two := []Source{
+		{Name: "a", Dec: NewCSVDecoder(strings.NewReader("")), Close: func() error { closed[0]++; return nil }},
+		{Name: "b", Dec: NewCSVDecoder(strings.NewReader("")), Close: func() error { closed[1]++; return nil }},
+	}
+	if _, err := p.RunSources(context.Background(), two); err == nil {
+		t.Fatal("want error for multi-source run with reordering disabled")
+	}
+	if closed[0] != 1 || closed[1] != 1 {
+		t.Fatalf("Close hooks must run exactly once on validation errors too: %v", closed)
+	}
+
+	good := encodeCSV(t, makeBursty(500, 94, 0))
+	bad := []byte("useragent,timestamp\nbot,not-a-time\n")
+	p = NewPipeline(Options{Shards: 2})
+	res, err := p.RunSources(context.Background(), []Source{
+		{Name: "good.csv", Dec: NewCSVDecoder(bytes.NewReader(good))},
+		{Name: "bad.csv", Dec: NewCSVDecoder(bytes.NewReader(bad))},
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad.csv") {
+		t.Fatalf("want decode error naming bad.csv, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial results must survive a source decode error")
+	}
+}
+
+// TestRunSourcesCancel checks that cancellation stops a fan-in run
+// promptly and still returns the partial snapshot alongside ctx.Err().
+func TestRunSourcesCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	data := encodeCSV(t, makeBursty(5000, 95, 0))
+	p := NewPipeline(Options{Shards: 2})
+	res, err := p.RunSources(ctx, []Source{
+		{Name: "a", Dec: NewCSVDecoder(bytes.NewReader(data))},
+	})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("canceled run must still return a snapshot")
+	}
+}
+
+// TestRunSourcesCloseHook checks every source's Close hook runs exactly
+// once.
+func TestRunSourcesCloseHook(t *testing.T) {
+	data := encodeCSV(t, makeBursty(300, 96, 0))
+	closed := make([]int, 2)
+	var sources []Source
+	for i := 0; i < 2; i++ {
+		i := i
+		sources = append(sources, Source{
+			Name:  fmt.Sprintf("s%d", i),
+			Dec:   NewCSVDecoder(bytes.NewReader(data)),
+			Close: func() error { closed[i]++; return nil },
+		})
+	}
+	p := NewPipeline(Options{Shards: 2})
+	if _, err := p.RunSources(context.Background(), sources); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range closed {
+		if n != 1 {
+			t.Fatalf("source %d closed %d times, want 1", i, n)
+		}
+	}
+}
+
+// throttledDecoder yields a fixed record every delay, n times — a stand-
+// in for a slow followed stream.
+type throttledDecoder struct {
+	n     int
+	i     int
+	delay time.Duration
+	base  time.Time
+}
+
+func (d *throttledDecoder) Next() (weblog.Record, error) {
+	if d.i >= d.n {
+		return weblog.Record{}, io.EOF
+	}
+	time.Sleep(d.delay)
+	d.i++
+	return weblog.Record{
+		UserAgent: "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+		Time:      d.base.Add(time.Duration(d.i) * time.Second),
+		IPHash:    "h1", ASN: "GOOGLE", Site: "www", Path: "/", Status: 200, Bytes: 1,
+	}, nil
+}
+
+// TestRunSourcesFlushLatency pins the fan-in flush contract: a source
+// trickling records far slower than it fills a batch must still surface
+// them to live snapshots within FlushInterval — the watcher's flush
+// flag, not batch fill, is what moves slow sources.
+func TestRunSourcesFlushLatency(t *testing.T) {
+	p := NewPipeline(Options{
+		Shards:        1,
+		BatchSize:     4096,                  // far above the ~150 records produced: only flushing delivers
+		MaxSkew:       time.Millisecond,      // tiny reorder window: folds track flushes
+		FlushInterval: 10 * time.Millisecond, // the latency under test
+	})
+	dec := &throttledDecoder{n: 200, delay: 2 * time.Millisecond,
+		base: time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := p.RunSources(context.Background(), []Source{{Name: "slow", Dec: dec}}); err != nil {
+			t.Error(err)
+		}
+	}()
+	deadline := time.After(300 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("no records surfaced to a live snapshot within 300ms despite a 10ms FlushInterval")
+		case <-time.After(5 * time.Millisecond):
+		}
+		if p.Snapshot().Records > 0 {
+			break
+		}
+	}
+	<-done
+}
+
+// TestRunSourcesFilteredSourceLiveness pins that a source whose records
+// are all dropped by the keep filter still publishes its low-watermark:
+// dropped records' timestamps bound future ones just as kept records
+// do, so the filtered source must not pin the global min-stamp and
+// stall every shard's release while it runs.
+func TestRunSourcesFilteredSourceLiveness(t *testing.T) {
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	p := NewPipeline(Options{
+		Shards:        1,
+		BatchSize:     4,
+		MaxSkew:       time.Millisecond,
+		FlushInterval: 10 * time.Millisecond,
+		NewKeep: func() func(*weblog.Record) bool {
+			return func(r *weblog.Record) bool { return r.UserAgent != "drop-me" }
+		},
+	})
+	dropped := &throttledDecoder{n: 150, delay: 2 * time.Millisecond, base: base}
+	kept := &throttledDecoder{n: 150, delay: 2 * time.Millisecond, base: base}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := p.RunSources(context.Background(), []Source{
+			{Name: "all-dropped", Dec: droppedUA{dropped}},
+			{Name: "kept", Dec: kept},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	deadline := time.After(250 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("an all-filtered source stalled release: no records folded mid-run")
+		case <-time.After(5 * time.Millisecond):
+		}
+		if p.Snapshot().Records > 0 {
+			break
+		}
+	}
+	<-done
+}
+
+// droppedUA rewrites every record's user agent so the keep filter
+// rejects it.
+type droppedUA struct{ d Decoder }
+
+func (w droppedUA) Next() (weblog.Record, error) {
+	rec, err := w.d.Next()
+	rec.UserAgent = "drop-me"
+	return rec, err
+}
+
+// TestMarkNanoClamp pins the watermark-nanos conversion against
+// timestamps UnixNano cannot represent: out-of-range years clamp to the
+// finite mark bounds instead of wrapping and wrecking the min-watermark
+// merge, and the bounds stay clear of the stamp sentinels.
+func TestMarkNanoClamp(t *testing.T) {
+	old := time.Date(1599, 1, 1, 0, 0, 0, 0, time.UTC)
+	far := time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+	if got := markNano(old); got != minMarkNano {
+		t.Fatalf("markNano(1599) = %d, want the %d floor", got, int64(minMarkNano))
+	}
+	if got := markNano(far); got != maxMarkNano {
+		t.Fatalf("markNano(9999) = %d, want the %d ceiling", got, int64(maxMarkNano))
+	}
+	now := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	if got := markNano(now); got != now.UnixNano() {
+		t.Fatalf("markNano(2025) = %d, want exact UnixNano %d", got, now.UnixNano())
+	}
+	if minMarkNano <= noStampMark {
+		t.Fatal("clamp floor must stay above the stamp sentinels")
+	}
+}
+
+// TestPoisonedPoolMultiSourceParity reruns the fan-in parity check with
+// the poisoning pool armed: recycled batches and release scratch are
+// scribbled before reuse, so any state (or the fan-in dispatch itself)
+// retaining batch memory across the concurrent source goroutines
+// corrupts its own snapshot. Run with -race in CI.
+func TestPoisonedPoolMultiSourceParity(t *testing.T) {
+	d := makeMultiSite(12_000, 97, 45*time.Second, 3)
+	parts := splitBySite(d)
+	ref := &weblog.Dataset{}
+	for _, part := range parts {
+		ref.Records = append(ref.Records, part.Records...)
+	}
+	ref.SortByTime()
+	want := computeBatchWants(t, ref)
+
+	res := runSourcesAllAnalyzers(t, csvFileSources(t, parts), Options{
+		Shards:         4,
+		MaxSkew:        2 * time.Minute,
+		poisonRecycled: true,
+	})
+	assertAllAnalyzerParity(t, want, res, "poisoned multi-source")
+}

@@ -115,6 +115,21 @@ func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*St
 	return core.StreamAnalyzeAll(ctx, r, opts)
 }
 
+// StreamAnalyzeAllFiles runs the online analyzer suite over several log
+// files at once — one access log per monitored site, the paper's true
+// multi-source shape — through the pipeline's parallel fan-in: every
+// file decodes on its own goroutine, and a per-source watermark merge
+// keeps the merged analysis exact even when files lag each other
+// arbitrarily. Set StreamOptions.DecodeParallelism above the file count
+// to additionally split files into concurrently decoded record-aligned
+// chunks. Snapshots are byte-identical to batch-analyzing the records
+// concatenated in paths order and stably sorted by time, for any chunk
+// and shard count — pass paths in a canonical order, since it breaks
+// equal-timestamp ties.
+func StreamAnalyzeAllFiles(ctx context.Context, paths []string, opts StreamOptions) (*StreamResults, error) {
+	return core.StreamAnalyzeAllFiles(ctx, paths, opts)
+}
+
 // NewTailReader wraps a growing file so StreamAnalyze follows it,
 // `tail -f` style, polling every poll interval until ctx is done.
 func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) io.Reader {

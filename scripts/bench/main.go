@@ -11,14 +11,20 @@
 // stdout and embedded in the JSON, so the performance trajectory is
 // readable file by file. With -maxregress the run becomes a gate: it fails
 // when the stream path's allocs/op regresses more than the given fraction
-// against the committed baseline — CI runs it at 0.10 (GOMAXPROCS pinned
-// to 1 so the comparison is apples-to-apples with the committed points).
+// against the committed baseline. With -cpu the underlying `go test -cpu`
+// list records multi-core scaling points in one file (the stream
+// benchmarks size their parallel ingestion front-end to GOMAXPROCS, and
+// also report a peak-heap-bytes metric per run); the deltas and the
+// regression gate always compare the list's FIRST entry against the
+// baseline, so `-cpu 1,4` keeps the 1-CPU trajectory comparable while
+// the 4-CPU results ride along in the same point.
 //
 // Usage:
 //
 //	go run ./scripts/bench                      # default pattern, 1x
 //	go run ./scripts/bench -benchtime 2s        # a real measurement
 //	go run ./scripts/bench -pattern 'Robots'    # any benchmark subset
+//	go run ./scripts/bench -cpu 1,4             # record multi-core scaling
 //	go run ./scripts/bench -out bench-results   # separate directory
 //	go run ./scripts/bench -maxregress 0.10     # gate on stream allocs/op
 package main
@@ -62,9 +68,11 @@ type Point struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
-	// Pattern and Benchtime record the invocation.
+	// Pattern and Benchtime record the invocation; Cpu is the
+	// `go test -cpu` list when one was passed.
 	Pattern   string `json:"pattern"`
 	Benchtime string `json:"benchtime"`
+	Cpu       string `json:"cpu,omitempty"`
 	// Results are the parsed benchmark lines in output order.
 	Results []Result `json:"results"`
 	// Baseline names the previous point the deltas compare against, when
@@ -90,6 +98,7 @@ func main() {
 	var (
 		pattern    = flag.String("pattern", "StreamVsBatch", "benchmark name pattern passed to -bench")
 		benchtime  = flag.String("benchtime", "1x", "go test -benchtime value")
+		cpu        = flag.String("cpu", "", "go test -cpu list, e.g. 1,4 (empty = GOMAXPROCS only); deltas and the gate compare the first entry")
 		pkg        = flag.String("pkg", ".", "package to benchmark")
 		outDir     = flag.String("out", ".", "directory receiving BENCH_<n>.json")
 		count      = flag.Int("count", 1, "go test -count value")
@@ -97,16 +106,20 @@ func main() {
 		maxRegress = flag.Float64("maxregress", -1, "fail when "+gateBenchmark+" "+gateMetric+" regresses more than this fraction vs the baseline (negative disables)")
 	)
 	flag.Parse()
-	if err := run(*pattern, *benchtime, *pkg, *outDir, *count, *baseline, *maxRegress); err != nil {
+	if err := run(*pattern, *benchtime, *cpu, *pkg, *outDir, *count, *baseline, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pattern, benchtime, pkg, outDir string, count int, baselineDir string, maxRegress float64) error {
-	cmd := exec.Command("go", "test", "-run", "^$",
+func run(pattern, benchtime, cpu, pkg, outDir string, count int, baselineDir string, maxRegress float64) error {
+	args := []string{"test", "-run", "^$",
 		"-bench", pattern, "-benchtime", benchtime, "-benchmem",
-		"-count", strconv.Itoa(count), pkg)
+		"-count", strconv.Itoa(count)}
+	if cpu != "" {
+		args = append(args, "-cpu", cpu)
+	}
+	cmd := exec.Command("go", append(args, pkg)...)
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = os.Stderr
@@ -130,6 +143,7 @@ func run(pattern, benchtime, pkg, outDir string, count int, baselineDir string, 
 		NumCPU:    runtime.NumCPU(),
 		Pattern:   pattern,
 		Benchtime: benchtime,
+		Cpu:       cpu,
 		Results:   results,
 	}
 
@@ -184,21 +198,35 @@ func trimProcSuffix(name string) string {
 }
 
 // metricsByName indexes a point's results by normalized benchmark name.
+// When a -cpu list makes one benchmark appear several times, the FIRST
+// occurrence (the list's first, lowest entry) wins: deltas and the
+// regression gate track the single-core trajectory, and the multi-core
+// results ride along in Results untouched.
 func metricsByName(p *Point) map[string]map[string]float64 {
 	out := make(map[string]map[string]float64, len(p.Results))
 	for _, r := range p.Results {
-		out[trimProcSuffix(r.Name)] = r.Metrics
+		name := trimProcSuffix(r.Name)
+		if _, seen := out[name]; !seen {
+			out[name] = r.Metrics
+		}
 	}
 	return out
 }
 
 // computeDeltas builds the per-benchmark fractional changes of the
-// headline metrics vs the baseline point.
+// headline metrics vs the baseline point. Like metricsByName, only a
+// benchmark's first occurrence (the lowest -cpu entry) is compared, so
+// a multi-core run never deltas against a single-core baseline.
 func computeDeltas(base, cur *Point) map[string]map[string]float64 {
 	baseBy := metricsByName(base)
 	out := make(map[string]map[string]float64)
+	seen := make(map[string]bool)
 	for _, r := range cur.Results {
 		name := trimProcSuffix(r.Name)
+		if seen[name] {
+			continue // a later -cpu variant of an already-compared bench
+		}
+		seen[name] = true
 		bm, ok := baseBy[name]
 		if !ok {
 			continue
