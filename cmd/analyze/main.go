@@ -69,6 +69,7 @@ func main() {
 		analyzers  = flag.String("analyzers", "compliance", "comma-separated online analyzers (compliance, cadence, spoof, session) or \"all\"")
 		expPath    = flag.String("experiment", "", "phases.json robots.txt rotation; phase-partitions the stream analyzers (requires -stream)")
 		asJSON     = flag.Bool("json", false, "stream mode: emit snapshots as JSON instead of tables")
+		stats      = flag.Bool("stats", false, "stream mode: instrument the pipeline and print ingestion counters (decoded, folded, dropped, pool churn, watermark) with each snapshot")
 		follow     = flag.Bool("follow", false, "keep tailing the file as it grows (stop with Ctrl-C)")
 		interval   = flag.Duration("interval", 15*time.Second, "snapshot print interval while following")
 	)
@@ -83,7 +84,7 @@ func main() {
 			format: *format, site: *site,
 			shards: *shards, skew: *skew, batch: *batch, flush: *flush,
 			analyzers:  *analyzers,
-			experiment: *expPath, asJSON: *asJSON,
+			experiment: *expPath, asJSON: *asJSON, stats: *stats,
 			follow: *follow, interval: *interval,
 		})
 	} else if *expPath != "" {
@@ -151,6 +152,7 @@ type streamConfig struct {
 	analyzers          string
 	experiment         string
 	asJSON             bool
+	stats              bool
 	follow             bool
 	interval           time.Duration
 }
@@ -175,6 +177,9 @@ func runStream(w io.Writer, cfg streamConfig) error {
 		DecodeParallelism: cfg.decoders,
 		CLF:               weblog.CLFOptions{Site: cfg.site},
 		Analyzers:         parseAnalyzers(cfg.analyzers),
+	}
+	if cfg.stats {
+		opts.Metrics = stream.NewMetrics(nil)
 	}
 	if cfg.experiment != "" {
 		sched, err := experiment.LoadSchedule(cfg.experiment)
@@ -289,7 +294,34 @@ func printResults(w io.Writer, res *stream.Results, asJSON bool) error {
 			return err
 		}
 	}
+	if res.Ingest != nil {
+		return printStats(w, res)
+	}
 	return nil
+}
+
+// printStats renders the -stats ingestion counters: the CLI view of the
+// same numbers the observatory daemon exports on /metrics.
+func printStats(w io.Writer, res *stream.Results) error {
+	st := res.Ingest
+	t := &report.Table{
+		Title:   "Ingestion statistics (-stats)",
+		Headers: []string{"Counter", "Value"},
+		Note:    "Pool misses are batch gets that had to allocate; dropped records failed the keep filter.",
+	}
+	t.AddRow("records decoded", report.I(int(st.Decoded)))
+	t.AddRow("records folded", report.I(int(st.Folded)))
+	t.AddRow("records dropped", report.I(int(st.Dropped)))
+	t.AddRow("batch pool gets", report.I(int(st.PoolGets)))
+	t.AddRow("batch pool puts", report.I(int(st.PoolPuts)))
+	t.AddRow("batch pool misses", report.I(int(st.PoolMisses)))
+	t.AddRow("flushed batches", report.I(int(st.FlushedBatches)))
+	wm := "n/a (no watermark advance)"
+	if !st.Watermark.IsZero() {
+		wm = st.Watermark.UTC().Format(time.RFC3339Nano)
+	}
+	t.AddRow("watermark", wm)
+	return t.Render(w)
 }
 
 // printSnapshot renders one analyzer snapshot, prefixing every table title
@@ -394,24 +426,11 @@ func printCompliance(w io.Writer, label string, a *stream.Aggregates) error {
 	return cats.Render(w)
 }
 
-// fmtWindow renders a re-check window compactly ("12h", not "12h0m0s"),
-// dropping only zero-valued trailing units ("1h30m" stays "1h30m").
-func fmtWindow(w time.Duration) string {
-	s := w.String()
-	if strings.HasSuffix(s, "m0s") {
-		s = strings.TrimSuffix(s, "0s")
-	}
-	if strings.HasSuffix(s, "h0m") {
-		s = strings.TrimSuffix(s, "0m")
-	}
-	return s
-}
-
 // printCadence renders the §5.1 Figure-10-style re-check proportions.
 func printCadence(w io.Writer, label string, c *stream.CadenceSnapshot) error {
 	headers := []string{"Category", "Checking bots"}
 	for _, win := range c.Windows {
-		headers = append(headers, "≤"+fmtWindow(win))
+		headers = append(headers, "≤"+stream.FormatWindow(win))
 	}
 	t := &report.Table{
 		Title:   label + "Streaming robots.txt re-check cadence (§5.1, Figure 10)",
@@ -482,73 +501,13 @@ func sortedKeys(m map[string]int) []string {
 // ---- JSON output ----
 
 // printJSON emits the whole snapshot as one indented JSON object keyed by
-// analyzer name. Map keys are sorted by the encoder and slices come from
-// deterministic snapshot accessors, so identical input bytes produce
-// identical JSON — the property the golden-file tests pin down.
+// analyzer name, via the stream package's shared JSON shaping (the same
+// shapes the observatory's /api/v1 endpoints serve). Map keys are sorted
+// by the encoder and slices come from deterministic snapshot accessors,
+// so identical input bytes produce identical JSON — the property the
+// golden-file tests pin down.
 func printJSON(w io.Writer, res *stream.Results) error {
-	out := map[string]any{
-		"records": res.Records,
-		"shards":  res.Shards,
-	}
-	for _, name := range res.Names() {
-		if p := res.Phased(name); p != nil {
-			phases := make(map[string]any, len(p.Snapshots))
-			for _, v := range p.Versions() {
-				phases[v.Short()] = jsonView(p.Snapshots[v])
-			}
-			entry := map[string]any{"phases": phases}
-			if p.OutOfSchedule > 0 {
-				entry["outOfSchedule"] = p.OutOfSchedule
-			}
-			if verdicts := p.CompareCompliance(compliance.Config{}); verdicts != nil {
-				jv := make(map[string][]compliance.Result, len(verdicts))
-				for dir, rs := range verdicts {
-					jv[dir.String()] = rs
-				}
-				entry["verdicts"] = jv
-			}
-			out[name] = entry
-			continue
-		}
-		out[name] = jsonView(res.Get(name))
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
-}
-
-// jsonView adapts one snapshot to a stable JSON shape.
-func jsonView(snap any) any {
-	switch s := snap.(type) {
-	case *stream.Aggregates:
-		return map[string]any{
-			"records":    s.Records,
-			"tuples":     s.Tuples,
-			"bots":       s.Bots(),
-			"categories": s.CategoryRollup(),
-		}
-	case *stream.CadenceSnapshot:
-		cats := s.ByCategory()
-		out := make([]map[string]any, 0, len(cats))
-		for _, cp := range cats {
-			within := make(map[string]float64, len(cp.Within))
-			for w, f := range cp.Within {
-				within[fmtWindow(w)] = f
-			}
-			out = append(out, map[string]any{
-				"category": cp.Category, "bots": cp.Bots, "within": within,
-			})
-		}
-		return out
-	case *stream.SpoofSnapshot:
-		return map[string]any{"findings": s.Findings, "counts": s.Counts}
-	case *session.Summary:
-		return map[string]any{
-			"sessions":        s.Sessions,
-			"byCategory":      s.ByCategory,
-			"bytesByCategory": s.BytesByCategory,
-		}
-	default:
-		return snap
-	}
+	return enc.Encode(res.JSON())
 }

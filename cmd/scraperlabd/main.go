@@ -1,0 +1,224 @@
+// Command scraperlabd is the resident observatory daemon: it owns a
+// running instrumented streaming pipeline over one or many access logs
+// and serves its state over HTTP until interrupted —
+//
+//	/metrics            Prometheus exposition (pipeline + server families)
+//	/healthz, /readyz   liveness; readiness keyed on watermark progress
+//	/api/v1/<analyzer>  JSON snapshot per analyzer (compliance, cadence,
+//	                    spoof, session), /api/v1/results for the full set,
+//	                    /api/v1/experiment for phased verdicts
+//	/events             SSE feed of incremental snapshot deltas
+//	/debug/pprof/       runtime profiles (behind -pprof)
+//
+// One-shot ingestion (the default) analyzes the inputs to EOF, publishes
+// the final snapshot, and keeps serving it until the daemon is stopped;
+// -follow tails a single growing log indefinitely.
+//
+// Usage:
+//
+//	scraperlabd -stream access.csv                      # one-shot, serve forever
+//	scraperlabd -inputs 'logs/*.log' -format clf        # multi-source fan-in
+//	scraperlabd -stream access.log -format clf -follow  # live tail
+//	scraperlabd -stream access.csv -experiment phases.json -listen :9090
+//	curl localhost:8077/metrics
+//	curl localhost:8077/api/v1/compliance
+//	curl -N localhost:8077/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/stream"
+	"repro/internal/weblog"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8077", "HTTP listen address")
+		streamPath = flag.String("stream", "", "single access log to ingest")
+		inputs     = flag.String("inputs", "", "glob of access logs ingested together through the multi-source fan-in (excludes -stream and -follow)")
+		follow     = flag.Bool("follow", false, "keep tailing -stream as it grows (one-shot otherwise)")
+		poll       = flag.Duration("poll", time.Second, "tail polling interval in follow mode")
+		format     = flag.String("format", "csv", "wire format: csv, jsonl, or clf")
+		site       = flag.String("site", "", "sitename stamped on CLF records (clf format only; with -inputs, empty means each file's base name)")
+		analyzers  = flag.String("analyzers", "all", "comma-separated online analyzers (compliance, cadence, spoof, session) or \"all\"")
+		expPath    = flag.String("experiment", "", "phases.json robots.txt rotation; phase-partitions the analyzers and enables /api/v1/experiment")
+		shards     = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+		skew       = flag.Duration("skew", stream.DefaultMaxSkew, "max tolerated timestamp disorder (negative = trust input order)")
+		batch      = flag.Int("batch", 0, "records per pooled shard batch (0 = default)")
+		flush      = flag.Duration("flush", 0, "max time a partial batch may wait (0 = default; bounds snapshot staleness)")
+		decoders   = flag.Int("decoders", 0, "decoder goroutines (>1 chunks one-shot inputs for parallel decode)")
+		publish    = flag.Duration("publish", 0, "min interval between published snapshots (0 = default 500ms)")
+		sseBuffer  = flag.Int("sse-buffer", 0, "per-SSE-client frame buffer before a slow client is dropped (0 = default 16)")
+		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("scraperlabd: ")
+	if err := run(runConfig{
+		listen: *listen, stream: *streamPath, inputs: *inputs,
+		follow: *follow, poll: *poll, format: *format, site: *site,
+		analyzers: *analyzers, experiment: *expPath,
+		shards: *shards, skew: *skew, batch: *batch, flush: *flush,
+		decoders: *decoders, publish: *publish, sseBuffer: *sseBuffer,
+		pprof: *pprofFlag,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runConfig carries the flag set.
+type runConfig struct {
+	listen, stream, inputs string
+	follow                 bool
+	poll                   time.Duration
+	format, site           string
+	analyzers, experiment  string
+	shards                 int
+	skew                   time.Duration
+	batch                  int
+	flush                  time.Duration
+	decoders               int
+	publish                time.Duration
+	sseBuffer              int
+	pprof                  bool
+}
+
+// parseAnalyzers resolves the -analyzers flag into registry names ("all"
+// or empty selects every analyzer).
+func parseAnalyzers(spec string) []string {
+	if spec == "all" {
+		return stream.AnalyzerNames
+	}
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return stream.AnalyzerNames
+	}
+	return names
+}
+
+// resolvePaths turns the -stream/-inputs pair into the input file list.
+func resolvePaths(cfg runConfig) ([]string, error) {
+	switch {
+	case cfg.stream != "" && cfg.inputs != "":
+		return nil, errors.New("-stream and -inputs are mutually exclusive")
+	case cfg.stream != "":
+		return []string{cfg.stream}, nil
+	case cfg.inputs == "":
+		return nil, errors.New("need an input: -stream file or -inputs glob")
+	case cfg.follow:
+		return nil, errors.New("-inputs is one-shot; -follow needs a single -stream file")
+	}
+	paths, err := filepath.Glob(cfg.inputs)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("-inputs %q matched no files", cfg.inputs)
+	}
+	sort.Strings(paths) // tie-break order must not depend on FS order
+	return paths, nil
+}
+
+func run(cfg runConfig) error {
+	paths, err := resolvePaths(cfg)
+	if err != nil {
+		return err
+	}
+	opts := core.ObservatoryOptions{
+		Stream: core.StreamOptions{
+			Format:            cfg.format,
+			Shards:            cfg.shards,
+			MaxSkew:           cfg.skew,
+			BatchSize:         cfg.batch,
+			FlushInterval:     cfg.flush,
+			DecodeParallelism: cfg.decoders,
+			CLF:               weblog.CLFOptions{Site: cfg.site},
+			Analyzers:         parseAnalyzers(cfg.analyzers),
+		},
+		Paths:              paths,
+		Follow:             cfg.follow,
+		Poll:               cfg.poll,
+		PublishMinInterval: cfg.publish,
+		SSEClientBuffer:    cfg.sseBuffer,
+		Pprof:              cfg.pprof,
+	}
+	if cfg.experiment != "" {
+		sched, err := experiment.LoadSchedule(cfg.experiment)
+		if err != nil {
+			return err
+		}
+		opts.Stream.Phases = sched
+	}
+	if cfg.follow && cfg.decoders > 1 {
+		return errors.New("-decoders needs a one-shot run; a followed stream decodes serially")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	obsy, err := core.NewObservatory(opts)
+	if err != nil {
+		return err
+	}
+	defer obsy.Close()
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: obsy.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Printf("serving on http://%s (%d input(s), follow=%v)", ln.Addr(), len(paths), cfg.follow)
+
+	// Ingestion runs alongside the server; a finished one-shot keeps the
+	// final snapshot served until the daemon is stopped.
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		res, err := obsy.Run(ctx)
+		switch {
+		case err != nil && !errors.Is(err, context.Canceled):
+			log.Printf("ingestion failed: %v (serving the partial snapshot)", err)
+		case res != nil:
+			log.Printf("ingestion done: %d records folded, %d dropped; serving the final snapshot",
+				res.Records, res.Dropped)
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+	case err := <-serveErr:
+		return fmt.Errorf("http server: %w", err)
+	}
+	<-ingestDone // the canceled tail still flushes its last line
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shCtx) // SSE clients hold connections open; Close after
+	obsy.Close()
+	_ = httpSrv.Close()
+	return nil
+}

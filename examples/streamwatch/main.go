@@ -11,15 +11,29 @@
 // workflow as a library program.
 //
 // Run with: go run ./examples/streamwatch
+//
+// With -serve the same scenario runs through the resident observatory
+// instead: the pipeline follows the log inside a core.Observatory, the
+// program watches its own SSE /events feed for the spoof alert — the
+// cmd/scraperlabd deployment shape, self-contained:
+//
+//	go run ./examples/streamwatch -serve 127.0.0.1:8077
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -80,21 +94,48 @@ func batch(round int) []weblog.Record {
 	return out
 }
 
-func main() {
+// newLogFile creates the growing access log (header only) the writer
+// side appends to.
+func newLogFile() (path string, f *os.File, cleanup func(), err error) {
 	dir, err := os.MkdirTemp("", "streamwatch")
 	if err != nil {
-		log.Fatal(err)
+		return "", nil, nil, err
 	}
-	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "access.csv")
-	f, err := os.Create(path)
+	path = filepath.Join(dir, "access.csv")
+	f, err = os.Create(path)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, nil, err
+	}
+	if err := weblog.WriteCSV(f, &weblog.Dataset{}); err != nil { // header only
+		f.Close()
+		os.RemoveAll(dir)
+		return "", nil, nil, err
+	}
+	return path, f, func() { f.Close(); os.RemoveAll(dir) }, nil
+}
+
+func main() {
+	serve := flag.String("serve", "",
+		"run the scenario through a resident observatory on this address and watch its SSE /events feed (e.g. 127.0.0.1:8077)")
+	flag.Parse()
+	if *serve != "" {
+		if err := runServe(*serve); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	runLocal()
+}
+
+// runLocal is the library workflow: tail the log with an in-process
+// pipeline and poll live snapshots.
+func runLocal() {
+	path, f, cleanup, err := newLogFile()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := weblog.WriteCSV(f, &weblog.Dataset{}); err != nil { // header only
-		log.Fatal(err)
-	}
+	defer cleanup()
 	fmt.Printf("Tailing %s with the cadence+spoof+session analyzers...\n\n", path)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -172,4 +213,207 @@ func main() {
 	s := final.Sessions()
 	fmt.Printf("session: %d records collapsed into %d sessions across %d categories\n",
 		s.Accesses, s.Sessions, len(s.ByCategory))
+}
+
+// ---- observatory mode (-serve) ----
+
+// runServe replays the scenario through a resident observatory: the
+// pipeline follows the log inside core.Observatory, serving /metrics,
+// health probes, JSON snapshots, and the SSE feed on addr — and this
+// process doubles as its own SSE client, printing each delta as it
+// lands and raising the spoof alert from the feed rather than from an
+// in-process snapshot. The final verdict is read back over the API, the
+// way an external dashboard would.
+func runServe(addr string) error {
+	path, f, cleanup, err := newLogFile()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	obsy, err := core.NewObservatory(core.ObservatoryOptions{
+		Stream: core.StreamOptions{
+			Analyzers: []string{stream.AnalyzerCadence, stream.AnalyzerSpoof, stream.AnalyzerSession},
+			// The writer emits per-tuple time-ordered rows, so skip the
+			// reorder window and make published snapshots fully current.
+			MaxSkew: -time.Second,
+		},
+		Paths:              []string{path},
+		Follow:             true,
+		Poll:               20 * time.Millisecond,
+		PublishMinInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer obsy.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: obsy.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("Observatory on %s — tailing %s\n\n", base, path)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan *stream.Results, 1)
+	go func() {
+		res, _ := obsy.Run(ctx)
+		done <- res
+	}()
+
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	watchDone := make(chan error, 1)
+	go func() { watchDone <- watchEvents(watchCtx, base+"/events") }()
+
+	// The writer side, unchanged: one batch per round.
+	for round := 0; round < 6; round++ {
+		if err := appendBatch(f, batch(round)); err != nil {
+			return err
+		}
+		time.Sleep(150 * time.Millisecond) // let tail + publisher catch up
+	}
+	time.Sleep(200 * time.Millisecond) // final deltas out before shutdown
+	cancel()
+	<-done
+	stopWatch()
+	if err := <-watchDone; err != nil {
+		return fmt.Errorf("sse watcher: %w", err)
+	}
+
+	// Read the verdict back over the API, like an external dashboard.
+	resp, err := http.Get(base + "/api/v1/spoof")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Records uint64 `json:"records"`
+		Data    struct {
+			Findings []struct {
+				Bot             string  `json:"Bot"`
+				MainASN         string  `json:"MainASN"`
+				MainFraction    float64 `json:"MainFraction"`
+				SpoofedAccesses uint64  `json:"SpoofedAccesses"`
+			} `json:"findings"`
+			Counts struct {
+				Legitimate uint64 `json:"Legitimate"`
+				Spoofed    uint64 `json:"Spoofed"`
+			} `json:"counts"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return err
+	}
+	if len(body.Data.Findings) == 0 {
+		return fmt.Errorf("expected the impostor to be flagged on /api/v1/spoof")
+	}
+	fmt.Println("\n-- final verdict (GET /api/v1/spoof) --")
+	for _, fd := range body.Data.Findings {
+		fmt.Printf("spoof:   %q is %.0f%% from %s; %d spoofed accesses\n",
+			fd.Bot, fd.MainFraction*100, fd.MainASN, fd.SpoofedAccesses)
+	}
+	fmt.Printf("spoof:   %d legitimate vs %d potentially-spoofed bot requests over %d records\n",
+		body.Data.Counts.Legitimate, body.Data.Counts.Spoofed, body.Records)
+	return nil
+}
+
+// watchEvents consumes the observatory's SSE feed until ctx is
+// canceled, printing one line per delta and spoof alerts as they
+// arrive — the browser-dashboard half of the protocol, in 60 lines.
+func watchEvents(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	alerted := make(map[string]bool)
+	var event, data string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		case line == "" && event != "":
+			var delta struct {
+				Seq     uint64                     `json:"seq"`
+				Records uint64                     `json:"records"`
+				Changed map[string]json.RawMessage `json:"changed"`
+			}
+			if err := json.Unmarshal([]byte(data), &delta); err != nil {
+				return err
+			}
+			fmt.Printf("sse %s #%d: %d records; changed: %s\n",
+				event, delta.Seq, delta.Records, strings.Join(keysOf(delta.Changed), " "))
+			if raw, ok := delta.Changed["spoof"]; ok {
+				printSpoofAlerts(raw, alerted)
+			}
+			event, data = "", ""
+		}
+	}
+	// A canceled context surfaces as a read error on the body: that is
+	// the normal shutdown path, not a failure.
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// keysOf lists a delta's changed-analyzer names ("none" when the frame
+// only moved the record counters).
+func keysOf(m map[string]json.RawMessage) []string {
+	if len(m) == 0 {
+		return []string{"none"}
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// printSpoofAlerts raises each bot's alert once, from the SSE payload.
+func printSpoofAlerts(raw json.RawMessage, alerted map[string]bool) {
+	var view struct {
+		Findings []struct {
+			Bot             string  `json:"Bot"`
+			MainASN         string  `json:"MainASN"`
+			MainFraction    float64 `json:"MainFraction"`
+			SpoofedAccesses uint64  `json:"SpoofedAccesses"`
+			Suspects        []struct {
+				ASN      string `json:"ASN"`
+				Accesses uint64 `json:"Accesses"`
+			} `json:"Suspects"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		return
+	}
+	for _, fd := range view.Findings {
+		if alerted[fd.Bot] {
+			continue
+		}
+		alerted[fd.Bot] = true
+		fmt.Printf("  [spoof alert] %q traffic is %.0f%% from %s, yet %d accesses arrive from:",
+			fd.Bot, fd.MainFraction*100, fd.MainASN, fd.SpoofedAccesses)
+		for _, s := range fd.Suspects {
+			fmt.Printf(" %s(%d)", s.ASN, s.Accesses)
+		}
+		fmt.Println()
+	}
 }

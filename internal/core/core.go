@@ -204,6 +204,14 @@ type StreamOptions struct {
 	// snapshot can emit the paper's phase-vs-baseline verdicts online
 	// (stream.PhasedSnapshot.CompareCompliance).
 	Phases *experiment.Schedule
+	// Metrics, when non-nil, instruments the pipeline's ingestion stages
+	// (see stream.Options.Metrics); results then carry IngestStats and
+	// the observatory can export the same registry on /metrics.
+	Metrics *stream.Metrics
+	// OnAdvance, when non-nil, is called after a shard's release
+	// watermark advances (see stream.Options.OnAdvance). It must be fast
+	// and non-blocking.
+	OnAdvance func(watermark time.Time)
 }
 
 // analyzerOptions maps the facade knobs onto the stream registry's.
@@ -477,6 +485,8 @@ func StreamPipeline(opts StreamOptions) (*stream.Pipeline, error) {
 		BatchSize:     opts.BatchSize,
 		FlushInterval: opts.FlushInterval,
 		Analyzers:     analyzers,
+		Metrics:       opts.Metrics,
+		OnAdvance:     opts.OnAdvance,
 	}
 	if !opts.Raw {
 		pre := weblog.NewPreprocessor()

@@ -1,0 +1,151 @@
+// observatory.go wires the resident observatory: an instrumented
+// streaming pipeline plus the obsserve HTTP surface (/metrics, health
+// probes, per-analyzer JSON snapshots, the SSE delta feed), built as one
+// value so cmd/scraperlabd and library embedders share the exact wiring.
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obsserve"
+	"repro/internal/stream"
+)
+
+// ObservatoryOptions configures NewObservatory.
+type ObservatoryOptions struct {
+	// Stream carries the pipeline knobs (format, shards, skew,
+	// analyzers, phases, ...). Metrics and OnAdvance are overwritten by
+	// NewObservatory — the observatory owns its instrumentation.
+	Stream StreamOptions
+	// Paths are the input access logs, ingested together through the
+	// multi-source fan-in (sort them: order breaks equal-timestamp
+	// ties). Follow mode requires exactly one path.
+	Paths []string
+	// Follow tails Paths[0] as it grows instead of stopping at EOF;
+	// ingestion then runs until the context is canceled.
+	Follow bool
+	// Poll is the tail polling interval in follow mode (0 = 1s).
+	Poll time.Duration
+	// PublishMinInterval rate-limits snapshot publication (0 = the
+	// obsserve default of 500ms).
+	PublishMinInterval time.Duration
+	// SSEClientBuffer is the per-SSE-client frame buffer; a client that
+	// falls this far behind is dropped (0 = the obsserve default of 16).
+	SSEClientBuffer int
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Observatory is a resident, instrumented streaming pipeline with an
+// HTTP surface: build one with NewObservatory, mount Handler on a
+// listener, call Run to ingest, and Close when done. The server keeps
+// answering from the final published snapshot after a one-shot Run
+// finishes — a daemon serves results for as long as it lives.
+type Observatory struct {
+	opts    ObservatoryOptions
+	sOpts   StreamOptions // resolved: metrics + advance hook wired in
+	metrics *stream.Metrics
+	srv     *obsserve.Server
+	pipe    *stream.Pipeline
+}
+
+// NewObservatory builds the observatory: a fresh metrics registry, an
+// instrumented pipeline whose watermark advances drive snapshot
+// publication, and the HTTP surface over both.
+func NewObservatory(opts ObservatoryOptions) (*Observatory, error) {
+	if len(opts.Paths) == 0 {
+		return nil, fmt.Errorf("core: observatory needs at least one input path")
+	}
+	if opts.Follow && len(opts.Paths) != 1 {
+		return nil, fmt.Errorf("core: follow mode tails exactly one file, got %d", len(opts.Paths))
+	}
+	reg := obs.NewRegistry()
+	m := stream.NewMetrics(reg)
+	srv := obsserve.NewServer(obsserve.Options{
+		Registry:           reg,
+		Metrics:            m,
+		MinPublishInterval: opts.PublishMinInterval,
+		ClientBuffer:       opts.SSEClientBuffer,
+		Pprof:              opts.Pprof,
+	})
+	sOpts := opts.Stream
+	sOpts.Metrics = m
+	sOpts.OnAdvance = srv.OnAdvance
+	p, err := StreamPipeline(sOpts)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	srv.Attach(p)
+	return &Observatory{opts: opts, sOpts: sOpts, metrics: m, srv: srv, pipe: p}, nil
+}
+
+// Handler is the observatory's HTTP surface: /metrics, /healthz,
+// /readyz, /api/v1/<analyzer>, /events (SSE), and /debug/pprof/ when
+// enabled.
+func (o *Observatory) Handler() http.Handler { return o.srv.Handler() }
+
+// Metrics exposes the pipeline instrument set (and via
+// Metrics().Registry() the registry /metrics serves).
+func (o *Observatory) Metrics() *stream.Metrics { return o.metrics }
+
+// Run ingests the configured inputs through the pipeline: the fan-in
+// over Paths one-shot, or a poll-driven tail of Paths[0] in follow mode
+// (until ctx cancels; a canceled tail still flushes its last partial
+// line). The final results are published before returning, so the
+// HTTP surface keeps serving them. Run may be called once.
+func (o *Observatory) Run(ctx context.Context) (*stream.Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := o.runIngest(ctx)
+	if res != nil {
+		o.srv.Finalize(res)
+	}
+	return res, err
+}
+
+func (o *Observatory) runIngest(ctx context.Context) (*stream.Results, error) {
+	if !o.opts.Follow {
+		sources, err := fileSources(o.opts.Paths, o.sOpts)
+		if err != nil {
+			o.pipe.Close()
+			return nil, err
+		}
+		return o.pipe.RunSources(ctx, sources)
+	}
+
+	path := o.opts.Paths[0]
+	f, err := os.Open(path)
+	if err != nil {
+		o.pipe.Close()
+		return nil, err
+	}
+	defer f.Close()
+	poll := o.opts.Poll
+	if poll <= 0 {
+		poll = time.Second
+	}
+	clf := o.sOpts.CLF
+	if site := clfSiteLabels([]string{path}, o.sOpts); site != nil && clf.Site == "" {
+		clf.Site = site[path]
+	}
+	dec, err := stream.NewDecoder(streamFormat(o.sOpts), stream.NewTailReader(ctx, f, poll), clf)
+	if err != nil {
+		o.pipe.Close()
+		return nil, err
+	}
+	// Run off the decoder alone: the TailReader turns cancellation into
+	// a clean EOF after flushing any final unterminated line, so the
+	// last record survives the shutdown signal.
+	return o.pipe.Run(nil, dec)
+}
+
+// Close shuts the HTTP surface down (SSE clients disconnect); it does
+// not interrupt a Run — cancel Run's context for that.
+func (o *Observatory) Close() { o.srv.Close() }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+// observatoryDataset builds a small bot-heavy dataset split across two
+// site logs.
+func observatoryDataset(n int) *weblog.Dataset {
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
+	for i := 0; i < n; i++ {
+		site := "www"
+		if i%2 == 1 {
+			site = "people"
+		}
+		d.Records = append(d.Records, weblog.Record{
+			UserAgent: "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+			Time:      base.Add(time.Duration(i) * time.Second),
+			IPHash:    fmt.Sprintf("h%03d", i%11),
+			ASN:       "GOOGLE",
+			Site:      site,
+			Path:      "/page",
+			Status:    200,
+			Bytes:     512,
+		})
+	}
+	return d
+}
+
+// TestObservatoryOneShot runs the full observatory wiring over two CSV
+// file sources: ingest, finalize, and serve snapshots + metrics.
+func TestObservatoryOneShot(t *testing.T) {
+	dir := t.TempDir()
+	d := observatoryDataset(400)
+	a := &weblog.Dataset{Records: d.Records[:200]}
+	b := &weblog.Dataset{Records: d.Records[200:]}
+	var paths []string
+	for i, part := range []*weblog.Dataset{a, b} {
+		path := filepath.Join(dir, fmt.Sprintf("site-%d.csv", i))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := weblog.WriteCSV(f, part); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, path)
+	}
+
+	o, err := NewObservatory(ObservatoryOptions{
+		Stream: StreamOptions{
+			MaxSkew:   time.Minute,
+			Shards:    2,
+			Analyzers: []string{"compliance", "session"},
+		},
+		Paths:              paths,
+		PublishMinInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	ts := httptest.NewServer(o.Handler())
+	defer ts.Close()
+
+	res, err := o.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 400 {
+		t.Fatalf("folded %d records, want 400", res.Records)
+	}
+	if res.Ingest == nil || res.Ingest.Decoded != 400 {
+		t.Fatalf("ingest stats = %+v, want 400 decoded", res.Ingest)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/compliance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/v1/compliance status %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["records"].(float64) != 400 || body["done"] != true {
+		t.Fatalf("compliance snapshot = %v", body)
+	}
+
+	ready, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz status %d after one-shot finished", ready.StatusCode)
+	}
+}
+
+// TestObservatoryValidation pins the constructor's input checks.
+func TestObservatoryValidation(t *testing.T) {
+	if _, err := NewObservatory(ObservatoryOptions{}); err == nil {
+		t.Error("no paths accepted")
+	}
+	if _, err := NewObservatory(ObservatoryOptions{
+		Paths: []string{"a", "b"}, Follow: true,
+	}); err == nil {
+		t.Error("multi-path follow accepted")
+	}
+}

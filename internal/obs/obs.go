@@ -1,0 +1,420 @@
+// Package obs is the repository's dependency-free observability layer: a
+// metrics registry of atomic counters, gauges, and histograms with
+// Prometheus text exposition. It exists so the streaming pipeline's hot
+// path can be instrumented without importing a metrics framework — every
+// instrument is a plain struct of atomics, so recording a value is one or
+// two atomic operations and never allocates.
+//
+// Instruments are created through a Registry (get-or-create by name and
+// label set) and exported with WritePrometheus. Creation takes locks and
+// may allocate; it belongs in setup code. Recording (Counter.Add,
+// Gauge.Set, Histogram.Observe) is lock-free and allocation-free, safe
+// from any goroutine — the discipline the pipeline's fold path relies on
+// is: resolve the instrument once, outside the loop, then only record.
+//
+// Exposition output is deterministic: families print sorted by name,
+// series within a family sorted by label signature, so golden-file tests
+// can pin the exact format.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair identifying a series within a family.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metricType enumerates the Prometheus exposition types the registry
+// supports.
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing value. The zero value is unusable;
+// obtain one from Registry.Counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (a depth, a count, a unix-nano
+// timestamp). Obtain one from Registry.Gauge.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Max raises the gauge to v if v is greater than the current value.
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Observations land in the
+// first bucket whose upper bound is >= the value, Prometheus-style
+// (cumulative _bucket{le=...} series plus _sum and _count). Obtain one
+// from Registry.Histogram.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf implied after
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets builds n exponentially growing bucket bounds starting at
+// start and multiplying by factor — the usual shape for latency
+// histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// series is one labeled instrument within a family.
+type series struct {
+	labels []Label
+	sig    string // canonical label signature, the sort/identity key
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	series []*series
+}
+
+// Registry is a concurrency-safe collection of metric families. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// sigOf canonicalizes a label set: sorted by name, rendered once.
+func sigOf(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+// lookup finds or creates the family and the series for (name, labels),
+// validating type consistency, then runs init on the series while the
+// registry lock is still held — instrument installation must happen
+// under the same critical section as the get-or-create, or two racing
+// first registrations could each install their own instrument and lose
+// the other's updates.
+func (r *Registry) lookup(name, help string, typ metricType, labels []Label, init func(*series)) *series {
+	sig := sigOf(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	for _, s := range f.series {
+		if s.sig == sig {
+			init(s)
+			return s
+		}
+	}
+	s := &series{labels: sortedLabels(labels), sig: sig}
+	init(s)
+	f.series = append(f.series, s)
+	return s
+}
+
+// sortedLabels copies and name-sorts a label set for stable rendering.
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return ls
+}
+
+// Counter returns the counter registered under name with the given
+// labels, creating it on first use. Registering one name under two
+// different instrument types panics (a programming error, not a runtime
+// condition).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, typeCounter, labels, func(s *series) {
+		if s.c == nil {
+			s.c = &Counter{}
+		}
+	})
+	return s.c
+}
+
+// Gauge returns the int64 gauge registered under name with the given
+// labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, typeGauge, labels, func(s *series) {
+		if s.g == nil {
+			s.g = &Gauge{}
+		}
+	})
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for derived values like watermark lag against the wall clock.
+// fn must be safe for concurrent use. Re-registering the same name and
+// labels replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, typeGauge, labels, func(s *series) { s.fn = fn })
+}
+
+// Histogram returns the histogram registered under name with the given
+// labels, creating it with the bounds on first use (bounds must be
+// ascending; later calls with the same name+labels reuse the original
+// buckets and ignore the argument).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, help, typeHistogram, labels, func(s *series) {
+		if s.h == nil {
+			s.h = &Histogram{
+				bounds: append([]float64(nil), bounds...),
+				counts: make([]atomic.Uint64, len(bounds)+1),
+			}
+		}
+	})
+	return s.h
+}
+
+// formatFloat renders a float the way Prometheus expects, with exact
+// integers printed without an exponent.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// writeLabels renders {a="x",b="y"} (empty string for no labels), with
+// extra appended after the series' own labels (the histogram `le` pair).
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	if len(labels)+len(extra) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	n := 0
+	for _, l := range labels {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range extra {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the family/series structure under the lock; values are
+	// atomics read during rendering (a torn scrape across series is
+	// inherent to scraping live counters and acceptable).
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	sers := make([][]*series, len(fams))
+	for i, f := range fams {
+		ss := append([]*series(nil), f.series...)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].sig < ss[b].sig })
+		sers[i] = ss
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range sers[i] {
+			switch {
+			case s.c != nil:
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(s.c.Value(), 10))
+				b.WriteByte('\n')
+			case s.fn != nil:
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.fn()))
+				b.WriteByte('\n')
+			case s.g != nil:
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(s.g.Value(), 10))
+				b.WriteByte('\n')
+			case s.h != nil:
+				var cum uint64
+				for bi, bound := range s.h.bounds {
+					cum += s.h.counts[bi].Load()
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, s.labels, Label{Name: "le", Value: formatFloat(bound)})
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatUint(cum, 10))
+					b.WriteByte('\n')
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, s.labels, Label{Name: "le", Value: "+Inf"})
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.h.Sum()))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

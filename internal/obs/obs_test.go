@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionGolden pins the exact exposition format: family ordering,
+// series ordering, label escaping, histogram bucket accumulation.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scraperlab_records_folded_total", "Records folded into analyzer states.", L("shard", "0")).Add(41)
+	r.Counter("scraperlab_records_folded_total", "Records folded into analyzer states.", L("shard", "1")).Add(1)
+	r.Counter("scraperlab_records_dropped_total", "Records rejected by the keep filter.").Add(3)
+	r.Gauge("scraperlab_reorder_heap_depth", "Records buffered awaiting release.", L("shard", "0")).Set(7)
+	r.GaugeFunc("scraperlab_watermark_lag_seconds", "Wall-clock lag behind the event-time watermark.", func() float64 { return 1.5 })
+	h := r.Histogram("scraperlab_release_seconds", "Reorder-buffer release latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.002)
+	h.Observe(5)
+	r.Counter("weird_label_total", "Escaping.", L("path", `a\b"c`+"\n")).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("exposition mismatch\n-- got --\n%s\n-- want --\n%s", b.String(), want)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if again := r.Counter("c_total", "c"); again != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+	g := r.Gauge("g", "g")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+	g.Max(5)
+	if g.Value() != 7 {
+		t.Fatal("Max lowered the gauge")
+	}
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Fatal("Max did not raise the gauge")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-103.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 103.5", h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 3)
+	want := []float64{0.001, 0.01, 0.1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("m", "m")
+}
+
+// TestRegistryConcurrency hammers registration, recording, and scraping
+// from many goroutines at once; run under -race this is the registry's
+// memory-model proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 8
+	const iters = 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("conc_total", "c", L("w", fmt.Sprint(w%4))).Inc()
+				r.Gauge("conc_depth", "g", L("w", fmt.Sprint(w%4))).Set(int64(i))
+				r.Histogram("conc_lat", "h", []float64{0.01, 0.1}, L("w", fmt.Sprint(w%4))).Observe(float64(i) / 100)
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for w := 0; w < 4; w++ {
+		total += r.Counter("conc_total", "c", L("w", fmt.Sprint(w))).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("lost increments: %d, want %d", total, workers*iters)
+	}
+}

@@ -1,0 +1,608 @@
+// Package obsserve is the observatory's HTTP surface: it owns the latest
+// published snapshot of a running stream.Pipeline and serves it as
+// Prometheus metrics (/metrics), liveness and readiness probes
+// (/healthz, /readyz), per-analyzer JSON snapshots (/api/v1/...), and an
+// SSE delta feed (/events).
+//
+// The concurrency design has two halves:
+//
+//   - Publication. A single publisher goroutine snapshots the attached
+//     pipeline and swaps the result into an atomic.Pointer[Published].
+//     Readers (every HTTP handler) load the pointer and work on an
+//     immutable value — no locks on the read path, no torn snapshots.
+//     Publishes are driven by the pipeline's watermark advances
+//     (Options.OnAdvance → a non-blocking dirty signal, coalesced while
+//     the publisher is busy) and rate-limited to MinPublishInterval; a
+//     ticker at the same cadence catches runs that never advance a
+//     watermark (MaxSkew < 0).
+//
+//   - Fan-out. Each SSE client gets a buffered frame channel. The
+//     broadcaster never blocks: a client whose buffer is full when a
+//     frame arrives is dropped on the spot (counted on
+//     scraperlab_sse_dropped_total) rather than back-pressuring the
+//     publisher or the other clients.
+package obsserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	netpprof "net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// Observatory metric names (on the same registry as the pipeline's).
+const (
+	metricPublished  = "scraperlab_snapshots_published_total"
+	metricSSEClients = "scraperlab_sse_clients"
+	metricSSEDropped = "scraperlab_sse_dropped_total"
+)
+
+// DefaultMinPublishInterval rate-limits snapshot publication: watermark
+// advances arriving faster than this coalesce into one publish.
+const DefaultMinPublishInterval = 500 * time.Millisecond
+
+// DefaultClientBuffer is the per-SSE-client frame buffer; a client that
+// falls this many frames behind is dropped.
+const DefaultClientBuffer = 16
+
+// Options configures a Server.
+type Options struct {
+	// Registry is the metrics registry /metrics exposes. Nil gets a
+	// fresh one; share the pipeline's (stream.Metrics.Registry) so one
+	// scrape covers both.
+	Registry *obs.Registry
+	// Metrics, when non-nil, supplies the event-time watermark stamped
+	// on every published snapshot and keying /readyz.
+	Metrics *stream.Metrics
+	// MinPublishInterval rate-limits publication (0 = the default 500ms;
+	// negative = publish on every advance, for tests).
+	MinPublishInterval time.Duration
+	// ClientBuffer is the per-SSE-client frame buffer (0 = default 16).
+	ClientBuffer int
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Published is one immutable published snapshot. All fields are set
+// before the pointer swap that makes the value visible and never written
+// afterwards.
+type Published struct {
+	// Seq increments on every publish; SSE event ids carry it.
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock publication time.
+	At time.Time `json:"at"`
+	// Watermark is the pipeline's global event-time watermark at
+	// publication (zero before any shard advanced, or uninstrumented).
+	Watermark time.Time `json:"watermark"`
+	// Done marks the final snapshot of a finished ingestion.
+	Done bool `json:"done"`
+	// Results is the analyzer snapshot set (never nil).
+	Results *stream.Results `json:"-"`
+
+	// views holds each analyzer's JSON view, rendered once at publish
+	// time. Handlers serve these bytes rather than re-deriving views
+	// from Results: some snapshot accessors (cadence) sort in place, so
+	// per-request rendering would race between concurrent readers —
+	// rendering inside the publish lock makes the swapped value truly
+	// read-immutable and the read path allocation-light.
+	views map[string]json.RawMessage
+	// full is the whole result set in cmd/analyze -json shape.
+	full json.RawMessage
+	// phased names the phase-partitioned compliance analyzer backing
+	// /api/v1/experiment, empty when no schedule is loaded.
+	phased string
+}
+
+// Server owns the published snapshot and its HTTP surface. Build with
+// NewServer, point it at a pipeline with Attach, and shut it down with
+// Close.
+type Server struct {
+	reg     *obs.Registry
+	metrics *stream.Metrics
+	minPub  time.Duration
+	bufSize int
+
+	pipe atomic.Pointer[stream.Pipeline]
+	cur  atomic.Pointer[Published]
+	done atomic.Bool
+
+	dirty chan struct{} // cap-1 coalescing publish signal
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	// pubMu serializes publishes; lastViews is the per-analyzer JSON of
+	// the previous publish, the baseline deltas diff against.
+	pubMu     sync.Mutex
+	seq       uint64
+	lastViews map[string][]byte
+	lastMeta  []byte
+
+	clientMu sync.Mutex
+	clients  map[*sseClient]struct{}
+
+	published  *obs.Counter
+	sseClients *obs.Gauge
+	sseDropped *obs.Counter
+
+	mux *http.ServeMux
+}
+
+// NewServer builds the observatory server and starts its publisher
+// goroutine. Attach a pipeline before (or after) serving; handlers
+// respond 503 until the first publish.
+func NewServer(opts Options) *Server {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	minPub := opts.MinPublishInterval
+	if minPub == 0 {
+		minPub = DefaultMinPublishInterval
+	}
+	buf := opts.ClientBuffer
+	if buf <= 0 {
+		buf = DefaultClientBuffer
+	}
+	s := &Server{
+		reg:     reg,
+		metrics: opts.Metrics,
+		minPub:  minPub,
+		bufSize: buf,
+		dirty:   make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		clients: make(map[*sseClient]struct{}),
+
+		lastViews: make(map[string][]byte),
+		published: reg.Counter(metricPublished, "Snapshots published by the observatory."),
+		sseClients: reg.Gauge(metricSSEClients,
+			"SSE clients currently subscribed to /events."),
+		sseDropped: reg.Counter(metricSSEDropped,
+			"SSE clients dropped for falling behind the delta feed."),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/api/v1/", s.handleAPI)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
+	s.wg.Add(1)
+	go s.publishLoop()
+	return s
+}
+
+// Handler returns the server's HTTP handler (mount it on any listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Attach points the server at a pipeline and publishes an initial
+// snapshot, so the API answers before the first record arrives. Safe to
+// call once, before or while serving.
+func (s *Server) Attach(p *stream.Pipeline) {
+	s.pipe.Store(p)
+	s.publish(false)
+}
+
+// OnAdvance is the pipeline's watermark hook (wire it to
+// stream.Options.OnAdvance). It never blocks: signals arriving while a
+// publish is pending coalesce.
+func (s *Server) OnAdvance(time.Time) {
+	select {
+	case s.dirty <- struct{}{}:
+	default:
+	}
+}
+
+// Finalize publishes the finished run's results as the final snapshot
+// and marks the feed done; subsequent periodic publishes stop. The
+// server keeps serving the final snapshot until Close.
+func (s *Server) Finalize(res *stream.Results) {
+	s.pubMu.Lock()
+	s.done.Store(true)
+	s.pubMu.Unlock()
+	s.publishResults(res, true)
+}
+
+// Close stops the publisher and disconnects every SSE client.
+func (s *Server) Close() {
+	select {
+	case <-s.stop:
+		return // already closed
+	default:
+	}
+	close(s.stop)
+	s.wg.Wait()
+	s.clientMu.Lock()
+	for c := range s.clients {
+		delete(s.clients, c)
+		close(c.gone)
+	}
+	s.clientMu.Unlock()
+}
+
+// Snapshot returns the latest published snapshot, nil before the first
+// publish.
+func (s *Server) Snapshot() *Published { return s.cur.Load() }
+
+// publishLoop drives publication: dirty signals from OnAdvance, plus a
+// ticker that both rate-limits bursts and catches pipelines that never
+// advance a watermark.
+func (s *Server) publishLoop() {
+	defer s.wg.Done()
+	interval := s.minPub
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var last time.Time
+	pending := false
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.dirty:
+			if s.minPub > 0 && time.Since(last) < s.minPub {
+				pending = true // the ticker will catch it
+				continue
+			}
+			last = time.Now()
+			pending = false
+			s.publish(false)
+		case <-tick.C:
+			if s.done.Load() {
+				continue // final snapshot already out; nothing moves
+			}
+			if !pending && s.pipe.Load() == nil {
+				continue
+			}
+			// Publish even without a dirty signal: with reordering
+			// disabled the watermark never advances, yet folds continue;
+			// unchanged snapshots produce no SSE traffic anyway.
+			last = time.Now()
+			pending = false
+			s.publish(false)
+		}
+	}
+}
+
+// publish snapshots the attached pipeline and swaps the result in.
+func (s *Server) publish(force bool) {
+	p := s.pipe.Load()
+	if p == nil || s.done.Load() {
+		return
+	}
+	s.publishResults(p.Snapshot(), force)
+}
+
+// publishResults swaps res in as the newest Published value and
+// broadcasts a delta frame when anything changed (always when forced).
+func (s *Server) publishResults(res *stream.Results, force bool) {
+	if res == nil {
+		return
+	}
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.seq++
+	pub := &Published{
+		Seq:       s.seq,
+		At:        time.Now().UTC(),
+		Watermark: s.watermark(res),
+		Done:      s.done.Load(),
+		Results:   res,
+		views:     make(map[string]json.RawMessage, len(res.Names())),
+	}
+
+	// Render every analyzer view exactly once, inside the publish lock
+	// (the lazy snapshot accessors are not safe for concurrent use), and
+	// diff against the previous publish: only changed sections ride in
+	// the delta event.
+	changed := make(map[string]json.RawMessage)
+	full := map[string]any{
+		"records": res.Records, "shards": res.Shards, "dropped": res.Dropped,
+	}
+	if res.Ingest != nil {
+		full["ingest"] = res.Ingest
+	}
+	for _, name := range res.Names() {
+		if p := res.Phased(name); p != nil && p.Analyzer == stream.AnalyzerCompliance {
+			pub.phased = name
+		}
+		b, err := json.Marshal(analyzerView(res, name))
+		if err != nil {
+			continue // non-encodable view; keep serving the rest
+		}
+		pub.views[name] = b
+		full[name] = json.RawMessage(b)
+		if !bytes.Equal(s.lastViews[name], b) {
+			changed[name] = b
+			s.lastViews[name] = b
+		}
+	}
+	pub.full, _ = json.Marshal(full)
+	s.cur.Store(pub)
+	s.published.Inc()
+
+	meta, _ := json.Marshal(map[string]any{
+		"records": res.Records, "dropped": res.Dropped, "shards": res.Shards,
+	})
+	metaChanged := !bytes.Equal(s.lastMeta, meta)
+	s.lastMeta = meta
+
+	if !force && len(changed) == 0 && !metaChanged {
+		return // quiet publish: readers see the new seq, SSE stays idle
+	}
+	frame := sseFrame("delta", pub.Seq, deltaBody(pub, changed))
+	s.broadcast(frame)
+}
+
+// watermark resolves the event-time watermark stamped on a publish.
+func (s *Server) watermark(res *stream.Results) time.Time {
+	if res.Ingest != nil {
+		return res.Ingest.Watermark
+	}
+	if s.metrics != nil {
+		return s.metrics.Watermark()
+	}
+	return time.Time{}
+}
+
+// deltaBody assembles one SSE delta payload.
+func deltaBody(pub *Published, changed map[string]json.RawMessage) []byte {
+	body := map[string]any{
+		"seq":     pub.Seq,
+		"at":      pub.At,
+		"records": pub.Results.Records,
+		"dropped": pub.Results.Dropped,
+		"done":    pub.Done,
+	}
+	if !pub.Watermark.IsZero() {
+		body["watermark"] = pub.Watermark
+	}
+	if len(changed) > 0 {
+		body["changed"] = changed
+	}
+	b, _ := json.Marshal(body)
+	return b
+}
+
+// analyzerView renders one analyzer's JSON view (phased analyzers via
+// the phase-partitioned shape).
+func analyzerView(res *stream.Results, name string) any {
+	if p := res.Phased(name); p != nil {
+		return stream.PhasedJSONView(p)
+	}
+	return stream.JSONView(res.Get(name))
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleHealthz is pure liveness: the process serves, so it is healthy.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ok"}
+	if pub := s.cur.Load(); pub != nil {
+		body["seq"] = pub.Seq
+		body["records"] = pub.Results.Records
+		body["done"] = pub.Done
+		if !pub.Watermark.IsZero() {
+			body["watermark"] = pub.Watermark
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz keys readiness on ingestion progress: ready once the
+// event-time watermark has advanced, records have folded, or the run
+// finished (a finished one-shot stays ready while it serves its final
+// snapshot).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	pub := s.cur.Load()
+	switch {
+	case pub == nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting", "reason": "no snapshot published yet"})
+	case pub.Done || pub.Results.Records > 0 || !pub.Watermark.IsZero():
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "seq": pub.Seq})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "waiting", "reason": "no records folded and no watermark advance yet"})
+	}
+}
+
+// handleAPI serves /api/v1/<analyzer> JSON snapshots. "experiment" is an
+// alias serving the phased compliance verdicts; "results" serves the
+// whole set in cmd/analyze -json shape.
+func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
+	pub := s.cur.Load()
+	if pub == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot published yet"})
+		return
+	}
+	name := r.URL.Path[len("/api/v1/"):]
+	res := pub.Results
+	var data json.RawMessage
+	switch name {
+	case "results":
+		data = pub.full
+	case "experiment":
+		if pub.phased == "" {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error": "no phased compliance experiment loaded (start with -experiment)"})
+			return
+		}
+		data = pub.views[pub.phased]
+	default:
+		b, ok := pub.views[name]
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error": fmt.Sprintf("analyzer %q not in this pipeline (have %v)", name, res.Names())})
+			return
+		}
+		data = b
+	}
+	body := map[string]any{
+		"seq": pub.Seq, "at": pub.At, "done": pub.Done,
+		"records": res.Records, "dropped": res.Dropped, "shards": res.Shards,
+		"data": data,
+	}
+	if !pub.Watermark.IsZero() {
+		body["watermark"] = pub.Watermark
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+// ---- SSE ----
+
+// sseClient is one /events subscriber: a buffered frame channel plus a
+// gone signal closed exactly once at drop/close time.
+type sseClient struct {
+	frames chan []byte
+	gone   chan struct{}
+}
+
+// sseFrame renders one complete SSE frame.
+func sseFrame(event string, id uint64, data []byte) []byte {
+	var b bytes.Buffer
+	b.WriteString("event: ")
+	b.WriteString(event)
+	b.WriteString("\nid: ")
+	b.WriteString(strconv.FormatUint(id, 10))
+	b.WriteString("\ndata: ")
+	b.Write(data)
+	b.WriteString("\n\n")
+	return b.Bytes()
+}
+
+// subscribe registers a new SSE client.
+func (s *Server) subscribe() *sseClient {
+	c := &sseClient{frames: make(chan []byte, s.bufSize), gone: make(chan struct{})}
+	s.clientMu.Lock()
+	s.clients[c] = struct{}{}
+	s.clientMu.Unlock()
+	s.sseClients.Add(1)
+	return c
+}
+
+// unsubscribe removes a client; idempotent, so the broadcaster dropping
+// a client and its handler returning never double-close.
+func (s *Server) unsubscribe(c *sseClient, dropped bool) {
+	s.clientMu.Lock()
+	_, present := s.clients[c]
+	if present {
+		delete(s.clients, c)
+		close(c.gone)
+	}
+	s.clientMu.Unlock()
+	if present {
+		s.sseClients.Add(-1)
+		if dropped {
+			s.sseDropped.Inc()
+		}
+	}
+}
+
+// broadcast fans one frame out to every subscriber without ever
+// blocking: a client whose buffer is full is dropped on the spot.
+func (s *Server) broadcast(frame []byte) {
+	s.clientMu.Lock()
+	var drop []*sseClient
+	for c := range s.clients {
+		select {
+		case c.frames <- frame:
+		default:
+			drop = append(drop, c)
+		}
+	}
+	for _, c := range drop {
+		delete(s.clients, c)
+		close(c.gone)
+	}
+	s.clientMu.Unlock()
+	for range drop {
+		s.sseClients.Add(-1)
+		s.sseDropped.Inc()
+	}
+}
+
+// handleEvents serves the SSE feed: a full snapshot event on subscribe,
+// then incremental delta events as publishes land, with comment
+// heartbeats to keep idle connections alive.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	c := s.subscribe()
+	defer s.unsubscribe(c, false)
+
+	// Opening frame: the full current snapshot (every analyzer view,
+	// from the publish-time render), so a client needs no separate GET
+	// to initialize.
+	if pub := s.cur.Load(); pub != nil {
+		body, _ := json.Marshal(map[string]any{
+			"seq": pub.Seq, "at": pub.At, "done": pub.Done,
+			"records": pub.Results.Records, "dropped": pub.Results.Dropped,
+			"analyzers": pub.views,
+		})
+		if _, err := w.Write(sseFrame("snapshot", pub.Seq, body)); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case <-c.gone:
+			return // dropped by the broadcaster
+		case frame := <-c.frames:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package obsserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stream"
+	"repro/internal/weblog"
+)
+
+// testDataset builds n records, one per second, across two bots.
+func testDataset(n int) *weblog.Dataset {
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
+	for i := 0; i < n; i++ {
+		rec := weblog.Record{
+			UserAgent: "Mozilla/5.0 (compatible; Googlebot/2.1)",
+			Time:      base.Add(time.Duration(i) * time.Second),
+			IPHash:    fmt.Sprintf("h%03d", i%7),
+			ASN:       "GOOGLE",
+			Site:      "www",
+			Path:      "/page",
+			Status:    200,
+			Bytes:     100,
+			BotName:   "Googlebot",
+			Category:  "Search Engine Crawlers",
+		}
+		if i%10 == 0 {
+			rec.Path = "/robots.txt"
+		}
+		if i%2 == 1 {
+			rec.UserAgent = "Mozilla/5.0 (compatible; bingbot/2.0)"
+			rec.IPHash = fmt.Sprintf("b%03d", i%5)
+			rec.ASN = "MICROSOFT"
+			rec.BotName = "bingbot"
+		}
+		d.Records = append(d.Records, rec)
+	}
+	return d
+}
+
+// newTestServer wires a metrics registry, pipeline, and server the way
+// the daemon does.
+func newTestServer(t *testing.T, opts Options) (*Server, *stream.Pipeline) {
+	t.Helper()
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := stream.NewMetrics(reg)
+	opts.Registry = reg
+	opts.Metrics = m
+	s := NewServer(opts)
+	t.Cleanup(s.Close)
+	analyzers, err := stream.NewAnalyzers(nil, stream.AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stream.NewPipeline(stream.Options{
+		Shards:    2,
+		MaxSkew:   time.Minute,
+		Metrics:   m,
+		OnAdvance: s.OnAdvance,
+		Analyzers: analyzers,
+	})
+	s.Attach(p)
+	return s, p
+}
+
+func getJSON(t *testing.T, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d, want %d (body %s)", url, resp.StatusCode, wantCode, b)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: decoding body: %v", url, err)
+	}
+	return out
+}
+
+// TestEndpointsLifecycle walks the full daemon lifecycle: ready only
+// after progress, per-analyzer snapshots after Finalize, experiment 404
+// without a schedule, unknown analyzers 404.
+func TestEndpointsLifecycle(t *testing.T) {
+	s, p := newTestServer(t, Options{MinPublishInterval: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	body := getJSON(t, ts.URL+"/readyz", http.StatusServiceUnavailable)
+	if body["status"] != "waiting" {
+		t.Errorf("readyz before ingest: %v", body)
+	}
+
+	res, err := p.Run(context.Background(), stream.NewDatasetDecoder(testDataset(300)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Finalize(res)
+
+	body = getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if body["status"] != "ready" {
+		t.Errorf("readyz after finalize: %v", body)
+	}
+	body = getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if body["done"] != true {
+		t.Errorf("healthz not done after finalize: %v", body)
+	}
+
+	for _, name := range []string{"compliance", "cadence", "spoof", "session", "results"} {
+		body = getJSON(t, ts.URL+"/api/v1/"+name, http.StatusOK)
+		if body["records"].(float64) != 300 {
+			t.Errorf("/api/v1/%s records = %v, want 300", name, body["records"])
+		}
+		if body["data"] == nil {
+			t.Errorf("/api/v1/%s has no data", name)
+		}
+	}
+	getJSON(t, ts.URL+"/api/v1/experiment", http.StatusNotFound)
+	getJSON(t, ts.URL+"/api/v1/nonsense", http.StatusNotFound)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"scraperlab_records_folded_total",
+		"scraperlab_snapshots_published_total",
+		"scraperlab_sse_clients",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestSnapshotSwapRace hammers the atomic snapshot swap: HTTP readers on
+// every endpoint race a live ingestion's publishes. Run under -race this
+// is the publication path's memory-model proof.
+func TestSnapshotSwapRace(t *testing.T) {
+	s, p := newTestServer(t, Options{MinPublishInterval: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/api/v1/compliance", "/api/v1/results", "/metrics", "/healthz", "/readyz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+	res, err := p.Run(context.Background(), stream.NewDatasetDecoder(testDataset(2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Finalize(res)
+	close(done)
+	wg.Wait()
+
+	pub := s.Snapshot()
+	if pub == nil || pub.Results.Records != 2000 {
+		t.Fatalf("final snapshot = %+v, want 2000 records", pub)
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	event string
+	id    string
+	data  string
+}
+
+// readEvent parses the next non-comment SSE frame off the wire.
+func readEvent(sc *bufio.Scanner) (sseEvent, error) {
+	var ev sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.event != "" || ev.data != "" {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "event: "):
+			ev.event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			ev.id = line[len("id: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.data = line[len("data: "):]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return ev, err
+	}
+	return ev, io.EOF
+}
+
+// TestSSEFeed subscribes before ingestion and checks the contract: a
+// snapshot event first, then deltas carrying the changed analyzer views,
+// ending with a done delta after Finalize.
+func TestSSEFeed(t *testing.T) {
+	s, p := newTestServer(t, Options{MinPublishInterval: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	first, err := readEvent(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.event != "snapshot" {
+		t.Fatalf("first event = %q, want snapshot", first.event)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(first.data), &snap); err != nil {
+		t.Fatalf("snapshot payload: %v", err)
+	}
+	if snap["analyzers"] == nil {
+		t.Fatal("snapshot event has no analyzer views")
+	}
+
+	res, err := p.Run(context.Background(), stream.NewDatasetDecoder(testDataset(500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Finalize(res)
+
+	// Deltas must arrive, and the final one reports done with the full
+	// record count.
+	for {
+		ev, err := readEvent(sc)
+		if err != nil {
+			t.Fatalf("reading deltas: %v", err)
+		}
+		if ev.event != "delta" {
+			t.Fatalf("event = %q, want delta", ev.event)
+		}
+		var body map[string]any
+		if err := json.Unmarshal([]byte(ev.data), &body); err != nil {
+			t.Fatalf("delta payload: %v", err)
+		}
+		if body["done"] == true {
+			if body["records"].(float64) != 500 {
+				t.Fatalf("final delta records = %v, want 500", body["records"])
+			}
+			return
+		}
+	}
+}
+
+// TestSlowClientDrop pins the backpressure policy white-box: a client
+// whose frame buffer is full when a broadcast lands is dropped
+// immediately and counted, and the broadcaster never blocks.
+func TestSlowClientDrop(t *testing.T) {
+	s := NewServer(Options{MinPublishInterval: time.Hour, ClientBuffer: 2})
+	defer s.Close()
+
+	slow := s.subscribe()
+	fast := s.subscribe()
+	if got := s.sseClients.Value(); got != 2 {
+		t.Fatalf("sse client gauge = %d, want 2", got)
+	}
+
+	// Three broadcasts against a buffer of two: the slow client (nobody
+	// draining) must be dropped on the third, while the fast one —
+	// drained after every frame — survives.
+	for i := 0; i < 3; i++ {
+		s.broadcast(sseFrame("delta", uint64(i), []byte(`{}`)))
+		select {
+		case <-fast.frames:
+		default:
+			t.Fatalf("broadcast %d never reached the fast client", i)
+		}
+	}
+	select {
+	case <-slow.gone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow client was not dropped")
+	}
+	select {
+	case <-fast.gone:
+		t.Fatal("fast client was dropped too")
+	default:
+	}
+	if got := s.sseDropped.Value(); got != 1 {
+		t.Errorf("dropped counter = %d, want 1", got)
+	}
+	if got := s.sseClients.Value(); got != 1 {
+		t.Errorf("sse client gauge = %d, want 1", got)
+	}
+	// Double-unsubscribe (handler returning after a broadcast drop) must
+	// not double-count or double-close.
+	s.unsubscribe(slow, false)
+	if got := s.sseClients.Value(); got != 1 {
+		t.Errorf("gauge after double-unsubscribe = %d, want 1", got)
+	}
+	s.unsubscribe(fast, false)
+}

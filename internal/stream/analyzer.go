@@ -162,6 +162,13 @@ type Results struct {
 	Records uint64
 	// Shards is the worker-pool width that produced the snapshot.
 	Shards int
+	// Dropped counts records the Options.Keep filter rejected before
+	// sharding — the records the analyses deliberately never saw.
+	Dropped uint64
+	// Ingest carries the cross-stage ingestion counters (decoded, folded,
+	// pool churn, flushes, watermark) when the pipeline ran with
+	// Options.Metrics attached; nil otherwise.
+	Ingest *IngestStats
 
 	names  []string // analyzer names in pipeline order
 	byName map[string]any

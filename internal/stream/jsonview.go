@@ -1,0 +1,113 @@
+// jsonview.go renders analyzer snapshots into stable JSON-encodable
+// shapes. The shapes are shared by cmd/analyze -json and the observatory
+// server's /api/v1 endpoints, so both surfaces emit byte-identical JSON
+// for the same snapshot: map keys sort in the encoder and every slice
+// comes from a deterministic snapshot accessor, the property the
+// golden-file tests pin down.
+package stream
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/session"
+)
+
+// FormatWindow renders a re-check window compactly ("12h", not
+// "12h0m0s"), dropping only zero-valued trailing units ("1h30m" stays
+// "1h30m").
+func FormatWindow(w time.Duration) string {
+	s := w.String()
+	if strings.HasSuffix(s, "m0s") {
+		s = strings.TrimSuffix(s, "0s")
+	}
+	if strings.HasSuffix(s, "h0m") {
+		s = strings.TrimSuffix(s, "0m")
+	}
+	return s
+}
+
+// JSONView adapts one analyzer snapshot to a stable JSON-encodable
+// shape. Unknown snapshot types pass through unchanged (encoding/json
+// then renders their exported fields).
+func JSONView(snap any) any {
+	switch s := snap.(type) {
+	case *Aggregates:
+		return map[string]any{
+			"records":    s.Records,
+			"tuples":     s.Tuples,
+			"bots":       s.Bots(),
+			"categories": s.CategoryRollup(),
+		}
+	case *CadenceSnapshot:
+		cats := s.ByCategory()
+		out := make([]map[string]any, 0, len(cats))
+		for _, cp := range cats {
+			within := make(map[string]float64, len(cp.Within))
+			for w, f := range cp.Within {
+				within[FormatWindow(w)] = f
+			}
+			out = append(out, map[string]any{
+				"category": cp.Category, "bots": cp.Bots, "within": within,
+			})
+		}
+		return out
+	case *SpoofSnapshot:
+		return map[string]any{"findings": s.Findings, "counts": s.Counts}
+	case *session.Summary:
+		return map[string]any{
+			"sessions":        s.Sessions,
+			"byCategory":      s.ByCategory,
+			"bytesByCategory": s.BytesByCategory,
+		}
+	default:
+		return snap
+	}
+}
+
+// PhasedJSONView adapts a phase-partitioned snapshot: one JSONView per
+// phase keyed by the phase's short version tag, out-of-schedule counts
+// when non-zero, and — for the compliance analyzer with a baseline phase
+// present — the Figure 9 / Table 10 verdicts keyed by directive.
+func PhasedJSONView(p *PhasedSnapshot) map[string]any {
+	phases := make(map[string]any, len(p.Snapshots))
+	for _, v := range p.Versions() {
+		phases[v.Short()] = JSONView(p.Snapshots[v])
+	}
+	entry := map[string]any{"phases": phases}
+	if p.OutOfSchedule > 0 {
+		entry["outOfSchedule"] = p.OutOfSchedule
+	}
+	if verdicts := p.CompareCompliance(compliance.Config{}); verdicts != nil {
+		jv := make(map[string][]compliance.Result, len(verdicts))
+		for dir, rs := range verdicts {
+			jv[dir.String()] = rs
+		}
+		entry["verdicts"] = jv
+	}
+	return entry
+}
+
+// JSON renders the whole result set as one JSON-encodable map keyed by
+// analyzer name (phased analyzers via PhasedJSONView), plus the record,
+// shard, and dropped tallies — and the ingestion counters when the
+// pipeline ran instrumented.
+func (r *Results) JSON() map[string]any {
+	out := map[string]any{
+		"records": r.Records,
+		"shards":  r.Shards,
+		"dropped": r.Dropped,
+	}
+	if r.Ingest != nil {
+		out["ingest"] = r.Ingest
+	}
+	for _, name := range r.Names() {
+		if p := r.Phased(name); p != nil {
+			out[name] = PhasedJSONView(p)
+			continue
+		}
+		out[name] = JSONView(r.Get(name))
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// metrics.go instruments the pipeline through the internal/obs layer:
+// per-source decode counters, per-shard fold counters, batch-pool churn,
+// reorder-heap depth, release latency, and the event-time watermarks the
+// observatory's liveness checks key on. The discipline is strict
+// zero-allocation on the fold path: every instrument is resolved into a
+// plain struct field at pipeline (or source-runner) construction, so the
+// hot loops only ever pay an atomic add — and a pipeline built without
+// Options.Metrics pays a nil check and nothing else.
+package stream
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names exported on /metrics. They are part of the observatory's
+// public surface; the obsserve golden tests pin the exposition format.
+const (
+	metricDecoded      = "scraperlab_records_decoded_total"
+	metricDropped      = "scraperlab_records_dropped_total"
+	metricFolded       = "scraperlab_records_folded_total"
+	metricPoolGets     = "scraperlab_batch_pool_gets_total"
+	metricPoolPuts     = "scraperlab_batch_pool_puts_total"
+	metricPoolMisses   = "scraperlab_batch_pool_misses_total"
+	metricFlushed      = "scraperlab_flushed_batches_total"
+	metricHeapDepth    = "scraperlab_reorder_heap_depth"
+	metricReleaseSecs  = "scraperlab_release_seconds"
+	metricShardWM      = "scraperlab_shard_watermark_unix_nanos"
+	metricSourceWM     = "scraperlab_source_watermark_unix_nanos"
+	metricGlobalWM     = "scraperlab_watermark_unix_nanos"
+	metricWatermarkLag = "scraperlab_watermark_lag_seconds"
+)
+
+// Metrics is the pipeline's instrument set over an obs.Registry. Build
+// one with NewMetrics and attach it via Options.Metrics before
+// NewPipeline; the registry can be shared with other subsystems (the
+// observatory server adds its own families to the same registry).
+//
+// A Metrics value may be reused across successive pipelines on the same
+// registry — counters then accumulate across runs, which is the natural
+// reading for a resident service that restarts its ingestion. Gauges
+// (heap depth, watermarks) always reflect the most recent pipeline.
+type Metrics struct {
+	reg *obs.Registry
+
+	// Static families, resolved once at construction.
+	dropped    *obs.Counter
+	poolGets   *obs.Counter
+	poolPuts   *obs.Counter
+	poolMisses *obs.Counter
+	flushed    *obs.Counter
+	release    *obs.Histogram
+
+	mu sync.Mutex
+	// Per-shard instruments, sized by bindShards at NewPipeline.
+	shardFolded []*obs.Counter
+	heapDepth   []*obs.Gauge
+	shardWM     []*obs.Gauge
+	// Per-source decode counters, created as RunSources discovers its
+	// sources (get-or-create, so restarted runs reuse series).
+	sourceDecoded map[string]*obs.Counter
+	globalsBound  bool
+}
+
+// NewMetrics builds the pipeline instrument set on reg; a nil reg gets a
+// fresh private registry (callers that only want IngestStats, not an
+// exposition endpoint).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		reg:     reg,
+		dropped: reg.Counter(metricDropped, "Records rejected by the keep filter."),
+		poolGets: reg.Counter(metricPoolGets,
+			"Record batches taken from the pool."),
+		poolPuts: reg.Counter(metricPoolPuts,
+			"Record batches recycled to the pool."),
+		poolMisses: reg.Counter(metricPoolMisses,
+			"Pool gets that had to allocate a fresh batch."),
+		flushed: reg.Counter(metricFlushed,
+			"Partially filled batches handed to shards by a flush."),
+		release: reg.Histogram(metricReleaseSecs,
+			"Reorder-buffer release latency per released run.",
+			obs.ExpBuckets(1e-6, 10, 8)),
+		sourceDecoded: make(map[string]*obs.Counter),
+	}
+}
+
+// Registry returns the registry the instruments live on.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// itoa renders small non-negative integers without allocation pressure at
+// bind time (a convenience; binding is setup code).
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// bindShards sizes the per-shard instrument slices (called by
+// NewPipeline) and registers the derived global-watermark gauges once.
+func (m *Metrics) bindShards(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.shardFolded); i < n; i++ {
+		l := obs.L("shard", itoa(i))
+		m.shardFolded = append(m.shardFolded, m.reg.Counter(metricFolded,
+			"Records folded into analyzer states, per shard.", l))
+		m.heapDepth = append(m.heapDepth, m.reg.Gauge(metricHeapDepth,
+			"Records buffered in the reorder heap, per shard.", l))
+		m.shardWM = append(m.shardWM, m.reg.Gauge(metricShardWM,
+			"Per-shard release watermark (unix nanoseconds; 0 until the shard first advances).", l))
+	}
+	if !m.globalsBound {
+		m.globalsBound = true
+		m.reg.GaugeFunc(metricGlobalWM,
+			"Global release watermark: the minimum advanced shard watermark (unix nanoseconds; 0 before any advance).",
+			func() float64 { return float64(m.watermarkNanos()) })
+		m.reg.GaugeFunc(metricWatermarkLag,
+			"Wall-clock seconds behind the global watermark (large for historical logs; NaN-free: 0 before any advance).",
+			func() float64 {
+				wm := m.watermarkNanos()
+				if wm == 0 {
+					return 0
+				}
+				return time.Since(time.Unix(0, wm)).Seconds()
+			})
+	}
+}
+
+// watermarkNanos is the global watermark: the minimum over shards that
+// have advanced at least once, 0 before any advance.
+func (m *Metrics) watermarkNanos() int64 {
+	m.mu.Lock()
+	shards := m.shardWM
+	m.mu.Unlock()
+	min := int64(math.MaxInt64)
+	seen := false
+	for _, g := range shards {
+		v := g.Value()
+		if v == 0 {
+			continue
+		}
+		seen = true
+		if v < min {
+			min = v
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return min
+}
+
+// Watermark returns the global release watermark, zero before any shard
+// has advanced.
+func (m *Metrics) Watermark() time.Time {
+	wm := m.watermarkNanos()
+	if wm == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, wm).UTC()
+}
+
+// sourceCounter get-or-creates the decode counter for one source.
+func (m *Metrics) sourceCounter(name string) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.sourceDecoded[name]
+	if c == nil {
+		c = m.reg.Counter(metricDecoded,
+			"Records decoded per source, before filtering.", obs.L("source", name))
+		m.sourceDecoded[name] = c
+	}
+	return c
+}
+
+// bindSourceWatermark exposes one fan-in source's published low-watermark
+// as a scrape-time gauge. The sentinel floor (never published) reads 0
+// and the done sentinel (+Inf promise after EOF) reads +Inf.
+func (m *Metrics) bindSourceWatermark(name string, lw *atomic.Int64) {
+	m.reg.GaugeFunc(metricSourceWM,
+		"Per-source published low-watermark (unix nanoseconds; 0 unpublished, +Inf after EOF).",
+		func() float64 {
+			v := lw.Load()
+			switch v {
+			case math.MinInt64:
+				return 0
+			case math.MaxInt64:
+				return math.Inf(1)
+			}
+			return float64(v)
+		}, obs.L("source", name))
+}
+
+// shardInstruments returns the fold-path instruments for shard i, nil
+// receivers allowed (the pipeline passes a nil Metrics through).
+func (m *Metrics) shardInstruments(i int) (folded *obs.Counter, depth, wm *obs.Gauge) {
+	if m == nil {
+		return nil, nil, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i >= len(m.shardFolded) {
+		return nil, nil, nil
+	}
+	return m.shardFolded[i], m.heapDepth[i], m.shardWM[i]
+}
+
+// IngestStats is the cross-stage counter snapshot surfaced on Results
+// when a pipeline runs with Options.Metrics — the one-shot CLI's view of
+// the same numbers the observatory exports on /metrics.
+type IngestStats struct {
+	// Decoded counts records decoded across every source, before the
+	// keep filter.
+	Decoded uint64 `json:"decoded"`
+	// Folded counts records folded into analyzer states across shards.
+	Folded uint64 `json:"folded"`
+	// Dropped counts records the keep filter rejected.
+	Dropped uint64 `json:"dropped"`
+	// PoolGets/PoolPuts/PoolMisses are the record-batch pool churn;
+	// misses are gets that had to allocate.
+	PoolGets   uint64 `json:"poolGets"`
+	PoolPuts   uint64 `json:"poolPuts"`
+	PoolMisses uint64 `json:"poolMisses"`
+	// FlushedBatches counts partially filled batches handed over by
+	// background or explicit flushes.
+	FlushedBatches uint64 `json:"flushedBatches"`
+	// Watermark is the global release watermark (zero before any shard
+	// advanced).
+	Watermark time.Time `json:"watermark"`
+}
+
+// Stats sums the instruments into one IngestStats.
+func (m *Metrics) Stats() IngestStats {
+	st := IngestStats{
+		Dropped:        m.dropped.Value(),
+		PoolGets:       m.poolGets.Value(),
+		PoolPuts:       m.poolPuts.Value(),
+		PoolMisses:     m.poolMisses.Value(),
+		FlushedBatches: m.flushed.Value(),
+		Watermark:      m.Watermark(),
+	}
+	m.mu.Lock()
+	for _, c := range m.shardFolded {
+		st.Folded += c.Value()
+	}
+	for _, c := range m.sourceDecoded {
+		st.Decoded += c.Value()
+	}
+	m.mu.Unlock()
+	return st
+}

@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/weblog"
+)
+
+// TestMetricsInstrumentedRun runs an instrumented single-source pipeline
+// and checks the counters balance: decoded = folded + dropped, every
+// pool get is matched by a put, the watermark advanced, and the same
+// numbers surface on Results.
+func TestMetricsInstrumentedRun(t *testing.T) {
+	d := makeSynthetic(500, 71, 0)
+	m := NewMetrics(nil)
+	var advances atomic.Uint64
+	var drop uint64
+	p := NewPipeline(Options{
+		Shards:  3,
+		MaxSkew: time.Minute,
+		Metrics: m,
+		Keep: func(r *weblog.Record) bool {
+			if r.Status == 404 {
+				drop++
+				return false
+			}
+			return true
+		},
+		OnAdvance: func(wm time.Time) {
+			if wm.IsZero() {
+				t.Error("OnAdvance called with zero watermark")
+			}
+			advances.Add(1)
+		},
+	})
+	res, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Ingest
+	if st == nil {
+		t.Fatal("Results.Ingest is nil on an instrumented run")
+	}
+	if st.Decoded != uint64(len(d.Records)) {
+		t.Errorf("decoded = %d, want %d", st.Decoded, len(d.Records))
+	}
+	if st.Decoded != st.Folded+st.Dropped {
+		t.Errorf("decoded (%d) != folded (%d) + dropped (%d)", st.Decoded, st.Folded, st.Dropped)
+	}
+	if st.Dropped != drop {
+		t.Errorf("metrics dropped = %d, keep filter rejected %d", st.Dropped, drop)
+	}
+	if res.Dropped != st.Dropped {
+		t.Errorf("Results.Dropped = %d, metrics dropped = %d", res.Dropped, st.Dropped)
+	}
+	if p.DroppedRecords() != st.Dropped {
+		t.Errorf("DroppedRecords = %d, metrics dropped = %d", p.DroppedRecords(), st.Dropped)
+	}
+	if res.Records != st.Folded {
+		t.Errorf("Results.Records = %d, folded = %d", res.Records, st.Folded)
+	}
+	if st.PoolGets != st.PoolPuts {
+		t.Errorf("pool gets (%d) != pool puts (%d) after Close", st.PoolGets, st.PoolPuts)
+	}
+	if st.PoolGets == 0 || st.PoolMisses == 0 {
+		t.Errorf("pool counters did not move: gets=%d misses=%d", st.PoolGets, st.PoolMisses)
+	}
+	if advances.Load() == 0 {
+		t.Error("OnAdvance never fired despite reordering enabled")
+	}
+	if st.Watermark.IsZero() {
+		t.Error("watermark never advanced")
+	}
+	// The registry exposition must carry the pipeline families.
+	var b strings.Builder
+	if err := m.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		metricDecoded, metricFolded, metricDropped,
+		metricPoolGets, metricHeapDepth, metricGlobalWM,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing family %s", want)
+		}
+	}
+}
+
+// TestMetricsFanInSources checks that a multi-source run creates one
+// decode counter per source and that the per-source and per-shard
+// tallies still balance to the fan-in total.
+func TestMetricsFanInSources(t *testing.T) {
+	a := makeSynthetic(200, 72, 0)
+	b := makeSynthetic(300, 73, 0)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	p := NewPipeline(Options{Shards: 2, MaxSkew: time.Minute, Metrics: m})
+	sources := []Source{
+		{Name: "site-a.csv", Dec: NewCSVDecoder(bytes.NewReader(encodeCSV(t, a)))},
+		{Name: "site-b.csv", Dec: NewCSVDecoder(bytes.NewReader(encodeCSV(t, b)))},
+	}
+	res, err := p.RunSources(context.Background(), sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Ingest
+	if st == nil {
+		t.Fatal("Results.Ingest is nil")
+	}
+	total := uint64(len(a.Records) + len(b.Records))
+	if st.Decoded != total {
+		t.Errorf("decoded = %d, want %d", st.Decoded, total)
+	}
+	if st.Folded != total {
+		t.Errorf("folded = %d, want %d (no keep filter)", st.Folded, total)
+	}
+	var e strings.Builder
+	if err := reg.WritePrometheus(&e); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`source="site-a.csv"`, `source="site-b.csv"`,
+	} {
+		if !strings.Contains(e.String(), want) {
+			t.Errorf("exposition missing per-source series %s", want)
+		}
+	}
+	if !strings.Contains(e.String(), metricSourceWM) {
+		t.Error("exposition missing per-source watermark gauges")
+	}
+}
+
+// TestMetricsReuseAccumulates pins the documented reuse semantics: a
+// Metrics attached to two successive pipelines accumulates counters.
+func TestMetricsReuseAccumulates(t *testing.T) {
+	d := makeSynthetic(100, 74, 0)
+	m := NewMetrics(nil)
+	for i := 0; i < 2; i++ {
+		p := NewPipeline(Options{Shards: 2, Metrics: m})
+		if _, err := p.Run(context.Background(), NewDatasetDecoder(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Stats().Folded; got != uint64(2*len(d.Records)) {
+		t.Errorf("folded after two runs = %d, want %d", got, 2*len(d.Records))
+	}
+}
+
+// TestUninstrumentedRunHasNilIngest checks the zero-cost default: no
+// Metrics, no IngestStats.
+func TestUninstrumentedRunHasNilIngest(t *testing.T) {
+	res, err := NewPipeline(Options{Shards: 2}).Run(context.Background(), NewDatasetDecoder(makeSynthetic(50, 75, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingest != nil {
+		t.Fatal("Results.Ingest non-nil without Options.Metrics")
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("Results.Dropped = %d without a keep filter", res.Dropped)
+	}
+}

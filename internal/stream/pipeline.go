@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/compliance"
+	"repro/internal/obs"
 	"repro/internal/weblog"
 )
 
@@ -73,6 +74,21 @@ type Options struct {
 	// nil; the zero value means compliance.DefaultConfig(). Ignored when
 	// Analyzers is set (configure via NewComplianceAnalyzer instead).
 	Compliance compliance.Config
+	// Metrics, if non-nil, instruments the pipeline: per-source decode
+	// and per-shard fold counters, batch-pool churn, reorder-heap depth,
+	// release latency, and watermark gauges, all exported through the
+	// Metrics' obs.Registry. Instruments are resolved into struct fields
+	// at construction, so the fold path pays one nil check and atomic
+	// adds — never an allocation. Snapshots additionally carry
+	// Results.Ingest when Metrics is set.
+	Metrics *Metrics
+	// OnAdvance, if non-nil, is called after a shard's release watermark
+	// advances (outside the shard lock, with the new watermark). Shards
+	// call it concurrently and on every advancing batch, so it must be
+	// fast, non-blocking, and safe for concurrent use — the observatory
+	// publisher coalesces these calls into atomic snapshot publications.
+	// Never called when reordering is disabled (MaxSkew < 0).
+	OnAdvance func(watermark time.Time)
 
 	// poisonRecycled is a test hook: recycled batches and release scratch
 	// are scribbled with garbage before reuse, so any analyzer that
@@ -203,6 +219,13 @@ type shardWorker struct {
 	mu      sync.Mutex
 	buf     recHeap
 	maxSeen time.Time
+	// mFolded/mDepth/mWM/mRelease are this shard's instruments, nil when
+	// the pipeline runs without Options.Metrics; resolved once at
+	// construction so the fold path never touches the registry.
+	mFolded  *obs.Counter
+	mDepth   *obs.Gauge
+	mWM      *obs.Gauge
+	mRelease *obs.Histogram
 	// stampWM is the highest fan-in min-watermark stamp applied so far
 	// (unix nanos): stamped batches release the reorder buffer strictly
 	// below it, never by the local maxSeen heuristic, so one lagging
@@ -222,6 +245,9 @@ func (s *shardWorker) fold(recs []weblog.Record, seqs []uint64) {
 		return
 	}
 	s.records += uint64(len(recs))
+	if s.mFolded != nil {
+		s.mFolded.Add(uint64(len(recs)))
+	}
 	for _, f := range s.folds {
 		f(recs, seqs)
 	}
@@ -235,6 +261,10 @@ func (s *shardWorker) fold(recs []weblog.Record, seqs []uint64) {
 // folding after an already-released twin would make the fold order
 // depend on goroutine interleaving. Must hold mu.
 func (s *shardWorker) release(watermark time.Time, strict bool) {
+	var relStart time.Time
+	if s.mRelease != nil {
+		relStart = time.Now()
+	}
 	s.runRecs = s.runRecs[:0]
 	s.runSeqs = s.runSeqs[:0]
 	for len(s.buf) > 0 {
@@ -253,6 +283,9 @@ func (s *shardWorker) release(watermark time.Time, strict bool) {
 	s.fold(s.runRecs, s.runSeqs)
 	if s.poison {
 		poisonRecords(s.runRecs, s.runSeqs)
+	}
+	if s.mRelease != nil {
+		s.mRelease.Observe(time.Since(relStart).Seconds())
 	}
 }
 
@@ -285,6 +318,11 @@ type Pipeline struct {
 	seq       uint64
 	dropped   atomic.Uint64
 	closed    bool
+	// metrics mirrors opts.Metrics (nil when uninstrumented);
+	// mIngestDecoded is the single-dispatcher path's decode counter,
+	// resolved once so Ingest pays only the atomic add.
+	metrics        *Metrics
+	mIngestDecoded *obs.Counter
 
 	batchSize int
 	pool      sync.Pool
@@ -319,8 +357,15 @@ func NewPipeline(opts Options) *Pipeline {
 	if len(analyzers) == 0 {
 		analyzers = []Analyzer{NewComplianceAnalyzer(opts.Compliance)}
 	}
-	p := &Pipeline{opts: opts, analyzers: analyzers, batchSize: opts.BatchSize}
+	p := &Pipeline{opts: opts, analyzers: analyzers, batchSize: opts.BatchSize, metrics: opts.Metrics}
+	if p.metrics != nil {
+		p.metrics.bindShards(opts.Shards)
+		p.mIngestDecoded = p.metrics.sourceCounter("ingest")
+	}
 	p.pool.New = func() any {
+		if m := p.metrics; m != nil {
+			m.poolMisses.Inc()
+		}
 		return &recordBatch{
 			recs: make([]weblog.Record, 0, p.batchSize),
 			seqs: make([]uint64, 0, p.batchSize),
@@ -337,6 +382,10 @@ func NewPipeline(opts Options) *Pipeline {
 			states:  make([]ShardState, len(analyzers)),
 			folds:   make([]applyBatchFn, len(analyzers)),
 			poison:  opts.poisonRecycled,
+		}
+		if p.metrics != nil {
+			s.mFolded, s.mDepth, s.mWM = p.metrics.shardInstruments(i)
+			s.mRelease = p.metrics.release
 		}
 		for j, a := range analyzers {
 			s.states[j] = a.NewState()
@@ -371,6 +420,8 @@ func (p *Pipeline) work(idx int, s *shardWorker) {
 				p.opts.Enrich(&b.recs[i])
 			}
 		}
+		var advanced time.Time
+		didAdvance := false
 		s.mu.Lock()
 		switch {
 		case skew <= 0:
@@ -394,6 +445,7 @@ func (p *Pipeline) work(idx int, s *shardWorker) {
 				for _, o := range p.observers[idx] {
 					o.Advance(watermark)
 				}
+				advanced, didAdvance = watermark, true
 			}
 		default:
 			for i := range b.recs {
@@ -407,8 +459,21 @@ func (p *Pipeline) work(idx int, s *shardWorker) {
 			for _, o := range p.observers[idx] {
 				o.Advance(watermark)
 			}
+			advanced, didAdvance = watermark, true
+		}
+		if s.mDepth != nil {
+			s.mDepth.Set(int64(len(s.buf)))
+			if didAdvance {
+				s.mWM.Set(markNano(advanced))
+			}
 		}
 		s.mu.Unlock()
+		// The advance hook runs outside the shard lock so a slow
+		// subscriber can never stall the fold path; the publisher it
+		// feeds coalesces bursts of advances into one snapshot.
+		if didAdvance && p.opts.OnAdvance != nil {
+			p.opts.OnAdvance(advanced)
+		}
 		p.recycle(b)
 	}
 	// Channel closed: flush the reorder buffer in time order.
@@ -419,6 +484,9 @@ func (p *Pipeline) work(idx int, s *shardWorker) {
 
 // getBatch takes an empty batch from the pool.
 func (p *Pipeline) getBatch() *recordBatch {
+	if m := p.metrics; m != nil {
+		m.poolGets.Inc()
+	}
 	return p.pool.Get().(*recordBatch)
 }
 
@@ -431,6 +499,9 @@ func (p *Pipeline) recycle(b *recordBatch) {
 	b.recs = b.recs[:0]
 	b.seqs = b.seqs[:0]
 	b.mark = unstampedMark
+	if m := p.metrics; m != nil {
+		m.poolPuts.Inc()
+	}
 	p.pool.Put(b)
 }
 
@@ -478,14 +549,21 @@ func (p *Pipeline) flusher(interval time.Duration) {
 // Flush first for a fresher view; Close flushes implicitly. Flush does not
 // wait for the shards to fold the flushed batches.
 func (p *Pipeline) Flush() {
+	var flushed uint64
 	p.mu.Lock()
 	for si, b := range p.pending {
 		if b != nil {
 			p.pending[si] = nil
 			p.shards[si].ch <- b
+			flushed++
 		}
 	}
 	p.mu.Unlock()
+	if flushed > 0 {
+		if m := p.metrics; m != nil {
+			m.flushed.Add(flushed)
+		}
+	}
 }
 
 // FNV-1a constants (hash/fnv's, inlined so the dispatcher's per-record
@@ -527,8 +605,14 @@ func (p *Pipeline) shardOf(r *weblog.Record) int {
 // context cancellation the shard's pending batch is dropped along with the
 // record (in-flight work is forfeit on cancel, as before).
 func (p *Pipeline) Ingest(ctx context.Context, rec weblog.Record) error {
+	if c := p.mIngestDecoded; c != nil {
+		c.Inc()
+	}
 	if p.opts.Keep != nil && !p.opts.Keep(&rec) {
 		p.dropped.Add(1)
+		if m := p.metrics; m != nil {
+			m.dropped.Inc()
+		}
 		return nil
 	}
 	p.seq++
@@ -615,8 +699,13 @@ func (p *Pipeline) Snapshot() *Results {
 		s.mu.Lock()
 	}
 	res := &Results{
-		Shards: len(p.shards),
-		byName: make(map[string]any, len(p.analyzers)),
+		Shards:  len(p.shards),
+		Dropped: p.dropped.Load(),
+		byName:  make(map[string]any, len(p.analyzers)),
+	}
+	if m := p.metrics; m != nil {
+		st := m.Stats()
+		res.Ingest = &st
 	}
 	for _, s := range p.shards {
 		res.Records += s.records

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/weblog"
 )
 
@@ -116,6 +117,10 @@ type sourceRunner struct {
 	idx  int
 	src  Source
 	keep func(*weblog.Record) bool
+	// mDecoded is this source's decode counter, nil when the pipeline
+	// runs uninstrumented; resolved once so the decode loop only pays
+	// the atomic add.
+	mDecoded *obs.Counter
 
 	pending []*recordBatch
 	// pendMin[s] is the minimum record time (unix nanos) in pending[s],
@@ -207,6 +212,10 @@ func (p *Pipeline) RunSources(ctx context.Context, sources []Source) (*Results, 
 		r.keep = p.opts.Keep
 		if p.opts.NewKeep != nil {
 			r.keep = p.opts.NewKeep()
+		}
+		if m := p.metrics; m != nil {
+			r.mDecoded = m.sourceCounter(sources[i].Name)
+			m.bindSourceWatermark(sources[i].Name, &lws[i])
 		}
 		runners[i] = r
 		wg.Add(1)
@@ -363,12 +372,18 @@ func (r *sourceRunner) run(ctx context.Context) error {
 		// watcher flush — stamps are only read at send time, so
 		// per-record publication would buy no earlier release while
 		// paying an O(shards) scan and a shared atomic store per record.
+		if r.mDecoded != nil {
+			r.mDecoded.Inc()
+		}
 		t := markNano(rec.Time)
 		if t > r.decodeHW {
 			r.decodeHW = t
 		}
 		if r.keep != nil && !r.keep(&rec) {
 			r.p.dropped.Add(1)
+			if m := r.p.metrics; m != nil {
+				m.dropped.Inc()
+			}
 			continue
 		}
 		r.localSeq++
@@ -425,12 +440,21 @@ func (r *sourceRunner) send(ctx context.Context, si int) error {
 // ever pends or sends) publishing on the watcher's cadence instead of
 // pinning the global min-stamp at its floor.
 func (r *sourceRunner) flushAll(ctx context.Context) error {
+	var flushed uint64
 	for si := range r.pending {
+		if b := r.pending[si]; b != nil && len(b.recs) > 0 {
+			flushed++
+		}
 		if err := r.send(ctx, si); err != nil {
 			return err
 		}
 	}
 	r.publishLW()
+	if flushed > 0 {
+		if m := r.p.metrics; m != nil {
+			m.flushed.Add(flushed)
+		}
+	}
 	return nil
 }
 

@@ -185,6 +185,32 @@ func LivePhasedExperiment(ctx context.Context, opts LivePhasedOptions) (*LivePha
 	return core.LivePhasedExperiment(ctx, opts)
 }
 
+// ObservatoryOptions configures NewObservatory; see
+// core.ObservatoryOptions.
+type ObservatoryOptions = core.ObservatoryOptions
+
+// Observatory is a resident instrumented streaming pipeline with an
+// HTTP surface (/metrics, /healthz, /readyz, /api/v1/<analyzer>, SSE
+// /events); see core.Observatory. cmd/scraperlabd is the standalone
+// daemon over the same wiring.
+type Observatory = core.Observatory
+
+// StreamMetrics is the pipeline instrument set an Observatory exports
+// on /metrics; see stream.Metrics. Attach one to a plain streaming run
+// via StreamOptions.Metrics to get StreamResults.Ingest counters.
+type StreamMetrics = stream.Metrics
+
+// NewStreamMetrics builds a pipeline instrument set on its own
+// registry, for StreamOptions.Metrics.
+func NewStreamMetrics() *StreamMetrics { return stream.NewMetrics(nil) }
+
+// NewObservatory builds the observatory: an instrumented pipeline whose
+// watermark advances publish immutable snapshots, plus the HTTP surface
+// over them. Mount Handler, call Run to ingest, Close when done.
+func NewObservatory(opts ObservatoryOptions) (*Observatory, error) {
+	return core.NewObservatory(opts)
+}
+
 // WriteDatasetCSV exports a dataset in the study's CSV schema.
 func WriteDatasetCSV(w io.Writer, d *weblog.Dataset) error { return weblog.WriteCSV(w, d) }
 
