@@ -24,6 +24,9 @@
 //	analyze -stream big.csv -decoders 8            # chunked parallel decode
 //	analyze -inputs 'logs/*.log' -format clf       # multi-source fan-in, one file per site
 //	analyze -inputs 'logs/*.csv' -decoders 16      # fan-in plus per-file chunking
+//
+//	analyze -merge 'work*/ckpt-*.ckpt'             # fold N workers' checkpoints into one result set
+//	analyze -merge 'work*/ckpt-*.ckpt' -experiment phases.json -json
 package main
 
 import (
@@ -58,6 +61,7 @@ func main() {
 		secret   = flag.String("secret", "analyze", "IP anonymizer secret")
 
 		streamPath = flag.String("stream", "", "stream an access log from this path instead of running the synthetic study")
+		mergeGlob  = flag.String("merge", "", "glob of checkpoint files (scraperlabd -checkpoint output) to fold into one estate-wide result set (excludes -stream/-inputs; analyzer set comes from the checkpoints)")
 		inputs     = flag.String("inputs", "", "glob of access logs ingested together through the multi-source fan-in (e.g. 'logs/*.log'; excludes -stream and -follow)")
 		decoders   = flag.Int("decoders", 0, "decoder goroutines: >1 splits the input into record-aligned chunks decoded in parallel (never changes results; one-shot mode only)")
 		format     = flag.String("format", "csv", "stream wire format: csv, jsonl, or clf")
@@ -76,7 +80,11 @@ func main() {
 	flag.Parse()
 
 	var err error
-	if *streamPath != "" && *inputs != "" {
+	if *mergeGlob != "" && (*streamPath != "" || *inputs != "") {
+		err = fmt.Errorf("-merge folds existing checkpoints and excludes -stream/-inputs")
+	} else if *mergeGlob != "" {
+		err = runMerge(os.Stdout, *mergeGlob, *expPath, *asJSON)
+	} else if *streamPath != "" && *inputs != "" {
 		err = fmt.Errorf("-stream and -inputs are mutually exclusive (use -inputs alone for multi-file runs)")
 	} else if *streamPath != "" || *inputs != "" {
 		err = runStream(os.Stdout, streamConfig{
@@ -138,6 +146,51 @@ func run(w io.Writer, seed int64, scale float64, artifact string, asCSV bool, se
 		}
 	}
 	return fmt.Errorf("unknown artifact %q; known: table2..table10, figure2..figure11, figures5-8, all", artifact)
+}
+
+// runMerge folds several processes' checkpoints into one estate-wide
+// result set — the cross-process end of the durable-checkpoint story:
+// each worker analyzes a tuple-partitioned slice of the traffic with
+// -checkpoint, and the merge reconstructs the single-process answer
+// through the same commutative shard merge a lone pipeline uses. The
+// analyzer set and shard geometry come from the checkpoints themselves;
+// -experiment supplies the schedule for phase-partitioned ones.
+func runMerge(w io.Writer, glob, expPath string, asJSON bool) error {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge %q matched no files", glob)
+	}
+	// Rotation keeps several checkpoints per worker directory, and
+	// merging a worker with its own earlier snapshot would double-count
+	// its records — only the newest file per directory joins (zero-padded
+	// names sort chronologically).
+	newest := make(map[string]string)
+	for _, p := range paths {
+		if cur, ok := newest[filepath.Dir(p)]; !ok || p > cur {
+			newest[filepath.Dir(p)] = p
+		}
+	}
+	paths = paths[:0]
+	for _, p := range newest {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var opts core.StreamOptions // nil Analyzers: use the checkpoints' recorded set
+	if expPath != "" {
+		sched, err := experiment.LoadSchedule(expPath)
+		if err != nil {
+			return err
+		}
+		opts.Phases = sched
+	}
+	res, err := core.MergeCheckpoints(paths, opts)
+	if err != nil {
+		return err
+	}
+	return printResults(w, res, asJSON)
 }
 
 // streamConfig carries the -stream/-inputs flag set.

@@ -20,6 +20,7 @@
 //	scraperlabd -inputs 'logs/*.log' -format clf        # multi-source fan-in
 //	scraperlabd -stream access.log -format clf -follow  # live tail
 //	scraperlabd -stream access.csv -experiment phases.json -listen :9090
+//	scraperlabd -inputs 'logs/*.csv' -checkpoint ckpts  # durable: restore + periodic checkpoints
 //	curl localhost:8077/metrics
 //	curl localhost:8077/api/v1/compliance
 //	curl -N localhost:8077/events
@@ -66,6 +67,9 @@ func main() {
 		publish    = flag.Duration("publish", 0, "min interval between published snapshots (0 = default 500ms)")
 		sseBuffer  = flag.Int("sse-buffer", 0, "per-SSE-client frame buffer before a slow client is dropped (0 = default 16)")
 		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		ckptDir    = flag.String("checkpoint", "", "directory for durable checkpoints: restore the newest valid one on start, then checkpoint periodically (one-shot runs only)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 0, "periodic checkpoint cadence (0 = default 5s; negative = final checkpoint only)")
+		ckptKeep   = flag.Int("checkpoint-keep", 0, "checkpoint files retained in the directory (0 = default 3)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -76,7 +80,8 @@ func main() {
 		analyzers: *analyzers, experiment: *expPath,
 		shards: *shards, skew: *skew, batch: *batch, flush: *flush,
 		decoders: *decoders, publish: *publish, sseBuffer: *sseBuffer,
-		pprof: *pprofFlag,
+		pprof:   *pprofFlag,
+		ckptDir: *ckptDir, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -97,6 +102,9 @@ type runConfig struct {
 	publish                time.Duration
 	sseBuffer              int
 	pprof                  bool
+	ckptDir                string
+	ckptEvery              time.Duration
+	ckptKeep               int
 }
 
 // parseAnalyzers resolves the -analyzers flag into registry names ("all"
@@ -147,14 +155,17 @@ func run(cfg runConfig) error {
 	}
 	opts := core.ObservatoryOptions{
 		Stream: core.StreamOptions{
-			Format:            cfg.format,
-			Shards:            cfg.shards,
-			MaxSkew:           cfg.skew,
-			BatchSize:         cfg.batch,
-			FlushInterval:     cfg.flush,
-			DecodeParallelism: cfg.decoders,
-			CLF:               weblog.CLFOptions{Site: cfg.site},
-			Analyzers:         parseAnalyzers(cfg.analyzers),
+			Format:             cfg.format,
+			Shards:             cfg.shards,
+			MaxSkew:            cfg.skew,
+			BatchSize:          cfg.batch,
+			FlushInterval:      cfg.flush,
+			DecodeParallelism:  cfg.decoders,
+			CLF:                weblog.CLFOptions{Site: cfg.site},
+			Analyzers:          parseAnalyzers(cfg.analyzers),
+			CheckpointDir:      cfg.ckptDir,
+			CheckpointInterval: cfg.ckptEvery,
+			CheckpointKeep:     cfg.ckptKeep,
 		},
 		Paths:              paths,
 		Follow:             cfg.follow,

@@ -1,0 +1,289 @@
+// Package checkpoint is the durable container for pipeline state
+// snapshots: a versioned, length-prefixed, CRC-64-checksummed file
+// format plus an atomic rotating writer and a newest-valid-wins loader.
+// The payload is opaque bytes — internal/stream's PipelineCheckpoint
+// serializes itself via MarshalBinary and this package never inspects
+// it — so the container's compatibility story is independent of the
+// state schema's (which gets forward/backward slack from gob's
+// decode-by-field-name tolerance).
+//
+// Durability argument (DESIGN.md, "Durable checkpoints"): Write lands
+// the bytes in a temp file, fsyncs it, renames it into place, and
+// fsyncs the directory — on any crash the directory holds only complete
+// old files and at most one orphan temp file, never a half-written
+// checkpoint under a live name. A torn or bit-flipped file (power loss
+// mid-fsync, disk corruption) fails the checksum at read time, and
+// Latest falls back to the newest older file that verifies, so recovery
+// degrades to an earlier consistent state instead of a corrupt one.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Version is the current container version. Decode accepts 1..Version:
+// the payload schema tolerates older writers (gob ignores unknown
+// fields and zeroes missing ones), so old files stay readable.
+const Version = 2
+
+// magic identifies a checkpoint file; 8 bytes, never versioned (the
+// version field after it is).
+var magic = [8]byte{'S', 'L', 'A', 'B', 'C', 'K', 'P', 'T'}
+
+// headerLen is magic + version(4) + payload length(8).
+const headerLen = 8 + 4 + 8
+
+// crcTable is the ECMA polynomial table shared by Encode and Decode.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Envelope is one checkpoint: metadata plus the opaque serialized
+// pipeline state.
+type Envelope struct {
+	// Meta describes the snapshot.
+	Meta Meta
+	// State is the serialized pipeline state
+	// (stream.PipelineCheckpoint.MarshalBinary bytes).
+	State []byte
+}
+
+// Meta is the checkpoint's self-description, gob-encoded inside the
+// checksummed payload.
+type Meta struct {
+	// WrittenUnixNano is the wall-clock capture time (unix nanos).
+	WrittenUnixNano int64
+	// Records counts records folded at capture time, for observability
+	// (the authoritative count lives in the state itself).
+	Records uint64
+}
+
+// Encode serializes an envelope into the container format:
+//
+//	magic(8) | version(4, LE) | payload len(8, LE) | payload | crc64(8, LE)
+//
+// where payload is the gob-encoded envelope and the CRC-64/ECMA covers
+// every preceding byte.
+func Encode(env *Envelope) ([]byte, error) {
+	payload, err := gobEncode(env)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding envelope: %w", err)
+	}
+	out := make([]byte, 0, headerLen+len(payload)+8)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint64(out, crc64.Checksum(out, crcTable))
+	return out, nil
+}
+
+// Decode parses and verifies container bytes. Every length is bounded
+// by len(data) before any allocation, and the checksum is verified
+// before the payload is unmarshaled, so truncated, torn, bit-flipped,
+// or adversarial inputs return an error — never a panic, a huge
+// allocation, or a silently wrong envelope.
+func Decode(data []byte) (*Envelope, error) {
+	if len(data) < headerLen+8 {
+		return nil, fmt.Errorf("checkpoint: %d bytes is shorter than the %d-byte minimum", len(data), headerLen+8)
+	}
+	if string(data[:8]) != string(magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", data[:8])
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (this build reads 1..%d)", version, Version)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[12:20])
+	if payloadLen != uint64(len(data)-headerLen-8) {
+		return nil, fmt.Errorf("checkpoint: payload length %d does not match file size %d", payloadLen, len(data))
+	}
+	body := data[:len(data)-8]
+	want := binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := crc64.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (file is torn or corrupt)")
+	}
+	var env Envelope
+	if err := gobDecode(data[headerLen:len(data)-8], &env); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// Load reads and verifies one checkpoint file.
+func Load(path string) (*Envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return env, nil
+}
+
+// fileGlob matches checkpoint files in a directory; names are
+// zero-padded so lexical order is numeric order.
+const fileGlob = "ckpt-*.ckpt"
+
+// fileName formats the nth checkpoint's name.
+func fileName(n uint64) string { return fmt.Sprintf("ckpt-%016d.ckpt", n) }
+
+// List returns the checkpoint files in dir, oldest first.
+func List(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, fileGlob))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Latest loads the newest checkpoint in dir that verifies, falling back
+// past torn or corrupt files (a crash mid-write leaves at worst an
+// orphan temp file, but disks corrupt, so read-time verification backs
+// the write-time atomicity). It returns "", nil, nil when dir holds no
+// valid checkpoint (including when dir does not exist).
+func Latest(dir string) (string, *Envelope, error) {
+	paths, err := List(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	for i := len(paths) - 1; i >= 0; i-- {
+		env, err := Load(paths[i])
+		if err == nil {
+			return paths[i], env, nil
+		}
+	}
+	return "", nil, nil
+}
+
+// Writer writes a rotating sequence of checkpoint files into one
+// directory, each atomically (temp + fsync + rename + directory fsync),
+// keeping the newest keep files. Numbering continues from the existing
+// files, so a restarted process never reuses a name. Writer is safe for
+// use from one goroutine; LastWritten and Count may be read from any.
+type Writer struct {
+	dir  string
+	keep int
+	next uint64
+
+	lastUnixNano atomic.Int64
+	count        atomic.Uint64
+}
+
+// NewWriter prepares dir (creating it if needed) and returns a writer
+// keeping the newest keep checkpoints (minimum 1).
+func NewWriter(dir string, keep int) (*Writer, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	w := &Writer{dir: dir, keep: keep}
+	paths, err := List(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) > 0 {
+		var n uint64
+		if _, err := fmt.Sscanf(filepath.Base(paths[len(paths)-1]), "ckpt-%d.ckpt", &n); err == nil {
+			w.next = n + 1
+		}
+	}
+	return w, nil
+}
+
+// Write encodes env and lands it atomically as the next checkpoint
+// file, then prunes beyond the keep limit. It returns the new file's
+// path.
+func (w *Writer) Write(env *Envelope) (string, error) {
+	data, err := Encode(env)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(w.dir, fileName(w.next))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	// Fsync the directory so the rename itself survives a crash.
+	if d, err := os.Open(w.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	w.next++
+	w.lastUnixNano.Store(env.Meta.WrittenUnixNano)
+	w.count.Add(1)
+	w.prune()
+	return path, nil
+}
+
+// prune removes the oldest files beyond the keep limit (best effort —
+// a prune failure never fails the write that triggered it).
+func (w *Writer) prune() {
+	paths, err := List(w.dir)
+	if err != nil || len(paths) <= w.keep {
+		return
+	}
+	for _, p := range paths[:len(paths)-w.keep] {
+		os.Remove(p)
+	}
+}
+
+// LastWritten reports the Meta.WrittenUnixNano of the newest checkpoint
+// this writer produced (zero time before the first), for checkpoint-age
+// metrics.
+func (w *Writer) LastWritten() time.Time {
+	n := w.lastUnixNano.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// Count reports how many checkpoints this writer has produced.
+func (w *Writer) Count() uint64 { return w.count.Load() }
+
+// Dir returns the writer's directory.
+func (w *Writer) Dir() string { return w.dir }

@@ -1,0 +1,254 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testEnvelope() *Envelope {
+	return &Envelope{
+		Meta:  Meta{WrittenUnixNano: time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC).UnixNano(), Records: 4242},
+		State: []byte("opaque pipeline state bytes \x00\x01\x02 with binary"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	env := testEnvelope()
+	data, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != env.Meta {
+		t.Fatalf("Meta = %+v, want %+v", got.Meta, env.Meta)
+	}
+	if !bytes.Equal(got.State, env.State) {
+		t.Fatal("State bytes diverged through the container")
+	}
+}
+
+// TestDecodeTruncated feeds Decode every proper prefix of a valid file:
+// torn writes at any byte boundary must error, never panic or succeed.
+func TestDecodeTruncated(t *testing.T) {
+	data, err := Encode(testEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i++ {
+		if _, err := Decode(data[:i]); err == nil {
+			t.Fatalf("Decode accepted a %d-byte truncation of a %d-byte file", i, len(data))
+		}
+	}
+}
+
+// TestDecodeBitFlip flips every bit of a valid file one at a time:
+// CRC-64 (or the structural checks ahead of it) must reject every
+// single-bit corruption.
+func TestDecodeBitFlip(t *testing.T) {
+	data, err := Encode(testEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := make([]byte, len(data))
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(corrupt, data)
+			corrupt[i] ^= 1 << bit
+			if _, err := Decode(corrupt); err == nil {
+				t.Fatalf("Decode accepted a bit flip at byte %d bit %d", i, bit)
+			}
+		}
+	}
+}
+
+// TestDecodeLengthMismatch covers the payload-length bound: a huge
+// claimed length must fail the bounds check, not drive an allocation.
+func TestDecodeLengthMismatch(t *testing.T) {
+	data, err := Encode(testEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim a payload far past the file end.
+	data[12], data[13], data[14] = 0xff, 0xff, 0xff
+	if _, err := Decode(data); err == nil {
+		t.Fatal("Decode accepted a payload length past the file end")
+	}
+}
+
+func TestWriterRotationAndNumbering(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnvelope()
+	for i := 0; i < 5; i++ {
+		if _, err := w.Write(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("keep=3 left %d files: %v", len(paths), paths)
+	}
+	for i, p := range paths {
+		if want := fileName(uint64(i + 2)); filepath.Base(p) != want {
+			t.Fatalf("file %d = %s, want %s", i, filepath.Base(p), want)
+		}
+	}
+	if w.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", w.Count())
+	}
+	if got := w.LastWritten().UnixNano(); got != env.Meta.WrittenUnixNano {
+		t.Fatalf("LastWritten = %d, want %d", got, env.Meta.WrittenUnixNano)
+	}
+
+	// A restarted writer must continue the numbering, never reuse a name.
+	w2, err := NewWriter(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w2.Write(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != fileName(5) {
+		t.Fatalf("restarted writer wrote %s, want %s", filepath.Base(p), fileName(5))
+	}
+	if w2.Count() != 1 || w2.Dir() != dir {
+		t.Fatalf("restarted writer Count=%d Dir=%s", w2.Count(), w2.Dir())
+	}
+}
+
+func TestWriterFreshBeforeFirstWrite(t *testing.T) {
+	w, err := NewWriter(t.TempDir(), 0) // keep clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.LastWritten().IsZero() || w.Count() != 0 {
+		t.Fatalf("fresh writer LastWritten=%v Count=%d", w.LastWritten(), w.Count())
+	}
+}
+
+// TestLatestFallback proves newest-valid-wins: when the newest file is
+// torn or bit-flipped, Latest steps back to the previous good one, and
+// when nothing verifies (or the directory is missing) it reports no
+// checkpoint rather than an error.
+func TestLatestFallback(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 0; i < 3; i++ {
+		env := testEnvelope()
+		env.Meta.Records = uint64(i)
+		p, err := w.Write(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	path, env, err := Latest(dir)
+	if err != nil || env == nil || path != paths[2] || env.Meta.Records != 2 {
+		t.Fatalf("Latest = %s, %+v, %v; want the newest file", path, env, err)
+	}
+
+	// Tear the newest: fallback to the middle one.
+	data, err := os.ReadFile(paths[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[2], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, env, err = Latest(dir)
+	if err != nil || env == nil || path != paths[1] || env.Meta.Records != 1 {
+		t.Fatalf("Latest after tear = %s, %+v, %v; want fallback to previous", path, env, err)
+	}
+
+	// Bit-flip the middle one too: fallback to the oldest.
+	data, err = os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(paths[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, env, err = Latest(dir)
+	if err != nil || env == nil || path != paths[0] || env.Meta.Records != 0 {
+		t.Fatalf("Latest after flip = %s, %+v, %v; want fallback to oldest", path, env, err)
+	}
+
+	// Corrupt everything: no checkpoint, no error.
+	if err := os.WriteFile(paths[0], []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, env, err = Latest(dir)
+	if err != nil || env != nil || path != "" {
+		t.Fatalf("Latest with all corrupt = %s, %+v, %v; want none", path, env, err)
+	}
+
+	path, env, err = Latest(filepath.Join(dir, "does-not-exist"))
+	if err != nil || env != nil || path != "" {
+		t.Fatalf("Latest on missing dir = %s, %+v, %v; want none", path, env, err)
+	}
+}
+
+// TestDecodeV1Golden reads the committed version-1 fixture: files written
+// by the v1 container must stay readable by every later build.
+func TestDecodeV1Golden(t *testing.T) {
+	env, err := Load(filepath.Join("testdata", "v1.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Meta.Records != 1337 || env.Meta.WrittenUnixNano != 1740787200000000000 {
+		t.Fatalf("v1 fixture Meta = %+v", env.Meta)
+	}
+	if string(env.State) != "v1 golden state payload" {
+		t.Fatalf("v1 fixture State = %q", env.State)
+	}
+}
+
+// FuzzCheckpointDecode hammers the read path: arbitrary bytes must
+// either fail cleanly or decode to an envelope that survives a
+// re-encode/decode round trip intact.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid, err := Encode(testEnvelope())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:headerLen])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(env)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded envelope failed: %v", err)
+		}
+		env2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded envelope failed: %v", err)
+		}
+		if env2.Meta != env.Meta || !bytes.Equal(env2.State, env.State) {
+			t.Fatal("envelope changed through a re-encode round trip")
+		}
+	})
+}

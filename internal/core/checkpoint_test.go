@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/experiment"
+	"repro/internal/robots"
+	"repro/internal/stream"
+	"repro/internal/streamtest"
+	"repro/internal/weblog"
+)
+
+// crashN is the crash-injection record count per combo; short mode trims
+// it for fast local iteration.
+func crashN(t *testing.T) int {
+	if testing.Short() {
+		return 6_000
+	}
+	return 24_000
+}
+
+// streamResultsJSON renders a result set the way the daemon's API does;
+// equal strings mean byte-identical results.
+func streamResultsJSON(t *testing.T, res *stream.Results) string {
+	t.Helper()
+	b, err := json.Marshal(res.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// writeSourceFiles lands a τ-disjoint split of d as nSources CSV files
+// in dir, the per-site shape the checkpointed fan-in consumes.
+func writeSourceFiles(t *testing.T, dir string, d *weblog.Dataset, nSources int) []string {
+	t.Helper()
+	parts := streamtest.PartitionByTuple(d, nSources)
+	paths := make([]string, 0, nSources)
+	for i, part := range parts {
+		p := filepath.Join(dir, fmt.Sprintf("src-%02d.csv", i))
+		writeCSVFile(t, p, part)
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// runWithCrashes drives the checkpointed run under crash injection:
+// each attempt gets a deadline that kills it mid-ingest (growing 1.5×
+// so the suite always converges), and every retry restores from
+// whatever checkpoint the previous life managed to land. It reports the
+// final results, how many attempts were killed, and whether the
+// finishing attempt actually started from a checkpoint.
+func runWithCrashes(t *testing.T, paths []string, opts StreamOptions) (res *stream.Results, killed int, restored bool) {
+	t.Helper()
+	deadline := 2 * time.Millisecond
+	for attempt := 0; attempt < 200; attempt++ {
+		hadCkpt := false
+		if p, _, err := checkpoint.Latest(opts.CheckpointDir); err == nil && p != "" {
+			hadCkpt = true
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		r, err := StreamAnalyzeAllFiles(ctx, paths, opts)
+		cancel()
+		if err == nil {
+			return r, killed, hadCkpt
+		}
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("attempt %d died with a non-cancellation error: %v", attempt, err)
+		}
+		killed++
+		deadline = deadline * 3 / 2
+	}
+	t.Fatal("crash-injection loop did not converge in 200 attempts")
+	return nil, 0, false
+}
+
+// TestCrashInjectionRestoreParity is the durability acceptance test:
+// for every sources × shards combo, a run killed at arbitrary moments
+// and restarted from its checkpoints must finish with results
+// byte-identical to a run that was never interrupted — on ±45 s
+// out-of-order input, under the default preprocessing.
+func TestCrashInjectionRestoreParity(t *testing.T) {
+	n := crashN(t)
+	totalKilled, totalRestored := 0, 0
+	for _, nSrc := range []int{1, 3, 8} {
+		for _, shards := range []int{1, 4, 7} {
+			name := fmt.Sprintf("sources=%d,shards=%d", nSrc, shards)
+			t.Run(name, func(t *testing.T) {
+				d := streamtest.MakeBursty(n, int64(100+10*nSrc+shards), 45*time.Second)
+				dir := t.TempDir()
+				paths := writeSourceFiles(t, dir, d, nSrc)
+
+				ref, err := StreamAnalyzeAllFiles(context.Background(), paths, StreamOptions{Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.Records == 0 {
+					t.Fatal("fixture folded no records")
+				}
+
+				res, killed, restored := runWithCrashes(t, paths, StreamOptions{
+					Shards:             shards,
+					CheckpointDir:      filepath.Join(dir, "ckpt"),
+					CheckpointInterval: time.Millisecond,
+				})
+				totalKilled += killed
+				if restored {
+					totalRestored++
+				}
+				if killed == 0 {
+					t.Fatal("no attempt was ever killed; the parity check is vacuous")
+				}
+				if got, want := streamResultsJSON(t, res), streamResultsJSON(t, ref); got != want {
+					t.Fatalf("crash-restored results diverged from the uninterrupted run\nwant: %.300s…\ngot:  %.300s…", want, got)
+				}
+			})
+		}
+	}
+	if totalKilled == 0 {
+		t.Fatal("no combo was ever killed")
+	}
+	if totalRestored == 0 {
+		t.Fatal("no combo ever finished from a restored checkpoint; raise the record count")
+	}
+}
+
+// TestCrashInjectionPhased repeats one crash-injection combo with every
+// analyzer phase-partitioned by a robots.txt rotation: per-phase state
+// must survive kill/restore cycles byte-identically too.
+func TestCrashInjectionPhased(t *testing.T) {
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	phaseLen := 10 * 24 * time.Hour
+	phases := make([]experiment.Phase, 0, len(robots.Versions))
+	for i, v := range robots.Versions {
+		phases = append(phases, experiment.Phase{Version: v, Start: base.Add(time.Duration(i) * phaseLen)})
+	}
+	sched, err := experiment.NewSchedule(phases, base.Add(4*phaseLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := streamtest.MakeBursty(crashN(t), 55, 45*time.Second)
+	dir := t.TempDir()
+	paths := writeSourceFiles(t, dir, d, 3)
+
+	ref, err := StreamAnalyzeAllFiles(context.Background(), paths, StreamOptions{Shards: 4, Phases: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, killed, _ := runWithCrashes(t, paths, StreamOptions{
+		Shards:             4,
+		Phases:             sched,
+		CheckpointDir:      filepath.Join(dir, "ckpt"),
+		CheckpointInterval: time.Millisecond,
+	})
+	if killed == 0 {
+		t.Fatal("no attempt was ever killed; the parity check is vacuous")
+	}
+	if got, want := streamResultsJSON(t, res), streamResultsJSON(t, ref); got != want {
+		t.Fatal("phased crash-restored results diverged from the uninterrupted run")
+	}
+}
+
+// TestMergeCheckpointsEquivalence is the cross-process contract at the
+// file level: three worker processes each analyze a τ-disjoint slice
+// into their own checkpoint directories, and core.MergeCheckpoints over
+// the three files must equal one process analyzing the whole log
+// byte-identically (worker shard counts sum to the single process's).
+func TestMergeCheckpointsEquivalence(t *testing.T) {
+	n := 100_000
+	if testing.Short() {
+		n = 10_000
+	}
+	ctx := context.Background()
+	d := streamtest.MakeBursty(n, 77, 45*time.Second)
+	dir := t.TempDir()
+
+	all := filepath.Join(dir, "all.csv")
+	writeCSVFile(t, all, d)
+	ref, err := StreamAnalyzeAllFiles(ctx, []string{all}, StreamOptions{Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parts := streamtest.PartitionByTuple(d, 3)
+	workerShards := []int{2, 2, 3}
+	var ckptFiles []string
+	for i, part := range parts {
+		p := filepath.Join(dir, fmt.Sprintf("worker-%d.csv", i))
+		writeCSVFile(t, p, part)
+		ckDir := filepath.Join(dir, fmt.Sprintf("ckpt-%d", i))
+		if _, err := StreamAnalyzeAllFiles(ctx, []string{p}, StreamOptions{
+			Shards:             workerShards[i],
+			CheckpointDir:      ckDir,
+			CheckpointInterval: -1, // final checkpoint only
+		}); err != nil {
+			t.Fatal(err)
+		}
+		path, _, err := checkpoint.Latest(ckDir)
+		if err != nil || path == "" {
+			t.Fatalf("worker %d left no checkpoint: %v", i, err)
+		}
+		ckptFiles = append(ckptFiles, path)
+	}
+
+	merged, err := MergeCheckpoints(ckptFiles, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := streamResultsJSON(t, merged), streamResultsJSON(t, ref); got != want {
+		t.Fatalf("merged worker checkpoints diverged from the single-process run\nwant: %.300s…\ngot:  %.300s…", want, got)
+	}
+}
+
+// TestCheckpointResumeValidation pins the restore-time input checks and
+// the idempotence of restarting a completed run.
+func TestCheckpointResumeValidation(t *testing.T) {
+	ctx := context.Background()
+	d := streamtest.MakeBursty(2_000, 91, 0)
+	dir := t.TempDir()
+	paths := writeSourceFiles(t, dir, d, 2)
+	opts := StreamOptions{Shards: 2, CheckpointDir: filepath.Join(dir, "ckpt"), CheckpointInterval: -1}
+
+	first, err := StreamAnalyzeAllFiles(ctx, paths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restarting a completed run restores the final checkpoint, resumes
+	// every file at EOF, and reproduces the results exactly.
+	again, err := StreamAnalyzeAllFiles(ctx, paths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamResultsJSON(t, again) != streamResultsJSON(t, first) {
+		t.Fatal("restarting a completed run changed its results")
+	}
+
+	// Reordering the inputs breaks the recorded source table.
+	swapped := []string{paths[1], paths[0]}
+	if _, err := StreamAnalyzeAllFiles(ctx, swapped, opts); err == nil || !strings.Contains(err.Error(), "must keep their paths") {
+		t.Fatalf("swapped inputs: err = %v, want source-order error", err)
+	}
+
+	// Chunked decode has no stable per-file resume offset.
+	bad := opts
+	bad.DecodeParallelism = 5
+	if _, err := StreamAnalyzeAllFiles(ctx, paths, bad); err == nil || !strings.Contains(err.Error(), "DecodeParallelism") {
+		t.Fatalf("chunked decode: err = %v, want DecodeParallelism error", err)
+	}
+
+	// The reader-based entry point has no named files to resume.
+	if _, err := StreamAnalyzeAll(ctx, strings.NewReader(""), opts); err == nil || !strings.Contains(err.Error(), "StreamAnalyzeAllFiles") {
+		t.Fatalf("reader API: err = %v, want redirect to StreamAnalyzeAllFiles", err)
+	}
+
+	if _, err := MergeCheckpoints(nil, StreamOptions{}); err == nil {
+		t.Fatal("MergeCheckpoints accepted an empty file list")
+	}
+}
+
+// TestObservatoryCheckpointSurface wires a checkpoint directory through
+// the observatory: the one-shot ingest must land checkpoints, export
+// the age/count gauges on /metrics, and report them on /readyz; follow
+// mode must reject checkpointing outright.
+func TestObservatoryCheckpointSurface(t *testing.T) {
+	dir := t.TempDir()
+	d := observatoryDataset(400)
+	path := filepath.Join(dir, "site.csv")
+	writeCSVFile(t, path, d)
+	ckDir := filepath.Join(dir, "ckpt")
+
+	o, err := NewObservatory(ObservatoryOptions{
+		Stream: StreamOptions{
+			Shards:             2,
+			MaxSkew:            time.Minute,
+			CheckpointDir:      ckDir,
+			CheckpointInterval: -1,
+		},
+		Paths:              []string{path},
+		PublishMinInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	ts := httptest.NewServer(o.Handler())
+	defer ts.Close()
+
+	if _, err := o.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, err := checkpoint.Latest(ckDir); err != nil || p == "" {
+		t.Fatalf("one-shot ingest left no checkpoint: %v", err)
+	}
+
+	metrics := httpGetBody(t, ts.URL+"/metrics")
+	for _, want := range []string{"scraperlab_checkpoint_age_seconds", "scraperlab_checkpoints_written 1"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	ready := httpGetBody(t, ts.URL+"/readyz")
+	var body map[string]any
+	if err := json.Unmarshal([]byte(ready), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["checkpoints"].(float64) != 1 {
+		t.Fatalf("/readyz checkpoints = %v, want 1", body["checkpoints"])
+	}
+	if _, ok := body["checkpoint_age_seconds"].(float64); !ok {
+		t.Fatalf("/readyz missing checkpoint_age_seconds: %v", body)
+	}
+
+	if _, err := NewObservatory(ObservatoryOptions{
+		Stream: StreamOptions{CheckpointDir: ckDir},
+		Paths:  []string{path},
+		Follow: true,
+	}); err == nil || !strings.Contains(err.Error(), "follow") {
+		t.Fatalf("follow+checkpoint: err = %v, want incompatibility error", err)
+	}
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,299 @@
+// checkpointed.go is the durable variant of the file fan-in run:
+// restore the newest valid checkpoint, reopen every input at its
+// recorded byte offset, ingest with a periodic capture loop, and land a
+// final checkpoint after a clean completion. The capture itself (the
+// quiesce-then-snapshot protocol) lives in internal/stream; the
+// on-disk container (atomic writes, checksums, rotation) in
+// internal/checkpoint. See DESIGN.md, "Durable checkpoints".
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/stream"
+	"repro/internal/weblog"
+)
+
+// DefaultCheckpointInterval is the periodic checkpoint cadence when
+// StreamOptions.CheckpointInterval is zero.
+const DefaultCheckpointInterval = 5 * time.Second
+
+// DefaultCheckpointKeep is how many checkpoint files are retained when
+// StreamOptions.CheckpointKeep is zero.
+const DefaultCheckpointKeep = 3
+
+// checkpointableOpts rejects option combinations that have no stable
+// resume contract.
+func checkpointableOpts(paths []string, opts StreamOptions) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("core: no input files")
+	}
+	if opts.DecodeParallelism > len(paths) {
+		return fmt.Errorf("core: checkpointing needs one decoder per file for stable resume offsets; DecodeParallelism %d exceeds the %d input file(s) and would chunk them", opts.DecodeParallelism, len(paths))
+	}
+	return nil
+}
+
+// streamCheckpointed is StreamAnalyzeAllFiles' checkpointed path.
+func streamCheckpointed(ctx context.Context, paths []string, opts StreamOptions) (*stream.Results, error) {
+	if err := checkpointableOpts(paths, opts); err != nil {
+		return nil, err
+	}
+	keep := opts.CheckpointKeep
+	if keep == 0 {
+		keep = DefaultCheckpointKeep
+	}
+	w, err := checkpoint.NewWriter(opts.CheckpointDir, keep)
+	if err != nil {
+		return nil, err
+	}
+	p, err := StreamPipeline(opts)
+	if err != nil {
+		return nil, err
+	}
+	return runCheckpointed(ctx, p, w, paths, opts)
+}
+
+// runCheckpointed restores the newest valid checkpoint in w's directory
+// (if any), rebuilds the file sources at the recorded offsets, runs the
+// fan-in with a periodic capture goroutine, and writes a final
+// checkpoint once the run completes cleanly. A canceled run keeps only
+// its periodic checkpoints — they were captured at quiesced record
+// boundaries, which is exactly the state a restart can resume from.
+func runCheckpointed(ctx context.Context, p *stream.Pipeline, w *checkpoint.Writer, paths []string, opts StreamOptions) (*stream.Results, error) {
+	restored, err := restorePipeline(p, w.Dir())
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	sources, err := resumeFileSources(paths, opts, restored)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	interval := opts.CheckpointInterval
+	if interval == 0 {
+		interval = DefaultCheckpointInterval
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	if interval > 0 {
+		go func() {
+			defer close(done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					// Best effort mid-run: a transient write failure
+					// costs one checkpoint, not the run. The final
+					// capture below reports errors.
+					captureAndWrite(p, w)
+				}
+			}
+		}()
+	} else {
+		close(done)
+	}
+	res, runErr := p.RunSources(ctx, sources)
+	close(stop)
+	<-done
+	if runErr == nil {
+		if err := captureAndWrite(p, w); err != nil {
+			runErr = err
+		}
+	}
+	return res, runErr
+}
+
+// captureAndWrite snapshots the pipeline and lands the checkpoint
+// atomically. A capture with no source table (RunSources not started
+// yet) is skipped: state without offsets cannot be resumed safely.
+func captureAndWrite(p *stream.Pipeline, w *checkpoint.Writer) error {
+	ck, err := p.CaptureCheckpoint()
+	if err != nil {
+		return err
+	}
+	if len(ck.Sources) == 0 {
+		return nil
+	}
+	state, err := ck.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var recs uint64
+	for _, s := range ck.ShardStates {
+		recs += s.Records
+	}
+	_, err = w.Write(&checkpoint.Envelope{
+		Meta:  checkpoint.Meta{WrittenUnixNano: time.Now().UnixNano(), Records: recs},
+		State: state,
+	})
+	return err
+}
+
+// restorePipeline loads the newest valid checkpoint in dir into p,
+// returning it for source rebuilding — or (nil, nil) when dir holds
+// none and the run starts fresh.
+func restorePipeline(p *stream.Pipeline, dir string) (*stream.PipelineCheckpoint, error) {
+	path, env, err := checkpoint.Latest(dir)
+	if err != nil || env == nil {
+		return nil, err
+	}
+	ck := new(stream.PipelineCheckpoint)
+	if err := ck.UnmarshalBinary(env.State); err != nil {
+		return nil, fmt.Errorf("core: restoring %s: %w", path, err)
+	}
+	if err := p.RestoreCheckpoint(ck); err != nil {
+		return nil, fmt.Errorf("core: restoring %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// resumeFileSources rebuilds the fan-in source set from a checkpoint:
+// every input reopens and seeks to its recorded absolute offset. With a
+// nil checkpoint it is plain fileSources. Inputs must keep their paths
+// and order across a restore — order determines sequence numbering,
+// which the merged results' equal-timestamp tie-break depends on.
+func resumeFileSources(paths []string, opts StreamOptions, ck *stream.PipelineCheckpoint) ([]stream.Source, error) {
+	if ck == nil {
+		return fileSources(paths, opts)
+	}
+	if len(ck.Sources) != len(paths) {
+		return nil, fmt.Errorf("core: checkpoint has %d sources but the run has %d input files", len(ck.Sources), len(paths))
+	}
+	siteFor := clfSiteLabels(paths, opts)
+	format := streamFormat(opts)
+	var sources []stream.Source
+	closeAll := func() {
+		for _, s := range sources {
+			if s.Close != nil {
+				s.Close()
+			}
+		}
+	}
+	for i, path := range paths {
+		src := ck.Sources[i]
+		if src.Name != path {
+			closeAll()
+			return nil, fmt.Errorf("core: checkpoint source %d is %q but input %d is %q (inputs must keep their paths and order across a restore)", i, src.Name, i, path)
+		}
+		clf := opts.CLF
+		if siteFor != nil && clf.Site == "" {
+			clf.Site = siteFor[path]
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		dec, base, err := resumeDecoder(f, format, clf, src)
+		if err != nil {
+			f.Close()
+			closeAll()
+			return nil, err
+		}
+		sources = append(sources, stream.Source{Name: path, Dec: dec, Close: f.Close, BaseOffset: base})
+	}
+	return sources, nil
+}
+
+// resumeDecoder reopens one source at its checkpointed offset. CSV is
+// the subtle case: the decoder needs the header row to map columns, so
+// the recorded header prefix is replayed in front of the seeked file,
+// and BaseOffset backs the header's length out so BaseOffset plus the
+// decoder's consumed count keeps equaling the absolute file offset.
+func resumeDecoder(f *os.File, format string, clf weblog.CLFOptions, src stream.SourceCheckpoint) (stream.Decoder, int64, error) {
+	if src.Offset < 0 {
+		return nil, 0, fmt.Errorf("core: checkpoint for %s records no resume offset", src.Name)
+	}
+	if format == "csv" && src.HeaderLen > 0 {
+		header := make([]byte, src.HeaderLen)
+		if _, err := io.ReadFull(f, header); err != nil {
+			return nil, 0, fmt.Errorf("core: rereading %s header: %w", src.Name, err)
+		}
+		if _, err := f.Seek(src.Offset, io.SeekStart); err != nil {
+			return nil, 0, err
+		}
+		dec := stream.NewCSVDecoder(io.MultiReader(bytes.NewReader(header), f))
+		// Consume the replayed header NOW: the decoder reads it lazily, and
+		// until it does, its consumed count omits the header bytes — a
+		// checkpoint captured before this source's first record would
+		// record an offset HeaderLen bytes short, a mid-record position
+		// the next restore would misparse from.
+		if err := dec.ReadHeader(); err != nil {
+			return nil, 0, fmt.Errorf("core: reparsing %s header: %w", src.Name, err)
+		}
+		return dec, src.Offset - src.HeaderLen, nil
+	}
+	if _, err := f.Seek(src.Offset, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	dec, err := stream.NewDecoder(format, f, clf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dec, src.Offset, nil
+}
+
+// MergeCheckpoints loads checkpoint files written by several worker
+// processes (each having analyzed a disjoint slice of the estate's
+// traffic) and folds their serialized shard states into one estate-wide
+// Results — the cross-process form of the pipeline's commutative shard
+// merge, so the output is byte-identical to a single process analyzing
+// all the records (see DESIGN.md). Workers must partition records by
+// τ tuple — every record of one (ASN, IP hash, user agent) entity in
+// one worker; per-site log splits do NOT suffice, since one bot
+// crawling several sites would smear its tuple state across workers.
+// Workers need not have finished — mid-run checkpoints merge the
+// records folded so far.
+// opts supplies the analyzer configuration (thresholds, windows,
+// schedule), which checkpoints deliberately do not carry; nil
+// opts.Analyzers means the analyzer set recorded in the first
+// checkpoint. Phase-partitioned checkpoints require opts.Phases.
+func MergeCheckpoints(paths []string, opts StreamOptions) (*stream.Results, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: no checkpoint files")
+	}
+	cks := make([]*stream.PipelineCheckpoint, 0, len(paths))
+	phased := false
+	for _, path := range paths {
+		env, err := checkpoint.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		ck := new(stream.PipelineCheckpoint)
+		if err := ck.UnmarshalBinary(env.State); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", path, err)
+		}
+		if ck.Phased {
+			phased = true
+		}
+		cks = append(cks, ck)
+	}
+	names := opts.Analyzers
+	if len(names) == 0 {
+		names = cks[0].Analyzers
+	}
+	analyzers, err := stream.NewAnalyzers(names, analyzerOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	if phased {
+		if opts.Phases == nil {
+			return nil, fmt.Errorf("core: checkpoints are phase-partitioned; supply the experiment schedule")
+		}
+		analyzers = stream.WrapPhased(analyzers, opts.Phases)
+	} else if opts.Phases != nil {
+		return nil, fmt.Errorf("core: a schedule was supplied but the checkpoints are not phase-partitioned")
+	}
+	return stream.MergeCheckpoints(cks, analyzers)
+}

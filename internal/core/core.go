@@ -212,6 +212,23 @@ type StreamOptions struct {
 	// watermark advances (see stream.Options.OnAdvance). It must be fast
 	// and non-blocking.
 	OnAdvance func(watermark time.Time)
+	// CheckpointDir, when non-empty, makes the file-based runs
+	// (StreamAnalyzeAllFiles, the observatory's one-shot ingest) durable:
+	// the newest valid checkpoint in the directory is restored before
+	// ingestion (files reopen at their recorded byte offsets), periodic
+	// checkpoints are written while the run progresses, and a final one
+	// lands after a clean completion. Incompatible with follow mode and
+	// with DecodeParallelism above the file count (chunked decode has no
+	// stable per-file resume offset). See DESIGN.md, "Durable
+	// checkpoints".
+	CheckpointDir string
+	// CheckpointInterval is the periodic checkpoint cadence (0 = the
+	// 5-second default; negative = no periodic checkpoints, only the
+	// final one).
+	CheckpointInterval time.Duration
+	// CheckpointKeep is how many checkpoint files to retain in
+	// CheckpointDir (0 = the default of 3, minimum 1).
+	CheckpointKeep int
 }
 
 // analyzerOptions maps the facade knobs onto the stream registry's.
@@ -255,6 +272,9 @@ func StreamAnalyze(ctx context.Context, r io.Reader, opts StreamOptions) (*strea
 func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*stream.Results, error) {
 	if len(opts.Analyzers) == 0 {
 		opts.Analyzers = stream.AnalyzerNames
+	}
+	if opts.CheckpointDir != "" {
+		return nil, fmt.Errorf("core: checkpointing needs named seekable files; use StreamAnalyzeAllFiles")
 	}
 	// A followed stream (TailReader) has no size and never ends until
 	// cancellation — buffering it for chunking would hold the whole tail
@@ -320,6 +340,9 @@ func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*st
 func StreamAnalyzeAllFiles(ctx context.Context, paths []string, opts StreamOptions) (*stream.Results, error) {
 	if len(opts.Analyzers) == 0 {
 		opts.Analyzers = stream.AnalyzerNames
+	}
+	if opts.CheckpointDir != "" {
+		return streamCheckpointed(ctx, paths, opts)
 	}
 	// Build the pipeline before opening any file: a bad analyzer set or
 	// schedule must not strand opened descriptors (every later error

@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/obsserve"
 	"repro/internal/stream"
@@ -52,6 +53,7 @@ type Observatory struct {
 	metrics *stream.Metrics
 	srv     *obsserve.Server
 	pipe    *stream.Pipeline
+	ckptW   *checkpoint.Writer // nil unless Stream.CheckpointDir is set
 }
 
 // NewObservatory builds the observatory: a fresh metrics registry, an
@@ -66,12 +68,51 @@ func NewObservatory(opts ObservatoryOptions) (*Observatory, error) {
 	}
 	reg := obs.NewRegistry()
 	m := stream.NewMetrics(reg)
+	var ckptW *checkpoint.Writer
+	var readyInfo func() map[string]any
+	if opts.Stream.CheckpointDir != "" {
+		if opts.Follow {
+			return nil, fmt.Errorf("core: checkpointing is incompatible with follow mode (a tailed stream never completes a resumable offset contract)")
+		}
+		if err := checkpointableOpts(opts.Paths, opts.Stream); err != nil {
+			return nil, err
+		}
+		keep := opts.Stream.CheckpointKeep
+		if keep == 0 {
+			keep = DefaultCheckpointKeep
+		}
+		w, err := checkpoint.NewWriter(opts.Stream.CheckpointDir, keep)
+		if err != nil {
+			return nil, err
+		}
+		ckptW = w
+		reg.GaugeFunc("scraperlab_checkpoint_age_seconds",
+			"Seconds since this process wrote its newest checkpoint (-1 before the first).",
+			func() float64 {
+				last := w.LastWritten()
+				if last.IsZero() {
+					return -1
+				}
+				return time.Since(last).Seconds()
+			})
+		reg.GaugeFunc("scraperlab_checkpoints_written",
+			"Checkpoints written by this process.",
+			func() float64 { return float64(w.Count()) })
+		readyInfo = func() map[string]any {
+			info := map[string]any{"checkpoints": w.Count()}
+			if last := w.LastWritten(); !last.IsZero() {
+				info["checkpoint_age_seconds"] = time.Since(last).Seconds()
+			}
+			return info
+		}
+	}
 	srv := obsserve.NewServer(obsserve.Options{
 		Registry:           reg,
 		Metrics:            m,
 		MinPublishInterval: opts.PublishMinInterval,
 		ClientBuffer:       opts.SSEClientBuffer,
 		Pprof:              opts.Pprof,
+		ReadyInfo:          readyInfo,
 	})
 	sOpts := opts.Stream
 	sOpts.Metrics = m
@@ -82,7 +123,7 @@ func NewObservatory(opts ObservatoryOptions) (*Observatory, error) {
 		return nil, err
 	}
 	srv.Attach(p)
-	return &Observatory{opts: opts, sOpts: sOpts, metrics: m, srv: srv, pipe: p}, nil
+	return &Observatory{opts: opts, sOpts: sOpts, metrics: m, srv: srv, pipe: p, ckptW: ckptW}, nil
 }
 
 // Handler is the observatory's HTTP surface: /metrics, /healthz,
@@ -112,6 +153,9 @@ func (o *Observatory) Run(ctx context.Context) (*stream.Results, error) {
 
 func (o *Observatory) runIngest(ctx context.Context) (*stream.Results, error) {
 	if !o.opts.Follow {
+		if o.ckptW != nil {
+			return runCheckpointed(ctx, o.pipe, o.ckptW, o.opts.Paths, o.sOpts)
+		}
 		sources, err := fileSources(o.opts.Paths, o.sOpts)
 		if err != nil {
 			o.pipe.Close()

@@ -69,6 +69,12 @@ type Options struct {
 	ClientBuffer int
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// ReadyInfo, when non-nil, contributes extra key/value pairs to
+	// every /readyz response body (the observatory reports checkpoint
+	// age and count through it). It must be safe for concurrent use and
+	// must not collide with the handler's own keys (status, reason,
+	// seq).
+	ReadyInfo func() map[string]any
 }
 
 // Published is one immutable published snapshot. All fields are set
@@ -105,10 +111,11 @@ type Published struct {
 // NewServer, point it at a pipeline with Attach, and shut it down with
 // Close.
 type Server struct {
-	reg     *obs.Registry
-	metrics *stream.Metrics
-	minPub  time.Duration
-	bufSize int
+	reg       *obs.Registry
+	metrics   *stream.Metrics
+	minPub    time.Duration
+	bufSize   int
+	readyInfo func() map[string]any
 
 	pipe atomic.Pointer[stream.Pipeline]
 	cur  atomic.Pointer[Published]
@@ -152,13 +159,14 @@ func NewServer(opts Options) *Server {
 		buf = DefaultClientBuffer
 	}
 	s := &Server{
-		reg:     reg,
-		metrics: opts.Metrics,
-		minPub:  minPub,
-		bufSize: buf,
-		dirty:   make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		clients: make(map[*sseClient]struct{}),
+		reg:       reg,
+		metrics:   opts.Metrics,
+		minPub:    minPub,
+		bufSize:   buf,
+		readyInfo: opts.ReadyInfo,
+		dirty:     make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		clients:   make(map[*sseClient]struct{}),
 
 		lastViews: make(map[string][]byte),
 		published: reg.Counter(metricPublished, "Snapshots published by the observatory."),
@@ -416,16 +424,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // finished (a finished one-shot stays ready while it serves its final
 // snapshot).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	extra := func(body map[string]any) map[string]any {
+		if s.readyInfo != nil {
+			for k, v := range s.readyInfo() {
+				body[k] = v
+			}
+		}
+		return body
+	}
 	pub := s.cur.Load()
 	switch {
 	case pub == nil:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "starting", "reason": "no snapshot published yet"})
+		writeJSON(w, http.StatusServiceUnavailable, extra(map[string]any{
+			"status": "starting", "reason": "no snapshot published yet"}))
 	case pub.Done || pub.Results.Records > 0 || !pub.Watermark.IsZero():
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "seq": pub.Seq})
+		writeJSON(w, http.StatusOK, extra(map[string]any{"status": "ready", "seq": pub.Seq}))
 	default:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "waiting", "reason": "no records folded and no watermark advance yet"})
+		writeJSON(w, http.StatusServiceUnavailable, extra(map[string]any{
+			"status": "waiting", "reason": "no records folded and no watermark advance yet"}))
 	}
 }
 

@@ -3,7 +3,6 @@ package stream
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"reflect"
 	"testing"
 	"time"
@@ -12,77 +11,15 @@ import (
 	"repro/internal/compliance"
 	"repro/internal/session"
 	"repro/internal/spoof"
+	"repro/internal/streamtest"
 	"repro/internal/weblog"
 )
 
-// makeBursty builds n records as per-tuple bursts separated by idle gaps,
-// over a multi-week span: bursts produce multi-access sessions (in-burst
-// steps stay under the 5-minute gap), the long span exercises every §5.1
-// re-check window, and each bot's traffic is dominated by one ASN with a
-// small fraction leaking from foreign networks so the §5.2 heuristic
-// fires. jitter > 0 displaces timestamps by up to ±jitter while keeping
-// slice order, producing bounded out-of-order input.
+// makeBursty builds n records as per-tuple bursts separated by idle
+// gaps, over a multi-week span — sessions, cadence windows, and a
+// guaranteed §5.2 spoof case; see streamtest.MakeBursty.
 func makeBursty(n int, seed int64, jitter time.Duration) *weblog.Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	enrich := poolEnrich()
-	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
-	nTuples := n / 400
-	if nTuples < 8 {
-		nTuples = 8
-	}
-	type tupleID struct {
-		ua, ip, asn string
-	}
-	// A guaranteed §5.2 case at any n: botPool[0] gets 19 tuples on its
-	// dominant network and exactly one on a foreign one, keeping the
-	// foreign share safely under the 10% suspect threshold while making
-	// at least one finding certain.
-	tuples := make([]tupleID, 0, nTuples+20)
-	for i := 0; i < 19; i++ {
-		tuples = append(tuples, tupleID{ua: botPool[0].ua, ip: fmt.Sprintf("gdom%02d", i), asn: asnPool[0]})
-	}
-	tuples = append(tuples, tupleID{ua: botPool[0].ua, ip: "gspoof", asn: asnPool[1]})
-	for i := 0; i < nTuples; i++ {
-		bi := rng.Intn(len(botPool))
-		asn := asnPool[bi%len(asnPool)] // the bot's dominant network
-		if rng.Intn(20) == 0 {          // ~5% of tuples spoof from elsewhere
-			asn = asnPool[rng.Intn(len(asnPool))]
-		}
-		tuples = append(tuples, tupleID{
-			ua:  botPool[bi].ua,
-			ip:  fmt.Sprintf("h%05x", rng.Intn(1<<20)),
-			asn: asn,
-		})
-	}
-	nTuples = len(tuples)
-	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
-	jitterSec := int(jitter / time.Second)
-	now := base
-	for len(d.Records) < n {
-		tp := tuples[rng.Intn(nTuples)]
-		burst := 1 + rng.Intn(12)
-		for b := 0; b < burst && len(d.Records) < n; b++ {
-			now = now.Add(time.Duration(1+rng.Intn(45)) * time.Second)
-			ts := now
-			if jitterSec > 0 {
-				ts = ts.Add(time.Duration(rng.Intn(2*jitterSec+1)-jitterSec) * time.Second)
-			}
-			rec := weblog.Record{
-				UserAgent: tp.ua,
-				Time:      ts,
-				IPHash:    tp.ip,
-				ASN:       tp.asn,
-				Site:      "www",
-				Path:      pathPool[rng.Intn(len(pathPool))],
-				Status:    200,
-				Bytes:     int64(rng.Intn(50_000)),
-			}
-			enrich(&rec)
-			d.Records = append(d.Records, rec)
-		}
-		now = now.Add(time.Duration(rng.Intn(1200)) * time.Second)
-	}
-	return d
+	return streamtest.MakeBursty(n, seed, jitter)
 }
 
 // runAllAnalyzers streams a dataset through a pipeline running every

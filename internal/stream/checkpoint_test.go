@@ -1,0 +1,310 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/streamtest"
+	"repro/internal/weblog"
+)
+
+// allAnalyzers builds a fresh full analyzer set; checkpoints carry only
+// per-shard state, so restore targets always construct their own
+// analyzer instances.
+func allAnalyzers(t *testing.T) []Analyzer {
+	t.Helper()
+	analyzers, err := NewAnalyzers(nil, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analyzers
+}
+
+// ckptPipeline builds a pipeline with the default preprocessing and the
+// pool enrichment, the shape every checkpoint test shares.
+func ckptPipeline(shards int, skew time.Duration, analyzers []Analyzer) *Pipeline {
+	pre := weblog.NewPreprocessor()
+	enrich := poolEnrich()
+	return NewPipeline(Options{
+		Shards:    shards,
+		MaxSkew:   skew,
+		Keep:      pre.Keep,
+		Enrich:    func(r *weblog.Record) { enrich(r) },
+		Analyzers: analyzers,
+	})
+}
+
+// resultsJSON renders a result set the way the daemon's API does;
+// byte-equal strings mean byte-identical results (Go marshals maps with
+// sorted keys).
+func resultsJSON(t *testing.T, res *Results) string {
+	t.Helper()
+	b, err := json.Marshal(res.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// roundTrip serializes a checkpoint through MarshalBinary and decodes it
+// into a fresh value, the way the on-disk container carries it.
+func roundTrip(t *testing.T, ck *PipelineCheckpoint) *PipelineCheckpoint {
+	t.Helper()
+	data, err := ck.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &PipelineCheckpoint{}
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCheckpointRoundTrip proves the serialize/restore contract on a
+// finished run: capture a closed pipeline's full analyzer state, push it
+// through the binary encoding, restore into a freshly built pipeline,
+// and require the restored snapshot byte-identical to the original.
+func TestCheckpointRoundTrip(t *testing.T) {
+	d := makeBursty(8000, 31, 45*time.Second)
+	p := ckptPipeline(4, 2*time.Minute, allAnalyzers(t))
+	res, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := p.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Phased {
+		t.Fatal("unwrapped pipeline captured Phased=true")
+	}
+
+	p2 := ckptPipeline(4, 2*time.Minute, allAnalyzers(t))
+	if err := p2.RestoreCheckpoint(roundTrip(t, ck)); err != nil {
+		t.Fatal(err)
+	}
+	p2.Close()
+	res2 := p2.Snapshot()
+	if got, want := resultsJSON(t, res2), resultsJSON(t, res); got != want {
+		t.Fatalf("restored snapshot diverged from original\nwant: %.200s…\ngot:  %.200s…", want, got)
+	}
+	if res2.Records != res.Records || res2.Dropped != res.Dropped {
+		t.Fatalf("restored tallies = %d/%d records/dropped, want %d/%d",
+			res2.Records, res2.Dropped, res.Records, res.Dropped)
+	}
+}
+
+// TestCheckpointEncodeDeterministic is the gob-map canary: two captures
+// of the same quiesced state must marshal to identical bytes (the state
+// codecs serialize sorted slices, never maps), so checkpoint files are
+// reproducible and diffable.
+func TestCheckpointEncodeDeterministic(t *testing.T) {
+	p := ckptPipeline(3, time.Minute, allAnalyzers(t))
+	if _, err := p.Run(context.Background(), NewDatasetDecoder(makeBursty(3000, 36, 30*time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	var encs [2][]byte
+	for i := range encs {
+		ck, err := p.CaptureCheckpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if encs[i], err = ck.MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(encs[0], encs[1]) {
+		t.Fatal("two captures of the same state marshaled to different bytes; a map crept into the wire structs")
+	}
+}
+
+// TestCheckpointMidStreamIngest interrupts a hand-fed pipeline halfway:
+// capture mid-run (exercising the quiesce + sync-drain path), restore
+// into a fresh pipeline, feed the remainder, and require the final
+// snapshot identical to an uninterrupted run. jitter=0 keeps timestamps
+// strictly increasing — the Ingest path's sequence counter restarts on
+// restore, so the fixture must not depend on sequence tie-breaks.
+func TestCheckpointMidStreamIngest(t *testing.T) {
+	ctx := context.Background()
+	d := makeBursty(6000, 32, 0)
+
+	want, err := ckptPipeline(5, 2*time.Minute, allAnalyzers(t)).Run(ctx, NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cut := len(d.Records) / 2
+	p1 := ckptPipeline(5, 2*time.Minute, allAnalyzers(t))
+	for _, rec := range d.Records[:cut] {
+		if err := p1.Ingest(ctx, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, err := p1.CaptureCheckpoint() // running pipeline: quiesce, flush, drain
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Close() // the "crashed" process
+
+	p2 := ckptPipeline(5, 2*time.Minute, allAnalyzers(t))
+	if err := p2.RestoreCheckpoint(roundTrip(t, ck)); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range d.Records[cut:] {
+		if err := p2.Ingest(ctx, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p2.Close()
+	if got := resultsJSON(t, p2.Snapshot()); got != resultsJSON(t, want) {
+		t.Fatal("restored-and-resumed snapshot diverged from the uninterrupted run")
+	}
+}
+
+// TestPhasedCheckpointRoundTrip repeats the round-trip with every
+// analyzer phase-wrapped: the captured checkpoint must record the
+// wrapping, refuse an unwrapped restore target, and restore per-phase
+// state byte-identically.
+func TestPhasedCheckpointRoundTrip(t *testing.T) {
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	sched := rotationSchedule(t, base.Add(-time.Hour), 4*24*time.Hour)
+	d := makeBursty(6000, 33, 45*time.Second)
+
+	p := ckptPipeline(4, 2*time.Minute, WrapPhased(allAnalyzers(t), sched))
+	res, err := p.Run(context.Background(), NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := p.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Phased {
+		t.Fatal("phase-wrapped pipeline captured Phased=false")
+	}
+
+	if err := ckptPipeline(4, 2*time.Minute, allAnalyzers(t)).RestoreCheckpoint(ck); err == nil {
+		t.Fatal("restoring a phased checkpoint into an unwrapped pipeline must fail")
+	}
+
+	p2 := ckptPipeline(4, 2*time.Minute, WrapPhased(allAnalyzers(t), sched))
+	if err := p2.RestoreCheckpoint(roundTrip(t, ck)); err != nil {
+		t.Fatal(err)
+	}
+	p2.Close()
+	if got := resultsJSON(t, p2.Snapshot()); got != resultsJSON(t, res) {
+		t.Fatal("restored phased snapshot diverged from original")
+	}
+}
+
+// TestMergeCheckpointsParity is the cross-process merge contract: three
+// workers analyze a τ-disjoint partition of the traffic on different
+// shard counts, and merging their checkpoints must be byte-identical to
+// one process analyzing everything (worker shard counts sum to the
+// single process's, so the tallies line up too).
+func TestMergeCheckpointsParity(t *testing.T) {
+	ctx := context.Background()
+	d := makeBursty(9000, 34, 45*time.Second)
+
+	single := ckptPipeline(7, 2*time.Minute, allAnalyzers(t))
+	want, err := single.Run(ctx, NewDatasetDecoder(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parts := streamtest.PartitionByTuple(d, 3)
+	workerShards := []int{2, 2, 3}
+	var cks []*PipelineCheckpoint
+	for i, part := range parts {
+		p := ckptPipeline(workerShards[i], 2*time.Minute, allAnalyzers(t))
+		if _, err := p.Run(ctx, NewDatasetDecoder(part)); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := p.CaptureCheckpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cks = append(cks, roundTrip(t, ck))
+	}
+
+	got, err := MergeCheckpoints(cks, allAnalyzers(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON, wantJSON := resultsJSON(t, got), resultsJSON(t, want); gotJSON != wantJSON {
+		t.Fatalf("merged worker checkpoints diverged from single-process run\nwant: %.200s…\ngot:  %.200s…", wantJSON, gotJSON)
+	}
+}
+
+// TestRestoreValidation covers every refusal RestoreCheckpoint makes:
+// mismatched shard counts, skew windows, analyzer sets, phase wrapping,
+// and targets that are closed or have already ingested.
+func TestRestoreValidation(t *testing.T) {
+	ctx := context.Background()
+	src := ckptPipeline(2, time.Minute, allAnalyzers(t))
+	if _, err := src.Run(ctx, NewDatasetDecoder(makeBursty(1500, 35, 0))); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := src.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string, p *Pipeline, wantSub string) {
+		t.Helper()
+		err := p.RestoreCheckpoint(ck)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: err = %v, want substring %q", label, err, wantSub)
+		}
+		p.Close()
+	}
+
+	check("shard mismatch", ckptPipeline(3, time.Minute, allAnalyzers(t)), "shards")
+	check("skew mismatch", ckptPipeline(2, 2*time.Minute, allAnalyzers(t)), "MaxSkew")
+
+	subset, err := NewAnalyzers([]string{AnalyzerCompliance}, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("analyzer mismatch", ckptPipeline(2, time.Minute, subset), "analyzers")
+
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	sched := rotationSchedule(t, base, 24*time.Hour)
+	check("phased mismatch", ckptPipeline(2, time.Minute, WrapPhased(allAnalyzers(t), sched)), "phased")
+
+	closed := ckptPipeline(2, time.Minute, allAnalyzers(t))
+	closed.Close()
+	if err := closed.RestoreCheckpoint(ck); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("closed target: err = %v, want closed error", err)
+	}
+
+	// A target that has already folded records must refuse too; a capture
+	// forces the pending batch through so the ingestion is visible.
+	srcSmall := ckptPipeline(1, time.Minute, allAnalyzers(t))
+	if _, err := srcSmall.Run(ctx, NewDatasetDecoder(makeBursty(200, 37, 0))); err != nil {
+		t.Fatal(err)
+	}
+	ck1, err := srcSmall.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := ckptPipeline(1, time.Minute, allAnalyzers(t))
+	if err := dirty.Ingest(ctx, weblog.Record{
+		UserAgent: botPool[0].UA, Time: base, IPHash: "h1", ASN: asnPool[0],
+		Site: "www", Path: "/", Status: 200, Bytes: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dirty.CaptureCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirty.RestoreCheckpoint(ck1); err == nil || !strings.Contains(err.Error(), "ingested") {
+		t.Fatalf("dirty target: err = %v, want already-ingested error", err)
+	}
+	dirty.Close()
+}

@@ -34,6 +34,11 @@ type csvScanner struct {
 	br *bufio.Reader
 	// numLine is the current physical line, for error messages.
 	numLine int
+	// consumed counts raw input bytes read so far (delimiters included,
+	// before any \r\n normalization). After next returns a record it is
+	// the byte offset just past that record — the checkpoint/restore
+	// resume point.
+	consumed int64
 	// rawBuffer accumulates lines longer than the bufio buffer.
 	rawBuffer []byte
 	// recordBuffer holds the current record's unescaped fields back to
@@ -63,6 +68,7 @@ func (s *csvScanner) readLine() ([]byte, error) {
 		line = s.rawBuffer
 	}
 	readSize := len(line)
+	s.consumed += int64(readSize)
 	if readSize > 0 && err == io.EOF {
 		err = nil
 		// For compatibility with encoding/csv, drop a trailing \r before EOF.

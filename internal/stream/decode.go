@@ -64,6 +64,18 @@ type Decoder interface {
 	Next() (weblog.Record, error)
 }
 
+// OffsetTracker is implemented by decoders that track how many input
+// bytes the records returned so far consumed (delimiters included). After
+// Next returns a record, Offset is the byte position just past it — the
+// exact point a resumed decoder must continue from, which is what the
+// checkpoint/restore machinery records per source. The three wire-format
+// decoders implement it; DatasetDecoder (an in-memory replay) does not.
+type OffsetTracker interface {
+	// Offset returns the bytes consumed from the underlying reader by
+	// the records (and skipped lines) returned so far.
+	Offset() int64
+}
+
 // Formats lists the wire formats NewDecoder accepts.
 var Formats = []string{"csv", "jsonl", "clf"}
 
@@ -92,6 +104,7 @@ type CSVDecoder struct {
 	sc         *csvScanner
 	schema     weblog.CSVSchema
 	headerDone bool
+	headerLen  int64
 	intern     *weblog.Intern
 	line       int
 	err        error
@@ -111,25 +124,50 @@ func NewCSVDecoderSchema(r io.Reader, schema weblog.CSVSchema) *CSVDecoder {
 	return &CSVDecoder{sc: newCSVScanner(r), schema: schema, headerDone: true, intern: weblog.NewIntern()}
 }
 
+// ReadHeader forces the otherwise-lazy header read. Resumed decoders
+// (core's checkpoint restore) must call it before the pipeline can
+// capture again: until the header row is consumed, Offset does not cover
+// the replayed header bytes, so a checkpoint taken before the first Next
+// would record a resume offset short by exactly the header length — a
+// mid-record position the next restore would misparse from. At EOF (an
+// empty file) it succeeds; Next then reports EOF as usual.
+func (d *CSVDecoder) ReadHeader() error {
+	if err := d.readHeader(); err != nil && err != io.EOF {
+		return err
+	}
+	return nil
+}
+
+// readHeader performs the lazy header read, parsing the first row into
+// the column schema and recording its byte length.
+func (d *CSVDecoder) readHeader() error {
+	if d.headerDone {
+		return nil
+	}
+	header, err := d.sc.next()
+	if err != nil {
+		if err == io.EOF {
+			d.err = io.EOF
+		} else {
+			d.err = fmt.Errorf("stream: reading CSV header: %w", err)
+		}
+		return d.err
+	}
+	d.schema = weblog.ParseCSVHeaderBytes(header)
+	d.headerDone = true
+	d.headerLen = d.sc.consumed
+	d.line = 1
+	return nil
+}
+
 // Next returns the next record, or io.EOF at end of input. A decode error
 // is sticky: every subsequent call returns it again.
 func (d *CSVDecoder) Next() (weblog.Record, error) {
 	if d.err != nil {
 		return weblog.Record{}, d.err
 	}
-	if !d.headerDone { // read header lazily
-		header, err := d.sc.next()
-		if err != nil {
-			if err == io.EOF {
-				d.err = io.EOF
-			} else {
-				d.err = fmt.Errorf("stream: reading CSV header: %w", err)
-			}
-			return weblog.Record{}, d.err
-		}
-		d.schema = weblog.ParseCSVHeaderBytes(header)
-		d.headerDone = true
-		d.line = 1
+	if err := d.readHeader(); err != nil {
+		return weblog.Record{}, err
 	}
 	d.line++
 	row, err := d.sc.next()
@@ -149,21 +187,47 @@ func (d *CSVDecoder) Next() (weblog.Record, error) {
 	return rec, nil
 }
 
+// Offset implements OffsetTracker: bytes consumed through the last
+// returned record, header row included.
+func (d *CSVDecoder) Offset() int64 { return d.sc.consumed }
+
+// HeaderLen returns the byte length of the header row (0 until the lazy
+// header read, or always 0 for a schema-preloaded decoder). Checkpoints
+// record it so a restored decoder can be fed the header bytes again
+// before the resume offset.
+func (d *CSVDecoder) HeaderLen() int64 { return d.headerLen }
+
 // JSONLDecoder incrementally decodes one JSON object per line (the format
 // weblog.WriteJSONL emits), interning the high-repetition columns for the
 // decoder's lifetime. Blank lines are skipped.
 type JSONLDecoder struct {
-	sc     *bufio.Scanner
-	intern *weblog.Intern
-	line   int
-	err    error
+	sc       *bufio.Scanner
+	consumed *int64
+	intern   *weblog.Intern
+	line     int
+	err      error
+}
+
+// newCountingLineScanner builds a line scanner that tallies consumed
+// input bytes (line delimiters included) into the returned counter. The
+// bufio.Scanner applies each nonzero advance exactly once, so the tally
+// is exact whatever the read-chunk boundaries.
+func newCountingLineScanner(r io.Reader, max int) (*bufio.Scanner, *int64) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), max)
+	n := new(int64)
+	sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		advance, token, err := bufio.ScanLines(data, atEOF)
+		*n += int64(advance)
+		return advance, token, err
+	})
+	return sc, n
 }
 
 // NewJSONLDecoder returns a decoder over r.
 func NewJSONLDecoder(r io.Reader) *JSONLDecoder {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
-	return &JSONLDecoder{sc: sc, intern: weblog.NewIntern()}
+	sc, n := newCountingLineScanner(r, 4*1024*1024)
+	return &JSONLDecoder{sc: sc, consumed: n, intern: weblog.NewIntern()}
 }
 
 // Next returns the next record, or io.EOF at end of input.
@@ -192,16 +256,21 @@ func (d *JSONLDecoder) Next() (weblog.Record, error) {
 	return weblog.Record{}, d.err
 }
 
+// Offset implements OffsetTracker: bytes consumed through the last
+// returned record (skipped blank lines included).
+func (d *JSONLDecoder) Offset() int64 { return *d.consumed }
+
 // CLFDecoder incrementally decodes Common/Combined Log Format lines on the
 // []byte-native parser, interning the high-repetition columns for the
 // decoder's lifetime. Like weblog.ReadCLF, malformed lines are skipped and
 // counted unless opts.Strict is set, in which case they are fatal.
 type CLFDecoder struct {
-	sc     *bufio.Scanner
-	opts   weblog.CLFOptions
-	intern *weblog.Intern
-	line   int
-	err    error
+	sc       *bufio.Scanner
+	consumed *int64
+	opts     weblog.CLFOptions
+	intern   *weblog.Intern
+	line     int
+	err      error
 
 	// Skipped counts malformed lines dropped so far (non-strict mode).
 	Skipped int
@@ -209,9 +278,8 @@ type CLFDecoder struct {
 
 // NewCLFDecoder returns a decoder over r with the given per-record options.
 func NewCLFDecoder(r io.Reader, opts weblog.CLFOptions) *CLFDecoder {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	return &CLFDecoder{sc: sc, opts: opts, intern: weblog.NewIntern()}
+	sc, n := newCountingLineScanner(r, 1024*1024)
+	return &CLFDecoder{sc: sc, consumed: n, opts: opts, intern: weblog.NewIntern()}
 }
 
 // Next returns the next well-formed record, or io.EOF at end of input.
@@ -244,6 +312,11 @@ func (d *CLFDecoder) Next() (weblog.Record, error) {
 	}
 	return weblog.Record{}, d.err
 }
+
+// Offset implements OffsetTracker: bytes consumed through the last
+// returned record (skipped malformed lines included — a resumed decoder
+// never re-reads them, so Skipped restarts at zero after a restore).
+func (d *CLFDecoder) Offset() int64 { return *d.consumed }
 
 // DatasetDecoder replays an in-memory dataset as a stream, mainly for
 // tests and for feeding live-crawl output through the online aggregators.

@@ -4,118 +4,35 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"math/rand"
 	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/compliance"
+	"repro/internal/streamtest"
 	"repro/internal/weblog"
 )
 
-// botPool is the fixed cast of the synthetic stream: raw UA strings with
-// the standardized name/category enrichment would assign them. Anonymous
-// and scanner agents have empty names; the scanner is dropped by the
-// preprocessor in both paths.
-var botPool = []struct {
-	ua, name, cat string
-}{
-	{"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)", "Googlebot", "Search Engine Crawlers"},
-	{"Mozilla/5.0 AppleWebKit/537.36 (compatible; bingbot/2.0)", "Bingbot", "Search Engine Crawlers"},
-	{"Mozilla/5.0 (compatible; GPTBot/1.2; +https://openai.com/gptbot)", "GPTBot", "AI Data Scrapers"},
-	{"Mozilla/5.0 (compatible; ClaudeBot/1.0)", "ClaudeBot", "AI Data Scrapers"},
-	{"Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)", "AhrefsBot", "SEO Crawlers"},
-	{"Mozilla/5.0 (compatible; SemrushBot/7~bl)", "SemrushBot", "SEO Crawlers"},
-	{"facebookexternalhit/1.1", "FacebookBot", "Social Media Crawlers"},
-	{"python-requests/2.31.0", "", ""},
-	{"Mozilla/5.0 (Windows NT 10.0) Chrome/120.0 Safari/537.36", "", ""},
-	{"Mozilla/5.0 nuclei/3.0 scanner", "", ""}, // dropped by scanner filter
-}
+// The synthetic cast and dataset builders live in internal/streamtest,
+// shared with internal/core's crash-injection and merge-equivalence
+// suites (which cannot be served from here: _test.go files don't
+// export, and a non-test helper file in package stream would leave
+// fixtures in the shipped library). The thin same-named wrappers below
+// keep this package's many call sites unchanged.
+var (
+	botPool  = streamtest.BotPool
+	asnPool  = streamtest.ASNPool
+	pathPool = streamtest.PathPool
+)
 
-var asnPool = []string{"GOOGLE", "MICROSOFT-CORP", "AMAZON-02", "OPENAI", "COMCAST", "OVH", "HETZNER"}
+func poolEnrich() func(*weblog.Record) { return streamtest.PoolEnrich() }
 
-var pathPool = []string{
-	"/robots.txt", "/page-data/app.json", "/page-data/page/index.json",
-	"/people/alice", "/dining/menu", "/", "/news/2025/03", "/robots.txt?x=1",
-}
-
-// poolEnrich returns an enrichment func implementing the botPool mapping
-// via O(1) lookup; it is deterministic, concurrency-safe, and — because
-// BOTH the batch and streaming paths use it — keeps parity tests about the
-// pipelines rather than matcher performance.
-func poolEnrich() func(*weblog.Record) {
-	byUA := make(map[string]struct{ name, cat string }, len(botPool))
-	for _, b := range botPool {
-		byUA[b.ua] = struct{ name, cat string }{b.name, b.cat}
-	}
-	return func(r *weblog.Record) {
-		e := byUA[r.UserAgent]
-		r.BotName = e.name
-		r.Category = e.cat
-	}
-}
-
-// makeSynthetic builds n records across a few thousand τ tuples with
-// whole-second timestamps (so CSV's RFC 3339 round-trip is lossless).
-// jitter > 0 displaces each record's timestamp by up to ±jitter while
-// keeping slice order, producing bounded out-of-order input.
 func makeSynthetic(n int, seed int64, jitter time.Duration) *weblog.Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	enrich := poolEnrich()
-	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
-	nTuples := n / 50
-	if nTuples < 8 {
-		nTuples = 8
-	}
-	type tupleID struct {
-		ua, ip, asn string
-	}
-	tuples := make([]tupleID, nTuples)
-	for i := range tuples {
-		b := botPool[rng.Intn(len(botPool))]
-		tuples[i] = tupleID{
-			ua:  b.ua,
-			ip:  fmt.Sprintf("h%05x", rng.Intn(1<<20)),
-			asn: asnPool[rng.Intn(len(asnPool))],
-		}
-	}
-	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
-	jitterSec := int(jitter / time.Second)
-	for i := 0; i < n; i++ {
-		tp := tuples[rng.Intn(nTuples)]
-		ts := base.Add(time.Duration(i) * time.Second)
-		if jitterSec > 0 {
-			ts = ts.Add(time.Duration(rng.Intn(2*jitterSec+1)-jitterSec) * time.Second)
-		}
-		rec := weblog.Record{
-			UserAgent: tp.ua,
-			Time:      ts,
-			IPHash:    tp.ip,
-			ASN:       tp.asn,
-			Site:      "www",
-			Path:      pathPool[rng.Intn(len(pathPool))],
-			Status:    200,
-			Bytes:     int64(rng.Intn(50_000)),
-		}
-		// Pre-enrich so fixtures also serve pipelines with no Enrich hook.
-		enrich(&rec)
-		d.Records = append(d.Records, rec)
-	}
-	return d
+	return streamtest.MakeSynthetic(n, seed, jitter)
 }
 
-// batchSummaries runs the full batch path: preprocess + enrich, then the
-// compliance package's per-directive summaries.
 func batchSummaries(d *weblog.Dataset, cfg compliance.Config) map[compliance.Directive]compliance.Summary {
-	pre := weblog.NewPreprocessor()
-	enrich := poolEnrich()
-	pre.Enrich = func(r *weblog.Record) { enrich(r) }
-	enriched := pre.Run(d)
-	out := make(map[compliance.Directive]compliance.Summary)
-	for _, dir := range compliance.Directives {
-		out[dir] = compliance.Summarize(enriched, dir, cfg)
-	}
-	return out
+	return streamtest.BatchSummaries(d, cfg)
 }
 
 // streamSummaries runs the streaming path over encoded bytes with the same
@@ -291,12 +208,7 @@ func TestStreamCompareParity(t *testing.T) {
 }
 
 // enrichBatch applies the default preprocessing + pool enrichment.
-func enrichBatch(d *weblog.Dataset) *weblog.Dataset {
-	pre := weblog.NewPreprocessor()
-	enrich := poolEnrich()
-	pre.Enrich = func(r *weblog.Record) { enrich(r) }
-	return pre.Run(d)
-}
+func enrichBatch(d *weblog.Dataset) *weblog.Dataset { return streamtest.EnrichBatch(d) }
 
 // runPipeline streams a dataset through a fresh pipeline with the default
 // preprocessing and returns the merged aggregates.

@@ -134,6 +134,12 @@ type recordBatch struct {
 	recs []weblog.Record
 	seqs []uint64
 	mark int64
+	// sync, when non-nil, marks a drain barrier instead of work: the
+	// shard worker closes it and moves on without folding or recycling.
+	// CaptureCheckpoint sends one per shard to prove every batch queued
+	// before it has been folded or buffered. Sync batches are built
+	// fresh and never pooled.
+	sync chan struct{}
 }
 
 // recHeap orders buffered records by (time, sequence): a concrete min-heap
@@ -333,6 +339,16 @@ type Pipeline struct {
 	pending   []*recordBatch
 	flushStop chan struct{}
 	flushDone chan struct{}
+
+	// captureMu serializes CaptureCheckpoint against Close (and against
+	// other captures): Close taking it at entry is what keeps the shard
+	// channels open for a capture's sync batches even when every source
+	// finishes mid-capture. gate coordinates captures with the fan-in
+	// source runners; restored carries a restored checkpoint's source
+	// resume points for RunSources to seed its runners from.
+	captureMu sync.Mutex
+	gate      pauseGate
+	restored  []SourceCheckpoint
 }
 
 // NewPipeline builds and starts a pipeline; its workers idle until records
@@ -415,6 +431,10 @@ func (p *Pipeline) work(idx int, s *shardWorker) {
 	defer p.wg.Done()
 	skew := p.opts.MaxSkew
 	for b := range s.ch {
+		if b.sync != nil {
+			close(b.sync)
+			continue
+		}
 		if p.opts.Enrich != nil {
 			for i := range b.recs {
 				p.opts.Enrich(&b.recs[i])
@@ -670,6 +690,8 @@ func (p *Pipeline) stopFlusher() {
 // drain its channel and reorder buffer, and makes subsequent Snapshots
 // final. Close is idempotent.
 func (p *Pipeline) Close() {
+	p.captureMu.Lock()
+	defer p.captureMu.Unlock()
 	if p.closed {
 		return
 	}

@@ -49,6 +49,12 @@ type Source struct {
 	// the source (normally or on error). Its error is reported only if
 	// the run itself succeeded.
 	Close func() error
+	// BaseOffset is the absolute byte offset in the underlying input at
+	// which Dec starts reading — zero for a fresh input, the restored
+	// SourceCheckpoint.Offset (minus any replayed CSV header) for a
+	// resumed one — so checkpoints record BaseOffset + the decoder's own
+	// consumed-byte count as the absolute resume point.
+	BaseOffset int64
 }
 
 // sourceSeqShift positions the source index in the high bits of a fan-in
@@ -195,6 +201,24 @@ func (p *Pipeline) RunSources(ctx context.Context, sources []Source) (*Results, 
 	errs := make([]error, len(sources))
 	runners := make([]*sourceRunner, len(sources))
 	var wg sync.WaitGroup
+	// Install the capture gate's source table under captureMu, so a
+	// checkpoint capture racing the start of the run either completes
+	// before any runner decodes or sees every runner through the gate.
+	p.captureMu.Lock()
+	p.gate.init()
+	p.gate.mu.Lock()
+	p.gate.srcCkpts = make([]SourceCheckpoint, len(sources))
+	for i := range sources {
+		p.gate.srcCkpts[i] = SourceCheckpoint{Name: sources[i].Name, Offset: -1, DecodeHW: math.MinInt64}
+	}
+	p.gate.mu.Unlock()
+	restored := p.restored
+	p.captureMu.Unlock()
+	if restored != nil && len(restored) != len(sources) {
+		p.Close()
+		closeSources(sources)
+		return p.Snapshot(), fmt.Errorf("stream: RunSources: restored checkpoint has %d sources, run has %d", len(restored), len(sources))
+	}
 	for i := range sources {
 		r := &sourceRunner{
 			p:        p,
@@ -209,6 +233,18 @@ func (p *Pipeline) RunSources(ctx context.Context, sources []Source) (*Results, 
 		for s := range r.pendMin {
 			r.pendMin[s] = math.MaxInt64
 		}
+		if restored != nil {
+			// Source order determines sequence numbering (and so every
+			// min-by-seq analyzer choice); a renamed or reordered source
+			// list would silently break restore parity.
+			if restored[i].Name != sources[i].Name {
+				p.Close()
+				closeSources(sources)
+				return p.Snapshot(), fmt.Errorf("stream: RunSources: restored source %d is %q, run has %q (sources must keep their order across a restore)", i, restored[i].Name, sources[i].Name)
+			}
+			r.localSeq = restored[i].LocalSeq
+			r.decodeHW = restored[i].DecodeHW
+		}
 		r.keep = p.opts.Keep
 		if p.opts.NewKeep != nil {
 			r.keep = p.opts.NewKeep()
@@ -219,9 +255,13 @@ func (p *Pipeline) RunSources(ctx context.Context, sources []Source) (*Results, 
 		}
 		runners[i] = r
 		wg.Add(1)
+		p.gate.mu.Lock()
+		p.gate.active++
+		p.gate.mu.Unlock()
 		go func(i int) {
 			defer wg.Done()
 			errs[i] = r.run(runCtx)
+			r.leaveGate(errs[i])
 			if errs[i] != nil {
 				cancel() // stop the other sources; partial results survive
 			}
@@ -330,11 +370,84 @@ func watchSources(ctx context.Context, flushEvery time.Duration, runners []*sour
 	}
 }
 
+// checkpointNow reads the runner's resume point: the absolute byte
+// offset just past the last decoded record (-1 when the decoder does
+// not track offsets), the CSV header length for header replay, and the
+// counters a resumed runner must be seeded with. Only the runner's own
+// goroutine (or the capture gate, with the runner parked) may call it.
+func (r *sourceRunner) checkpointNow() SourceCheckpoint {
+	ck := SourceCheckpoint{
+		Name:     r.src.Name,
+		Offset:   -1,
+		LocalSeq: r.localSeq,
+		DecodeHW: r.decodeHW,
+	}
+	if ot, ok := r.src.Dec.(OffsetTracker); ok {
+		ck.Offset = r.src.BaseOffset + ot.Offset()
+	}
+	if hl, ok := r.src.Dec.(interface{ HeaderLen() int64 }); ok {
+		ck.HeaderLen = hl.HeaderLen()
+	}
+	return ck
+}
+
+// park services a checkpoint capture: flush every pending batch to the
+// shard channels (the workers are still draining, so this cannot
+// deadlock), record the resume point, and wait at this record boundary
+// until the capture completes. The gate check sits BEFORE Next in the
+// run loop — after a record is decoded the offset is already past it,
+// so parking post-decode would lose that record on restore.
+func (r *sourceRunner) park(ctx context.Context) error {
+	if err := r.flushAll(ctx); err != nil {
+		return err
+	}
+	g := &r.p.gate
+	g.mu.Lock()
+	g.srcCkpts[r.idx] = r.checkpointNow()
+	g.parked++
+	g.cond.Broadcast()
+	for g.want.Load() {
+		g.cond.Wait()
+	}
+	g.parked--
+	g.mu.Unlock()
+	return nil
+}
+
+// leaveGate retires the runner from the capture gate. On a clean EOF it
+// records the final resume point, so captures taken after this source
+// finishes (the end-of-run checkpoint especially) still carry every
+// source's exact position. On error or cancellation it invalidates the
+// entry instead: an aborted runner may have decoded records it never
+// dispatched (the in-flight batch is forfeit on cancel), so its decoder
+// offset overstates the folded state — recording it would make a
+// post-cancel capture silently skip those records on restore. The
+// invalid offset makes any such capture fail loudly.
+func (r *sourceRunner) leaveGate(runErr error) {
+	g := &r.p.gate
+	g.mu.Lock()
+	if g.srcCkpts != nil {
+		if runErr == nil {
+			g.srcCkpts[r.idx] = r.checkpointNow()
+		} else {
+			g.srcCkpts[r.idx] = SourceCheckpoint{Name: r.src.Name, Offset: -1, DecodeHW: math.MinInt64}
+		}
+	}
+	g.active--
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
 // run is one source goroutine: decode, filter, stamp per-source
 // sequence numbers, batch per shard, and dispatch with min-watermark
 // stamps until EOF, error, or cancellation.
 func (r *sourceRunner) run(ctx context.Context) error {
 	for {
+		if r.p.gate.want.Load() {
+			if err := r.park(ctx); err != nil {
+				return err
+			}
+		}
 		rec, err := r.src.Dec.Next()
 		if err == io.EOF {
 			if ferr := r.flushAll(ctx); ferr != nil {

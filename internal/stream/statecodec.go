@@ -1,0 +1,522 @@
+// statecodec.go is the serialization half of the durable-checkpoint
+// contract: every built-in analyzer (and the phased wrapper) implements
+// StateCodec, turning its per-shard fold state into deterministic bytes
+// and back. The wire form of each state is a gob-encoded struct of
+// SORTED SLICES — never maps — so encoding the same state twice yields
+// identical bytes, which is what lets the crash-injection and
+// merge-equivalence suites assert byte-level parity and keeps golden
+// checkpoint fixtures stable. Analyzer configuration (thresholds, site
+// filters, gaps, phase schedules) is deliberately NOT serialized: it
+// lives in the Analyzer value, and DecodeState re-injects it, so a
+// checkpoint restored under a different configuration folds under the
+// restoring process's configuration (the contract core.StreamOptions
+// documents).
+//
+// Versioning note: the container format (internal/checkpoint) carries
+// the version number; within a version, gob's decode-by-field-name
+// tolerance gives these wire structs forward/backward slack — unknown
+// fields are ignored, missing fields decode to zero values.
+package stream
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/checkfreq"
+	"repro/internal/compliance"
+	"repro/internal/robots"
+	"repro/internal/session"
+	"repro/internal/spoof"
+	"repro/internal/weblog"
+)
+
+// StateCodec is optionally implemented by Analyzers whose per-shard
+// states can be checkpointed. EncodeState must be deterministic (equal
+// states yield equal bytes) and must not mutate the state; DecodeState
+// must return a state that folds future records exactly as the encoded
+// one would have, re-deriving any configuration from the analyzer
+// itself. Pipeline.CaptureCheckpoint requires every analyzer in the
+// pipeline to implement it.
+type StateCodec interface {
+	// EncodeState serializes one per-shard state produced by this
+	// analyzer's NewState.
+	EncodeState(st ShardState) ([]byte, error)
+	// DecodeState reconstructs a per-shard state from EncodeState bytes.
+	DecodeState(data []byte) (ShardState, error)
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// tupleLess orders τ tuples lexicographically — the tie-break every wire
+// struct sorted by tuple uses.
+func tupleLess(a, b weblog.Tuple) bool {
+	if a.ASN != b.ASN {
+		return a.ASN < b.ASN
+	}
+	if a.IPHash != b.IPHash {
+		return a.IPHash < b.IPHash
+	}
+	return a.UserAgent < b.UserAgent
+}
+
+// --- compliance ---
+
+// wireDelay is one (bot, τ tuple) crawl-delay accumulator on the wire.
+type wireDelay struct {
+	Bot       string
+	Tuple     weblog.Tuple
+	Count     int
+	Last      time.Time
+	Successes int
+	Trials    int
+}
+
+// wireMeasure is one bot's measurement for one directive on the wire.
+type wireMeasure struct {
+	Bot string
+	M   compliance.Measurement
+}
+
+// wireCount is one bot's integer tally on the wire.
+type wireCount struct {
+	Bot string
+	N   int
+}
+
+// wireFlag is one bot's boolean on the wire.
+type wireFlag struct {
+	Bot string
+	V   bool
+}
+
+// wireCat is one bot's first-seen category label with its global ingest
+// sequence number on the wire.
+type wireCat struct {
+	Bot string
+	Seq uint64
+	Val string
+}
+
+// wireCompliance is the compliance analyzer's shard state on the wire.
+// The threshold and allowed prefix are config, not state — the decoding
+// analyzer re-supplies them.
+type wireCompliance struct {
+	Delays   []wireDelay
+	Endpoint []wireMeasure
+	Disallow []wireMeasure
+	Access   []wireCount
+	Checked  []wireFlag
+	Category []wireCat
+	Records  uint64
+}
+
+func sortMeasures(m map[string]compliance.Measurement) []wireMeasure {
+	out := make([]wireMeasure, 0, len(m))
+	for bot, v := range m {
+		out = append(out, wireMeasure{Bot: bot, M: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bot < out[j].Bot })
+	return out
+}
+
+func sortCats(m map[string]catSeen) []wireCat {
+	out := make([]wireCat, 0, len(m))
+	for bot, c := range m {
+		out = append(out, wireCat{Bot: bot, Seq: c.seq, Val: c.val})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bot < out[j].Bot })
+	return out
+}
+
+func catsFromWire(ws []wireCat) map[string]catSeen {
+	m := make(map[string]catSeen, len(ws))
+	for _, w := range ws {
+		m[w.Bot] = catSeen{seq: w.Seq, val: w.Val}
+	}
+	return m
+}
+
+// EncodeState implements StateCodec for the compliance analyzer.
+func (a complianceAnalyzer) EncodeState(st ShardState) ([]byte, error) {
+	s, ok := st.(*shardAgg)
+	if !ok {
+		return nil, fmt.Errorf("stream: compliance codec: unexpected state %T", st)
+	}
+	w := wireCompliance{Records: s.records}
+	w.Delays = make([]wireDelay, 0, len(s.delays))
+	for k, ds := range s.delays {
+		w.Delays = append(w.Delays, wireDelay{
+			Bot: k.bot, Tuple: k.tuple,
+			Count: ds.count, Last: ds.last,
+			Successes: ds.successes, Trials: ds.trials,
+		})
+	}
+	sort.Slice(w.Delays, func(i, j int) bool {
+		if w.Delays[i].Bot != w.Delays[j].Bot {
+			return w.Delays[i].Bot < w.Delays[j].Bot
+		}
+		return tupleLess(w.Delays[i].Tuple, w.Delays[j].Tuple)
+	})
+	w.Endpoint = sortMeasures(s.endpoint)
+	w.Disallow = sortMeasures(s.disallow)
+	w.Access = make([]wireCount, 0, len(s.access))
+	for bot, n := range s.access {
+		w.Access = append(w.Access, wireCount{Bot: bot, N: n})
+	}
+	sort.Slice(w.Access, func(i, j int) bool { return w.Access[i].Bot < w.Access[j].Bot })
+	w.Checked = make([]wireFlag, 0, len(s.checked))
+	for bot, v := range s.checked {
+		w.Checked = append(w.Checked, wireFlag{Bot: bot, V: v})
+	}
+	sort.Slice(w.Checked, func(i, j int) bool { return w.Checked[i].Bot < w.Checked[j].Bot })
+	w.Category = sortCats(s.category)
+	return gobEncode(&w)
+}
+
+// DecodeState implements StateCodec for the compliance analyzer.
+func (a complianceAnalyzer) DecodeState(data []byte) (ShardState, error) {
+	var w wireCompliance
+	if err := gobDecode(data, &w); err != nil {
+		return nil, fmt.Errorf("stream: compliance codec: %w", err)
+	}
+	s := newShardAgg(a.cfg)
+	s.records = w.Records
+	for _, d := range w.Delays {
+		s.delays[delayKey{bot: d.Bot, tuple: d.Tuple}] = &delayState{
+			count: d.Count, last: d.Last,
+			successes: d.Successes, trials: d.Trials,
+		}
+	}
+	for _, m := range w.Endpoint {
+		s.endpoint[m.Bot] = m.M
+	}
+	for _, m := range w.Disallow {
+		s.disallow[m.Bot] = m.M
+	}
+	for _, c := range w.Access {
+		s.access[c.Bot] = c.N
+	}
+	for _, f := range w.Checked {
+		s.checked[f.Bot] = f.V
+	}
+	s.category = catsFromWire(w.Category)
+	return s, nil
+}
+
+// --- cadence ---
+
+// wireChecks is one bot's robots.txt fetch timestamps on the wire.
+type wireChecks struct {
+	Bot   string
+	Times []time.Time
+}
+
+// wireCadence is the cadence analyzer's shard state on the wire. The
+// site filter is config; the decoding analyzer rebuilds it.
+type wireCadence struct {
+	End    time.Time
+	Checks []wireChecks
+	Cats   []wireCat
+}
+
+// EncodeState implements StateCodec for the cadence analyzer.
+func (a cadenceAnalyzer) EncodeState(st ShardState) ([]byte, error) {
+	s, ok := st.(*cadenceShard)
+	if !ok {
+		return nil, fmt.Errorf("stream: cadence codec: unexpected state %T", st)
+	}
+	w := wireCadence{End: s.end, Cats: sortCats(s.cats)}
+	w.Checks = make([]wireChecks, 0, len(s.checks))
+	for bot, ts := range s.checks {
+		w.Checks = append(w.Checks, wireChecks{Bot: bot, Times: ts})
+	}
+	sort.Slice(w.Checks, func(i, j int) bool { return w.Checks[i].Bot < w.Checks[j].Bot })
+	return gobEncode(&w)
+}
+
+// DecodeState implements StateCodec for the cadence analyzer.
+func (a cadenceAnalyzer) DecodeState(data []byte) (ShardState, error) {
+	var w wireCadence
+	if err := gobDecode(data, &w); err != nil {
+		return nil, fmt.Errorf("stream: cadence codec: %w", err)
+	}
+	s := &cadenceShard{
+		siteOK: checkfreq.SiteFilter(a.sites),
+		end:    w.End,
+		checks: make(map[string][]time.Time, len(w.Checks)),
+		cats:   catsFromWire(w.Cats),
+	}
+	for _, c := range w.Checks {
+		s.checks[c.Bot] = c.Times
+	}
+	return s, nil
+}
+
+// --- spoof ---
+
+// wireASNCount is one (ASN, count) entry of a bot's frequency row.
+type wireASNCount struct {
+	ASN string
+	N   int
+}
+
+// wireSpoofBot is one bot's ASN frequency row on the wire.
+type wireSpoofBot struct {
+	Bot  string
+	ASNs []wireASNCount
+}
+
+// wireSpoof is the spoof analyzer's shard state on the wire.
+type wireSpoof struct {
+	Bots []wireSpoofBot
+}
+
+// EncodeState implements StateCodec for the spoof analyzer.
+func (a spoofAnalyzer) EncodeState(st ShardState) ([]byte, error) {
+	s, ok := st.(*spoofShard)
+	if !ok {
+		return nil, fmt.Errorf("stream: spoof codec: unexpected state %T", st)
+	}
+	w := wireSpoof{Bots: make([]wireSpoofBot, 0, len(s.ev.Counts))}
+	for bot, asns := range s.ev.Counts {
+		row := wireSpoofBot{Bot: bot, ASNs: make([]wireASNCount, 0, len(asns))}
+		for asn, n := range asns {
+			row.ASNs = append(row.ASNs, wireASNCount{ASN: asn, N: n})
+		}
+		sort.Slice(row.ASNs, func(i, j int) bool { return row.ASNs[i].ASN < row.ASNs[j].ASN })
+		w.Bots = append(w.Bots, row)
+	}
+	sort.Slice(w.Bots, func(i, j int) bool { return w.Bots[i].Bot < w.Bots[j].Bot })
+	return gobEncode(&w)
+}
+
+// DecodeState implements StateCodec for the spoof analyzer.
+func (a spoofAnalyzer) DecodeState(data []byte) (ShardState, error) {
+	var w wireSpoof
+	if err := gobDecode(data, &w); err != nil {
+		return nil, fmt.Errorf("stream: spoof codec: %w", err)
+	}
+	ev := spoof.NewEvidence()
+	for _, row := range w.Bots {
+		for _, e := range row.ASNs {
+			ev.AddN(row.Bot, e.ASN, e.N)
+		}
+	}
+	return &spoofShard{ev: ev}, nil
+}
+
+// --- session ---
+
+// wireOpenSession is one τ tuple's open session on the wire.
+type wireOpenSession struct {
+	Tuple    weblog.Tuple
+	Start    time.Time
+	End      time.Time
+	Category string
+	Accesses int
+	Bytes    int64
+}
+
+// wireCatCount / wireCatBytes / wireDayCount flatten the closed
+// Summary's maps into sorted slices.
+type wireCatCount struct {
+	Cat string
+	N   int
+}
+
+type wireCatBytes struct {
+	Cat string
+	B   int64
+}
+
+type wireDayCount struct {
+	Category string
+	Day      time.Time
+	N        int
+}
+
+// wireSummary is a session.Summary on the wire.
+type wireSummary struct {
+	Sessions        int
+	Accesses        int
+	Bytes           int64
+	ByCategory      []wireCatCount
+	BytesByCategory []wireCatBytes
+	StartsPerDay    []wireDayCount
+}
+
+// wireSession is the session analyzer's shard state on the wire. The
+// inactivity gap is config; lastSweep is carried for fidelity (it only
+// affects sweep amortization, never results).
+type wireSession struct {
+	Open      []wireOpenSession
+	Closed    wireSummary
+	LastSweep time.Time
+}
+
+func summaryToWire(s *session.Summary) wireSummary {
+	w := wireSummary{Sessions: s.Sessions, Accesses: s.Accesses, Bytes: s.Bytes}
+	w.ByCategory = make([]wireCatCount, 0, len(s.ByCategory))
+	for c, n := range s.ByCategory {
+		w.ByCategory = append(w.ByCategory, wireCatCount{Cat: c, N: n})
+	}
+	sort.Slice(w.ByCategory, func(i, j int) bool { return w.ByCategory[i].Cat < w.ByCategory[j].Cat })
+	w.BytesByCategory = make([]wireCatBytes, 0, len(s.BytesByCategory))
+	for c, b := range s.BytesByCategory {
+		w.BytesByCategory = append(w.BytesByCategory, wireCatBytes{Cat: c, B: b})
+	}
+	sort.Slice(w.BytesByCategory, func(i, j int) bool { return w.BytesByCategory[i].Cat < w.BytesByCategory[j].Cat })
+	for c, days := range s.StartsPerDay {
+		for d, n := range days {
+			w.StartsPerDay = append(w.StartsPerDay, wireDayCount{Category: c, Day: d, N: n})
+		}
+	}
+	sort.Slice(w.StartsPerDay, func(i, j int) bool {
+		if w.StartsPerDay[i].Category != w.StartsPerDay[j].Category {
+			return w.StartsPerDay[i].Category < w.StartsPerDay[j].Category
+		}
+		return w.StartsPerDay[i].Day.Before(w.StartsPerDay[j].Day)
+	})
+	return w
+}
+
+func summaryFromWire(w wireSummary) *session.Summary {
+	s := session.NewSummary()
+	s.Sessions = w.Sessions
+	s.Accesses = w.Accesses
+	s.Bytes = w.Bytes
+	for _, c := range w.ByCategory {
+		s.ByCategory[c.Cat] = c.N
+	}
+	for _, c := range w.BytesByCategory {
+		s.BytesByCategory[c.Cat] = c.B
+	}
+	for _, d := range w.StartsPerDay {
+		perDay := s.StartsPerDay[d.Category]
+		if perDay == nil {
+			perDay = make(map[time.Time]int)
+			s.StartsPerDay[d.Category] = perDay
+		}
+		perDay[d.Day] = d.N
+	}
+	return s
+}
+
+// EncodeState implements StateCodec for the session analyzer.
+func (a sessionAnalyzer) EncodeState(st ShardState) ([]byte, error) {
+	s, ok := st.(*sessionShard)
+	if !ok {
+		return nil, fmt.Errorf("stream: session codec: unexpected state %T", st)
+	}
+	w := wireSession{Closed: summaryToWire(s.closed), LastSweep: s.lastSweep}
+	w.Open = make([]wireOpenSession, 0, len(s.open))
+	for t, ls := range s.open {
+		w.Open = append(w.Open, wireOpenSession{
+			Tuple: t, Start: ls.start, End: ls.end,
+			Category: ls.category, Accesses: ls.accesses, Bytes: ls.bytes,
+		})
+	}
+	sort.Slice(w.Open, func(i, j int) bool { return tupleLess(w.Open[i].Tuple, w.Open[j].Tuple) })
+	return gobEncode(&w)
+}
+
+// DecodeState implements StateCodec for the session analyzer.
+func (a sessionAnalyzer) DecodeState(data []byte) (ShardState, error) {
+	var w wireSession
+	if err := gobDecode(data, &w); err != nil {
+		return nil, fmt.Errorf("stream: session codec: %w", err)
+	}
+	s := &sessionShard{
+		gap:       a.gap,
+		open:      make(map[weblog.Tuple]*liveSession, len(w.Open)),
+		closed:    summaryFromWire(w.Closed),
+		lastSweep: w.LastSweep,
+	}
+	for _, o := range w.Open {
+		s.open[o.Tuple] = &liveSession{
+			start: o.Start, end: o.End,
+			category: o.Category, accesses: o.Accesses, bytes: o.Bytes,
+		}
+	}
+	return s, nil
+}
+
+// --- phased wrapper ---
+
+// wirePhase is one phase partition's inner state on the wire.
+type wirePhase struct {
+	Version robots.Version
+	State   []byte
+}
+
+// wirePhased is the phased wrapper's shard state on the wire: the inner
+// analyzer's encoded state per phase seen, sorted by version.
+type wirePhased struct {
+	Phases        []wirePhase
+	OutOfSchedule uint64
+}
+
+// EncodeState implements StateCodec for the phased wrapper, delegating
+// each phase partition to the inner analyzer's codec. It fails if the
+// inner analyzer does not implement StateCodec.
+func (a phasedAnalyzer) EncodeState(st ShardState) ([]byte, error) {
+	s, ok := st.(*phasedState)
+	if !ok {
+		return nil, fmt.Errorf("stream: phased codec: unexpected state %T", st)
+	}
+	codec, ok := a.inner.(StateCodec)
+	if !ok {
+		return nil, fmt.Errorf("stream: phased codec: inner analyzer %q is not checkpointable", a.inner.Name())
+	}
+	w := wirePhased{OutOfSchedule: s.outOfSchedule}
+	w.Phases = make([]wirePhase, 0, len(s.states))
+	for v, inner := range s.states {
+		data, err := codec.EncodeState(inner)
+		if err != nil {
+			return nil, fmt.Errorf("stream: phased codec: phase %v: %w", v, err)
+		}
+		w.Phases = append(w.Phases, wirePhase{Version: v, State: data})
+	}
+	sort.Slice(w.Phases, func(i, j int) bool { return w.Phases[i].Version < w.Phases[j].Version })
+	return gobEncode(&w)
+}
+
+// DecodeState implements StateCodec for the phased wrapper. Beyond
+// restoring each phase's inner state it must also install the phase's
+// batch fold: stateFold creates a FRESH state when folds[v] is nil, so
+// leaving the fold unset would silently discard the restored partition
+// on the next record.
+func (a phasedAnalyzer) DecodeState(data []byte) (ShardState, error) {
+	codec, ok := a.inner.(StateCodec)
+	if !ok {
+		return nil, fmt.Errorf("stream: phased codec: inner analyzer %q is not checkpointable", a.inner.Name())
+	}
+	var w wirePhased
+	if err := gobDecode(data, &w); err != nil {
+		return nil, fmt.Errorf("stream: phased codec: %w", err)
+	}
+	s := a.NewState().(*phasedState)
+	s.outOfSchedule = w.OutOfSchedule
+	for _, p := range w.Phases {
+		inner, err := codec.DecodeState(p.State)
+		if err != nil {
+			return nil, fmt.Errorf("stream: phased codec: phase %v: %w", p.Version, err)
+		}
+		s.states[p.Version] = inner
+		s.folds[p.Version] = batchApplier(inner)
+	}
+	return s, nil
+}

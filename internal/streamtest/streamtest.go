@@ -1,0 +1,243 @@
+// Package streamtest holds the shared synthetic-dataset builders the
+// streaming parity suites use: a fixed bot cast with deterministic
+// enrichment, record generators at several traffic shapes, and the
+// batch-side ground-truth helpers they are compared against. It is a
+// plain library over internal/weblog and internal/compliance —
+// deliberately free of internal/stream imports, so both package
+// stream's white-box tests and internal/core's black-box suites (crash
+// injection, merge equivalence) can share one source of fixtures
+// without an import cycle.
+package streamtest
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/weblog"
+)
+
+// Bot is one synthetic user agent with the standardized name/category
+// the enrichment step would assign it. Anonymous and scanner agents
+// have empty names; scanners are dropped by the preprocessor in both
+// the batch and streaming paths.
+type Bot struct {
+	UA, Name, Cat string
+}
+
+// BotPool is the fixed cast of the synthetic stream.
+var BotPool = []Bot{
+	{"Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)", "Googlebot", "Search Engine Crawlers"},
+	{"Mozilla/5.0 AppleWebKit/537.36 (compatible; bingbot/2.0)", "Bingbot", "Search Engine Crawlers"},
+	{"Mozilla/5.0 (compatible; GPTBot/1.2; +https://openai.com/gptbot)", "GPTBot", "AI Data Scrapers"},
+	{"Mozilla/5.0 (compatible; ClaudeBot/1.0)", "ClaudeBot", "AI Data Scrapers"},
+	{"Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)", "AhrefsBot", "SEO Crawlers"},
+	{"Mozilla/5.0 (compatible; SemrushBot/7~bl)", "SemrushBot", "SEO Crawlers"},
+	{"facebookexternalhit/1.1", "FacebookBot", "Social Media Crawlers"},
+	{"python-requests/2.31.0", "", ""},
+	{"Mozilla/5.0 (Windows NT 10.0) Chrome/120.0 Safari/537.36", "", ""},
+	{"Mozilla/5.0 nuclei/3.0 scanner", "", ""}, // dropped by scanner filter
+}
+
+// ASNPool is the network cast; index i is bot i's dominant network in
+// the bursty shape.
+var ASNPool = []string{"GOOGLE", "MICROSOFT-CORP", "AMAZON-02", "OPENAI", "COMCAST", "OVH", "HETZNER"}
+
+// PathPool is the URL cast, mixing robots.txt fetches, JSON endpoints,
+// and page paths so every compliance metric sees traffic.
+var PathPool = []string{
+	"/robots.txt", "/page-data/app.json", "/page-data/page/index.json",
+	"/people/alice", "/dining/menu", "/", "/news/2025/03", "/robots.txt?x=1",
+}
+
+// PoolEnrich returns an enrichment func implementing the BotPool
+// mapping via O(1) lookup; it is deterministic, concurrency-safe, and —
+// because BOTH the batch and streaming paths use it — keeps parity
+// tests about the pipelines rather than matcher performance.
+func PoolEnrich() func(*weblog.Record) {
+	byUA := make(map[string]struct{ name, cat string }, len(BotPool))
+	for _, b := range BotPool {
+		byUA[b.UA] = struct{ name, cat string }{b.Name, b.Cat}
+	}
+	return func(r *weblog.Record) {
+		e := byUA[r.UserAgent]
+		r.BotName = e.name
+		r.Category = e.cat
+	}
+}
+
+// MakeSynthetic builds n records across a few thousand τ tuples with
+// whole-second timestamps (so CSV's RFC 3339 round-trip is lossless).
+// jitter > 0 displaces each record's timestamp by up to ±jitter while
+// keeping slice order, producing bounded out-of-order input.
+func MakeSynthetic(n int, seed int64, jitter time.Duration) *weblog.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	enrich := PoolEnrich()
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	nTuples := n / 50
+	if nTuples < 8 {
+		nTuples = 8
+	}
+	type tupleID struct {
+		ua, ip, asn string
+	}
+	tuples := make([]tupleID, nTuples)
+	for i := range tuples {
+		b := BotPool[rng.Intn(len(BotPool))]
+		tuples[i] = tupleID{
+			ua:  b.UA,
+			ip:  fmt.Sprintf("h%05x", rng.Intn(1<<20)),
+			asn: ASNPool[rng.Intn(len(ASNPool))],
+		}
+	}
+	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
+	jitterSec := int(jitter / time.Second)
+	for i := 0; i < n; i++ {
+		tp := tuples[rng.Intn(nTuples)]
+		ts := base.Add(time.Duration(i) * time.Second)
+		if jitterSec > 0 {
+			ts = ts.Add(time.Duration(rng.Intn(2*jitterSec+1)-jitterSec) * time.Second)
+		}
+		rec := weblog.Record{
+			UserAgent: tp.ua,
+			Time:      ts,
+			IPHash:    tp.ip,
+			ASN:       tp.asn,
+			Site:      "www",
+			Path:      PathPool[rng.Intn(len(PathPool))],
+			Status:    200,
+			Bytes:     int64(rng.Intn(50_000)),
+		}
+		// Pre-enrich so fixtures also serve pipelines with no Enrich hook.
+		enrich(&rec)
+		d.Records = append(d.Records, rec)
+	}
+	return d
+}
+
+// MakeBursty builds n records as per-tuple bursts separated by idle
+// gaps, over a multi-week span: bursts produce multi-access sessions
+// (in-burst steps stay under the 5-minute gap), the long span exercises
+// every §5.1 re-check window, and each bot's traffic is dominated by
+// one ASN with a small fraction leaking from foreign networks so the
+// §5.2 heuristic fires. jitter > 0 displaces timestamps by up to
+// ±jitter while keeping slice order, producing bounded out-of-order
+// input.
+func MakeBursty(n int, seed int64, jitter time.Duration) *weblog.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	enrich := PoolEnrich()
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	nTuples := n / 400
+	if nTuples < 8 {
+		nTuples = 8
+	}
+	type tupleID struct {
+		ua, ip, asn string
+	}
+	// A guaranteed §5.2 case at any n: BotPool[0] gets 19 tuples on its
+	// dominant network and exactly one on a foreign one, keeping the
+	// foreign share safely under the 10% suspect threshold while making
+	// at least one finding certain.
+	tuples := make([]tupleID, 0, nTuples+20)
+	for i := 0; i < 19; i++ {
+		tuples = append(tuples, tupleID{ua: BotPool[0].UA, ip: fmt.Sprintf("gdom%02d", i), asn: ASNPool[0]})
+	}
+	tuples = append(tuples, tupleID{ua: BotPool[0].UA, ip: "gspoof", asn: ASNPool[1]})
+	for i := 0; i < nTuples; i++ {
+		bi := rng.Intn(len(BotPool))
+		asn := ASNPool[bi%len(ASNPool)] // the bot's dominant network
+		if rng.Intn(20) == 0 {          // ~5% of tuples spoof from elsewhere
+			asn = ASNPool[rng.Intn(len(ASNPool))]
+		}
+		tuples = append(tuples, tupleID{
+			ua:  BotPool[bi].UA,
+			ip:  fmt.Sprintf("h%05x", rng.Intn(1<<20)),
+			asn: asn,
+		})
+	}
+	nTuples = len(tuples)
+	d := &weblog.Dataset{Records: make([]weblog.Record, 0, n)}
+	jitterSec := int(jitter / time.Second)
+	now := base
+	for len(d.Records) < n {
+		tp := tuples[rng.Intn(nTuples)]
+		burst := 1 + rng.Intn(12)
+		for b := 0; b < burst && len(d.Records) < n; b++ {
+			now = now.Add(time.Duration(1+rng.Intn(45)) * time.Second)
+			ts := now
+			if jitterSec > 0 {
+				ts = ts.Add(time.Duration(rng.Intn(2*jitterSec+1)-jitterSec) * time.Second)
+			}
+			rec := weblog.Record{
+				UserAgent: tp.ua,
+				Time:      ts,
+				IPHash:    tp.ip,
+				ASN:       tp.asn,
+				Site:      "www",
+				Path:      PathPool[rng.Intn(len(PathPool))],
+				Status:    200,
+				Bytes:     int64(rng.Intn(50_000)),
+			}
+			enrich(&rec)
+			d.Records = append(d.Records, rec)
+		}
+		now = now.Add(time.Duration(rng.Intn(1200)) * time.Second)
+	}
+	return d
+}
+
+// EnrichBatch applies the default preprocessing + pool enrichment —
+// the batch side of every parity comparison.
+func EnrichBatch(d *weblog.Dataset) *weblog.Dataset {
+	pre := weblog.NewPreprocessor()
+	enrich := PoolEnrich()
+	pre.Enrich = func(r *weblog.Record) { enrich(r) }
+	return pre.Run(d)
+}
+
+// BatchSummaries runs the full batch path: preprocess + enrich, then
+// the compliance package's per-directive summaries.
+func BatchSummaries(d *weblog.Dataset, cfg compliance.Config) map[compliance.Directive]compliance.Summary {
+	enriched := EnrichBatch(d)
+	out := make(map[compliance.Directive]compliance.Summary)
+	for _, dir := range compliance.Directives {
+		out[dir] = compliance.Summarize(enriched, dir, cfg)
+	}
+	return out
+}
+
+// EncodeCSV round-trips a dataset through the CSV wire format,
+// returning the exact bytes a log file would hold.
+func EncodeCSV(d *weblog.Dataset) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := weblog.WriteCSV(&buf, d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PartitionByTuple splits a dataset into n disjoint datasets by hashing
+// each record's τ = (ASN, IPHash, UserAgent) tuple, preserving record
+// order within every part. Tuple-disjointness is the precondition of
+// the cross-process checkpoint merge: every part holds complete
+// per-tuple traffic, the way per-site worker splits do.
+func PartitionByTuple(d *weblog.Dataset, n int) []*weblog.Dataset {
+	parts := make([]*weblog.Dataset, n)
+	for i := range parts {
+		parts[i] = &weblog.Dataset{}
+	}
+	for _, rec := range d.Records {
+		h := fnv.New32a()
+		h.Write([]byte(rec.ASN))
+		h.Write([]byte{0})
+		h.Write([]byte(rec.IPHash))
+		h.Write([]byte{0})
+		h.Write([]byte(rec.UserAgent))
+		p := parts[int(h.Sum32())%n]
+		p.Records = append(p.Records, rec)
+	}
+	return parts
+}

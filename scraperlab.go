@@ -130,6 +130,19 @@ func StreamAnalyzeAllFiles(ctx context.Context, paths []string, opts StreamOptio
 	return core.StreamAnalyzeAllFiles(ctx, paths, opts)
 }
 
+// MergeCheckpoints folds checkpoint files written by several worker
+// processes (StreamOptions.CheckpointDir runs over disjoint, per-site
+// slices of the estate's traffic) into one estate-wide result set,
+// byte-identical to a single process analyzing all the records — the
+// cross-process form of the pipeline's commutative shard merge. opts
+// supplies analyzer configuration (thresholds, windows, the experiment
+// schedule for phase-partitioned checkpoints); nil opts.Analyzers uses
+// the analyzer set the checkpoints record. See DESIGN.md, "Durable
+// checkpoints".
+func MergeCheckpoints(paths []string, opts StreamOptions) (*StreamResults, error) {
+	return core.MergeCheckpoints(paths, opts)
+}
+
 // NewTailReader wraps a growing file so StreamAnalyze follows it,
 // `tail -f` style, polling every poll interval until ctx is done.
 func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) io.Reader {
