@@ -16,7 +16,7 @@
 //	analyze -stream access.csv                     # one-shot streaming audit
 //	analyze -stream access.log -format clf -site www
 //	analyze -stream access.jsonl -format jsonl -follow -interval 10s
-//	analyze -stream access.csv -analyzers all      # compliance+cadence+spoof+session
+//	analyze -stream access.csv -analyzers all      # compliance+cadence+spoof+session+anomaly
 //	analyze -stream access.csv -analyzers spoof,session
 //	analyze -stream access.csv -experiment phases.json   # live §4 experiment
 //	analyze -stream access.csv -json               # machine-readable snapshot
@@ -70,7 +70,7 @@ func main() {
 		skew       = flag.Duration("skew", stream.DefaultMaxSkew, "max tolerated timestamp disorder (0 = default, negative = trust input order)")
 		batch      = flag.Int("batch", 0, "records per pooled shard batch (0 = default 256, 1 = unbatched; never affects results)")
 		flush      = flag.Duration("flush", 0, "max time a partial batch may wait in the dispatcher (0 = default 200ms; bounds live-snapshot staleness while following)")
-		analyzers  = flag.String("analyzers", "compliance", "comma-separated online analyzers (compliance, cadence, spoof, session) or \"all\"")
+		analyzers  = flag.String("analyzers", "compliance", "comma-separated online analyzers (compliance, cadence, spoof, session, anomaly) or \"all\"")
 		expPath    = flag.String("experiment", "", "phases.json robots.txt rotation; phase-partitions the stream analyzers (requires -stream)")
 		asJSON     = flag.Bool("json", false, "stream mode: emit snapshots as JSON instead of tables")
 		stats      = flag.Bool("stats", false, "stream mode: instrument the pipeline and print ingestion counters (decoded, folded, dropped, pool churn, watermark) with each snapshot")
@@ -389,6 +389,8 @@ func printSnapshot(w io.Writer, name, label string, snap any) error {
 		return printSpoof(w, label, s)
 	case *session.Summary:
 		return printSessions(w, label, s)
+	case *stream.AnomalySnapshot:
+		return printAnomaly(w, label, s)
 	default:
 		_, err := fmt.Fprintf(w, "analyzer %s: %v\n", name, snap)
 		return err
@@ -515,6 +517,20 @@ func printSpoof(w io.Writer, label string, s *stream.SpoofSnapshot) error {
 		}
 		t.AddRow(f.Bot, f.MainASN, report.Ratio3(f.MainFraction),
 			strings.Join(suspects, " "), report.I(f.SpoofedAccesses))
+	}
+	return t.Render(w)
+}
+
+// printAnomaly renders the online anomaly alerts in event-time order.
+func printAnomaly(w io.Writer, label string, s *stream.AnomalySnapshot) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("%sStreaming anomaly alerts (%d raised)", label, len(s.Alerts)),
+		Headers: []string{"At", "Kind", "Dir", "Score", "Entity", "Reason"},
+		Note:    "EWMA+MAD detectors over per-entity rates and cadences; both robust z-scores must cross the threshold.",
+	}
+	for _, a := range s.Alerts {
+		t.AddRow(a.At.UTC().Format(time.RFC3339), string(a.Kind), string(a.Direction),
+			report.F(a.Score, 1), a.Entity, a.Reason)
 	}
 	return t.Render(w)
 }

@@ -5,8 +5,8 @@
 //	/metrics            Prometheus exposition (pipeline + server families)
 //	/healthz, /readyz   liveness; readiness keyed on watermark progress
 //	/api/v1/<analyzer>  JSON snapshot per analyzer (compliance, cadence,
-//	                    spoof, session), /api/v1/results for the full set,
-//	                    /api/v1/experiment for phased verdicts
+//	                    spoof, session, anomaly), /api/v1/results for the
+//	                    full set, /api/v1/experiment for phased verdicts
 //	/events             SSE feed of incremental snapshot deltas
 //	/debug/pprof/       runtime profiles (behind -pprof)
 //
@@ -57,7 +57,7 @@ func main() {
 		poll       = flag.Duration("poll", time.Second, "tail polling interval in follow mode")
 		format     = flag.String("format", "csv", "wire format: csv, jsonl, or clf")
 		site       = flag.String("site", "", "sitename stamped on CLF records (clf format only; with -inputs, empty means each file's base name)")
-		analyzers  = flag.String("analyzers", "all", "comma-separated online analyzers (compliance, cadence, spoof, session) or \"all\"")
+		analyzers  = flag.String("analyzers", "all", "comma-separated online analyzers (compliance, cadence, spoof, session, anomaly) or \"all\"")
 		expPath    = flag.String("experiment", "", "phases.json robots.txt rotation; phase-partitions the analyzers and enables /api/v1/experiment")
 		shards     = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
 		skew       = flag.Duration("skew", stream.DefaultMaxSkew, "max tolerated timestamp disorder (negative = trust input order)")

@@ -2,10 +2,11 @@
 // goroutine appends CSV rows to a log file — a well-behaved Googlebot
 // checking robots.txt from Google's network, a GPTBot crawling politely,
 // and, midway through, an impostor reusing Googlebot's user agent from a
-// bulletproof-hosting network. The analyzer tails the file `tail -f`
-// style through the streaming pipeline with the cadence, spoof, and
-// session analyzers attached, printing live alerts as the impostor's
-// traffic tips the §5.2 dominant-ASN heuristic.
+// bulletproof-hosting network, finishing with a request flood. The
+// analyzer tails the file `tail -f` style through the streaming pipeline
+// with the cadence, spoof, session, and anomaly analyzers attached,
+// printing live alerts as the impostor's traffic tips the §5.2
+// dominant-ASN heuristic and its flood trips the online burst detector.
 //
 // This is the `cmd/analyze -stream log.csv -follow -analyzers all`
 // workflow as a library program.
@@ -27,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -36,10 +38,18 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/anomaly"
 	"repro/internal/core"
+	"repro/internal/spoof"
 	"repro/internal/stream"
 	"repro/internal/weblog"
 )
+
+// watchAnalyzers is the analyzer set both modes run.
+var watchAnalyzers = []string{
+	stream.AnalyzerCadence, stream.AnalyzerSpoof,
+	stream.AnalyzerSession, stream.AnalyzerAnomaly,
+}
 
 var base = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
 
@@ -70,7 +80,10 @@ func appendBatch(f *os.File, recs []weblog.Record) error {
 // batch synthesizes one round of traffic: the legitimate crawlers always,
 // the impostor only from round 3 on. Legitimate Googlebot volume keeps
 // GOOGLE's share of the user agent above the 90% dominance threshold, so
-// the impostor's foreign-ASN accesses are exactly what §5.2 flags.
+// the impostor's foreign-ASN accesses are exactly what §5.2 flags. In
+// the final round the impostor floods ~40 requests into one minute —
+// after its quiet near-zero rate history, the burst bucket scores far
+// past the anomaly threshold on both detectors.
 func batch(round int) []weblog.Record {
 	googleUA := "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)"
 	gptUA := "Mozilla/5.0 (compatible; GPTBot/1.2; +https://openai.com/gptbot)"
@@ -90,6 +103,19 @@ func batch(round int) []weblog.Record {
 		out = append(out, rec(googleUA, "h-shady", "SHADY-HOSTING",
 			fmt.Sprintf("/people/profile-%d", round),
 			at+5*time.Minute, 15000))
+	}
+	if round == 5 {
+		// The flood: a burst of scrapes crammed into one minute, then
+		// one trailing request that closes the flooded rate bucket. Kept
+		// small enough that GOOGLE stays above the 90% dominance
+		// threshold — the spoof finding and the burst alert coexist.
+		for i := 0; i < 8; i++ {
+			out = append(out, rec(googleUA, "h-shady", "SHADY-HOSTING",
+				fmt.Sprintf("/people/profile-%d-%d", round, i),
+				at+5*time.Minute+time.Duration(i+1)*time.Second, 15000))
+		}
+		out = append(out, rec(googleUA, "h-shady", "SHADY-HOSTING",
+			"/people/done", at+8*time.Minute, 15000))
 	}
 	return out
 }
@@ -136,7 +162,7 @@ func runLocal() {
 		log.Fatal(err)
 	}
 	defer cleanup()
-	fmt.Printf("Tailing %s with the cadence+spoof+session analyzers...\n\n", path)
+	fmt.Printf("Tailing %s with the cadence+spoof+session+anomaly analyzers...\n\n", path)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -148,7 +174,7 @@ func runLocal() {
 	}
 	defer in.Close()
 	opts := core.StreamOptions{
-		Analyzers: []string{stream.AnalyzerCadence, stream.AnalyzerSpoof, stream.AnalyzerSession},
+		Analyzers: watchAnalyzers,
 		// The writer emits per-tuple time-ordered rows, so skip the
 		// reorder window and make live snapshots fully current.
 		MaxSkew: -time.Second,
@@ -171,8 +197,10 @@ func runLocal() {
 	}()
 
 	// The writer side: one batch per round, like a busy frontend flushing
-	// its access log.
+	// its access log. Alerts print through the same rendering path the
+	// SSE watcher uses, each at most once.
 	alerted := make(map[string]bool)
+	seen := make(map[string]bool)
 	for round := 0; round < 6; round++ {
 		if err := appendBatch(f, batch(round)); err != nil {
 			log.Fatal(err)
@@ -182,18 +210,8 @@ func runLocal() {
 		snap := p.Snapshot()
 		fmt.Printf("round %d: %d records, %d sessions\n",
 			round, snap.Records, snap.Sessions().Sessions)
-		for _, finding := range snap.Spoof().Findings {
-			if alerted[finding.Bot] {
-				continue
-			}
-			alerted[finding.Bot] = true
-			fmt.Printf("  [spoof alert] %q traffic is %.0f%% from %s, yet %d accesses arrive from:",
-				finding.Bot, finding.MainFraction*100, finding.MainASN, finding.SpoofedAccesses)
-			for _, s := range finding.Suspects {
-				fmt.Printf(" %s(%d)", s.ASN, s.Accesses)
-			}
-			fmt.Println()
-		}
+		printSpoofAlerts(os.Stdout, spoofAlertsOf(snap.Spoof().Findings), alerted)
+		printAnomalyAlerts(os.Stdout, snap.Anomaly().Alerts, seen)
 	}
 
 	cancel()
@@ -213,6 +231,16 @@ func runLocal() {
 	s := final.Sessions()
 	fmt.Printf("session: %d records collapsed into %d sessions across %d categories\n",
 		s.Accesses, s.Sessions, len(s.ByCategory))
+	burst := 0
+	for _, a := range final.Anomaly().Alerts {
+		if a.Kind == anomaly.KindBurst {
+			burst++
+		}
+	}
+	if burst == 0 {
+		log.Fatal("expected the flood to raise a burst alert")
+	}
+	fmt.Printf("anomaly: %d alerts raised (%d bursts)\n", len(final.Anomaly().Alerts), burst)
 }
 
 // ---- observatory mode (-serve) ----
@@ -233,7 +261,7 @@ func runServe(addr string) error {
 
 	obsy, err := core.NewObservatory(core.ObservatoryOptions{
 		Stream: core.StreamOptions{
-			Analyzers: []string{stream.AnalyzerCadence, stream.AnalyzerSpoof, stream.AnalyzerSession},
+			Analyzers: watchAnalyzers,
 			// The writer emits per-tuple time-ordered rows, so skip the
 			// reorder window and make published snapshots fully current.
 			MaxSkew: -time.Second,
@@ -338,6 +366,7 @@ func watchEvents(ctx context.Context, url string) error {
 	defer resp.Body.Close()
 
 	alerted := make(map[string]bool)
+	seen := make(map[string]bool)
 	var event, data string
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -360,7 +389,10 @@ func watchEvents(ctx context.Context, url string) error {
 			fmt.Printf("sse %s #%d: %d records; changed: %s\n",
 				event, delta.Seq, delta.Records, strings.Join(keysOf(delta.Changed), " "))
 			if raw, ok := delta.Changed["spoof"]; ok {
-				printSpoofAlerts(raw, alerted)
+				printSpoofAlerts(os.Stdout, spoofAlertsOfJSON(raw), alerted)
+			}
+			if raw, ok := delta.Changed["anomaly"]; ok {
+				printAnomalyAlerts(os.Stdout, anomalyAlertsOfJSON(raw), seen)
 			}
 			event, data = "", ""
 		}
@@ -387,33 +419,107 @@ func keysOf(m map[string]json.RawMessage) []string {
 	return out
 }
 
-// printSpoofAlerts raises each bot's alert once, from the SSE payload.
-func printSpoofAlerts(raw json.RawMessage, alerted map[string]bool) {
+// ---- shared alert rendering ----
+//
+// Both consumers — the in-process snapshot poller (runLocal) and the SSE
+// watcher (runServe) — print alerts through the same formatting and
+// once-per-entity gating below; only the source of the alert values
+// differs (typed snapshot accessors vs JSON payloads).
+
+// spoofAlert is the rendering-side view of one spoof finding. The field
+// names double as the JSON keys /api/v1/spoof and the SSE deltas emit
+// for spoof.Finding.
+type spoofAlert struct {
+	Bot             string       `json:"Bot"`
+	MainASN         string       `json:"MainASN"`
+	MainFraction    float64      `json:"MainFraction"`
+	SpoofedAccesses int          `json:"SpoofedAccesses"`
+	Suspects        []spoofShare `json:"Suspects"`
+}
+
+// spoofShare is one suspect network's share.
+type spoofShare struct {
+	ASN      string `json:"ASN"`
+	Accesses int    `json:"Accesses"`
+}
+
+// spoofAlertsOf adapts typed findings to the shared rendering path.
+func spoofAlertsOf(findings []spoof.Finding) []spoofAlert {
+	out := make([]spoofAlert, 0, len(findings))
+	for _, fd := range findings {
+		a := spoofAlert{
+			Bot: fd.Bot, MainASN: fd.MainASN, MainFraction: fd.MainFraction,
+			SpoofedAccesses: fd.SpoofedAccesses,
+		}
+		for _, s := range fd.Suspects {
+			a.Suspects = append(a.Suspects, spoofShare{ASN: s.ASN, Accesses: s.Accesses})
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// spoofAlertsOfJSON adapts an SSE/API spoof payload to the shared
+// rendering path; malformed payloads render nothing.
+func spoofAlertsOfJSON(raw json.RawMessage) []spoofAlert {
 	var view struct {
-		Findings []struct {
-			Bot             string  `json:"Bot"`
-			MainASN         string  `json:"MainASN"`
-			MainFraction    float64 `json:"MainFraction"`
-			SpoofedAccesses uint64  `json:"SpoofedAccesses"`
-			Suspects        []struct {
-				ASN      string `json:"ASN"`
-				Accesses uint64 `json:"Accesses"`
-			} `json:"Suspects"`
-		} `json:"findings"`
+		Findings []spoofAlert `json:"findings"`
 	}
 	if err := json.Unmarshal(raw, &view); err != nil {
-		return
+		return nil
 	}
-	for _, fd := range view.Findings {
-		if alerted[fd.Bot] {
+	return view.Findings
+}
+
+// formatSpoofAlert renders one spoof alert line.
+func formatSpoofAlert(a spoofAlert) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  [spoof alert] %q traffic is %.0f%% from %s, yet %d accesses arrive from:",
+		a.Bot, a.MainFraction*100, a.MainASN, a.SpoofedAccesses)
+	for _, s := range a.Suspects {
+		fmt.Fprintf(&b, " %s(%d)", s.ASN, s.Accesses)
+	}
+	return b.String()
+}
+
+// printSpoofAlerts raises each bot's alert at most once.
+func printSpoofAlerts(w io.Writer, alerts []spoofAlert, alerted map[string]bool) {
+	for _, a := range alerts {
+		if alerted[a.Bot] {
 			continue
 		}
-		alerted[fd.Bot] = true
-		fmt.Printf("  [spoof alert] %q traffic is %.0f%% from %s, yet %d accesses arrive from:",
-			fd.Bot, fd.MainFraction*100, fd.MainASN, fd.SpoofedAccesses)
-		for _, s := range fd.Suspects {
-			fmt.Printf(" %s(%d)", s.ASN, s.Accesses)
+		alerted[a.Bot] = true
+		fmt.Fprintln(w, formatSpoofAlert(a))
+	}
+}
+
+// anomalyAlertsOfJSON adapts an SSE/API anomaly payload to the shared
+// rendering path; malformed payloads render nothing.
+func anomalyAlertsOfJSON(raw json.RawMessage) []anomaly.Alert {
+	var view struct {
+		Alerts []anomaly.Alert `json:"alerts"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		return nil
+	}
+	return view.Alerts
+}
+
+// formatAnomalyAlert renders one anomaly alert line.
+func formatAnomalyAlert(a anomaly.Alert) string {
+	return fmt.Sprintf("  [anomaly %s] %s %s %s: %s (score %.1f)",
+		a.At.UTC().Format("15:04:05"), a.Kind, a.Direction, a.Entity, a.Reason, a.Score)
+}
+
+// printAnomalyAlerts prints each alert at most once (snapshots are
+// cumulative, so every poll replays the history).
+func printAnomalyAlerts(w io.Writer, alerts []anomaly.Alert, seen map[string]bool) {
+	for _, a := range alerts {
+		key := a.At.Format(time.RFC3339Nano) + "|" + string(a.Kind) + "|" + a.Entity
+		if seen[key] {
+			continue
 		}
-		fmt.Println()
+		seen[key] = true
+		fmt.Fprintln(w, formatAnomalyAlert(a))
 	}
 }

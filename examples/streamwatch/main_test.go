@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/spoof"
+)
+
+// TestFormatSpoofAlert pins the shared rendering both modes print.
+func TestFormatSpoofAlert(t *testing.T) {
+	a := spoofAlert{
+		Bot: "Googlebot", MainASN: "GOOGLE", MainFraction: 0.92,
+		SpoofedAccesses: 12,
+		Suspects: []spoofShare{
+			{ASN: "SHADY-HOSTING", Accesses: 12},
+		},
+	}
+	want := `  [spoof alert] "Googlebot" traffic is 92% from GOOGLE, yet 12 accesses arrive from: SHADY-HOSTING(12)`
+	if got := formatSpoofAlert(a); got != want {
+		t.Errorf("formatSpoofAlert:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestFormatAnomalyAlert pins the anomaly line format.
+func TestFormatAnomalyAlert(t *testing.T) {
+	a := anomaly.Alert{
+		Entity:    "site=www τ=SHADY-HOSTING/h-shady/ua",
+		Kind:      anomaly.KindBurst,
+		Score:     9.03,
+		Direction: anomaly.Up,
+		Reason:    "bucket count 9 vs mean 0.01 (ewma z +9.0, mad z +9.0)",
+		At:        time.Date(2025, 3, 1, 0, 56, 0, 0, time.UTC),
+	}
+	want := `  [anomaly 00:56:00] burst up site=www τ=SHADY-HOSTING/h-shady/ua: bucket count 9 vs mean 0.01 (ewma z +9.0, mad z +9.0) (score 9.0)`
+	if got := formatAnomalyAlert(a); got != want {
+		t.Errorf("formatAnomalyAlert:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestPrintSpoofAlertsOnce pins the once-per-bot gating: cumulative
+// snapshots replay the same finding every poll, but each bot alerts
+// exactly once.
+func TestPrintSpoofAlertsOnce(t *testing.T) {
+	alerts := []spoofAlert{{Bot: "Googlebot", MainASN: "GOOGLE", MainFraction: 0.95, SpoofedAccesses: 1}}
+	alerted := make(map[string]bool)
+	var buf bytes.Buffer
+	printSpoofAlerts(&buf, alerts, alerted)
+	printSpoofAlerts(&buf, alerts, alerted)
+	if got, want := bytes.Count(buf.Bytes(), []byte("[spoof alert]")), 1; got != want {
+		t.Errorf("alert printed %d times, want %d\noutput:\n%s", got, want, buf.String())
+	}
+}
+
+// TestPrintAnomalyAlertsOnce pins the anomaly dedup key: replayed
+// alerts print once, while a same-entity alert at a later time is new.
+func TestPrintAnomalyAlertsOnce(t *testing.T) {
+	at := time.Date(2025, 3, 1, 0, 10, 0, 0, time.UTC)
+	first := anomaly.Alert{Entity: "bot=Googlebot τ=GOOGLE/h1", Kind: anomaly.KindCadenceShift, At: at}
+	later := first
+	later.At = at.Add(10 * time.Minute)
+	seen := make(map[string]bool)
+	var buf bytes.Buffer
+	printAnomalyAlerts(&buf, []anomaly.Alert{first}, seen)
+	printAnomalyAlerts(&buf, []anomaly.Alert{first, later}, seen)
+	if got, want := bytes.Count(buf.Bytes(), []byte("[anomaly")), 2; got != want {
+		t.Errorf("printed %d alerts, want %d (one per distinct At)\noutput:\n%s", got, want, buf.String())
+	}
+}
+
+// TestSpoofAlertsOfJSON round-trips a typed finding through its real
+// JSON encoding, pinning the field-name coupling between spoof.Finding
+// and the rendering-side spoofAlert view.
+func TestSpoofAlertsOfJSON(t *testing.T) {
+	fd := spoof.Finding{
+		Bot: "Googlebot", MainASN: "GOOGLE", MainFraction: 0.92,
+		SpoofedAccesses: 12, Total: 138,
+		Suspects: []spoof.ASNShare{{ASN: "SHADY-HOSTING", Accesses: 12}},
+	}
+	payload, err := json.Marshal(map[string]any{"findings": []spoof.Finding{fd}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := spoofAlertsOfJSON(payload)
+	want := spoofAlertsOf([]spoof.Finding{fd})
+	if len(got) != 1 || formatSpoofAlert(got[0]) != formatSpoofAlert(want[0]) {
+		t.Errorf("JSON path renders %v, typed path renders %v", got, want)
+	}
+	if spoofAlertsOfJSON([]byte("not json")) != nil {
+		t.Error("malformed payload should render nothing")
+	}
+}
+
+// TestAnomalyAlertsOfJSON round-trips an alert through the JSON shape
+// the /api/v1/anomaly view and SSE deltas emit.
+func TestAnomalyAlertsOfJSON(t *testing.T) {
+	a := anomaly.Alert{
+		Entity: "bot=Googlebot asn=SHADY-HOSTING", Kind: anomaly.KindNewIdentity,
+		Score: 1, Direction: anomaly.Up,
+		Reason: `"Googlebot" first seen from ASN SHADY-HOSTING (debut ASN GOOGLE)`,
+		At:     time.Date(2025, 3, 1, 0, 35, 0, 0, time.UTC),
+	}
+	payload, err := json.Marshal(map[string]any{"alerts": []anomaly.Alert{a}, "count": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := anomalyAlertsOfJSON(payload)
+	if len(got) != 1 || formatAnomalyAlert(got[0]) != formatAnomalyAlert(a) {
+		t.Errorf("JSON path renders %v, want %v", got, a)
+	}
+	if anomalyAlertsOfJSON([]byte("{")) != nil {
+		t.Error("malformed payload should render nothing")
+	}
+}

@@ -1,0 +1,341 @@
+// Package anomaly implements the pure detector math behind the stream
+// pipeline's anomaly analyzer: exponentially-weighted mean/variance
+// (EWMA) and rolling median-absolute-deviation (MAD) scores over
+// per-entity traffic rates and inter-access cadences, plus the typed
+// severity-scored Alert record the observatory publishes.
+//
+// The package is deliberately free of pipeline concerns. Detectors are
+// plain serializable state machines: feed observations in event-time
+// order for one entity and read back scored Points. Which entities
+// exist, how they are keyed across shards, and when state is evicted
+// is the caller's business (internal/stream hosts them per-(site, τ)
+// and per-(bot, τ) so each detector sees a totally ordered stream).
+//
+// Both detectors score an observation BEFORE folding it into the
+// estimate, so a burst is judged against the history that preceded it.
+// Standard deviation and scaled MAD are floored at 1.0 (one request,
+// one second) so near-constant histories don't turn unit jitter into
+// infinite z-scores.
+package anomaly
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Direction says which way an observation diverged from its history.
+type Direction string
+
+// Alert directions.
+const (
+	Up   Direction = "up"
+	Down Direction = "down"
+)
+
+// Kind classifies what an alert detected.
+type Kind string
+
+// Alert kinds.
+const (
+	// KindBurst fires when a per-site, per-tuple request rate diverges
+	// from its EWMA/MAD history (a scrape burst, or a crawler going
+	// quiet mid-pattern).
+	KindBurst Kind = "burst"
+	// KindCadenceShift fires when a bot identity's inter-access gap
+	// diverges from its history — e.g. a crawler abandoning its usual
+	// revisit period.
+	KindCadenceShift Kind = "cadence-shift"
+	// KindNewIdentity fires when a claimed bot name is first seen from
+	// an ASN it has never used before — the online cousin of the §5.2
+	// spoof split.
+	KindNewIdentity Kind = "new-identity"
+)
+
+// Alert is one severity-scored anomaly record. Alerts are plain data:
+// comparable field-by-field, gob/json-encodable, and ordered by the
+// stream layer into a deterministic snapshot.
+type Alert struct {
+	// Entity labels what diverged, e.g. "site=example.org τ=AS15169/ab12/Googlebot".
+	Entity string `json:"entity"`
+	// Kind classifies the detection.
+	Kind Kind `json:"kind"`
+	// Score is the severity: the weaker of the two agreeing robust
+	// z-scores (EWMA and MAD must both cross the threshold to alert).
+	Score float64 `json:"score"`
+	// Direction is Up for spikes, Down for drop-offs.
+	Direction Direction `json:"direction"`
+	// Reason is a human-readable one-liner with the observed value,
+	// the historical mean, and both z-scores.
+	Reason string `json:"reason"`
+	// At is the event time the divergence was observed (bucket close
+	// time for rates, access time for cadences and identities).
+	At time.Time `json:"at"`
+}
+
+// Config tunes the detectors. The zero value selects the defaults via
+// withDefaults; the stream layer re-injects Config after decoding
+// checkpointed state, so detectors never serialize it.
+type Config struct {
+	// Bucket is the rate-counting window (default 1m). Requests are
+	// counted per (entity, bucket); each closed bucket is one rate
+	// observation.
+	Bucket time.Duration
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.3).
+	Alpha float64
+	// Window is the rolling-MAD sample window (default 32).
+	Window int
+	// Threshold is the robust z-score both detectors must cross, in
+	// absolute value, for an observation to alert (default 4).
+	Threshold float64
+	// MinSamples is the warmup: observations scored against fewer than
+	// this many prior samples never alert (default 8).
+	MinSamples int
+	// TTL bounds detector memory (default 30m). An entity idle longer
+	// than TTL resets its history on next sight, and the stream layer
+	// evicts its state once the watermark passes LastSeen+TTL — the
+	// reset rule is what makes eviction invisible to results.
+	TTL time.Duration
+}
+
+// WithDefaults returns cfg with every unset field at its default.
+func (c Config) WithDefaults() Config {
+	if c.Bucket <= 0 {
+		c.Bucket = time.Minute
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 4
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.TTL <= 0 {
+		c.TTL = 30 * time.Minute
+	}
+	return c
+}
+
+// EWMA is an exponentially-weighted estimate of a series' mean and
+// variance (West 1979 update). Fields are exported so detector state
+// survives gob checkpointing; the smoothing factor lives in Config and
+// is passed per call.
+type EWMA struct {
+	Mean float64
+	Var  float64
+	N    uint64
+}
+
+// Score returns the z-score of x against the current estimate, with
+// the standard deviation floored at 1.0. Zero before any update.
+func (e *EWMA) Score(x float64) float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return (x - e.Mean) / math.Max(math.Sqrt(e.Var), 1)
+}
+
+// Update folds x into the estimate with smoothing factor alpha.
+func (e *EWMA) Update(x, alpha float64) {
+	if e.N == 0 {
+		e.Mean = x
+		e.N = 1
+		return
+	}
+	diff := x - e.Mean
+	incr := alpha * diff
+	e.Mean += incr
+	e.Var = (1 - alpha) * (e.Var + diff*incr)
+	e.N++
+}
+
+// MAD is a rolling median-absolute-deviation scorer over the last
+// Window values. Vals holds at most the window, oldest first — a plain
+// slice so checkpointing it is trivial.
+type MAD struct {
+	Vals []float64
+}
+
+// Score returns the robust z-score of x: its distance from the window
+// median in units of 1.4826·MAD (the normal-consistent scale), floored
+// at 1.0. Zero while the window is empty.
+func (m *MAD) Score(x float64) float64 {
+	if len(m.Vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), m.Vals...)
+	sort.Float64s(sorted)
+	med := median(sorted)
+	for i, v := range sorted {
+		sorted[i] = math.Abs(v - med)
+	}
+	sort.Float64s(sorted)
+	mad := median(sorted)
+	return (x - med) / math.Max(1.4826*mad, 1)
+}
+
+// Update appends x to the window, dropping the oldest value when the
+// window exceeds size.
+func (m *MAD) Update(x float64, window int) {
+	m.Vals = append(m.Vals, x)
+	if len(m.Vals) > window {
+		n := copy(m.Vals, m.Vals[1:])
+		m.Vals = m.Vals[:n]
+	}
+}
+
+// median of a sorted non-empty slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Point is one scored observation. Samples is the EWMA sample count
+// BEFORE the observation was folded in, which gates the MinSamples
+// warmup; EWMAZ and MADZ are the two robust z-scores.
+type Point struct {
+	At      time.Time
+	Value   float64
+	Mean    float64
+	Samples uint64
+	EWMAZ   float64
+	MADZ    float64
+}
+
+// Rate counts requests per event-time bucket for one entity and scores
+// each closed bucket's count against the entity's history. Buckets are
+// absolute (epoch-aligned) so the same records produce the same
+// buckets regardless of arrival order or process boundaries.
+type Rate struct {
+	// Bucket is the index (floor(UnixNano / Config.Bucket)) of the
+	// currently open bucket.
+	Bucket int64
+	// Count is the open bucket's request count so far.
+	Count float64
+	// LastSeen is the newest event time observed, read by the stream
+	// layer's watermark eviction.
+	LastSeen time.Time
+	EWMA     EWMA
+	MAD      MAD
+}
+
+// Observe folds one request at event time t. Closed buckets (the open
+// bucket plus any empty buckets up to t's) are scored and appended to
+// pts, which is returned — callers keep it as a reusable scratch slice.
+//
+// A gap longer than cfg.TTL resets the detector instead of closing a
+// TTL's worth of empty buckets: the entity went dormant, its old
+// cadence is stale, and — critically — this is the rule that lets the
+// stream layer evict idle state without changing results.
+func (r *Rate) Observe(t time.Time, cfg Config, pts []Point) []Point {
+	idx := floorDiv(t.UnixNano(), int64(cfg.Bucket))
+	if r.LastSeen.IsZero() || t.Sub(r.LastSeen) > cfg.TTL {
+		r.reset(idx)
+		r.LastSeen = t
+		return pts
+	}
+	if t.After(r.LastSeen) {
+		r.LastSeen = t
+	}
+	if idx <= r.Bucket {
+		// Same bucket, or residual disorder on the trusted-order path:
+		// count it where the watermark left us.
+		r.Count++
+		return pts
+	}
+	// Close the open bucket, then any empty buckets before t's. The
+	// TTL guard above bounds this loop to TTL/Bucket iterations.
+	v := r.Count
+	for b := r.Bucket; b < idx; b++ {
+		pts = append(pts, r.score(v, bucketEnd(b, cfg.Bucket), cfg))
+		v = 0
+	}
+	r.Bucket = idx
+	r.Count = 1
+	return pts
+}
+
+func (r *Rate) reset(bucket int64) {
+	r.Bucket = bucket
+	r.Count = 1
+	r.EWMA = EWMA{}
+	r.MAD = MAD{}
+}
+
+func (r *Rate) score(v float64, at time.Time, cfg Config) Point {
+	p := Point{
+		At:      at,
+		Value:   v,
+		Mean:    r.EWMA.Mean,
+		Samples: r.EWMA.N,
+		EWMAZ:   r.EWMA.Score(v),
+		MADZ:    r.MAD.Score(v),
+	}
+	r.EWMA.Update(v, cfg.Alpha)
+	r.MAD.Update(v, cfg.Window)
+	return p
+}
+
+// Gaps scores the inter-access gap (in seconds) for one entity against
+// its history: a crawler abandoning its revisit cadence shows up as a
+// divergent gap in either direction.
+type Gaps struct {
+	// Last is the previous access time; also the eviction clock.
+	Last time.Time
+	EWMA EWMA
+	MAD  MAD
+}
+
+// Observe folds one access at event time t and reports the scored gap.
+// The first access after creation or a TTL reset establishes a
+// baseline and reports nothing. Residual disorder (t before Last on
+// the trusted-order path) clamps the gap at zero.
+func (g *Gaps) Observe(t time.Time, cfg Config) (Point, bool) {
+	if g.Last.IsZero() || t.Sub(g.Last) > cfg.TTL {
+		g.Last = t
+		g.EWMA = EWMA{}
+		g.MAD = MAD{}
+		return Point{}, false
+	}
+	gap := t.Sub(g.Last).Seconds()
+	if gap < 0 {
+		gap = 0
+	} else {
+		g.Last = t
+	}
+	p := Point{
+		At:      t,
+		Value:   gap,
+		Mean:    g.EWMA.Mean,
+		Samples: g.EWMA.N,
+		EWMAZ:   g.EWMA.Score(gap),
+		MADZ:    g.MAD.Score(gap),
+	}
+	g.EWMA.Update(gap, cfg.Alpha)
+	g.MAD.Update(gap, cfg.Window)
+	return p, true
+}
+
+// floorDiv divides rounding toward negative infinity, so pre-1970
+// timestamps still land in well-ordered buckets.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// bucketEnd is the exclusive end of bucket b, the event time a rate
+// alert reports.
+func bucketEnd(b int64, d time.Duration) time.Time {
+	return time.Unix(0, (b+1)*int64(d)).UTC()
+}

@@ -1,0 +1,249 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Bucket != time.Minute || c.Alpha != 0.3 || c.Window != 32 ||
+		c.Threshold != 4 || c.MinSamples != 8 || c.TTL != 30*time.Minute {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	// Set fields survive.
+	c = Config{Bucket: time.Second, Alpha: 0.5, Window: 4, Threshold: 2, MinSamples: 1, TTL: time.Hour}.WithDefaults()
+	if c.Bucket != time.Second || c.Alpha != 0.5 || c.Window != 4 ||
+		c.Threshold != 2 || c.MinSamples != 1 || c.TTL != time.Hour {
+		t.Fatalf("explicit config clobbered: %+v", c)
+	}
+	// Out-of-range alpha falls back.
+	if got := (Config{Alpha: 1.5}.WithDefaults()).Alpha; got != 0.3 {
+		t.Fatalf("alpha 1.5 -> %v, want default 0.3", got)
+	}
+}
+
+func TestEWMAConvergesAndScores(t *testing.T) {
+	var e EWMA
+	if z := e.Score(100); z != 0 {
+		t.Fatalf("empty EWMA scored %v, want 0", z)
+	}
+	for i := 0; i < 100; i++ {
+		e.Update(10, 0.3)
+	}
+	if math.Abs(e.Mean-10) > 1e-9 {
+		t.Fatalf("mean = %v, want 10", e.Mean)
+	}
+	if e.Var > 1e-9 {
+		t.Fatalf("variance of constant series = %v, want ~0", e.Var)
+	}
+	// sd floors at 1, so a constant-10 history scores 100 at z=90.
+	if z := e.Score(100); math.Abs(z-90) > 1e-9 {
+		t.Fatalf("z(100) = %v, want 90", z)
+	}
+	if z := e.Score(0); math.Abs(z+10) > 1e-9 {
+		t.Fatalf("z(0) = %v, want -10", z)
+	}
+	// A noisy series grows variance above the floor.
+	var n EWMA
+	for i := 0; i < 200; i++ {
+		n.Update(float64(10+(i%2)*20), 0.3)
+	}
+	if n.Var <= 1 {
+		t.Fatalf("alternating series variance = %v, want > 1", n.Var)
+	}
+}
+
+func TestMADWindowAndScore(t *testing.T) {
+	var m MAD
+	if z := m.Score(5); z != 0 {
+		t.Fatalf("empty MAD scored %v, want 0", z)
+	}
+	for i := 0; i < 10; i++ {
+		m.Update(float64(i), 4)
+	}
+	if len(m.Vals) != 4 {
+		t.Fatalf("window length = %d, want 4", len(m.Vals))
+	}
+	// Oldest values dropped: window is [6 7 8 9].
+	want := []float64{6, 7, 8, 9}
+	for i, v := range want {
+		if m.Vals[i] != v {
+			t.Fatalf("window = %v, want %v", m.Vals, want)
+		}
+	}
+	// median 7.5, MAD 1, scale 1.4826.
+	if z := m.Score(7.5 + 10*1.4826); math.Abs(z-10) > 1e-9 {
+		t.Fatalf("z = %v, want 10", z)
+	}
+	// MAD floor: constant window scores against scale 1.
+	c := MAD{Vals: []float64{5, 5, 5}}
+	if z := c.Score(8); math.Abs(z-3) > 1e-9 {
+		t.Fatalf("constant-window z = %v, want 3", z)
+	}
+	// Score must not mutate the window.
+	if len(c.Vals) != 3 || c.Vals[0] != 5 || c.Vals[2] != 5 {
+		t.Fatalf("Score mutated window: %v", c.Vals)
+	}
+}
+
+func TestRateBucketsAndBurst(t *testing.T) {
+	cfg := Config{Bucket: time.Minute, MinSamples: 1}.WithDefaults()
+	var r Rate
+	t0 := time.Date(2025, 6, 1, 12, 0, 0, 0, time.UTC)
+	var pts []Point
+	// Ten quiet minutes at 1 req/min.
+	for i := 0; i < 10; i++ {
+		pts = r.Observe(t0.Add(time.Duration(i)*time.Minute), cfg, pts)
+	}
+	// Nine buckets closed so far (the tenth is open).
+	if len(pts) != 9 {
+		t.Fatalf("closed %d buckets, want 9", len(pts))
+	}
+	for _, p := range pts {
+		if p.Value != 1 {
+			t.Fatalf("quiet bucket value %v, want 1", p.Value)
+		}
+	}
+	// Burst: 100 requests in minute 10, then one request in minute 11
+	// to close the burst bucket.
+	burst := t0.Add(10 * time.Minute)
+	for i := 0; i < 100; i++ {
+		pts = r.Observe(burst.Add(time.Duration(i)*100*time.Millisecond), cfg, pts)
+	}
+	pts = pts[:0]
+	pts = r.Observe(t0.Add(11*time.Minute), cfg, pts)
+	if len(pts) != 1 {
+		t.Fatalf("closed %d buckets, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Value != 100 {
+		t.Fatalf("burst bucket value %v, want 100", p.Value)
+	}
+	if p.EWMAZ < 4 || p.MADZ < 4 {
+		t.Fatalf("burst not flagged: EWMAZ=%v MADZ=%v", p.EWMAZ, p.MADZ)
+	}
+	if p.Samples < 8 {
+		t.Fatalf("burst scored against %d samples, want >= 8", p.Samples)
+	}
+	if want := t0.Add(11 * time.Minute); !p.At.Equal(want) {
+		t.Fatalf("burst At = %v, want bucket end %v", p.At, want)
+	}
+}
+
+func TestRateEmptyBucketsClose(t *testing.T) {
+	cfg := Config{Bucket: time.Minute, TTL: time.Hour}.WithDefaults()
+	var r Rate
+	t0 := time.Date(2025, 6, 1, 0, 0, 30, 0, time.UTC)
+	pts := r.Observe(t0, cfg, nil)
+	pts = r.Observe(t0.Add(5*time.Minute), cfg, pts)
+	// Bucket 0 closes with 1, buckets 1..4 close empty.
+	if len(pts) != 5 {
+		t.Fatalf("closed %d buckets, want 5", len(pts))
+	}
+	if pts[0].Value != 1 {
+		t.Fatalf("first closed bucket = %v, want 1", pts[0].Value)
+	}
+	for _, p := range pts[1:] {
+		if p.Value != 0 {
+			t.Fatalf("gap bucket value %v, want 0", p.Value)
+		}
+	}
+}
+
+func TestRateTTLReset(t *testing.T) {
+	cfg := Config{Bucket: time.Minute, TTL: 10 * time.Minute}.WithDefaults()
+	var r Rate
+	t0 := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	pts := r.Observe(t0, cfg, nil)
+	for i := 1; i < 5; i++ {
+		pts = r.Observe(t0.Add(time.Duration(i)*time.Minute), cfg, pts)
+	}
+	if r.EWMA.N == 0 {
+		t.Fatal("expected history before the gap")
+	}
+	// An hour of silence exceeds TTL: history resets, nothing closes.
+	pts = pts[:0]
+	pts = r.Observe(t0.Add(time.Hour), cfg, pts)
+	if len(pts) != 0 {
+		t.Fatalf("TTL reset closed %d buckets, want 0", len(pts))
+	}
+	if r.EWMA.N != 0 || len(r.MAD.Vals) != 0 || r.Count != 1 {
+		t.Fatalf("TTL reset left state behind: %+v", r)
+	}
+}
+
+func TestRateDisorderTolerated(t *testing.T) {
+	cfg := Config{Bucket: time.Minute}.WithDefaults()
+	var r Rate
+	t0 := time.Date(2025, 6, 1, 0, 0, 30, 0, time.UTC)
+	pts := r.Observe(t0, cfg, nil)
+	// A slightly-late record from an earlier bucket counts in the open
+	// bucket rather than panicking or regressing the index.
+	pts = r.Observe(t0.Add(-90*time.Second), cfg, pts)
+	if len(pts) != 0 || r.Count != 2 {
+		t.Fatalf("late record mishandled: pts=%d count=%v", len(pts), r.Count)
+	}
+}
+
+func TestGapsCadenceShift(t *testing.T) {
+	cfg := Config{MinSamples: 1, TTL: 24 * time.Hour}.WithDefaults()
+	var g Gaps
+	t0 := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	if _, ok := g.Observe(t0, cfg); ok {
+		t.Fatal("first access must not report a gap")
+	}
+	// A steady 60s cadence...
+	var last Point
+	for i := 1; i <= 20; i++ {
+		p, ok := g.Observe(t0.Add(time.Duration(i)*time.Minute), cfg)
+		if !ok {
+			t.Fatalf("gap %d not reported", i)
+		}
+		last = p
+	}
+	if last.Value != 60 || math.Abs(last.Mean-60) > 1e-6 {
+		t.Fatalf("steady cadence point = %+v", last)
+	}
+	// ...then a 2h silence (within TTL) scores as a huge gap.
+	p, ok := g.Observe(t0.Add(20*time.Minute+2*time.Hour), cfg)
+	if !ok {
+		t.Fatal("shift gap not reported")
+	}
+	if p.EWMAZ < 4 || p.MADZ < 4 {
+		t.Fatalf("cadence shift not flagged: %+v", p)
+	}
+	// Beyond TTL: reset, no report.
+	if _, ok := g.Observe(p.At.Add(48*time.Hour), cfg); ok {
+		t.Fatal("post-TTL access must reset, not report")
+	}
+	if g.EWMA.N != 0 {
+		t.Fatal("TTL reset kept EWMA history")
+	}
+}
+
+func TestGapsNegativeClamped(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	var g Gaps
+	t0 := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	g.Observe(t0, cfg)
+	p, ok := g.Observe(t0.Add(-time.Minute), cfg)
+	if !ok || p.Value != 0 {
+		t.Fatalf("negative gap = %+v ok=%v, want clamped 0", p, ok)
+	}
+	if !g.Last.Equal(t0) {
+		t.Fatal("out-of-order access must not rewind Last")
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 3, 2}, {-7, 3, -3}, {6, 3, 2}, {-6, 3, -2}, {0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Fatalf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

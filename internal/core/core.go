@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/anomaly"
 	"repro/internal/botnet"
 	"repro/internal/checkfreq"
 	"repro/internal/compliance"
@@ -177,9 +178,9 @@ type StreamOptions struct {
 	// lookup, anonymization).
 	CLF weblog.CLFOptions
 	// Analyzers selects the online analyses by registry name
-	// ("compliance", "cadence", "spoof", "session"). Nil means all four
-	// for StreamAnalyzeAll; StreamAnalyze always runs exactly the
-	// compliance analyzer and ignores this field.
+	// ("compliance", "cadence", "spoof", "session", "anomaly"). Nil
+	// means all five for StreamAnalyzeAll; StreamAnalyze always runs
+	// exactly the compliance analyzer and ignores this field.
 	Analyzers []string
 	// Compliance tunes the §4.2 metrics; zero value = paper defaults.
 	Compliance compliance.Config
@@ -194,6 +195,9 @@ type StreamOptions struct {
 	// SessionGap is the sessionization inactivity threshold (0 = the
 	// paper's 5 minutes).
 	SessionGap time.Duration
+	// Anomaly tunes the anomaly/alerting detectors (zero value = the
+	// anomaly package defaults: 1m buckets, threshold 4, TTL 30m).
+	Anomaly anomaly.Config
 	// Raw skips the default preprocessing (scanner-UA filtering and
 	// matcher-based bot enrichment) and aggregates records exactly as
 	// decoded — for inputs that are already enriched.
@@ -239,6 +243,7 @@ func analyzerOptions(opts StreamOptions) stream.AnalyzerOptions {
 		CadenceSites:   opts.CadenceSites,
 		SpoofThreshold: opts.SpoofThreshold,
 		SessionGap:     opts.SessionGap,
+		Anomaly:        opts.Anomaly,
 	}
 }
 
@@ -264,7 +269,7 @@ func StreamAnalyze(ctx context.Context, r io.Reader, opts StreamOptions) (*strea
 
 // StreamAnalyzeAll ingests an access-log stream through the sharded
 // online pipeline running the selected analyzers (opts.Analyzers; nil
-// means all four: compliance, cadence, spoof, session) and returns every
+// means all five: compliance, cadence, spoof, session, anomaly) and returns every
 // analyzer's merged snapshot. Each snapshot is identical to its batch
 // counterpart on the same records whenever timestamp disorder stays
 // within MaxSkew. On context cancellation the results so far are

@@ -11,14 +11,16 @@
 package deterrence
 
 import (
+	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
-	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ---- IP / ASN blocklist (the "outright block the IP addresses" option) ----
@@ -30,8 +32,8 @@ type Blocklist struct {
 	ips  map[string]struct{}
 	asns map[string]struct{}
 
-	// Blocked counts denied requests.
-	blocked int
+	// blocked counts denied requests.
+	blocked atomic.Int64
 }
 
 // NewBlocklist returns an empty blocklist.
@@ -58,9 +60,7 @@ func (b *Blocklist) BlockASN(handle string) {
 
 // Blocked returns the number of requests denied so far.
 func (b *Blocklist) Blocked() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.blocked
+	return int(b.blocked.Load())
 }
 
 // isBlocked checks a request's simulated or socket identity.
@@ -85,9 +85,7 @@ func (b *Blocklist) isBlocked(r *http.Request) bool {
 func (b *Blocklist) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if b.isBlocked(r) {
-			b.mu.Lock()
-			b.blocked++
-			b.mu.Unlock()
+			b.blocked.Add(1)
 			http.Error(w, "forbidden", http.StatusForbidden)
 			return
 		}
@@ -109,15 +107,12 @@ type Tarpit struct {
 	// (default 8).
 	LinksPerPage int
 
-	mu     sync.Mutex
-	served int
+	served atomic.Int64
 }
 
 // Served returns the number of maze pages served.
 func (t *Tarpit) Served() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.served
+	return int(t.served.Load())
 }
 
 // PathPrefix is the URL prefix of the maze.
@@ -134,12 +129,28 @@ func (t *Tarpit) Middleware(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
-		t.mu.Lock()
-		t.served++
-		t.mu.Unlock()
+		t.served.Add(1)
 		t.servePage(w, r)
 	})
 }
+
+// mazeRand is a tiny inline PRNG (splitmix64), so page generation costs
+// no allocations: the tarpit exists to waste the crawler's budget, not
+// the server's.
+type mazeRand uint64
+
+func (r *mazeRand) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// pagePool recycles maze page buffers across requests.
+var pagePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var mazeWords = []string{"annual", "report", "holdings", "catalog", "digest", "volume", "series", "index"}
 
 // servePage renders one deterministic maze page for the request path.
 func (t *Tarpit) servePage(w http.ResponseWriter, r *http.Request) {
@@ -153,27 +164,37 @@ func (t *Tarpit) servePage(w http.ResponseWriter, r *http.Request) {
 	}
 	// Deterministic per-path generation: a crawler revisiting a maze URL
 	// sees stable content, as a real site would.
-	seed := int64(0)
+	seed := uint64(0)
 	for _, c := range r.URL.Path {
-		seed = seed*131 + int64(c)
+		seed = seed*131 + uint64(c)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := mazeRand(seed)
 
-	var sb strings.Builder
-	sb.WriteString("<!doctype html><html><head><title>archive index</title></head><body>\n")
+	buf := pagePool.Get().(*bytes.Buffer)
+	defer pagePool.Put(buf)
+	buf.Reset()
+	buf.WriteString("<!doctype html><html><head><title>archive index</title></head><body>\n")
 	for i := 0; i < links; i++ {
-		sb.WriteString(fmt.Sprintf(`<a href="%snode-%08x/">record %d</a><br>`+"\n",
-			PathPrefix, rng.Uint32(), i))
+		buf.WriteString(`<a href="`)
+		buf.WriteString(PathPrefix)
+		buf.WriteString("node-")
+		v := uint32(rng.next())
+		raw := [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+		var hexed [8]byte
+		hex.Encode(hexed[:], raw[:])
+		buf.Write(hexed[:])
+		buf.WriteString(`/">record `)
+		buf.WriteString(strconv.Itoa(i))
+		buf.WriteString("</a><br>\n")
 	}
-	words := []string{"annual", "report", "holdings", "catalog", "digest", "volume", "series", "index"}
-	for sb.Len() < size {
-		sb.WriteString(words[rng.Intn(len(words))])
-		sb.WriteString(" ")
+	for buf.Len() < size {
+		buf.WriteString(mazeWords[rng.next()%uint64(len(mazeWords))])
+		buf.WriteByte(' ')
 	}
-	sb.WriteString("\n</body></html>")
+	buf.WriteString("\n</body></html>")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(sb.String()))
+	_, _ = w.Write(buf.Bytes())
 }
 
 // ---- Proof of work (the "proof of work" option, [27]) ----
@@ -193,9 +214,8 @@ type ProofOfWork struct {
 	// which must stay fetchable for the REP to function at all).
 	Exempt func(*http.Request) bool
 
-	mu       sync.Mutex
-	passed   int
-	rejected int
+	passed   atomic.Int64
+	rejected atomic.Int64
 }
 
 // HeaderNonce carries the client's solution.
@@ -203,9 +223,7 @@ const HeaderNonce = "X-PoW-Nonce"
 
 // Stats returns (passed, rejected) counts.
 func (p *ProofOfWork) Stats() (passed, rejected int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.passed, p.rejected
+	return int(p.passed.Load()), int(p.rejected.Load())
 }
 
 func (p *ProofOfWork) difficulty() int {
@@ -229,18 +247,33 @@ func (p *ProofOfWork) Verify(nonce string) bool {
 	return strings.HasPrefix(hexed, strings.Repeat("0", p.difficulty()))
 }
 
-// Solve brute-forces a valid nonce (what a cooperating client runs).
-func (p *ProofOfWork) Solve() string {
+// SolveCtx brute-forces a valid nonce, checking for cancellation every
+// few thousand attempts: at realistic difficulties the search can take
+// seconds, and a client tearing down its crawl must not be pinned to a
+// dead challenge.
+func (p *ProofOfWork) SolveCtx(ctx context.Context) (string, error) {
 	for i := 0; ; i++ {
-		nonce := fmt.Sprintf("%d", i)
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+		}
+		nonce := strconv.Itoa(i)
 		if p.Verify(nonce) {
-			return nonce
+			return nonce, nil
 		}
 	}
 }
 
-// Middleware rejects requests without a valid nonce with 429 and the
-// challenge parameters in headers, so clients can solve and retry.
+// Solve brute-forces a valid nonce (what a cooperating client runs).
+func (p *ProofOfWork) Solve() string {
+	nonce, _ := p.SolveCtx(context.Background())
+	return nonce
+}
+
+// Middleware rejects requests without a valid nonce with 429, the
+// challenge parameters in headers, and a Retry-After covering the
+// expected solve time, so clients can solve and retry.
 func (p *ProofOfWork) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if p.Exempt != nil && p.Exempt(r) {
@@ -248,17 +281,14 @@ func (p *ProofOfWork) Middleware(next http.Handler) http.Handler {
 			return
 		}
 		if nonce := r.Header.Get(HeaderNonce); nonce != "" && p.Verify(nonce) {
-			p.mu.Lock()
-			p.passed++
-			p.mu.Unlock()
+			p.passed.Add(1)
 			next.ServeHTTP(w, r)
 			return
 		}
-		p.mu.Lock()
-		p.rejected++
-		p.mu.Unlock()
+		p.rejected.Add(1)
 		w.Header().Set("X-PoW-Challenge", p.challenge())
-		w.Header().Set("X-PoW-Difficulty", fmt.Sprintf("%d", p.difficulty()))
+		w.Header().Set("X-PoW-Difficulty", strconv.Itoa(p.difficulty()))
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "proof of work required", http.StatusTooManyRequests)
 	})
 }

@@ -1,11 +1,15 @@
 package deterrence
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -211,5 +215,106 @@ func TestMiddlewareComposition(t *testing.T) {
 	rec = doReq(t, h, "/", map[string]string{HeaderNonce: nonce, "User-Agent": "Mozilla/5.0"})
 	if rec.Body.String() != "real content" {
 		t.Error("clean request should reach real content")
+	}
+}
+
+func TestProofOfWorkRetryAfter(t *testing.T) {
+	pow := &ProofOfWork{Difficulty: 2}
+	h := pow.Middleware(okHandler())
+	rec := doReq(t, h, "/page", nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("unchallenged access got %d", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q", got, "1")
+	}
+}
+
+func TestSolveCtxCanceled(t *testing.T) {
+	// Difficulty 12 is ~16^12 expected hashes: unsolvable in test time, so
+	// the only way out of the loop is the cancellation check.
+	pow := &ProofOfWork{Difficulty: 12}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if nonce, err := pow.SolveCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("SolveCtx on canceled ctx = (%q, %v), want context.Canceled", nonce, err)
+	}
+
+	// And an uncanceled context still solves.
+	easy := &ProofOfWork{Difficulty: 1}
+	nonce, err := easy.SolveCtx(context.Background())
+	if err != nil || !easy.Verify(nonce) {
+		t.Errorf("SolveCtx = (%q, %v), want a verifying nonce", nonce, err)
+	}
+}
+
+// TestConcurrentMiddlewares hammers all three middlewares from parallel
+// clients; run under -race this pins the counters' and maze pool's
+// thread safety. Entries are added to the blocklist mid-flight, which is
+// documented as safe.
+func TestConcurrentMiddlewares(t *testing.T) {
+	bl := NewBlocklist()
+	bl.BlockIP("198.51.100.7")
+	pow := &ProofOfWork{Difficulty: 1}
+	tp := &Tarpit{Trigger: func(r *http.Request) bool {
+		return strings.Contains(r.UserAgent(), "Evil")
+	}, PageBytes: 512}
+	h := bl.Middleware(pow.Middleware(tp.Middleware(okHandler())))
+	nonce := pow.Solve()
+
+	const workers, perWorker = 8, 48
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch i % 4 {
+				case 0: // blocked
+					doReq(t, h, "/", map[string]string{"X-Sim-IP": "198.51.100.7"})
+				case 1: // challenged
+					doReq(t, h, "/", nil)
+				case 2: // tarpitted
+					doReq(t, h, fmt.Sprintf("/tarpit/node-%d-%d/", w, i),
+						map[string]string{HeaderNonce: nonce, "User-Agent": "EvilBot"})
+				default: // clean
+					doReq(t, h, "/", map[string]string{HeaderNonce: nonce})
+				}
+				if i == perWorker/2 {
+					bl.BlockIP(fmt.Sprintf("203.0.113.%d", w))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := workers * perWorker / 4
+	if got := bl.Blocked(); got != want {
+		t.Errorf("blocked = %d, want %d", got, want)
+	}
+	if got := tp.Served(); got != want {
+		t.Errorf("served = %d, want %d", got, want)
+	}
+	passed, rejected := pow.Stats()
+	// Tarpitted and clean requests both pass the PoW gate.
+	if passed != 2*want || rejected != want {
+		t.Errorf("stats = %d/%d, want %d/%d", passed, rejected, 2*want, want)
+	}
+}
+
+// BenchmarkTarpitServePage pins the maze page render cost: the pooled
+// buffer and inline PRNG keep steady-state allocations near zero where
+// the old per-request rand.New + strings.Builder + string copy burned
+// several KB per page.
+func BenchmarkTarpitServePage(b *testing.B) {
+	tp := &Tarpit{Trigger: func(*http.Request) bool { return true }}
+	h := tp.Middleware(okHandler())
+	req := httptest.NewRequest(http.MethodGet, "/tarpit/node-00c0ffee/", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		rec.Body = nil // measure the render, not the recorder's copy
+		h.ServeHTTP(rec, req)
 	}
 }

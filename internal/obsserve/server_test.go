@@ -124,7 +124,7 @@ func TestEndpointsLifecycle(t *testing.T) {
 		t.Errorf("healthz not done after finalize: %v", body)
 	}
 
-	for _, name := range []string{"compliance", "cadence", "spoof", "session", "results"} {
+	for _, name := range []string{"compliance", "cadence", "spoof", "session", "anomaly", "results"} {
 		body = getJSON(t, ts.URL+"/api/v1/"+name, http.StatusOK)
 		if body["records"].(float64) != 300 {
 			t.Errorf("/api/v1/%s records = %v, want 300", name, body["records"])

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/anomaly"
 	"repro/internal/checkfreq"
 	"repro/internal/compliance"
 	"repro/internal/session"
@@ -90,10 +91,14 @@ const (
 	// AnalyzerSession is the §3.2 inactivity-gap sessionization analyzer
 	// (Figures 2, 4); snapshot type *session.Summary.
 	AnalyzerSession = "session"
+	// AnalyzerAnomaly is the online anomaly/alerting analyzer (traffic
+	// bursts, cadence shifts, first-seen bot identities); snapshot type
+	// *AnomalySnapshot.
+	AnalyzerAnomaly = "anomaly"
 )
 
 // AnalyzerNames lists every built-in analyzer in display order.
-var AnalyzerNames = []string{AnalyzerCompliance, AnalyzerCadence, AnalyzerSpoof, AnalyzerSession}
+var AnalyzerNames = []string{AnalyzerCompliance, AnalyzerCadence, AnalyzerSpoof, AnalyzerSession, AnalyzerAnomaly}
 
 // AnalyzerOptions carries the per-analyzer tuning knobs NewAnalyzer
 // consults; the zero value means paper defaults everywhere.
@@ -112,6 +117,9 @@ type AnalyzerOptions struct {
 	// SessionGap is the inactivity threshold ending a session (0 = the
 	// paper's session.DefaultGap of 5 minutes).
 	SessionGap time.Duration
+	// Anomaly tunes the anomaly/alerting detectors (zero value = the
+	// anomaly package defaults).
+	Anomaly anomaly.Config
 }
 
 // NewAnalyzer builds one built-in analyzer by registry name.
@@ -125,6 +133,8 @@ func NewAnalyzer(name string, o AnalyzerOptions) (Analyzer, error) {
 		return NewSpoofAnalyzer(o.SpoofThreshold), nil
 	case AnalyzerSession:
 		return NewSessionAnalyzer(o.SessionGap), nil
+	case AnalyzerAnomaly:
+		return NewAnomalyAnalyzer(o.Anomaly), nil
 	default:
 		return nil, fmt.Errorf("stream: unknown analyzer %q (known: %v)", name, AnalyzerNames)
 	}
@@ -211,6 +221,13 @@ func (r *Results) Spoof() *SpoofSnapshot {
 // analyzer was not selected.
 func (r *Results) Sessions() *session.Summary {
 	s, _ := r.byName[AnalyzerSession].(*session.Summary)
+	return s
+}
+
+// Anomaly returns the anomaly/alerting snapshot, or nil if the anomaly
+// analyzer was not selected.
+func (r *Results) Anomaly() *AnomalySnapshot {
+	s, _ := r.byName[AnalyzerAnomaly].(*AnomalySnapshot)
 	return s
 }
 

@@ -1,0 +1,271 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/weblog"
+)
+
+// rateKey addresses one burst detector: requests from one τ tuple to one
+// site. The tuple component means the key is shard-local (τ-hash
+// sharding), so every record feeding a detector arrives in event-time
+// order within MaxSkew.
+type rateKey struct {
+	site  string
+	tuple weblog.Tuple
+}
+
+// gapKey addresses one cadence detector: one claimed bot identity from
+// one τ tuple. Shard-local for the same reason as rateKey.
+type gapKey struct {
+	bot   string
+	tuple weblog.Tuple
+}
+
+// identKey addresses one (bot name, ASN) sighting. Unlike the detector
+// keys it is NOT shard-local (one bot+ASN spans many IP hashes), so the
+// snapshot merges sightings across shards by minimum event time — a
+// content-determined rule (no ingest sequence) that keeps the debut
+// choice identical across shard counts AND across ingestion modes that
+// order equal-timestamp records differently (single file vs fan-in).
+type identKey struct {
+	bot string
+	asn string
+}
+
+// anomalyShard is the per-shard state of the anomaly analyzer: a burst
+// detector per (site, τ), a cadence detector per (bot, τ), the first
+// sighting of every (bot, ASN) pair, and the alerts raised so far in
+// fold order.
+type anomalyShard struct {
+	cfg       anomaly.Config
+	rates     map[rateKey]*anomaly.Rate
+	gaps      map[gapKey]*anomaly.Gaps
+	idents    map[identKey]time.Time
+	alerts    []anomaly.Alert
+	pts       []anomaly.Point // Observe scratch, reused across records
+	lastSweep time.Time
+}
+
+// Apply folds one record: the burst detector always observes it; the
+// cadence detector and identity table only engage for named bots
+// (anonymous agents have no identity to shift or spoof). Alerts are
+// appended in fold order — deterministic per entity because τ-locality
+// totally orders an entity's records inside its shard.
+func (s *anomalyShard) Apply(r *weblog.Record, seq uint64) {
+	tu := weblog.TupleOf(r)
+	rk := rateKey{site: r.Site, tuple: tu}
+	rt := s.rates[rk]
+	if rt == nil {
+		rt = &anomaly.Rate{}
+		s.rates[rk] = rt
+	}
+	s.pts = rt.Observe(r.Time, s.cfg, s.pts[:0])
+	for _, p := range s.pts {
+		s.alert(anomaly.KindBurst, burstEntity(rk), p)
+	}
+	if r.BotName == "" {
+		return
+	}
+	gk := gapKey{bot: r.BotName, tuple: tu}
+	g := s.gaps[gk]
+	if g == nil {
+		g = &anomaly.Gaps{}
+		s.gaps[gk] = g
+	}
+	if p, ok := g.Observe(r.Time, s.cfg); ok {
+		s.alert(anomaly.KindCadenceShift, cadenceEntity(gk), p)
+	}
+	ik := identKey{bot: r.BotName, asn: r.ASN}
+	if first, ok := s.idents[ik]; !ok || r.Time.Before(first) {
+		s.idents[ik] = r.Time
+	}
+}
+
+// alert applies the gate — warmup satisfied and BOTH robust z-scores
+// crossing the threshold in the same direction — and records the alert.
+// The severity is the weaker of the two agreeing scores.
+func (s *anomalyShard) alert(kind anomaly.Kind, entity string, p anomaly.Point) {
+	if p.Samples < uint64(s.cfg.MinSamples) {
+		return
+	}
+	th := s.cfg.Threshold
+	var dir anomaly.Direction
+	switch {
+	case p.EWMAZ >= th && p.MADZ >= th:
+		dir = anomaly.Up
+	case p.EWMAZ <= -th && p.MADZ <= -th:
+		dir = anomaly.Down
+	default:
+		return
+	}
+	var reason string
+	switch kind {
+	case anomaly.KindBurst:
+		reason = fmt.Sprintf("bucket count %.0f vs mean %.2f (ewma z %+.1f, mad z %+.1f)",
+			p.Value, p.Mean, p.EWMAZ, p.MADZ)
+	default:
+		reason = fmt.Sprintf("access gap %.0fs vs mean %.2fs (ewma z %+.1f, mad z %+.1f)",
+			p.Value, p.Mean, p.EWMAZ, p.MADZ)
+	}
+	s.alerts = append(s.alerts, anomaly.Alert{
+		Entity:    entity,
+		Kind:      kind,
+		Score:     math.Min(math.Abs(p.EWMAZ), math.Abs(p.MADZ)),
+		Direction: dir,
+		Reason:    reason,
+		At:        p.At,
+	})
+}
+
+func burstEntity(k rateKey) string {
+	return fmt.Sprintf("site=%s τ=%s/%s/%s", k.site, k.tuple.ASN, k.tuple.IPHash, k.tuple.UserAgent)
+}
+
+func cadenceEntity(k gapKey) string {
+	return fmt.Sprintf("bot=%s τ=%s/%s", k.bot, k.tuple.ASN, k.tuple.IPHash)
+}
+
+// Advance is the watermark-driven eviction bounding detector memory to
+// entities active within the last TTL of event time. Eviction is
+// invisible to results: a detector is dropped only when w−LastSeen >
+// TTL, and any record applied later has Time >= w, so the detector's
+// own TTL rule would have reset it before scoring anyway — rebuilding
+// from scratch folds identically. Sweeps are amortized to one full map
+// scan per TTL of event time, like the session analyzer's.
+func (s *anomalyShard) Advance(w time.Time) {
+	if !s.lastSweep.IsZero() && w.Sub(s.lastSweep) < s.cfg.TTL {
+		return
+	}
+	s.lastSweep = w
+	for k, r := range s.rates {
+		if w.Sub(r.LastSeen) > s.cfg.TTL {
+			delete(s.rates, k)
+		}
+	}
+	for k, g := range s.gaps {
+		if w.Sub(g.Last) > s.cfg.TTL {
+			delete(s.gaps, k)
+		}
+	}
+	// idents is never evicted: it is bounded by (#bot names × #ASNs),
+	// and a forgotten debut would re-raise the same alert as "new".
+}
+
+// AnomalySnapshot is the anomaly analyzer's merged state: every alert
+// raised so far, in deterministic (At, Kind, Entity, ...) order.
+type AnomalySnapshot struct {
+	// Alerts is sorted by the full field tuple, never nil.
+	Alerts []anomaly.Alert
+}
+
+// anomalyAnalyzer hosts the internal/anomaly detectors as the fifth
+// Analyzer plugin.
+type anomalyAnalyzer struct {
+	cfg anomaly.Config
+}
+
+// NewAnomalyAnalyzer builds the online anomaly/alerting analyzer; the
+// zero config selects the defaults (1m buckets, α=0.3, window 32,
+// threshold 4, warmup 8, TTL 30m). Its snapshot type is
+// *AnomalySnapshot.
+func NewAnomalyAnalyzer(cfg anomaly.Config) Analyzer {
+	return anomalyAnalyzer{cfg: cfg.WithDefaults()}
+}
+
+func (anomalyAnalyzer) Name() string { return AnalyzerAnomaly }
+
+func (a anomalyAnalyzer) NewState() ShardState {
+	return &anomalyShard{
+		cfg:    a.cfg,
+		rates:  make(map[rateKey]*anomaly.Rate),
+		gaps:   make(map[gapKey]*anomaly.Gaps),
+		idents: make(map[identKey]time.Time),
+	}
+}
+
+// Snapshot merges the shards: burst and cadence alerts concatenate (an
+// entity's detector lives in exactly one shard, so the union is
+// disjoint), identity sightings merge by minimum event time, and the
+// combined list is put into a total order — which makes the result
+// independent of shard count and goroutine scheduling.
+func (anomalyAnalyzer) Snapshot(states []ShardState) any {
+	alerts := []anomaly.Alert{}
+	idents := make(map[identKey]time.Time)
+	for _, st := range states {
+		s := st.(*anomalyShard)
+		alerts = append(alerts, s.alerts...)
+		for k, at := range s.idents {
+			if cur, ok := idents[k]; !ok || at.Before(cur) {
+				idents[k] = at
+			}
+		}
+	}
+	alerts = append(alerts, identityAlerts(idents)...)
+	sortAlerts(alerts)
+	return &AnomalySnapshot{Alerts: alerts}
+}
+
+// identityAlerts turns the merged first-sighting table into
+// new-identity alerts: per bot, the earliest-seen ASN (ties broken
+// lexicographically) is the debut and every later ASN alerts. Order
+// within the function is irrelevant — the caller's total sort fixes it.
+func identityAlerts(idents map[identKey]time.Time) []anomaly.Alert {
+	type sighting struct {
+		asn string
+		at  time.Time
+	}
+	byBot := make(map[string][]sighting)
+	for k, at := range idents {
+		byBot[k.bot] = append(byBot[k.bot], sighting{asn: k.asn, at: at})
+	}
+	var out []anomaly.Alert
+	for bot, ss := range byBot {
+		sort.Slice(ss, func(i, j int) bool {
+			if !ss[i].at.Equal(ss[j].at) {
+				return ss[i].at.Before(ss[j].at)
+			}
+			return ss[i].asn < ss[j].asn
+		})
+		debut := ss[0]
+		for _, sg := range ss[1:] {
+			out = append(out, anomaly.Alert{
+				Entity:    fmt.Sprintf("bot=%s asn=%s", bot, sg.asn),
+				Kind:      anomaly.KindNewIdentity,
+				Score:     1,
+				Direction: anomaly.Up,
+				Reason:    fmt.Sprintf("%q first seen from ASN %s (debut ASN %s)", bot, sg.asn, debut.asn),
+				At:        sg.at,
+			})
+		}
+	}
+	return out
+}
+
+// sortAlerts puts alerts into a total order over every field, so equal
+// multisets of alerts always serialize identically.
+func sortAlerts(alerts []anomaly.Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		a, b := alerts[i], alerts[j]
+		if !a.At.Equal(b.At) {
+			return a.At.Before(b.At)
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Entity != b.Entity {
+			return a.Entity < b.Entity
+		}
+		if a.Direction != b.Direction {
+			return a.Direction < b.Direction
+		}
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Reason < b.Reason
+	})
+}

@@ -1,0 +1,244 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/weblog"
+)
+
+// anomalyRec builds one enriched record for driving shard states
+// directly.
+func anomalyRec(ts time.Time, site, ua, ip, asn, bot string) *weblog.Record {
+	return &weblog.Record{
+		UserAgent: ua, Time: ts, IPHash: ip, ASN: asn,
+		Site: site, Path: "/p", Status: 200, Bytes: 10, BotName: bot,
+	}
+}
+
+// TestAnomalyShardParity is the fifth analyzer's acceptance test: on the
+// bursty fixture the alert snapshot must be byte-identical across shard
+// counts {1, 4, 7}, and non-vacuously so — the fixture's guaranteed
+// spoof case must surface as new-identity alerts.
+func TestAnomalyShardParity(t *testing.T) {
+	d := makeBursty(parityN(t)/2, 31, 45*time.Second)
+	var want *AnomalySnapshot
+	for _, shards := range []int{1, 4, 7} {
+		got := runAllAnalyzers(t, d, shards, 2*time.Minute).Anomaly()
+		if got == nil {
+			t.Fatal("anomaly snapshot absent from default analyzer set")
+		}
+		if shards == 1 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: anomaly snapshot diverged from shards=1\nwant %d alerts\ngot  %d alerts",
+				shards, len(want.Alerts), len(got.Alerts))
+		}
+	}
+	if len(want.Alerts) == 0 {
+		t.Fatal("fixture raised no alerts; the parity check is vacuous")
+	}
+	kinds := map[anomaly.Kind]int{}
+	for _, a := range want.Alerts {
+		kinds[a.Kind]++
+	}
+	if kinds[anomaly.KindNewIdentity] == 0 {
+		t.Fatalf("fixture's spoof case raised no new-identity alerts (kinds: %v)", kinds)
+	}
+	t.Logf("alerts by kind: %v", kinds)
+}
+
+// TestAnomalyBurstAlert drives one shard state directly through a
+// quiet-history-then-burst series: the burst bucket must raise exactly
+// one Up alert, and nothing may fire during warmup.
+func TestAnomalyBurstAlert(t *testing.T) {
+	a := NewAnomalyAnalyzer(anomaly.Config{})
+	st := a.NewState().(*anomalyShard)
+	t0 := time.Date(2025, 6, 1, 12, 0, 0, 0, time.UTC)
+	// Ten quiet minutes at one request per minute (bot-free so only the
+	// burst detector engages), then ~100 requests inside minute 10.
+	for i := 0; i < 10; i++ {
+		st.Apply(anomalyRec(t0.Add(time.Duration(i)*time.Minute), "www", "ua", "ip1", "AS1", ""), uint64(i+1))
+	}
+	if len(st.alerts) != 0 {
+		t.Fatalf("quiet history raised %d alerts during warmup", len(st.alerts))
+	}
+	burst := t0.Add(10 * time.Minute)
+	for i := 0; i < 100; i++ {
+		st.Apply(anomalyRec(burst.Add(time.Duration(i)*100*time.Millisecond), "www", "ua", "ip1", "AS1", ""), uint64(20+i))
+	}
+	// Close the burst bucket with one more request a minute later.
+	st.Apply(anomalyRec(t0.Add(11*time.Minute), "www", "ua", "ip1", "AS1", ""), 200)
+	snap := a.Snapshot([]ShardState{st}).(*AnomalySnapshot)
+	if len(snap.Alerts) != 1 {
+		t.Fatalf("got %d alerts, want exactly 1 burst alert: %+v", len(snap.Alerts), snap.Alerts)
+	}
+	al := snap.Alerts[0]
+	if al.Kind != anomaly.KindBurst || al.Direction != anomaly.Up {
+		t.Fatalf("alert = %+v, want Up burst", al)
+	}
+	if al.Score < 4 {
+		t.Fatalf("burst score %v below threshold", al.Score)
+	}
+	if al.Entity != "site=www τ=AS1/ip1/ua" {
+		t.Fatalf("entity = %q", al.Entity)
+	}
+	if !al.At.Equal(t0.Add(11 * time.Minute)) {
+		t.Fatalf("alert At = %v, want burst bucket end", al.At)
+	}
+}
+
+// TestAnomalyWatermarkEviction checks both halves of the eviction
+// contract: the watermark sweep frees idle detector state, and doing so
+// never changes results (the TTL reset rule would have discarded that
+// history anyway).
+func TestAnomalyWatermarkEviction(t *testing.T) {
+	a := NewAnomalyAnalyzer(anomaly.Config{})
+	swept := a.NewState().(*anomalyShard)
+	plain := a.NewState().(*anomalyShard)
+	t0 := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	feed := func(st *anomalyShard, ts time.Time, seq uint64) {
+		st.Apply(anomalyRec(ts, "www", "Googlebot", "ip1", "GOOGLE", "Googlebot"), seq)
+	}
+	for i := 0; i < 10; i++ {
+		feed(swept, t0.Add(time.Duration(i)*time.Minute), uint64(i+1))
+		feed(plain, t0.Add(time.Duration(i)*time.Minute), uint64(i+1))
+	}
+	if len(swept.rates) == 0 || len(swept.gaps) == 0 {
+		t.Fatal("expected live detector state before the sweep")
+	}
+	// The watermark passes LastSeen+TTL: detectors must be evicted.
+	swept.Advance(t0.Add(10*time.Minute + 31*time.Minute))
+	if len(swept.rates) != 0 || len(swept.gaps) != 0 {
+		t.Fatalf("sweep left %d rates, %d gaps", len(swept.rates), len(swept.gaps))
+	}
+	if len(swept.idents) == 0 {
+		t.Fatal("sweep must not evict identity sightings")
+	}
+	// Both shards see the entity return after the TTL; snapshots must
+	// agree even though one rebuilt state from scratch.
+	for i := 0; i < 10; i++ {
+		ts := t0.Add(45*time.Minute + time.Duration(i)*time.Minute)
+		feed(swept, ts, uint64(100+i))
+		feed(plain, ts, uint64(100+i))
+	}
+	got := a.Snapshot([]ShardState{swept}).(*AnomalySnapshot)
+	want := a.Snapshot([]ShardState{plain}).(*AnomalySnapshot)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("eviction changed results:\nswept %+v\nplain %+v", got, want)
+	}
+}
+
+// TestAnomalyCodecRoundtrip checks the StateCodec contract: encoding is
+// deterministic, and a decoded state folds future records exactly as
+// the original would have.
+func TestAnomalyCodecRoundtrip(t *testing.T) {
+	a := NewAnomalyAnalyzer(anomaly.Config{}).(anomalyAnalyzer)
+	st := a.NewState().(*anomalyShard)
+	d := makeBursty(4000, 33, 0)
+	enrich := poolEnrich()
+	for i := range d.Records {
+		r := d.Records[i]
+		enrich(&r)
+		st.Apply(&r, uint64(i+1))
+	}
+	b1, err := a.EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("EncodeState is not deterministic")
+	}
+	restored, err := a.DecodeState(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continue both lives with the same tail; results must agree.
+	tail := makeBursty(2000, 34, 0)
+	for i := range tail.Records {
+		r := tail.Records[i]
+		enrich(&r)
+		st.Apply(&r, uint64(100000+i))
+		r2 := r
+		restored.Apply(&r2, uint64(100000+i))
+	}
+	got := a.Snapshot([]ShardState{restored}).(*AnomalySnapshot)
+	want := a.Snapshot([]ShardState{st}).(*AnomalySnapshot)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored state diverged: %d vs %d alerts", len(got.Alerts), len(want.Alerts))
+	}
+	if len(want.Alerts) == 0 {
+		t.Fatal("codec roundtrip fixture raised no alerts; check is weak")
+	}
+	if _, err := a.DecodeState([]byte("definitely not gob")); err == nil {
+		t.Fatal("want error decoding garbage")
+	}
+}
+
+// FuzzAnomalyStateCodec fuzzes DecodeState with corrupted detector
+// state: it must reject or accept, never panic, and anything it accepts
+// must re-encode cleanly.
+func FuzzAnomalyStateCodec(f *testing.F) {
+	a := NewAnomalyAnalyzer(anomaly.Config{}).(anomalyAnalyzer)
+	st := a.NewState().(*anomalyShard)
+	d := makeBursty(1500, 35, 0)
+	enrich := poolEnrich()
+	for i := range d.Records {
+		r := d.Records[i]
+		enrich(&r)
+		st.Apply(&r, uint64(i+1))
+	}
+	seed, err := a.EncodeState(st)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	if len(seed) > 10 {
+		trunc := seed[:len(seed)/2]
+		f.Add(trunc)
+		flipped := append([]byte(nil), seed...)
+		flipped[len(flipped)/3] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := a.DecodeState(data)
+		if err != nil {
+			return
+		}
+		if _, err := a.EncodeState(restored); err != nil {
+			t.Fatalf("decoded state failed to re-encode: %v", err)
+		}
+	})
+}
+
+// TestAnomalyJSONView pins the anomaly snapshot's JSON shape shared by
+// cmd/analyze -json and /api/v1/anomaly.
+func TestAnomalyJSONView(t *testing.T) {
+	snap := &AnomalySnapshot{Alerts: []anomaly.Alert{{
+		Entity: "bot=Googlebot asn=FAKE", Kind: anomaly.KindNewIdentity,
+		Score: 1, Direction: anomaly.Up, Reason: "r",
+		At: time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC),
+	}}}
+	v, ok := JSONView(snap).(map[string]any)
+	if !ok {
+		t.Fatalf("JSONView returned %T", JSONView(snap))
+	}
+	if v["count"] != 1 {
+		t.Fatalf("count = %v", v["count"])
+	}
+	if got := fmt.Sprintf("%v", v["alerts"].([]anomaly.Alert)[0].Kind); got != "new-identity" {
+		t.Fatalf("alerts kind = %q", got)
+	}
+}

@@ -55,6 +55,8 @@ func JSONView(snap any) any {
 		return out
 	case *SpoofSnapshot:
 		return map[string]any{"findings": s.Findings, "counts": s.Counts}
+	case *AnomalySnapshot:
+		return map[string]any{"alerts": s.Alerts, "count": len(s.Alerts)}
 	case *session.Summary:
 		return map[string]any{
 			"sessions":        s.Sessions,

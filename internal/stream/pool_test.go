@@ -198,6 +198,7 @@ func TestBuiltinBatchAppliers(t *testing.T) {
 		AnalyzerCadence:    false,
 		AnalyzerSpoof:      false,
 		AnalyzerSession:    true,
+		AnalyzerAnomaly:    false,
 	}
 	for _, a := range all {
 		_, native := a.NewState().(BatchApplier)

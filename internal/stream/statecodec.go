@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/anomaly"
 	"repro/internal/checkfreq"
 	"repro/internal/compliance"
 	"repro/internal/robots"
@@ -450,6 +451,133 @@ func (a sessionAnalyzer) DecodeState(data []byte) (ShardState, error) {
 			start: o.Start, end: o.End,
 			category: o.Category, accesses: o.Accesses, bytes: o.Bytes,
 		}
+	}
+	return s, nil
+}
+
+// --- anomaly ---
+
+// wireRate is one (site, τ) burst detector on the wire.
+type wireRate struct {
+	Site     string
+	Tuple    weblog.Tuple
+	Bucket   int64
+	Count    float64
+	LastSeen time.Time
+	Mean     float64
+	Var      float64
+	N        uint64
+	Vals     []float64
+}
+
+// wireGap is one (bot, τ) cadence detector on the wire.
+type wireGap struct {
+	Bot   string
+	Tuple weblog.Tuple
+	Last  time.Time
+	Mean  float64
+	Var   float64
+	N     uint64
+	Vals  []float64
+}
+
+// wireIdent is one (bot, ASN) first sighting on the wire.
+type wireIdent struct {
+	Bot string
+	ASN string
+	At  time.Time
+}
+
+// wireAnomaly is the anomaly analyzer's shard state on the wire. The
+// detector configuration is not serialized — the decoding analyzer
+// re-injects its own. Alerts keep their fold order (deterministic per
+// shard); LastSweep is carried for fidelity only (it affects sweep
+// amortization, never results).
+type wireAnomaly struct {
+	Rates     []wireRate
+	Gaps      []wireGap
+	Idents    []wireIdent
+	Alerts    []anomaly.Alert
+	LastSweep time.Time
+}
+
+// EncodeState implements StateCodec for the anomaly analyzer.
+func (a anomalyAnalyzer) EncodeState(st ShardState) ([]byte, error) {
+	s, ok := st.(*anomalyShard)
+	if !ok {
+		return nil, fmt.Errorf("stream: anomaly codec: unexpected state %T", st)
+	}
+	w := wireAnomaly{Alerts: s.alerts, LastSweep: s.lastSweep}
+	w.Rates = make([]wireRate, 0, len(s.rates))
+	for k, r := range s.rates {
+		w.Rates = append(w.Rates, wireRate{
+			Site: k.site, Tuple: k.tuple,
+			Bucket: r.Bucket, Count: r.Count, LastSeen: r.LastSeen,
+			Mean: r.EWMA.Mean, Var: r.EWMA.Var, N: r.EWMA.N, Vals: r.MAD.Vals,
+		})
+	}
+	sort.Slice(w.Rates, func(i, j int) bool {
+		if w.Rates[i].Site != w.Rates[j].Site {
+			return w.Rates[i].Site < w.Rates[j].Site
+		}
+		return tupleLess(w.Rates[i].Tuple, w.Rates[j].Tuple)
+	})
+	w.Gaps = make([]wireGap, 0, len(s.gaps))
+	for k, g := range s.gaps {
+		w.Gaps = append(w.Gaps, wireGap{
+			Bot: k.bot, Tuple: k.tuple, Last: g.Last,
+			Mean: g.EWMA.Mean, Var: g.EWMA.Var, N: g.EWMA.N, Vals: g.MAD.Vals,
+		})
+	}
+	sort.Slice(w.Gaps, func(i, j int) bool {
+		if w.Gaps[i].Bot != w.Gaps[j].Bot {
+			return w.Gaps[i].Bot < w.Gaps[j].Bot
+		}
+		return tupleLess(w.Gaps[i].Tuple, w.Gaps[j].Tuple)
+	})
+	w.Idents = make([]wireIdent, 0, len(s.idents))
+	for k, at := range s.idents {
+		w.Idents = append(w.Idents, wireIdent{Bot: k.bot, ASN: k.asn, At: at})
+	}
+	sort.Slice(w.Idents, func(i, j int) bool {
+		if w.Idents[i].Bot != w.Idents[j].Bot {
+			return w.Idents[i].Bot < w.Idents[j].Bot
+		}
+		return w.Idents[i].ASN < w.Idents[j].ASN
+	})
+	return gobEncode(&w)
+}
+
+// DecodeState implements StateCodec for the anomaly analyzer.
+func (a anomalyAnalyzer) DecodeState(data []byte) (ShardState, error) {
+	var w wireAnomaly
+	if err := gobDecode(data, &w); err != nil {
+		return nil, fmt.Errorf("stream: anomaly codec: %w", err)
+	}
+	s := &anomalyShard{
+		cfg:       a.cfg,
+		rates:     make(map[rateKey]*anomaly.Rate, len(w.Rates)),
+		gaps:      make(map[gapKey]*anomaly.Gaps, len(w.Gaps)),
+		idents:    make(map[identKey]time.Time, len(w.Idents)),
+		alerts:    w.Alerts,
+		lastSweep: w.LastSweep,
+	}
+	for _, r := range w.Rates {
+		s.rates[rateKey{site: r.Site, tuple: r.Tuple}] = &anomaly.Rate{
+			Bucket: r.Bucket, Count: r.Count, LastSeen: r.LastSeen,
+			EWMA: anomaly.EWMA{Mean: r.Mean, Var: r.Var, N: r.N},
+			MAD:  anomaly.MAD{Vals: r.Vals},
+		}
+	}
+	for _, g := range w.Gaps {
+		s.gaps[gapKey{bot: g.Bot, tuple: g.Tuple}] = &anomaly.Gaps{
+			Last: g.Last,
+			EWMA: anomaly.EWMA{Mean: g.Mean, Var: g.Var, N: g.N},
+			MAD:  anomaly.MAD{Vals: g.Vals},
+		}
+	}
+	for _, id := range w.Idents {
+		s.idents[identKey{bot: id.Bot, asn: id.ASN}] = id.At
 	}
 	return s, nil
 }

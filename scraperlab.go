@@ -107,8 +107,9 @@ type StreamResults = stream.Results
 
 // StreamAnalyzeAll runs the full online analyzer suite over an
 // access-log stream: §4.2 compliance, §5.1 robots.txt re-check cadence,
-// §5.2 dominant-ASN spoof detection, and inactivity-gap sessionization
-// (select a subset with StreamOptions.Analyzers). Every snapshot is
+// §5.2 dominant-ASN spoof detection, inactivity-gap sessionization, and
+// online anomaly/alerting detection (select a subset with
+// StreamOptions.Analyzers). Every batch-reproducible snapshot is
 // identical to its batch counterpart on the same records whenever
 // timestamp disorder stays within StreamOptions.MaxSkew.
 func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*StreamResults, error) {
