@@ -653,6 +653,54 @@ func BenchmarkPhasedStreamVsBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkFanInScaling sweeps decoder count × shard count over one CSV
+// input, so the committed BENCH point carries the fan-in scaling curve
+// itself rather than a single configuration: compare decoders-4/shards-4
+// against decoders-1/shards-1 at GOMAXPROCS≥4 to read the end-to-end
+// speedup, and fix the other axis to locate a regression (decoders flat →
+// decode-side serialization; shards flat → fold-side serialization). On a
+// single hardware core every multi-goroutine configuration timeshares —
+// scripts/bench marks such entries timeshared:true — so only points from
+// multi-core runners (CI's GOMAXPROCS=4 job) witness scaling.
+func BenchmarkFanInScaling(b *testing.B) {
+	csvBytes := benchStreamCSV(b, 30_000)
+	cfg := compliance.DefaultConfig()
+	for _, decoders := range []int{1, 2, 4} {
+		for _, shards := range []int{1, 4} {
+			// "=" separators, not "-": scripts/bench strips a trailing
+			// "-<digits>" as the GOMAXPROCS suffix when normalizing names
+			// across -cpu entries, so an axis label like "shards-4" would
+			// collide with another entry's proc suffix.
+			b.Run(fmt.Sprintf("decoders=%d/shards=%d", decoders, shards), func(b *testing.B) {
+				b.SetBytes(int64(len(csvBytes)))
+				b.ReportAllocs()
+				enrich := benchEnrich()
+				for i := 0; i < b.N; i++ {
+					p := stream.NewPipeline(stream.Options{
+						Shards: shards,
+						NewKeep: func() func(*weblog.Record) bool {
+							return weblog.NewPreprocessor().Keep
+						},
+						Enrich:     enrich,
+						Compliance: cfg,
+					})
+					sources, err := stream.ChunkBytes(csvBytes, "csv", decoders, weblog.CLFOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := p.RunSources(context.Background(), sources)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Records == 0 {
+						b.Fatal("no records folded")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSnapshotReads measures the observatory's read path: concurrent
 // HTTP readers hitting a published snapshot. Every handler load is one
 // atomic pointer read of an immutable Published value whose JSON views

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/weblog"
 )
 
 var (
@@ -120,17 +122,22 @@ parseField:
 	for {
 		if len(line) == 0 || line[0] != '"' {
 			// Non-quoted field: runs to the next comma or end of line, and
-			// must not contain a quote.
-			i := bytes.IndexByte(line, ',')
+			// must not contain a quote. One SWAR pass finds whichever comes
+			// first; the old shape — IndexByte for the comma, then a second
+			// IndexByte over the field for an illegal quote — walked every
+			// field twice. A quote first means the field would have
+			// contained it (the trailing '\n' matches neither needle), so
+			// the accepted set is unchanged.
+			i := weblog.IndexAny2(line, ',', '"')
+			if i >= 0 && line[i] == '"' {
+				err = fmt.Errorf("record on line %d: %w", recLine, errBareQuote)
+				break parseField
+			}
 			field := line
 			if i >= 0 {
 				field = field[:i]
 			} else {
 				field = field[:len(field)-lengthNL(field)]
-			}
-			if bytes.IndexByte(field, '"') >= 0 {
-				err = fmt.Errorf("record on line %d: %w", recLine, errBareQuote)
-				break parseField
 			}
 			s.recordBuffer = append(s.recordBuffer, field...)
 			s.fieldIndexes = append(s.fieldIndexes, len(s.recordBuffer))

@@ -19,9 +19,13 @@ type Options struct {
 	// count never changes results: the merge is deterministic (see
 	// DESIGN.md, "shard-merge invariant").
 	Shards int
-	// Buffer is the per-shard channel depth, counted in record batches;
-	// the dispatcher blocks when a shard's channel is full, which is the
-	// pipeline's backpressure. Zero means 16 batches.
+	// Buffer is the per-shard channel depth, counted in record batches.
+	// Dispatch is per source: every fan-in source runner (and the Ingest
+	// path, as the degenerate one-source case) routes records through its
+	// own private shard router and blocks on the shard's channel when it
+	// is full, which is the pipeline's backpressure — one full shard
+	// stalls only the sources currently sending to it. Zero means 16
+	// batches.
 	Buffer int
 	// MaxSkew bounds tolerated timestamp disorder. Each shard holds back
 	// records in a reorder buffer until the shard's high-water timestamp
@@ -332,11 +336,14 @@ type Pipeline struct {
 
 	batchSize int
 	pool      sync.Pool
-	// mu serializes dispatch — pending-batch appends and shard-channel
-	// sends — between Ingest (one goroutine) and the background flusher,
-	// so batches reach each shard in ingest order.
+	// mu guards router on the single-dispatcher path only: Ingest (one
+	// goroutine) and the background flusher both touch its pending
+	// batches, and holding mu across the append-and-send keeps per-shard
+	// delivery in ingest order. Fan-in source runners never take it —
+	// each owns a private router and its sends synchronize on the shard
+	// channels alone, so this mutex is not on the fan-in hot path.
 	mu        sync.Mutex
-	pending   []*recordBatch
+	router    *shardRouter
 	flushStop chan struct{}
 	flushDone chan struct{}
 
@@ -388,7 +395,6 @@ func NewPipeline(opts Options) *Pipeline {
 			mark: unstampedMark,
 		}
 	}
-	p.pending = make([]*recordBatch, opts.Shards)
 	p.shards = make([]*shardWorker, opts.Shards)
 	p.observers = make([][]WatermarkObserver, opts.Shards)
 	for i := range p.shards {
@@ -416,6 +422,9 @@ func NewPipeline(opts Options) *Pipeline {
 		p.wg.Add(1)
 		go p.work(i, s)
 	}
+	// The Ingest path's router: trackMin is off because single-dispatcher
+	// batches are unstamped (the shard's maxSeen heuristic bounds release).
+	p.router = newShardRouter(p, false)
 	if opts.FlushInterval > 0 {
 		p.flushStop = make(chan struct{})
 		p.flushDone = make(chan struct{})
@@ -571,9 +580,8 @@ func (p *Pipeline) flusher(interval time.Duration) {
 func (p *Pipeline) Flush() {
 	var flushed uint64
 	p.mu.Lock()
-	for si, b := range p.pending {
-		if b != nil {
-			p.pending[si] = nil
+	for si := range p.shards {
+		if b := p.router.take(si); b != nil {
 			p.shards[si].ch <- b
 			flushed++
 		}
@@ -623,7 +631,10 @@ func (p *Pipeline) shardOf(r *weblog.Record) int {
 // over — and blocking for backpressure — when it fills. It must be called
 // from a single goroutine (the dispatcher), and not after Close. On
 // context cancellation the shard's pending batch is dropped along with the
-// record (in-flight work is forfeit on cancel, as before).
+// record (in-flight work is forfeit on cancel, as before). This is the
+// degenerate one-source case of the fan-in routing machinery: the same
+// shardRouter every source runner owns, with mu standing in for goroutine
+// ownership because the background flusher shares this one.
 func (p *Pipeline) Ingest(ctx context.Context, rec weblog.Record) error {
 	if c := p.mIngestDecoded; c != nil {
 		c.Inc()
@@ -636,31 +647,29 @@ func (p *Pipeline) Ingest(ctx context.Context, rec weblog.Record) error {
 		return nil
 	}
 	p.seq++
-	si := p.shardOf(&rec)
+	// Routing (the memoized τ hash) happens outside mu: the memo belongs
+	// to the Ingest goroutine alone — the flusher only takes pending
+	// batches — so only the append-and-send needs the lock.
+	si := p.router.route(&rec)
 	p.mu.Lock()
-	b := p.pending[si]
-	if b == nil {
-		b = p.getBatch()
-		p.pending[si] = b
-	}
-	b.recs = append(b.recs, rec)
-	b.seqs = append(b.seqs, p.seq)
 	var err error
-	if len(b.recs) >= p.batchSize {
-		p.pending[si] = nil
-		err = p.send(ctx, p.shards[si], b)
+	if p.router.add(si, rec, p.seq, 0) {
+		err = p.send(ctx, p.shards[si], p.router.take(si))
 	}
 	p.mu.Unlock()
 	return err
 }
 
 // send delivers one batch to a shard, honoring ctx for backpressure
-// cancellation. Ingest/Flush-path callers must hold mu — that is what
-// keeps per-shard delivery in ingest order when the background flusher
-// runs concurrently. Fan-in source runners call it WITHOUT mu: each
-// source's sends to a given shard are same-goroutine FIFO, cross-source
-// order is absorbed by the stamped reorder path, and RunSources retires
-// the background flusher up front.
+// cancellation. Locking is per dispatch path, not global: single-
+// dispatcher callers (Ingest, Flush) hold mu because the background
+// flusher shares their router, and holding it across the send keeps
+// per-shard delivery in ingest order. Fan-in source runners call it with
+// NO lock at all — each runner owns a private router, its sends to a
+// given shard are same-goroutine FIFO, cross-source order is absorbed by
+// the stamped reorder path, and RunSources retires the background flusher
+// up front — so the only cross-goroutine synchronization on the fan-in
+// hot path is the channel send itself.
 func (p *Pipeline) send(ctx context.Context, s *shardWorker, b *recordBatch) error {
 	if ctx == nil {
 		s.ch <- b

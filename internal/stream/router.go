@@ -1,0 +1,122 @@
+// router.go is the decentralized dispatch core shared by both ingestion
+// front-ends: a shardRouter is one dispatcher's PRIVATE routing state —
+// per-shard pending batches, the per-shard event-time floors backing a
+// fan-in source's low-watermark, and a memo of the FNV shard assignment
+// per distinct τ tuple. Every fan-in source runner owns one router, and
+// the single-dispatcher Ingest path owns one too (guarded by Pipeline.mu
+// against the background flusher), making Ingest literally the degenerate
+// one-source case of the same machinery. A router itself is never shared
+// across goroutines: the only cross-goroutine synchronization on the
+// record hot path is the shard channel send (see DESIGN.md,
+// "Decentralized dispatch").
+package stream
+
+import (
+	"math"
+
+	"repro/internal/weblog"
+)
+
+// tauKey is the memoized routing key: the exact field triple shardOf
+// hashes. The streaming decoders intern these strings (one canonical
+// instance per distinct value), so Go's AES-based map hash over the triple
+// is paid per distinct entity, replacing a byte-at-a-time FNV walk over
+// ~100 bytes per record.
+type tauKey struct {
+	asn, ip, ua string
+}
+
+// maxRouteMemo bounds the memo so a pathological input with unbounded
+// distinct τ tuples degrades to the direct hash instead of growing a map
+// without limit. Sized to the Intern table's own capacity: past the point
+// where interning stops deduplicating, memoization stops paying anyway.
+const maxRouteMemo = weblog.DefaultInternEntries
+
+// shardRouter routes records to per-shard pending batches for one
+// dispatcher goroutine.
+type shardRouter struct {
+	p *Pipeline
+	// pending[s] is the partially filled batch for shard s, nil when
+	// empty.
+	pending []*recordBatch
+	// pendMin[s] is the minimum record time (unix nanos) in pending[s],
+	// math.MaxInt64 when empty — the floors a fan-in source's published
+	// low-watermark must not pass (a record decoded but not yet handed to
+	// its shard is not covered by channel FIFO order yet). Maintained only
+	// when trackMin is set; the Ingest path carries no watermark promises
+	// (its batches are unstamped) and skips the bookkeeping.
+	pendMin  []int64
+	trackMin bool
+	// memo caches route's result per distinct τ tuple.
+	memo map[tauKey]uint32
+}
+
+// newShardRouter builds a router over p's shards. trackMin selects the
+// fan-in variant that maintains per-shard pending time floors.
+func newShardRouter(p *Pipeline, trackMin bool) *shardRouter {
+	rt := &shardRouter{
+		p:        p,
+		pending:  make([]*recordBatch, len(p.shards)),
+		trackMin: trackMin,
+		memo:     make(map[tauKey]uint32),
+	}
+	if trackMin {
+		rt.pendMin = make([]int64, len(p.shards))
+		for s := range rt.pendMin {
+			rt.pendMin[s] = math.MaxInt64
+		}
+	}
+	return rt
+}
+
+// route returns rec's shard index, memoized per distinct τ tuple. The
+// memo can never change an assignment — shardOf is a pure function of the
+// tuple's bytes, and map keys compare by content, so a hit returns exactly
+// what the direct hash would.
+func (rt *shardRouter) route(rec *weblog.Record) int {
+	k := tauKey{asn: rec.ASN, ip: rec.IPHash, ua: rec.UserAgent}
+	if si, ok := rt.memo[k]; ok {
+		return int(si)
+	}
+	si := rt.p.shardOf(rec)
+	if len(rt.memo) < maxRouteMemo {
+		rt.memo[k] = uint32(si)
+	}
+	return si
+}
+
+// add appends (rec, seq) to shard si's pending batch, creating it from
+// the pool on first use, and reports whether the batch just reached the
+// pipeline's batch size (the caller then takes and sends it). tnano is
+// the record's watermark time, consulted only under trackMin.
+func (rt *shardRouter) add(si int, rec weblog.Record, seq uint64, tnano int64) bool {
+	b := rt.pending[si]
+	if b == nil {
+		b = rt.p.getBatch()
+		rt.pending[si] = b
+	}
+	b.recs = append(b.recs, rec)
+	b.seqs = append(b.seqs, seq)
+	if rt.trackMin && tnano < rt.pendMin[si] {
+		rt.pendMin[si] = tnano
+	}
+	return len(b.recs) >= rt.p.batchSize
+}
+
+// take detaches and returns shard si's pending batch (nil when none),
+// resetting the shard's pending floor. The caller owns the batch from
+// here: on a fan-in path the floor reset is safe even though the send may
+// still block, because the runner republishes its low-watermark only
+// after the send completes — until then the previously published (lower)
+// promise keeps covering the in-flight records.
+func (rt *shardRouter) take(si int) *recordBatch {
+	b := rt.pending[si]
+	if b == nil {
+		return nil
+	}
+	rt.pending[si] = nil
+	if rt.trackMin {
+		rt.pendMin[si] = math.MaxInt64
+	}
+	return b
+}

@@ -1,0 +1,244 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+// TestRouteMemoMatchesHash proves the memoized routing can never diverge
+// from the direct FNV assignment: every record routes to shardOf's answer
+// on the first (miss) and second (hit) lookup alike, across shard counts.
+func TestRouteMemoMatchesHash(t *testing.T) {
+	for _, shards := range []int{1, 4, 7} {
+		p := NewPipeline(Options{Shards: shards})
+		rt := newShardRouter(p, true)
+		d := makeMultiSite(2000, 17, 30*time.Second, 5)
+		for i := range d.Records {
+			rec := &d.Records[i]
+			want := p.shardOf(rec)
+			if got := rt.route(rec); got != want {
+				t.Fatalf("shards=%d: route miss gave %d, shardOf %d", shards, got, want)
+			}
+			if got := rt.route(rec); got != want {
+				t.Fatalf("shards=%d: route hit gave %d, shardOf %d", shards, got, want)
+			}
+		}
+		if len(rt.memo) == 0 {
+			t.Fatal("memo never populated")
+		}
+		p.Close()
+	}
+}
+
+// TestRouteMemoCap proves a full memo degrades to the direct hash without
+// growing: routing stays correct and the map stops admitting entries.
+func TestRouteMemoCap(t *testing.T) {
+	p := NewPipeline(Options{Shards: 4})
+	defer p.Close()
+	rt := newShardRouter(p, false)
+	for i := 0; i < maxRouteMemo; i++ {
+		rt.memo[tauKey{asn: fmt.Sprintf("AS%d", i)}] = 0
+	}
+	rec := weblog.Record{ASN: "AS-FRESH", IPHash: "h1", UserAgent: "ua"}
+	if got, want := rt.route(&rec), p.shardOf(&rec); got != want {
+		t.Fatalf("route past cap gave %d, shardOf %d", got, want)
+	}
+	if len(rt.memo) != maxRouteMemo {
+		t.Fatalf("memo grew past its cap: %d entries", len(rt.memo))
+	}
+}
+
+// TestDecodedCounterAttribution audits the decode-counter bookkeeping on
+// both dispatch paths: the per-source counters must sum exactly to the
+// global IngestStats.Decoded, and each path must attribute every decoded
+// record (kept or dropped) to the right label — fan-in runs to their
+// source names with the reserved "ingest" label untouched, single-
+// dispatcher runs to "ingest" alone.
+func TestDecodedCounterAttribution(t *testing.T) {
+	d := makeMultiSite(3000, 23, 30*time.Second, 3)
+	parts := splitBySite(d)
+
+	m := NewMetrics(nil)
+	p := NewPipeline(Options{Shards: 4, Metrics: m,
+		NewKeep: func() func(*weblog.Record) bool { return weblog.NewPreprocessor().Keep }})
+	if _, err := p.RunSources(context.Background(), csvFileSources(t, parts)); err != nil {
+		t.Fatal(err)
+	}
+	var perSource, records uint64
+	for i, part := range parts {
+		c := m.sourceCounter(fmt.Sprintf("site-file-%d", i))
+		if c.Value() != uint64(len(part.Records)) {
+			t.Fatalf("source %d decoded %d, file has %d records", i, c.Value(), len(part.Records))
+		}
+		perSource += c.Value()
+		records += uint64(len(part.Records))
+	}
+	if got := m.sourceCounter("ingest").Value(); got != 0 {
+		t.Fatalf("fan-in run charged %d records to the reserved ingest label", got)
+	}
+	// sourceCounter("ingest") above get-or-created the label; the sum must
+	// still come out exact because it reads zero.
+	if st := m.Stats(); st.Decoded != perSource || st.Decoded != records {
+		t.Fatalf("Stats().Decoded = %d, per-source sum %d, records %d", st.Decoded, perSource, records)
+	}
+
+	m2 := NewMetrics(nil)
+	p2 := NewPipeline(Options{Shards: 4, Metrics: m2, Keep: weblog.NewPreprocessor().Keep})
+	if _, err := p2.Run(context.Background(), NewDatasetDecoder(d)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.sourceCounter("ingest").Value(); got != uint64(len(d.Records)) {
+		t.Fatalf("ingest label counted %d, dataset has %d records", got, len(d.Records))
+	}
+	if st := m2.Stats(); st.Decoded != uint64(len(d.Records)) {
+		t.Fatalf("Stats().Decoded = %d, dataset has %d records", st.Decoded, len(d.Records))
+	}
+}
+
+// barrierDecoder wraps a CSV decoder and blocks inside the Next call for
+// record number stopAt until released, holding its runner mid-source with
+// records pending. It forwards the offset-tracking interfaces so the
+// wrapped source stays checkpointable.
+type barrierDecoder struct {
+	inner   *CSVDecoder
+	n       int
+	stopAt  int
+	reached chan struct{}
+	release chan struct{}
+}
+
+func (d *barrierDecoder) Next() (weblog.Record, error) {
+	if d.n == d.stopAt {
+		close(d.reached)
+		<-d.release
+	}
+	d.n++
+	return d.inner.Next()
+}
+
+func (d *barrierDecoder) Offset() int64    { return d.inner.Offset() }
+func (d *barrierDecoder) HeaderLen() int64 { return d.inner.HeaderLen() }
+
+// TestCheckpointQuiesceWithPendingBatches is the crash-parity proof for
+// the per-source routing quiesce contract: a capture taken while EVERY
+// source owns pending batches (records routed but not yet sent — the
+// batch size exceeds what each runner decoded, and the watcher flush is
+// an hour away) must flush those pendings through park, record exact
+// resume points, and restore into a run whose final results are
+// byte-identical to an uninterrupted reference.
+func TestCheckpointQuiesceWithPendingBatches(t *testing.T) {
+	ctx := context.Background()
+	d := makeMultiSite(6000, 29, 30*time.Second, 3)
+	parts := splitBySite(d)
+	opts := func() Options {
+		return Options{Shards: 4, MaxSkew: 2 * time.Minute, FlushInterval: time.Hour}
+	}
+
+	refOpts := opts()
+	refOpts.Analyzers = allAnalyzers(t)
+	want, err := NewPipeline(refOpts).RunSources(ctx, csvFileSources(t, parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := resultsJSON(t, want)
+
+	// The interrupted run: every source blocks after decoding stopAt
+	// records, all pending (BatchSize 256 > stopAt, no flush ticks).
+	const stopAt = 40
+	encoded := make([][]byte, len(parts))
+	barriers := make([]*barrierDecoder, len(parts))
+	sources := make([]Source, len(parts))
+	for i, part := range parts {
+		encoded[i] = encodeCSV(t, part)
+		barriers[i] = &barrierDecoder{
+			inner:   NewCSVDecoder(bytes.NewReader(encoded[i])),
+			stopAt:  stopAt,
+			reached: make(chan struct{}),
+			release: make(chan struct{}),
+		}
+		sources[i] = Source{Name: fmt.Sprintf("src-%d", i), Dec: barriers[i]}
+	}
+	runOpts := opts()
+	runOpts.Analyzers = allAnalyzers(t)
+	p1 := NewPipeline(runOpts)
+	resCh := make(chan *Results, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := p1.RunSources(ctx, sources)
+		resCh <- res
+		errCh <- err
+	}()
+	for _, b := range barriers {
+		<-b.reached
+	}
+	type captured struct {
+		ck  *PipelineCheckpoint
+		err error
+	}
+	ckCh := make(chan captured, 1)
+	go func() {
+		ck, err := p1.CaptureCheckpoint()
+		ckCh <- captured{ck, err}
+	}()
+	// Release the runners only once the capture has raised the gate, so
+	// each parks at its very next record boundary — with its stopAt+1
+	// decoded records still pending — rather than running to EOF first.
+	for !p1.gate.want.Load() {
+		runtime.Gosched()
+	}
+	for _, b := range barriers {
+		close(b.release)
+	}
+	taken := <-ckCh
+	if taken.err != nil {
+		t.Fatal(taken.err)
+	}
+	for i, src := range taken.ck.Sources {
+		if src.LocalSeq != stopAt+1 {
+			t.Fatalf("source %d parked with %d records folded, want %d (pendings not captured at the barrier?)", i, src.LocalSeq, stopAt+1)
+		}
+		if src.Offset <= 0 {
+			t.Fatalf("source %d recorded no resume offset", i)
+		}
+	}
+	interrupted := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if got := resultsJSON(t, interrupted); got != wantJSON {
+		t.Fatal("mid-run capture perturbed the interrupted run's own results")
+	}
+
+	// The "restarted process": restore the capture and resume each source
+	// at its recorded offset (CSV header replayed, as the daemon's restore
+	// path does), then require byte-identical final results.
+	restoreOpts := opts()
+	restoreOpts.Analyzers = allAnalyzers(t)
+	p2 := NewPipeline(restoreOpts)
+	if err := p2.RestoreCheckpoint(roundTrip(t, taken.ck)); err != nil {
+		t.Fatal(err)
+	}
+	resumed := make([]Source, len(parts))
+	for i, src := range taken.ck.Sources {
+		header := encoded[i][:src.HeaderLen]
+		dec := NewCSVDecoder(io.MultiReader(bytes.NewReader(header), bytes.NewReader(encoded[i][src.Offset:])))
+		if err := dec.ReadHeader(); err != nil {
+			t.Fatal(err)
+		}
+		resumed[i] = Source{Name: src.Name, Dec: dec, BaseOffset: src.Offset - src.HeaderLen}
+	}
+	res, err := p2.RunSources(ctx, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultsJSON(t, res); got != wantJSON {
+		t.Fatal("restored-and-resumed fan-in run diverged from the uninterrupted reference")
+	}
+}

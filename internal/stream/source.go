@@ -115,9 +115,21 @@ func markNano(ts time.Time) int64 {
 	}
 }
 
-// sourceRunner is one fan-in decoder goroutine's state: its pending
-// per-shard batches, the event-time bounds backing its published
-// low-watermark, and its per-source sequence counter.
+// lwSlot is one source's published low-watermark, padded out to its own
+// cache line. Every runner's send path scans ALL slots (stamp) while every
+// runner's publishLW stores its own — with plain adjacent atomics those
+// accesses false-share cache lines, and each store invalidates the line
+// for every peer's next scan. Padding keeps one runner's publication
+// traffic off its neighbors' lines; the pointer handed to the metrics
+// watermark gauge still targets the atomic itself.
+type lwSlot struct {
+	v atomic.Int64
+	_ [64 - 8]byte
+}
+
+// sourceRunner is one fan-in decoder goroutine's state: its private shard
+// router (pending batches + event-time floors backing the published
+// low-watermark) and its per-source sequence counter.
 type sourceRunner struct {
 	p    *Pipeline
 	idx  int
@@ -128,11 +140,11 @@ type sourceRunner struct {
 	// the atomic add.
 	mDecoded *obs.Counter
 
-	pending []*recordBatch
-	// pendMin[s] is the minimum record time (unix nanos) in pending[s],
-	// math.MaxInt64 when empty: the published low-watermark may never
-	// pass a record that is decoded but not yet handed to its shard.
-	pendMin []int64
+	// rt routes this source's records to per-shard pending batches; it is
+	// owned by the runner goroutine exclusively (the capture gate only
+	// touches it through park, on this same goroutine), so routing and
+	// batch appends need no locking at all.
+	rt *shardRouter
 	// decodeHW is the highest event time decoded so far (unix nanos);
 	// bounded-disorder input means every future record of this source is
 	// at or above decodeHW − MaxSkew.
@@ -145,9 +157,9 @@ type sourceRunner struct {
 	// channel send completes, so a batch blocked on backpressure is
 	// still covered by it.
 	lw *atomic.Int64
-	// lws is the whole run's registry, one entry per source, for the
-	// global min-watermark stamped onto outgoing batches.
-	lws []atomic.Int64
+	// lws is the whole run's registry, one padded slot per source, for
+	// the global min-watermark stamped onto outgoing batches.
+	lws []lwSlot
 
 	// flushReq and stop are set by the run's watcher goroutine (the
 	// FlushInterval ticker and context cancellation respectively) and
@@ -194,9 +206,9 @@ func (p *Pipeline) RunSources(ctx context.Context, sources []Source) (*Results, 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	lws := make([]atomic.Int64, len(sources))
+	lws := make([]lwSlot, len(sources))
 	for i := range lws {
-		lws[i].Store(math.MinInt64)
+		lws[i].v.Store(math.MinInt64)
 	}
 	errs := make([]error, len(sources))
 	runners := make([]*sourceRunner, len(sources))
@@ -224,14 +236,10 @@ func (p *Pipeline) RunSources(ctx context.Context, sources []Source) (*Results, 
 			p:        p,
 			idx:      i,
 			src:      sources[i],
-			pending:  make([]*recordBatch, len(p.shards)),
-			pendMin:  make([]int64, len(p.shards)),
+			rt:       newShardRouter(p, true),
 			decodeHW: math.MinInt64,
-			lw:       &lws[i],
+			lw:       &lws[i].v,
 			lws:      lws,
-		}
-		for s := range r.pendMin {
-			r.pendMin[s] = math.MaxInt64
 		}
 		if restored != nil {
 			// Source order determines sequence numbering (and so every
@@ -251,7 +259,7 @@ func (p *Pipeline) RunSources(ctx context.Context, sources []Source) (*Results, 
 		}
 		if m := p.metrics; m != nil {
 			r.mDecoded = m.sourceCounter(sources[i].Name)
-			m.bindSourceWatermark(sources[i].Name, &lws[i])
+			m.bindSourceWatermark(sources[i].Name, &lws[i].v)
 		}
 		runners[i] = r
 		wg.Add(1)
@@ -501,18 +509,8 @@ func (r *sourceRunner) run(ctx context.Context) error {
 		}
 		r.localSeq++
 		seq := uint64(r.idx)<<sourceSeqShift | r.localSeq
-		si := r.p.shardOf(&rec)
-		b := r.pending[si]
-		if b == nil {
-			b = r.p.getBatch()
-			r.pending[si] = b
-		}
-		b.recs = append(b.recs, rec)
-		b.seqs = append(b.seqs, seq)
-		if t < r.pendMin[si] {
-			r.pendMin[si] = t
-		}
-		if len(b.recs) >= r.p.batchSize {
+		si := r.rt.route(&rec)
+		if r.rt.add(si, rec, seq, t) {
 			if err := r.send(ctx, si); err != nil {
 				return err
 			}
@@ -522,13 +520,15 @@ func (r *sourceRunner) run(ctx context.Context) error {
 
 // send stamps the pending batch for shard si with the current global
 // min-watermark and delivers it, then — only after the send completes —
-// lets this source's low-watermark advance past the batch's records.
+// lets this source's low-watermark advance past the batch's records. The
+// router resets the shard's pending floor at take, which is safe: this
+// goroutine republishes the watermark only below, after the send, so the
+// in-flight batch stays covered by the previously published promise.
 func (r *sourceRunner) send(ctx context.Context, si int) error {
-	b := r.pending[si]
-	if b == nil || len(b.recs) == 0 {
+	b := r.rt.take(si)
+	if b == nil {
 		return nil
 	}
-	r.pending[si] = nil
 	if mark := r.stamp(); mark == math.MinInt64 {
 		b.mark = noStampMark // some source has not bounded itself yet
 	} else {
@@ -542,7 +542,6 @@ func (r *sourceRunner) send(ctx context.Context, si int) error {
 	}
 	// The batch is now in FIFO channel order: anything this source sends
 	// later arrives after it, so the low-watermark may move past it.
-	r.pendMin[si] = math.MaxInt64
 	r.publishLW()
 	return nil
 }
@@ -554,8 +553,8 @@ func (r *sourceRunner) send(ctx context.Context, si int) error {
 // pinning the global min-stamp at its floor.
 func (r *sourceRunner) flushAll(ctx context.Context) error {
 	var flushed uint64
-	for si := range r.pending {
-		if b := r.pending[si]; b != nil && len(b.recs) > 0 {
+	for si := range r.rt.pending {
+		if b := r.rt.pending[si]; b != nil && len(b.recs) > 0 {
 			flushed++
 		}
 		if err := r.send(ctx, si); err != nil {
@@ -582,7 +581,7 @@ func (r *sourceRunner) publishLW() {
 	if r.decodeHW != math.MinInt64 {
 		lw = r.decodeHW - int64(r.p.opts.MaxSkew)
 	}
-	for _, m := range r.pendMin {
+	for _, m := range r.rt.pendMin {
 		if m < lw {
 			lw = m
 		}
@@ -596,7 +595,7 @@ func (r *sourceRunner) publishLW() {
 func (r *sourceRunner) stamp() int64 {
 	min := int64(math.MaxInt64)
 	for i := range r.lws {
-		if v := r.lws[i].Load(); v < min {
+		if v := r.lws[i].v.Load(); v < min {
 			min = v
 		}
 	}

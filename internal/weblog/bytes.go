@@ -15,6 +15,7 @@
 package weblog
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"time"
@@ -215,13 +216,26 @@ func parseInt64Bytes(v []byte) (int64, error) {
 }
 
 // digitsFast parses an unsigned all-digit slice of at most maxDigits bytes
-// (chosen so overflow is impossible); anything else defers to strconv.
+// (chosen so overflow is impossible: 18 digits < 2^63); anything else
+// defers to strconv. Full 8-byte windows take one SWAR validate+parse step
+// (see swar.go); only the sub-8 tail runs byte at a time. Acceptance is
+// unchanged from the byte-at-a-time original: exactly the all-ASCII-digit
+// slices of 1..maxDigits bytes, leading zeros included.
 func digitsFast(v []byte, maxDigits int) (int64, bool) {
 	if len(v) == 0 || len(v) > maxDigits {
 		return 0, false
 	}
 	var n int64
-	for _, c := range v {
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		chunk := binary.LittleEndian.Uint64(v[i:])
+		if !allDigits8(chunk) {
+			return 0, false
+		}
+		n = n*100_000_000 + int64(parse8Digits(chunk))
+	}
+	for ; i < len(v); i++ {
+		c := v[i]
 		if c < '0' || c > '9' {
 			return 0, false
 		}

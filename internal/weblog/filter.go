@@ -91,13 +91,36 @@ func (p *Preprocessor) keep(r *Record) bool {
 // strings.Contains(strings.ToLower(s), frag) for the ASCII fragments the
 // scanner list holds (frag bytes are compared literally, so an uppercase
 // fragment byte never matches, exactly as before).
+//
+// This is the per-record hot loop of the scanner filter — every fragment
+// scans every surviving user agent — so instead of folding byte-by-byte at
+// every alignment, a SWAR pass jumps straight to bytes whose fold equals
+// the fragment's first byte (the byte itself or its uppercase form; no
+// other byte folds to it) and only then verifies the remainder. The
+// candidate set equals the naive scan's match-start set exactly, so the
+// accepted inputs are unchanged.
 func containsASCIIFold(s, frag string) bool {
 	n := len(frag)
 	if n == 0 {
 		return true
 	}
+	c1 := frag[0]
+	c2 := c1
+	switch {
+	case 'a' <= c1 && c1 <= 'z':
+		c2 = c1 - ('a' - 'A')
+	case 'A' <= c1 && c1 <= 'Z':
+		// lowerASCII never yields an uppercase byte, so the naive scan's
+		// first-byte test can never pass.
+		return false
+	}
 	for i := 0; i+n <= len(s); i++ {
-		j := 0
+		k := indexAny2String(s[i:], c1, c2)
+		if k < 0 || i+k+n > len(s) {
+			return false
+		}
+		i += k
+		j := 1
 		for j < n && lowerASCII(s[i+j]) == frag[j] {
 			j++
 		}

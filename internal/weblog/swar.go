@@ -1,0 +1,129 @@
+// swar.go holds the SWAR (SIMD-within-a-register) byte-scanning and
+// digit-parsing primitives behind the hot-path parsers: 8 input bytes are
+// loaded into one uint64 and examined with a handful of arithmetic ops
+// instead of a byte-at-a-time loop. Everything here is acceptance-neutral
+// by construction — the helpers either report exactly the same positions a
+// linear scan would (IndexAny2, indexByteSWAR) or validate the full input
+// before converting it (digit parsing), so the callers' accepted input
+// sets are unchanged and the differential fuzz suites that pin them
+// (FuzzParseCLFBytes, FuzzDecodeCSV, FuzzDigitsFast) keep holding.
+//
+// Why not bytes.IndexByte everywhere? That routine is vectorized assembly
+// and unbeatable for one needle over a long haystack — and the quoted-field
+// scanners keep using it. The wins here are the cases it cannot express:
+// finding the first of TWO delimiters in one pass (a comma or an illegal
+// quote in a CSV field; a closing quote or an escape in a CLF field), and
+// short fixed fields where the call overhead dominates.
+package weblog
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// swarOnes and swarHighs are the classic SWAR lane constants: the low bit
+// and the high bit of every byte lane, respectively.
+const (
+	swarOnes  = 0x0101010101010101
+	swarHighs = 0x8080808080808080
+)
+
+// swarZeroMask returns a mask whose high lane bits mark zero bytes of x.
+// Lanes ABOVE the least-significant zero byte may false-positive (a borrow
+// out of a zero lane can flag its neighbor), so only the lowest set bit is
+// exact — which is the only bit first-match scans consult. OR-ing two such
+// masks before taking the lowest bit is equally exact: a false positive
+// in either mask can only sit above that mask's own genuine match, hence
+// above the combined first match too.
+func swarZeroMask(x uint64) uint64 {
+	return (x - swarOnes) &^ x & swarHighs
+}
+
+// IndexAny2 returns the index of the first byte in b equal to c1 or c2, or
+// -1 if neither occurs — identical to the smaller non-negative result of
+// two bytes.IndexByte calls, found in a single 8-bytes-per-step pass.
+func IndexAny2(b []byte, c1, c2 byte) int {
+	p1 := swarOnes * uint64(c1)
+	p2 := swarOnes * uint64(c2)
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		chunk := binary.LittleEndian.Uint64(b[i:])
+		if m := swarZeroMask(chunk^p1) | swarZeroMask(chunk^p2); m != 0 {
+			return i + bits.TrailingZeros64(m)>>3
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] == c1 || b[i] == c2 {
+			return i
+		}
+	}
+	return -1
+}
+
+// indexByteSWAR is the single-needle form of IndexAny2, for short fields
+// where bytes.IndexByte's call and setup overhead outweighs its vectorized
+// inner loop (CLF's space-separated tokens are a few bytes each).
+func indexByteSWAR(b []byte, c byte) int {
+	p := swarOnes * uint64(c)
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		if m := swarZeroMask(binary.LittleEndian.Uint64(b[i:]) ^ p); m != 0 {
+			return i + bits.TrailingZeros64(m)>>3
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// indexAny2String is IndexAny2 over a string, for callers holding record
+// fields (the compiler combines the explicit little-endian byte loads into
+// one 8-byte load, so the inner loop matches the slice form).
+func indexAny2String(s string, c1, c2 byte) int {
+	p1 := swarOnes * uint64(c1)
+	p2 := swarOnes * uint64(c2)
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		chunk := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		if m := swarZeroMask(chunk^p1) | swarZeroMask(chunk^p2); m != 0 {
+			return i + bits.TrailingZeros64(m)>>3
+		}
+	}
+	for ; i < len(s); i++ {
+		if s[i] == c1 || s[i] == c2 {
+			return i
+		}
+	}
+	return -1
+}
+
+// allDigits8 reports whether every byte of chunk is an ASCII digit. The
+// first test pins every lane's high nibble to 0x3; given that, adding 6
+// overflows the low nibble into the high one exactly for lanes above '9'
+// (0x3A–0x3F), and no lane can carry into its neighbor.
+func allDigits8(chunk uint64) bool {
+	const (
+		nibbleHigh = 0xF0F0F0F0F0F0F0F0
+		ascii0     = 0x3030303030303030
+		plus6      = 0x0606060606060606
+	)
+	return chunk&nibbleHigh == ascii0 && (chunk+plus6)&nibbleHigh == ascii0
+}
+
+// parse8Digits converts 8 ASCII digits — loaded little-endian, so the
+// leftmost (most significant) digit sits in the lowest byte — to their
+// decimal value in three multiply-mask steps: adjacent lanes are combined
+// pairwise (d*10+d), then pair-wise again (p*100+p), then once more
+// (q*10000+q), halving the lane count each time. Callers must have
+// validated the chunk with allDigits8.
+func parse8Digits(chunk uint64) uint64 {
+	chunk &= 0x0F0F0F0F0F0F0F0F
+	chunk = (chunk * (1 + 10<<8)) >> 8 & 0x00FF00FF00FF00FF
+	chunk = (chunk * (1 + 100<<16)) >> 16 & 0x0000FFFF0000FFFF
+	chunk = (chunk * (1 + 10000<<32)) >> 32
+	return chunk & 0xFFFFFFFF
+}

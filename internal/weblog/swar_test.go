@@ -1,0 +1,249 @@
+package weblog
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// refIndexAny2 is the obvious linear scan IndexAny2 must match exactly.
+func refIndexAny2(b []byte, c1, c2 byte) int {
+	for i := range b {
+		if b[i] == c1 || b[i] == c2 {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestIndexAny2Exhaustive places every needle byte at every position of
+// every length up to several SWAR chunks, so chunk boundaries, tail bytes,
+// and both-needle ties are all covered.
+func TestIndexAny2Exhaustive(t *testing.T) {
+	needles := [][2]byte{{',', '"'}, {'"', '\\'}, {' ', ' '}, {0x00, 0xFF}}
+	for _, nn := range needles {
+		c1, c2 := nn[0], nn[1]
+		for length := 0; length <= 40; length++ {
+			base := bytes.Repeat([]byte{'x'}, length)
+			if got := IndexAny2(base, c1, c2); got != refIndexAny2(base, c1, c2) {
+				t.Fatalf("IndexAny2(%q, %q, %q) = %d, want %d", base, c1, c2, got, refIndexAny2(base, c1, c2))
+			}
+			for pos := 0; pos < length; pos++ {
+				for _, c := range []byte{c1, c2} {
+					b := bytes.Repeat([]byte{'x'}, length)
+					b[pos] = c
+					if got, want := IndexAny2(b, c1, c2), refIndexAny2(b, c1, c2); got != want {
+						t.Fatalf("IndexAny2(%q, %q, %q) = %d, want %d", b, c1, c2, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexAny2Random stresses the scanner with random bytes — including
+// 0x80+ values, where a naive SWAR borrow would false-positive — against
+// the linear reference.
+func TestIndexAny2Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20000; trial++ {
+		b := make([]byte, rng.Intn(64))
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		c1, c2 := byte(rng.Intn(256)), byte(rng.Intn(256))
+		if got, want := IndexAny2(b, c1, c2), refIndexAny2(b, c1, c2); got != want {
+			t.Fatalf("IndexAny2(%x, %#x, %#x) = %d, want %d", b, c1, c2, got, want)
+		}
+	}
+}
+
+// TestIndexByteSWAR pins the single-needle scanner to bytes.IndexByte on
+// exhaustive positions and random inputs.
+func TestIndexByteSWAR(t *testing.T) {
+	for length := 0; length <= 40; length++ {
+		for pos := 0; pos < length; pos++ {
+			b := bytes.Repeat([]byte{'a'}, length)
+			b[pos] = ' '
+			if got, want := indexByteSWAR(b, ' '), bytes.IndexByte(b, ' '); got != want {
+				t.Fatalf("indexByteSWAR(%q) = %d, want %d", b, got, want)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20000; trial++ {
+		b := make([]byte, rng.Intn(64))
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		c := byte(rng.Intn(256))
+		if got, want := indexByteSWAR(b, c), bytes.IndexByte(b, c); got != want {
+			t.Fatalf("indexByteSWAR(%x, %#x) = %d, want %d", b, c, got, want)
+		}
+	}
+}
+
+// refDigitsFast is the byte-at-a-time loop digitsFast replaced; the SWAR
+// version must accept the same set and produce the same values.
+func refDigitsFast(v []byte, maxDigits int) (int64, bool) {
+	if len(v) == 0 || len(v) > maxDigits {
+		return 0, false
+	}
+	var n int64
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// TestDigitsFastMatchesReference sweeps all-digit strings of every length
+// 1..20 (leading zeros included), plus every single-byte corruption of
+// each, through both maxDigits profiles the parsers use (9 and 18).
+func TestDigitsFastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, maxDigits := range []int{9, 18} {
+		for length := 0; length <= 20; length++ {
+			for trial := 0; trial < 200; trial++ {
+				v := make([]byte, length)
+				for i := range v {
+					v[i] = '0' + byte(rng.Intn(10))
+				}
+				checkDigitsFast(t, v, maxDigits)
+				if length > 0 {
+					// Corrupt one byte with a near-digit value ('/' and ':'
+					// border the digit range; '0'|0x80 defeats naive masks).
+					w := append([]byte(nil), v...)
+					w[rng.Intn(length)] = []byte{'/', ':', 0x00, 0xFF, '0' | 0x80, ' ', '-', '+'}[rng.Intn(8)]
+					checkDigitsFast(t, w, maxDigits)
+				}
+			}
+		}
+	}
+}
+
+func checkDigitsFast(t *testing.T, v []byte, maxDigits int) {
+	t.Helper()
+	got, okGot := digitsFast(v, maxDigits)
+	want, okWant := refDigitsFast(v, maxDigits)
+	if got != want || okGot != okWant {
+		t.Fatalf("digitsFast(%q, %d) = (%d, %v), want (%d, %v)", v, maxDigits, got, okGot, want, okWant)
+	}
+}
+
+// refContainsASCIIFold is the naive fold-and-compare scan the SWAR
+// first-byte skip replaced; every (haystack, fragment) pair must agree.
+func refContainsASCIIFold(s, frag string) bool {
+	n := len(frag)
+	if n == 0 {
+		return true
+	}
+	for i := 0; i+n <= len(s); i++ {
+		j := 0
+		for j < n && lowerASCII(s[i+j]) == frag[j] {
+			j++
+		}
+		if j == n {
+			return true
+		}
+	}
+	return false
+}
+
+// TestContainsASCIIFold pins the skip-scan to the reference on the real
+// scanner list over crafted user agents (match at start/middle/end, case
+// variants, near-misses, uppercase and non-letter fragment bytes) and on
+// random byte strings including 0x80+ values.
+func TestContainsASCIIFold(t *testing.T) {
+	frags := append([]string{"", "n", "N", "7z", "bot/", "x\x80y"},
+		DefaultScannerFragments...)
+	haystacks := []string{
+		"", "n", "N", "nuclei", "NUCLEI", "Nuclei/3.1", "xnucle", "nucle",
+		"Mozilla/5.0 (compatible; Nmap Scripting Engine)",
+		"Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 masscan/1.3",
+		"curl/8.0 sqlmap", "SQLMAP", "nnnnnnnnnnnnnnnucleus", "nucleinuclei",
+		"a string that mentions nessus right in the middle of itself",
+		"trailing-nikto", "NIKTO-leading", "burpcollaborato", "x\x80y",
+	}
+	for _, frag := range frags {
+		for _, s := range haystacks {
+			if got, want := containsASCIIFold(s, frag), refContainsASCIIFold(s, frag); got != want {
+				t.Fatalf("containsASCIIFold(%q, %q) = %v, want %v", s, frag, got, want)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(13))
+	alphabet := []byte("nNuUcC\x80\xffaz ")
+	for trial := 0; trial < 50000; trial++ {
+		b := make([]byte, rng.Intn(48))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		f := make([]byte, rng.Intn(5))
+		for i := range f {
+			f[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s, frag := string(b), string(f)
+		if got, want := containsASCIIFold(s, frag), refContainsASCIIFold(s, frag); got != want {
+			t.Fatalf("containsASCIIFold(%q, %q) = %v, want %v", s, frag, got, want)
+		}
+	}
+}
+
+// TestParse8Digits checks the multiply-mask chain against strconv on
+// boundary values and a dense random sample.
+func TestParse8Digits(t *testing.T) {
+	check := func(n uint64) {
+		s := []byte(strconv.FormatUint(n, 10))
+		for len(s) < 8 {
+			s = append([]byte{'0'}, s...)
+		}
+		var chunk uint64
+		for i := 7; i >= 0; i-- {
+			chunk = chunk<<8 | uint64(s[i])
+		}
+		if !allDigits8(chunk) {
+			t.Fatalf("allDigits8(%q) = false", s)
+		}
+		if got := parse8Digits(chunk); got != n {
+			t.Fatalf("parse8Digits(%q) = %d, want %d", s, got, n)
+		}
+	}
+	for _, n := range []uint64{0, 1, 9, 10, 12345678, 10000000, 99999999, 90000009, 11111111} {
+		check(n)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50000; trial++ {
+		check(uint64(rng.Intn(100000000)))
+	}
+}
+
+// FuzzDigitsFast differentially fuzzes the SWAR integer fast paths against
+// strconv through their public callers: atoiBytes vs strconv.Atoi and
+// parseInt64Bytes vs strconv.ParseInt must agree on acceptance and value
+// for arbitrary bytes.
+func FuzzDigitsFast(f *testing.F) {
+	f.Add([]byte("0"))
+	f.Add([]byte("200"))
+	f.Add([]byte("123456789"))
+	f.Add([]byte("999999999999999999"))
+	f.Add([]byte("92233720368547758079")) // > int64, falls back and overflows
+	f.Add([]byte("-42"))
+	f.Add([]byte("12a45678"))
+	f.Add([]byte("0000000000000000001"))
+	f.Fuzz(func(t *testing.T, v []byte) {
+		gotA, errA := atoiBytes(v)
+		wantA, werrA := strconv.Atoi(string(v))
+		if (errA == nil) != (werrA == nil) || (errA == nil && gotA != wantA) {
+			t.Fatalf("atoiBytes(%q) = (%d, %v), strconv.Atoi = (%d, %v)", v, gotA, errA, wantA, werrA)
+		}
+		got64, err64 := parseInt64Bytes(v)
+		want64, werr64 := strconv.ParseInt(string(v), 10, 64)
+		if (err64 == nil) != (werr64 == nil) || (err64 == nil && got64 != want64) {
+			t.Fatalf("parseInt64Bytes(%q) = (%d, %v), strconv.ParseInt = (%d, %v)", v, got64, err64, want64, werr64)
+		}
+	})
+}

@@ -19,6 +19,16 @@
 // baseline, so `-cpu 1,4` keeps the 1-CPU trajectory comparable while
 // the 4-CPU results ride along in the same point.
 //
+// Scaling honesty: every point records the hardware's num_cpu AND the
+// runner's gomaxprocs, and any entry whose requested -cpu exceeds the
+// hardware cores is marked "timeshared": true (with a stderr warning) —
+// those entries measure goroutine scheduling overhead on one core, not
+// scaling, and must never be read as a multi-core datapoint. With
+// -minspeedup the run additionally gates on real scaling: the stream
+// benchmark's highest -cpu entry must beat its lowest by the given factor
+// in ns/op, and a timeshared high entry fails the gate outright instead of
+// vacuously passing.
+//
 // Usage:
 //
 //	go run ./scripts/bench                      # default pattern, 1x
@@ -56,6 +66,11 @@ type Result struct {
 	// Metrics maps unit to value for every reported pair (ns/op, MB/s,
 	// B/op, allocs/op, and custom metrics like retained-bytes).
 	Metrics map[string]float64 `json:"metrics"`
+	// Timeshared marks an entry whose requested GOMAXPROCS exceeds the
+	// machine's cores: its goroutines timeshared one core, so it measures
+	// scheduling overhead, not scaling — a 1-CPU container must never
+	// masquerade as a multi-core datapoint (BENCH_2's -cpu 4 entries did).
+	Timeshared bool `json:"timeshared,omitempty"`
 }
 
 // Point is one BENCH_<n>.json file: the benchmark results plus enough
@@ -63,11 +78,15 @@ type Result struct {
 type Point struct {
 	// Time is the run's completion time (RFC 3339).
 	Time string `json:"time"`
-	// GoVersion, GOOS, GOARCH, and NumCPU describe the environment.
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
+	// GoVersion, GOOS, GOARCH, NumCPU, and GOMAXPROCS describe the
+	// environment. NumCPU is the hardware (what scaling claims must be
+	// judged against); GOMAXPROCS is the runner's configured parallelism
+	// (CI pins 4), which individual -cpu entries override per run.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Pattern and Benchtime record the invocation; Cpu is the
 	// `go test -cpu` list when one was passed.
 	Pattern   string `json:"pattern"`
@@ -96,7 +115,7 @@ const (
 
 func main() {
 	var (
-		pattern    = flag.String("pattern", "StreamVsBatch|SnapshotReads", "benchmark name pattern passed to -bench")
+		pattern    = flag.String("pattern", "StreamVsBatch|SnapshotReads|FanInScaling", "benchmark name pattern passed to -bench")
 		benchtime  = flag.String("benchtime", "1x", "go test -benchtime value")
 		cpu        = flag.String("cpu", "", "go test -cpu list, e.g. 1,4 (empty = GOMAXPROCS only); deltas and the gate compare the first entry")
 		pkg        = flag.String("pkg", ".", "package to benchmark")
@@ -104,15 +123,16 @@ func main() {
 		count      = flag.Int("count", 1, "go test -count value")
 		baseline   = flag.String("baseline", ".", "directory holding the committed BENCH_<n>.json trajectory to delta against (empty disables)")
 		maxRegress = flag.Float64("maxregress", -1, "fail when "+gateBenchmark+" "+gateMetric+" regresses more than this fraction vs the baseline (negative disables)")
+		minSpeedup = flag.Float64("minspeedup", -1, "fail unless "+gateBenchmark+"'s highest -cpu entry beats its lowest by this factor in ns/op, on real cores (negative disables)")
 	)
 	flag.Parse()
-	if err := run(*pattern, *benchtime, *cpu, *pkg, *outDir, *count, *baseline, *maxRegress); err != nil {
+	if err := run(*pattern, *benchtime, *cpu, *pkg, *outDir, *count, *baseline, *maxRegress, *minSpeedup); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pattern, benchtime, cpu, pkg, outDir string, count int, baselineDir string, maxRegress float64) error {
+func run(pattern, benchtime, cpu, pkg, outDir string, count int, baselineDir string, maxRegress, minSpeedup float64) error {
 	args := []string{"test", "-run", "^$",
 		"-bench", pattern, "-benchtime", benchtime, "-benchmem",
 		"-count", strconv.Itoa(count)}
@@ -136,15 +156,19 @@ func run(pattern, benchtime, cpu, pkg, outDir string, count int, baselineDir str
 	}
 
 	point := Point{
-		Time:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Pattern:   pattern,
-		Benchtime: benchtime,
-		Cpu:       cpu,
-		Results:   results,
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Pattern:    pattern,
+		Benchtime:  benchtime,
+		Cpu:        cpu,
+		Results:    results,
+	}
+	if n := annotateTimeshared(point.Results, point.NumCPU); n > 0 {
+		fmt.Fprintf(os.Stderr, "bench: WARNING: %d entries requested more procs than the machine's %d cores and are marked timeshared — they measure scheduling overhead, not scaling\n", n, point.NumCPU)
 	}
 
 	var base *Point
@@ -179,6 +203,84 @@ func run(pattern, benchtime, cpu, pkg, outDir string, count int, baselineDir str
 			return err
 		}
 	}
+	if minSpeedup >= 0 {
+		if err := gateScaling(&point, minSpeedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// requestedProcs extracts the GOMAXPROCS a result ran at from the "-N"
+// suffix go test appends (only when N > 1); a name without one ran at 1.
+// Sub-benchmark names in this repo never end in a bare "-<digits>" token
+// of their own (parameter axes use "=" separators), so the suffix is
+// unambiguous.
+func requestedProcs(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// annotateTimeshared flags every result whose requested parallelism
+// exceeds the machine's cores, returning how many were flagged.
+func annotateTimeshared(results []Result, numCPU int) int {
+	flagged := 0
+	for i := range results {
+		if requestedProcs(results[i].Name) > numCPU {
+			results[i].Timeshared = true
+			flagged++
+		}
+	}
+	return flagged
+}
+
+// gateScaling fails the run unless the stream benchmark's highest -cpu
+// entry is faster than its lowest by at least minSpeedup× in ns/op — the
+// guard against quietly reintroducing a dispatch serialization point. A
+// timeshared high entry fails outright: a machine without the cores
+// cannot witness scaling either way, and passing it through would let a
+// 1-CPU container greenlight (or block) a multi-core claim.
+func gateScaling(cur *Point, minSpeedup float64) error {
+	var loProcs, hiProcs int
+	var loNs, hiNs float64
+	var hiShared bool
+	for _, r := range cur.Results {
+		if trimProcSuffix(r.Name) != gateBenchmark {
+			continue
+		}
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		procs := requestedProcs(r.Name)
+		if loProcs == 0 || procs < loProcs {
+			loProcs, loNs = procs, ns
+		}
+		if procs > hiProcs {
+			hiProcs, hiNs, hiShared = procs, ns, r.Timeshared
+		}
+	}
+	if loProcs == 0 || hiProcs <= loProcs {
+		return fmt.Errorf("scaling gate: need %s at two -cpu settings (run with -cpu 1,N)", gateBenchmark)
+	}
+	if hiShared {
+		return fmt.Errorf("scaling gate: %s-%d is timeshared (machine has %d cores) — scaling cannot be measured here", gateBenchmark, hiProcs, cur.NumCPU)
+	}
+	if hiNs <= 0 {
+		return fmt.Errorf("scaling gate: %s-%d reported no ns/op", gateBenchmark, hiProcs)
+	}
+	speedup := loNs / hiNs
+	if speedup < minSpeedup {
+		return fmt.Errorf("scaling gate: %s-%d is %.2fx faster than -%d, floor is %.2fx", gateBenchmark, hiProcs, speedup, loProcs, minSpeedup)
+	}
+	fmt.Printf("scaling gate ok: %s-%d is %.2fx faster than -%d (floor %.2fx)\n", gateBenchmark, hiProcs, speedup, loProcs, minSpeedup)
 	return nil
 }
 
