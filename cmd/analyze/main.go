@@ -64,6 +64,7 @@ func main() {
 		mergeGlob  = flag.String("merge", "", "glob of checkpoint files (scraperlabd -checkpoint output) to fold into one estate-wide result set (excludes -stream/-inputs; analyzer set comes from the checkpoints)")
 		inputs     = flag.String("inputs", "", "glob of access logs ingested together through the multi-source fan-in (e.g. 'logs/*.log'; excludes -stream and -follow)")
 		decoders   = flag.Int("decoders", 0, "decoder goroutines: >1 splits the input into record-aligned chunks decoded in parallel (never changes results; one-shot mode only)")
+		mmapMode   = flag.String("mmap", "auto", "zero-copy ingestion of at-rest inputs: auto (map regular files, buffered fallback), on (require the mapping), off (always buffered reads; never changes results)")
 		format     = flag.String("format", "csv", "stream wire format: csv, jsonl, or clf")
 		site       = flag.String("site", "", "sitename stamped on CLF records (clf format only; with -inputs, empty means each file's base name)")
 		shards     = flag.Int("shards", 0, "stream worker shards (0 = GOMAXPROCS)")
@@ -89,7 +90,7 @@ func main() {
 	} else if *streamPath != "" || *inputs != "" {
 		err = runStream(os.Stdout, streamConfig{
 			path: *streamPath, inputs: *inputs, decoders: *decoders,
-			format: *format, site: *site,
+			mmap: *mmapMode, format: *format, site: *site,
 			shards: *shards, skew: *skew, batch: *batch, flush: *flush,
 			analyzers:  *analyzers,
 			experiment: *expPath, asJSON: *asJSON, stats: *stats,
@@ -197,6 +198,7 @@ func runMerge(w io.Writer, glob, expPath string, asJSON bool) error {
 type streamConfig struct {
 	path, format, site string
 	inputs             string
+	mmap               string
 	decoders           int
 	shards             int
 	skew               time.Duration
@@ -221,6 +223,10 @@ func runStream(w io.Writer, cfg streamConfig) error {
 		cfg.format = "csv" // match core.StreamAnalyzeAll's default
 	}
 	ctx := context.Background()
+	mmap, err := core.ParseMmapMode(cfg.mmap)
+	if err != nil {
+		return err
+	}
 	opts := core.StreamOptions{
 		Format:            cfg.format,
 		Shards:            cfg.shards,
@@ -228,6 +234,7 @@ func runStream(w io.Writer, cfg streamConfig) error {
 		BatchSize:         cfg.batch,
 		FlushInterval:     cfg.flush,
 		DecodeParallelism: cfg.decoders,
+		Mmap:              mmap,
 		CLF:               weblog.CLFOptions{Site: cfg.site},
 		Analyzers:         parseAnalyzers(cfg.analyzers),
 	}

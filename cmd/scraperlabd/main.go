@@ -64,6 +64,7 @@ func main() {
 		batch      = flag.Int("batch", 0, "records per pooled shard batch (0 = default)")
 		flush      = flag.Duration("flush", 0, "max time a partial batch may wait (0 = default; bounds snapshot staleness)")
 		decoders   = flag.Int("decoders", 0, "decoder goroutines (>1 chunks one-shot inputs for parallel decode)")
+		mmapMode   = flag.String("mmap", "auto", "zero-copy ingestion of at-rest inputs: auto (map regular files, buffered fallback), on (require the mapping), off (always buffered reads)")
 		publish    = flag.Duration("publish", 0, "min interval between published snapshots (0 = default 500ms)")
 		sseBuffer  = flag.Int("sse-buffer", 0, "per-SSE-client frame buffer before a slow client is dropped (0 = default 16)")
 		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -79,7 +80,8 @@ func main() {
 		follow: *follow, poll: *poll, format: *format, site: *site,
 		analyzers: *analyzers, experiment: *expPath,
 		shards: *shards, skew: *skew, batch: *batch, flush: *flush,
-		decoders: *decoders, publish: *publish, sseBuffer: *sseBuffer,
+		decoders: *decoders, mmap: *mmapMode,
+		publish: *publish, sseBuffer: *sseBuffer,
 		pprof:   *pprofFlag,
 		ckptDir: *ckptDir, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
 	}); err != nil {
@@ -99,6 +101,7 @@ type runConfig struct {
 	batch                  int
 	flush                  time.Duration
 	decoders               int
+	mmap                   string
 	publish                time.Duration
 	sseBuffer              int
 	pprof                  bool
@@ -153,6 +156,10 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
+	mmap, err := core.ParseMmapMode(cfg.mmap)
+	if err != nil {
+		return err
+	}
 	opts := core.ObservatoryOptions{
 		Stream: core.StreamOptions{
 			Format:             cfg.format,
@@ -161,6 +168,7 @@ func run(cfg runConfig) error {
 			BatchSize:          cfg.batch,
 			FlushInterval:      cfg.flush,
 			DecodeParallelism:  cfg.decoders,
+			Mmap:               mmap,
 			CLF:                weblog.CLFOptions{Site: cfg.site},
 			Analyzers:          parseAnalyzers(cfg.analyzers),
 			CheckpointDir:      cfg.ckptDir,

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/mmapio"
 	"repro/internal/stream"
 	"repro/internal/weblog"
 )
@@ -195,6 +196,27 @@ func resumeFileSources(paths []string, opts StreamOptions, ck *stream.PipelineCh
 			closeAll()
 			return nil, err
 		}
+		if opts.Mmap != MmapOff {
+			m, merr := mmapio.Map(f)
+			if merr != nil {
+				if opts.Mmap == MmapOn {
+					f.Close()
+					closeAll()
+					return nil, fmt.Errorf("core: mmap %s: %w", path, merr)
+				}
+				// MmapAuto: fall through to the descriptor path below.
+			} else {
+				f.Close()
+				dec, base, err := resumeDecoderBytes(m.Bytes(), format, clf, src)
+				if err != nil {
+					m.Close()
+					closeAll()
+					return nil, err
+				}
+				sources = append(sources, stream.Source{Name: path, Dec: dec, Close: m.Close, BaseOffset: base})
+				continue
+			}
+		}
 		dec, base, err := resumeDecoder(f, format, clf, src)
 		if err != nil {
 			f.Close()
@@ -238,6 +260,38 @@ func resumeDecoder(f *os.File, format string, clf weblog.CLFOptions, src stream.
 		return nil, 0, err
 	}
 	dec, err := stream.NewDecoder(format, f, clf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dec, src.Offset, nil
+}
+
+// resumeDecoderBytes is resumeDecoder over a mapped input: the header
+// reread becomes a prefix slice and the seek a suffix slice. The resume
+// offset is clamped into the view — a checkpoint recorded at a
+// completed file's end must come back as a clean EOF, exactly as the
+// reader path's past-EOF seek does — while BaseOffset keeps reporting
+// the recorded offset so absolute positions match the reader path
+// byte for byte.
+func resumeDecoderBytes(data []byte, format string, clf weblog.CLFOptions, src stream.SourceCheckpoint) (stream.Decoder, int64, error) {
+	if src.Offset < 0 {
+		return nil, 0, fmt.Errorf("core: checkpoint for %s records no resume offset", src.Name)
+	}
+	off := src.Offset
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	if format == "csv" && src.HeaderLen > 0 {
+		if src.HeaderLen > int64(len(data)) {
+			return nil, 0, fmt.Errorf("core: rereading %s header: %w", src.Name, io.ErrUnexpectedEOF)
+		}
+		dec, err := stream.ResumeCSVDecoderBytes(data[:src.HeaderLen], data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: reparsing %s header: %w", src.Name, err)
+		}
+		return dec, src.Offset - src.HeaderLen, nil
+	}
+	dec, err := stream.NewDecoderBytes(format, data[off:], clf)
 	if err != nil {
 		return nil, 0, err
 	}

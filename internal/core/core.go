@@ -31,6 +31,7 @@ import (
 	"repro/internal/compliance"
 	"repro/internal/crawler"
 	"repro/internal/experiment"
+	"repro/internal/mmapio"
 	"repro/internal/report"
 	"repro/internal/robots"
 	"repro/internal/sitegen"
@@ -135,6 +136,35 @@ func AuditDataset(baseline, experiment *weblog.Dataset) map[compliance.Directive
 	return compliance.CompareAll(baseline, phases, cfg)
 }
 
+// MmapMode selects how the stream facades read at-rest file inputs;
+// see StreamOptions.Mmap.
+type MmapMode int
+
+const (
+	// MmapAuto memory-maps regular-file inputs and quietly falls back
+	// to buffered reads where a mapping is unavailable — the default.
+	MmapAuto MmapMode = iota
+	// MmapOn requires the mapping: an input that cannot be mapped fails
+	// the run instead of falling back.
+	MmapOn
+	// MmapOff always uses buffered reads.
+	MmapOff
+)
+
+// ParseMmapMode parses the CLI spelling of a mapping mode: "auto" (or
+// empty), "on", or "off".
+func ParseMmapMode(s string) (MmapMode, error) {
+	switch s {
+	case "", "auto":
+		return MmapAuto, nil
+	case "on":
+		return MmapOn, nil
+	case "off":
+		return MmapOff, nil
+	}
+	return 0, fmt.Errorf("core: unknown mmap mode %q (want auto, on, or off)", s)
+}
+
 // StreamOptions configures StreamAnalyze / StreamAnalyzeAll.
 type StreamOptions struct {
 	// Format is the wire format: "csv", "jsonl", or "clf" (default "csv").
@@ -174,6 +204,17 @@ type StreamOptions struct {
 	// in time (per-site logs of one estate) keeps the min-watermark
 	// moving and stays in the usual O(skew window) regime.
 	DecodeParallelism int
+	// Mmap selects zero-copy ingestion for at-rest file inputs: under
+	// MmapAuto (the default) every regular input file is memory-mapped
+	// and decoded straight out of the page cache — lines and unquoted
+	// CSV fields sub-slice the mapping, with no read syscalls and no
+	// per-line copies — quietly falling back to buffered reads when the
+	// mapping fails. MmapOn turns that fallback into an error; MmapOff
+	// disables mapping. Results are byte-identical on every path.
+	// Followed logs (stream.TailReader) never map: a growing file would
+	// need remapping and a truncating writer would turn page-cache reads
+	// into faults. See DESIGN.md, "Zero-copy ingestion".
+	Mmap MmapMode
 	// CLF supplies per-record options for the "clf" format (sitename, ASN
 	// lookup, anonymization).
 	CLF weblog.CLFOptions
@@ -286,6 +327,43 @@ func StreamAnalyzeAll(ctx context.Context, r io.Reader, opts StreamOptions) (*st
 	// in memory and return nothing until the very end. Follow mode is
 	// inherently serial; quietly decode it that way.
 	_, following := r.(*stream.TailReader)
+	if f, ok := r.(*os.File); ok && !following && opts.Mmap != MmapOff {
+		m, pos, merr := mapAt(f)
+		if merr != nil {
+			if opts.Mmap == MmapOn {
+				return nil, fmt.Errorf("core: mmap %s: %w", f.Name(), merr)
+			}
+			// MmapAuto: fall through to the reader paths below.
+		} else {
+			data := m.Bytes()[pos:]
+			p, err := StreamPipeline(opts)
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+			if opts.DecodeParallelism > 1 {
+				sources, err := stream.ChunkBytes(data, streamFormat(opts), opts.DecodeParallelism, opts.CLF)
+				if err != nil {
+					p.Close()
+					m.Close()
+					return nil, err
+				}
+				// One unmap for the whole chunk set, run after every
+				// decoder goroutine has drained its chunk.
+				sources[0].Close = m.Close
+				return p.RunSources(ctx, sources)
+			}
+			dec, err := stream.NewDecoderBytes(streamFormat(opts), data, opts.CLF)
+			if err != nil {
+				p.Close()
+				m.Close()
+				return nil, err
+			}
+			res, err := p.Run(ctx, dec)
+			m.Close()
+			return res, err
+		}
+	}
 	if opts.DecodeParallelism > 1 && !following {
 		ra, size, err := readerAtSize(r)
 		if err != nil {
@@ -402,6 +480,42 @@ func fileSources(paths []string, opts StreamOptions) ([]stream.Source, error) {
 			closeAll()
 			return nil, err
 		}
+		if opts.Mmap != MmapOff {
+			m, merr := mmapio.Map(f)
+			if merr != nil {
+				if opts.Mmap == MmapOn {
+					f.Close()
+					closeAll()
+					return nil, fmt.Errorf("core: mmap %s: %w", path, merr)
+				}
+				// MmapAuto: fall through to the descriptor path below.
+			} else {
+				// The mapping holds the pages; the descriptor is done.
+				f.Close()
+				if perFile == 1 {
+					dec, err := stream.NewDecoderBytes(streamFormat(opts), m.Bytes(), clf)
+					if err != nil {
+						m.Close()
+						closeAll()
+						return nil, err
+					}
+					sources = append(sources, stream.Source{Name: path, Dec: dec, Close: m.Close})
+					continue
+				}
+				chunks, err := stream.ChunkBytes(m.Bytes(), streamFormat(opts), perFile, clf)
+				if err != nil {
+					m.Close()
+					closeAll()
+					return nil, err
+				}
+				for i := range chunks {
+					chunks[i].Name = path + " " + chunks[i].Name
+				}
+				chunks[0].Close = m.Close // one unmap per file, on its first chunk
+				sources = append(sources, chunks...)
+				continue
+			}
+		}
 		if perFile == 1 {
 			dec, err := stream.NewDecoder(streamFormat(opts), f, clf)
 			if err != nil {
@@ -460,6 +574,26 @@ func clfSiteLabels(paths []string, opts StreamOptions) map[string]string {
 		}
 	}
 	return labels
+}
+
+// mapAt maps f whole and returns the view together with f's current
+// read position clamped into it — the mapped decode must cover the same
+// remainder a serial read of the partially consumed descriptor would.
+// The descriptor stays open (the caller owns it); only the returned
+// mapping needs a Close.
+func mapAt(f *os.File) (*mmapio.Mapping, int64, error) {
+	pos, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := mmapio.Map(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if pos > int64(len(m.Bytes())) {
+		pos = int64(len(m.Bytes()))
+	}
+	return m, pos, nil
 }
 
 // readerAtSize adapts a stream to the random-access form parallel decode

@@ -1,0 +1,178 @@
+// mmap_test.go pins the zero-copy ingestion wiring at the facade level:
+// every mapping mode produces byte-identical results, MmapOn actually
+// errors where no mapping exists, partially consumed files decode the
+// same remainder mapped or buffered, and the crash-injection durability
+// suite holds when the interrupted runs resume over mapped inputs while
+// the reference never maps at all (cross-path restore parity).
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/streamtest"
+	"repro/internal/weblog"
+)
+
+// TestStreamMmapModesParity runs the same per-site file set through
+// every mapping mode, serial and chunked: one snapshot to rule them all.
+func TestStreamMmapModesParity(t *testing.T) {
+	d := streamFixture(900)
+	dir := t.TempDir()
+	paths := writeSourceFiles(t, dir, d, 3)
+
+	want, err := StreamAnalyzeAllFiles(context.Background(), paths, StreamOptions{Mmap: MmapOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Records == 0 {
+		t.Fatal("fixture folded no records")
+	}
+	for _, mode := range []MmapMode{MmapAuto, MmapOn} {
+		for _, parallelism := range []int{0, 7} {
+			got, err := StreamAnalyzeAllFiles(context.Background(), paths, StreamOptions{
+				Mmap:              mode,
+				DecodeParallelism: parallelism,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStreamResultsEqual(t, want, got,
+				fmt.Sprintf("mmap mode=%d parallelism=%d", mode, parallelism))
+		}
+	}
+}
+
+// TestStreamAnalyzeAllMmapFile pins the single-file entry point: a
+// partially consumed *os.File must decode the same remainder mapped as
+// buffered — mapAt's whole-file view plus the recorded position is the
+// serial read's exact equivalent.
+func TestStreamAnalyzeAllMmapFile(t *testing.T) {
+	d := streamFixture(600)
+	var buf bytes.Buffer
+	if err := weblog.WriteJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Skip the first line before handing the file over, as a caller that
+	// peeked at the input would.
+	skip := int64(bytes.IndexByte(buf.Bytes(), '\n') + 1)
+
+	run := func(mode MmapMode, parallelism int) *stream.Results {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Seek(skip, 0); err != nil {
+			t.Fatal(err)
+		}
+		res, err := StreamAnalyzeAll(context.Background(), f, StreamOptions{
+			Format:            "jsonl",
+			Mmap:              mode,
+			DecodeParallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	want := run(MmapOff, 0)
+	if want.Records == 0 {
+		t.Fatal("fixture folded no records")
+	}
+	assertStreamResultsEqual(t, want, run(MmapOn, 0), "mapped serial vs buffered")
+	assertStreamResultsEqual(t, want, run(MmapOn, 4), "mapped chunked vs buffered")
+}
+
+// TestStreamMmapOnRequiresMapping pins the strict mode's contract both
+// ways: a pipe cannot map (error under MmapOn, quiet buffered fallback
+// under MmapAuto).
+func TestStreamMmapOnRequiresMapping(t *testing.T) {
+	payload := func() []byte {
+		var buf bytes.Buffer
+		if err := weblog.WriteCSV(&buf, streamFixture(50)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	feed := func() *os.File {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			w.Write(payload)
+			w.Close()
+		}()
+		t.Cleanup(func() { r.Close() })
+		return r
+	}
+
+	if _, err := StreamAnalyzeAll(context.Background(), feed(), StreamOptions{Mmap: MmapOn}); err == nil {
+		t.Fatal("MmapOn accepted a pipe")
+	}
+	res, err := StreamAnalyzeAll(context.Background(), feed(), StreamOptions{Mmap: MmapAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := StreamAnalyzeAll(context.Background(), bytes.NewReader(payload), StreamOptions{Mmap: MmapOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStreamResultsEqual(t, want, res, "pipe fallback vs buffered")
+}
+
+// TestCrashInjectionRestoreParityMmap is the durability half of the
+// zero-copy contract: runs killed at arbitrary moments and resumed over
+// MAPPED inputs (byte-native resume, CSV header replay included) must
+// finish byte-identical to an uninterrupted run that never mapped —
+// cross-path restore parity, not just same-path determinism.
+func TestCrashInjectionRestoreParityMmap(t *testing.T) {
+	n := crashN(t)
+	totalKilled := 0
+	for _, nSrc := range []int{1, 3} {
+		name := fmt.Sprintf("sources=%d", nSrc)
+		t.Run(name, func(t *testing.T) {
+			d := streamtest.MakeBursty(n, int64(700+nSrc), 45*time.Second)
+			dir := t.TempDir()
+			paths := writeSourceFiles(t, dir, d, nSrc)
+
+			ref, err := StreamAnalyzeAllFiles(context.Background(), paths, StreamOptions{
+				Shards: 4,
+				Mmap:   MmapOff,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Records == 0 {
+				t.Fatal("fixture folded no records")
+			}
+
+			res, killed, _ := runWithCrashes(t, paths, StreamOptions{
+				Shards:             4,
+				Mmap:               MmapOn,
+				CheckpointDir:      filepath.Join(dir, "ckpt"),
+				CheckpointInterval: time.Millisecond,
+			})
+			totalKilled += killed
+			if got, want := streamResultsJSON(t, res), streamResultsJSON(t, ref); got != want {
+				t.Fatalf("mapped crash-restored results diverged from the unmapped uninterrupted run\nwant: %.300s…\ngot:  %.300s…", want, got)
+			}
+		})
+	}
+	if totalKilled == 0 {
+		t.Fatal("no attempt was ever killed; the parity check is vacuous")
+	}
+}

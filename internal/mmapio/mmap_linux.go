@@ -1,0 +1,32 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. MAP_SHARED carries no write
+// risk at PROT_READ and lets the kernel share page-cache pages between
+// concurrent mappings of the same log; MADV_SEQUENTIAL tells readahead
+// the decoders sweep the file front to back, which is the whole access
+// pattern of an at-rest decode. The advice is best-effort — a kernel
+// that rejects it costs nothing but the hint.
+func mapFile(f *os.File, size int64) (*Mapping, error) {
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("mmapio: %s is too large to map on this platform", f.Name())
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %s: %w", f.Name(), err)
+	}
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+// unmap releases an OS mapping.
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

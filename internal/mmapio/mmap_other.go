@@ -1,0 +1,20 @@
+//go:build !linux
+
+package mmapio
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap routes every Map call on non-linux builds to the
+// read-whole-file fallback. Darwin and the BSDs could map with the same
+// syscalls, but only linux is exercised in CI — the portable fallback
+// is the honest default everywhere scaling claims aren't tested.
+var errNoMmap = errors.New("mmapio: no mmap support on this platform")
+
+// mapFile always defers to the fallback on platforms without mmap.
+func mapFile(*os.File, int64) (*Mapping, error) { return nil, errNoMmap }
+
+// unmap never runs on these platforms (mapFile never returns a mapping).
+func unmap([]byte) error { return nil }

@@ -1,0 +1,99 @@
+// Package mmapio memory-maps at-rest files for zero-copy ingestion: Map
+// returns a read-only []byte view of a whole regular file served straight
+// from the page cache, so decoders walk file bytes without read syscalls
+// or buffer copies. On platforms without mmap support (and for empty
+// files, which POSIX mmap rejects) Map degrades to reading the file into
+// memory once — callers see the same Bytes() view either way and need no
+// platform branches.
+//
+// Lifecycle contract: the slice returned by Bytes aliases the mapping and
+// is valid only until Close. Callers must not retain any sub-slice past
+// Close, and must never write through the view (the pages are mapped
+// PROT_READ; a write faults). The streaming decoders honor this by
+// copying or interning every byte they keep before returning a record —
+// the borrow-until-intern rule DESIGN.md's "Zero-copy ingestion" section
+// spells out. Close is idempotent and must be called exactly once per
+// mapping after the last reader is done; the file descriptor itself may
+// be closed as soon as Map returns (the mapping keeps the pages alive).
+//
+// Truncation hazard: like every mmap consumer, a reader of a mapping
+// whose file another process truncates underneath it can fault (SIGBUS).
+// The package is therefore meant for at-rest inputs; growing or rotating
+// logs go through the polling TailReader, which never maps.
+package mmapio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Mapping is one mapped (or, on fallback, fully read) file.
+type Mapping struct {
+	data []byte
+	// mapped reports whether data is an OS mapping that Close must
+	// munmap, as opposed to an ordinary heap buffer from the fallback.
+	mapped bool
+	closed bool
+}
+
+// Map maps the entire regular file f read-only and returns the view.
+// The current file offset is ignored (the view always starts at byte 0)
+// and left unchanged. Non-regular files (pipes, devices) are rejected —
+// they have no fixed extent to map — and callers fall back to streaming
+// reads. Empty files and platforms without mmap yield a non-mapped
+// Mapping with the same interface. f may be closed as soon as Map
+// returns.
+func Map(f *os.File) (*Mapping, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if !info.Mode().IsRegular() {
+		return nil, fmt.Errorf("mmapio: %s is not a regular file", f.Name())
+	}
+	size := info.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if m, err := mapFile(f, size); err == nil {
+		return m, nil
+	}
+	// mmap refused (unsupported platform, exotic filesystem, address
+	// space exhaustion): degrade to one up-front read. ReadAt, not Read,
+	// so the caller's file offset stays untouched either way.
+	return readFile(f, size)
+}
+
+// readFile is the portable fallback: the whole file read into memory.
+func readFile(f *os.File, size int64) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("mmapio: reading %s: %w", f.Name(), err)
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Bytes returns the read-only file view. It aliases the mapping: no
+// sub-slice may outlive Close, and writing through it faults.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the view is a true OS mapping (false on the
+// read-whole-file fallback and for empty files).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. Idempotent; after the first call Bytes
+// must not be touched again.
+func (m *Mapping) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	data := m.data
+	m.data = nil
+	if !m.mapped {
+		return nil
+	}
+	m.mapped = false
+	return unmap(data)
+}

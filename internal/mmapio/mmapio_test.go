@@ -1,0 +1,119 @@
+package mmapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTemp lands content in a fresh temp file and opens it.
+func writeTemp(t *testing.T, content []byte) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "input")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestMapRoundTrip pins the core contract: Bytes is the whole file, the
+// descriptor may close immediately, and Close is idempotent.
+func TestMapRoundTrip(t *testing.T) {
+	content := bytes.Repeat([]byte("the quick brown fox\n"), 4096)
+	f := writeTemp(t, content)
+	m, err := Map(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mapping must outlive the descriptor.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Bytes(), content) {
+		t.Fatalf("mapped view diverged from file content (%d vs %d bytes)", len(m.Bytes()), len(content))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close errored: %v", err)
+	}
+	if m.Bytes() != nil {
+		t.Fatal("Bytes non-nil after Close")
+	}
+}
+
+// TestMapEmptyFile pins the corner POSIX mmap rejects: a zero-byte
+// file must yield an empty non-mapped view, not an error.
+func TestMapEmptyFile(t *testing.T) {
+	m, err := Map(writeTemp(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.Bytes()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(m.Bytes()))
+	}
+	if m.Mapped() {
+		t.Fatal("empty file claims a true mapping")
+	}
+}
+
+// TestMapIgnoresFileOffset pins that the view starts at byte 0 and the
+// caller's file offset survives — Map must not consume the stream.
+func TestMapIgnoresFileOffset(t *testing.T) {
+	content := []byte("header\nbody\n")
+	f := writeTemp(t, content)
+	if _, err := f.Seek(7, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !bytes.Equal(m.Bytes(), content) {
+		t.Fatalf("view = %q, want whole file", m.Bytes())
+	}
+	if pos, err := f.Seek(0, 1); err != nil || pos != 7 {
+		t.Fatalf("file offset moved to %d (err %v), want 7", pos, err)
+	}
+}
+
+// TestMapRejectsNonRegular pins the fallback trigger the core layer's
+// auto mode relies on: pipes have no extent and must be refused.
+func TestMapRejectsNonRegular(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	defer w.Close()
+	if _, err := Map(r); err == nil {
+		t.Fatal("Map accepted a pipe")
+	}
+}
+
+// TestReadFallback exercises the portable path directly, so the non-mmap
+// branch stays covered on platforms where Map prefers the real mapping.
+func TestReadFallback(t *testing.T) {
+	content := bytes.Repeat([]byte("fallback line\n"), 100)
+	f := writeTemp(t, content)
+	m, err := readFile(f, int64(len(content)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Fatal("fallback claims a true mapping")
+	}
+	if !bytes.Equal(m.Bytes(), content) {
+		t.Fatal("fallback view diverged from file content")
+	}
+}

@@ -37,6 +37,12 @@ const chunkScanWindow = 64 * 1024
 // every chunk's decoder running concurrently — any callbacks it carries
 // (ASN lookup, anonymizer) must be safe for concurrent use when n > 1.
 func ChunkSources(r io.ReaderAt, size int64, format string, n int, clf weblog.CLFOptions) ([]Source, error) {
+	// In-memory inputs — a mapped file, an unconsumed bytes.Reader — skip
+	// the ReadAt probe loops entirely: boundary search and decode both walk
+	// the backing slice directly. The probe path below serves true readers.
+	if data := readerBytes(r, size); data != nil {
+		return ChunkBytes(data, format, n, clf)
+	}
 	if n < 1 {
 		n = 1
 	}
@@ -103,9 +109,135 @@ func ChunkSources(r io.ReaderAt, size int64, format string, n int, clf weblog.CL
 	}
 }
 
-// ChunkBytes is ChunkSources over an in-memory input.
+// ChunkBytes is ChunkSources over an in-memory input: boundary searches
+// are direct IndexByte scans of data with no probe reads, and every
+// chunk's decoder is byte-native, sub-slicing data rather than reading
+// through a section reader. When data is a mapped file's view (see
+// internal/mmapio), the whole chunked decode runs zero-copy out of the
+// page cache; the caller keeps the mapping alive until the sources are
+// drained, conventionally by hanging its Close on the first source.
 func ChunkBytes(data []byte, format string, n int, clf weblog.CLFOptions) ([]Source, error) {
-	return ChunkSources(bytes.NewReader(data), int64(len(data)), format, n, clf)
+	if n < 1 {
+		n = 1
+	}
+	single := func() ([]Source, error) {
+		dec, err := NewDecoderBytes(format, data, clf)
+		if err != nil {
+			return nil, err
+		}
+		return []Source{{Name: "chunk 1/1", Dec: dec}}, nil
+	}
+	switch format {
+	case "jsonl", "clf":
+		if n == 1 {
+			return single()
+		}
+		bounds := lineAlignedOffsetsBytes(data, n)
+		sources := make([]Source, 0, len(bounds)-1)
+		for i := 0; i+1 < len(bounds); i++ {
+			dec, err := NewDecoderBytes(format, data[bounds[i]:bounds[i+1]], clf)
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, Source{
+				Name: fmt.Sprintf("chunk %d/%d", i+1, len(bounds)-1),
+				Dec:  dec,
+			})
+		}
+		return sources, nil
+	case "csv":
+		if n == 1 {
+			return single() // skip the parity pre-scan: nothing to split
+		}
+		headerEnd, bounds := csvChunkOffsetsBytes(data, n)
+		if headerEnd == 0 {
+			return single() // empty input: one decoder that reports EOF
+		}
+		sc := newCSVScannerBytes(data[:headerEnd])
+		header, err := sc.next()
+		if err != nil {
+			if err == io.EOF {
+				return single()
+			}
+			return nil, fmt.Errorf("stream: reading CSV header: %w", err)
+		}
+		schema := weblog.ParseCSVHeaderBytes(header)
+		sources := make([]Source, 0, len(bounds)-1)
+		for i := 0; i+1 < len(bounds); i++ {
+			sources = append(sources, Source{
+				Name: fmt.Sprintf("chunk %d/%d", i+1, len(bounds)-1),
+				Dec:  NewCSVDecoderSchemaBytes(data[bounds[i]:bounds[i+1]], schema),
+			})
+		}
+		return sources, nil
+	default:
+		return nil, fmt.Errorf("stream: unknown format %q (want csv, jsonl, or clf)", format)
+	}
+}
+
+// lineAlignedOffsetsBytes is lineAlignedOffsets over an in-memory input:
+// each boundary is one IndexByte from its equal-spaced target, no reads.
+func lineAlignedOffsetsBytes(data []byte, n int) []int64 {
+	size := int64(len(data))
+	offs := []int64{0}
+	for i := 1; i < n; i++ {
+		target := size * int64(i) / int64(n)
+		if target <= offs[len(offs)-1] {
+			continue
+		}
+		b := size
+		if j := bytes.IndexByte(data[target:], '\n'); j >= 0 {
+			b = target + int64(j) + 1
+		}
+		if b > offs[len(offs)-1] && b < size {
+			offs = append(offs, b)
+		}
+	}
+	return append(offs, size)
+}
+
+// csvChunkOffsetsBytes is csvChunkOffsets over an in-memory input: the
+// same quote-parity scan without the ReadAt windowing, and with an early
+// exit once every interior boundary is placed (the reader version must
+// keep draining its windows; here the remaining tail needs no scan).
+func csvChunkOffsetsBytes(data []byte, n int) (headerEnd int64, bounds []int64) {
+	size := int64(len(data))
+	target := func(i int) int64 { return size * int64(i) / int64(n) }
+	next := 1
+	var inQuote bool
+	for i := 0; i < len(data); {
+		j := bytes.IndexByte(data[i:], '\n')
+		if j < 0 {
+			break
+		}
+		inQuote = inQuote != (bytes.Count(data[i:i+j], quoteByte)&1 == 1)
+		lineEnd := int64(i + j + 1)
+		i += j + 1
+		if inQuote {
+			continue // the newline sits inside a quoted field
+		}
+		if headerEnd == 0 {
+			headerEnd = lineEnd
+			bounds = append(bounds, lineEnd)
+			continue
+		}
+		for next < n && target(next) <= bounds[len(bounds)-1] {
+			next++
+		}
+		if next >= n {
+			break // all interior boundaries placed
+		}
+		if lineEnd > target(next) && lineEnd < size {
+			bounds = append(bounds, lineEnd)
+			next++
+		}
+	}
+	if headerEnd == 0 {
+		// No record-ending newline at all: the whole input is one header
+		// record (possibly unterminated or malformed) — nothing to split.
+		return size, []int64{size, size}
+	}
+	return headerEnd, append(bounds, size)
 }
 
 // lineAlignedOffsets picks up to n-1 chunk boundaries in [0, size) at

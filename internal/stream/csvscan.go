@@ -31,9 +31,20 @@ var (
 	errQuote = errors.New(`extraneous or missing " in quoted-field`)
 )
 
-// csvScanner frames one CSV stream into byte-slice records.
+// csvScanner frames one CSV stream into byte-slice records. It reads
+// either from a buffered io.Reader or — when built with
+// newCSVScannerBytes — directly from an in-memory input (a mapped file),
+// where lines are sub-slices of the input and fully unquoted records
+// skip the record-buffer copy entirely.
 type csvScanner struct {
 	br *bufio.Reader
+	// data/pos are the in-memory input and read position of byte mode
+	// (bytesMode true); br is nil there. The input may be a read-only
+	// mmap view, so byte mode NEVER writes through data — CRLF
+	// normalization copies into rawBuffer instead of rewriting in place.
+	data      []byte
+	pos       int
+	bytesMode bool
 	// numLine is the current physical line, for error messages.
 	numLine int
 	// consumed counts raw input bytes read so far (delimiters included,
@@ -56,10 +67,19 @@ func newCSVScanner(r io.Reader) *csvScanner {
 	return &csvScanner{br: bufio.NewReaderSize(r, 64*1024)}
 }
 
+// newCSVScannerBytes frames an in-memory input: no reader, no read
+// syscalls, lines sliced straight out of data.
+func newCSVScannerBytes(data []byte) *csvScanner {
+	return &csvScanner{data: data, bytesMode: true}
+}
+
 // readLine reads the next line including its delimiter, normalizing \r\n
 // to \n and dropping a trailing \r at EOF, exactly as encoding/csv does.
 // If any bytes were read the error is never io.EOF.
 func (s *csvScanner) readLine() ([]byte, error) {
+	if s.bytesMode {
+		return s.readLineBytes()
+	}
 	line, err := s.br.ReadSlice('\n')
 	if err == bufio.ErrBufferFull {
 		s.rawBuffer = append(s.rawBuffer[:0], line...)
@@ -87,6 +107,69 @@ func (s *csvScanner) readLine() ([]byte, error) {
 	return line, err
 }
 
+// readLineBytes is readLine over the in-memory input: the returned line
+// sub-slices data (or, for a CRLF line, the scanner's own rawBuffer —
+// the mapped input is read-only, so normalization may not rewrite it in
+// place the way the reader path rewrites its bufio-owned buffer).
+// Semantics are byte-identical to the reader path: the line includes its
+// \n, \r\n normalizes to \n, a trailing \r at EOF is dropped, and a line
+// is never paired with io.EOF.
+func (s *csvScanner) readLineBytes() ([]byte, error) {
+	rest := s.data[s.pos:]
+	var line []byte
+	var err error
+	if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+		line = rest[:i+1]
+	} else {
+		line = rest
+		err = io.EOF
+	}
+	readSize := len(line)
+	s.pos += readSize
+	s.consumed += int64(readSize)
+	if readSize > 0 && err == io.EOF {
+		err = nil
+		// For compatibility with encoding/csv, drop a trailing \r before EOF.
+		if line[readSize-1] == '\r' {
+			line = line[:readSize-1]
+		}
+	}
+	s.numLine++
+	// Normalize \r\n to \n — copying, never mutating the read-only input.
+	if n := len(line); n >= 2 && line[n-2] == '\r' && line[n-1] == '\n' {
+		s.rawBuffer = append(s.rawBuffer[:0], line[:n-2]...)
+		s.rawBuffer = append(s.rawBuffer, '\n')
+		line = s.rawBuffer
+	}
+	return line, err
+}
+
+// fastSplit slices an unquoted line's fields directly out of the
+// in-memory input — the zero-copy hot path of byte mode, skipping the
+// recordBuffer copy and fieldIndexes bookkeeping. It handles only lines
+// with no quote anywhere (ok=false otherwise): on such lines the generic
+// path's per-field scan reduces to splitting on commas, so the accepted
+// set and the produced fields are identical by construction, and every
+// quote subtlety (quoted fields, escapes, bare-quote errors) stays with
+// the one generic implementation. The fields alias data (or rawBuffer
+// after CRLF normalization) and are valid until the following next call.
+func (s *csvScanner) fastSplit(line []byte) ([][]byte, bool) {
+	if bytes.IndexByte(line, '"') >= 0 {
+		return nil, false
+	}
+	line = line[:len(line)-lengthNL(line)]
+	s.fields = s.fields[:0]
+	for {
+		i := bytes.IndexByte(line, ',')
+		if i < 0 {
+			s.fields = append(s.fields, line)
+			return s.fields, true
+		}
+		s.fields = append(s.fields, line[:i])
+		line = line[i+1:]
+	}
+}
+
 // lengthNL reports the number of bytes for the trailing \n.
 func lengthNL(b []byte) int {
 	if len(b) > 0 && b[len(b)-1] == '\n' {
@@ -112,6 +195,14 @@ func (s *csvScanner) next() ([][]byte, error) {
 	}
 	if errRead == io.EOF {
 		return nil, errRead
+	}
+	// Byte mode never surfaces a read error alongside a line (io.EOF on a
+	// final unterminated line is already cleared), so a quote-free line is
+	// safe to slice in place without consulting errRead.
+	if s.bytesMode {
+		if fields, ok := s.fastSplit(line); ok {
+			return fields, nil
+		}
 	}
 
 	var err error

@@ -199,13 +199,14 @@ func (d *CSVDecoder) HeaderLen() int64 { return d.headerLen }
 
 // JSONLDecoder incrementally decodes one JSON object per line (the format
 // weblog.WriteJSONL emits), interning the high-repetition columns for the
-// decoder's lifetime. Blank lines are skipped.
+// decoder's lifetime. Blank lines are skipped. Lines come from a
+// lineSource: a buffered reader scan (NewJSONLDecoder) or a zero-copy
+// in-memory walk (NewJSONLDecoderBytes) with identical semantics.
 type JSONLDecoder struct {
-	sc       *bufio.Scanner
-	consumed *int64
-	intern   *weblog.Intern
-	line     int
-	err      error
+	ls     lineSource
+	intern *weblog.Intern
+	line   int
+	err    error
 }
 
 // newCountingLineScanner builds a line scanner that tallies consumed
@@ -226,8 +227,8 @@ func newCountingLineScanner(r io.Reader, max int) (*bufio.Scanner, *int64) {
 
 // NewJSONLDecoder returns a decoder over r.
 func NewJSONLDecoder(r io.Reader) *JSONLDecoder {
-	sc, n := newCountingLineScanner(r, 4*1024*1024)
-	return &JSONLDecoder{sc: sc, consumed: n, intern: weblog.NewIntern()}
+	sc, n := newCountingLineScanner(r, jsonlMaxLine)
+	return &JSONLDecoder{ls: &scannerLines{sc: sc, n: n}, intern: weblog.NewIntern()}
 }
 
 // Next returns the next record, or io.EOF at end of input.
@@ -235,9 +236,12 @@ func (d *JSONLDecoder) Next() (weblog.Record, error) {
 	if d.err != nil {
 		return weblog.Record{}, d.err
 	}
-	for d.sc.Scan() {
+	for {
+		b, ok := d.ls.scan()
+		if !ok {
+			break
+		}
 		d.line++
-		b := d.sc.Bytes()
 		if len(b) == 0 {
 			continue
 		}
@@ -248,7 +252,7 @@ func (d *JSONLDecoder) Next() (weblog.Record, error) {
 		}
 		return rec, nil
 	}
-	if err := d.sc.Err(); err != nil {
+	if err := d.ls.scanErr(); err != nil {
 		d.err = fmt.Errorf("stream: scanning JSONL: %w", err)
 	} else {
 		d.err = io.EOF
@@ -258,19 +262,18 @@ func (d *JSONLDecoder) Next() (weblog.Record, error) {
 
 // Offset implements OffsetTracker: bytes consumed through the last
 // returned record (skipped blank lines included).
-func (d *JSONLDecoder) Offset() int64 { return *d.consumed }
+func (d *JSONLDecoder) Offset() int64 { return d.ls.offset() }
 
 // CLFDecoder incrementally decodes Common/Combined Log Format lines on the
 // []byte-native parser, interning the high-repetition columns for the
 // decoder's lifetime. Like weblog.ReadCLF, malformed lines are skipped and
 // counted unless opts.Strict is set, in which case they are fatal.
 type CLFDecoder struct {
-	sc       *bufio.Scanner
-	consumed *int64
-	opts     weblog.CLFOptions
-	intern   *weblog.Intern
-	line     int
-	err      error
+	ls     lineSource
+	opts   weblog.CLFOptions
+	intern *weblog.Intern
+	line   int
+	err    error
 
 	// Skipped counts malformed lines dropped so far (non-strict mode).
 	Skipped int
@@ -278,8 +281,8 @@ type CLFDecoder struct {
 
 // NewCLFDecoder returns a decoder over r with the given per-record options.
 func NewCLFDecoder(r io.Reader, opts weblog.CLFOptions) *CLFDecoder {
-	sc, n := newCountingLineScanner(r, 1024*1024)
-	return &CLFDecoder{sc: sc, consumed: n, opts: opts, intern: weblog.NewIntern()}
+	sc, n := newCountingLineScanner(r, clfMaxLine)
+	return &CLFDecoder{ls: &scannerLines{sc: sc, n: n}, opts: opts, intern: weblog.NewIntern()}
 }
 
 // Next returns the next well-formed record, or io.EOF at end of input.
@@ -287,9 +290,13 @@ func (d *CLFDecoder) Next() (weblog.Record, error) {
 	if d.err != nil {
 		return weblog.Record{}, d.err
 	}
-	for d.sc.Scan() {
+	for {
+		b, ok := d.ls.scan()
+		if !ok {
+			break
+		}
 		d.line++
-		line := bytes.TrimSpace(d.sc.Bytes())
+		line := bytes.TrimSpace(b)
 		if len(line) == 0 {
 			continue
 		}
@@ -305,7 +312,7 @@ func (d *CLFDecoder) Next() (weblog.Record, error) {
 		d.opts.Decorate(&rec)
 		return rec, nil
 	}
-	if err := d.sc.Err(); err != nil {
+	if err := d.ls.scanErr(); err != nil {
 		d.err = fmt.Errorf("stream: scanning CLF: %w", err)
 	} else {
 		d.err = io.EOF
@@ -316,7 +323,7 @@ func (d *CLFDecoder) Next() (weblog.Record, error) {
 // Offset implements OffsetTracker: bytes consumed through the last
 // returned record (skipped malformed lines included — a resumed decoder
 // never re-reads them, so Skipped restarts at zero after a restore).
-func (d *CLFDecoder) Offset() int64 { return *d.consumed }
+func (d *CLFDecoder) Offset() int64 { return d.ls.offset() }
 
 // DatasetDecoder replays an in-memory dataset as a stream, mainly for
 // tests and for feeding live-crawl output through the online aggregators.

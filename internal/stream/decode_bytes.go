@@ -1,0 +1,226 @@
+// decode_bytes.go holds the zero-copy front half of the decode path: the
+// byte-native decoder constructors that walk an in-memory input (a
+// mapped file, see internal/mmapio) directly, with no bufio layer and no
+// per-line token copy. Each constructor returns the same decoder type as
+// its reader twin — one Next/Offset implementation, two line sources —
+// so record semantics, error text, and the checkpoint offset contract
+// are shared by construction; the FuzzDecode*Bytes differentials pin the
+// two sources against each other on arbitrary inputs.
+//
+// Aliasing rule: lines (and unquoted CSV fields) sub-slice the input,
+// and the input may be a read-only mapping that its source's Close
+// unmaps. Nothing here retains those slices past the next Next call, and
+// the row primitives (weblog.DecodeRowBytes and friends) copy or intern
+// every byte a Record keeps — borrow until intern, never after Close.
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/weblog"
+)
+
+// Line-length ceilings shared by the buffered and byte-native line
+// decoders: a line whose content (terminator excluded) reaches the
+// ceiling is bufio.ErrTooLong on both paths, so the accepted input sets
+// stay identical.
+const (
+	jsonlMaxLine = 4 * 1024 * 1024
+	clfMaxLine   = 1024 * 1024
+)
+
+// lineSource abstracts where the line decoders (JSONL, CLF) pull lines
+// from: a counting bufio.Scanner over a reader, or an in-memory walk.
+// scan returns the next line with its terminator stripped and a trailing
+// \r dropped (bufio.ScanLines semantics); after it returns false,
+// scanErr distinguishes clean end of input (nil) from a scan failure.
+// offset is the consumed-byte count through the last scanned line,
+// terminators included — the checkpoint resume point.
+type lineSource interface {
+	scan() ([]byte, bool)
+	scanErr() error
+	offset() int64
+}
+
+// scannerLines adapts the counting line scanner to lineSource.
+type scannerLines struct {
+	sc *bufio.Scanner
+	n  *int64
+}
+
+func (s *scannerLines) scan() ([]byte, bool) {
+	if s.sc.Scan() {
+		return s.sc.Bytes(), true
+	}
+	return nil, false
+}
+
+func (s *scannerLines) scanErr() error { return s.sc.Err() }
+func (s *scannerLines) offset() int64  { return *s.n }
+
+// byteLines walks an in-memory input line by line, returning sub-slices
+// of data — no copy, no reader. Limit semantics mirror a bufio.Scanner
+// with a max token size of max: a line whose content (before the \n,
+// including any \r) is max bytes or longer stops the scan with
+// bufio.ErrTooLong, and shorter lines — terminated or final-at-EOF —
+// come back whole.
+type byteLines struct {
+	data     []byte
+	pos      int
+	max      int
+	consumed int64
+	err      error
+}
+
+func newByteLines(data []byte, max int) *byteLines {
+	return &byteLines{data: data, max: max}
+}
+
+func (b *byteLines) scan() ([]byte, bool) {
+	if b.err != nil || b.pos >= len(b.data) {
+		return nil, false
+	}
+	rest := b.data[b.pos:]
+	var raw []byte
+	var adv int
+	if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+		raw, adv = rest[:i], i+1
+	} else {
+		raw, adv = rest, len(rest)
+	}
+	if len(raw) >= b.max {
+		b.err = bufio.ErrTooLong
+		return nil, false
+	}
+	b.pos += adv
+	b.consumed += int64(adv)
+	if n := len(raw); n > 0 && raw[n-1] == '\r' {
+		raw = raw[:n-1]
+	}
+	return raw, true
+}
+
+func (b *byteLines) scanErr() error { return b.err }
+func (b *byteLines) offset() int64  { return b.consumed }
+
+// NewDecoderBytes is NewDecoder over an in-memory input: the byte-native
+// constructor for the named format.
+func NewDecoderBytes(format string, data []byte, clf weblog.CLFOptions) (Decoder, error) {
+	switch format {
+	case "csv":
+		return NewCSVDecoderBytes(data), nil
+	case "jsonl":
+		return NewJSONLDecoderBytes(data), nil
+	case "clf":
+		return NewCLFDecoderBytes(data, clf), nil
+	default:
+		return nil, fmt.Errorf("stream: unknown format %q (want csv, jsonl, or clf)", format)
+	}
+}
+
+// NewCSVDecoderBytes returns a CSV decoder that frames records straight
+// out of data: lines sub-slice the input, and fully unquoted records
+// skip the field-copy pass entirely. Record semantics, error text, and
+// Offset values are identical to NewCSVDecoder over the same bytes.
+func NewCSVDecoderBytes(data []byte) *CSVDecoder {
+	return &CSVDecoder{sc: newCSVScannerBytes(data), intern: weblog.NewIntern()}
+}
+
+// NewCSVDecoderSchemaBytes is NewCSVDecoderSchema over an in-memory
+// input — the chunked parallel decode path, where data is one chunk of a
+// mapped file and only the first chunk held the (already parsed) header.
+func NewCSVDecoderSchemaBytes(data []byte, schema weblog.CSVSchema) *CSVDecoder {
+	return &CSVDecoder{sc: newCSVScannerBytes(data), schema: schema, headerDone: true, intern: weblog.NewIntern()}
+}
+
+// ResumeCSVDecoderBytes rebuilds a CSV decoder at a checkpointed offset
+// over an in-memory input: header is the file's recorded header record
+// (its first HeaderLen bytes) and body the input from the resume offset
+// on. The header parses into the schema without being re-consumed as
+// stream input, and the returned decoder's Offset starts at len(header)
+// — exactly where the reader-based resume (replaying the header bytes
+// through an eager ReadHeader) leaves it — so BaseOffset = offset -
+// HeaderLen plus the decoder's Offset keeps equaling the absolute file
+// position on both paths.
+func ResumeCSVDecoderBytes(header, body []byte) (*CSVDecoder, error) {
+	hsc := newCSVScannerBytes(header)
+	row, err := hsc.next()
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading CSV header: %w", err)
+	}
+	sc := newCSVScannerBytes(body)
+	sc.consumed = int64(len(header))
+	sc.numLine = hsc.numLine
+	return &CSVDecoder{
+		sc:         sc,
+		schema:     weblog.ParseCSVHeaderBytes(row),
+		headerDone: true,
+		headerLen:  int64(len(header)),
+		line:       1,
+		intern:     weblog.NewIntern(),
+	}, nil
+}
+
+// NewJSONLDecoderBytes returns a JSONL decoder over an in-memory input,
+// byte-identical in records, errors, and offsets to NewJSONLDecoder.
+func NewJSONLDecoderBytes(data []byte) *JSONLDecoder {
+	return &JSONLDecoder{ls: newByteLines(data, jsonlMaxLine), intern: weblog.NewIntern()}
+}
+
+// NewCLFDecoderBytes returns a CLF decoder over an in-memory input,
+// byte-identical in records, errors, offsets, and skip counts to
+// NewCLFDecoder.
+func NewCLFDecoderBytes(data []byte, opts weblog.CLFOptions) *CLFDecoder {
+	return &CLFDecoder{ls: newByteLines(data, clfMaxLine), opts: opts, intern: weblog.NewIntern()}
+}
+
+// readerBytes uncovers the in-memory backing of an io.ReaderAt when it
+// provably has one covering exactly [0, size): anything exposing its
+// backing through a Bytes() view (*mmapio.Mapping), or an unconsumed
+// *bytes.Reader. Callers use it to swap ReadAt probe loops for direct
+// slicing; a nil return means r is a true reader and the probe path
+// stands.
+//
+// The *bytes.Reader case borrows WriteTo, which hands the reader's
+// underlying slice to exactly one Write call. Retaining a Write argument
+// bends io.Writer's contract in general, which is why the capture only
+// counts when every guard holds — nothing consumed, one Write, the full
+// size delivered — and the reader's position is restored either way;
+// anything unexpected falls back to the probe path.
+func readerBytes(r io.ReaderAt, size int64) []byte {
+	type byteser interface{ Bytes() []byte }
+	if b, ok := r.(byteser); ok {
+		if data := b.Bytes(); int64(len(data)) == size {
+			return data
+		}
+		return nil
+	}
+	br, ok := r.(*bytes.Reader)
+	if !ok || br.Size() != size || int64(br.Len()) != size {
+		return nil
+	}
+	var grab sliceCapture
+	n, err := br.WriteTo(&grab)
+	if _, serr := br.Seek(0, io.SeekStart); serr != nil {
+		return nil
+	}
+	if err != nil || n != size || grab.writes != 1 || int64(len(grab.data)) != size {
+		return nil
+	}
+	return grab.data
+}
+
+// sliceCapture records the slice bytes.Reader.WriteTo hands over.
+type sliceCapture struct {
+	data   []byte
+	writes int
+}
+
+func (c *sliceCapture) Write(p []byte) (int, error) {
+	c.data = p
+	c.writes++
+	return len(p), nil
+}

@@ -135,6 +135,119 @@ func FuzzDecodeJSONL(f *testing.F) {
 	})
 }
 
+// fuzzByteDecoderParity locksteps the byte-native decoder against the
+// reader-based one over identical input: the same records in the same
+// order, the same Offset after every record (the checkpoint resume
+// contract), the same terminal error text, and — for CLF — the same
+// skip counts. This is the differential that lets every other parity
+// suite treat the two line sources as interchangeable.
+func fuzzByteDecoderParity(t *testing.T, format string, data []byte, clf weblog.CLFOptions) {
+	rdec, err := NewDecoder(format, bytes.NewReader(data), clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdec, err := NewDecoderBytes(format, data, clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type offsetter interface{ Offset() int64 }
+	for i := 0; ; i++ {
+		rrec, rerr := rdec.Next()
+		brec, berr := bdec.Next()
+		if (rerr == nil) != (berr == nil) || (rerr == io.EOF) != (berr == io.EOF) {
+			t.Fatalf("%s record %d: reader err %v, bytes err %v", format, i, rerr, berr)
+		}
+		if rerr != nil {
+			if rerr != io.EOF && rerr.Error() != berr.Error() {
+				t.Fatalf("%s record %d: error text diverged:\nreader: %v\nbytes:  %v", format, i, rerr, berr)
+			}
+			if rerr == io.EOF {
+				// Clean end of input: the final offsets (trailing skipped
+				// or blank lines included) must agree — a checkpoint taken
+				// at completion resumes from either.
+				if ro, bo := rdec.(offsetter).Offset(), bdec.(offsetter).Offset(); ro != bo {
+					t.Fatalf("%s: final offsets diverged: reader %d, bytes %d", format, ro, bo)
+				}
+			}
+			break
+		}
+		if !reflect.DeepEqual(rrec, brec) {
+			t.Fatalf("%s record %d diverged:\nreader: %+v\nbytes:  %+v", format, i, rrec, brec)
+		}
+		if ro, bo := rdec.(offsetter).Offset(), bdec.(offsetter).Offset(); ro != bo {
+			t.Fatalf("%s record %d: offsets diverged: reader %d, bytes %d", format, i, ro, bo)
+		}
+		if i > 1<<20 {
+			t.Fatal("decoder yielded over a million records from a small input")
+		}
+	}
+	if format == "clf" {
+		if rs, bs := rdec.(*CLFDecoder).Skipped, bdec.(*CLFDecoder).Skipped; rs != bs {
+			t.Fatalf("clf skip counts diverged: reader %d, bytes %d", rs, bs)
+		}
+	}
+}
+
+// FuzzDecodeCSVBytes differential-fuzzes the zero-copy byte-native CSV
+// decoder against the reader-based decoder on arbitrary bytes — the
+// fast split path, quoting, escapes, multi-line fields, CRLF
+// normalization, and offset bookkeeping must all agree.
+func FuzzDecodeCSVBytes(f *testing.F) {
+	f.Add(csvSeedBytes(50, 45))
+	f.Add([]byte(""))
+	f.Add([]byte("useragent,timestamp\n\"unterminated"))
+	f.Add([]byte("useragent,uri_path\n\"quoted,comma\",\"esc\"\"aped\"\n"))
+	f.Add([]byte("useragent,uri_path\n\"multi\nline\nfield\",/x\n"))
+	f.Add([]byte("useragent,uri_path\r\nua,\"crlf\r\ninside\"\r\n"))
+	f.Add([]byte("useragent\n\n\nua-after-blanks\n"))
+	f.Add([]byte("useragent\nbare\"quote\n"))
+	f.Add([]byte("useragent\n\"trailing\"junk\n"))
+	f.Add([]byte("useragent\nua-no-newline"))
+	f.Add([]byte("useragent\ncr-at-eof\r"))
+	f.Add([]byte("useragent\n\"quote at eof"))
+	f.Add([]byte("a,b\n,\n"))
+	f.Add([]byte("lone\rcr,mid\rline\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzByteDecoderParity(t, "csv", data, weblog.CLFOptions{})
+	})
+}
+
+// FuzzDecodeJSONLBytes differential-fuzzes the byte-native JSONL decoder
+// against the reader-based one on arbitrary bytes.
+func FuzzDecodeJSONLBytes(f *testing.F) {
+	d := makeSynthetic(50, 46, 0)
+	var buf bytes.Buffer
+	if err := weblog.WriteJSONL(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"useragent":"bot","timestamp":"2025-03-01T00:00:00Z"}` + "\n"))
+	f.Add([]byte(`{"useragent":"bot"`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte("{\"useragent\":\"a\"}\r\n{\"useragent\":\"b\"}\r"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzByteDecoderParity(t, "jsonl", data, weblog.CLFOptions{})
+	})
+}
+
+// FuzzDecodeCLFBytes differential-fuzzes the byte-native CLF decoder
+// against the reader-based one on arbitrary bytes, skip counts included.
+func FuzzDecodeCLFBytes(f *testing.F) {
+	var clf bytes.Buffer
+	if err := weblog.WriteCLF(&clf, makeSynthetic(30, 47, 0)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clf.Bytes())
+	f.Add([]byte("junk\n" + `h - - [01/Mar/2025:00:00:00 +0000] "GET /x HTTP/1.1" 200 5 "-" "ua"` + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("no newline at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzByteDecoderParity(t, "clf", data, weblog.CLFOptions{Site: "www"})
+	})
+}
+
 // FuzzDecodeCLF fuzzes the streaming CLF decoder against the batch CLF
 // reader in skip-and-count (non-strict) mode: identical kept records and
 // skip totals.

@@ -1,0 +1,191 @@
+// mmap_test.go pins the memory-safety half of the zero-copy ingestion
+// contract: byte-native decoders borrow the backing input only until
+// intern/parse, so once a source's Close has run (always after its
+// decoder drained — see closeSources), nothing in any analyzer snapshot
+// may still reference the backing bytes. The poisoned-mapping tests
+// prove it destructively, standing a heap copy in for a real mapping
+// and scribbling it from Close exactly where an munmap would revoke the
+// pages.
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/weblog"
+)
+
+// scribble returns a Close that overwrites every backing byte with a
+// poison pattern — the in-process stand-in for munmap revoking a
+// mapping's pages. Run under -race, any snapshot or analyzer state
+// still aliasing the backing shows up as a race or a diverged result.
+func scribble(backing []byte) func() error {
+	return func() error {
+		for i := range backing {
+			backing[i] = 0xA5
+		}
+		return nil
+	}
+}
+
+// TestPoisonedMappingRetention is the mapped-memory acceptance test: all
+// five analyzers' snapshots over a byte-native source whose backing is
+// poisoned at Close must equal the buffered-reader run on the same
+// bytes. The buffered reference doubles as the fallback-path parity
+// check — it is exactly what MmapOff (or a failed Map) produces.
+func TestPoisonedMappingRetention(t *testing.T) {
+	d := makeBursty(parityN(t)/4, 97, 45*time.Second)
+	opts := Options{Shards: 4, MaxSkew: 2 * time.Minute}
+
+	encodings := map[string]struct {
+		data []byte
+		clf  weblog.CLFOptions
+	}{
+		"csv": {data: encodeCSV(t, d)},
+	}
+	var jsonl bytes.Buffer
+	if err := weblog.WriteJSONL(&jsonl, d); err != nil {
+		t.Fatal(err)
+	}
+	encodings["jsonl"] = struct {
+		data []byte
+		clf  weblog.CLFOptions
+	}{data: jsonl.Bytes()}
+	var clf bytes.Buffer
+	if err := weblog.WriteCLF(&clf, d); err != nil {
+		t.Fatal(err)
+	}
+	encodings["clf"] = struct {
+		data []byte
+		clf  weblog.CLFOptions
+	}{data: clf.Bytes(), clf: weblog.CLFOptions{Site: "www"}}
+
+	for format, enc := range encodings {
+		rdec, err := NewDecoder(format, bytes.NewReader(enc.data), enc.clf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runSourcesAllAnalyzers(t, []Source{{Name: "buffered", Dec: rdec}}, opts)
+
+		backing := append([]byte(nil), enc.data...)
+		bdec, err := NewDecoderBytes(format, backing, enc.clf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runSourcesAllAnalyzers(t, []Source{{
+			Name:  "mapped",
+			Dec:   bdec,
+			Close: scribble(backing),
+		}}, opts)
+		assertResultsEqual(t, want, got, format+" poisoned mapping vs buffered")
+	}
+
+	// Chunked variant: one poisoned backing feeding several concurrent
+	// chunk decoders, the unmap-equivalent on the first chunk exactly as
+	// fileSources hangs it.
+	csvBytes := encodings["csv"].data
+	want := runSourcesAllAnalyzers(t, []Source{{
+		Name: "buffered",
+		Dec:  NewCSVDecoder(bytes.NewReader(csvBytes)),
+	}}, opts)
+	backing := append([]byte(nil), csvBytes...)
+	chunks, err := ChunkBytes(backing, "csv", 4, weblog.CLFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("fixture too small to chunk: %d sources", len(chunks))
+	}
+	chunks[0].Close = scribble(backing)
+	got := runSourcesAllAnalyzers(t, chunks, opts)
+	assertResultsEqual(t, want, got, "poisoned chunked mapping vs buffered")
+}
+
+// TestChunkSourcesTrueReader keeps the ReadAt probe path honest now that
+// in-memory inputs short-circuit it: a SectionReader (no recoverable
+// backing) must take the probe loops and still split identically to the
+// byte-native path.
+func TestChunkSourcesTrueReader(t *testing.T) {
+	d := makeSynthetic(300, 98, 0)
+	var jsonl bytes.Buffer
+	if err := weblog.WriteJSONL(&jsonl, d); err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string][]byte{
+		"csv":   encodeCSV(t, d),
+		"jsonl": jsonl.Bytes(),
+	}
+	for format, data := range inputs {
+		for _, n := range []int{2, 5} {
+			native, err := ChunkBytes(data, format, n, weblog.CLFOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr := io.NewSectionReader(bytes.NewReader(data), 0, int64(len(data)))
+			probed, err := ChunkSources(sr, int64(len(data)), format, n, weblog.CLFOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(native) != len(probed) {
+				t.Fatalf("%s n=%d: %d native chunks vs %d probed", format, n, len(native), len(probed))
+			}
+			wantRecs, _, werr := drainSources(t, native)
+			gotRecs, _, gerr := drainSources(t, probed)
+			if werr != nil || gerr != nil {
+				t.Fatalf("%s n=%d: drain errors native=%v probed=%v", format, n, werr, gerr)
+			}
+			if len(wantRecs) != len(gotRecs) {
+				t.Fatalf("%s n=%d: %d native records vs %d probed", format, n, len(wantRecs), len(gotRecs))
+			}
+		}
+	}
+}
+
+// TestReaderBytes pins the backing-recovery guards: a full bytes.Reader
+// and a Bytes()-view type yield their backing (position untouched), a
+// partially consumed or size-mismatched reader does not.
+func TestReaderBytes(t *testing.T) {
+	data := []byte("alpha\nbeta\ngamma\n")
+	br := bytes.NewReader(data)
+	got := readerBytes(br, int64(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("full bytes.Reader: got %q", got)
+	}
+	if br.Len() != len(data) {
+		t.Fatalf("recovery consumed the reader: %d of %d bytes left", br.Len(), len(data))
+	}
+	// A consumed reader no longer covers [0, size): must decline.
+	if _, err := br.ReadByte(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readerBytes(br, int64(len(data))); got != nil {
+		t.Fatal("consumed reader still yielded its backing")
+	}
+	if got := readerBytes(bytes.NewReader(data), int64(len(data))-1); got != nil {
+		t.Fatal("size mismatch still yielded the backing")
+	}
+	if got := readerBytes(viewReaderAt{data}, int64(len(data))); !bytes.Equal(got, data) {
+		t.Fatalf("Bytes() view: got %q", got)
+	}
+	if got := readerBytes(io.NewSectionReader(bytes.NewReader(data), 0, int64(len(data))), int64(len(data))); got != nil {
+		t.Fatal("SectionReader yielded a backing; the probe path would never run")
+	}
+}
+
+// viewReaderAt models a mapping-like ReaderAt exposing its backing.
+type viewReaderAt struct{ data []byte }
+
+func (v viewReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(v.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, v.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (v viewReaderAt) Bytes() []byte { return v.data }

@@ -29,7 +29,20 @@ type Preprocessor struct {
 		InternalASN int
 		ScannerUA   int
 	}
+
+	// scannerVerdict memoizes the fragment scan per user-agent string:
+	// access logs repeat a small set of UAs endlessly, so after warmup the
+	// per-record cost is one map hit instead of one scan per fragment.
+	// Like the counters, it is unsynchronized — Keep's one-goroutine
+	// contract covers it. Fragments are assumed fixed once filtering
+	// starts (editing ScannerUAFragments mid-run would stale the memo).
+	scannerVerdict map[string]bool
 }
+
+// maxScannerVerdicts bounds the memo so a log of never-repeating
+// adversarial user agents cannot grow it without limit; past the cap,
+// unseen UAs are scanned directly, which is always correct.
+const maxScannerVerdicts = 1 << 14
 
 // DefaultScannerFragments lists UA fragments of common scanning tools that
 // the paper's preprocessing removed as "not relevant to our analysis".
@@ -77,8 +90,23 @@ func (p *Preprocessor) keep(r *Record) bool {
 			return false
 		}
 	}
-	for _, frag := range p.ScannerUAFragments {
-		if containsASCIIFold(r.UserAgent, frag) {
+	if len(p.ScannerUAFragments) > 0 {
+		drop, seen := p.scannerVerdict[r.UserAgent]
+		if !seen {
+			for _, frag := range p.ScannerUAFragments {
+				if containsASCIIFold(r.UserAgent, frag) {
+					drop = true
+					break
+				}
+			}
+			if p.scannerVerdict == nil {
+				p.scannerVerdict = make(map[string]bool)
+			}
+			if len(p.scannerVerdict) < maxScannerVerdicts {
+				p.scannerVerdict[r.UserAgent] = drop
+			}
+		}
+		if drop {
 			p.Dropped.ScannerUA++
 			return false
 		}

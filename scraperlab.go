@@ -81,6 +81,18 @@ type CrawlStats struct {
 // StreamOptions configures StreamAnalyze; see core.StreamOptions.
 type StreamOptions = core.StreamOptions
 
+// MmapMode selects how the stream facades read at-rest file inputs
+// (StreamOptions.Mmap); see core.MmapMode.
+type MmapMode = core.MmapMode
+
+// The mapping modes: map with quiet fallback (the default), require the
+// mapping, or disable it; see core.MmapAuto and friends.
+const (
+	MmapAuto = core.MmapAuto
+	MmapOn   = core.MmapOn
+	MmapOff  = core.MmapOff
+)
+
 // StreamAggregates is the merged online-compliance snapshot a streaming
 // run produces; see stream.Aggregates.
 type StreamAggregates = stream.Aggregates

@@ -115,7 +115,7 @@ const (
 
 func main() {
 	var (
-		pattern    = flag.String("pattern", "StreamVsBatch|SnapshotReads|FanInScaling", "benchmark name pattern passed to -bench")
+		pattern    = flag.String("pattern", "StreamVsBatch|SnapshotReads|FanInScaling|DecodeOnly", "benchmark name pattern passed to -bench")
 		benchtime  = flag.String("benchtime", "1x", "go test -benchtime value")
 		cpu        = flag.String("cpu", "", "go test -cpu list, e.g. 1,4 (empty = GOMAXPROCS only); deltas and the gate compare the first entry")
 		pkg        = flag.String("pkg", ".", "package to benchmark")
